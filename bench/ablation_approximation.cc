@@ -1,0 +1,52 @@
+// Ablation (paper Section V-B / VII "Extension to more complicated
+// functions"): quality of polynomial approximations of the sigmoid — the
+// sole approximation step in SQM's logistic regression.
+//
+// Compares, per degree and interval radius R (= the bound on |<w, x>|):
+//   - Taylor truncation at 0 (the paper's choice, H = 1),
+//   - Chebyshev interpolation on [-R, R] (uniformly optimal up to a
+//     constant).
+// With ||w||, ||x|| <= 1 the argument never leaves [-1, 1], where even the
+// order-1 Taylor error is < 0.02 — hence Figure 5's negligible gap. For
+// models with larger pre-activations the Taylor error explodes while
+// Chebyshev stays controlled, quantifying why "more delicate
+// approximations are needed" beyond LR.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "poly/chebyshev.h"
+#include "poly/taylor.h"
+
+int main(int argc, char** argv) {
+  using namespace sqm;
+  (void)bench::ParseArgs(argc, argv);
+
+  bench::PrintHeader(
+      "Ablation: sigmoid approximation quality (Taylor vs Chebyshev)",
+      "max |approx - sigmoid| over |u| <= R");
+
+  const auto sigmoid = [](double u) { return Sigmoid(u); };
+  std::printf("%-8s %-8s %-18s %-18s\n", "degree", "R", "Taylor max err",
+              "Chebyshev max err");
+  bench::PrintRule();
+  for (size_t degree : {1u, 3u, 5u, 7u}) {
+    for (double radius : {1.0, 2.0, 4.0}) {
+      const double taylor = SigmoidTaylorMaxError(degree, radius);
+      const auto cheb =
+          SigmoidChebyshevCoefficients(degree, radius).ValueOrDie();
+      const double chebyshev =
+          MaxApproximationError(sigmoid, cheb, radius);
+      std::printf("%-8zu %-8.1f %-18.6g %-18.6g\n", degree, radius, taylor,
+                  chebyshev);
+    }
+  }
+
+  std::printf(
+      "\nReading: at R = 1 (the LR regime: ||w||, ||x|| <= 1) both are "
+      "tiny, matching Figure 5's negligible gap. At R = 4 the Taylor "
+      "truncation is useless while Chebyshev still converges — the "
+      "quantitative content behind the paper's caveat that deeper models "
+      "need more delicate approximations.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Ablation (DESIGN.md, paper Section IV-B "Challenge"): per-degree
+// coefficient compensation versus naive uniform scaling for polynomials
+// with mixed-degree monomials.
+//
+// Naive scheme: scale every input by gamma, leave coefficients unscaled.
+// A degree-k monomial is then amplified by gamma^k — monomials of
+// different degrees live on different scales, and the server cannot
+// down-scale them jointly. The only sound single down-scale factor is the
+// one for the *largest* degree, which amplifies the lower-degree terms'
+// relative error and forces a worst-case sensitivity union across scales.
+//
+// SQM's scheme (Algorithm 3 lines 1-3): each coefficient of degree
+// lambda_t[l] is pre-scaled by gamma^{1+lambda-lambda_t[l]}, so every
+// monomial lands on the common scale gamma^{lambda+1}. This bench measures
+// the resulting estimation error of both schemes on the mixed-degree LR
+// gradient polynomial, and the sensitivity bounds that each scheme must
+// calibrate noise against.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/quantize.h"
+#include "core/sensitivity.h"
+#include "sampling/rng.h"
+#include "vfl/logistic.h"
+
+namespace sqm {
+namespace {
+
+/// Naive evaluation: quantize data by gamma, keep real coefficients, apply
+/// each monomial's own gamma^{-degree} at the end of the *summed* value
+/// using the max degree (the only joint option) — per-component correct
+/// rescaling is impossible once the components are summed inside MPC.
+double NaiveEstimate(const PolynomialVector& f, const Matrix& x,
+                     double gamma, uint64_t seed) {
+  Rng rng(seed);
+  const QuantizedDatabase db = QuantizeDatabase(x, gamma, rng);
+  const double lambda = static_cast<double>(f.Degree());
+  double total = 0.0;
+  for (size_t i = 0; i < db.rows; ++i) {
+    for (const Monomial& term : f.dims()[0].terms()) {
+      double value = term.coefficient();
+      for (const auto& [var, exp] : term.exponents()) {
+        for (uint32_t e = 0; e < exp; ++e) {
+          value *= static_cast<double>(db.at(i, var));
+        }
+      }
+      total += value;  // Mixed scales gamma^{deg} summed together.
+    }
+  }
+  return total / std::pow(gamma, lambda);
+}
+
+double SqmEstimate(const PolynomialVector& f, const Matrix& x, double gamma,
+                   uint64_t seed) {
+  Rng rng(seed);
+  Rng coeff_rng = rng.Split(1);
+  Rng data_rng = rng.Split(2);
+  const QuantizedPolynomial qf =
+      QuantizePolynomial(f, gamma, coeff_rng).ValueOrDie();
+  const QuantizedDatabase db = QuantizeDatabase(x, gamma, data_rng);
+  double total = 0.0;
+  for (size_t i = 0; i < db.rows; ++i) {
+    total += static_cast<double>(
+        EvaluateQuantizedDim(qf.dims[0], db, i).ValueOrDie());
+  }
+  return total / qf.output_scale;
+}
+
+}  // namespace
+}  // namespace sqm
+
+int main(int argc, char** argv) {
+  using namespace sqm;
+  const bench::BenchConfig config = bench::ParseArgs(argc, argv);
+  const int reps = config.reps > 0 ? config.reps : 25;
+
+  bench::PrintHeader(
+      "Ablation: per-degree coefficient quantization vs naive scaling",
+      "mixed-degree polynomial f = 0.5 x0 + 0.25 x0 x1 - x2 x0 (the LR "
+      "gradient shape)");
+
+  // One LR-gradient-style dimension with degrees {1, 2, 2}.
+  PolynomialVector f;
+  Polynomial p;
+  p.AddTerm(Monomial::Power(0.5, 0, 1));
+  p.AddTerm(Monomial(0.25, {{0, 1}, {1, 1}}));
+  p.AddTerm(Monomial(-1.0, {{2, 1}, {0, 1}}));
+  f.AddDimension(p);
+
+  const size_t m = config.paper_scale ? 5000 : 500;
+  Matrix x(m, 3);
+  Rng gen(3);
+  for (auto& v : x.data()) v = gen.NextDouble() - 0.5;
+  std::vector<std::vector<double>> rows;
+  for (size_t i = 0; i < m; ++i) rows.push_back(x.Row(i));
+  const double exact = f.EvaluateSum(rows)[0];
+
+  std::printf("%-8s %-20s %-20s\n", "gamma", "|error| SQM scheme",
+              "|error| naive scheme");
+  bench::PrintRule();
+  for (double gamma : {8.0, 32.0, 128.0, 512.0}) {
+    std::vector<double> sqm_err, naive_err;
+    for (int r = 0; r < reps; ++r) {
+      sqm_err.push_back(
+          std::fabs(SqmEstimate(f, x, gamma, 50 + r) - exact));
+      naive_err.push_back(
+          std::fabs(NaiveEstimate(f, x, gamma, 50 + r) - exact));
+    }
+    std::printf("%-8.0f %-20.5f %-20.5f\n", gamma,
+                bench::Summarize(sqm_err).mean,
+                bench::Summarize(naive_err).mean);
+  }
+
+  std::printf(
+      "\nSensitivity view: with compensation, one joint bound "
+      "Delta_2 = gamma^{lambda+1} max||f|| + o(.) covers all monomials "
+      "(Lemma 4). Without it, each degree-k component needs its own "
+      "gamma^k bound whose worst cases can correspond to different "
+      "inputs, so the naive union bound is strictly looser — and the "
+      "estimate above shows the naive scheme's error does not vanish "
+      "with gamma, because the deg-1 term is downscaled by gamma^2.\n");
+  return 0;
+}

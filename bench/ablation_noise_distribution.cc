@@ -1,0 +1,124 @@
+// Ablation (DESIGN.md / paper Section I challenge 2): why SQM injects
+// Skellam noise rather than the discrete Gaussian [51].
+//
+// (a) Privacy at matched variance: the Skellam RDP bound (Lemma 1) is the
+//     discrete/continuous-Gaussian term alpha*D2^2/(2*Var) plus a
+//     correction that vanishes as the variance grows — the two noises are
+//     interchangeable in utility.
+// (b) Distributed closure: Skellam is closed under convolution, so n
+//     clients sampling Sk(mu/n) produce exactly Sk(mu) in aggregate, and
+//     the privacy analysis applies verbatim. The discrete Gaussian is NOT
+//     closed: the sum of n shares deviates from N_Z(0, sigma^2), and the
+//     deviation (measured here as an empirical total-variation distance)
+//     blows up precisely in the small-noise regime where it matters —
+//     which is why distributed discrete-Gaussian protocols need either a
+//     trusted sampler or costly secure sampling [52, 53], the gap SQM
+//     closes.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "dp/gaussian.h"
+#include "dp/rdp.h"
+#include "dp/skellam.h"
+#include "sampling/discrete_gaussian.h"
+#include "sampling/rng.h"
+#include "sampling/skellam_sampler.h"
+
+namespace sqm {
+namespace {
+
+/// Empirical TV distance between two integer samples.
+double EmpiricalTv(const std::vector<int64_t>& a,
+                   const std::vector<int64_t>& b) {
+  std::map<int64_t, double> pmf;
+  const double wa = 1.0 / static_cast<double>(a.size());
+  const double wb = 1.0 / static_cast<double>(b.size());
+  for (int64_t x : a) pmf[x] += wa;
+  for (int64_t x : b) pmf[x] -= wb;
+  double tv = 0.0;
+  for (const auto& [x, diff] : pmf) tv += std::fabs(diff);
+  return tv / 2.0;
+}
+
+}  // namespace
+}  // namespace sqm
+
+int main(int argc, char** argv) {
+  using namespace sqm;
+  const bench::BenchConfig config = bench::ParseArgs(argc, argv);
+  const size_t trials = config.paper_scale ? 400000 : 80000;
+
+  bench::PrintHeader(
+      "Ablation: Skellam vs discrete Gaussian as the DP noise",
+      "privacy at matched variance + closure under distributed summation");
+
+  // ---- (a) epsilon at matched variance (single release, delta = 1e-5).
+  std::printf("(a) epsilon of one release, sensitivity D2 = 10, delta = "
+              "1e-5, matched Var:\n");
+  std::printf("%-14s %-16s %-18s\n", "variance", "Skellam eps",
+              "Gaussian-RDP eps");
+  bench::PrintRule();
+  const double d2 = 10.0;
+  for (double variance : {4e2, 4e3, 4e4, 4e5}) {
+    const double mu = variance / 2.0;
+    const double skellam_eps =
+        SkellamEpsilonSingleRelease(mu, d2 * d2, d2, 1e-5);
+    const auto gauss = [&](double alpha) {
+      return GaussianRdp(alpha, d2, std::sqrt(variance));
+    };
+    const double gauss_eps =
+        BestEpsilonFromCurve(gauss, DefaultAlphaGrid(), 1e-5);
+    std::printf("%-14.0f %-16.4f %-18.4f\n", variance, skellam_eps,
+                gauss_eps);
+  }
+
+  // ---- (b) closure under summation across n clients.
+  std::printf(
+      "\n(b) empirical TV distance between [sum of n noise shares] and "
+      "[the target distribution], %zu trials:\n",
+      trials);
+  std::printf("%-10s %-10s %-26s %-26s\n", "Var", "n clients",
+              "Skellam: sum vs Sk(mu)", "DGauss: sum vs N_Z(sigma^2)");
+  bench::PrintRule();
+  Rng rng(17);
+  for (double variance : {1.0, 4.0, 25.0}) {
+    for (size_t n : {4u, 16u}) {
+      const double mu = variance / 2.0;
+      const SkellamSampler sk_share(mu / static_cast<double>(n));
+      const SkellamSampler sk_direct(mu);
+      const double sigma = std::sqrt(variance);
+      const DiscreteGaussianSampler dg_share(
+          sigma / std::sqrt(static_cast<double>(n)));
+      const DiscreteGaussianSampler dg_direct(sigma);
+
+      std::vector<int64_t> sk_sum(trials), sk_one(trials), dg_sum(trials),
+          dg_one(trials);
+      for (size_t i = 0; i < trials; ++i) {
+        int64_t s = 0;
+        int64_t g = 0;
+        for (size_t j = 0; j < n; ++j) {
+          s += sk_share.Sample(rng);
+          g += dg_share.Sample(rng);
+        }
+        sk_sum[i] = s;
+        dg_sum[i] = g;
+        sk_one[i] = sk_direct.Sample(rng);
+        dg_one[i] = dg_direct.Sample(rng);
+      }
+      std::printf("%-10.0f %-10zu %-26.4f %-26.4f\n", variance, n,
+                  EmpiricalTv(sk_sum, sk_one), EmpiricalTv(dg_sum, dg_one));
+    }
+  }
+
+  std::printf(
+      "\nReading: (a) the two noises cost the same epsilon once the "
+      "variance is moderately large; (b) the Skellam column is pure "
+      "sampling error (closure is exact) while the discrete-Gaussian "
+      "column shows a real distributional gap that grows as the variance "
+      "shrinks — the reason SQM's distributed noise is Skellam.\n");
+  return 0;
+}

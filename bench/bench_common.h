@@ -1,0 +1,74 @@
+#ifndef SQM_BENCH_BENCH_COMMON_H_
+#define SQM_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the reproduction benches. Every bench binary accepts
+//   --scale=small   (default) reduced sizes so the full suite finishes on
+//                   one core in minutes; preserves the paper's qualitative
+//                   shape (who wins, by roughly what factor, crossovers).
+//   --scale=paper   the paper's parameter grid (can take hours).
+//   --reps=N        overrides the number of repetitions per configuration.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+#include "math/stats.h"
+
+namespace sqm {
+namespace bench {
+
+struct BenchConfig {
+  bool paper_scale = false;
+  int reps = 0;  // 0 = bench-specific default.
+};
+
+inline BenchConfig ParseArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale=paper") == 0) {
+      config.paper_scale = true;
+    } else if (std::strcmp(argv[i], "--scale=small") == 0) {
+      config.paper_scale = false;
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      config.reps = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      // Ignore google-benchmark flags when sharing a command line.
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (supported: --scale=small|paper, "
+                   "--reps=N)\n",
+                   argv[i]);
+    }
+  }
+  // Keep bench output clean.
+  Logger::SetLevel(LogLevel::kError);
+  return config;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+/// Mean +- stddev over repeated runs.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+inline Summary Summarize(const std::vector<double>& values) {
+  return {Mean(values), StdDev(values)};
+}
+
+}  // namespace bench
+}  // namespace sqm
+
+#endif  // SQM_BENCH_BENCH_COMMON_H_

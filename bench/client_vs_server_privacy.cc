@@ -1,0 +1,59 @@
+// Section V-C ("On data partitioning") quantified: the server-observed
+// guarantee of SQM is independent of how many clients the columns are
+// split across, while the client-observed guarantee carries the factor
+// P/(P-1) (each client knows its own Sk(mu/P) share) plus the doubled
+// replace-one sensitivity — and converges to a fixed gap as P grows.
+// This is the asymmetry Table III's threat-model comparison turns on.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/sensitivity.h"
+#include "dp/rdp.h"
+#include "dp/skellam.h"
+
+int main(int argc, char** argv) {
+  using namespace sqm;
+  (void)bench::ParseArgs(argc, argv);
+
+  bench::PrintHeader(
+      "Client- vs server-observed privacy vs number of clients P",
+      "PCA release, gamma=4096, n=64 attributes, mu calibrated for "
+      "server eps=1, delta=1e-5");
+
+  const double gamma = 4096.0;
+  const size_t n = 64;
+  const double delta = 1e-5;
+  const SensitivityBound sens = PcaSensitivity(gamma, 1.0, n);
+  const double mu =
+      CalibrateSkellamMuSingleRelease(1.0, delta, sens.l1, sens.l2)
+          .ValueOrDie();
+
+  const auto server_curve = [&](double alpha) {
+    return SkellamRdpServer(alpha, sens.l1, sens.l2, mu);
+  };
+  const double server_eps =
+      BestEpsilonFromCurve(server_curve, DefaultAlphaGrid(), delta);
+
+  std::printf("%-10s %-16s %-16s %-14s\n", "clients P", "server eps",
+              "client eps", "ratio");
+  bench::PrintRule();
+  for (size_t clients : {2u, 4u, 8u, 16u, 64u, 256u, 1024u}) {
+    const auto client_curve = [&](double alpha) {
+      return SkellamRdpClient(alpha, sens.l1, sens.l2, mu, clients);
+    };
+    const double client_eps =
+        BestEpsilonFromCurve(client_curve, DefaultAlphaGrid(), delta);
+    std::printf("%-10zu %-16.4f %-16.4f %-14.4f\n", clients, server_eps,
+                client_eps, client_eps / server_eps);
+  }
+
+  std::printf(
+      "\nReading: the server column is flat — partitioning does not "
+      "change the aggregate noise Sk(mu). The client column shrinks as "
+      "P grows (the P/(P-1) known-share factor vanishes) but converges "
+      "to a fixed multiple of the server epsilon driven by the doubled "
+      "replace-one sensitivity (cf. paper Section V-C and the tau_client "
+      "formulas of Lemmas 3-5).\n");
+  return 0;
+}

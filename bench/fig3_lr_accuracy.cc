@@ -1,0 +1,124 @@
+// Figure 3 reproduction: logistic-regression test accuracy versus epsilon
+// on four ACSIncome-style state profiles, comparing
+//   - Centralized : DPSGD with exact sigmoid [54],
+//   - SQM(2^13)   : the paper's mechanism at fine quantization,
+//   - SQM(2^10)   : coarser quantization,
+//   - VFL-LocalDP : the Algorithm-4 baseline (perturb data, train to
+//                   convergence).
+// Expected shape (paper): SQM(2^13) ~ Centralized for eps >= 1; SQM(2^10)
+// slightly below; both far above the local-DP baseline.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "vfl/dataset.h"
+#include "vfl/logistic.h"
+#include "vfl/synthetic.h"
+
+namespace sqm {
+namespace {
+
+/// Rounds per epsilon, standing in for the paper's "2, 5, 8, 10, 10
+/// epochs" schedule (one round = one Poisson batch).
+size_t RoundsForEpsilon(double eps, bool paper_scale) {
+  const size_t unit = paper_scale ? 200 : 8;
+  if (eps <= 0.5) return 2 * unit;
+  if (eps <= 1.0) return 5 * unit;
+  if (eps <= 2.0) return 8 * unit;
+  return 10 * unit;
+}
+
+}  // namespace
+}  // namespace sqm
+
+int main(int argc, char** argv) {
+  using namespace sqm;
+  const bench::BenchConfig config = bench::ParseArgs(argc, argv);
+  const int reps = config.reps > 0 ? config.reps
+                                   : (config.paper_scale ? 20 : 3);
+
+  bench::PrintHeader(
+      "Figure 3: LR test accuracy vs epsilon (ACSIncome-style states)",
+      config.paper_scale ? "scale=paper" : "scale=small (use --scale=paper "
+                                           "for the full grid)");
+
+  const std::vector<double> epsilons{0.5, 1, 2, 4, 8};
+  const std::vector<std::string> states{"CA", "TX", "NY", "FL"};
+  const double data_scale = config.paper_scale ? 1.0 : 0.04;
+  const double q = config.paper_scale ? 0.001 : 0.05;
+
+  for (const std::string& state : states) {
+    const VflDataset full = MakeAcsIncomeLrLike(state, data_scale);
+    const TrainTestSplit split = SplitTrainTest(full, 0.5, 7).ValueOrDie();
+    // The paper trains on a 10% subsample of each state's ~100k records;
+    // at small scale the split is already that size, so keep all of it
+    // (a 1/10 subsample of 2k records would starve every method).
+    const VflDataset train =
+        config.paper_scale
+            ? SubsampleRecords(split.train, split.train.num_records() / 10,
+                               3)
+                  .ValueOrDie()
+            : split.train;
+
+    std::printf("\nState %s: m_train=%zu d=%zu q=%g (delta=1e-5)\n",
+                state.c_str(), train.num_records(), train.num_features(),
+                q);
+    std::printf("%-12s", "method");
+    for (double eps : epsilons) std::printf("  eps=%-6.3g", eps);
+    std::printf("\n");
+    bench::PrintRule();
+
+    auto sweep = [&](const std::string& name,
+                     const std::function<double(const LogisticOptions&)>&
+                         run) {
+      std::printf("%-12s", name.c_str());
+      for (double eps : epsilons) {
+        std::vector<double> accs;
+        for (int r = 0; r < reps; ++r) {
+          LogisticOptions options;
+          options.epsilon = eps;
+          options.sample_rate = q;
+          options.rounds = RoundsForEpsilon(eps, config.paper_scale);
+          options.learning_rate = 2.0;
+          options.seed = 100 + 31 * r;
+          accs.push_back(run(options));
+        }
+        std::printf("  %-10.4f", bench::Summarize(accs).mean);
+      }
+      std::printf("\n");
+    };
+
+    sweep("Centralized", [&](const LogisticOptions& options) {
+      return TrainDpSgd(train, split.test, options)
+          .ValueOrDie()
+          .test_accuracy;
+    });
+    sweep("SQM 2^13", [&](const LogisticOptions& base) {
+      LogisticOptions options = base;
+      options.gamma = 8192.0;
+      return TrainSqmLogistic(train, split.test, options)
+          .ValueOrDie()
+          .test_accuracy;
+    });
+    sweep("SQM 2^10", [&](const LogisticOptions& base) {
+      LogisticOptions options = base;
+      options.gamma = 1024.0;
+      return TrainSqmLogistic(train, split.test, options)
+          .ValueOrDie()
+          .test_accuracy;
+    });
+    sweep("VFL-LocalDP", [&](const LogisticOptions& options) {
+      return TrainLocalDpLogistic(train, split.test, options)
+          .ValueOrDie()
+          .test_accuracy;
+    });
+  }
+
+  std::printf(
+      "\nReading: SQM 2^13 should track Centralized within a few points "
+      "for eps >= 1, SQM 2^10 slightly below, and VFL-LocalDP far below "
+      "(cf. paper Figure 3).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 4 reproduction: effect of the scaling parameter gamma on
+//  (a) the L2 sensitivity overhead of quantized LR,
+//        sqrt((3/4)^2 + 9d/gamma + 36/gamma^2) - 3/4   (d = 800),
+//  (b) the normalized std of the calibrated Skellam noise relative to the
+//      centralized DPSGD Gaussian at the same (eps, delta, q, rounds).
+// Both must decay to ~0 as gamma grows (log-scale y in the paper).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/sensitivity.h"
+#include "dp/gaussian.h"
+#include "dp/skellam.h"
+
+int main(int argc, char** argv) {
+  using namespace sqm;
+  const bench::BenchConfig config = bench::ParseArgs(argc, argv);
+
+  bench::PrintHeader(
+      "Figure 4: sensitivity & noise overhead of SQM-LR vs gamma",
+      "analytic reproduction (d=800, eps=1, delta=1e-5, q=0.001, 5 "
+      "epochs-worth of rounds)");
+
+  const size_t d = 800;
+  const double eps = 1.0;
+  const double delta = 1e-5;
+  const double q = 0.001;
+  // The paper runs 5 epochs at q = 0.001; one epoch ~ 1/q rounds would be
+  // 5000 — we follow the proportionality with the same constant for both
+  // mechanisms, which is what the *ratio* plotted in Figure 4 measures.
+  const size_t rounds = config.paper_scale ? 5000 : 500;
+
+  // Centralized reference: DPSGD noise multiplier for the same schedule,
+  // normalized per unit sensitivity.
+  const double z_central =
+      CalibrateDpSgdNoise(eps, delta, q, rounds).ValueOrDie();
+
+  std::printf("%-10s %-22s %-22s %-20s\n", "gamma", "sensitivity overhead",
+              "normalized noise std", "noise overhead vs central");
+  bench::PrintRule();
+  for (double gamma : {64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0}) {
+    const double sens_overhead = LogisticSensitivityOverhead(gamma, d);
+
+    // Calibrate mu for the quantized release and normalize the injected
+    // noise std back to the data scale (divide by gamma^3, the LR output
+    // scale).
+    const SensitivityBound sens = LogisticGradientSensitivity(gamma, d);
+    const double mu =
+        CalibrateSkellamMuSubsampled(eps, delta, sens.l1, sens.l2, q,
+                                     rounds)
+            .ValueOrDie();
+    const double normalized_std =
+        std::sqrt(2.0 * mu) / (gamma * gamma * gamma);
+    // Central DPSGD injects std z * C with C = 1 per round; Approx-poly
+    // sensitivity is 3/4, so the matched-likeness reference is z * 3/4.
+    const double reference = z_central * 0.75;
+    std::printf("%-10.0f %-22.6g %-22.6g %-20.6g\n", gamma, sens_overhead,
+                normalized_std, normalized_std / reference - 1.0);
+  }
+
+  std::printf(
+      "\nReading: both the sensitivity overhead and the noise overhead "
+      "relative to the centralized Gaussian decay towards 0 as gamma "
+      "grows (cf. paper Figure 4; note the paper plots log-scale y).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 5 reproduction: the gap between centralized DPSGD (exact sigmoid,
+// clipped per-record gradients) and Approx-Poly (order-1 Taylor polynomial
+// gradient with continuous Gaussian noise, no quantization) is negligible —
+// the paper reports it "constantly smaller than 0.05". This isolates the
+// cost of the polynomial approximation from the cost of quantization.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "vfl/dataset.h"
+#include "vfl/logistic.h"
+#include "vfl/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace sqm;
+  const bench::BenchConfig config = bench::ParseArgs(argc, argv);
+  const int reps = config.reps > 0 ? config.reps
+                                   : (config.paper_scale ? 20 : 3);
+
+  bench::PrintHeader(
+      "Figure 5: Centralized DPSGD vs Approx-Poly (polynomial gradient)",
+      "gap must stay below ~0.05 at every epsilon");
+
+  const std::vector<double> epsilons{0.5, 1, 2, 4, 8};
+  const std::vector<std::string> states{"CA", "TX", "NY", "FL"};
+  const double data_scale = config.paper_scale ? 1.0 : 0.04;
+
+  double worst_gap = 0.0;
+  for (const std::string& state : states) {
+    const VflDataset full = MakeAcsIncomeLrLike(state, data_scale);
+    const TrainTestSplit split = SplitTrainTest(full, 0.5, 7).ValueOrDie();
+
+    std::printf("\nState %s: m=%zu d=%zu\n", state.c_str(),
+                split.train.num_records(), split.train.num_features());
+    std::printf("%-12s", "method");
+    for (double eps : epsilons) std::printf("  eps=%-6.3g", eps);
+    std::printf("\n");
+    bench::PrintRule();
+
+    std::vector<double> central_acc, approx_acc;
+    for (double eps : epsilons) {
+      std::vector<double> c_runs, a_runs;
+      for (int r = 0; r < reps; ++r) {
+        LogisticOptions options;
+        options.epsilon = eps;
+        options.sample_rate = config.paper_scale ? 0.001 : 0.05;
+        options.rounds = config.paper_scale ? 1000 : 50;
+        options.learning_rate = 2.0;
+        options.seed = 400 + 13 * r;
+        c_runs.push_back(TrainDpSgd(split.train, split.test, options)
+                             .ValueOrDie()
+                             .test_accuracy);
+        a_runs.push_back(TrainApproxPoly(split.train, split.test, options)
+                             .ValueOrDie()
+                             .test_accuracy);
+      }
+      central_acc.push_back(bench::Summarize(c_runs).mean);
+      approx_acc.push_back(bench::Summarize(a_runs).mean);
+    }
+
+    std::printf("%-12s", "Centralized");
+    for (double a : central_acc) std::printf("  %-10.4f", a);
+    std::printf("\n%-12s", "Approx-Poly");
+    for (double a : approx_acc) std::printf("  %-10.4f", a);
+    std::printf("\n%-12s", "gap");
+    for (size_t i = 0; i < epsilons.size(); ++i) {
+      const double gap = central_acc[i] - approx_acc[i];
+      worst_gap = std::max(worst_gap, std::fabs(gap));
+      std::printf("  %-10.4f", gap);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nWorst |gap| across all states and epsilons: %.4f "
+              "(paper: < 0.05)\n",
+              worst_gap);
+  return 0;
+}

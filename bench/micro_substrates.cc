@@ -1,0 +1,174 @@
+// Google-benchmark microbenchmarks for the substrates: field arithmetic,
+// Shamir sharing, samplers, quantization, BGW multiplication throughput,
+// and the eigensolvers. These bound the constants behind Table I's
+// asymptotic complexities.
+
+#include <benchmark/benchmark.h>
+
+#include "core/quantize.h"
+#include "math/eigen.h"
+#include "math/linalg.h"
+#include "mpc/field.h"
+#include "mpc/protocol.h"
+#include "sampling/gaussian_sampler.h"
+#include "sampling/poisson.h"
+#include "sampling/rng.h"
+#include "sampling/skellam_sampler.h"
+
+namespace sqm {
+namespace {
+
+void BM_FieldMul(benchmark::State& state) {
+  Rng rng(1);
+  const Field::Element a = rng.NextBounded(Field::kModulus);
+  Field::Element b = rng.NextBounded(Field::kModulus);
+  for (auto _ : state) {
+    b = Field::Mul(a, b);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+void BM_FieldInv(benchmark::State& state) {
+  Rng rng(2);
+  Field::Element a = 1 + rng.NextBounded(Field::kModulus - 1);
+  for (auto _ : state) {
+    a = Field::Inv(a | 1);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldInv);
+
+void BM_ShamirShare(benchmark::State& state) {
+  const size_t parties = state.range(0);
+  ShamirScheme scheme(parties, (parties - 1) / 2);
+  Rng rng(3);
+  for (auto _ : state) {
+    auto shares = scheme.Share(12345, rng);
+    benchmark::DoNotOptimize(shares);
+  }
+}
+BENCHMARK(BM_ShamirShare)->Arg(4)->Arg(10)->Arg(20);
+
+void BM_ShamirReconstruct(benchmark::State& state) {
+  const size_t parties = state.range(0);
+  ShamirScheme scheme(parties, (parties - 1) / 2);
+  Rng rng(4);
+  const auto shares = scheme.Share(12345, rng);
+  for (auto _ : state) {
+    auto secret = scheme.Reconstruct(shares);
+    benchmark::DoNotOptimize(secret);
+  }
+}
+BENCHMARK(BM_ShamirReconstruct)->Arg(4)->Arg(10)->Arg(20);
+
+void BM_PoissonSmallMu(benchmark::State& state) {
+  PoissonSampler sampler(2.0);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_PoissonSmallMu);
+
+void BM_PoissonLargeMu(benchmark::State& state) {
+  PoissonSampler sampler(1e6);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_PoissonLargeMu);
+
+void BM_SkellamSample(benchmark::State& state) {
+  SkellamSampler sampler(static_cast<double>(state.range(0)));
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_SkellamSample)->Arg(100)->Arg(1000000);
+
+void BM_GaussianSample(benchmark::State& state) {
+  GaussianSampler sampler(1.0);
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_GaussianSample);
+
+void BM_StochasticRound(benchmark::State& state) {
+  Rng rng(9);
+  double v = 0.123456;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StochasticRound(v, 8192.0, rng));
+    v += 1e-9;
+  }
+}
+BENCHMARK(BM_StochasticRound);
+
+void BM_BgwMulBatch(benchmark::State& state) {
+  const size_t parties = 4;
+  const size_t batch = state.range(0);
+  SimulatedNetwork network(parties, 0.0);
+  BgwProtocol protocol(ShamirScheme(parties, 1), &network, 10);
+  std::vector<Field::Element> values(batch, 7);
+  const SharedVector a = protocol.ShareFromParty(0, values);
+  const SharedVector b = protocol.ShareFromParty(1, values);
+  for (auto _ : state) {
+    auto product = protocol.Mul(a, b);
+    benchmark::DoNotOptimize(product);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BgwMulBatch)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Gram(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Matrix x(256, n);
+  Rng rng(11);
+  for (auto& v : x.data()) v = rng.NextDouble();
+  for (auto _ : state) {
+    auto gram = Gram(x);
+    benchmark::DoNotOptimize(gram);
+  }
+}
+BENCHMARK(BM_Gram)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Matrix a(n, n);
+  Rng rng(12);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = rng.NextDouble() - 0.5;
+    }
+  }
+  for (auto _ : state) {
+    auto eig = JacobiEigenSymmetric(a);
+    benchmark::DoNotOptimize(eig);
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(8)->Arg(32);
+
+void BM_TopKEigenvectors(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Matrix a(n, n);
+  Rng rng(13);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = rng.NextDouble() - 0.5;
+    }
+  }
+  for (auto _ : state) {
+    auto v = TopKEigenvectors(a, 5);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_TopKEigenvectors)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace sqm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Example: differentially private logistic regression over vertically
+// partitioned data (the paper's Section V-B). One client per feature
+// column plus a label client; each training round evaluates the
+// polynomial-approximated gradient sum with SQM.
+//
+//   ./build/examples/private_logistic_regression [path/to/data.csv]
+//
+// The optional CSV must have a header and its *last* column must be the
+// 0/1 label.
+
+#include <cstdio>
+
+#include "vfl/csv.h"
+#include "vfl/dataset.h"
+#include "vfl/logistic.h"
+#include "vfl/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace sqm;
+
+  VflDataset data;
+  if (argc > 1) {
+    CsvOptions csv;
+    // Peek the width by loading unlabelled first is wasteful; instead
+    // require the label in the last column and load in two steps.
+    auto probe = LoadCsvDataset(argv[1]);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", argv[1],
+                   probe.status().ToString().c_str());
+      return 1;
+    }
+    csv.label_column =
+        static_cast<int>(probe.ValueOrDie().num_features()) - 1;
+    data = LoadCsvDataset(argv[1], csv).ValueOrDie();
+  } else {
+    data = MakeAcsIncomeLrLike("CA", /*scale=*/0.03);
+  }
+
+  const TrainTestSplit split = SplitTrainTest(data, 0.7, 5).ValueOrDie();
+  std::printf("Dataset %s: %zu train / %zu test records, %zu features\n",
+              data.name.c_str(), split.train.num_records(),
+              split.test.num_records(), split.train.num_features());
+
+  LogisticOptions options;
+  options.epsilon = 2.0;
+  options.delta = 1e-5;
+  options.sample_rate = 0.05;
+  options.rounds = 60;
+  options.learning_rate = 2.0;
+  options.gamma = 8192.0;
+
+  const LogisticResult non_private =
+      TrainNonPrivateLogistic(split.train, split.test, options)
+          .ValueOrDie();
+  const LogisticResult central =
+      TrainDpSgd(split.train, split.test, options).ValueOrDie();
+  const LogisticResult sqm_result =
+      TrainSqmLogistic(split.train, split.test, options).ValueOrDie();
+  const LogisticResult local =
+      TrainLocalDpLogistic(split.train, split.test, options).ValueOrDie();
+
+  std::printf("\nTest accuracy at (eps=%.2g, delta=%.0e), %zu rounds of "
+              "Poisson-sampled SGD (q=%.3g):\n",
+              options.epsilon, options.delta, options.rounds,
+              options.sample_rate);
+  std::printf("  %-28s %7.4f  (ceiling)\n", "Non-private SGD",
+              non_private.test_accuracy);
+  std::printf("  %-28s %7.4f  (noise std=%.3g)\n", "Central DPSGD",
+              central.test_accuracy, central.sigma);
+  std::printf("  %-28s %7.4f  (mu=%.3g, gamma=%g)\n",
+              "SQM (this paper, VFL)", sqm_result.test_accuracy,
+              sqm_result.mu, options.gamma);
+  std::printf("  %-28s %7.4f  (sigma=%.3g)\n", "Local-DP baseline",
+              local.test_accuracy, local.sigma);
+
+  std::printf("\nEach SQM round: every client quantizes its column of the "
+              "sampled batch (gamma=%g), samples a Skellam noise share, "
+              "and the clients evaluate Eq. 9's degree-2 gradient "
+              "polynomial jointly; the server only ever sees the noisy "
+              "de-scaled gradient sum.\n",
+              options.gamma);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Example: differentially private PCA over vertically partitioned data
+// (the paper's Section V-A), comparing the four mechanisms the library
+// ships on one dataset.
+//
+//   ./build/examples/private_pca [path/to/data.csv]
+//
+// Without an argument the example generates a KDDCUP-shaped synthetic
+// dataset; with one it loads a numeric CSV (header row, no label column)
+// so the paper's real datasets can be dropped in.
+
+#include <cstdio>
+
+#include "vfl/csv.h"
+#include "vfl/pca.h"
+#include "vfl/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace sqm;
+
+  VflDataset data;
+  if (argc > 1) {
+    auto loaded = LoadCsvDataset(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", argv[1],
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    data = std::move(loaded).ValueOrDie();
+  } else {
+    data = MakeKddCupLike(/*scale=*/0.005);
+  }
+  std::printf("Dataset %s: %zu records x %zu attributes\n",
+              data.name.c_str(), data.num_records(), data.num_features());
+
+  PcaOptions options;
+  options.k = 5;
+  options.epsilon = 2.0;
+  options.delta = 1e-5;
+  options.gamma = 8192.0;
+
+  const PcaResult exact =
+      NonPrivatePca(data.features, options.k).ValueOrDie();
+  const PcaResult central = CentralDpPca(data.features, options).ValueOrDie();
+  const PcaResult sqm_result = SqmPca(data.features, options).ValueOrDie();
+  const PcaResult local = LocalDpPca(data.features, options).ValueOrDie();
+
+  std::printf("\nUtility ||X V||_F^2 of the rank-%zu subspace at "
+              "(eps=%.2g, delta=%.0e):\n",
+              options.k, options.epsilon, options.delta);
+  std::printf("  %-28s %10.4f  (ceiling)\n", "Non-private PCA",
+              exact.utility);
+  std::printf("  %-28s %10.4f  (sigma=%.3g)\n",
+              "Central DP (Analyze-Gauss)", central.utility, central.sigma);
+  std::printf("  %-28s %10.4f  (mu=%.3g, gamma=%g)\n",
+              "SQM (this paper, VFL)", sqm_result.utility, sqm_result.mu,
+              options.gamma);
+  std::printf("  %-28s %10.4f  (sigma=%.3g)\n", "Local-DP baseline",
+              local.utility, local.sigma);
+
+  std::printf("\nSQM timing: quantize %.4fs, noise %.4fs, compute %.4fs\n",
+              sqm_result.timing.quantize_seconds,
+              sqm_result.timing.noise_sampling_seconds,
+              sqm_result.timing.mpc_compute_seconds);
+  std::printf("\nTakeaway: SQM should land within a few percent of the "
+              "central mechanism while the local-DP baseline trails far "
+              "behind — without any trusted party.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "core/baseline.h"
+
+#include "core/logging.h"
+#include "dp/gaussian.h"
+#include "sampling/gaussian_sampler.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+
+Matrix PerturbDatabaseLocally(const Matrix& x, double sigma, uint64_t seed) {
+  SQM_CHECK(sigma >= 0.0);
+  Matrix noisy = x;
+  Rng root(seed);
+  for (size_t j = 0; j < x.cols(); ++j) {
+    // One independent stream per client, as each client perturbs locally.
+    Rng client_rng = root.Split(j);
+    GaussianSampler sampler(sigma);
+    for (size_t i = 0; i < x.rows(); ++i) {
+      noisy(i, j) += sampler.Sample(client_rng);
+    }
+  }
+  return noisy;
+}
+
+double LocalDpBaselineRdpServer(double alpha, double record_norm_bound,
+                                double sigma) {
+  return GaussianRdp(alpha, record_norm_bound, sigma);
+}
+
+double LocalDpBaselineRdpClient(double alpha, double record_norm_bound,
+                                double sigma) {
+  return GaussianRdp(alpha, 2.0 * record_norm_bound, sigma);
+}
+
+Result<double> CalibrateLocalDpSigma(double epsilon, double delta,
+                                     double record_norm_bound) {
+  return CalibrateGaussianSigma(epsilon, delta, record_norm_bound);
+}
+
+}  // namespace sqm

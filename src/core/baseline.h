@@ -1,0 +1,39 @@
+#ifndef SQM_CORE_BASELINE_H_
+#define SQM_CORE_BASELINE_H_
+
+#include <cstdint>
+
+#include "core/status.h"
+#include "math/matrix.h"
+
+namespace sqm {
+
+/// The local-DP VFL baseline (Algorithm 4 / Appendix C): each client
+/// perturbs its raw column with Gaussian noise and ships it to the server,
+/// which reconstructs the noisy database and runs any analysis on it
+/// (post-processing). Applies to arbitrary tasks but pays per-entry noise,
+/// which is why it trails SQM badly in Figures 2 and 3.
+
+/// Returns X + N(0, sigma^2) entry-wise, each column perturbed with its own
+/// client-seeded stream.
+Matrix PerturbDatabaseLocally(const Matrix& x, double sigma, uint64_t seed);
+
+/// Lemma 12 accounting: server-observed RDP of Algorithm 4 is
+/// tau_server(alpha) = alpha c^2 / (2 sigma^2) where c bounds each record's
+/// L2 norm (add/remove neighboring releases one extra noisy record).
+double LocalDpBaselineRdpServer(double alpha, double record_norm_bound,
+                                double sigma);
+
+/// Client-observed RDP: the sensitivity doubles (replace-one neighboring),
+/// giving tau_client(alpha) = 2 alpha c^2 / sigma^2.
+double LocalDpBaselineRdpClient(double alpha, double record_norm_bound,
+                                double sigma);
+
+/// Smallest sigma giving (epsilon, delta) server-observed DP for the
+/// baseline (analytic Gaussian calibration with sensitivity c).
+Result<double> CalibrateLocalDpSigma(double epsilon, double delta,
+                                     double record_norm_bound);
+
+}  // namespace sqm
+
+#endif  // SQM_CORE_BASELINE_H_

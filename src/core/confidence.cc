@@ -1,0 +1,37 @@
+#include "core/confidence.h"
+
+#include <cmath>
+
+namespace sqm {
+
+double SkellamTailRadius(double mu, double beta) {
+  if (mu <= 0.0) return 0.0;
+  // Invert 2 exp(-t^2 / (2 (2 mu + t))) <= beta:
+  //   t^2 - 2 L t - 4 mu L >= 0  with  L = ln(2 / beta),
+  // whose positive root is L + sqrt(L^2 + 4 mu L).
+  const double l = std::log(2.0 / beta);
+  return l + std::sqrt(l * l + 4.0 * mu * l);
+}
+
+Result<ReleaseInterval> SkellamReleaseInterval(double estimate, double mu,
+                                               double output_scale,
+                                               double confidence) {
+  if (mu < 0.0) {
+    return Status::InvalidArgument("mu must be >= 0");
+  }
+  if (output_scale <= 0.0) {
+    return Status::InvalidArgument("output_scale must be positive");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  const double radius =
+      SkellamTailRadius(mu, 1.0 - confidence) / output_scale;
+  ReleaseInterval interval;
+  interval.lower = estimate - radius;
+  interval.upper = estimate + radius;
+  interval.noise_std = std::sqrt(2.0 * mu) / output_scale;
+  return interval;
+}
+
+}  // namespace sqm

@@ -1,0 +1,43 @@
+#ifndef SQM_CORE_CONFIDENCE_H_
+#define SQM_CORE_CONFIDENCE_H_
+
+#include <cstdint>
+
+#include "core/status.h"
+
+namespace sqm {
+
+/// Error bars for SQM releases.
+///
+/// A downstream consumer of a release tilde-y sees signal + noise, with
+/// the noise fully characterized: Sk(mu) scaled by gamma^{-(lambda+1)}
+/// (or gamma^{-lambda} when coefficients are not pre-processed), plus a
+/// deterministic quantization residual bounded by the Lemma-2 envelope.
+/// These helpers turn (mu, gamma, lambda) into a two-sided confidence
+/// interval — the honest way to report a DP statistic.
+struct ReleaseInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double noise_std = 0.0;  ///< Std of the de-scaled Skellam noise.
+};
+
+/// Two-sided interval around `estimate` containing the true de-scaled
+/// noisy signal with probability >= confidence (over the Skellam draw).
+/// Uses the sub-exponential tail bound of Sk(mu)
+///     P(|Z| >= t) <= 2 exp(-t^2 / (2 (2 mu + t)))
+/// inverted for t, which is within a small constant of the Gaussian
+/// quantile for large mu and remains valid for small mu.
+///
+/// `output_scale` is gamma^{lambda+1} (Algorithm 3) or gamma^lambda (PCA
+/// convention); `confidence` in (0, 1).
+Result<ReleaseInterval> SkellamReleaseInterval(double estimate, double mu,
+                                               double output_scale,
+                                               double confidence = 0.95);
+
+/// The tail radius t such that P(|Sk(mu)| >= t) <= beta, from the
+/// sub-exponential bound above (in un-scaled integer units).
+double SkellamTailRadius(double mu, double beta);
+
+}  // namespace sqm
+
+#endif  // SQM_CORE_CONFIDENCE_H_

@@ -1,0 +1,46 @@
+#include "core/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace sqm {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::GetLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) >=
+      g_level.load(std::memory_order_relaxed)) {
+    std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+  }
+  if (level == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace sqm

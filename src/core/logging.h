@@ -1,0 +1,74 @@
+#ifndef SQM_CORE_LOGGING_H_
+#define SQM_CORE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sqm {
+
+/// Severity levels for the library logger, lowest to highest.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Minimal thread-compatible logger. Messages at or above the global
+/// threshold go to stderr; kFatal additionally aborts. Benchmarks and tests
+/// raise the threshold to keep output clean.
+class Logger {
+ public:
+  /// Sets the global minimum severity that will be emitted.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// Emits one formatted line ("[LEVEL] message"). Aborts on kFatal.
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// Stream-style accumulator used by the SQM_LOG macro; flushes on
+/// destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Usage: SQM_LOG(kInfo) << "epoch " << e << " done";
+#define SQM_LOG(severity) \
+  ::sqm::internal::LogMessage(::sqm::LogLevel::severity)
+
+/// Precondition check that survives release builds. Aborts with the
+/// condition text on failure; use for programmer errors, not data errors.
+#define SQM_CHECK(condition)                                            \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::sqm::Logger::Log(::sqm::LogLevel::kFatal,                       \
+                         std::string("Check failed: ") + #condition +  \
+                             " at " + __FILE__ + ":" +                  \
+                             std::to_string(__LINE__));                 \
+    }                                                                   \
+  } while (false)
+
+}  // namespace sqm
+
+#endif  // SQM_CORE_LOGGING_H_

@@ -1,0 +1,160 @@
+#include "core/report_io.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace sqm {
+
+JsonWriter::JsonWriter() { needs_comma_.push_back(false); }
+
+void JsonWriter::MaybeComma() {
+  if (needs_comma_.back()) out_ += ',';
+  needs_comma_.back() = true;
+}
+
+void JsonWriter::Escape(const std::string& raw) {
+  out_ += '"';
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray(const std::string& key) {
+  if (!key.empty()) Key(key);
+  MaybeComma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  MaybeComma();
+  Escape(key);
+  out_ += ':';
+  needs_comma_.back() = false;  // Next Value should not emit a comma.
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  MaybeComma();
+  if (std::isfinite(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf.
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t value) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& value) {
+  MaybeComma();
+  Escape(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string NetworkStatsToJson(const NetworkStats& stats) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Field("messages", stats.messages)
+      .Field("field_elements", stats.field_elements)
+      .Field("bytes", stats.bytes())
+      .Field("rounds", stats.rounds)
+      .EndObject();
+  return writer.str();
+}
+
+std::string SqmReportToJson(const SqmReport& report) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.BeginArray("estimate");
+  for (double v : report.estimate) writer.Value(v);
+  writer.EndArray();
+  writer.BeginArray("raw");
+  for (int64_t v : report.raw) writer.Value(v);
+  writer.EndArray();
+  writer.Key("timing").BeginObject()
+      .Field("quantize_seconds", report.timing.quantize_seconds)
+      .Field("noise_sampling_seconds",
+             report.timing.noise_sampling_seconds)
+      .Field("mpc_compute_seconds", report.timing.mpc_compute_seconds)
+      .Field("simulated_network_seconds",
+             report.timing.simulated_network_seconds)
+      .Field("noise_injection_seconds",
+             report.timing.noise_injection_seconds)
+      .Field("total_seconds", report.timing.TotalSeconds())
+      .EndObject();
+  writer.Key("network").BeginObject()
+      .Field("messages", report.network.messages)
+      .Field("field_elements", report.network.field_elements)
+      .Field("rounds", report.network.rounds)
+      .EndObject();
+  writer.EndObject();
+  return writer.str();
+}
+
+}  // namespace sqm

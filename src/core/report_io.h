@@ -1,0 +1,59 @@
+#ifndef SQM_CORE_REPORT_IO_H_
+#define SQM_CORE_REPORT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/sqm.h"
+
+namespace sqm {
+
+/// Minimal JSON writer used to persist experiment artifacts — release
+/// reports, timing breakdowns, network counters — so downstream analysis
+/// (plotting the reproduced figures, regression-tracking the tables) does
+/// not have to scrape stdout. Writes only; the library has no JSON
+/// consumer.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray(const std::string& key = "");
+  JsonWriter& EndArray();
+
+  JsonWriter& Key(const std::string& key);
+  JsonWriter& Value(double value);
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(const std::string& value);
+  JsonWriter& Value(bool value);
+
+  /// Convenience: Key(key) + Value(value).
+  template <typename T>
+  JsonWriter& Field(const std::string& key, const T& value) {
+    Key(key);
+    return Value(value);
+  }
+
+  /// The accumulated document.
+  std::string str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void Escape(const std::string& raw);
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+};
+
+/// Serializes an SQM release report (estimates, raw integers, timing,
+/// network counters) to a JSON object.
+std::string SqmReportToJson(const SqmReport& report);
+
+/// Serializes network counters alone.
+std::string NetworkStatsToJson(const NetworkStats& stats);
+
+}  // namespace sqm
+
+#endif  // SQM_CORE_REPORT_IO_H_

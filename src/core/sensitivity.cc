@@ -1,0 +1,105 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sqm {
+
+double L1FromL2(double l2, size_t output_dim) {
+  return std::min(l2 * l2,
+                  std::sqrt(static_cast<double>(output_dim)) * l2);
+}
+
+SensitivityBound PcaSensitivity(double gamma, double record_norm_bound,
+                                size_t num_attributes) {
+  SensitivityBound bound;
+  const double c = record_norm_bound;
+  bound.l2 = gamma * gamma * c * c + static_cast<double>(num_attributes);
+  bound.l1 = L1FromL2(bound.l2, num_attributes * num_attributes);
+  return bound;
+}
+
+SensitivityBound LogisticGradientSensitivity(double gamma,
+                                             size_t feature_dim) {
+  SensitivityBound bound;
+  const double d = static_cast<double>(feature_dim);
+  const double g3 = gamma * gamma * gamma;
+  bound.l2 = std::sqrt(0.75 * 0.75 * g3 * g3 +
+                       9.0 * std::pow(gamma, 5.0) * d +
+                       36.0 * std::pow(gamma, 4.0));
+  bound.l1 = L1FromL2(bound.l2, feature_dim);
+  return bound;
+}
+
+SensitivityBound PolynomialSensitivity(const PolynomialVector& f, double gamma,
+                                       double record_norm_bound,
+                                       double max_f_l2) {
+  const double lambda = static_cast<double>(f.Degree());
+  const double d = static_cast<double>(f.output_dim());
+  const double v = static_cast<double>(f.MaxTermsPerDimension());
+  const double c = std::max(record_norm_bound, 1.0);
+
+  // Main term: every monomial is amplified by exactly gamma^{lambda+1}
+  // (data scaling gamma^{lambda_t[l]} times coefficient scaling
+  // gamma^{1+lambda-lambda_t[l]}).
+  const double main = std::pow(gamma, lambda + 1.0) * max_f_l2;
+
+  // Overhead: Lemma 2 gives a per-monomial data-rounding error of at most
+  // 2*lambda*c^{lambda-1}*gamma^{lambda-1} before coefficient scaling; the
+  // coefficient itself carries an extra rounding error of at most 1, which
+  // multiplies the data product bounded by (gamma*c + 1)^{lambda}. Both are
+  // O(gamma^lambda); we take a conservative union over d*v monomials, where
+  // the largest pre-quantization coefficient magnitude also enters.
+  double max_abs_coeff = 0.0;
+  for (const Polynomial& p : f.dims()) {
+    for (const Monomial& term : p.terms()) {
+      max_abs_coeff = std::max(max_abs_coeff, std::fabs(term.coefficient()));
+    }
+  }
+  max_abs_coeff = std::max(max_abs_coeff, 1.0);
+  const double per_monomial =
+      (2.0 * lambda * std::pow(c, std::max(lambda - 1.0, 0.0)) *
+           max_abs_coeff +
+       std::pow(c + 1.0, lambda)) *
+      std::pow(gamma, lambda);
+  const double overhead = d * v * per_monomial;
+
+  SensitivityBound bound;
+  bound.l2 = main + overhead;
+  bound.l1 = L1FromL2(bound.l2, f.output_dim());
+  return bound;
+}
+
+double LogisticSensitivityOverhead(double gamma, size_t feature_dim) {
+  const double d = static_cast<double>(feature_dim);
+  return std::sqrt(0.75 * 0.75 + 9.0 * d / gamma +
+                   36.0 / (gamma * gamma)) -
+         0.75;
+}
+
+double EstimateCapacityBits(size_t num_records, double gamma, uint32_t degree,
+                            double max_f_l2, double mu) {
+  const double signal = static_cast<double>(num_records) *
+                        std::pow(gamma, static_cast<double>(degree) + 1.0) *
+                        std::max(max_f_l2, 1.0);
+  // 12-sigma noise margin: Pr[|Sk(mu)| > 12 sqrt(2 mu)] is negligible.
+  const double noise = 12.0 * std::sqrt(2.0 * std::max(mu, 0.0));
+  return std::log2(signal + noise + 1.0);
+}
+
+Status CheckFieldCapacity(size_t num_records, double gamma, uint32_t degree,
+                          double max_f_l2, double mu) {
+  const double bits =
+      EstimateCapacityBits(num_records, gamma, degree, max_f_l2, mu);
+  if (bits >= 60.0) {
+    return Status::OutOfRange(
+        "SQM release magnitude needs " + std::to_string(bits) +
+        " bits; the 2^61-1 field holds < 60 signed bits. Lower gamma, mu, "
+        "or the record count.");
+  }
+  return Status::OK();
+}
+
+}  // namespace sqm

@@ -1,0 +1,63 @@
+#ifndef SQM_CORE_SENSITIVITY_H_
+#define SQM_CORE_SENSITIVITY_H_
+
+#include <cstddef>
+
+#include "core/status.h"
+#include "poly/polynomial.h"
+
+namespace sqm {
+
+/// L1/L2 sensitivity pair of a quantized release — the inputs to the
+/// Skellam accountant (Lemma 1).
+struct SensitivityBound {
+  double l1 = 0.0;
+  double l2 = 0.0;
+};
+
+/// Helper implementing the paper's generic rule Delta_1 =
+/// min(Delta_2^2, sqrt(d) * Delta_2) (integer-valued outputs; Jensen).
+double L1FromL2(double l2, size_t output_dim);
+
+/// Lemma 5: sensitivity of the quantized covariance release,
+/// Delta_2 = gamma^2 c^2 + n, where c bounds ||x||_2 and n is the number of
+/// attributes (the +n being the quantization overhead that vanishes
+/// relative to gamma^2 c^2 as gamma grows).
+SensitivityBound PcaSensitivity(double gamma, double record_norm_bound,
+                                size_t num_attributes);
+
+/// Lemma 7: sensitivity of one quantized LR gradient-sum release with
+/// feature dimension d (= n - 1) and ||x||_2 <= 1, ||w||_2 <= 1:
+/// Delta_2 = sqrt((3/4 gamma^3)^2 + 9 gamma^5 d + 36 gamma^4).
+SensitivityBound LogisticGradientSensitivity(double gamma,
+                                             size_t feature_dim);
+
+/// Generic bound for an arbitrary quantized polynomial (Lemma 4):
+/// Delta_2 = gamma^{lambda+1} * max_norm + overhead, with the overhead
+/// bounded via Lemma 2's per-monomial O(gamma^{lambda-1}) term scaled by the
+/// per-degree coefficient amplification and summed over d * max_t v_t
+/// monomials. `max_f_l2` must upper-bound max_{||x||_2 <= c} ||f(x)||_2
+/// (task-specific; PCA uses c^2, LR uses 3/4).
+SensitivityBound PolynomialSensitivity(const PolynomialVector& f, double gamma,
+                                       double record_norm_bound,
+                                       double max_f_l2);
+
+/// Relative sensitivity overhead of LR quantization plotted in Figure 4:
+/// sqrt((3/4)^2 + 9 d / gamma + 36 / gamma^2) - 3/4.
+double LogisticSensitivityOverhead(double gamma, size_t feature_dim);
+
+/// Conservative bits-of-magnitude estimate for the value SQM feeds through
+/// the field: log2(m * gamma^{lambda+1} * max_f + noise margin). Used to
+/// refuse parameter combinations that could wrap Z_{2^61-1} (see
+/// mpc/field.h).
+double EstimateCapacityBits(size_t num_records, double gamma, uint32_t degree,
+                            double max_f_l2, double mu);
+
+/// Guard used by the SQM front end: OK when EstimateCapacityBits stays
+/// below the centered field capacity (60 bits), OutOfRange otherwise.
+Status CheckFieldCapacity(size_t num_records, double gamma, uint32_t degree,
+                          double max_f_l2, double mu);
+
+}  // namespace sqm
+
+#endif  // SQM_CORE_SENSITIVITY_H_

@@ -1,0 +1,151 @@
+#ifndef SQM_CORE_SQM_H_
+#define SQM_CORE_SQM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quantize.h"
+#include "core/sensitivity.h"
+#include "core/status.h"
+#include "math/matrix.h"
+#include "mpc/network.h"
+#include "poly/polynomial.h"
+
+namespace sqm {
+
+/// Which engine evaluates the quantized polynomial on shares.
+enum class MpcBackend {
+  /// Real BGW execution over the simulated network (faithful message
+  /// pattern; used for the timing tables II/IV/V and the integration tests).
+  kBgw,
+  /// Functionally identical plaintext evaluation of the same quantized
+  /// integers and noise shares, skipping the cryptography — the mode the
+  /// paper's utility experiments effectively measure (MPC is exact, so the
+  /// utility is unchanged). Orders of magnitude faster for Figure 2/3
+  /// sweeps.
+  kPlaintext,
+};
+
+/// Parameters of one SQM invocation (Algorithms 1 and 3).
+struct SqmOptions {
+  /// Scaling parameter gamma (quantization granularity). Larger gamma means
+  /// finer quantization: both the approximation error and the relative
+  /// sensitivity overhead vanish as gamma grows.
+  double gamma = 256.0;
+
+  /// Total Skellam noise parameter mu; the aggregate injected noise is
+  /// Sk(mu) per output dimension, split as n independent Sk(mu/n) client
+  /// shares. 0 disables noise (used to isolate quantization error).
+  double mu = 0.0;
+
+  /// Number of clients. 0 means one client per attribute/column (the
+  /// paper's default partitioning).
+  size_t num_clients = 0;
+
+  MpcBackend backend = MpcBackend::kPlaintext;
+
+  /// Shamir threshold for BGW; 0 picks the maximum (n-1)/2.
+  size_t bgw_threshold = 0;
+
+  /// Simulated per-round message latency (the paper uses 0.1 s).
+  double network_latency_seconds = 0.0;
+
+  uint64_t seed = 42;
+
+  /// Upper bound on max_{||x||<=c} ||f(x)||_2, used for the field-capacity
+  /// guard. Callers that know their task (PCA: c^2, LR: 3/4) should set it.
+  double max_f_l2 = 1.0;
+
+  /// Algorithm 3 lines 1-3. When false, coefficients are only rounded to
+  /// the nearest integer (no per-degree scaling) and the output scale is
+  /// gamma^lambda instead of gamma^{lambda+1}. The paper's PCA
+  /// instantiation uses this: every coefficient is exactly 1 and every
+  /// monomial has degree 2, so pre-processing would only waste a factor of
+  /// gamma ("we choose not to pre-process the coefficients", Section V-A).
+  /// Only valid when all monomials share one degree and have integer
+  /// coefficients.
+  bool quantize_coefficients = true;
+
+  /// When true, Evaluate refuses parameter combinations whose release could
+  /// exceed the field's centered range (silent wrap would corrupt results
+  /// and void the DP analysis).
+  bool check_capacity = true;
+};
+
+/// Timing breakdown of one SQM invocation, mirroring the columns of
+/// Tables II/IV/V ("overall time" vs "time for noise injection / DP").
+struct SqmTiming {
+  double quantize_seconds = 0.0;
+  double noise_sampling_seconds = 0.0;
+  /// Wall time of the (simulated-party) MPC computation.
+  double mpc_compute_seconds = 0.0;
+  /// Simulated network latency (rounds * per-round latency).
+  double simulated_network_seconds = 0.0;
+  /// Wall time spent aggregating the noise shares inside the protocol —
+  /// the paper's "time for noise injection" column.
+  double noise_injection_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return quantize_seconds + noise_sampling_seconds + mpc_compute_seconds +
+           simulated_network_seconds;
+  }
+};
+
+/// Output of one SQM invocation.
+struct SqmReport {
+  /// The server's estimate tilde-y for sum_x f(x), after down-scaling by
+  /// gamma^{lambda+1}.
+  std::vector<double> estimate;
+  /// Integer outputs y-hat before down-scaling (what the MPC opens).
+  std::vector<int64_t> raw;
+  SqmTiming timing;
+  /// Network counters (zero in plaintext mode).
+  NetworkStats network;
+};
+
+/// The Skellam Quantization Mechanism: evaluates F(X) = sum_x f(x) for a
+/// polynomial f over a vertically partitioned database with distributed
+/// Skellam noise, via quantization + local noise + MPC (Algorithm 3;
+/// Algorithm 1 is the special case of a single monomial dimension).
+///
+/// Complexities under BGW (the paper's Table I; m records, n attributes,
+/// P clients, scale gamma):
+///   PCA  — computation O(mP + n^2 m log m / P + n^2) per client,
+///          communication O(n^2 m P log gamma), time O(n^2 m log m).
+///   LR   — computation O(m(n-1)P + m(n-1) log m / P) per client,
+///          communication O(m(n-1) P log m log gamma),
+///          time O(m(n-1) log m).
+/// The LR row assumes the structured inner-product evaluation
+/// (mpc/ops.h NoisyLogisticGradient); the generic circuit path used by
+/// this evaluator expands the polynomial and costs one extra factor of n
+/// in products (bench/table1_complexity_scaling and
+/// bench/ablation_structured_vs_circuit measure both).
+class SqmEvaluator {
+ public:
+  explicit SqmEvaluator(SqmOptions options);
+
+  /// Runs the full mechanism on database `x` (rows = records, columns =
+  /// attributes; column j belongs to client j when num_clients is 0).
+  Result<SqmReport> Evaluate(const PolynomialVector& f, const Matrix& x);
+
+  const SqmOptions& options() const { return options_; }
+
+ private:
+  Result<SqmReport> EvaluatePlaintext(const QuantizedPolynomial& qf,
+                                      const QuantizedDatabase& db,
+                                      const std::vector<std::vector<int64_t>>&
+                                          noise_per_client,
+                                      double quantize_seconds,
+                                      double noise_seconds);
+  Result<SqmReport> EvaluateBgw(const QuantizedPolynomial& qf,
+                                const QuantizedDatabase& db,
+                                const std::vector<std::vector<int64_t>>&
+                                    noise_per_client,
+                                double quantize_seconds, double noise_seconds);
+
+  SqmOptions options_;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_CORE_SQM_H_

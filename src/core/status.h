@@ -1,0 +1,170 @@
+#ifndef SQM_CORE_STATUS_H_
+#define SQM_CORE_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sqm {
+
+/// Error categories used across the library. Mirrors the small set of
+/// conditions a caller can meaningfully dispatch on.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a malformed or out-of-range value.
+  kOutOfRange = 2,        ///< A computed value left its representable domain.
+  kFailedPrecondition = 3,///< Object not in the state required for the call.
+  kInternal = 4,          ///< Invariant violation inside the library.
+  kNotFound = 5,          ///< A requested entity does not exist.
+  kUnimplemented = 6,     ///< Feature intentionally not supported.
+  kIoError = 7,           ///< Filesystem / parsing failure.
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight success-or-error value, modeled after arrow::Status.
+///
+/// A `Status` is cheap to copy in the success case (no allocation) and holds
+/// a code plus message otherwise. Library functions that can fail return
+/// `Status` (or `Result<T>`); they never throw.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value of type `T` or a failure `Status`, modeled after arrow::Result.
+///
+/// Accessing `ValueOrDie()` on an error aborts the process with the error
+/// message; callers that can recover should test `ok()` first or use
+/// the SQM_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from an error status. `status.ok()` is a
+  /// programming error and is normalized to kInternal.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns OK when holding a value, the stored error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the stored value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Alias matching absl::StatusOr spelling.
+  const T& value() const& { return ValueOrDie(); }
+  T& value() & { return ValueOrDie(); }
+  T&& value() && { return std::move(*this).ValueOrDie(); }
+
+  /// Returns the value or `fallback` when holding an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const;
+
+  std::variant<Status, T> repr_;
+};
+
+namespace internal {
+/// Aborts the process, printing `status`. Out-of-line so Result stays small.
+[[noreturn]] void DieOnError(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!ok()) internal::DieOnError(std::get<Status>(repr_));
+}
+
+/// Propagates an error Status from an expression that yields Status.
+#define SQM_RETURN_NOT_OK(expr)                   \
+  do {                                            \
+    ::sqm::Status _sqm_status = (expr);           \
+    if (!_sqm_status.ok()) return _sqm_status;    \
+  } while (false)
+
+#define SQM_CONCAT_IMPL(x, y) x##y
+#define SQM_CONCAT(x, y) SQM_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression yielding Result<T>; on success binds the value to
+/// `lhs`, on failure returns the error from the enclosing function.
+#define SQM_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto SQM_CONCAT(_sqm_result_, __LINE__) = (rexpr);              \
+  if (!SQM_CONCAT(_sqm_result_, __LINE__).ok())                   \
+    return SQM_CONCAT(_sqm_result_, __LINE__).status();           \
+  lhs = std::move(SQM_CONCAT(_sqm_result_, __LINE__)).ValueOrDie()
+
+}  // namespace sqm
+
+#endif  // SQM_CORE_STATUS_H_

@@ -1,0 +1,79 @@
+#ifndef SQM_DP_ACCOUNTANT_H_
+#define SQM_DP_ACCOUNTANT_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sqm {
+
+/// A privacy event: one mechanism release described by its RDP curve
+/// alpha -> tau(alpha), optionally repeated `count` times (composition) and
+/// optionally amplified by Poisson subsampling at rate q.
+struct PrivacyEvent {
+  std::string label;
+  /// Base RDP curve at integer orders (must be defined for alpha >= 2).
+  std::function<double(double)> rdp;
+  /// Poisson sampling rate; 1.0 = no subsampling.
+  double sampling_rate = 1.0;
+  /// Number of sequential repetitions of this event.
+  size_t count = 1;
+};
+
+/// Composes heterogeneous DP mechanisms under Rényi accounting — the
+/// bookkeeping a deployment needs when SQM releases (PCA one-shot, LR
+/// training loops, baselines) share one privacy budget.
+///
+/// Each tracked event contributes count * amplify(rdp, q)(alpha) at every
+/// order alpha (Lemmas 10 and 11); TotalEpsilon converts the summed curve
+/// to (epsilon, delta) via Lemma 9, optimizing over the integer alpha grid.
+class PrivacyAccountant {
+ public:
+  PrivacyAccountant() = default;
+
+  /// Tracks a Gaussian release with the given L2 sensitivity and noise std.
+  void AddGaussian(const std::string& label, double l2_sensitivity,
+                   double sigma, double sampling_rate = 1.0,
+                   size_t count = 1);
+
+  /// Tracks a Skellam release (Lemma 1) with L1/L2 sensitivities and noise
+  /// parameter mu.
+  void AddSkellam(const std::string& label, double l1_sensitivity,
+                  double l2_sensitivity, double mu,
+                  double sampling_rate = 1.0, size_t count = 1);
+
+  /// Tracks an arbitrary RDP curve.
+  void AddEvent(PrivacyEvent event);
+
+  size_t num_events() const { return events_.size(); }
+  const std::vector<PrivacyEvent>& events() const { return events_; }
+
+  /// Total RDP of everything tracked so far, at integer order alpha >= 2.
+  double TotalRdp(size_t alpha) const;
+
+  /// Total (epsilon, delta) guarantee; delta in (0, 1).
+  Result<double> TotalEpsilon(double delta) const;
+
+  /// Remaining repetitions of `event` that fit a target epsilon: the
+  /// largest k such that the tracked events plus k copies of `event` stay
+  /// within (target_epsilon, delta). Returns 0 when even the tracked
+  /// events exceed the target. Useful for "how many more training rounds
+  /// can I afford" queries.
+  Result<size_t> RemainingRepetitions(const PrivacyEvent& event,
+                                      double target_epsilon,
+                                      double delta,
+                                      size_t max_repetitions = 100000) const;
+
+  /// Drops all tracked events.
+  void Reset();
+
+ private:
+  std::vector<PrivacyEvent> events_;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_DP_ACCOUNTANT_H_

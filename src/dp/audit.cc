@@ -1,0 +1,86 @@
+#include "dp/audit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqm {
+namespace {
+
+/// Pr[sample > threshold] with add-one smoothing so ratios stay finite.
+double TailProbability(const std::vector<double>& sorted, double threshold,
+                       size_t* count_out) {
+  const auto it =
+      std::upper_bound(sorted.begin(), sorted.end(), threshold);
+  const size_t count = static_cast<size_t>(sorted.end() - it);
+  *count_out = count;
+  return (static_cast<double>(count) + 1.0) /
+         (static_cast<double>(sorted.size()) + 2.0);
+}
+
+}  // namespace
+
+Result<AuditResult> AuditEpsilonLowerBound(
+    const std::function<double(uint64_t)>& mechanism_x,
+    const std::function<double(uint64_t)>& mechanism_xp,
+    const AuditOptions& options) {
+  if (mechanism_x == nullptr || mechanism_xp == nullptr) {
+    return Status::InvalidArgument("audit: mechanisms must be callable");
+  }
+  if (options.trials < 100) {
+    return Status::InvalidArgument("audit: need at least 100 trials");
+  }
+  if (options.delta < 0.0 || options.delta >= 1.0) {
+    return Status::InvalidArgument("audit: delta must be in [0, 1)");
+  }
+
+  std::vector<double> samples_x(options.trials);
+  std::vector<double> samples_xp(options.trials);
+  for (size_t t = 0; t < options.trials; ++t) {
+    samples_x[t] = mechanism_x(t);
+    samples_xp[t] = mechanism_xp(t + options.trials);
+  }
+  std::sort(samples_x.begin(), samples_x.end());
+  std::sort(samples_xp.begin(), samples_xp.end());
+
+  // Probe thresholds at pooled quantiles.
+  std::vector<double> pooled = samples_x;
+  pooled.insert(pooled.end(), samples_xp.begin(), samples_xp.end());
+  std::sort(pooled.begin(), pooled.end());
+
+  AuditResult result;
+  for (size_t k = 1; k < options.thresholds; ++k) {
+    const size_t index =
+        k * (pooled.size() - 1) / options.thresholds;
+    const double threshold = pooled[index];
+    size_t count_x = 0;
+    size_t count_xp = 0;
+    const double p = TailProbability(samples_x, threshold, &count_x);
+    const double q = TailProbability(samples_xp, threshold, &count_xp);
+    // Evaluate both the event {out > c} and its complement, in both
+    // directions (the DP inequality must hold for every event).
+    const double events[4] = {
+        std::log(std::max(p - options.delta, 1e-300) / q),
+        std::log(std::max(q - options.delta, 1e-300) / p),
+        std::log(std::max((1.0 - p) - options.delta, 1e-300) / (1.0 - q)),
+        std::log(std::max((1.0 - q) - options.delta, 1e-300) / (1.0 - p)),
+    };
+    const size_t support = std::min(count_x, count_xp);
+    const size_t complement_support =
+        options.trials - std::max(count_x, count_xp);
+    if (support >= options.min_count ||
+        complement_support >= options.min_count) {
+      ++result.events_evaluated;
+      for (double e : events) {
+        result.epsilon_lower_bound =
+            std::max(result.epsilon_lower_bound, e);
+      }
+    }
+  }
+  if (result.events_evaluated == 0) {
+    return Status::FailedPrecondition(
+        "audit: no threshold event had enough mass; increase trials");
+  }
+  return result;
+}
+
+}  // namespace sqm

@@ -1,0 +1,52 @@
+#ifndef SQM_DP_RDP_H_
+#define SQM_DP_RDP_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sqm {
+
+/// Rényi-DP accounting toolkit (Appendix A of the paper).
+///
+/// All guarantees in the library are derived as RDP curves
+/// alpha -> tau(alpha) and converted to classical (epsilon, delta)-DP at
+/// reporting time, exactly as the paper does.
+
+/// Converts an (alpha, tau)-RDP guarantee to epsilon at the given delta
+/// (Lemma 9, Canonne-Kamath-Steinke conversion). Requires alpha > 1.
+double RdpToEpsilon(double alpha, double tau, double delta);
+
+/// Minimizes RdpToEpsilon over a curve tau(alpha) evaluated at `alphas`.
+/// Returns the best epsilon; if `best_alpha` is non-null, stores the
+/// minimizing order.
+double BestEpsilonFromCurve(const std::function<double(double)>& tau_of_alpha,
+                            const std::vector<double>& alphas, double delta,
+                            double* best_alpha = nullptr);
+
+/// Default integer grid of Rényi orders 2..128 used by the calibrators.
+std::vector<double> DefaultAlphaGrid();
+
+/// Composition (Lemma 10): tau values at a common alpha add up.
+double ComposeRdp(const std::vector<double>& taus);
+
+/// Privacy amplification by Poisson subsampling (Lemma 11, Mironov et al.).
+///
+/// `alpha` must be an integer >= 2. `tau_at_order(l)` must return the
+/// un-amplified RDP bound of the base mechanism at integer order l, for
+/// l = 2..alpha. `q` is the per-record sampling probability. Computed in
+/// log-space so it stays finite even when the inner taus are large.
+double SubsampledRdp(size_t alpha, double q,
+                     const std::function<double(size_t)>& tau_at_order);
+
+/// log(n choose k) via lgamma.
+double LogBinomial(size_t n, size_t k);
+
+/// Numerically stable log(sum(exp(x_i))).
+double LogSumExp(const std::vector<double>& xs);
+
+}  // namespace sqm
+
+#endif  // SQM_DP_RDP_H_

@@ -1,0 +1,49 @@
+#ifndef SQM_MATH_EIGEN_H_
+#define SQM_MATH_EIGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "math/matrix.h"
+
+namespace sqm {
+
+/// Full eigendecomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> values;
+  /// Column j of `vectors` is the unit eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// Options for the iterative top-k solver.
+struct TopKOptions {
+  size_t max_iterations = 300;
+  /// Convergence threshold on the subspace change between iterations.
+  double tolerance = 1e-9;
+  /// Seed for the random starting subspace.
+  uint64_t seed = 7;
+};
+
+/// Computes all eigenpairs of symmetric `a` with the cyclic Jacobi method.
+///
+/// Robust and accurate; O(n^3) per sweep, so intended for n up to a few
+/// hundred (tests, small covariance matrices). Returns InvalidArgument if
+/// `a` is not square or not (numerically) symmetric.
+Result<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                double symmetry_tol = 1e-8);
+
+/// Computes the top-k eigenvectors of symmetric `a` by subspace (orthogonal)
+/// iteration — the PCA path for the paper's large covariance matrices, where
+/// only the principal rank-k subspace is needed.
+///
+/// Works on indefinite matrices (noisy covariance estimates can have
+/// negative eigenvalues) by iterating on a spectral shift of `a`.
+/// Returns an n x k matrix with orthonormal columns.
+Result<Matrix> TopKEigenvectors(const Matrix& a, size_t k,
+                                const TopKOptions& options = {});
+
+}  // namespace sqm
+
+#endif  // SQM_MATH_EIGEN_H_

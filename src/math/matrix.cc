@@ -1,0 +1,122 @@
+#include "math/matrix.h"
+
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace sqm {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<double> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+  SQM_CHECK(data_.size() == rows * cols);
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    SQM_CHECK(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t i) const {
+  SQM_CHECK(i < rows_);
+  return std::vector<double>(data_.begin() + i * cols_,
+                             data_.begin() + (i + 1) * cols_);
+}
+
+std::vector<double> Matrix::Col(size_t j) const {
+  SQM_CHECK(j < cols_);
+  std::vector<double> out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+void Matrix::SetRow(size_t i, const std::vector<double>& values) {
+  SQM_CHECK(i < rows_ && values.size() == cols_);
+  std::copy(values.begin(), values.end(), data_.begin() + i * cols_);
+}
+
+void Matrix::SetCol(size_t j, const std::vector<double>& values) {
+  SQM_CHECK(j < cols_ && values.size() == rows_);
+  for (size_t i = 0; i < rows_; ++i) (*this)(i, j) = values[i];
+}
+
+Matrix Matrix::SelectCols(const std::vector<size_t>& col_indices) const {
+  Matrix out(rows_, col_indices.size());
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < col_indices.size(); ++k) {
+      SQM_CHECK(col_indices[k] < cols_);
+      out(i, k) = (*this)(i, col_indices[k]);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (size_t k = 0; k < row_indices.size(); ++k) {
+    SQM_CHECK(row_indices[k] < rows_);
+    const size_t src = row_indices[k] * cols_;
+    std::copy(data_.begin() + src, data_.begin() + src + cols_,
+              out.data_.begin() + k * cols_);
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  SQM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  SQM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+bool Matrix::operator==(const Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         data_ == other.data_;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [";
+  for (size_t i = 0; i < rows_; ++i) {
+    os << (i == 0 ? "[" : " [");
+    for (size_t j = 0; j < cols_; ++j) {
+      if (j > 0) os << ", ";
+      os << (*this)(i, j);
+    }
+    os << "]" << (i + 1 < rows_ ? "\n" : "");
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace sqm

@@ -1,0 +1,98 @@
+#ifndef SQM_MATH_MATRIX_H_
+#define SQM_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sqm {
+
+/// Dense row-major matrix of doubles.
+///
+/// The library's data plane: databases X (records as rows, attributes as
+/// columns), covariance matrices, principal subspaces and gradients all use
+/// this type. Deliberately minimal — just the storage plus the operations
+/// the reproduction needs; see linalg.h for algorithms on top of it.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// `rows` x `cols` matrix of zeros.
+  Matrix(size_t rows, size_t cols);
+
+  /// Matrix filled from `values` in row-major order; `values.size()` must
+  /// equal rows*cols.
+  Matrix(size_t rows, size_t cols, std::vector<double> values);
+
+  /// Convenience literal construction: Matrix({{1,2},{3,4}}).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  double operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  /// Raw row-major storage.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Copies of a single row / column.
+  std::vector<double> Row(size_t i) const;
+  std::vector<double> Col(size_t j) const;
+
+  void SetRow(size_t i, const std::vector<double>& values);
+  void SetCol(size_t j, const std::vector<double>& values);
+
+  /// Submatrix of the listed columns, in the given order.
+  Matrix SelectCols(const std::vector<size_t>& col_indices) const;
+
+  /// Submatrix of the listed rows, in the given order.
+  Matrix SelectRows(const std::vector<size_t>& row_indices) const;
+
+  Matrix Transpose() const;
+
+  /// Element-wise operations. Shapes must match (checked).
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  friend Matrix operator*(Matrix lhs, double scalar) {
+    lhs *= scalar;
+    return lhs;
+  }
+  friend Matrix operator*(double scalar, Matrix rhs) {
+    rhs *= scalar;
+    return rhs;
+  }
+
+  bool operator==(const Matrix& other) const;
+
+  /// Human-readable rendering (small matrices; debugging aid).
+  std::string ToString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_MATH_MATRIX_H_

@@ -1,0 +1,88 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqm {
+namespace {
+
+std::vector<double> ToDouble(const std::vector<int64_t>& values) {
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i)
+    out[i] = static_cast<double>(values[i]);
+  return out;
+}
+
+}  // namespace
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Skewness(const std::vector<double>& values) {
+  if (values.size() < 3) return 0.0;
+  const double mean = Mean(values);
+  double m2 = 0.0, m3 = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  const double n = static_cast<double>(values.size());
+  m2 /= n;
+  m3 /= n;
+  if (m2 <= 0.0) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+double ExcessKurtosis(const std::vector<double>& values) {
+  if (values.size() < 4) return 0.0;
+  const double mean = Mean(values);
+  double m2 = 0.0, m4 = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  const double n = static_cast<double>(values.size());
+  m2 /= n;
+  m4 /= n;
+  if (m2 <= 0.0) return 0.0;
+  return m4 / (m2 * m2) - 3.0;
+}
+
+double Mean(const std::vector<int64_t>& values) {
+  return Mean(ToDouble(values));
+}
+
+double Variance(const std::vector<int64_t>& values) {
+  return Variance(ToDouble(values));
+}
+
+}  // namespace sqm

@@ -1,0 +1,36 @@
+#ifndef SQM_MATH_STATS_H_
+#define SQM_MATH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sqm {
+
+/// Summary statistics used by the distributional tests (sampler moment
+/// checks) and by the benchmark harness when averaging over repeated runs.
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (n-1 denominator); 0 when size < 2.
+double Variance(const std::vector<double>& values);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolation quantile, q in [0, 1]. Sorts a copy.
+double Quantile(std::vector<double> values, double q);
+
+/// Sample skewness (Fisher); 0 when size < 3 or variance is 0.
+double Skewness(const std::vector<double>& values);
+
+/// Excess kurtosis; 0 when size < 4 or variance is 0.
+double ExcessKurtosis(const std::vector<double>& values);
+
+/// Convenience overloads for integer samples.
+double Mean(const std::vector<int64_t>& values);
+double Variance(const std::vector<int64_t>& values);
+
+}  // namespace sqm
+
+#endif  // SQM_MATH_STATS_H_

@@ -1,0 +1,92 @@
+#include "mpc/beaver.h"
+
+#include "core/logging.h"
+#include "mpc/field.h"
+
+namespace sqm {
+
+BeaverTripleDealer::BeaverTripleDealer(ShamirScheme scheme, uint64_t seed)
+    : scheme_(std::move(scheme)), rng_(seed) {}
+
+BeaverTripleDealer::TripleShares BeaverTripleDealer::Deal() {
+  const Field::Element a = rng_.NextBounded(Field::kModulus);
+  const Field::Element b = rng_.NextBounded(Field::kModulus);
+  const Field::Element c = Field::Mul(a, b);
+  TripleShares shares;
+  shares.a_shares = scheme_.Share(a, rng_);
+  shares.b_shares = scheme_.Share(b, rng_);
+  shares.c_shares = scheme_.Share(c, rng_);
+  return shares;
+}
+
+std::vector<BeaverTripleDealer::TripleShares> BeaverTripleDealer::DealBatch(
+    size_t count) {
+  std::vector<TripleShares> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) batch.push_back(Deal());
+  return batch;
+}
+
+BeaverMultiplier::BeaverMultiplier(BgwProtocol* protocol,
+                                   BeaverTripleDealer* dealer)
+    : protocol_(protocol), dealer_(dealer) {
+  SQM_CHECK(protocol != nullptr && dealer != nullptr);
+}
+
+Result<SharedVector> BeaverMultiplier::Mul(const SharedVector& x,
+                                           const SharedVector& y) {
+  if (x.size() != y.size() || x.num_parties() != y.num_parties()) {
+    return Status::InvalidArgument("Beaver Mul: shape mismatch");
+  }
+  const size_t n = protocol_->num_parties();
+  const size_t k = x.size();
+  const std::vector<BeaverTripleDealer::TripleShares> triples =
+      dealer_->DealBatch(k);
+  triples_used_ += k;
+
+  // Assemble [a], [b], [c] as SharedVectors.
+  SharedVector a(n, k);
+  SharedVector b(n, k);
+  SharedVector c(n, k);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < k; ++i) {
+      a.shares(j)[i] = triples[i].a_shares[j];
+      b.shares(j)[i] = triples[i].b_shares[j];
+      c.shares(j)[i] = triples[i].c_shares[j];
+    }
+  }
+
+  // One round: jointly open d = x - a and e = y - b (packed together so a
+  // batch costs a single opening).
+  SQM_ASSIGN_OR_RETURN(const SharedVector dx, protocol_->Sub(x, a));
+  SQM_ASSIGN_OR_RETURN(const SharedVector ey, protocol_->Sub(y, b));
+  SharedVector packed(n, 2 * k);
+  for (size_t j = 0; j < n; ++j) {
+    auto& dst = packed.shares(j);
+    const auto& sx = dx.shares(j);
+    const auto& sy = ey.shares(j);
+    for (size_t i = 0; i < k; ++i) {
+      dst[i] = sx[i];
+      dst[k + i] = sy[i];
+    }
+  }
+  const std::vector<Field::Element> opened = protocol_->Open(packed);
+
+  // Local combination: [xy] = [c] + d*[b] + e*[a] + d*e.
+  SharedVector out(n, k);
+  for (size_t j = 0; j < n; ++j) {
+    auto& dst = out.shares(j);
+    for (size_t i = 0; i < k; ++i) {
+      const Field::Element d = opened[i];
+      const Field::Element e = opened[k + i];
+      Field::Element acc = c.shares(j)[i];
+      acc = Field::Add(acc, Field::Mul(d, b.shares(j)[i]));
+      acc = Field::Add(acc, Field::Mul(e, a.shares(j)[i]));
+      acc = Field::Add(acc, Field::Mul(d, e));
+      dst[i] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace sqm

@@ -1,0 +1,76 @@
+#ifndef SQM_MPC_BEAVER_H_
+#define SQM_MPC_BEAVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/status.h"
+#include "mpc/protocol.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+
+/// Beaver-triple multiplication: the preprocessing-model alternative to
+/// BGW's GRR degree reduction.
+///
+/// Offline, a dealer (or an offline protocol) distributes shares of random
+/// triples (a, b, c) with c = a * b. Online, multiplying [x] * [y] costs
+/// one opening of (x - a, y - b) — half the per-party traffic of GRR
+/// re-sharing and no fresh polynomial sampling on the critical path, at
+/// the price of consuming one triple per product.
+///
+/// SQM treats the MPC as a black box (Section II), so this backend slots
+/// under the same SharedVector algebra; `bench/ablation_beaver_vs_grr`
+/// compares the online costs. The dealer here is the standard semi-honest
+/// preprocessing abstraction: in a deployment it would be replaced by an
+/// offline triple-generation protocol, which does not change the online
+/// phase measured here.
+class BeaverTripleDealer {
+ public:
+  /// Shares of one multiplication triple: for each party j,
+  /// a_shares[j], b_shares[j], c_shares[j] are degree-t Shamir shares of
+  /// (a, b, a*b).
+  struct TripleShares {
+    std::vector<Field::Element> a_shares;
+    std::vector<Field::Element> b_shares;
+    std::vector<Field::Element> c_shares;
+  };
+
+  BeaverTripleDealer(ShamirScheme scheme, uint64_t seed);
+
+  /// Deals one random triple.
+  TripleShares Deal();
+
+  /// Deals `count` triples (one per element of a batched multiplication).
+  std::vector<TripleShares> DealBatch(size_t count);
+
+ private:
+  ShamirScheme scheme_;
+  Rng rng_;
+};
+
+/// Online Beaver multiplication over an existing BgwProtocol's network and
+/// sharing scheme.
+class BeaverMultiplier {
+ public:
+  /// `protocol` supplies the parties, scheme, and network; `dealer` the
+  /// preprocessed triples. Both must outlive this object.
+  BeaverMultiplier(BgwProtocol* protocol, BeaverTripleDealer* dealer);
+
+  /// Element-wise product of two shared vectors using one triple per
+  /// element: one communication round (the joint opening of d = x - a and
+  /// e = y - b), then the local combination [c] + d[b] + e[a] + d*e.
+  Result<SharedVector> Mul(const SharedVector& x, const SharedVector& y);
+
+  /// Triples consumed so far.
+  size_t triples_used() const { return triples_used_; }
+
+ private:
+  BgwProtocol* protocol_;
+  BeaverTripleDealer* dealer_;
+  size_t triples_used_ = 0;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_MPC_BEAVER_H_

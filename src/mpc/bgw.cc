@@ -1,0 +1,163 @@
+#include "mpc/bgw.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace sqm {
+
+BgwEngine::BgwEngine(ShamirScheme scheme, SimulatedNetwork* network,
+                     uint64_t seed)
+    : protocol_(std::move(scheme), network, seed), network_(network) {}
+
+Result<std::vector<int64_t>> BgwEngine::Evaluate(
+    const Circuit& circuit,
+    const std::vector<std::vector<int64_t>>& inputs_per_party) {
+  const size_t n = protocol_.num_parties();
+  SQM_RETURN_NOT_OK(circuit.Validate(n));
+  if (inputs_per_party.size() != n) {
+    return Status::InvalidArgument("need one input vector per party");
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (inputs_per_party[j].size() != circuit.NumInputsForParty(j)) {
+      return Status::InvalidArgument(
+          "party " + std::to_string(j) + " supplied " +
+          std::to_string(inputs_per_party[j].size()) + " inputs, circuit expects " +
+          std::to_string(circuit.NumInputsForParty(j)));
+    }
+  }
+
+  const NetworkStats stats_before = network_->stats();
+  const auto& gates = circuit.gates();
+
+  // wire_shares[party][wire].
+  std::vector<std::vector<Field::Element>> wire_shares(
+      n, std::vector<Field::Element>(gates.size(), 0));
+
+  // ---- Phase 1: input sharing (one protocol round per contributing party;
+  // each party's inputs are batched into a single message per recipient).
+  for (size_t j = 0; j < n; ++j) {
+    if (inputs_per_party[j].empty()) continue;
+    const SharedVector shared = protocol_.ShareFromParty(
+        j, Field::EncodeVector(inputs_per_party[j]));
+    // Scatter this party's input shares onto its input wires.
+    size_t index = 0;
+    for (size_t w = 0; w < gates.size(); ++w) {
+      const Circuit::Gate& gate = gates[w];
+      if (gate.kind == Circuit::GateKind::kInput && gate.owner == j) {
+        for (size_t r = 0; r < n; ++r) {
+          wire_shares[r][w] = shared.shares(r)[gate.input_index];
+        }
+        ++index;
+      }
+    }
+    SQM_CHECK(index == inputs_per_party[j].size());
+  }
+
+  // ---- Phase 2: evaluate gate levels. Multiplications of equal depth are
+  // batched into one communication round.
+  std::vector<size_t> depth(gates.size(), 0);
+  size_t max_depth = 0;
+  for (size_t i = 0; i < gates.size(); ++i) {
+    const Circuit::Gate& gate = gates[i];
+    switch (gate.kind) {
+      case Circuit::GateKind::kInput:
+      case Circuit::GateKind::kConstant:
+        break;
+      case Circuit::GateKind::kAdd:
+      case Circuit::GateKind::kSub:
+        depth[i] = std::max(depth[gate.lhs], depth[gate.rhs]);
+        break;
+      case Circuit::GateKind::kMulConst:
+        depth[i] = depth[gate.lhs];
+        break;
+      case Circuit::GateKind::kMul:
+        depth[i] = std::max(depth[gate.lhs], depth[gate.rhs]) + 1;
+        break;
+    }
+    max_depth = std::max(max_depth, depth[i]);
+  }
+
+  auto process_local_gate = [&](size_t w) {
+    const Circuit::Gate& gate = gates[w];
+    for (size_t r = 0; r < n; ++r) {
+      auto& shares = wire_shares[r];
+      switch (gate.kind) {
+        case Circuit::GateKind::kConstant:
+          // Public constant = degree-0 sharing: everyone holds the value.
+          shares[w] = Field::Reduce(gate.constant);
+          break;
+        case Circuit::GateKind::kAdd:
+          shares[w] = Field::Add(shares[gate.lhs], shares[gate.rhs]);
+          break;
+        case Circuit::GateKind::kSub:
+          shares[w] = Field::Sub(shares[gate.lhs], shares[gate.rhs]);
+          break;
+        case Circuit::GateKind::kMulConst:
+          shares[w] = Field::Mul(shares[gate.lhs],
+                                 Field::Reduce(gate.constant));
+          break;
+        case Circuit::GateKind::kInput:
+        case Circuit::GateKind::kMul:
+          break;  // Inputs done in phase 1; muls handled per level.
+      }
+    }
+  };
+
+  size_t mul_rounds = 0;
+  for (size_t level = 0; level <= max_depth; ++level) {
+    if (level > 0) {
+      // Batch all multiplications at this depth into one round.
+      std::vector<size_t> mul_wires;
+      for (size_t w = 0; w < gates.size(); ++w) {
+        if (gates[w].kind == Circuit::GateKind::kMul && depth[w] == level) {
+          mul_wires.push_back(w);
+        }
+      }
+      if (!mul_wires.empty()) {
+        SharedVector lhs(n, mul_wires.size());
+        SharedVector rhs(n, mul_wires.size());
+        for (size_t r = 0; r < n; ++r) {
+          for (size_t i = 0; i < mul_wires.size(); ++i) {
+            lhs.shares(r)[i] = wire_shares[r][gates[mul_wires[i]].lhs];
+            rhs.shares(r)[i] = wire_shares[r][gates[mul_wires[i]].rhs];
+          }
+        }
+        SQM_ASSIGN_OR_RETURN(SharedVector products, protocol_.Mul(lhs, rhs));
+        for (size_t r = 0; r < n; ++r) {
+          for (size_t i = 0; i < mul_wires.size(); ++i) {
+            wire_shares[r][mul_wires[i]] = products.shares(r)[i];
+          }
+        }
+        ++mul_rounds;
+      }
+    }
+    // Local gates at this depth, in id order (intra-level dependencies
+    // always point backwards).
+    for (size_t w = 0; w < gates.size(); ++w) {
+      if (gates[w].kind != Circuit::GateKind::kMul &&
+          gates[w].kind != Circuit::GateKind::kInput && depth[w] == level) {
+        process_local_gate(w);
+      }
+    }
+  }
+
+  // ---- Phase 3: open outputs.
+  SharedVector out_shares(n, circuit.outputs().size());
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < circuit.outputs().size(); ++i) {
+      out_shares.shares(r)[i] = wire_shares[r][circuit.outputs()[i]];
+    }
+  }
+  std::vector<int64_t> outputs = protocol_.OpenSigned(out_shares);
+
+  last_report_.multiplications = circuit.num_multiplications();
+  last_report_.mul_rounds = mul_rounds;
+  last_report_.network = network_->stats();
+  last_report_.network.messages -= stats_before.messages;
+  last_report_.network.field_elements -= stats_before.field_elements;
+  last_report_.network.rounds -= stats_before.rounds;
+  return outputs;
+}
+
+}  // namespace sqm

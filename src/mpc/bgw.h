@@ -1,0 +1,58 @@
+#ifndef SQM_MPC_BGW_H_
+#define SQM_MPC_BGW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "mpc/circuit.h"
+#include "mpc/network.h"
+#include "mpc/protocol.h"
+#include "mpc/shamir.h"
+
+namespace sqm {
+
+/// Traffic/round report for one circuit evaluation.
+struct BgwExecutionReport {
+  NetworkStats network;
+  size_t multiplications = 0;
+  size_t mul_rounds = 0;  ///< Communication rounds spent on multiplications.
+};
+
+/// Gate-level BGW evaluator (the paper's Appendix B, three-phase execution).
+///
+/// Phase 1: every party Shamir-shares its private inputs. Phase 2: the
+/// circuit is evaluated on shares — linear gates locally, multiplication
+/// gates via GRR degree reduction, with all multiplications of equal
+/// multiplicative depth batched into a single communication round. Phase 3:
+/// output wires are opened to all parties.
+///
+/// SQM uses this engine as a black box: it hands the engine the quantized
+/// data and the locally sampled Skellam noise as private inputs, and a
+/// circuit that sums f-hat over records plus the noise shares (Algorithm 1
+/// line 5 / Algorithm 3 line 9).
+class BgwEngine {
+ public:
+  /// `network` must outlive the engine and match the scheme's party count.
+  BgwEngine(ShamirScheme scheme, SimulatedNetwork* network, uint64_t seed);
+
+  /// Evaluates `circuit`. `inputs_per_party[j]` supplies party j's private
+  /// inputs as centered signed integers, in input-gate declaration order.
+  /// Returns the opened outputs (decoded to signed integers) in
+  /// MarkOutput order.
+  Result<std::vector<int64_t>> Evaluate(
+      const Circuit& circuit,
+      const std::vector<std::vector<int64_t>>& inputs_per_party);
+
+  /// Report for the most recent Evaluate call.
+  const BgwExecutionReport& last_report() const { return last_report_; }
+
+ private:
+  BgwProtocol protocol_;
+  SimulatedNetwork* network_;
+  BgwExecutionReport last_report_;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_MPC_BGW_H_

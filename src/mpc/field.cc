@@ -1,0 +1,79 @@
+#include "mpc/field.h"
+
+#include "core/logging.h"
+
+namespace sqm {
+
+Field::Element Field::Reduce(uint64_t x) {
+  // Mersenne reduction: x = hi*2^61 + lo === hi + lo (mod 2^61 - 1).
+  uint64_t r = (x & kModulus) + (x >> 61);
+  if (r >= kModulus) r -= kModulus;
+  return r;
+}
+
+Field::Element Field::Add(Element a, Element b) {
+  uint64_t r = a + b;  // < 2^62, no overflow.
+  if (r >= kModulus) r -= kModulus;
+  return r;
+}
+
+Field::Element Field::Sub(Element a, Element b) {
+  return a >= b ? a - b : a + kModulus - b;
+}
+
+Field::Element Field::Neg(Element a) { return a == 0 ? 0 : kModulus - a; }
+
+Field::Element Field::Mul(Element a, Element b) {
+  const __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  // prod < 2^122: fold twice.
+  uint64_t lo = static_cast<uint64_t>(prod) & kModulus;
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t r = lo + (hi & kModulus) + (hi >> 61);
+  r = (r & kModulus) + (r >> 61);
+  if (r >= kModulus) r -= kModulus;
+  return r;
+}
+
+Field::Element Field::Pow(Element a, uint64_t e) {
+  Element result = 1;
+  Element base = a;
+  while (e > 0) {
+    if (e & 1) result = Mul(result, base);
+    base = Mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+Field::Element Field::Inv(Element a) {
+  SQM_CHECK(a != 0);
+  // Fermat: a^(p-2) mod p.
+  return Pow(a, kModulus - 2);
+}
+
+Field::Element Field::Encode(int64_t v) {
+  SQM_CHECK(v >= -kMaxCentered && v <= kMaxCentered);
+  if (v >= 0) return static_cast<Element>(v);
+  return kModulus - static_cast<Element>(-v);
+}
+
+int64_t Field::Decode(Element e) {
+  SQM_CHECK(e < kModulus);
+  if (e <= static_cast<Element>(kMaxCentered)) return static_cast<int64_t>(e);
+  return static_cast<int64_t>(e) - static_cast<int64_t>(kModulus);
+}
+
+std::vector<Field::Element> Field::EncodeVector(
+    const std::vector<int64_t>& v) {
+  std::vector<Element> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = Encode(v[i]);
+  return out;
+}
+
+std::vector<int64_t> Field::DecodeVector(const std::vector<Element>& v) {
+  std::vector<int64_t> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = Decode(v[i]);
+  return out;
+}
+
+}  // namespace sqm

@@ -1,0 +1,58 @@
+#include "mpc/network.h"
+
+#include "core/logging.h"
+
+namespace sqm {
+
+SimulatedNetwork::SimulatedNetwork(size_t num_parties,
+                                   double per_round_latency_seconds)
+    : num_parties_(num_parties),
+      per_round_latency_(per_round_latency_seconds),
+      channels_(num_parties * num_parties) {
+  SQM_CHECK(num_parties >= 1);
+  SQM_CHECK(per_round_latency_seconds >= 0.0);
+}
+
+size_t SimulatedNetwork::ChannelIndex(size_t from, size_t to) const {
+  SQM_CHECK(from < num_parties_ && to < num_parties_);
+  return from * num_parties_ + to;
+}
+
+void SimulatedNetwork::Send(size_t from, size_t to,
+                            std::vector<Field::Element> payload) {
+  if (from != to) {
+    ++stats_.messages;
+    stats_.field_elements += payload.size();
+  }
+  channels_[ChannelIndex(from, to)].push_back(std::move(payload));
+}
+
+Result<std::vector<Field::Element>> SimulatedNetwork::Receive(size_t from,
+                                                              size_t to) {
+  auto& queue = channels_[ChannelIndex(from, to)];
+  if (queue.empty()) {
+    return Status::FailedPrecondition(
+        "receive with no pending message on channel " +
+        std::to_string(from) + " -> " + std::to_string(to));
+  }
+  std::vector<Field::Element> payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+bool SimulatedNetwork::HasPending(size_t from, size_t to) const {
+  return !channels_[ChannelIndex(from, to)].empty();
+}
+
+void SimulatedNetwork::EndRound() { ++stats_.rounds; }
+
+double SimulatedNetwork::SimulatedSeconds() const {
+  return static_cast<double>(stats_.rounds) * per_round_latency_;
+}
+
+void SimulatedNetwork::Reset() {
+  for (auto& queue : channels_) queue.clear();
+  stats_ = NetworkStats{};
+}
+
+}  // namespace sqm

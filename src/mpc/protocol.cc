@@ -1,0 +1,211 @@
+#include "mpc/protocol.h"
+
+#include <numeric>
+
+#include "core/logging.h"
+
+namespace sqm {
+
+BgwProtocol::BgwProtocol(ShamirScheme scheme, SimulatedNetwork* network,
+                         uint64_t seed)
+    : scheme_(std::move(scheme)), network_(network) {
+  SQM_CHECK(network_ != nullptr);
+  SQM_CHECK(network_->num_parties() == scheme_.num_parties());
+  Rng root(seed);
+  party_rngs_.reserve(scheme_.num_parties());
+  for (size_t j = 0; j < scheme_.num_parties(); ++j) {
+    party_rngs_.push_back(root.Split(j));
+  }
+  std::vector<size_t> all(2 * scheme_.threshold() + 1);
+  std::iota(all.begin(), all.end(), 0);
+  degree2t_lagrange_ = scheme_.LagrangeAtZero(all);
+}
+
+SharedVector BgwProtocol::ShareFromParty(
+    size_t party, const std::vector<Field::Element>& values) {
+  const size_t n = num_parties();
+  SQM_CHECK(party < n);
+  // The owner computes one share vector per recipient and sends it.
+  std::vector<std::vector<Field::Element>> outbound(
+      n, std::vector<Field::Element>(values.size()));
+  for (size_t i = 0; i < values.size(); ++i) {
+    const std::vector<Field::Element> shares =
+        scheme_.Share(values[i], party_rngs_[party]);
+    for (size_t j = 0; j < n; ++j) outbound[j][i] = shares[j];
+  }
+  for (size_t j = 0; j < n; ++j) {
+    network_->Send(party, j, std::move(outbound[j]));
+  }
+  network_->EndRound();
+
+  SharedVector result(n, values.size());
+  for (size_t j = 0; j < n; ++j) {
+    result.shares(j) = network_->Receive(party, j).ValueOrDie();
+  }
+  return result;
+}
+
+SharedVector BgwProtocol::SharePublic(
+    const std::vector<Field::Element>& values) const {
+  // A public value is a degree-0 polynomial: every party's share equals the
+  // value itself. Valid for Add/Mul since degree 0 <= t.
+  SharedVector result(num_parties(), values.size());
+  for (size_t j = 0; j < num_parties(); ++j) result.shares(j) = values;
+  return result;
+}
+
+Result<SharedVector> BgwProtocol::Add(const SharedVector& a,
+                                      const SharedVector& b) const {
+  if (a.size() != b.size() || a.num_parties() != b.num_parties()) {
+    return Status::InvalidArgument("Add: shape mismatch");
+  }
+  SharedVector out(a.num_parties(), a.size());
+  for (size_t j = 0; j < a.num_parties(); ++j) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      out.shares(j)[i] = Field::Add(a.shares(j)[i], b.shares(j)[i]);
+    }
+  }
+  return out;
+}
+
+Result<SharedVector> BgwProtocol::Sub(const SharedVector& a,
+                                      const SharedVector& b) const {
+  if (a.size() != b.size() || a.num_parties() != b.num_parties()) {
+    return Status::InvalidArgument("Sub: shape mismatch");
+  }
+  SharedVector out(a.num_parties(), a.size());
+  for (size_t j = 0; j < a.num_parties(); ++j) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      out.shares(j)[i] = Field::Sub(a.shares(j)[i], b.shares(j)[i]);
+    }
+  }
+  return out;
+}
+
+SharedVector BgwProtocol::ScaleConst(const SharedVector& a,
+                                     Field::Element c) const {
+  SharedVector out(a.num_parties(), a.size());
+  for (size_t j = 0; j < a.num_parties(); ++j) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      out.shares(j)[i] = Field::Mul(a.shares(j)[i], c);
+    }
+  }
+  return out;
+}
+
+Result<SharedVector> BgwProtocol::AddPublic(
+    const SharedVector& a, const std::vector<Field::Element>& pub) const {
+  if (a.size() != pub.size()) {
+    return Status::InvalidArgument("AddPublic: shape mismatch");
+  }
+  SharedVector out(a.num_parties(), a.size());
+  for (size_t j = 0; j < a.num_parties(); ++j) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      // Adding a public constant to a degree-t sharing adds it to the free
+      // coefficient: every party adds the constant to its share.
+      out.shares(j)[i] = Field::Add(a.shares(j)[i], pub[i]);
+    }
+  }
+  return out;
+}
+
+Result<SharedVector> BgwProtocol::Mul(const SharedVector& a,
+                                      const SharedVector& b) {
+  if (a.size() != b.size() || a.num_parties() != b.num_parties()) {
+    return Status::InvalidArgument("Mul: shape mismatch");
+  }
+  const size_t n = num_parties();
+  const size_t k = a.size();
+
+  // Step 1 (local): each party multiplies its shares, yielding a share of a
+  // degree-2t polynomial with the right free coefficient.
+  // Step 2 (re-share): each party deals a fresh degree-t sharing of its
+  // degree-2t share and distributes the sub-shares — one message per pair,
+  // batched over all k elements.
+  std::vector<std::vector<std::vector<Field::Element>>> outbound(
+      n, std::vector<std::vector<Field::Element>>(
+             n, std::vector<Field::Element>(k)));
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < k; ++i) {
+      const Field::Element product =
+          Field::Mul(a.shares(j)[i], b.shares(j)[i]);
+      const std::vector<Field::Element> subshares =
+          scheme_.Share(product, party_rngs_[j]);
+      for (size_t r = 0; r < n; ++r) outbound[j][r][i] = subshares[r];
+    }
+  }
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t r = 0; r < n; ++r) {
+      network_->Send(j, r, std::move(outbound[j][r]));
+    }
+  }
+  network_->EndRound();
+
+  // Step 3 (local): recombine sub-shares with the degree-2t Lagrange
+  // weights. Only the first 2t+1 dealers are needed; the rest are received
+  // and discarded, as in the standard description.
+  const size_t needed = 2 * scheme_.threshold() + 1;
+  SharedVector out(n, k);
+  for (size_t r = 0; r < n; ++r) {
+    auto& acc = out.shares(r);
+    for (size_t j = 0; j < n; ++j) {
+      const std::vector<Field::Element> received =
+          network_->Receive(j, r).ValueOrDie();
+      if (j >= needed) continue;
+      const Field::Element weight = degree2t_lagrange_[j];
+      for (size_t i = 0; i < k; ++i) {
+        acc[i] = Field::Add(acc[i], Field::Mul(weight, received[i]));
+      }
+    }
+  }
+  return out;
+}
+
+SharedVector BgwProtocol::SumElements(const SharedVector& a) const {
+  SharedVector out(a.num_parties(), 1);
+  for (size_t j = 0; j < a.num_parties(); ++j) {
+    Field::Element acc = 0;
+    for (Field::Element s : a.shares(j)) acc = Field::Add(acc, s);
+    out.shares(j)[0] = acc;
+  }
+  return out;
+}
+
+Result<SharedVector> BgwProtocol::InnerProduct(const SharedVector& a,
+                                               const SharedVector& b) {
+  SQM_ASSIGN_OR_RETURN(SharedVector products, Mul(a, b));
+  return SumElements(products);
+}
+
+std::vector<Field::Element> BgwProtocol::Open(const SharedVector& a) {
+  const size_t n = num_parties();
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t r = 0; r < n; ++r) {
+      network_->Send(j, r, a.shares(j));
+    }
+  }
+  network_->EndRound();
+
+  // Every party receives all shares and interpolates; we compute the value
+  // once from party 0's viewpoint and drain the rest.
+  std::vector<std::vector<Field::Element>> all(n);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t r = 0; r < n; ++r) {
+      auto received = network_->Receive(j, r).ValueOrDie();
+      if (r == 0) all[j] = std::move(received);
+    }
+  }
+  std::vector<Field::Element> out(a.size());
+  std::vector<Field::Element> shares(n);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < n; ++j) shares[j] = all[j][i];
+    out[i] = scheme_.Reconstruct(shares);
+  }
+  return out;
+}
+
+std::vector<int64_t> BgwProtocol::OpenSigned(const SharedVector& a) {
+  return Field::DecodeVector(Open(a));
+}
+
+}  // namespace sqm

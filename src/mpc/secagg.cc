@@ -1,0 +1,69 @@
+#include "mpc/secagg.h"
+
+#include "core/logging.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+
+SecureAggregation::SecureAggregation(size_t num_clients, uint64_t seed,
+                                     SimulatedNetwork* network)
+    : num_clients_(num_clients), seed_(seed), network_(network) {
+  SQM_CHECK(num_clients >= 2);
+}
+
+std::vector<Field::Element> SecureAggregation::PairMask(
+    size_t i, size_t j, size_t length) const {
+  SQM_CHECK(i < j);
+  // Both endpoints derive the identical stream from the shared pair seed
+  // (in a deployment: a Diffie-Hellman agreed key; here: the common seed).
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (i * num_clients_ + j + 1)));
+  std::vector<Field::Element> mask(length);
+  for (auto& m : mask) m = rng.NextBounded(Field::kModulus);
+  return mask;
+}
+
+Result<std::vector<Field::Element>> SecureAggregation::MaskedUpload(
+    size_t client, const std::vector<int64_t>& values) {
+  if (client >= num_clients_) {
+    return Status::InvalidArgument("unknown client index");
+  }
+  std::vector<Field::Element> upload = Field::EncodeVector(values);
+  for (size_t other = 0; other < num_clients_; ++other) {
+    if (other == client) continue;
+    const size_t lo = std::min(client, other);
+    const size_t hi = std::max(client, other);
+    const std::vector<Field::Element> mask = PairMask(lo, hi,
+                                                      values.size());
+    for (size_t t = 0; t < values.size(); ++t) {
+      // The lower-indexed endpoint adds, the higher one subtracts.
+      upload[t] = client == lo ? Field::Add(upload[t], mask[t])
+                               : Field::Sub(upload[t], mask[t]);
+    }
+  }
+  if (network_ != nullptr) {
+    // Model the upload to the server as party `client` -> party 0.
+    network_->Send(client, 0, upload);
+  }
+  return upload;
+}
+
+Result<std::vector<int64_t>> SecureAggregation::Aggregate(
+    const std::vector<std::vector<Field::Element>>& uploads) const {
+  if (uploads.size() != num_clients_) {
+    return Status::InvalidArgument(
+        "need exactly one upload per client (no-dropout protocol)");
+  }
+  const size_t length = uploads[0].size();
+  std::vector<Field::Element> total(length, 0);
+  for (const auto& upload : uploads) {
+    if (upload.size() != length) {
+      return Status::InvalidArgument("ragged uploads");
+    }
+    for (size_t t = 0; t < length; ++t) {
+      total[t] = Field::Add(total[t], upload[t]);
+    }
+  }
+  return Field::DecodeVector(total);
+}
+
+}  // namespace sqm

@@ -1,0 +1,130 @@
+#include "mpc/shamir.h"
+
+#include <numeric>
+
+#include "core/logging.h"
+
+namespace sqm {
+
+ShamirScheme::ShamirScheme(size_t num_parties, size_t threshold)
+    : num_parties_(num_parties), threshold_(threshold) {
+  SQM_CHECK(Validate(num_parties, threshold).ok());
+}
+
+Status ShamirScheme::Validate(size_t num_parties, size_t threshold) {
+  if (num_parties < 2) {
+    return Status::InvalidArgument("Shamir sharing needs >= 2 parties");
+  }
+  if (2 * threshold >= num_parties) {
+    return Status::InvalidArgument(
+        "BGW multiplication requires threshold < num_parties / 2");
+  }
+  if (threshold == 0) {
+    return Status::InvalidArgument(
+        "threshold 0 gives every party the secret in the clear");
+  }
+  return Status::OK();
+}
+
+Field::Element ShamirScheme::EvaluationPoint(size_t party) const {
+  SQM_CHECK(party < num_parties_);
+  return static_cast<Field::Element>(party + 1);
+}
+
+std::vector<Field::Element> ShamirScheme::Share(Field::Element secret,
+                                                Rng& rng) const {
+  // Random polynomial phi(x) = secret + c_1 x + ... + c_t x^t.
+  std::vector<Field::Element> coeffs(threshold_ + 1);
+  coeffs[0] = secret;
+  for (size_t i = 1; i <= threshold_; ++i) {
+    coeffs[i] = rng.NextBounded(Field::kModulus);
+  }
+  std::vector<Field::Element> shares(num_parties_);
+  for (size_t j = 0; j < num_parties_; ++j) {
+    // Horner evaluation at alpha_j.
+    const Field::Element x = EvaluationPoint(j);
+    Field::Element acc = coeffs[threshold_];
+    for (size_t i = threshold_; i-- > 0;) {
+      acc = Field::Add(Field::Mul(acc, x), coeffs[i]);
+    }
+    shares[j] = acc;
+  }
+  return shares;
+}
+
+Field::Element ShamirScheme::Reconstruct(
+    const std::vector<Field::Element>& shares) const {
+  SQM_CHECK(shares.size() == num_parties_);
+  std::vector<size_t> parties(threshold_ + 1);
+  std::iota(parties.begin(), parties.end(), 0);
+  const std::vector<Field::Element> lagrange = LagrangeAtZero(parties);
+  Field::Element acc = 0;
+  for (size_t j = 0; j < parties.size(); ++j) {
+    acc = Field::Add(acc, Field::Mul(lagrange[j], shares[parties[j]]));
+  }
+  return acc;
+}
+
+Result<Field::Element> ShamirScheme::ReconstructFromSubset(
+    const std::vector<std::pair<size_t, Field::Element>>& shares) const {
+  if (shares.size() < threshold_ + 1) {
+    return Status::InvalidArgument(
+        "not enough shares to reconstruct: need threshold+1");
+  }
+  std::vector<size_t> parties;
+  parties.reserve(threshold_ + 1);
+  for (const auto& [party, unused] : shares) {
+    if (party >= num_parties_) {
+      return Status::InvalidArgument("share from unknown party index");
+    }
+    for (size_t seen : parties) {
+      if (seen == party) {
+        return Status::InvalidArgument("duplicate party index in shares");
+      }
+    }
+    parties.push_back(party);
+    if (parties.size() == threshold_ + 1) break;
+  }
+  const std::vector<Field::Element> lagrange = LagrangeAtZero(parties);
+  Field::Element acc = 0;
+  for (size_t j = 0; j < parties.size(); ++j) {
+    acc = Field::Add(acc, Field::Mul(lagrange[j], shares[j].second));
+  }
+  return acc;
+}
+
+Field::Element ShamirScheme::ReconstructDegree2t(
+    const std::vector<Field::Element>& shares) const {
+  SQM_CHECK(shares.size() == num_parties_);
+  const size_t needed = 2 * threshold_ + 1;
+  SQM_CHECK(needed <= num_parties_);
+  std::vector<size_t> parties(needed);
+  std::iota(parties.begin(), parties.end(), 0);
+  const std::vector<Field::Element> lagrange = LagrangeAtZero(parties);
+  Field::Element acc = 0;
+  for (size_t j = 0; j < needed; ++j) {
+    acc = Field::Add(acc, Field::Mul(lagrange[j], shares[parties[j]]));
+  }
+  return acc;
+}
+
+std::vector<Field::Element> ShamirScheme::LagrangeAtZero(
+    const std::vector<size_t>& parties) const {
+  std::vector<Field::Element> coeffs(parties.size());
+  for (size_t j = 0; j < parties.size(); ++j) {
+    const Field::Element xj = EvaluationPoint(parties[j]);
+    Field::Element num = 1;
+    Field::Element den = 1;
+    for (size_t l = 0; l < parties.size(); ++l) {
+      if (l == j) continue;
+      const Field::Element xl = EvaluationPoint(parties[l]);
+      // L_j(0) = prod_{l != j} (0 - x_l) / (x_j - x_l).
+      num = Field::Mul(num, Field::Neg(xl));
+      den = Field::Mul(den, Field::Sub(xj, xl));
+    }
+    coeffs[j] = Field::Mul(num, Field::Inv(den));
+  }
+  return coeffs;
+}
+
+}  // namespace sqm

@@ -1,0 +1,69 @@
+#ifndef SQM_MPC_SHAMIR_H_
+#define SQM_MPC_SHAMIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "mpc/field.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+
+/// Shamir (t, n) secret sharing over Z_{2^61-1} — the building block of the
+/// BGW protocol (Appendix B of the paper).
+///
+/// A secret s is embedded as the constant term of a uniformly random degree-t
+/// polynomial phi; party j receives the evaluation phi(alpha_j) where
+/// alpha_j = j + 1. Any t+1 shares reconstruct s by Lagrange interpolation
+/// at zero; any t or fewer shares are jointly uniform and reveal nothing.
+class ShamirScheme {
+ public:
+  /// Creates a scheme for `num_parties` parties with polynomial degree
+  /// `threshold` (an adversary must corrupt > threshold parties to learn
+  /// anything). BGW multiplication requires threshold < num_parties / 2.
+  ShamirScheme(size_t num_parties, size_t threshold);
+
+  /// Validates the (t, n) combination; call before constructing when the
+  /// parameters come from user input.
+  static Status Validate(size_t num_parties, size_t threshold);
+
+  size_t num_parties() const { return num_parties_; }
+  size_t threshold() const { return threshold_; }
+
+  /// Evaluation point assigned to party j (0-based): alpha_j = j + 1.
+  Field::Element EvaluationPoint(size_t party) const;
+
+  /// Splits `secret` into one share per party using randomness from `rng`.
+  std::vector<Field::Element> Share(Field::Element secret, Rng& rng) const;
+
+  /// Reconstructs the secret from the full share vector (degree-t
+  /// interpolation using the first threshold+1 shares).
+  Field::Element Reconstruct(
+      const std::vector<Field::Element>& shares) const;
+
+  /// Reconstructs from an arbitrary subset of (party index, share) pairs.
+  /// Needs at least threshold+1 pairs with distinct parties.
+  Result<Field::Element> ReconstructFromSubset(
+      const std::vector<std::pair<size_t, Field::Element>>& shares) const;
+
+  /// Reconstructs a value shared with a *degree-2t* polynomial — the result
+  /// of parties locally multiplying two degree-t sharings. Needs all
+  /// 2t+1 <= n shares. Used by the BGW degree-reduction step.
+  Field::Element ReconstructDegree2t(
+      const std::vector<Field::Element>& shares) const;
+
+  /// Lagrange coefficients L_j such that sum_j L_j * phi(alpha_j) = phi(0)
+  /// for any polynomial phi of degree < parties.size(), where the points are
+  /// alpha_{parties[j]}.
+  std::vector<Field::Element> LagrangeAtZero(
+      const std::vector<size_t>& parties) const;
+
+ private:
+  size_t num_parties_;
+  size_t threshold_;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_MPC_SHAMIR_H_

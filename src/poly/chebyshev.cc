@@ -1,0 +1,105 @@
+#include "poly/chebyshev.h"
+
+#include <cmath>
+
+#include "poly/taylor.h"
+
+namespace sqm {
+
+Result<std::vector<double>> ChebyshevCoefficients(
+    const std::function<double(double)>& f, size_t degree, double radius) {
+  if (f == nullptr) {
+    return Status::InvalidArgument("Chebyshev: f must be callable");
+  }
+  if (radius <= 0.0) {
+    return Status::InvalidArgument("Chebyshev: radius must be positive");
+  }
+  if (degree > 48) {
+    // Monomial-basis conversion becomes ill-conditioned far earlier than
+    // this; refuse clearly instead of returning garbage.
+    return Status::InvalidArgument("Chebyshev: degree too large (max 48)");
+  }
+  const size_t n = degree + 1;
+
+  // Chebyshev-basis coefficients via interpolation at the N nodes
+  // t_k = cos(pi (k + 1/2) / N) of [-1, 1], argument scaled by radius.
+  std::vector<double> cheb(n, 0.0);
+  std::vector<double> samples(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double t = std::cos(M_PI * (static_cast<double>(k) + 0.5) /
+                              static_cast<double>(n));
+    samples[k] = f(radius * t);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      acc += samples[k] * std::cos(M_PI * static_cast<double>(j) *
+                                   (static_cast<double>(k) + 0.5) /
+                                   static_cast<double>(n));
+    }
+    cheb[j] = 2.0 * acc / static_cast<double>(n);
+  }
+  cheb[0] /= 2.0;
+
+  // Expand T_j(t) into monomials of t via the recurrence
+  // T_{j+1} = 2 t T_j - T_{j-1}, accumulating cheb[j] * T_j.
+  std::vector<double> monomial_t(n, 0.0);
+  std::vector<double> t_prev(n, 0.0);  // T_0 = 1.
+  std::vector<double> t_curr(n, 0.0);  // T_1 = t.
+  t_prev[0] = 1.0;
+  if (n > 1) t_curr[1] = 1.0;
+  monomial_t[0] += cheb[0] * t_prev[0];
+  if (n > 1) {
+    for (size_t i = 0; i < n; ++i) monomial_t[i] += cheb[1] * t_curr[i];
+  }
+  for (size_t j = 2; j < n; ++j) {
+    std::vector<double> t_next(n, 0.0);
+    for (size_t i = 0; i + 1 < n; ++i) {
+      t_next[i + 1] += 2.0 * t_curr[i];
+    }
+    for (size_t i = 0; i < n; ++i) t_next[i] -= t_prev[i];
+    for (size_t i = 0; i < n; ++i) monomial_t[i] += cheb[j] * t_next[i];
+    t_prev = std::move(t_curr);
+    t_curr = std::move(t_next);
+  }
+
+  // Substitute t = u / radius: coefficient of u^i divides by radius^i.
+  std::vector<double> monomial_u(n);
+  double scale = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    monomial_u[i] = monomial_t[i] * scale;
+    scale /= radius;
+  }
+  return monomial_u;
+}
+
+double EvaluateMonomialBasis(const std::vector<double>& coefficients,
+                             double u) {
+  double acc = 0.0;
+  for (size_t i = coefficients.size(); i-- > 0;) {
+    acc = acc * u + coefficients[i];
+  }
+  return acc;
+}
+
+double MaxApproximationError(const std::function<double(double)>& f,
+                             const std::vector<double>& coefficients,
+                             double radius, size_t grid_points) {
+  double worst = 0.0;
+  for (size_t i = 0; i < grid_points; ++i) {
+    const double u = -radius + 2.0 * radius * static_cast<double>(i) /
+                                  static_cast<double>(grid_points - 1);
+    worst = std::max(worst, std::fabs(EvaluateMonomialBasis(coefficients,
+                                                            u) -
+                                      f(u)));
+  }
+  return worst;
+}
+
+Result<std::vector<double>> SigmoidChebyshevCoefficients(size_t degree,
+                                                         double radius) {
+  return ChebyshevCoefficients([](double u) { return Sigmoid(u); }, degree,
+                               radius);
+}
+
+}  // namespace sqm

@@ -1,0 +1,45 @@
+#ifndef SQM_POLY_CHEBYSHEV_H_
+#define SQM_POLY_CHEBYSHEV_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sqm {
+
+/// Chebyshev polynomial approximation on [-radius, radius].
+///
+/// The paper approximates the sigmoid with its Taylor truncation (optimal
+/// *at* 0); Chebyshev interpolation instead minimizes the worst-case error
+/// over the whole interval, which is what the sensitivity analysis of a
+/// polynomialized gradient actually depends on. Section V-B's discussion
+/// ("for more complicated functions ... one may need more complicated
+/// approximations") points exactly here; this module provides the tool and
+/// `bench/ablation_approximation` compares the two.
+
+/// Computes the monomial-basis coefficients c_0..c_degree of the
+/// Chebyshev interpolant of `f` on [-radius, radius] (interpolation at
+/// the degree+1 Chebyshev nodes, expanded to the monomial basis so the
+/// result can feed the SQM polynomial pipeline).
+Result<std::vector<double>> ChebyshevCoefficients(
+    const std::function<double(double)>& f, size_t degree, double radius);
+
+/// Evaluates a monomial-basis polynomial sum_i c_i u^i at `u` (Horner).
+double EvaluateMonomialBasis(const std::vector<double>& coefficients,
+                             double u);
+
+/// Max |approx - f| over a dense grid on [-radius, radius].
+double MaxApproximationError(const std::function<double(double)>& f,
+                             const std::vector<double>& coefficients,
+                             double radius, size_t grid_points = 4096);
+
+/// Convenience: Chebyshev coefficients of the sigmoid on [-radius,
+/// radius].
+Result<std::vector<double>> SigmoidChebyshevCoefficients(size_t degree,
+                                                         double radius);
+
+}  // namespace sqm
+
+#endif  // SQM_POLY_CHEBYSHEV_H_

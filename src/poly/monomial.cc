@@ -1,0 +1,74 @@
+#include "poly/monomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace sqm {
+
+Monomial::Monomial(double coefficient) : coefficient_(coefficient) {}
+
+Monomial::Monomial(double coefficient,
+                   std::vector<std::pair<size_t, uint32_t>> exponents)
+    : coefficient_(coefficient) {
+  // Normalize: merge duplicates, drop zero exponents, sort by variable.
+  std::map<size_t, uint32_t> merged;
+  for (const auto& [var, exp] : exponents) {
+    if (exp > 0) merged[var] += exp;
+  }
+  exponents_.assign(merged.begin(), merged.end());
+}
+
+Monomial Monomial::Power(double coefficient, size_t var, uint32_t power) {
+  return Monomial(coefficient, {{var, power}});
+}
+
+uint32_t Monomial::Degree() const {
+  uint32_t total = 0;
+  for (const auto& [var, exp] : exponents_) total += exp;
+  return total;
+}
+
+size_t Monomial::MinArity() const {
+  return exponents_.empty() ? 0 : exponents_.back().first + 1;
+}
+
+double Monomial::Evaluate(const std::vector<double>& x) const {
+  SQM_CHECK(x.size() >= MinArity());
+  double acc = coefficient_;
+  for (const auto& [var, exp] : exponents_) {
+    // Integer exponents are small; repeated multiplication beats pow().
+    double base = x[var];
+    double term = 1.0;
+    uint32_t e = exp;
+    while (e > 0) {
+      if (e & 1) term *= base;
+      base *= base;
+      e >>= 1;
+    }
+    acc *= term;
+  }
+  return acc;
+}
+
+Monomial Monomial::operator*(const Monomial& other) const {
+  std::vector<std::pair<size_t, uint32_t>> combined = exponents_;
+  combined.insert(combined.end(), other.exponents_.begin(),
+                  other.exponents_.end());
+  return Monomial(coefficient_ * other.coefficient_, std::move(combined));
+}
+
+std::string Monomial::ToString() const {
+  std::ostringstream os;
+  os << coefficient_;
+  for (const auto& [var, exp] : exponents_) {
+    os << "*x" << var;
+    if (exp > 1) os << "^" << exp;
+  }
+  return os.str();
+}
+
+}  // namespace sqm

@@ -1,0 +1,63 @@
+#ifndef SQM_POLY_MONOMIAL_H_
+#define SQM_POLY_MONOMIAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sqm {
+
+/// One term a * prod_j x[j]^{e_j} of a multivariate polynomial.
+///
+/// Exponents are stored sparsely as (variable index, exponent) pairs sorted
+/// by variable index — the paper's row B_t[l, :] of the exponent matrix.
+/// The degree lambda_t[l] = sum_j B_t[l, j] decides the quantization scale
+/// gamma^{1 + lambda - lambda_t[l]} applied to the coefficient in
+/// Algorithm 3.
+class Monomial {
+ public:
+  /// Constant monomial `coefficient` (degree 0).
+  explicit Monomial(double coefficient);
+
+  /// Monomial with the given sparse exponents; pairs with exponent 0 are
+  /// dropped, duplicate variables are merged by summing exponents.
+  Monomial(double coefficient,
+           std::vector<std::pair<size_t, uint32_t>> exponents);
+
+  /// Convenience: coefficient * x[var]^power.
+  static Monomial Power(double coefficient, size_t var, uint32_t power);
+
+  double coefficient() const { return coefficient_; }
+  void set_coefficient(double c) { coefficient_ = c; }
+
+  const std::vector<std::pair<size_t, uint32_t>>& exponents() const {
+    return exponents_;
+  }
+
+  /// Total degree sum_j e_j.
+  uint32_t Degree() const;
+
+  /// Largest variable index used + 1 (0 for constants).
+  size_t MinArity() const;
+
+  /// Evaluates on a real-valued point; `x.size()` must cover MinArity().
+  double Evaluate(const std::vector<double>& x) const;
+
+  /// Product of two monomials (coefficients multiply, exponents add).
+  Monomial operator*(const Monomial& other) const;
+
+  /// "2.5*x0^2*x3" rendering.
+  std::string ToString() const;
+
+ private:
+  double coefficient_;
+  std::vector<std::pair<size_t, uint32_t>> exponents_;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_POLY_MONOMIAL_H_

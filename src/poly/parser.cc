@@ -1,0 +1,192 @@
+#include "poly/parser.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace sqm {
+namespace {
+
+/// Single-pass recursive-descent parser over the grammar in the header.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Polynomial> Parse() {
+    Polynomial p;
+    SkipSpace();
+    if (AtEnd()) {
+      return Error("empty polynomial");
+    }
+    bool first = true;
+    while (!AtEnd()) {
+      double sign = 1.0;
+      SkipSpace();
+      if (Peek() == '+' || Peek() == '-') {
+        sign = Peek() == '-' ? -1.0 : 1.0;
+        Advance();
+      } else if (!first) {
+        return Error("expected '+' or '-' between terms");
+      }
+      SQM_ASSIGN_OR_RETURN(Monomial term, ParseTerm());
+      term.set_coefficient(sign * term.coefficient());
+      p.AddTerm(std::move(term));
+      first = false;
+      SkipSpace();
+    }
+    return p;
+  }
+
+ private:
+  Result<Monomial> ParseTerm() {
+    double coefficient = 1.0;
+    std::vector<std::pair<size_t, uint32_t>> exponents;
+    bool expect_factor = true;
+    while (expect_factor) {
+      SkipSpace();
+      if (AtEnd()) {
+        return Error("expected a factor");
+      }
+      const char c = Peek();
+      if (c == 'x' || c == 'X') {
+        Advance();
+        SQM_ASSIGN_OR_RETURN(const uint64_t index, ParseInteger("variable index"));
+        uint32_t exponent = 1;
+        SkipSpace();
+        if (!AtEnd() && Peek() == '^') {
+          Advance();
+          SkipSpace();
+          SQM_ASSIGN_OR_RETURN(const uint64_t e, ParseInteger("exponent"));
+          if (e == 0 || e > 64) {
+            return Error("exponent must be in [1, 64]");
+          }
+          exponent = static_cast<uint32_t>(e);
+        }
+        exponents.emplace_back(static_cast<size_t>(index), exponent);
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+        SQM_ASSIGN_OR_RETURN(const double value, ParseNumber());
+        coefficient *= value;
+      } else {
+        return Error(std::string("unexpected character '") + c + "'");
+      }
+      SkipSpace();
+      if (!AtEnd() && Peek() == '*') {
+        Advance();
+        expect_factor = true;
+      } else {
+        expect_factor = false;
+      }
+    }
+    return Monomial(coefficient, std::move(exponents));
+  }
+
+  Result<uint64_t> ParseInteger(const char* what) {
+    SkipSpace();
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Error(std::string("expected ") + what);
+    }
+    uint64_t value = 0;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      value = value * 10 + static_cast<uint64_t>(Peek() - '0');
+      if (value > 1000000) {
+        return Error(std::string(what) + " out of range");
+      }
+      Advance();
+    }
+    return value;
+  }
+
+  Result<double> ParseNumber() {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) {
+      return Error("expected a number");
+    }
+    pos_ += static_cast<size_t>(end - begin);
+    return value;
+  }
+
+  Status Error(const std::string& message) const {
+    std::ostringstream os;
+    os << "parse error at position " << pos_ << ": " << message << " in '"
+       << text_ << "'";
+    return Status::InvalidArgument(os.str());
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  void Advance() { ++pos_; }
+  void SkipSpace() {
+    while (!AtEnd() &&
+           std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Polynomial> ParsePolynomial(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+Result<PolynomialVector> ParsePolynomialVector(const std::string& text) {
+  PolynomialVector f;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t sep = text.find(';', start);
+    const std::string piece =
+        text.substr(start, sep == std::string::npos ? std::string::npos
+                                                    : sep - start);
+    SQM_ASSIGN_OR_RETURN(Polynomial p, ParsePolynomial(piece));
+    f.AddDimension(std::move(p));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  if (f.output_dim() == 0) {
+    return Status::InvalidArgument("no polynomial dimensions given");
+  }
+  return f;
+}
+
+std::string FormatPolynomial(const Polynomial& p) {
+  if (p.terms().empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (const Monomial& term : p.terms()) {
+    double coefficient = term.coefficient();
+    if (first) {
+      if (coefficient < 0) {
+        os << "-";
+        coefficient = -coefficient;
+      }
+    } else {
+      os << (coefficient < 0 ? " - " : " + ");
+      coefficient = std::fabs(coefficient);
+    }
+    const bool unit = coefficient == 1.0 && !term.exponents().empty();
+    if (!unit) {
+      // Shortest representation that round-trips exactly through strtod.
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", coefficient);
+      os << buf;
+    }
+    bool need_star = !unit;
+    for (const auto& [var, exp] : term.exponents()) {
+      if (need_star) os << "*";
+      os << "x" << var;
+      if (exp > 1) os << "^" << exp;
+      need_star = true;
+    }
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace sqm

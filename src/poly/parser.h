@@ -1,0 +1,37 @@
+#ifndef SQM_POLY_PARSER_H_
+#define SQM_POLY_PARSER_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "poly/polynomial.h"
+
+namespace sqm {
+
+/// Text format for polynomials, so tools and configs can specify the
+/// function of interest without writing C++:
+///
+///   polynomial := term (('+' | '-') term)*
+///   term       := factor ('*' factor)*
+///   factor     := number | variable ('^' exponent)?
+///   variable   := 'x' index          (x0, x1, ...)
+///
+/// Examples: "x0^3 + 1.5*x1*x2 + 2"  (the paper's running example),
+///           "0.5*x0 - x2*x0", "-2.5".
+/// Whitespace is ignored; numbers accept scientific notation; implicit
+/// multiplication is NOT supported ("2x0" is an error, write "2*x0").
+
+/// Parses one polynomial dimension. Errors carry the offending position.
+Result<Polynomial> ParsePolynomial(const std::string& text);
+
+/// Parses a d-dimensional polynomial: dimensions separated by ';'.
+/// Example: "x0*x0; x0*x1; x1*x1" is the 2-attribute outer product.
+Result<PolynomialVector> ParsePolynomialVector(const std::string& text);
+
+/// Renders a polynomial in the same format (round-trips through
+/// ParsePolynomial up to term order and float formatting).
+std::string FormatPolynomial(const Polynomial& p);
+
+}  // namespace sqm
+
+#endif  // SQM_POLY_PARSER_H_

@@ -1,0 +1,125 @@
+#include "poly/polynomial.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace sqm {
+
+Polynomial::Polynomial(std::vector<Monomial> terms)
+    : terms_(std::move(terms)) {}
+
+Polynomial& Polynomial::AddTerm(Monomial term) {
+  terms_.push_back(std::move(term));
+  return *this;
+}
+
+uint32_t Polynomial::Degree() const {
+  uint32_t degree = 0;
+  for (const Monomial& term : terms_) degree = std::max(degree, term.Degree());
+  return degree;
+}
+
+size_t Polynomial::MinArity() const {
+  size_t arity = 0;
+  for (const Monomial& term : terms_)
+    arity = std::max(arity, term.MinArity());
+  return arity;
+}
+
+double Polynomial::Evaluate(const std::vector<double>& x) const {
+  double acc = 0.0;
+  for (const Monomial& term : terms_) acc += term.Evaluate(x);
+  return acc;
+}
+
+double Polynomial::EvaluateSum(
+    const std::vector<std::vector<double>>& rows) const {
+  double acc = 0.0;
+  for (const auto& row : rows) acc += Evaluate(row);
+  return acc;
+}
+
+std::string Polynomial::ToString() const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) os << " + ";
+    os << terms_[i].ToString();
+  }
+  return os.str();
+}
+
+PolynomialVector::PolynomialVector(std::vector<Polynomial> dims)
+    : dims_(std::move(dims)) {}
+
+PolynomialVector& PolynomialVector::AddDimension(Polynomial p) {
+  dims_.push_back(std::move(p));
+  return *this;
+}
+
+uint32_t PolynomialVector::Degree() const {
+  uint32_t degree = 0;
+  for (const Polynomial& p : dims_) degree = std::max(degree, p.Degree());
+  return degree;
+}
+
+size_t PolynomialVector::MinArity() const {
+  size_t arity = 0;
+  for (const Polynomial& p : dims_) arity = std::max(arity, p.MinArity());
+  return arity;
+}
+
+std::vector<double> PolynomialVector::Evaluate(
+    const std::vector<double>& x) const {
+  std::vector<double> out(dims_.size());
+  for (size_t t = 0; t < dims_.size(); ++t) out[t] = dims_[t].Evaluate(x);
+  return out;
+}
+
+std::vector<double> PolynomialVector::EvaluateSum(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<double> acc(dims_.size(), 0.0);
+  for (const auto& row : rows) {
+    for (size_t t = 0; t < dims_.size(); ++t) {
+      acc[t] += dims_[t].Evaluate(row);
+    }
+  }
+  return acc;
+}
+
+size_t PolynomialVector::MaxTermsPerDimension() const {
+  size_t v = 0;
+  for (const Polynomial& p : dims_) v = std::max(v, p.num_terms());
+  return v;
+}
+
+PolynomialVector PolynomialVector::OuterProduct(size_t n) {
+  PolynomialVector f;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      Polynomial p;
+      if (i == j) {
+        p.AddTerm(Monomial::Power(1.0, i, 2));
+      } else {
+        p.AddTerm(Monomial(1.0, {{i, 1}, {j, 1}}));
+      }
+      f.AddDimension(std::move(p));
+    }
+  }
+  return f;
+}
+
+std::string PolynomialVector::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t t = 0; t < dims_.size(); ++t) {
+    if (t > 0) os << ", ";
+    os << dims_[t].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace sqm

@@ -1,0 +1,83 @@
+#ifndef SQM_POLY_POLYNOMIAL_H_
+#define SQM_POLY_POLYNOMIAL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "poly/monomial.h"
+
+namespace sqm {
+
+/// A one-dimensional multivariate polynomial: sum of monomials
+/// f_t(x) = sum_l a_t[l] * prod_j x[j]^{B_t[l,j]} (Eq. 6 in the paper).
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<Monomial> terms);
+
+  /// Builder-style addition of a term.
+  Polynomial& AddTerm(Monomial term);
+
+  const std::vector<Monomial>& terms() const { return terms_; }
+  size_t num_terms() const { return terms_.size(); }
+
+  /// Highest monomial degree (0 for the empty/constant polynomial).
+  uint32_t Degree() const;
+
+  /// Largest variable index used + 1.
+  size_t MinArity() const;
+
+  double Evaluate(const std::vector<double>& x) const;
+
+  /// Sum over the rows of a database: F(X) = sum_x f(x).
+  double EvaluateSum(const std::vector<std::vector<double>>& rows) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Monomial> terms_;
+};
+
+/// A d-dimensional polynomial function f = (f_1, ..., f_d) — the function
+/// class SQM evaluates over vertically partitioned data (Section III).
+class PolynomialVector {
+ public:
+  PolynomialVector() = default;
+  explicit PolynomialVector(std::vector<Polynomial> dims);
+
+  PolynomialVector& AddDimension(Polynomial p);
+
+  const std::vector<Polynomial>& dims() const { return dims_; }
+  size_t output_dim() const { return dims_.size(); }
+
+  /// Degree of the d-dimensional polynomial: max over dimensions (the
+  /// paper's lambda in Algorithm 3).
+  uint32_t Degree() const;
+
+  size_t MinArity() const;
+
+  std::vector<double> Evaluate(const std::vector<double>& x) const;
+
+  /// F(X) = sum over rows.
+  std::vector<double> EvaluateSum(
+      const std::vector<std::vector<double>>& rows) const;
+
+  /// Max over dimensions of the number of monomials (the paper's
+  /// max_t v_t appearing in the overhead discussion of Lemma 4).
+  size_t MaxTermsPerDimension() const;
+
+  /// The covariance/Gram target of Section V-A: f(x) = x^T x flattened
+  /// row-major to n*n dimensions, each dimension x[i]*x[j].
+  static PolynomialVector OuterProduct(size_t n);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Polynomial> dims_;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_POLY_POLYNOMIAL_H_

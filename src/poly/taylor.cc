@@ -1,0 +1,51 @@
+#include "poly/taylor.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sqm {
+
+std::vector<double> SigmoidTaylorCoefficients(size_t order) {
+  SQM_CHECK(order == 1 || order == 3 || order == 5 || order == 7);
+  // sigma(u) = 1/2 + u/4 - u^3/48 + u^5/480 - 17u^7/80640 + ...
+  std::vector<double> coeffs(order + 1, 0.0);
+  coeffs[0] = 0.5;
+  coeffs[1] = 0.25;
+  if (order >= 3) coeffs[3] = -1.0 / 48.0;
+  if (order >= 5) coeffs[5] = 1.0 / 480.0;
+  if (order >= 7) coeffs[7] = -17.0 / 80640.0;
+  return coeffs;
+}
+
+double SigmoidTaylor(double u, size_t order) {
+  const std::vector<double> coeffs = SigmoidTaylorCoefficients(order);
+  // Horner evaluation.
+  double acc = 0.0;
+  for (size_t i = coeffs.size(); i-- > 0;) acc = acc * u + coeffs[i];
+  return acc;
+}
+
+double Sigmoid(double u) {
+  // Branch on sign for numerical stability at large |u|.
+  if (u >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-u));
+  }
+  const double e = std::exp(u);
+  return e / (1.0 + e);
+}
+
+double SigmoidTaylorMaxError(size_t order, double bound, size_t grid_points) {
+  SQM_CHECK(bound > 0.0 && grid_points >= 2);
+  double max_err = 0.0;
+  for (size_t i = 0; i < grid_points; ++i) {
+    const double u =
+        -bound + 2.0 * bound * static_cast<double>(i) /
+                     static_cast<double>(grid_points - 1);
+    max_err = std::max(max_err, std::fabs(SigmoidTaylor(u, order) -
+                                          Sigmoid(u)));
+  }
+  return max_err;
+}
+
+}  // namespace sqm

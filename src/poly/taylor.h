@@ -1,0 +1,36 @@
+#ifndef SQM_POLY_TAYLOR_H_
+#define SQM_POLY_TAYLOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sqm {
+
+/// Polynomial approximations of the sigmoid, following Section V-B of the
+/// paper (which follows Zhang et al.'s functional mechanism [66]).
+///
+/// The Taylor series of sigma(u) = 1 / (1 + e^{-u}) at u = 0 is
+///   sigma(u) = 1/2 + u/4 - u^3/48 + u^5/480 - ...
+/// The paper uses the order-1 truncation sigma(u) ~ 1/2 + u/4, which makes
+/// the LR gradient a degree-2 polynomial of (x, y) (Eq. 9). Higher orders
+/// are provided for the extension experiments (DESIGN.md ablations).
+
+/// Coefficients c_0..c_order of the Taylor truncation of sigmoid at 0.
+/// Even-order coefficients beyond c_0 are zero. `order` in {1, 3, 5, 7}.
+std::vector<double> SigmoidTaylorCoefficients(size_t order);
+
+/// Evaluates the order-`order` Taylor sigmoid approximation at u.
+double SigmoidTaylor(double u, size_t order);
+
+/// Exact sigmoid (used by the central DPSGD baseline, which does not need a
+/// polynomial form).
+double Sigmoid(double u);
+
+/// Max absolute error of the order-`order` approximation over |u| <= bound,
+/// by dense grid scan. Used in tests and the Figure 5 discussion.
+double SigmoidTaylorMaxError(size_t order, double bound,
+                             size_t grid_points = 4096);
+
+}  // namespace sqm
+
+#endif  // SQM_POLY_TAYLOR_H_

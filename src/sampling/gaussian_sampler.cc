@@ -1,0 +1,37 @@
+#include "sampling/gaussian_sampler.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sqm {
+
+GaussianSampler::GaussianSampler(double sigma) : sigma_(sigma) {
+  SQM_CHECK(sigma >= 0.0);
+}
+
+double GaussianSampler::Sample(Rng& rng) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_ * sigma_;
+  }
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = 2.0 * rng.NextDouble() - 1.0;
+    v = 2.0 * rng.NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor * sigma_;
+}
+
+std::vector<double> GaussianSampler::SampleVector(Rng& rng, size_t count) {
+  std::vector<double> out(count);
+  for (auto& x : out) x = Sample(rng);
+  return out;
+}
+
+}  // namespace sqm

@@ -1,0 +1,39 @@
+#ifndef SQM_SAMPLING_GAUSSIAN_SAMPLER_H_
+#define SQM_SAMPLING_GAUSSIAN_SAMPLER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sampling/rng.h"
+
+namespace sqm {
+
+/// Sampler for the continuous Gaussian N(0, sigma^2).
+///
+/// Used only by the *baselines* (the local-DP VFL baseline of Algorithm 4,
+/// central DPSGD, Analyze-Gauss PCA). SQM itself never samples continuous
+/// noise — that is the point of the paper: continuous mechanisms realized in
+/// finite precision can violate DP, so SQM injects integer Skellam noise.
+class GaussianSampler {
+ public:
+  /// Creates a sampler with standard deviation `sigma` >= 0.
+  explicit GaussianSampler(double sigma);
+
+  /// Draws one variate (Marsaglia polar method; both values of each pair are
+  /// used).
+  double Sample(Rng& rng);
+
+  /// Draws `count` i.i.d. variates.
+  std::vector<double> SampleVector(Rng& rng, size_t count);
+
+  double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_SAMPLING_GAUSSIAN_SAMPLER_H_

@@ -1,0 +1,47 @@
+#ifndef SQM_SAMPLING_POISSON_H_
+#define SQM_SAMPLING_POISSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sampling/rng.h"
+
+namespace sqm {
+
+/// Exact sampler for the Poisson(mu) distribution.
+///
+/// Two regimes, both exact (no normal approximation — DP noise must follow
+/// the stated distribution exactly or the privacy proof does not apply):
+///  - mu < 10: Knuth's product-of-uniforms inversion.
+///  - mu >= 10: Hörmann's PTRS transformed-rejection sampler.
+///
+/// SQM draws Skellam noise as the difference of two Poisson draws, so the
+/// per-client noise cost is two calls per output dimension.
+class PoissonSampler {
+ public:
+  /// Creates a sampler with fixed rate `mu` >= 0.
+  explicit PoissonSampler(double mu);
+
+  /// Draws one variate using `rng`.
+  int64_t Sample(Rng& rng) const;
+
+  /// Draws `count` variates.
+  std::vector<int64_t> SampleVector(Rng& rng, size_t count) const;
+
+  double mu() const { return mu_; }
+
+ private:
+  int64_t SampleKnuth(Rng& rng) const;
+  int64_t SamplePtrs(Rng& rng) const;
+
+  double mu_;
+  // Precomputed PTRS constants (valid when mu_ >= kPtrsThreshold).
+  double b_, a_, inv_alpha_, v_r_, log_mu_;
+
+  static constexpr double kPtrsThreshold = 10.0;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_SAMPLING_POISSON_H_

@@ -1,0 +1,37 @@
+#include "sampling/skellam_sampler.h"
+
+#include <cmath>
+
+namespace sqm {
+
+SkellamSampler::SkellamSampler(double mu) : poisson_(mu) {}
+
+bool SkellamSampler::IsExact() const {
+  return poisson_.mu() <= kExactMuLimit;
+}
+
+int64_t SkellamSampler::Sample(Rng& rng) const {
+  const double mu = poisson_.mu();
+  if (mu <= kExactMuLimit) {
+    return poisson_.Sample(rng) - poisson_.Sample(rng);
+  }
+  // Large-mu fallback: rounded Gaussian of matching variance (see header).
+  // Inline Box-Muller-style polar draw to keep the sampler stateless.
+  double u, v, s;
+  do {
+    u = 2.0 * rng.NextDouble() - 1.0;
+    v = 2.0 * rng.NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double gaussian = u * std::sqrt(-2.0 * std::log(s) / s);
+  return static_cast<int64_t>(std::llround(gaussian * std::sqrt(2.0 * mu)));
+}
+
+std::vector<int64_t> SkellamSampler::SampleVector(Rng& rng,
+                                                  size_t count) const {
+  std::vector<int64_t> out(count);
+  for (auto& v : out) v = Sample(rng);
+  return out;
+}
+
+}  // namespace sqm

@@ -1,0 +1,121 @@
+#include "vfl/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace sqm {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, delimiter)) {
+    fields.push_back(field);
+  }
+  // Trailing delimiter produces an empty final field in most CSV dialects.
+  if (!line.empty() && line.back() == delimiter) fields.emplace_back();
+  return fields;
+}
+
+Result<double> ParseDouble(const std::string& field, size_t line_number) {
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::IoError("line " + std::to_string(line_number) +
+                           ": cannot parse numeric field '" + field + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<VflDataset> LoadCsvDataset(const std::string& path,
+                                  const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  std::string line;
+  size_t line_number = 0;
+  size_t expected_fields = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line_number == 1 && options.has_header) continue;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields =
+        SplitLine(line, options.delimiter);
+    if (expected_fields == 0) {
+      expected_fields = fields.size();
+      if (options.label_column >= 0 &&
+          static_cast<size_t>(options.label_column) >= expected_fields) {
+        return Status::InvalidArgument("label_column out of range");
+      }
+    } else if (fields.size() != expected_fields) {
+      return Status::IoError("line " + std::to_string(line_number) +
+                             ": expected " +
+                             std::to_string(expected_fields) + " fields, got " +
+                             std::to_string(fields.size()));
+    }
+    std::vector<double> row;
+    row.reserve(expected_fields);
+    for (size_t j = 0; j < fields.size(); ++j) {
+      SQM_ASSIGN_OR_RETURN(const double value,
+                           ParseDouble(fields[j], line_number));
+      if (options.label_column >= 0 &&
+          j == static_cast<size_t>(options.label_column)) {
+        labels.push_back(static_cast<int>(value));
+      } else {
+        row.push_back(value);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::IoError("'" + path + "' contains no data rows");
+  }
+
+  VflDataset data;
+  data.name = path;
+  data.features = Matrix(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    data.features.SetRow(i, rows[i]);
+  }
+  data.labels = std::move(labels);
+  return data;
+}
+
+Status SaveCsvDataset(const VflDataset& data, const std::string& path,
+                      const CsvOptions& options) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  if (options.has_header) {
+    for (size_t j = 0; j < data.num_features(); ++j) {
+      if (j > 0) file << options.delimiter;
+      file << "f" << j;
+    }
+    if (data.has_labels()) file << options.delimiter << "label";
+    file << "\n";
+  }
+  for (size_t i = 0; i < data.num_records(); ++i) {
+    for (size_t j = 0; j < data.num_features(); ++j) {
+      if (j > 0) file << options.delimiter;
+      file << data.features(i, j);
+    }
+    if (data.has_labels()) file << options.delimiter << data.labels[i];
+    file << "\n";
+  }
+  if (!file) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace sqm

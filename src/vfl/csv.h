@@ -1,0 +1,37 @@
+#ifndef SQM_VFL_CSV_H_
+#define SQM_VFL_CSV_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "math/matrix.h"
+#include "vfl/dataset.h"
+
+namespace sqm {
+
+/// Minimal CSV support so users can run the paper's real datasets (KDDCUP,
+/// ACSIncome, ...) through the same pipelines the synthetic benches use.
+
+/// Options for CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Skip the first line (header).
+  bool has_header = true;
+  /// Column holding the class label; -1 for unlabelled data. Labels are
+  /// parsed as integers.
+  int label_column = -1;
+};
+
+/// Parses a numeric CSV file into a dataset. Every non-label field must
+/// parse as a double; otherwise IoError with the offending line.
+Result<VflDataset> LoadCsvDataset(const std::string& path,
+                                  const CsvOptions& options = {});
+
+/// Writes a dataset to CSV (features, then label if present). Round-trips
+/// with LoadCsvDataset.
+Status SaveCsvDataset(const VflDataset& data, const std::string& path,
+                      const CsvOptions& options = {});
+
+}  // namespace sqm
+
+#endif  // SQM_VFL_CSV_H_

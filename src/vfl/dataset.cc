@@ -1,0 +1,91 @@
+#include "vfl/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/logging.h"
+#include "math/linalg.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+namespace {
+
+/// Seeded Fisher-Yates permutation of [0, m).
+std::vector<size_t> ShuffledIndices(size_t m, uint64_t seed) {
+  std::vector<size_t> idx(m);
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng rng(seed);
+  for (size_t i = m; i > 1; --i) {
+    const size_t j = rng.NextBounded(i);
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+VflDataset TakeRows(const VflDataset& data, const std::vector<size_t>& rows,
+                    const std::string& suffix) {
+  VflDataset out;
+  out.name = data.name + suffix;
+  out.features = data.features.SelectRows(rows);
+  if (data.has_labels()) {
+    out.labels.reserve(rows.size());
+    for (size_t r : rows) out.labels.push_back(data.labels[r]);
+  }
+  return out;
+}
+
+}  // namespace
+
+double MaxRecordNorm(const Matrix& x) {
+  double max_norm = 0.0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    max_norm = std::max(max_norm, Norm2(x.Row(i)));
+  }
+  return max_norm;
+}
+
+void NormalizeRecords(Matrix& x, double target_norm) {
+  SQM_CHECK(target_norm > 0.0);
+  const double max_norm = MaxRecordNorm(x);
+  if (max_norm > target_norm) {
+    x *= target_norm / max_norm;
+  }
+}
+
+Result<TrainTestSplit> SplitTrainTest(const VflDataset& data,
+                                      double train_fraction, uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    return Status::InvalidArgument("train_fraction must be in (0, 1)");
+  }
+  const size_t m = data.num_records();
+  if (m < 2) {
+    return Status::InvalidArgument("need >= 2 records to split");
+  }
+  const std::vector<size_t> idx = ShuffledIndices(m, seed);
+  const size_t train_count = std::max<size_t>(
+      1, static_cast<size_t>(std::floor(static_cast<double>(m) *
+                                        train_fraction)));
+  TrainTestSplit split;
+  split.train = TakeRows(
+      data, std::vector<size_t>(idx.begin(), idx.begin() + train_count),
+      "/train");
+  split.test = TakeRows(
+      data, std::vector<size_t>(idx.begin() + train_count, idx.end()),
+      "/test");
+  return split;
+}
+
+Result<VflDataset> SubsampleRecords(const VflDataset& data, size_t count,
+                                    uint64_t seed) {
+  if (count == 0 || count > data.num_records()) {
+    return Status::InvalidArgument(
+        "subsample count must be in [1, num_records]");
+  }
+  const std::vector<size_t> idx = ShuffledIndices(data.num_records(), seed);
+  return TakeRows(data,
+                  std::vector<size_t>(idx.begin(), idx.begin() + count),
+                  "/sub");
+}
+
+}  // namespace sqm

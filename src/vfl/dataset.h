@@ -1,0 +1,51 @@
+#ifndef SQM_VFL_DATASET_H_
+#define SQM_VFL_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "math/matrix.h"
+
+namespace sqm {
+
+/// A labelled (or unlabelled) dataset as the VFL applications consume it:
+/// records are rows; in the vertical-partitioning model column j belongs to
+/// client j (labels, when present, belong to one additional label client).
+struct VflDataset {
+  std::string name;
+  Matrix features;           ///< m x d.
+  std::vector<int> labels;   ///< Size m for classification tasks, else empty.
+
+  size_t num_records() const { return features.rows(); }
+  size_t num_features() const { return features.cols(); }
+  bool has_labels() const { return !labels.empty(); }
+};
+
+/// Largest record L2 norm in `x`.
+double MaxRecordNorm(const Matrix& x);
+
+/// Scales the whole matrix by one global factor so every record satisfies
+/// ||x||_2 <= target_norm (the paper's norm precondition; a global factor
+/// preserves the principal subspace and the linear separability structure).
+/// No-op when already within the bound.
+void NormalizeRecords(Matrix& x, double target_norm);
+
+/// Deterministic train/test split: the first floor(m * train_fraction)
+/// records after a seeded shuffle go to train.
+struct TrainTestSplit {
+  VflDataset train;
+  VflDataset test;
+};
+Result<TrainTestSplit> SplitTrainTest(const VflDataset& data,
+                                      double train_fraction, uint64_t seed);
+
+/// Uniform subsample without replacement of `count` records (the paper's
+/// "randomly sample 10% of the datasets as the training data" step).
+Result<VflDataset> SubsampleRecords(const VflDataset& data, size_t count,
+                                    uint64_t seed);
+
+}  // namespace sqm
+
+#endif  // SQM_VFL_DATASET_H_

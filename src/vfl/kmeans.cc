@@ -1,0 +1,179 @@
+#include "vfl/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/baseline.h"
+#include "core/logging.h"
+#include "math/linalg.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+namespace {
+
+double SquaredDistance(const Matrix& x, size_t row, const Matrix& centroids,
+                       size_t c) {
+  double acc = 0.0;
+  for (size_t j = 0; j < x.cols(); ++j) {
+    const double diff = x(row, j) - centroids(c, j);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// Farthest-point (k-means++-style, deterministic given the seed point)
+/// seeding: start from a seeded random record, then repeatedly take the
+/// record farthest from the chosen set.
+Matrix SeedCentroids(const Matrix& x, size_t k, uint64_t seed) {
+  Matrix centroids(k, x.cols());
+  Rng rng(seed);
+  centroids.SetRow(0, x.Row(rng.NextBounded(x.rows())));
+  for (size_t c = 1; c < k; ++c) {
+    size_t best_row = 0;
+    double best_dist = -1.0;
+    for (size_t i = 0; i < x.rows(); ++i) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (size_t prev = 0; prev < c; ++prev) {
+        nearest = std::min(nearest, SquaredDistance(x, i, centroids, prev));
+      }
+      if (nearest > best_dist) {
+        best_dist = nearest;
+        best_row = i;
+      }
+    }
+    centroids.SetRow(c, x.Row(best_row));
+  }
+  return centroids;
+}
+
+Status ValidateOptions(const Matrix& x, const KMeansOptions& options) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty data matrix");
+  }
+  if (options.k == 0 || options.k > x.rows()) {
+    return Status::InvalidArgument("k must be in [1, m]");
+  }
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be > 0");
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> Assign(const Matrix& x, const Matrix& centroids) {
+  std::vector<size_t> assignments(x.rows(), 0);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < centroids.rows(); ++c) {
+      const double dist = SquaredDistance(x, i, centroids, c);
+      if (dist < best) {
+        best = dist;
+        assignments[i] = c;
+      }
+    }
+  }
+  return assignments;
+}
+
+double Inertia(const Matrix& x, const Matrix& centroids,
+               const std::vector<size_t>& assignments) {
+  double acc = 0.0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    acc += SquaredDistance(x, i, centroids, assignments[i]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<Matrix> KMeansLloydStep(const Matrix& x,
+                               const std::vector<size_t>& assignments,
+                               const Matrix& previous_centroids) {
+  if (assignments.size() != x.rows()) {
+    return Status::InvalidArgument("one assignment per record required");
+  }
+  const size_t k = previous_centroids.rows();
+  if (previous_centroids.cols() != x.cols()) {
+    return Status::InvalidArgument("centroid dimension mismatch");
+  }
+  // Per-cluster sums and counts: linear polynomials of the records, the
+  // SQM-computable core of the update.
+  Matrix sums(k, x.cols());
+  std::vector<size_t> counts(k, 0);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const size_t c = assignments[i];
+    if (c >= k) {
+      return Status::InvalidArgument("assignment references unknown cluster");
+    }
+    ++counts[c];
+    for (size_t j = 0; j < x.cols(); ++j) sums(c, j) += x(i, j);
+  }
+  Matrix centroids = previous_centroids;
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;  // Keep the previous centroid.
+    for (size_t j = 0; j < x.cols(); ++j) {
+      centroids(c, j) = sums(c, j) / static_cast<double>(counts[c]);
+    }
+  }
+  return centroids;
+}
+
+Result<KMeansResult> KMeans(const Matrix& x, const KMeansOptions& options) {
+  SQM_RETURN_NOT_OK(ValidateOptions(x, options));
+  Matrix centroids = SeedCentroids(x, options.k, options.seed);
+  KMeansResult result;
+  double previous_inertia = std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.assignments = Assign(x, centroids);
+    SQM_ASSIGN_OR_RETURN(centroids,
+                         KMeansLloydStep(x, result.assignments, centroids));
+    result.inertia = Inertia(x, centroids, result.assignments);
+    result.iterations = iter + 1;
+    if (previous_inertia - result.inertia <
+        options.tolerance * std::max(previous_inertia, 1e-12)) {
+      break;
+    }
+    previous_inertia = result.inertia;
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+Result<KMeansResult> LocalDpKMeans(const Matrix& x,
+                                   const KMeansOptions& options,
+                                   double epsilon, double delta,
+                                   double record_norm_bound) {
+  SQM_RETURN_NOT_OK(ValidateOptions(x, options));
+  SQM_ASSIGN_OR_RETURN(
+      const double sigma,
+      CalibrateLocalDpSigma(epsilon, delta, record_norm_bound));
+  const Matrix noisy =
+      PerturbDatabaseLocally(x, sigma, options.seed ^ 0x63a75);
+  SQM_ASSIGN_OR_RETURN(KMeansResult noisy_result, KMeans(noisy, options));
+  // Post-processing: evaluate the noisy clustering on the clean data.
+  KMeansResult result;
+  result.centroids = noisy_result.centroids;
+  result.assignments = std::move(noisy_result.assignments);
+  result.inertia = Inertia(x, result.centroids, result.assignments);
+  result.iterations = noisy_result.iterations;
+  result.sigma = sigma;
+  return result;
+}
+
+double RandIndex(const std::vector<size_t>& a,
+                 const std::vector<size_t>& b) {
+  SQM_CHECK(a.size() == b.size());
+  if (a.size() < 2) return 1.0;
+  size_t agree = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      const bool same_a = a[i] == a[j];
+      const bool same_b = b[i] == b[j];
+      if (same_a == same_b) ++agree;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace sqm

@@ -1,0 +1,380 @@
+#include "vfl/linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/baseline.h"
+#include "core/logging.h"
+#include "core/sensitivity.h"
+#include "dp/gaussian.h"
+#include "dp/skellam.h"
+#include "math/linalg.h"
+#include "sampling/gaussian_sampler.h"
+#include "sampling/rng.h"
+#include "vfl/dataset.h"
+
+namespace sqm {
+namespace {
+
+Status ValidateCommon(const RegressionDataset& train,
+                      const RegressionDataset& test,
+                      const LinearOptions& options) {
+  if (train.targets.size() != train.num_records() ||
+      test.targets.size() != test.num_records()) {
+    return Status::InvalidArgument("regression data needs one target/row");
+  }
+  if (train.num_features() != test.num_features()) {
+    return Status::InvalidArgument("train/test feature dimension mismatch");
+  }
+  if (train.num_records() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (options.sample_rate <= 0.0 || options.sample_rate > 1.0) {
+    return Status::InvalidArgument("sample_rate must be in (0, 1]");
+  }
+  if (options.rounds == 0) {
+    return Status::InvalidArgument("rounds must be > 0");
+  }
+  if (options.learning_rate <= 0.0 || options.weight_clip <= 0.0) {
+    return Status::InvalidArgument(
+        "learning_rate and weight_clip must be positive");
+  }
+  if (options.l2_penalty < 0.0) {
+    return Status::InvalidArgument("l2_penalty must be >= 0");
+  }
+  return Status::OK();
+}
+
+/// Normalizes features to ||x||_2 <= 1 and targets to |y| <= 1.
+RegressionDataset NormalizedCopy(const RegressionDataset& data) {
+  RegressionDataset out = data;
+  NormalizeRecords(out.features, 1.0);
+  double max_target = 0.0;
+  for (double y : out.targets) max_target = std::max(max_target,
+                                                     std::fabs(y));
+  if (max_target > 1.0) {
+    for (double& y : out.targets) y /= max_target;
+  }
+  return out;
+}
+
+std::vector<double> InitialWeights(size_t d, double clip, Rng& rng) {
+  GaussianSampler gaussian(0.1);
+  std::vector<double> w(d);
+  for (auto& wi : w) wi = gaussian.Sample(rng);
+  ClipNorm(w, clip);
+  return w;
+}
+
+std::vector<size_t> PoissonBatch(size_t m, double q, Rng& rng) {
+  std::vector<size_t> batch;
+  for (size_t i = 0; i < m; ++i) {
+    if (rng.NextBernoulli(q)) batch.push_back(i);
+  }
+  return batch;
+}
+
+LinearResult FinishResult(std::vector<double> weights,
+                          const RegressionDataset& train,
+                          const RegressionDataset& test) {
+  LinearResult result;
+  result.train_rmse = Rmse(weights, train);
+  result.test_rmse = Rmse(weights, test);
+  result.weights = std::move(weights);
+  return result;
+}
+
+}  // namespace
+
+double Rmse(const std::vector<double>& weights,
+            const RegressionDataset& data) {
+  SQM_CHECK(weights.size() == data.num_features());
+  double acc = 0.0;
+  for (size_t i = 0; i < data.num_records(); ++i) {
+    const double err = Dot(weights, data.features.Row(i)) -
+                       data.targets[i];
+    acc += err * err;
+  }
+  return std::sqrt(acc / static_cast<double>(data.num_records()));
+}
+
+PolynomialVector BuildLinearGradientPolynomial(
+    const std::vector<double>& weights) {
+  const size_t d = weights.size();
+  const size_t target_var = d;
+  PolynomialVector f;
+  for (size_t t = 0; t < d; ++t) {
+    Polynomial p;
+    for (size_t j = 0; j < d; ++j) {
+      if (weights[j] == 0.0) continue;
+      p.AddTerm(Monomial(weights[j], {{j, 1}, {t, 1}}));
+    }
+    p.AddTerm(Monomial(-1.0, {{target_var, 1}, {t, 1}}));
+    f.AddDimension(std::move(p));
+  }
+  return f;
+}
+
+Result<LinearResult> TrainSqmLinear(const RegressionDataset& train,
+                                    const RegressionDataset& test,
+                                    const LinearOptions& options) {
+  SQM_RETURN_NOT_OK(ValidateCommon(train, test, options));
+  const RegressionDataset clean_train = NormalizedCopy(train);
+  const RegressionDataset clean_test = NormalizedCopy(test);
+  const size_t m = clean_train.num_records();
+  const size_t d = clean_train.num_features();
+  const size_t num_clients =
+      options.num_clients == 0 ? d + 1 : options.num_clients;
+
+  // Sensitivity of one quantized release from the generic Lemma-4 bound:
+  // with ||x||, ||w|| <= 1 and |y| <= 1, ||f(w,(x,y))||_2 <= |<w,x>| + |y|
+  // <= 2.
+  Rng probe(options.seed);
+  const PolynomialVector probe_poly =
+      BuildLinearGradientPolynomial(InitialWeights(d, options.weight_clip,
+                                                   probe));
+  const SensitivityBound sens = PolynomialSensitivity(
+      probe_poly, options.gamma, /*record_norm_bound=*/std::sqrt(2.0),
+      /*max_f_l2=*/2.0);
+  SQM_ASSIGN_OR_RETURN(
+      const double mu,
+      CalibrateSkellamMuSubsampled(options.epsilon, options.delta, sens.l1,
+                                   sens.l2, options.sample_rate,
+                                   options.rounds));
+
+  Rng rng(options.seed);
+  std::vector<double> w = InitialWeights(d, options.weight_clip, rng);
+  const double expected_batch =
+      std::max(1.0, options.sample_rate * static_cast<double>(m));
+
+  LinearResult accum;
+  accum.mu = mu;
+  for (size_t round = 0; round < options.rounds; ++round) {
+    const std::vector<size_t> batch = PoissonBatch(m, options.sample_rate,
+                                                   rng);
+    if (batch.empty()) continue;
+
+    Matrix batch_db(batch.size(), d + 1);
+    for (size_t b = 0; b < batch.size(); ++b) {
+      const size_t row = batch[b];
+      for (size_t j = 0; j < d; ++j) {
+        batch_db(b, j) = clean_train.features(row, j);
+      }
+      batch_db(b, d) = clean_train.targets[row];
+    }
+
+    const PolynomialVector f = BuildLinearGradientPolynomial(w);
+    SqmOptions sqm_options;
+    sqm_options.gamma = options.gamma;
+    sqm_options.mu = mu;
+    sqm_options.num_clients = num_clients;
+    sqm_options.backend = options.backend;
+    sqm_options.seed = options.seed ^ (0x11ea5 + round);
+    sqm_options.max_f_l2 = 2.0;
+    SqmEvaluator evaluator(sqm_options);
+    SQM_ASSIGN_OR_RETURN(const SqmReport report,
+                         evaluator.Evaluate(f, batch_db));
+
+    for (size_t j = 0; j < d; ++j) {
+      // Private gradient estimate plus the public ridge term.
+      const double grad =
+          report.estimate[j] / expected_batch + options.l2_penalty * w[j];
+      w[j] -= options.learning_rate * grad;
+    }
+    ClipNorm(w, options.weight_clip);
+  }
+  LinearResult result = FinishResult(std::move(w), clean_train, clean_test);
+  result.mu = accum.mu;
+  return result;
+}
+
+Result<LinearResult> TrainDpSgdLinear(const RegressionDataset& train,
+                                      const RegressionDataset& test,
+                                      const LinearOptions& options) {
+  SQM_RETURN_NOT_OK(ValidateCommon(train, test, options));
+  const RegressionDataset clean_train = NormalizedCopy(train);
+  const RegressionDataset clean_test = NormalizedCopy(test);
+  const size_t m = clean_train.num_records();
+  const size_t d = clean_train.num_features();
+
+  constexpr double kClip = 2.0;  // ||grad|| <= 2 under the norm bounds.
+  SQM_ASSIGN_OR_RETURN(
+      const double z,
+      CalibrateDpSgdNoise(options.epsilon, options.delta,
+                          options.sample_rate, options.rounds));
+
+  Rng rng(options.seed);
+  GaussianSampler noise(z * kClip);
+  std::vector<double> w = InitialWeights(d, options.weight_clip, rng);
+  const double expected_batch =
+      std::max(1.0, options.sample_rate * static_cast<double>(m));
+
+  for (size_t round = 0; round < options.rounds; ++round) {
+    const std::vector<size_t> batch = PoissonBatch(m, options.sample_rate,
+                                                   rng);
+    std::vector<double> grad_sum(d, 0.0);
+    for (size_t row : batch) {
+      const std::vector<double> x = clean_train.features.Row(row);
+      const double err = Dot(w, x) - clean_train.targets[row];
+      std::vector<double> g(d);
+      for (size_t j = 0; j < d; ++j) g[j] = err * x[j];
+      ClipNorm(g, kClip);
+      for (size_t j = 0; j < d; ++j) grad_sum[j] += g[j];
+    }
+    for (size_t j = 0; j < d; ++j) {
+      grad_sum[j] += noise.Sample(rng);
+      const double grad =
+          grad_sum[j] / expected_batch + options.l2_penalty * w[j];
+      w[j] -= options.learning_rate * grad;
+    }
+    ClipNorm(w, options.weight_clip);
+  }
+  LinearResult result = FinishResult(std::move(w), clean_train, clean_test);
+  result.sigma = z * kClip;
+  return result;
+}
+
+Result<LinearResult> TrainLocalDpLinear(const RegressionDataset& train,
+                                        const RegressionDataset& test,
+                                        const LinearOptions& options) {
+  SQM_RETURN_NOT_OK(ValidateCommon(train, test, options));
+  const RegressionDataset clean_train = NormalizedCopy(train);
+  const RegressionDataset clean_test = NormalizedCopy(test);
+  const size_t m = clean_train.num_records();
+  const size_t d = clean_train.num_features();
+
+  const double record_bound = std::sqrt(2.0);
+  SQM_ASSIGN_OR_RETURN(
+      const double sigma,
+      CalibrateLocalDpSigma(options.epsilon, options.delta, record_bound));
+
+  Matrix full(m, d + 1);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < d; ++j) full(i, j) = clean_train.features(i, j);
+    full(i, d) = clean_train.targets[i];
+  }
+  const Matrix noisy =
+      PerturbDatabaseLocally(full, sigma, options.seed ^ 0x11ea5);
+
+  Rng rng(options.seed);
+  std::vector<double> w = InitialWeights(d, options.weight_clip, rng);
+  constexpr size_t kConvergenceIters = 300;
+  for (size_t iter = 0; iter < kConvergenceIters; ++iter) {
+    std::vector<double> grad(d, 0.0);
+    for (size_t i = 0; i < m; ++i) {
+      double u = 0.0;
+      for (size_t j = 0; j < d; ++j) u += w[j] * noisy(i, j);
+      const double err = u - noisy(i, d);
+      for (size_t j = 0; j < d; ++j) grad[j] += err * noisy(i, j);
+    }
+    for (size_t j = 0; j < d; ++j) {
+      w[j] -= options.learning_rate *
+              (grad[j] / static_cast<double>(m) +
+               options.l2_penalty * w[j]);
+    }
+    ClipNorm(w, options.weight_clip);
+  }
+  LinearResult result = FinishResult(std::move(w), clean_train, clean_test);
+  result.sigma = sigma;
+  return result;
+}
+
+Result<LinearResult> TrainNonPrivateLinear(const RegressionDataset& train,
+                                           const RegressionDataset& test,
+                                           const LinearOptions& options) {
+  SQM_RETURN_NOT_OK(ValidateCommon(train, test, options));
+  const RegressionDataset clean_train = NormalizedCopy(train);
+  const RegressionDataset clean_test = NormalizedCopy(test);
+  const size_t m = clean_train.num_records();
+  const size_t d = clean_train.num_features();
+
+  Rng rng(options.seed);
+  std::vector<double> w = InitialWeights(d, options.weight_clip, rng);
+  for (size_t round = 0; round < options.rounds; ++round) {
+    const std::vector<size_t> batch = PoissonBatch(m, options.sample_rate,
+                                                   rng);
+    if (batch.empty()) continue;
+    std::vector<double> grad(d, 0.0);
+    for (size_t row : batch) {
+      const std::vector<double> x = clean_train.features.Row(row);
+      const double err = Dot(w, x) - clean_train.targets[row];
+      for (size_t j = 0; j < d; ++j) grad[j] += err * x[j];
+    }
+    for (size_t j = 0; j < d; ++j) {
+      w[j] -= options.learning_rate *
+              (grad[j] / static_cast<double>(batch.size()) +
+               options.l2_penalty * w[j]);
+    }
+    ClipNorm(w, options.weight_clip);
+  }
+  return FinishResult(std::move(w), clean_train, clean_test);
+}
+
+RegressionDataset GenerateRegressionDataset(
+    const SyntheticRegressionSpec& spec) {
+  SQM_CHECK(spec.rows >= 2 && spec.cols >= 1);
+  Rng rng(spec.seed);
+  GaussianSampler gaussian(1.0);
+
+  std::vector<double> w_star(spec.cols);
+  for (auto& w : w_star) w = gaussian.Sample(rng);
+  const double norm = Norm2(w_star);
+  for (auto& w : w_star) w /= norm;
+
+  RegressionDataset data;
+  data.name = spec.name;
+  data.features = Matrix(spec.rows, spec.cols);
+  data.targets.resize(spec.rows);
+  for (size_t i = 0; i < spec.rows; ++i) {
+    for (size_t j = 0; j < spec.cols; ++j) {
+      data.features(i, j) = gaussian.Sample(rng);
+    }
+    data.targets[i] = Dot(w_star, data.features.Row(i)) +
+                      spec.noise_std * gaussian.Sample(rng);
+  }
+  NormalizeRecords(data.features, 1.0);
+  double max_target = 0.0;
+  for (double y : data.targets) max_target = std::max(max_target,
+                                                      std::fabs(y));
+  if (max_target > 1.0) {
+    for (double& y : data.targets) y /= max_target;
+  }
+  return data;
+}
+
+Result<RegressionSplit> SplitRegression(const RegressionDataset& data,
+                                        double train_fraction,
+                                        uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    return Status::InvalidArgument("train_fraction must be in (0, 1)");
+  }
+  const size_t m = data.num_records();
+  if (m < 2) {
+    return Status::InvalidArgument("need >= 2 records to split");
+  }
+  std::vector<size_t> idx(m);
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng rng(seed);
+  for (size_t i = m; i > 1; --i) {
+    std::swap(idx[i - 1], idx[rng.NextBounded(i)]);
+  }
+  const size_t train_count = std::max<size_t>(
+      1, static_cast<size_t>(std::floor(static_cast<double>(m) *
+                                        train_fraction)));
+  RegressionSplit split;
+  auto take = [&](size_t begin, size_t end, const char* suffix) {
+    RegressionDataset part;
+    part.name = data.name + suffix;
+    std::vector<size_t> rows(idx.begin() + begin, idx.begin() + end);
+    part.features = data.features.SelectRows(rows);
+    part.targets.reserve(rows.size());
+    for (size_t r : rows) part.targets.push_back(data.targets[r]);
+    return part;
+  };
+  split.train = take(0, train_count, "/train");
+  split.test = take(train_count, m, "/test");
+  return split;
+}
+
+}  // namespace sqm

@@ -1,0 +1,47 @@
+#include "vfl/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "math/linalg.h"
+#include "poly/taylor.h"
+
+namespace sqm {
+
+double PredictProbability(const std::vector<double>& weights,
+                          const std::vector<double>& features) {
+  return Sigmoid(Dot(weights, features));
+}
+
+double Accuracy(const std::vector<double>& weights, const VflDataset& data) {
+  SQM_CHECK(data.has_labels());
+  SQM_CHECK(weights.size() == data.num_features());
+  size_t correct = 0;
+  for (size_t i = 0; i < data.num_records(); ++i) {
+    const double p = PredictProbability(weights, data.features.Row(i));
+    const int predicted = p >= 0.5 ? 1 : 0;
+    if (predicted == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(data.num_records());
+}
+
+double CrossEntropyLoss(const std::vector<double>& weights,
+                        const VflDataset& data) {
+  SQM_CHECK(data.has_labels());
+  double total = 0.0;
+  constexpr double kEps = 1e-12;
+  for (size_t i = 0; i < data.num_records(); ++i) {
+    const double p = std::clamp(
+        PredictProbability(weights, data.features.Row(i)), kEps, 1.0 - kEps);
+    total += data.labels[i] == 1 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return total / static_cast<double>(data.num_records());
+}
+
+double PcaUtility(const Matrix& x, const Matrix& subspace) {
+  return CapturedVariance(x, subspace);
+}
+
+}  // namespace sqm

@@ -1,0 +1,30 @@
+#ifndef SQM_VFL_METRICS_H_
+#define SQM_VFL_METRICS_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+#include "vfl/dataset.h"
+
+namespace sqm {
+
+/// Evaluation metrics the paper reports.
+
+/// P(y = 1 | x) under logistic weights w (exact sigmoid).
+double PredictProbability(const std::vector<double>& weights,
+                          const std::vector<double>& features);
+
+/// 0/1 accuracy of the 0.5-threshold classifier on `data`.
+double Accuracy(const std::vector<double>& weights, const VflDataset& data);
+
+/// Mean cross-entropy loss on `data` (clamped away from log(0)).
+double CrossEntropyLoss(const std::vector<double>& weights,
+                        const VflDataset& data);
+
+/// PCA utility ||X V||_F^2 (Figure 2's y-axis). Thin wrapper over
+/// CapturedVariance with the name the paper uses.
+double PcaUtility(const Matrix& x, const Matrix& subspace);
+
+}  // namespace sqm
+
+#endif  // SQM_VFL_METRICS_H_

@@ -1,0 +1,67 @@
+#ifndef SQM_VFL_PCA_H_
+#define SQM_VFL_PCA_H_
+
+#include <cstdint>
+
+#include "core/sqm.h"
+#include "core/status.h"
+#include "math/matrix.h"
+
+namespace sqm {
+
+/// Differentially private PCA, Section V-A of the paper: the server learns
+/// the principal rank-k subspace of X from a perturbed covariance matrix.
+/// Four mechanisms sharing one result type:
+///  - SqmPca: the paper's VFL mechanism (quantize + Skellam + MPC).
+///  - CentralDpPca: Analyze-Gauss [65], the central-DP upper bound.
+///  - LocalDpPca: Algorithm 4 baseline (per-entry Gaussian on raw data).
+///  - NonPrivatePca: exact top-k (reference ceiling).
+
+struct PcaResult {
+  /// n x k orthonormal subspace estimate.
+  Matrix subspace;
+  /// ||X V||_F^2 on the *clean* data — Figure 2's utility.
+  double utility = 0.0;
+  /// Noise / quantization diagnostics where applicable.
+  double mu = 0.0;     ///< Skellam parameter actually used (SQM).
+  double sigma = 0.0;  ///< Gaussian std actually used (central / local).
+  SqmTiming timing;    ///< Filled by SqmPca only.
+  NetworkStats network;
+};
+
+struct PcaOptions {
+  size_t k = 5;
+  double epsilon = 1.0;
+  double delta = 1e-5;
+  /// Record norm bound c; data is normalized to this before the mechanism.
+  double record_norm_bound = 1.0;
+  uint64_t seed = 42;
+
+  // SQM-specific.
+  double gamma = 4096.0;
+  MpcBackend backend = MpcBackend::kPlaintext;
+  size_t num_clients = 0;  ///< 0 = one per attribute (the paper's setup).
+  double network_latency_seconds = 0.0;
+};
+
+/// SQM instantiation (Section V-A): coefficients are all 1 and degree is
+/// uniformly 2, so coefficient pre-processing is skipped; only the upper
+/// triangle of x^T x is computed securely and mirrored. mu is calibrated
+/// from Lemma 5's sensitivity for a single release at (epsilon, delta),
+/// server-observed.
+Result<PcaResult> SqmPca(const Matrix& x, const PcaOptions& options);
+
+/// Analyze-Gauss: C = X^T X + symmetric Gaussian noise calibrated to the
+/// Frobenius sensitivity c^2.
+Result<PcaResult> CentralDpPca(const Matrix& x, const PcaOptions& options);
+
+/// Local-DP baseline: perturb X entry-wise (sigma from Lemma 12's
+/// calibration), then PCA on the noisy Gram matrix.
+Result<PcaResult> LocalDpPca(const Matrix& x, const PcaOptions& options);
+
+/// Exact top-k subspace of X (no privacy).
+Result<PcaResult> NonPrivatePca(const Matrix& x, size_t k);
+
+}  // namespace sqm
+
+#endif  // SQM_VFL_PCA_H_

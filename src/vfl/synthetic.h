@@ -1,0 +1,66 @@
+#ifndef SQM_VFL_SYNTHETIC_H_
+#define SQM_VFL_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "vfl/dataset.h"
+
+namespace sqm {
+
+/// Synthetic dataset generators standing in for the paper's real datasets
+/// (KDDCUP, ACSIncome CA/TX/NY/FL, CiteSeer, Gene), which are not available
+/// offline. See DESIGN.md "Substitutions": the PCA experiments only probe
+/// the spectrum/norm structure of X, and the LR experiments only probe how
+/// DP noise degrades a learnable linear signal, so matched-shape synthetic
+/// data preserves the comparisons the figures make.
+
+/// Low-rank-plus-noise feature matrix for PCA experiments: X = U S V^T + E
+/// with `rank` dominant directions whose singular values decay
+/// geometrically, plus isotropic noise of relative strength `noise_level`.
+/// Records are normalized to ||x||_2 <= 1.
+struct SyntheticPcaSpec {
+  std::string name = "synthetic-pca";
+  size_t rows = 1000;
+  size_t cols = 50;
+  size_t rank = 10;
+  /// Ratio of the noise energy to the weakest retained signal direction.
+  double noise_level = 0.1;
+  uint64_t seed = 1;
+};
+VflDataset GeneratePcaDataset(const SyntheticPcaSpec& spec);
+
+/// Linearly separable binary-classification data with label noise, for the
+/// LR experiments: x ~ mixture around +/- mu along a hidden direction,
+/// y = 1{<w*, x> + b > 0} flipped with probability `label_noise`.
+/// Records are normalized to ||x||_2 <= 1 (the paper's LR precondition).
+struct SyntheticLrSpec {
+  std::string name = "synthetic-lr";
+  size_t rows = 10000;
+  size_t cols = 50;
+  /// Separation margin between the class clouds, in units of the cloud
+  /// standard deviation. Larger = easier task / higher clean accuracy.
+  double margin = 2.0;
+  double label_noise = 0.05;
+  uint64_t seed = 1;
+};
+VflDataset GenerateLrDataset(const SyntheticLrSpec& spec);
+
+/// Named profiles mirroring the paper's evaluation datasets at a size
+/// `scale` in (0, 1] (1.0 = the paper's m and n; benches default to a
+/// smaller scale so they finish on one core — the privacy-utility *shape*
+/// is scale-stable).
+VflDataset MakeKddCupLike(double scale, uint64_t seed = 11);
+VflDataset MakeAcsIncomePcaLike(double scale, uint64_t seed = 12);
+VflDataset MakeCiteSeerLike(double scale, uint64_t seed = 13);
+VflDataset MakeGeneLike(double scale, uint64_t seed = 14);
+
+/// ACSIncome-style LR profiles for the four states of Figure 3; the state
+/// only changes the seed and mild task-difficulty parameters.
+VflDataset MakeAcsIncomeLrLike(const std::string& state, double scale,
+                               uint64_t seed_base = 20);
+
+}  // namespace sqm
+
+#endif  // SQM_VFL_SYNTHETIC_H_

@@ -1,0 +1,130 @@
+#include "dp/accountant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/gaussian.h"
+#include "dp/rdp.h"
+#include "dp/skellam.h"
+
+namespace sqm {
+namespace {
+
+TEST(AccountantTest, EmptyAccountantIsFree) {
+  PrivacyAccountant accountant;
+  EXPECT_EQ(accountant.num_events(), 0u);
+  EXPECT_DOUBLE_EQ(accountant.TotalEpsilon(1e-5).ValueOrDie(), 0.0);
+}
+
+TEST(AccountantTest, SingleGaussianMatchesDirectConversion) {
+  PrivacyAccountant accountant;
+  accountant.AddGaussian("release", 1.0, 4.0);
+  const auto curve = [](double alpha) { return GaussianRdp(alpha, 1.0, 4.0); };
+  const double direct =
+      BestEpsilonFromCurve(curve, DefaultAlphaGrid(), 1e-5);
+  EXPECT_NEAR(accountant.TotalEpsilon(1e-5).ValueOrDie(), direct, 1e-12);
+}
+
+TEST(AccountantTest, SingleSkellamMatchesDirectConversion) {
+  PrivacyAccountant accountant;
+  accountant.AddSkellam("release", 100.0, 10.0, 1e5);
+  const double direct =
+      SkellamEpsilonSingleRelease(1e5, 100.0, 10.0, 1e-5);
+  EXPECT_NEAR(accountant.TotalEpsilon(1e-5).ValueOrDie(), direct, 1e-12);
+}
+
+TEST(AccountantTest, CompositionAddsRdp) {
+  PrivacyAccountant one;
+  one.AddGaussian("a", 1.0, 2.0);
+  PrivacyAccountant two;
+  two.AddGaussian("a", 1.0, 2.0);
+  two.AddGaussian("b", 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(two.TotalRdp(4), 2.0 * one.TotalRdp(4));
+  EXPECT_GT(two.TotalEpsilon(1e-5).ValueOrDie(),
+            one.TotalEpsilon(1e-5).ValueOrDie());
+}
+
+TEST(AccountantTest, CountEqualsRepeatedAdds) {
+  PrivacyAccountant repeated;
+  repeated.AddGaussian("r", 1.0, 3.0, 1.0, 10);
+  PrivacyAccountant manual;
+  for (int i = 0; i < 10; ++i) manual.AddGaussian("m", 1.0, 3.0);
+  EXPECT_NEAR(repeated.TotalEpsilon(1e-5).ValueOrDie(),
+              manual.TotalEpsilon(1e-5).ValueOrDie(), 1e-12);
+}
+
+TEST(AccountantTest, SubsamplingMatchesDpSgdAccounting) {
+  PrivacyAccountant accountant;
+  accountant.AddGaussian("sgd", 1.0, 1.5, 0.01, 100);
+  const double direct = DpSgdEpsilon(1.5, 0.01, 100, 1e-5);
+  EXPECT_NEAR(accountant.TotalEpsilon(1e-5).ValueOrDie(), direct, 1e-9);
+}
+
+TEST(AccountantTest, MixedMechanismsCompose) {
+  // A PCA release (Skellam) followed by an LR training run (subsampled
+  // Skellam) and a diagnostic Gaussian release — the heterogeneous case
+  // the class exists for.
+  PrivacyAccountant accountant;
+  accountant.AddSkellam("pca", 1e8, 1e4, 1e10);
+  accountant.AddSkellam("lr", 1e8, 1e4, 1e11, 0.01, 50);
+  accountant.AddGaussian("diag", 1.0, 10.0);
+  const double total = accountant.TotalEpsilon(1e-5).ValueOrDie();
+  // Each individually must cost less than the total.
+  PrivacyAccountant only_pca;
+  only_pca.AddSkellam("pca", 1e8, 1e4, 1e10);
+  EXPECT_GT(total, only_pca.TotalEpsilon(1e-5).ValueOrDie());
+  EXPECT_TRUE(std::isfinite(total));
+}
+
+TEST(AccountantTest, TotalEpsilonValidatesDelta) {
+  PrivacyAccountant accountant;
+  accountant.AddGaussian("a", 1.0, 1.0);
+  EXPECT_FALSE(accountant.TotalEpsilon(0.0).ok());
+  EXPECT_FALSE(accountant.TotalEpsilon(1.0).ok());
+}
+
+TEST(AccountantTest, ResetClearsEvents) {
+  PrivacyAccountant accountant;
+  accountant.AddGaussian("a", 1.0, 1.0);
+  accountant.Reset();
+  EXPECT_EQ(accountant.num_events(), 0u);
+  EXPECT_DOUBLE_EQ(accountant.TotalEpsilon(1e-5).ValueOrDie(), 0.0);
+}
+
+TEST(AccountantTest, RemainingRepetitionsIsConsistent) {
+  PrivacyAccountant accountant;
+  PrivacyEvent round;
+  round.label = "lr-round";
+  round.rdp = [](double alpha) { return GaussianRdp(alpha, 1.0, 2.0); };
+  round.sampling_rate = 0.02;
+
+  const double target = 1.0;
+  const size_t k =
+      accountant.RemainingRepetitions(round, target, 1e-5).ValueOrDie();
+  ASSERT_GT(k, 0u);
+
+  // k rounds fit the budget; k+1 must exceed it.
+  PrivacyAccountant with_k;
+  PrivacyEvent batch = round;
+  batch.count = k;
+  with_k.AddEvent(batch);
+  EXPECT_LE(with_k.TotalEpsilon(1e-5).ValueOrDie(), target + 1e-9);
+
+  PrivacyAccountant with_k1;
+  batch.count = k + 1;
+  with_k1.AddEvent(batch);
+  EXPECT_GT(with_k1.TotalEpsilon(1e-5).ValueOrDie(), target);
+}
+
+TEST(AccountantTest, RemainingRepetitionsZeroWhenOverBudget) {
+  PrivacyAccountant accountant;
+  accountant.AddGaussian("expensive", 1.0, 0.5);  // eps >> 1 already.
+  PrivacyEvent round;
+  round.rdp = [](double alpha) { return GaussianRdp(alpha, 1.0, 2.0); };
+  EXPECT_EQ(accountant.RemainingRepetitions(round, 1.0, 1e-5).ValueOrDie(),
+            0u);
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,108 @@
+#include "mpc/beaver.h"
+
+#include <gtest/gtest.h>
+
+#include "sampling/rng.h"
+
+namespace sqm {
+namespace {
+
+class BeaverTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kParties = 5;
+  static constexpr size_t kThreshold = 2;
+
+  BeaverTest()
+      : network_(kParties, 0.0),
+        protocol_(ShamirScheme(kParties, kThreshold), &network_, 21),
+        dealer_(ShamirScheme(kParties, kThreshold), 22),
+        multiplier_(&protocol_, &dealer_) {}
+
+  SimulatedNetwork network_;
+  BgwProtocol protocol_;
+  BeaverTripleDealer dealer_;
+  BeaverMultiplier multiplier_;
+};
+
+TEST_F(BeaverTest, DealtTriplesAreConsistent) {
+  ShamirScheme scheme(kParties, kThreshold);
+  BeaverTripleDealer dealer(scheme, 3);
+  for (int i = 0; i < 50; ++i) {
+    const auto triple = dealer.Deal();
+    const Field::Element a = scheme.Reconstruct(triple.a_shares);
+    const Field::Element b = scheme.Reconstruct(triple.b_shares);
+    const Field::Element c = scheme.Reconstruct(triple.c_shares);
+    EXPECT_EQ(Field::Mul(a, b), c);
+  }
+}
+
+TEST_F(BeaverTest, TriplesAreFresh) {
+  const auto t1 = dealer_.Deal();
+  const auto t2 = dealer_.Deal();
+  EXPECT_NE(t1.a_shares, t2.a_shares);
+}
+
+TEST_F(BeaverTest, MulIsExact) {
+  const SharedVector x =
+      protocol_.ShareFromParty(0, Field::EncodeVector({3, -4, 0, 123456}));
+  const SharedVector y =
+      protocol_.ShareFromParty(1, Field::EncodeVector({7, 9, 5, -1000}));
+  const SharedVector product = multiplier_.Mul(x, y).ValueOrDie();
+  EXPECT_EQ(protocol_.OpenSigned(product),
+            (std::vector<int64_t>{21, -36, 0, -123456000}));
+  EXPECT_EQ(multiplier_.triples_used(), 4u);
+}
+
+TEST_F(BeaverTest, MulChainsAndMatchesGrr) {
+  // Beaver output stays a degree-t sharing: products chain, and the result
+  // matches GRR multiplication of the same inputs.
+  const SharedVector x =
+      protocol_.ShareFromParty(0, Field::EncodeVector({6}));
+  const SharedVector y =
+      protocol_.ShareFromParty(1, Field::EncodeVector({-7}));
+  const SharedVector beaver1 = multiplier_.Mul(x, y).ValueOrDie();
+  const SharedVector beaver2 = multiplier_.Mul(beaver1, x).ValueOrDie();
+  EXPECT_EQ(protocol_.OpenSigned(beaver2), (std::vector<int64_t>{-252}));
+
+  const SharedVector grr =
+      protocol_.Mul(protocol_.Mul(x, y).ValueOrDie(), x).ValueOrDie();
+  EXPECT_EQ(protocol_.OpenSigned(grr), (std::vector<int64_t>{-252}));
+}
+
+TEST_F(BeaverTest, OnlineTrafficIsOneOpening) {
+  const SharedVector x =
+      protocol_.ShareFromParty(0, Field::EncodeVector({1, 2, 3}));
+  const SharedVector y =
+      protocol_.ShareFromParty(1, Field::EncodeVector({4, 5, 6}));
+  const NetworkStats before = network_.stats();
+  (void)multiplier_.Mul(x, y).ValueOrDie();
+  const NetworkStats after = network_.stats();
+  // One round; the opening broadcasts 2*k elements per ordered pair.
+  EXPECT_EQ(after.rounds - before.rounds, 1u);
+  EXPECT_EQ(after.field_elements - before.field_elements,
+            kParties * (kParties - 1) * 2 * 3);
+}
+
+TEST_F(BeaverTest, ShapeMismatchRejected) {
+  const SharedVector x =
+      protocol_.ShareFromParty(0, Field::EncodeVector({1, 2}));
+  const SharedVector y =
+      protocol_.ShareFromParty(1, Field::EncodeVector({3}));
+  EXPECT_FALSE(multiplier_.Mul(x, y).ok());
+}
+
+TEST(BeaverThreePartyTest, WorksAtMinimalConfiguration) {
+  SimulatedNetwork network(3, 0.0);
+  BgwProtocol protocol(ShamirScheme(3, 1), &network, 31);
+  BeaverTripleDealer dealer(ShamirScheme(3, 1), 32);
+  BeaverMultiplier multiplier(&protocol, &dealer);
+  const SharedVector x =
+      protocol.ShareFromParty(0, Field::EncodeVector({11}));
+  const SharedVector y =
+      protocol.ShareFromParty(2, Field::EncodeVector({-3}));
+  EXPECT_EQ(protocol.OpenSigned(multiplier.Mul(x, y).ValueOrDie()),
+            (std::vector<int64_t>{-33}));
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,82 @@
+#include "poly/chebyshev.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poly/taylor.h"
+
+namespace sqm {
+namespace {
+
+TEST(ChebyshevTest, ReproducesLowDegreePolynomialsExactly) {
+  // Interpolating a polynomial of degree <= `degree` is exact.
+  const auto quad = [](double u) { return 3.0 - 2.0 * u + 0.5 * u * u; };
+  const std::vector<double> c =
+      ChebyshevCoefficients(quad, 2, 1.5).ValueOrDie();
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0], 3.0, 1e-12);
+  EXPECT_NEAR(c[1], -2.0, 1e-12);
+  EXPECT_NEAR(c[2], 0.5, 1e-12);
+}
+
+TEST(ChebyshevTest, EvaluateMonomialBasisHorner) {
+  EXPECT_DOUBLE_EQ(EvaluateMonomialBasis({1, 2, 3}, 2.0), 1 + 4 + 12);
+  EXPECT_DOUBLE_EQ(EvaluateMonomialBasis({}, 5.0), 0.0);
+}
+
+TEST(ChebyshevTest, SigmoidErrorDecreasesWithDegree) {
+  const auto sigmoid = [](double u) { return Sigmoid(u); };
+  double prev = 1e9;
+  for (size_t degree : {1u, 3u, 5u, 9u}) {
+    const auto c = SigmoidChebyshevCoefficients(degree, 4.0).ValueOrDie();
+    const double err = MaxApproximationError(sigmoid, c, 4.0);
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-3);
+}
+
+TEST(ChebyshevTest, BeatsTaylorUniformlyAtSameDegree) {
+  // The point of the module: at equal degree, the Chebyshev interpolant's
+  // worst-case error over the interval is smaller than the Taylor
+  // truncation's (which is only optimal at 0). Compare on a wide interval
+  // where Taylor degrades badly.
+  const auto sigmoid = [](double u) { return Sigmoid(u); };
+  const double radius = 3.0;
+  for (size_t degree : {3u, 5u, 7u}) {
+    const auto cheb =
+        SigmoidChebyshevCoefficients(degree, radius).ValueOrDie();
+    const double cheb_err = MaxApproximationError(sigmoid, cheb, radius);
+    const double taylor_err = SigmoidTaylorMaxError(degree, radius);
+    EXPECT_LT(cheb_err, taylor_err) << "degree " << degree;
+  }
+}
+
+TEST(ChebyshevTest, ScalesWithRadius) {
+  // Same function, wider interval -> larger (but still controlled) error.
+  const auto sigmoid = [](double u) { return Sigmoid(u); };
+  const auto narrow = SigmoidChebyshevCoefficients(5, 1.0).ValueOrDie();
+  const auto wide = SigmoidChebyshevCoefficients(5, 6.0).ValueOrDie();
+  EXPECT_LT(MaxApproximationError(sigmoid, narrow, 1.0),
+            MaxApproximationError(sigmoid, wide, 6.0));
+}
+
+TEST(ChebyshevTest, ValidatesArguments) {
+  const auto f = [](double u) { return u; };
+  EXPECT_FALSE(ChebyshevCoefficients(f, 3, 0.0).ok());
+  EXPECT_FALSE(ChebyshevCoefficients(f, 3, -1.0).ok());
+  EXPECT_FALSE(ChebyshevCoefficients(nullptr, 3, 1.0).ok());
+  EXPECT_FALSE(ChebyshevCoefficients(f, 100, 1.0).ok());
+}
+
+TEST(ChebyshevTest, OddFunctionGetsNearZeroEvenCoefficients) {
+  const auto odd = [](double u) { return std::tanh(u); };
+  const auto c = ChebyshevCoefficients(odd, 7, 2.0).ValueOrDie();
+  EXPECT_NEAR(c[0], 0.0, 1e-12);
+  EXPECT_NEAR(c[2], 0.0, 1e-12);
+  EXPECT_NEAR(c[4], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,93 @@
+#include "core/confidence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sampling/rng.h"
+#include "sampling/skellam_sampler.h"
+
+namespace sqm {
+namespace {
+
+TEST(ConfidenceTest, ZeroNoiseGivesPointInterval) {
+  const ReleaseInterval interval =
+      SkellamReleaseInterval(3.5, 0.0, 100.0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(interval.lower, 3.5);
+  EXPECT_DOUBLE_EQ(interval.upper, 3.5);
+  EXPECT_DOUBLE_EQ(interval.noise_std, 0.0);
+}
+
+TEST(ConfidenceTest, RadiusGrowsWithMuAndConfidence) {
+  const double r_small =
+      SkellamReleaseInterval(0.0, 100.0, 1.0).ValueOrDie().upper;
+  const double r_large =
+      SkellamReleaseInterval(0.0, 10000.0, 1.0).ValueOrDie().upper;
+  EXPECT_GT(r_large, r_small);
+
+  const double r95 =
+      SkellamReleaseInterval(0.0, 100.0, 1.0, 0.95).ValueOrDie().upper;
+  const double r999 =
+      SkellamReleaseInterval(0.0, 100.0, 1.0, 0.999).ValueOrDie().upper;
+  EXPECT_GT(r999, r95);
+}
+
+TEST(ConfidenceTest, ScaleDividesRadius) {
+  const double r1 =
+      SkellamReleaseInterval(0.0, 100.0, 1.0).ValueOrDie().upper;
+  const double r100 =
+      SkellamReleaseInterval(0.0, 100.0, 100.0).ValueOrDie().upper;
+  EXPECT_NEAR(r1 / r100, 100.0, 1e-9);
+}
+
+TEST(ConfidenceTest, TailRadiusConsistentWithBound) {
+  // Plug the radius back into the bound: 2 exp(-t^2/(2(2mu+t))) <= beta.
+  for (double mu : {1.0, 100.0, 1e6}) {
+    for (double beta : {0.05, 0.001}) {
+      const double t = SkellamTailRadius(mu, beta);
+      const double bound =
+          2.0 * std::exp(-t * t / (2.0 * (2.0 * mu + t)));
+      EXPECT_LE(bound, beta * (1.0 + 1e-9)) << "mu=" << mu;
+      // And it is essentially tight (within a factor of ~2 of equality).
+      EXPECT_GT(bound, beta / 4.0);
+    }
+  }
+}
+
+TEST(ConfidenceTest, EmpiricalCoverage) {
+  // Draw many Sk(mu) samples; the fraction inside the 95% radius must be
+  // at least 95% (the bound is conservative, so typically higher).
+  const double mu = 500.0;
+  const double radius = SkellamTailRadius(mu, 0.05);
+  SkellamSampler sampler(mu);
+  Rng rng(7);
+  constexpr int kDraws = 50000;
+  int inside = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (std::llabs(sampler.Sample(rng)) <=
+        static_cast<int64_t>(radius)) {
+      ++inside;
+    }
+  }
+  EXPECT_GT(static_cast<double>(inside) / kDraws, 0.95);
+}
+
+TEST(ConfidenceTest, GaussianLimitSanity) {
+  // For huge mu the radius should be within a small factor of the
+  // Gaussian 95% quantile 1.96 * sqrt(2 mu) (the bound costs ~30%).
+  const double mu = 1e8;
+  const double radius = SkellamTailRadius(mu, 0.05);
+  const double gaussian = 1.96 * std::sqrt(2.0 * mu);
+  EXPECT_GT(radius, gaussian * 0.9);
+  EXPECT_LT(radius, gaussian * 2.0);
+}
+
+TEST(ConfidenceTest, ValidatesArguments) {
+  EXPECT_FALSE(SkellamReleaseInterval(0.0, -1.0, 1.0).ok());
+  EXPECT_FALSE(SkellamReleaseInterval(0.0, 1.0, 0.0).ok());
+  EXPECT_FALSE(SkellamReleaseInterval(0.0, 1.0, 1.0, 0.0).ok());
+  EXPECT_FALSE(SkellamReleaseInterval(0.0, 1.0, 1.0, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,104 @@
+#include "vfl/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace sqm {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/sqm_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream f(path_);
+    f << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, LoadsUnlabelledWithHeader) {
+  WriteFile("a,b\n1.5,2\n-3,0.25\n");
+  const VflDataset data = LoadCsvDataset(path_).ValueOrDie();
+  EXPECT_EQ(data.num_records(), 2u);
+  EXPECT_EQ(data.num_features(), 2u);
+  EXPECT_FALSE(data.has_labels());
+  EXPECT_DOUBLE_EQ(data.features(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(data.features(1, 1), 0.25);
+}
+
+TEST_F(CsvTest, LoadsLabelColumn) {
+  WriteFile("x0,x1,label\n0.5,0.25,1\n-1,2,0\n");
+  CsvOptions options;
+  options.label_column = 2;
+  const VflDataset data = LoadCsvDataset(path_, options).ValueOrDie();
+  EXPECT_EQ(data.num_features(), 2u);
+  EXPECT_EQ(data.labels, (std::vector<int>{1, 0}));
+}
+
+TEST_F(CsvTest, NoHeaderMode) {
+  WriteFile("1,2\n3,4\n");
+  CsvOptions options;
+  options.has_header = false;
+  const VflDataset data = LoadCsvDataset(path_, options).ValueOrDie();
+  EXPECT_EQ(data.num_records(), 2u);
+}
+
+TEST_F(CsvTest, CustomDelimiter) {
+  WriteFile("a;b\n1;2\n");
+  CsvOptions options;
+  options.delimiter = ';';
+  const VflDataset data = LoadCsvDataset(path_, options).ValueOrDie();
+  EXPECT_DOUBLE_EQ(data.features(0, 1), 2.0);
+}
+
+TEST_F(CsvTest, RejectsMissingFile) {
+  EXPECT_EQ(LoadCsvDataset("/nonexistent/file.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, RejectsNonNumericField) {
+  WriteFile("a,b\n1,two\n");
+  const auto result = LoadCsvDataset(path_);
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("two"), std::string::npos);
+}
+
+TEST_F(CsvTest, RejectsRaggedRows) {
+  WriteFile("a,b\n1,2\n3\n");
+  EXPECT_EQ(LoadCsvDataset(path_).status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, RejectsEmptyFile) {
+  WriteFile("header,only\n");
+  EXPECT_EQ(LoadCsvDataset(path_).status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, RejectsLabelColumnOutOfRange) {
+  WriteFile("a,b\n1,2\n");
+  CsvOptions options;
+  options.label_column = 5;
+  EXPECT_EQ(LoadCsvDataset(path_, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, SaveLoadRoundTrip) {
+  VflDataset data;
+  data.features = Matrix{{1.25, -2}, {0, 3.5}};
+  data.labels = {1, 0};
+  CsvOptions options;
+  options.label_column = 2;
+  ASSERT_TRUE(SaveCsvDataset(data, path_, options).ok());
+  const VflDataset loaded = LoadCsvDataset(path_, options).ValueOrDie();
+  EXPECT_EQ(loaded.features, data.features);
+  EXPECT_EQ(loaded.labels, data.labels);
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,101 @@
+#include "vfl/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "math/linalg.h"
+
+namespace sqm {
+namespace {
+
+VflDataset MakeLabelled() {
+  VflDataset data;
+  data.name = "toy";
+  data.features = Matrix{{1, 0}, {0, 2}, {3, 4}, {0.5, 0.5}, {2, 2}};
+  data.labels = {0, 1, 1, 0, 1};
+  return data;
+}
+
+TEST(DatasetTest, MaxRecordNorm) {
+  Matrix x{{3, 4}, {1, 0}};
+  EXPECT_DOUBLE_EQ(MaxRecordNorm(x), 5.0);
+}
+
+TEST(DatasetTest, NormalizeScalesGlobally) {
+  Matrix x{{3, 4}, {1, 0}};
+  NormalizeRecords(x, 1.0);
+  EXPECT_NEAR(MaxRecordNorm(x), 1.0, 1e-12);
+  // Global scaling preserves ratios.
+  EXPECT_NEAR(x(0, 0) / x(0, 1), 0.75, 1e-12);
+  EXPECT_NEAR(Norm2(x.Row(1)), 0.2, 1e-12);
+}
+
+TEST(DatasetTest, NormalizeNoOpWhenWithinBound) {
+  Matrix x{{0.1, 0.1}};
+  const Matrix before = x;
+  NormalizeRecords(x, 1.0);
+  EXPECT_EQ(x, before);
+}
+
+TEST(DatasetTest, SplitPreservesRecordsAndLabels) {
+  const VflDataset data = MakeLabelled();
+  const TrainTestSplit split = SplitTrainTest(data, 0.6, 1).ValueOrDie();
+  EXPECT_EQ(split.train.num_records(), 3u);
+  EXPECT_EQ(split.test.num_records(), 2u);
+  EXPECT_EQ(split.train.labels.size(), 3u);
+  EXPECT_EQ(split.test.labels.size(), 2u);
+
+  // Every original row appears exactly once across the two parts, with its
+  // label attached.
+  std::multiset<double> original, recovered;
+  for (size_t i = 0; i < data.num_records(); ++i) {
+    original.insert(data.features(i, 0) * 1000 + data.labels[i]);
+  }
+  for (size_t i = 0; i < split.train.num_records(); ++i) {
+    recovered.insert(split.train.features(i, 0) * 1000 +
+                     split.train.labels[i]);
+  }
+  for (size_t i = 0; i < split.test.num_records(); ++i) {
+    recovered.insert(split.test.features(i, 0) * 1000 +
+                     split.test.labels[i]);
+  }
+  EXPECT_EQ(original, recovered);
+}
+
+TEST(DatasetTest, SplitIsDeterministicPerSeed) {
+  const VflDataset data = MakeLabelled();
+  const TrainTestSplit a = SplitTrainTest(data, 0.6, 5).ValueOrDie();
+  const TrainTestSplit b = SplitTrainTest(data, 0.6, 5).ValueOrDie();
+  EXPECT_EQ(a.train.features, b.train.features);
+  const TrainTestSplit c = SplitTrainTest(data, 0.6, 6).ValueOrDie();
+  // Different seed should (almost surely) shuffle differently.
+  EXPECT_FALSE(a.train.features == c.train.features);
+}
+
+TEST(DatasetTest, SplitValidatesFraction) {
+  const VflDataset data = MakeLabelled();
+  EXPECT_FALSE(SplitTrainTest(data, 0.0, 1).ok());
+  EXPECT_FALSE(SplitTrainTest(data, 1.0, 1).ok());
+}
+
+TEST(DatasetTest, SubsampleCountAndUniqueness) {
+  const VflDataset data = MakeLabelled();
+  const VflDataset sub = SubsampleRecords(data, 3, 2).ValueOrDie();
+  EXPECT_EQ(sub.num_records(), 3u);
+  EXPECT_EQ(sub.labels.size(), 3u);
+  // Rows must be distinct originals.
+  std::set<double> keys;
+  for (size_t i = 0; i < 3; ++i) keys.insert(sub.features(i, 0));
+  EXPECT_EQ(keys.size(), 3u);
+}
+
+TEST(DatasetTest, SubsampleValidatesCount) {
+  const VflDataset data = MakeLabelled();
+  EXPECT_FALSE(SubsampleRecords(data, 0, 1).ok());
+  EXPECT_FALSE(SubsampleRecords(data, 6, 1).ok());
+}
+
+}  // namespace
+}  // namespace sqm

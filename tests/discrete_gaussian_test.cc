@@ -1,0 +1,143 @@
+#include "sampling/discrete_gaussian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "math/stats.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+namespace {
+
+TEST(BernoulliExpTest, MatchesExpProbability) {
+  Rng rng(1);
+  for (double gamma : {0.0, 0.3, 1.0, 2.5}) {
+    constexpr int kDraws = 100000;
+    int accepted = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      if (DiscreteGaussianSampler::BernoulliExp(gamma, rng)) ++accepted;
+    }
+    EXPECT_NEAR(static_cast<double>(accepted) / kDraws, std::exp(-gamma),
+                0.01)
+        << "gamma=" << gamma;
+  }
+}
+
+TEST(DiscreteLaplaceTest, PmfMatchesGeometricShape) {
+  // P(x) = (e^{1/t} - 1) / (e^{1/t} + 1) * e^{-|x|/t}.
+  const uint64_t t = 3;
+  Rng rng(2);
+  constexpr int kDraws = 200000;
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[DiscreteGaussianSampler::SampleDiscreteLaplace(t, rng)];
+  }
+  const double s = 1.0 / static_cast<double>(t);
+  const double z = (std::exp(s) - 1.0) / (std::exp(s) + 1.0);
+  for (int64_t x = -4; x <= 4; ++x) {
+    const double expected = z * std::exp(-std::fabs(
+                                     static_cast<double>(x)) * s);
+    const double observed = static_cast<double>(counts[x]) / kDraws;
+    EXPECT_NEAR(observed, expected, 0.005) << "x=" << x;
+  }
+}
+
+TEST(DiscreteLaplaceTest, SymmetricAroundZero) {
+  Rng rng(3);
+  std::vector<double> draws(100000);
+  for (auto& d : draws) {
+    d = static_cast<double>(
+        DiscreteGaussianSampler::SampleDiscreteLaplace(5, rng));
+  }
+  EXPECT_NEAR(Mean(draws), 0.0, 0.15);
+  EXPECT_NEAR(Skewness(draws), 0.0, 0.03);
+}
+
+class DiscreteGaussianMomentsTest
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiscreteGaussianMomentsTest, MeanZeroVarianceSigmaSq) {
+  const double sigma = GetParam();
+  DiscreteGaussianSampler sampler(sigma);
+  Rng rng(4);
+  constexpr size_t kDraws = 150000;
+  const std::vector<int64_t> draws = sampler.SampleVector(rng, kDraws);
+  EXPECT_NEAR(Mean(draws), 0.0,
+              5.0 * sigma / std::sqrt(static_cast<double>(kDraws)));
+  // Variance of N_Z(0, sigma^2) is sigma^2 up to an exponentially small
+  // theta correction for sigma >= 1.
+  EXPECT_NEAR(Variance(draws) / (sigma * sigma), 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, DiscreteGaussianMomentsTest,
+                         ::testing::Values(1.0, 2.5, 10.0, 40.0));
+
+TEST(DiscreteGaussianTest, PmfMatchesGaussianKernel) {
+  const double sigma = 2.0;
+  DiscreteGaussianSampler sampler(sigma);
+  Rng rng(5);
+  constexpr int kDraws = 300000;
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(rng)];
+  // Normalizer: sum over a wide window.
+  double z = 0.0;
+  for (int64_t x = -60; x <= 60; ++x) {
+    z += std::exp(-static_cast<double>(x) * static_cast<double>(x) /
+                  (2.0 * sigma * sigma));
+  }
+  for (int64_t x = -4; x <= 4; ++x) {
+    const double expected =
+        std::exp(-static_cast<double>(x) * static_cast<double>(x) /
+                 (2.0 * sigma * sigma)) /
+        z;
+    const double observed = static_cast<double>(counts[x]) / kDraws;
+    EXPECT_NEAR(observed, expected, 0.004) << "x=" << x;
+  }
+}
+
+TEST(DiscreteGaussianTest, SubGaussianTails) {
+  const double sigma = 3.0;
+  DiscreteGaussianSampler sampler(sigma);
+  Rng rng(6);
+  constexpr int kDraws = 100000;
+  int beyond = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (std::llabs(sampler.Sample(rng)) >
+        static_cast<int64_t>(5.0 * sigma)) {
+      ++beyond;
+    }
+  }
+  // P(|X| > 5 sigma) < 1e-6 for the (discrete) Gaussian.
+  EXPECT_LE(beyond, 2);
+}
+
+TEST(DiscreteGaussianTest, SumOfSharesIsNotDiscreteGaussian) {
+  // The motivating *negative* property: the sum of n independent discrete
+  // Gaussians with parameter sigma/sqrt(n) has the right variance but is
+  // NOT distributed as N_Z(0, sigma^2) — unlike Skellam, whose closure is
+  // exact. At small sigma the difference is visible in the pmf at 0.
+  const double sigma = 0.8;
+  const size_t n = 16;
+  DiscreteGaussianSampler share(sigma / std::sqrt(static_cast<double>(n)));
+  DiscreteGaussianSampler direct(sigma);
+  Rng rng(7);
+  constexpr int kDraws = 150000;
+  int sum_zero = 0;
+  int direct_zero = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    int64_t total = 0;
+    for (size_t j = 0; j < n; ++j) total += share.Sample(rng);
+    if (total == 0) ++sum_zero;
+    if (direct.Sample(rng) == 0) ++direct_zero;
+  }
+  const double p_sum = static_cast<double>(sum_zero) / kDraws;
+  const double p_direct = static_cast<double>(direct_zero) / kDraws;
+  // With sigma/sqrt(n) = 0.2, each share is almost always 0, so the sum
+  // is far more concentrated at 0 than the direct discrete Gaussian.
+  EXPECT_GT(p_sum, p_direct + 0.05);
+}
+
+}  // namespace
+}  // namespace sqm

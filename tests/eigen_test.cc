@@ -1,0 +1,118 @@
+#include "math/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/linalg.h"
+#include "sampling/gaussian_sampler.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+namespace {
+
+TEST(JacobiTest, DiagonalMatrix) {
+  Matrix a{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}};
+  const EigenDecomposition eig = JacobiEigenSymmetric(a).ValueOrDie();
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiTest, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1 with eigenvectors
+  // (1,1)/sqrt(2), (1,-1)/sqrt(2).
+  Matrix a{{2, 1}, {1, 2}};
+  const EigenDecomposition eig = JacobiEigenSymmetric(a).ValueOrDie();
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::fabs(eig.vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(std::fabs(eig.vectors(1, 0)), 1.0 / std::sqrt(2.0), 1e-10);
+}
+
+TEST(JacobiTest, ReconstructsMatrix) {
+  Matrix a{{4, 1, -2}, {1, 2, 0}, {-2, 0, 3}};
+  const EigenDecomposition eig = JacobiEigenSymmetric(a).ValueOrDie();
+  // A = V diag(lambda) V^T.
+  Matrix lambda(3, 3);
+  for (size_t i = 0; i < 3; ++i) lambda(i, i) = eig.values[i];
+  const Matrix rebuilt =
+      MatMul(MatMul(eig.vectors, lambda), eig.vectors.Transpose());
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(rebuilt(i, j), a(i, j), 1e-9);
+}
+
+TEST(JacobiTest, TraceAndEigenvalueSumAgree) {
+  Matrix a{{5, 2, 1}, {2, -3, 0.5}, {1, 0.5, 2}};
+  const EigenDecomposition eig = JacobiEigenSymmetric(a).ValueOrDie();
+  double sum = 0.0;
+  for (double v : eig.values) sum += v;
+  EXPECT_NEAR(sum, 5.0 - 3.0 + 2.0, 1e-9);
+}
+
+TEST(JacobiTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_EQ(JacobiEigenSymmetric(a).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(JacobiTest, RejectsAsymmetric) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_EQ(JacobiEigenSymmetric(a).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TopKTest, MatchesJacobiOnRandomSymmetric) {
+  Rng rng(31);
+  GaussianSampler gaussian(1.0);
+  const size_t n = 12;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = gaussian.Sample(rng);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  const EigenDecomposition full = JacobiEigenSymmetric(a).ValueOrDie();
+  const Matrix topk = TopKEigenvectors(a, 3).ValueOrDie();
+  // The captured "energy" x -> v^T A v of the iterative top-3 subspace must
+  // match the exact top-3 eigenvalue sum.
+  const Matrix projected = MatMul(MatMul(topk.Transpose(), a), topk);
+  double captured = 0.0;
+  for (size_t i = 0; i < 3; ++i) captured += projected(i, i);
+  const double exact =
+      full.values[0] + full.values[1] + full.values[2];
+  EXPECT_NEAR(captured, exact, 1e-6 * std::max(1.0, std::fabs(exact)));
+}
+
+TEST(TopKTest, HandlesIndefiniteMatrix) {
+  // Negative eigenvalue of larger magnitude than the positive ones: plain
+  // power iteration would lock onto it; the shifted iteration must return
+  // the *algebraically* largest directions.
+  Matrix a{{-10, 0, 0}, {0, 3, 0}, {0, 0, 1}};
+  const Matrix top1 = TopKEigenvectors(a, 1).ValueOrDie();
+  EXPECT_NEAR(std::fabs(top1(1, 0)), 1.0, 1e-6);  // e_2, eigenvalue 3.
+}
+
+TEST(TopKTest, ColumnsAreOrthonormal) {
+  Matrix a{{4, 1, 0, 0},
+           {1, 3, 1, 0},
+           {0, 1, 2, 1},
+           {0, 0, 1, 1}};
+  const Matrix v = TopKEigenvectors(a, 2).ValueOrDie();
+  EXPECT_NEAR(Norm2(v.Col(0)), 1.0, 1e-9);
+  EXPECT_NEAR(Norm2(v.Col(1)), 1.0, 1e-9);
+  EXPECT_NEAR(Dot(v.Col(0), v.Col(1)), 0.0, 1e-9);
+}
+
+TEST(TopKTest, RejectsBadK) {
+  Matrix a = Matrix::Identity(3);
+  EXPECT_FALSE(TopKEigenvectors(a, 0).ok());
+  EXPECT_FALSE(TopKEigenvectors(a, 4).ok());
+}
+
+}  // namespace
+}  // namespace sqm

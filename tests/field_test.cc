@@ -1,0 +1,137 @@
+#include "mpc/field.h"
+
+#include <gtest/gtest.h>
+
+#include "sampling/rng.h"
+
+namespace sqm {
+namespace {
+
+TEST(FieldTest, ModulusIsMersenne61) {
+  EXPECT_EQ(Field::kModulus, (uint64_t{1} << 61) - 1);
+  EXPECT_EQ(Field::kMaxCentered,
+            static_cast<int64_t>((Field::kModulus - 1) / 2));
+}
+
+TEST(FieldTest, ReduceHandlesLargeValues) {
+  EXPECT_EQ(Field::Reduce(0), 0u);
+  EXPECT_EQ(Field::Reduce(Field::kModulus), 0u);
+  EXPECT_EQ(Field::Reduce(Field::kModulus + 5), 5u);
+  EXPECT_EQ(Field::Reduce(UINT64_MAX),
+            Field::Reduce((UINT64_MAX & Field::kModulus) +
+                          (UINT64_MAX >> 61)));
+}
+
+TEST(FieldTest, AddSubRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = rng.NextBounded(Field::kModulus);
+    const auto b = rng.NextBounded(Field::kModulus);
+    EXPECT_EQ(Field::Sub(Field::Add(a, b), b), a);
+    EXPECT_EQ(Field::Add(Field::Sub(a, b), b), a);
+  }
+}
+
+TEST(FieldTest, NegIsAdditiveInverse) {
+  Rng rng(2);
+  EXPECT_EQ(Field::Neg(0), 0u);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = rng.NextBounded(Field::kModulus);
+    EXPECT_EQ(Field::Add(a, Field::Neg(a)), 0u);
+  }
+}
+
+TEST(FieldTest, MulAgainstSmallKnownValues) {
+  EXPECT_EQ(Field::Mul(3, 7), 21u);
+  EXPECT_EQ(Field::Mul(0, 12345), 0u);
+  EXPECT_EQ(Field::Mul(1, Field::kModulus - 1), Field::kModulus - 1);
+  // (p-1)^2 mod p = 1.
+  EXPECT_EQ(Field::Mul(Field::kModulus - 1, Field::kModulus - 1), 1u);
+}
+
+TEST(FieldTest, MulIsCommutativeAndAssociative) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = rng.NextBounded(Field::kModulus);
+    const auto b = rng.NextBounded(Field::kModulus);
+    const auto c = rng.NextBounded(Field::kModulus);
+    EXPECT_EQ(Field::Mul(a, b), Field::Mul(b, a));
+    EXPECT_EQ(Field::Mul(Field::Mul(a, b), c),
+              Field::Mul(a, Field::Mul(b, c)));
+  }
+}
+
+TEST(FieldTest, Distributivity) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = rng.NextBounded(Field::kModulus);
+    const auto b = rng.NextBounded(Field::kModulus);
+    const auto c = rng.NextBounded(Field::kModulus);
+    EXPECT_EQ(Field::Mul(a, Field::Add(b, c)),
+              Field::Add(Field::Mul(a, b), Field::Mul(a, c)));
+  }
+}
+
+TEST(FieldTest, PowMatchesRepeatedMul) {
+  const Field::Element base = 123456789;
+  Field::Element expected = 1;
+  for (uint64_t e = 0; e <= 20; ++e) {
+    EXPECT_EQ(Field::Pow(base, e), expected);
+    expected = Field::Mul(expected, base);
+  }
+}
+
+TEST(FieldTest, FermatLittleTheorem) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = 1 + rng.NextBounded(Field::kModulus - 1);
+    EXPECT_EQ(Field::Pow(a, Field::kModulus - 1), 1u);
+  }
+}
+
+TEST(FieldTest, InverseIsMultiplicativeInverse) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = 1 + rng.NextBounded(Field::kModulus - 1);
+    EXPECT_EQ(Field::Mul(a, Field::Inv(a)), 1u);
+  }
+}
+
+TEST(FieldTest, EncodeDecodeRoundTrip) {
+  Rng rng(7);
+  EXPECT_EQ(Field::Decode(Field::Encode(0)), 0);
+  EXPECT_EQ(Field::Decode(Field::Encode(Field::kMaxCentered)),
+            Field::kMaxCentered);
+  EXPECT_EQ(Field::Decode(Field::Encode(-Field::kMaxCentered)),
+            -Field::kMaxCentered);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextUint64() >> 4) -
+                      (int64_t{1} << 59);
+    if (v > Field::kMaxCentered || v < -Field::kMaxCentered) continue;
+    EXPECT_EQ(Field::Decode(Field::Encode(v)), v);
+  }
+}
+
+TEST(FieldTest, EncodedArithmeticMatchesSignedArithmetic) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.NextBounded(1u << 30)) -
+                      (1 << 29);
+    const int64_t b = static_cast<int64_t>(rng.NextBounded(1u << 30)) -
+                      (1 << 29);
+    EXPECT_EQ(Field::Decode(Field::Add(Field::Encode(a), Field::Encode(b))),
+              a + b);
+    EXPECT_EQ(Field::Decode(Field::Sub(Field::Encode(a), Field::Encode(b))),
+              a - b);
+    EXPECT_EQ(Field::Decode(Field::Mul(Field::Encode(a), Field::Encode(b))),
+              a * b);
+  }
+}
+
+TEST(FieldTest, VectorHelpers) {
+  const std::vector<int64_t> values{-3, 0, 7, -100000};
+  EXPECT_EQ(Field::DecodeVector(Field::EncodeVector(values)), values);
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,56 @@
+#include "sampling/gaussian_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+namespace {
+
+TEST(GaussianSamplerTest, ZeroSigmaIsDegenerate) {
+  GaussianSampler sampler(0.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(sampler.Sample(rng), 0.0);
+}
+
+TEST(GaussianSamplerTest, MomentsMatch) {
+  for (double sigma : {0.5, 1.0, 10.0}) {
+    GaussianSampler sampler(sigma);
+    Rng rng(3);
+    const std::vector<double> draws = sampler.SampleVector(rng, 200000);
+    EXPECT_NEAR(Mean(draws), 0.0, 5.0 * sigma / std::sqrt(200000.0));
+    EXPECT_NEAR(Variance(draws), sigma * sigma, 0.03 * sigma * sigma);
+    EXPECT_NEAR(Skewness(draws), 0.0, 0.03);
+    EXPECT_NEAR(ExcessKurtosis(draws), 0.0, 0.06);
+  }
+}
+
+TEST(GaussianSamplerTest, TailMassMatchesNormal) {
+  GaussianSampler sampler(1.0);
+  Rng rng(5);
+  constexpr int kDraws = 200000;
+  int beyond_one = 0;
+  int beyond_two = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = std::fabs(sampler.Sample(rng));
+    if (x > 1.0) ++beyond_one;
+    if (x > 2.0) ++beyond_two;
+  }
+  EXPECT_NEAR(static_cast<double>(beyond_one) / kDraws, 0.3173, 0.01);
+  EXPECT_NEAR(static_cast<double>(beyond_two) / kDraws, 0.0455, 0.005);
+}
+
+TEST(GaussianSamplerTest, SpareValueKeepsDistribution) {
+  // Consume an odd number of samples to exercise the cached-spare path.
+  GaussianSampler sampler(1.0);
+  Rng rng(7);
+  std::vector<double> draws;
+  for (int i = 0; i < 100001; ++i) draws.push_back(sampler.Sample(rng));
+  EXPECT_NEAR(Variance(draws), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,120 @@
+#include "vfl/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sampling/gaussian_sampler.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+namespace {
+
+/// Three well-separated Gaussian blobs; returns (data, ground truth).
+std::pair<Matrix, std::vector<size_t>> Blobs(size_t per_cluster,
+                                             uint64_t seed) {
+  const double centers[3][2] = {{0.0, 0.0}, {5.0, 5.0}, {-5.0, 5.0}};
+  Matrix x(3 * per_cluster, 2);
+  std::vector<size_t> truth(3 * per_cluster);
+  Rng rng(seed);
+  GaussianSampler gaussian(0.4);
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      const size_t row = c * per_cluster + i;
+      x(row, 0) = centers[c][0] + gaussian.Sample(rng);
+      x(row, 1) = centers[c][1] + gaussian.Sample(rng);
+      truth[row] = c;
+    }
+  }
+  return {std::move(x), std::move(truth)};
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  const auto [x, truth] = Blobs(60, 1);
+  KMeansOptions options;
+  options.k = 3;
+  const KMeansResult result = KMeans(x, options).ValueOrDie();
+  EXPECT_GT(RandIndex(result.assignments, truth), 0.99);
+  EXPECT_GT(result.iterations, 0u);
+  EXPECT_LT(result.inertia / static_cast<double>(x.rows()), 1.0);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithK) {
+  const auto [x, truth] = Blobs(40, 2);
+  (void)truth;
+  KMeansOptions options;
+  options.k = 1;
+  const double k1 = KMeans(x, options).ValueOrDie().inertia;
+  options.k = 3;
+  const double k3 = KMeans(x, options).ValueOrDie().inertia;
+  EXPECT_LT(k3, k1 / 5.0);
+}
+
+TEST(KMeansTest, LloydStepAveragesClusters) {
+  Matrix x{{0, 0}, {2, 0}, {10, 10}};
+  const std::vector<size_t> assignments{0, 0, 1};
+  Matrix previous(2, 2);
+  const Matrix centroids =
+      KMeansLloydStep(x, assignments, previous).ValueOrDie();
+  EXPECT_DOUBLE_EQ(centroids(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(centroids(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(centroids(1, 0), 10.0);
+}
+
+TEST(KMeansTest, LloydStepKeepsEmptyClusterCentroid) {
+  Matrix x{{1, 1}};
+  Matrix previous{{0, 0}, {7, 7}};
+  const Matrix centroids =
+      KMeansLloydStep(x, {0}, previous).ValueOrDie();
+  EXPECT_DOUBLE_EQ(centroids(1, 0), 7.0);  // Untouched.
+  EXPECT_DOUBLE_EQ(centroids(0, 0), 1.0);
+}
+
+TEST(KMeansTest, LloydStepValidatesShapes) {
+  Matrix x{{1, 1}};
+  Matrix previous(2, 2);
+  EXPECT_FALSE(KMeansLloydStep(x, {0, 1}, previous).ok());  // Too many.
+  EXPECT_FALSE(KMeansLloydStep(x, {5}, previous).ok());     // Bad cluster.
+}
+
+TEST(KMeansTest, ValidatesOptions) {
+  Matrix x{{1, 1}, {2, 2}};
+  KMeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(KMeans(x, options).ok());
+  options.k = 5;  // > m.
+  EXPECT_FALSE(KMeans(x, options).ok());
+}
+
+TEST(KMeansTest, LocalDpDegradesGracefullyWithEpsilon) {
+  // Generous budget: near-perfect recovery. Tiny budget: visibly worse —
+  // the utility gap that motivates distributed-DP clustering as future
+  // work (Section VII).
+  const auto [x, truth] = Blobs(60, 3);
+  KMeansOptions options;
+  options.k = 3;
+  const KMeansResult generous =
+      LocalDpKMeans(x, options, /*epsilon=*/1000.0, 1e-5,
+                    /*record_norm_bound=*/8.0)
+          .ValueOrDie();
+  const KMeansResult tight =
+      LocalDpKMeans(x, options, /*epsilon=*/0.05, 1e-5,
+                    /*record_norm_bound=*/8.0)
+          .ValueOrDie();
+  EXPECT_GT(generous.sigma, 0.0);
+  EXPECT_GT(tight.sigma, generous.sigma);
+  const double generous_rand = RandIndex(generous.assignments, truth);
+  const double tight_rand = RandIndex(tight.assignments, truth);
+  EXPECT_GT(generous_rand, 0.95);
+  EXPECT_LT(tight_rand, generous_rand);
+}
+
+TEST(RandIndexTest, Extremes) {
+  EXPECT_DOUBLE_EQ(RandIndex({0, 0, 1, 1}, {0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(RandIndex({0, 0, 1, 1}, {1, 1, 0, 0}), 1.0);  // Relabel.
+  EXPECT_LT(RandIndex({0, 1, 0, 1}, {0, 0, 1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RandIndex({0}, {0}), 1.0);
+}
+
+}  // namespace
+}  // namespace sqm

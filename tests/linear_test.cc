@@ -1,0 +1,155 @@
+#include "vfl/linear.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/linalg.h"
+
+namespace sqm {
+namespace {
+
+RegressionSplit EasyTask(size_t rows = 1500, size_t cols = 8) {
+  SyntheticRegressionSpec spec;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.noise_std = 0.02;
+  spec.seed = 4;
+  return SplitRegression(GenerateRegressionDataset(spec), 0.7, 1)
+      .ValueOrDie();
+}
+
+LinearOptions FastOptions() {
+  LinearOptions options;
+  options.epsilon = 4.0;
+  options.sample_rate = 0.05;
+  options.rounds = 80;
+  options.learning_rate = 2.0;
+  options.gamma = 2048.0;
+  return options;
+}
+
+TEST(LinearGradientPolynomialTest, ExactlyMatchesSquaredLossGradient) {
+  const std::vector<double> w{0.4, -0.1, 0.3};
+  const PolynomialVector f = BuildLinearGradientPolynomial(w);
+  EXPECT_EQ(f.output_dim(), 3u);
+  EXPECT_EQ(f.Degree(), 2u);
+  const std::vector<double> x{0.2, -0.5, 0.1};
+  const double y = 0.37;
+  std::vector<double> record = x;
+  record.push_back(y);
+  const std::vector<double> grad = f.Evaluate(record);
+  const double err = Dot(w, x) - y;
+  for (size_t t = 0; t < 3; ++t) {
+    // No approximation anywhere: equality to machine precision.
+    EXPECT_NEAR(grad[t], err * x[t], 1e-15);
+  }
+}
+
+TEST(LinearTest, SyntheticDataNormalized) {
+  SyntheticRegressionSpec spec;
+  spec.rows = 300;
+  spec.cols = 10;
+  const RegressionDataset data = GenerateRegressionDataset(spec);
+  EXPECT_EQ(data.num_records(), 300u);
+  EXPECT_EQ(data.targets.size(), 300u);
+  double max_norm = 0.0;
+  for (size_t i = 0; i < data.num_records(); ++i) {
+    max_norm = std::max(max_norm, Norm2(data.features.Row(i)));
+  }
+  EXPECT_LE(max_norm, 1.0 + 1e-9);
+  for (double y : data.targets) EXPECT_LE(std::fabs(y), 1.0 + 1e-9);
+}
+
+TEST(LinearTest, SplitPreservesPairs) {
+  const RegressionDataset data = GenerateRegressionDataset(
+      {.rows = 50, .cols = 3, .noise_std = 0.0, .seed = 9});
+  const RegressionSplit split =
+      SplitRegression(data, 0.6, 2).ValueOrDie();
+  EXPECT_EQ(split.train.num_records() + split.test.num_records(), 50u);
+  EXPECT_EQ(split.train.targets.size(), split.train.num_records());
+}
+
+TEST(LinearTest, NonPrivateFitsSignal) {
+  const RegressionSplit split = EasyTask();
+  const LinearResult result =
+      TrainNonPrivateLinear(split.train, split.test, FastOptions())
+          .ValueOrDie();
+  // Targets have unit-ish scale; a good fit should leave small residuals.
+  EXPECT_LT(result.test_rmse, 0.25);
+}
+
+TEST(LinearTest, SqmNearCentralAndBeatsLocal) {
+  const RegressionSplit split = EasyTask(1200, 6);
+  LinearOptions options = FastOptions();
+  options.epsilon = 2.0;
+  const LinearResult sqm_result =
+      TrainSqmLinear(split.train, split.test, options).ValueOrDie();
+  const LinearResult central =
+      TrainDpSgdLinear(split.train, split.test, options).ValueOrDie();
+  const LinearResult local =
+      TrainLocalDpLinear(split.train, split.test, options).ValueOrDie();
+  EXPECT_GT(sqm_result.mu, 0.0);
+  EXPECT_LT(sqm_result.test_rmse, central.test_rmse + 0.1);
+  EXPECT_LE(sqm_result.test_rmse, local.test_rmse + 0.02);
+}
+
+TEST(LinearTest, UtilityImprovesWithEpsilon) {
+  const RegressionSplit split = EasyTask(1200, 6);
+  LinearOptions options = FastOptions();
+  options.epsilon = 0.25;
+  const double low =
+      TrainSqmLinear(split.train, split.test, options).ValueOrDie()
+          .test_rmse;
+  options.epsilon = 8.0;
+  const double high =
+      TrainSqmLinear(split.train, split.test, options).ValueOrDie()
+          .test_rmse;
+  EXPECT_LT(high, low + 0.02);
+}
+
+TEST(LinearTest, BgwBackendMatchesPlaintext) {
+  const RegressionSplit split = EasyTask(80, 4);
+  LinearOptions options = FastOptions();
+  options.rounds = 3;
+  options.sample_rate = 0.1;
+  options.gamma = 256.0;
+  options.backend = MpcBackend::kPlaintext;
+  const LinearResult plain =
+      TrainSqmLinear(split.train, split.test, options).ValueOrDie();
+  options.backend = MpcBackend::kBgw;
+  const LinearResult mpc =
+      TrainSqmLinear(split.train, split.test, options).ValueOrDie();
+  ASSERT_EQ(plain.weights.size(), mpc.weights.size());
+  for (size_t j = 0; j < plain.weights.size(); ++j) {
+    EXPECT_NEAR(plain.weights[j], mpc.weights[j], 1e-12);
+  }
+}
+
+TEST(LinearTest, RidgePenaltyShrinksWeights) {
+  const RegressionSplit split = EasyTask(800, 6);
+  LinearOptions options = FastOptions();
+  options.l2_penalty = 0.0;
+  const LinearResult free =
+      TrainNonPrivateLinear(split.train, split.test, options).ValueOrDie();
+  options.l2_penalty = 0.5;
+  const LinearResult ridged =
+      TrainNonPrivateLinear(split.train, split.test, options).ValueOrDie();
+  EXPECT_LT(Norm2(ridged.weights), Norm2(free.weights));
+}
+
+TEST(LinearTest, ValidatesInputs) {
+  const RegressionSplit split = EasyTask(100, 3);
+  LinearOptions options = FastOptions();
+  options.rounds = 0;
+  EXPECT_FALSE(TrainSqmLinear(split.train, split.test, options).ok());
+  options = FastOptions();
+  options.l2_penalty = -1.0;
+  EXPECT_FALSE(TrainDpSgdLinear(split.train, split.test, options).ok());
+  RegressionDataset broken = split.train;
+  broken.targets.pop_back();
+  EXPECT_FALSE(TrainNonPrivateLinear(broken, split.test, options).ok());
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,59 @@
+#include "core/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace sqm {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_level_ = Logger::GetLevel(); }
+  void TearDown() override { Logger::SetLevel(saved_level_); }
+
+  LogLevel saved_level_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  Logger::SetLevel(LogLevel::kWarning);
+  EXPECT_EQ(Logger::GetLevel(), LogLevel::kWarning);
+  Logger::SetLevel(LogLevel::kDebug);
+  EXPECT_EQ(Logger::GetLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, BelowThresholdIsSuppressed) {
+  Logger::SetLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  SQM_LOG(kInfo) << "should not appear";
+  SQM_LOG(kWarning) << "nor this";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(output.empty()) << output;
+}
+
+TEST_F(LoggingTest, AtOrAboveThresholdIsEmitted) {
+  Logger::SetLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  SQM_LOG(kInfo) << "hello " << 42;
+  SQM_LOG(kError) << "bad thing";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("[INFO] hello 42"), std::string::npos);
+  EXPECT_NE(output.find("[ERROR] bad thing"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  ::testing::internal::CaptureStderr();
+  SQM_CHECK(1 + 1 == 2);
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+using LoggingDeathTest = LoggingTest;
+
+TEST_F(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH(Logger::Log(LogLevel::kFatal, "boom"), "boom");
+}
+
+TEST_F(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(SQM_CHECK(false), "Check failed");
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,95 @@
+#include "math/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace sqm {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(m(i, j), 0.0);
+}
+
+TEST(MatrixTest, InitializerListLayout) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3);
+  EXPECT_DOUBLE_EQ(m(1, 1), 5);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix id = Matrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(MatrixTest, RowAndColAccessors) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.Row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(m.Col(0), (std::vector<double>{1, 3, 5}));
+}
+
+TEST(MatrixTest, SetRowAndCol) {
+  Matrix m(2, 2);
+  m.SetRow(0, {7, 8});
+  m.SetCol(1, {9, 10});
+  EXPECT_DOUBLE_EQ(m(0, 0), 7);
+  EXPECT_DOUBLE_EQ(m(0, 1), 9);
+  EXPECT_DOUBLE_EQ(m(1, 1), 10);
+}
+
+TEST(MatrixTest, SelectColsPreservesOrder) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix sel = m.SelectCols({2, 0});
+  EXPECT_EQ(sel.cols(), 2u);
+  EXPECT_DOUBLE_EQ(sel(0, 0), 3);
+  EXPECT_DOUBLE_EQ(sel(0, 1), 1);
+  EXPECT_DOUBLE_EQ(sel(1, 0), 6);
+}
+
+TEST(MatrixTest, SelectRowsPreservesOrder) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix sel = m.SelectRows({2, 0});
+  EXPECT_EQ(sel.rows(), 2u);
+  EXPECT_DOUBLE_EQ(sel(0, 0), 5);
+  EXPECT_DOUBLE_EQ(sel(1, 1), 2);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  EXPECT_EQ(t.Transpose(), m);
+}
+
+TEST(MatrixTest, Arithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  EXPECT_EQ(a + b, (Matrix{{11, 22}, {33, 44}}));
+  EXPECT_EQ(b - a, (Matrix{{9, 18}, {27, 36}}));
+  EXPECT_EQ(a * 2.0, (Matrix{{2, 4}, {6, 8}}));
+  EXPECT_EQ(2.0 * a, (Matrix{{2, 4}, {6, 8}}));
+}
+
+TEST(MatrixTest, ToStringMentionsShape) {
+  Matrix m{{1, 2}};
+  EXPECT_NE(m.ToString().find("1x2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,56 @@
+#include "vfl/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sqm {
+namespace {
+
+VflDataset TwoPointData() {
+  VflDataset data;
+  data.features = Matrix{{1, 0}, {-1, 0}};
+  data.labels = {1, 0};
+  return data;
+}
+
+TEST(MetricsTest, PredictProbabilitySigmoidOfDot) {
+  EXPECT_DOUBLE_EQ(PredictProbability({0, 0}, {1, 1}), 0.5);
+  EXPECT_GT(PredictProbability({10, 0}, {1, 0}), 0.99);
+  EXPECT_LT(PredictProbability({10, 0}, {-1, 0}), 0.01);
+}
+
+TEST(MetricsTest, PerfectClassifierAccuracyOne) {
+  EXPECT_DOUBLE_EQ(Accuracy({5, 0}, TwoPointData()), 1.0);
+}
+
+TEST(MetricsTest, InvertedClassifierAccuracyZero) {
+  EXPECT_DOUBLE_EQ(Accuracy({-5, 0}, TwoPointData()), 0.0);
+}
+
+TEST(MetricsTest, ZeroWeightsPredictPositive) {
+  // sigmoid(0) = 0.5 >= 0.5 threshold -> predicts 1 for everything.
+  EXPECT_DOUBLE_EQ(Accuracy({0, 0}, TwoPointData()), 0.5);
+}
+
+TEST(MetricsTest, CrossEntropyDecreasesWithConfidence) {
+  const VflDataset data = TwoPointData();
+  const double weak = CrossEntropyLoss({1, 0}, data);
+  const double strong = CrossEntropyLoss({5, 0}, data);
+  EXPECT_LT(strong, weak);
+  EXPECT_NEAR(CrossEntropyLoss({0, 0}, data), std::log(2.0), 1e-12);
+}
+
+TEST(MetricsTest, CrossEntropyFiniteForExtremeWeights) {
+  EXPECT_TRUE(std::isfinite(CrossEntropyLoss({1000, 0}, TwoPointData())));
+  EXPECT_TRUE(std::isfinite(CrossEntropyLoss({-1000, 0}, TwoPointData())));
+}
+
+TEST(MetricsTest, PcaUtilityMatchesDefinition) {
+  const Matrix x{{1, 2}, {3, 4}};
+  const Matrix v{{1}, {0}};  // Project onto the first axis.
+  EXPECT_DOUBLE_EQ(PcaUtility(x, v), 1.0 + 9.0);
+}
+
+}  // namespace
+}  // namespace sqm

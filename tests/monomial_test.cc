@@ -1,0 +1,72 @@
+#include "poly/monomial.h"
+
+#include <gtest/gtest.h>
+
+namespace sqm {
+namespace {
+
+TEST(MonomialTest, ConstantMonomial) {
+  const Monomial m(2.5);
+  EXPECT_DOUBLE_EQ(m.coefficient(), 2.5);
+  EXPECT_EQ(m.Degree(), 0u);
+  EXPECT_EQ(m.MinArity(), 0u);
+  EXPECT_DOUBLE_EQ(m.Evaluate({}), 2.5);
+}
+
+TEST(MonomialTest, PowerFactory) {
+  const Monomial m = Monomial::Power(3.0, 1, 2);  // 3 * x1^2.
+  EXPECT_EQ(m.Degree(), 2u);
+  EXPECT_EQ(m.MinArity(), 2u);
+  EXPECT_DOUBLE_EQ(m.Evaluate({0.0, 4.0}), 48.0);
+}
+
+TEST(MonomialTest, NormalizationMergesDuplicates) {
+  // x0 * x0 must become x0^2.
+  const Monomial m(1.0, {{0, 1}, {0, 1}});
+  ASSERT_EQ(m.exponents().size(), 1u);
+  EXPECT_EQ(m.exponents()[0].second, 2u);
+  EXPECT_DOUBLE_EQ(m.Evaluate({3.0}), 9.0);
+}
+
+TEST(MonomialTest, NormalizationDropsZeroExponents) {
+  const Monomial m(2.0, {{0, 0}, {1, 1}});
+  ASSERT_EQ(m.exponents().size(), 1u);
+  EXPECT_EQ(m.exponents()[0].first, 1u);
+}
+
+TEST(MonomialTest, NormalizationSortsVariables) {
+  const Monomial m(1.0, {{3, 1}, {1, 2}});
+  ASSERT_EQ(m.exponents().size(), 2u);
+  EXPECT_EQ(m.exponents()[0].first, 1u);
+  EXPECT_EQ(m.exponents()[1].first, 3u);
+  EXPECT_EQ(m.MinArity(), 4u);
+}
+
+TEST(MonomialTest, EvaluateMixedTerm) {
+  // -1.5 * x0^2 * x2^3 at (2, _, -1) = -1.5 * 4 * -1 = 6.
+  const Monomial m(-1.5, {{0, 2}, {2, 3}});
+  EXPECT_DOUBLE_EQ(m.Evaluate({2.0, 99.0, -1.0}), 6.0);
+  EXPECT_EQ(m.Degree(), 5u);
+}
+
+TEST(MonomialTest, ProductMultipliesCoefficientsAndAddsExponents) {
+  const Monomial a(2.0, {{0, 1}});
+  const Monomial b(3.0, {{0, 1}, {1, 2}});
+  const Monomial p = a * b;
+  EXPECT_DOUBLE_EQ(p.coefficient(), 6.0);
+  EXPECT_EQ(p.Degree(), 4u);
+  EXPECT_DOUBLE_EQ(p.Evaluate({2.0, 3.0}), 6.0 * 4.0 * 9.0);
+}
+
+TEST(MonomialTest, ToStringShowsStructure) {
+  const Monomial m(2.5, {{0, 2}, {3, 1}});
+  EXPECT_EQ(m.ToString(), "2.5*x0^2*x3");
+}
+
+TEST(MonomialTest, LargeExponentEvaluation) {
+  const Monomial m = Monomial::Power(1.0, 0, 10);
+  EXPECT_DOUBLE_EQ(m.Evaluate({2.0}), 1024.0);
+}
+
+}  // namespace
+}  // namespace sqm

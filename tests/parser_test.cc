@@ -1,0 +1,93 @@
+#include "poly/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sqm {
+namespace {
+
+TEST(ParserTest, PaperRunningExample) {
+  const Polynomial p =
+      ParsePolynomial("x0^3 + 1.5*x1*x2 + 2").ValueOrDie();
+  EXPECT_EQ(p.num_terms(), 3u);
+  EXPECT_EQ(p.Degree(), 3u);
+  // f(2, 3, 4) = 8 + 18 + 2 = 28.
+  EXPECT_DOUBLE_EQ(p.Evaluate({2, 3, 4}), 28.0);
+}
+
+TEST(ParserTest, ConstantsAndSigns) {
+  EXPECT_DOUBLE_EQ(ParsePolynomial("-2.5").ValueOrDie().Evaluate({}), -2.5);
+  EXPECT_DOUBLE_EQ(ParsePolynomial("+3").ValueOrDie().Evaluate({}), 3.0);
+  EXPECT_DOUBLE_EQ(ParsePolynomial("1 - 2 + 4").ValueOrDie().Evaluate({}),
+                   3.0);
+}
+
+TEST(ParserTest, CoefficientProducts) {
+  // "2*3*x0" multiplies all numeric factors into the coefficient.
+  const Polynomial p = ParsePolynomial("2*3*x0").ValueOrDie();
+  EXPECT_DOUBLE_EQ(p.Evaluate({5}), 30.0);
+}
+
+TEST(ParserTest, ExponentsAndRepeatedVariables) {
+  // x0*x0 merges to x0^2.
+  const Polynomial p = ParsePolynomial("x0*x0 + x0^2").ValueOrDie();
+  EXPECT_DOUBLE_EQ(p.Evaluate({3}), 18.0);
+  EXPECT_EQ(p.Degree(), 2u);
+}
+
+TEST(ParserTest, ScientificNotation) {
+  const Polynomial p = ParsePolynomial("1.5e-2*x1").ValueOrDie();
+  EXPECT_DOUBLE_EQ(p.Evaluate({0, 100}), 1.5);
+}
+
+TEST(ParserTest, WhitespaceInsensitive) {
+  const Polynomial a = ParsePolynomial("x0*x1+2").ValueOrDie();
+  const Polynomial b =
+      ParsePolynomial("  x0 * x1   +   2 ").ValueOrDie();
+  EXPECT_DOUBLE_EQ(a.Evaluate({3, 4}), b.Evaluate({3, 4}));
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  for (const char* bad :
+       {"", "x", "x0 +", "2x0", "x0^0", "x0 x1", "x0^", "@", "x0^99"}) {
+    const auto result = ParsePolynomial(bad);
+    EXPECT_FALSE(result.ok()) << "input '" << bad << "'";
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ParserTest, VectorParsing) {
+  const PolynomialVector f =
+      ParsePolynomialVector("x0^2; x0*x1; x1^2").ValueOrDie();
+  EXPECT_EQ(f.output_dim(), 3u);
+  const std::vector<double> out = f.Evaluate({2, 3});
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+  EXPECT_DOUBLE_EQ(out[2], 9.0);
+}
+
+TEST(ParserTest, VectorRejectsEmptyDimension) {
+  EXPECT_FALSE(ParsePolynomialVector("x0; ; x1").ok());
+  EXPECT_FALSE(ParsePolynomialVector("").ok());
+}
+
+TEST(ParserTest, FormatRoundTrips) {
+  for (const char* text :
+       {"x0^3 + 1.5*x1*x2 + 2", "-x0 + 0.25*x1^2", "42"}) {
+    const Polynomial original = ParsePolynomial(text).ValueOrDie();
+    const Polynomial reparsed =
+        ParsePolynomial(FormatPolynomial(original)).ValueOrDie();
+    // Compare by evaluation on a probe point.
+    const std::vector<double> probe{0.7, -1.3, 2.1};
+    EXPECT_NEAR(original.Evaluate(probe), reparsed.Evaluate(probe), 1e-12)
+        << text << " -> " << FormatPolynomial(original);
+  }
+}
+
+TEST(ParserTest, FormatHandlesSigns) {
+  const Polynomial p = ParsePolynomial("-2*x0 - 3").ValueOrDie();
+  const std::string text = FormatPolynomial(p);
+  EXPECT_EQ(text, "-2*x0 - 3");
+}
+
+}  // namespace
+}  // namespace sqm

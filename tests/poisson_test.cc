@@ -1,0 +1,85 @@
+#include "sampling/poisson.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "math/stats.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+namespace {
+
+TEST(PoissonTest, ZeroRateIsDegenerate) {
+  PoissonSampler sampler(0.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 0);
+}
+
+TEST(PoissonTest, SamplesAreNonNegative) {
+  Rng rng(2);
+  for (double mu : {0.1, 1.0, 5.0, 20.0, 1000.0}) {
+    PoissonSampler sampler(mu);
+    for (int i = 0; i < 1000; ++i) EXPECT_GE(sampler.Sample(rng), 0);
+  }
+}
+
+/// Parameterized moment check across both sampling regimes (Knuth inversion
+/// below mu = 10, PTRS above).
+class PoissonMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMomentsTest, MeanAndVarianceMatchMu) {
+  const double mu = GetParam();
+  PoissonSampler sampler(mu);
+  Rng rng(42);
+  constexpr size_t kDraws = 200000;
+  const std::vector<int64_t> draws = sampler.SampleVector(rng, kDraws);
+  // Mean and variance of Poisson(mu) are both mu. 5-sigma tolerances.
+  const double tol_mean = 5.0 * std::sqrt(mu / kDraws);
+  EXPECT_NEAR(Mean(draws), mu, std::max(tol_mean, 1e-3));
+  // Var of the sample variance ~ (mu + 3mu^2... ) use generous 5% + abs.
+  EXPECT_NEAR(Variance(draws), mu, std::max(0.05 * mu, 1e-2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, PoissonMomentsTest,
+                         ::testing::Values(0.25, 1.0, 3.0, 9.9, 10.1, 25.0,
+                                           100.0, 1234.5));
+
+TEST(PoissonTest, SmallMuPmfMatches) {
+  // Chi-square-style check of the empirical pmf against e^{-mu} mu^k / k!.
+  const double mu = 2.5;
+  PoissonSampler sampler(mu);
+  Rng rng(7);
+  constexpr int kDraws = 200000;
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(rng)];
+  for (int64_t k = 0; k <= 8; ++k) {
+    const double expected =
+        std::exp(-mu + k * std::log(mu) - std::lgamma(k + 1.0));
+    const double observed = static_cast<double>(counts[k]) / kDraws;
+    EXPECT_NEAR(observed, expected, 0.005) << "k=" << k;
+  }
+}
+
+TEST(PoissonTest, LargeMuSkewnessIsSmallAndPositive) {
+  // Poisson skewness is 1/sqrt(mu).
+  const double mu = 400.0;
+  PoissonSampler sampler(mu);
+  Rng rng(9);
+  std::vector<double> draws(100000);
+  for (auto& d : draws) d = static_cast<double>(sampler.Sample(rng));
+  EXPECT_NEAR(Skewness(draws), 1.0 / std::sqrt(mu), 0.02);
+}
+
+TEST(PoissonTest, DeterministicGivenSeed) {
+  PoissonSampler sampler(17.0);
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.Sample(a), sampler.Sample(b));
+  }
+}
+
+}  // namespace
+}  // namespace sqm

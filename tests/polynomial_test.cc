@@ -1,0 +1,104 @@
+#include "poly/polynomial.h"
+
+#include <gtest/gtest.h>
+
+namespace sqm {
+namespace {
+
+Polynomial PaperExample() {
+  // The paper's running example: f(x) = x0^3 + 1.5*x1*x2 + 2 (degree 3).
+  Polynomial p;
+  p.AddTerm(Monomial::Power(1.0, 0, 3));
+  p.AddTerm(Monomial(1.5, {{1, 1}, {2, 1}}));
+  p.AddTerm(Monomial(2.0));
+  return p;
+}
+
+TEST(PolynomialTest, PaperExampleEvaluates) {
+  const Polynomial p = PaperExample();
+  EXPECT_EQ(p.Degree(), 3u);
+  EXPECT_EQ(p.MinArity(), 3u);
+  EXPECT_EQ(p.num_terms(), 3u);
+  // 2^3 + 1.5*3*4 + 2 = 8 + 18 + 2 = 28.
+  EXPECT_DOUBLE_EQ(p.Evaluate({2, 3, 4}), 28.0);
+}
+
+TEST(PolynomialTest, EmptyPolynomialIsZero) {
+  const Polynomial p;
+  EXPECT_EQ(p.Degree(), 0u);
+  EXPECT_DOUBLE_EQ(p.Evaluate({1, 2, 3}), 0.0);
+  EXPECT_EQ(p.ToString(), "0");
+}
+
+TEST(PolynomialTest, EvaluateSumOverRows) {
+  Polynomial p;
+  p.AddTerm(Monomial::Power(1.0, 0, 1));
+  const std::vector<std::vector<double>> rows{{1}, {2}, {3.5}};
+  EXPECT_DOUBLE_EQ(p.EvaluateSum(rows), 6.5);
+}
+
+TEST(PolynomialVectorTest, DegreeIsMaxOverDims) {
+  PolynomialVector f;
+  Polynomial p1;
+  p1.AddTerm(Monomial::Power(1.0, 0, 1));
+  Polynomial p2;
+  p2.AddTerm(Monomial::Power(1.0, 0, 4));
+  f.AddDimension(p1).AddDimension(p2);
+  EXPECT_EQ(f.Degree(), 4u);
+  EXPECT_EQ(f.output_dim(), 2u);
+}
+
+TEST(PolynomialVectorTest, EvaluateAllDims) {
+  PolynomialVector f;
+  Polynomial p1;
+  p1.AddTerm(Monomial::Power(2.0, 0, 1));
+  Polynomial p2;
+  p2.AddTerm(Monomial(1.0, {{0, 1}, {1, 1}}));
+  f.AddDimension(p1).AddDimension(p2);
+  const std::vector<double> out = f.Evaluate({3, 4});
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+  EXPECT_DOUBLE_EQ(out[1], 12.0);
+}
+
+TEST(PolynomialVectorTest, EvaluateSumIsLinear) {
+  PolynomialVector f;
+  Polynomial p;
+  p.AddTerm(Monomial::Power(1.0, 0, 2));
+  f.AddDimension(p);
+  const std::vector<std::vector<double>> rows{{1}, {2}, {3}};
+  EXPECT_DOUBLE_EQ(f.EvaluateSum(rows)[0], 14.0);
+}
+
+TEST(PolynomialVectorTest, MaxTermsPerDimension) {
+  PolynomialVector f;
+  f.AddDimension(PaperExample());
+  Polynomial single;
+  single.AddTerm(Monomial(1.0));
+  f.AddDimension(single);
+  EXPECT_EQ(f.MaxTermsPerDimension(), 3u);
+}
+
+TEST(PolynomialVectorTest, OuterProductMatchesGram) {
+  // f(x) = x^T x flattened: evaluating and summing over rows must equal the
+  // Gram matrix entries.
+  const PolynomialVector f = PolynomialVector::OuterProduct(3);
+  EXPECT_EQ(f.output_dim(), 9u);
+  EXPECT_EQ(f.Degree(), 2u);
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> out = f.Evaluate(x);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(out[i * 3 + j], x[i] * x[j]);
+    }
+  }
+}
+
+TEST(PolynomialVectorTest, ToStringJoinsDims) {
+  PolynomialVector f = PolynomialVector::OuterProduct(2);
+  const std::string s = f.ToString();
+  EXPECT_EQ(s.front(), '(');
+  EXPECT_EQ(s.back(), ')');
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,202 @@
+#include "core/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.h"
+
+namespace sqm {
+namespace {
+
+TEST(StochasticRoundTest, ExactIntegersAreFixedPoints) {
+  Rng rng(1);
+  EXPECT_EQ(StochasticRound(3.0, 1.0, rng), 3);
+  EXPECT_EQ(StochasticRound(-2.0, 1.0, rng), -2);
+  EXPECT_EQ(StochasticRound(0.5, 4.0, rng), 2);  // 0.5 * 4 = 2 exactly.
+}
+
+TEST(StochasticRoundTest, RoundsToOneOfTwoNeighbours) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t r = StochasticRound(2.3, 10.0, rng);  // 23 exactly.
+    EXPECT_EQ(r, 23);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t r = StochasticRound(0.234, 10.0, rng);  // 2.34.
+    EXPECT_TRUE(r == 2 || r == 3);
+  }
+}
+
+TEST(StochasticRoundTest, IsUnbiased) {
+  // E[round(v * s)] = v * s — the property that makes quantized Gram
+  // matrices unbiased (Algorithm 2 discussion).
+  Rng rng(3);
+  for (double v : {0.123, -0.777, 1.999, -3.501}) {
+    const double scale = 7.0;
+    constexpr int kDraws = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += static_cast<double>(StochasticRound(v, scale, rng));
+    }
+    EXPECT_NEAR(sum / kDraws, v * scale, 0.01) << "v=" << v;
+  }
+}
+
+TEST(StochasticRoundTest, NegativeValuesHandled) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t r = StochasticRound(-0.25, 10.0, rng);  // -2.5.
+    EXPECT_TRUE(r == -3 || r == -2);
+  }
+}
+
+TEST(NearestRoundTest, RoundsToNearest) {
+  EXPECT_EQ(NearestRound(0.24, 10.0), 2);
+  EXPECT_EQ(NearestRound(0.26, 10.0), 3);
+  EXPECT_EQ(NearestRound(-0.26, 10.0), -3);
+}
+
+TEST(QuantizeDatabaseTest, ShapesAndScale) {
+  Matrix x{{0.5, -0.25}, {1.0, 0.125}};
+  Rng rng(5);
+  const QuantizedDatabase db = QuantizeDatabase(x, 8.0, rng);
+  EXPECT_EQ(db.rows, 2u);
+  EXPECT_EQ(db.cols, 2u);
+  // All entries are exact multiples of 1/8 -> deterministic.
+  EXPECT_EQ(db.at(0, 0), 4);
+  EXPECT_EQ(db.at(0, 1), -2);
+  EXPECT_EQ(db.at(1, 0), 8);
+  EXPECT_EQ(db.at(1, 1), 1);
+}
+
+TEST(QuantizeDatabaseTest, ColumnsUseIndependentStreams) {
+  // Two identical columns must round differently at non-exact fractions.
+  Matrix x(200, 2);
+  for (size_t i = 0; i < 200; ++i) {
+    x(i, 0) = 0.3333;
+    x(i, 1) = 0.3333;
+  }
+  Rng rng(6);
+  const QuantizedDatabase db = QuantizeDatabase(x, 10.0, rng);
+  size_t differing = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    if (db.at(i, 0) != db.at(i, 1)) ++differing;
+  }
+  EXPECT_GT(differing, 20u);
+}
+
+TEST(QuantizePolynomialTest, PerDegreeCoefficientScaling) {
+  // f(x) = 0.5*x0 + 0.25*x0*x1 (degrees 1 and 2; lambda = 2).
+  // Coefficient scales: deg-1 -> gamma^2, deg-2 -> gamma^1.
+  PolynomialVector f;
+  Polynomial p;
+  p.AddTerm(Monomial::Power(0.5, 0, 1));
+  p.AddTerm(Monomial(0.25, {{0, 1}, {1, 1}}));
+  f.AddDimension(p);
+
+  Rng rng(7);
+  const double gamma = 16.0;
+  const QuantizedPolynomial qf =
+      QuantizePolynomial(f, gamma, rng).ValueOrDie();
+  EXPECT_EQ(qf.degree, 2u);
+  EXPECT_DOUBLE_EQ(qf.output_scale, gamma * gamma * gamma);
+  ASSERT_EQ(qf.dims.size(), 1u);
+  ASSERT_EQ(qf.dims[0].size(), 2u);
+  EXPECT_EQ(qf.dims[0][0].coefficient, 128);  // 0.5 * 16^2, exact.
+  EXPECT_EQ(qf.dims[0][1].coefficient, 4);    // 0.25 * 16, exact.
+}
+
+TEST(QuantizePolynomialTest, RejectsGammaBelowOne) {
+  PolynomialVector f = PolynomialVector::OuterProduct(2);
+  Rng rng(8);
+  EXPECT_FALSE(QuantizePolynomial(f, 0.5, rng).ok());
+}
+
+TEST(QuantizePolynomialTest, RejectsOverflowingCoefficient) {
+  PolynomialVector f;
+  Polynomial p;
+  p.AddTerm(Monomial(1e10));  // Degree 0: scale gamma^{1+lambda}.
+  Polynomial q;
+  q.AddTerm(Monomial(1.0, {{0, 1}, {1, 1}, {2, 1}}));  // lambda = 3.
+  f.AddDimension(p).AddDimension(q);
+  Rng rng(9);
+  EXPECT_EQ(QuantizePolynomial(f, 4096.0, rng).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(EvaluateQuantizedDimTest, MatchesManualComputation) {
+  // f-hat = 3 * x0^2 * x1 on quantized row (4, -2) -> 3*16*(-2) = -96.
+  QuantizedDatabase db;
+  db.rows = 1;
+  db.cols = 2;
+  db.columns = {{4}, {-2}};
+  QuantizedMonomial qm;
+  qm.coefficient = 3;
+  qm.exponents = {{0, 2}, {1, 1}};
+  const auto value = EvaluateQuantizedDim({qm}, db, 0);
+  EXPECT_EQ(value.ValueOrDie(), -96);
+}
+
+TEST(EvaluateQuantizedDimTest, DetectsCapacityOverflow) {
+  QuantizedDatabase db;
+  db.rows = 1;
+  db.cols = 1;
+  db.columns = {{int64_t{1} << 31}};
+  QuantizedMonomial qm;
+  qm.coefficient = 1;
+  qm.exponents = {{0, 2}};  // (2^31)^2 = 2^62 > capacity.
+  EXPECT_EQ(EvaluateQuantizedDim({qm}, db, 0).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(EvaluateQuantizedDimTest, ValidatesIndices) {
+  QuantizedDatabase db;
+  db.rows = 1;
+  db.cols = 1;
+  db.columns = {{1}};
+  QuantizedMonomial qm;
+  qm.coefficient = 1;
+  qm.exponents = {{5, 1}};  // Missing column.
+  EXPECT_FALSE(EvaluateQuantizedDim({qm}, db, 0).ok());
+  EXPECT_FALSE(EvaluateQuantizedDim({qm}, db, 3).ok());  // Missing row.
+}
+
+TEST(QuantizeRoundTripTest, RelativeErrorShrinksWithGamma) {
+  // Lemma 2 / Corollary 1: the quantization error of the de-scaled estimate
+  // vanishes as gamma grows.
+  Matrix x(50, 2);
+  Rng data_gen(11);
+  for (auto& v : x.data()) v = data_gen.NextDouble() - 0.5;
+  const PolynomialVector f = PolynomialVector::OuterProduct(2);
+
+  std::vector<std::vector<double>> rows;
+  for (size_t i = 0; i < x.rows(); ++i) rows.push_back(x.Row(i));
+  const std::vector<double> exact = f.EvaluateSum(rows);
+
+  double prev_error = 1e18;
+  for (double gamma : {16.0, 256.0, 4096.0}) {
+    Rng rng(12);
+    const QuantizedDatabase db = QuantizeDatabase(x, gamma, rng);
+    double worst = 0.0;
+    for (size_t t = 0; t < f.output_dim(); ++t) {
+      // Coefficients are 1; no coefficient quantization (PCA convention).
+      QuantizedMonomial qm;
+      qm.coefficient = 1;
+      qm.exponents = f.dims()[t].terms()[0].exponents();
+      double acc = 0.0;
+      for (size_t i = 0; i < db.rows; ++i) {
+        acc += static_cast<double>(
+            EvaluateQuantizedDim({qm}, db, i).ValueOrDie());
+      }
+      worst = std::max(worst,
+                       std::fabs(acc / (gamma * gamma) - exact[t]));
+    }
+    EXPECT_LT(worst, prev_error);
+    prev_error = worst;
+  }
+  EXPECT_LT(prev_error, 1e-2);
+}
+
+}  // namespace
+}  // namespace sqm

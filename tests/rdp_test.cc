@@ -1,0 +1,101 @@
+#include "dp/rdp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sqm {
+namespace {
+
+TEST(RdpTest, ConversionMatchesClosedForm) {
+  // Lemma 9 at alpha = 2, tau = 1, delta = 1e-5:
+  // eps = 1 + log(1e5) + log(1/2) - log(2).
+  const double expected =
+      1.0 + std::log(1e5) + std::log(0.5) - std::log(2.0);
+  EXPECT_NEAR(RdpToEpsilon(2.0, 1.0, 1e-5), expected, 1e-12);
+}
+
+TEST(RdpTest, EpsilonIncreasesWithTau) {
+  EXPECT_LT(RdpToEpsilon(4.0, 0.1, 1e-5), RdpToEpsilon(4.0, 0.2, 1e-5));
+}
+
+TEST(RdpTest, EpsilonDecreasesWithDelta) {
+  EXPECT_GT(RdpToEpsilon(4.0, 0.1, 1e-9), RdpToEpsilon(4.0, 0.1, 1e-3));
+}
+
+TEST(RdpTest, BestEpsilonPicksInteriorAlpha) {
+  // Gaussian-like curve tau = alpha * r: the conversion tradeoff makes
+  // neither the smallest nor the largest alpha optimal in general.
+  const auto curve = [](double alpha) { return alpha * 0.01; };
+  double best_alpha = 0.0;
+  const double eps =
+      BestEpsilonFromCurve(curve, DefaultAlphaGrid(), 1e-5, &best_alpha);
+  EXPECT_GT(best_alpha, 2.0);
+  EXPECT_LT(best_alpha, 128.0);
+  // Must be at most the epsilon at any particular alpha.
+  EXPECT_LE(eps, RdpToEpsilon(2.0, curve(2.0), 1e-5));
+  EXPECT_LE(eps, RdpToEpsilon(64.0, curve(64.0), 1e-5));
+}
+
+TEST(RdpTest, ComposeSums) {
+  EXPECT_DOUBLE_EQ(ComposeRdp({0.1, 0.2, 0.3}), 0.6);
+  EXPECT_DOUBLE_EQ(ComposeRdp({}), 0.0);
+}
+
+TEST(RdpTest, LogBinomialMatchesSmallCases) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(52, 5), std::log(2598960.0), 1e-9);
+}
+
+TEST(RdpTest, LogSumExpStable) {
+  EXPECT_NEAR(LogSumExp({0.0, 0.0}), std::log(2.0), 1e-12);
+  // Huge values must not overflow.
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+  // Dominant term wins.
+  EXPECT_NEAR(LogSumExp({0.0, 500.0}), 500.0, 1e-9);
+}
+
+TEST(RdpTest, SubsamplingWithQOneIsIdentity) {
+  const auto tau = [](size_t l) { return 0.05 * static_cast<double>(l); };
+  EXPECT_DOUBLE_EQ(SubsampledRdp(8, 1.0, tau), tau(8));
+}
+
+TEST(RdpTest, SubsamplingAmplifiesPrivacy) {
+  const auto tau = [](size_t l) { return 0.1 * static_cast<double>(l); };
+  const double amplified = SubsampledRdp(8, 0.01, tau);
+  EXPECT_LT(amplified, tau(8));
+  EXPECT_GT(amplified, 0.0);
+}
+
+TEST(RdpTest, SubsamplingMonotoneInQ) {
+  const auto tau = [](size_t l) { return 0.1 * static_cast<double>(l); };
+  double prev = 0.0;
+  for (double q : {0.001, 0.01, 0.1, 0.5}) {
+    const double value = SubsampledRdp(4, q, tau);
+    EXPECT_GT(value, prev);
+    prev = value;
+  }
+}
+
+TEST(RdpTest, SubsamplingStableForHugeInnerTau) {
+  // The paper's LR accounting feeds enormous tau_l (unscaled sensitivities);
+  // the log-space computation must stay finite.
+  const auto tau = [](size_t l) { return 1e4 * static_cast<double>(l); };
+  const double value = SubsampledRdp(4, 1e-3, tau);
+  EXPECT_TRUE(std::isfinite(value));
+  EXPECT_GT(value, 0.0);
+}
+
+TEST(RdpTest, SubsamplingSmallQSecondOrderBehaviour) {
+  // For q -> 0 the bound behaves like q^2 * e^{tau_2} terms: halving q
+  // should reduce tau by roughly 4x in the small-q regime.
+  const auto tau = [](size_t l) { return 0.5 * static_cast<double>(l); };
+  const double t1 = SubsampledRdp(2, 0.01, tau);
+  const double t2 = SubsampledRdp(2, 0.005, tau);
+  EXPECT_NEAR(t1 / t2, 4.0, 0.5);
+}
+
+}  // namespace
+}  // namespace sqm

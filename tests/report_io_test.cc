@@ -1,0 +1,85 @@
+#include "core/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqm {
+namespace {
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter writer;
+  writer.BeginObject().EndObject();
+  EXPECT_EQ(writer.str(), "{}");
+}
+
+TEST(JsonWriterTest, ScalarFields) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Field("a", int64_t{-3})
+      .Field("b", uint64_t{7})
+      .Field("c", 1.5)
+      .Field("d", std::string("hi"))
+      .Field("e", true)
+      .EndObject();
+  EXPECT_EQ(writer.str(),
+            "{\"a\":-3,\"b\":7,\"c\":1.5,\"d\":\"hi\",\"e\":true}");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.BeginArray("xs").Value(int64_t{1}).Value(int64_t{2}).EndArray();
+  writer.Key("inner").BeginObject().Field("y", 0.25).EndObject();
+  writer.EndObject();
+  EXPECT_EQ(writer.str(), "{\"xs\":[1,2],\"inner\":{\"y\":0.25}}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Field("s", std::string("a\"b\\c\nd"))
+      .EndObject();
+  EXPECT_EQ(writer.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Field("nan", std::nan(""))
+      .EndObject();
+  EXPECT_EQ(writer.str(), "{\"nan\":null}");
+}
+
+TEST(ReportIoTest, NetworkStatsShape) {
+  NetworkStats stats;
+  stats.messages = 12;
+  stats.field_elements = 34;
+  stats.rounds = 5;
+  const std::string json = NetworkStatsToJson(stats);
+  EXPECT_EQ(json,
+            "{\"messages\":12,\"field_elements\":34,\"bytes\":272,"
+            "\"rounds\":5}");
+}
+
+TEST(ReportIoTest, SqmReportContainsAllSections) {
+  SqmReport report;
+  report.estimate = {1.5, -2.0};
+  report.raw = {3, -4};
+  report.timing.quantize_seconds = 0.25;
+  report.network.messages = 9;
+  const std::string json = SqmReportToJson(report);
+  EXPECT_NE(json.find("\"estimate\":[1.5,-2]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"raw\":[3,-4]"), std::string::npos);
+  EXPECT_NE(json.find("\"quantize_seconds\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"messages\":9"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace sqm

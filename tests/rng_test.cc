@@ -1,0 +1,124 @@
+#include "sampling/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "math/stats.h"
+
+namespace sqm {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  size_t same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0u);
+}
+
+TEST(RngTest, ZeroSeedWorks) {
+  Rng rng(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(rng.NextUint64());
+  EXPECT_GT(seen.size(), 60u);  // No obvious degeneracy.
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBound)];
+  for (int c : counts) {
+    // Expected 10000 each; 5-sigma band ~ +-470.
+    EXPECT_NEAR(c, kDraws / static_cast<int>(kBound), 500);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  double min_seen = 1.0;
+  double max_seen = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    min_seen = std::min(min_seen, u);
+    max_seen = std::max(max_seen, u);
+  }
+  EXPECT_LT(min_seen, 0.01);
+  EXPECT_GT(max_seen, 0.99);
+}
+
+TEST(RngTest, DoubleMeanIsHalf) {
+  Rng rng(17);
+  std::vector<double> draws(50000);
+  for (auto& d : draws) d = rng.NextDouble();
+  EXPECT_NEAR(Mean(draws), 0.5, 0.01);
+  EXPECT_NEAR(Variance(draws), 1.0 / 12.0, 0.01);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(19);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int heads = 0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i) {
+      if (rng.NextBernoulli(p)) ++heads;
+    }
+    EXPECT_NEAR(static_cast<double>(heads) / kDraws, p, 0.01);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_FALSE(rng.NextBernoulli(-1.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_TRUE(rng.NextBernoulli(2.0));
+  }
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(29);
+  Rng child_a = parent.Split(0);
+  Rng child_b = parent.Split(1);
+  size_t same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (child_a.NextUint64() == child_b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0u);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng p1(31);
+  Rng p2(31);
+  Rng c1 = p1.Split(5);
+  Rng c2 = p2.Split(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1.NextUint64(), c2.NextUint64());
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,113 @@
+#include "core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sqm {
+namespace {
+
+TEST(SensitivityTest, L1FromL2PicksMinimum) {
+  // Small l2: l2^2 < sqrt(d) l2.
+  EXPECT_DOUBLE_EQ(L1FromL2(2.0, 100), 4.0);
+  // Large l2: sqrt(d) l2 < l2^2.
+  EXPECT_DOUBLE_EQ(L1FromL2(100.0, 4), 200.0);
+}
+
+TEST(SensitivityTest, PcaMatchesLemma5) {
+  const double gamma = 64.0;
+  const double c = 1.0;
+  const size_t n = 10;
+  const SensitivityBound bound = PcaSensitivity(gamma, c, n);
+  EXPECT_DOUBLE_EQ(bound.l2, gamma * gamma * c * c + n);
+  EXPECT_DOUBLE_EQ(bound.l1,
+                   std::min(bound.l2 * bound.l2,
+                            std::sqrt(100.0) * bound.l2));
+}
+
+TEST(SensitivityTest, PcaOverheadVanishesRelatively) {
+  // (gamma^2 c^2 + n) / (gamma^2 c^2) -> 1 as gamma grows (Eq. 7
+  // discussion).
+  const size_t n = 100;
+  double prev_ratio = 1e9;
+  for (double gamma : {16.0, 64.0, 256.0, 1024.0}) {
+    const double ratio = PcaSensitivity(gamma, 1.0, n).l2 / (gamma * gamma);
+    EXPECT_LT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+  EXPECT_NEAR(prev_ratio, 1.0, 1e-3);
+}
+
+TEST(SensitivityTest, LogisticMatchesLemma7) {
+  const double gamma = 64.0;
+  const size_t d = 20;
+  const SensitivityBound bound = LogisticGradientSensitivity(gamma, d);
+  const double g3 = gamma * gamma * gamma;
+  const double expected =
+      std::sqrt(0.75 * 0.75 * g3 * g3 + 9.0 * std::pow(gamma, 5) * d +
+                36.0 * std::pow(gamma, 4));
+  EXPECT_DOUBLE_EQ(bound.l2, expected);
+}
+
+TEST(SensitivityTest, LogisticOverheadMatchesFigure4Formula) {
+  const size_t d = 800;
+  for (double gamma : {64.0, 1024.0, 65536.0}) {
+    const double expected = std::sqrt(0.5625 + 9.0 * d / gamma +
+                                      36.0 / (gamma * gamma)) -
+                            0.75;
+    EXPECT_DOUBLE_EQ(LogisticSensitivityOverhead(gamma, d), expected);
+  }
+}
+
+TEST(SensitivityTest, LogisticOverheadDecreasesToZero) {
+  double prev = 1e9;
+  for (double gamma : {64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0}) {
+    const double overhead = LogisticSensitivityOverhead(gamma, 800);
+    EXPECT_LT(overhead, prev);
+    prev = overhead;
+  }
+  EXPECT_LT(prev, 0.1);
+}
+
+TEST(SensitivityTest, GenericBoundDominatesMainTerm) {
+  const PolynomialVector f = PolynomialVector::OuterProduct(3);
+  const double gamma = 256.0;
+  const SensitivityBound bound = PolynomialSensitivity(f, gamma, 1.0, 1.0);
+  EXPECT_GE(bound.l2, std::pow(gamma, 3.0));  // gamma^{lambda+1} * max_f.
+}
+
+TEST(SensitivityTest, GenericOverheadVanishesRelatively) {
+  const PolynomialVector f = PolynomialVector::OuterProduct(3);
+  double prev_ratio = 1e18;
+  for (double gamma : {64.0, 1024.0, 16384.0}) {
+    const double ratio = PolynomialSensitivity(f, gamma, 1.0, 1.0).l2 /
+                         std::pow(gamma, 3.0);
+    EXPECT_LT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+  EXPECT_NEAR(prev_ratio, 1.0, 0.05);
+}
+
+TEST(SensitivityTest, CapacityBitsGrowWithParameters) {
+  const double bits_small = EstimateCapacityBits(100, 256.0, 2, 1.0, 0.0);
+  const double bits_more_records =
+      EstimateCapacityBits(10000, 256.0, 2, 1.0, 0.0);
+  const double bits_bigger_gamma =
+      EstimateCapacityBits(100, 4096.0, 2, 1.0, 0.0);
+  EXPECT_GT(bits_more_records, bits_small);
+  EXPECT_GT(bits_bigger_gamma, bits_small);
+}
+
+TEST(SensitivityTest, CapacityCheckAcceptsPaperScales) {
+  // KDDCUP-scale PCA: m ~ 2e5, gamma = 2^14, degree 2.
+  EXPECT_TRUE(CheckFieldCapacity(200000, 16384.0, 2, 1.0, 1e15).ok());
+}
+
+TEST(SensitivityTest, CapacityCheckRejectsWrapRisk) {
+  // gamma^3 with huge m and f-norm would exceed 2^60.
+  EXPECT_EQ(CheckFieldCapacity(1000000000, 65536.0, 2, 100.0, 0.0).code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,115 @@
+#include "mpc/shamir.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sampling/rng.h"
+
+namespace sqm {
+namespace {
+
+TEST(ShamirTest, ValidateRejectsBadParameters) {
+  EXPECT_FALSE(ShamirScheme::Validate(1, 1).ok());   // Too few parties.
+  EXPECT_FALSE(ShamirScheme::Validate(4, 2).ok());   // 2t >= n.
+  EXPECT_FALSE(ShamirScheme::Validate(4, 0).ok());   // Degenerate threshold.
+  EXPECT_TRUE(ShamirScheme::Validate(3, 1).ok());
+  EXPECT_TRUE(ShamirScheme::Validate(5, 2).ok());
+  EXPECT_TRUE(ShamirScheme::Validate(7, 3).ok());
+}
+
+TEST(ShamirTest, ShareReconstructRoundTrip) {
+  ShamirScheme scheme(5, 2);
+  Rng rng(1);
+  for (int64_t secret : {0L, 1L, -1L, 123456789L, -987654321L}) {
+    const auto shares = scheme.Share(Field::Encode(secret), rng);
+    ASSERT_EQ(shares.size(), 5u);
+    EXPECT_EQ(Field::Decode(scheme.Reconstruct(shares)), secret);
+  }
+}
+
+TEST(ShamirTest, AnySubsetOfThresholdPlusOneReconstructs) {
+  ShamirScheme scheme(5, 2);
+  Rng rng(2);
+  const Field::Element secret = Field::Encode(42);
+  const auto shares = scheme.Share(secret, rng);
+  // All (5 choose 3) subsets.
+  for (size_t a = 0; a < 5; ++a) {
+    for (size_t b = a + 1; b < 5; ++b) {
+      for (size_t c = b + 1; c < 5; ++c) {
+        const auto value = scheme.ReconstructFromSubset(
+            {{a, shares[a]}, {b, shares[b]}, {c, shares[c]}});
+        EXPECT_EQ(value.ValueOrDie(), secret);
+      }
+    }
+  }
+}
+
+TEST(ShamirTest, SubsetReconstructionValidatesInput) {
+  ShamirScheme scheme(5, 2);
+  Rng rng(3);
+  const auto shares = scheme.Share(Field::Encode(7), rng);
+  // Too few shares.
+  EXPECT_FALSE(
+      scheme.ReconstructFromSubset({{0, shares[0]}, {1, shares[1]}}).ok());
+  // Duplicate party.
+  EXPECT_FALSE(scheme
+                   .ReconstructFromSubset({{0, shares[0]},
+                                           {0, shares[0]},
+                                           {1, shares[1]}})
+                   .ok());
+  // Out-of-range party.
+  EXPECT_FALSE(scheme
+                   .ReconstructFromSubset({{0, shares[0]},
+                                           {1, shares[1]},
+                                           {9, shares[2]}})
+                   .ok());
+}
+
+TEST(ShamirTest, ThresholdSharesLookUniform) {
+  // With threshold t, the marginal of any single share is uniform; check a
+  // coarse statistic: share values of a fixed secret spread across the
+  // field rather than clustering.
+  ShamirScheme scheme(3, 1);
+  Rng rng(4);
+  std::set<Field::Element> first_shares;
+  for (int i = 0; i < 200; ++i) {
+    first_shares.insert(scheme.Share(Field::Encode(5), rng)[0]);
+  }
+  EXPECT_GT(first_shares.size(), 195u);  // Essentially all distinct.
+}
+
+TEST(ShamirTest, SharesAreAdditivelyHomomorphic) {
+  ShamirScheme scheme(5, 2);
+  Rng rng(5);
+  const auto sa = scheme.Share(Field::Encode(100), rng);
+  const auto sb = scheme.Share(Field::Encode(23), rng);
+  std::vector<Field::Element> sum(5);
+  for (size_t j = 0; j < 5; ++j) sum[j] = Field::Add(sa[j], sb[j]);
+  EXPECT_EQ(Field::Decode(scheme.Reconstruct(sum)), 123);
+}
+
+TEST(ShamirTest, Degree2tReconstructionOfShareProducts) {
+  // Local products of two degree-t sharings form a degree-2t sharing of the
+  // product of the secrets — the core fact behind BGW multiplication.
+  ShamirScheme scheme(5, 2);
+  Rng rng(6);
+  const auto sa = scheme.Share(Field::Encode(12), rng);
+  const auto sb = scheme.Share(Field::Encode(-7), rng);
+  std::vector<Field::Element> products(5);
+  for (size_t j = 0; j < 5; ++j) products[j] = Field::Mul(sa[j], sb[j]);
+  EXPECT_EQ(Field::Decode(scheme.ReconstructDegree2t(products)), -84);
+}
+
+TEST(ShamirTest, LagrangeCoefficientsSumToOneForConstantPolynomial) {
+  // For the constant polynomial phi == 1 every share is 1, so the Lagrange
+  // weights must sum to 1.
+  ShamirScheme scheme(7, 3);
+  const auto coeffs = scheme.LagrangeAtZero({0, 1, 2, 3});
+  Field::Element sum = 0;
+  for (const auto c : coeffs) sum = Field::Add(sum, c);
+  EXPECT_EQ(sum, 1u);
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,88 @@
+#include "sampling/skellam_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+namespace {
+
+TEST(SkellamSamplerTest, ZeroMuIsDegenerate) {
+  SkellamSampler sampler(0.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 0);
+}
+
+class SkellamMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SkellamMomentsTest, ZeroMeanVarianceTwoMu) {
+  const double mu = GetParam();
+  SkellamSampler sampler(mu);
+  Rng rng(11);
+  constexpr size_t kDraws = 200000;
+  const std::vector<int64_t> draws = sampler.SampleVector(rng, kDraws);
+  const double std_dev = std::sqrt(2.0 * mu);
+  EXPECT_NEAR(Mean(draws), 0.0, 5.0 * std_dev / std::sqrt(kDraws));
+  EXPECT_NEAR(Variance(draws), 2.0 * mu, 0.05 * 2.0 * mu);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mus, SkellamMomentsTest,
+                         ::testing::Values(0.5, 2.0, 10.0, 100.0, 5000.0));
+
+TEST(SkellamSamplerTest, SymmetricDistribution) {
+  SkellamSampler sampler(5.0);
+  Rng rng(13);
+  std::vector<double> draws(200000);
+  for (auto& d : draws) d = static_cast<double>(sampler.Sample(rng));
+  EXPECT_NEAR(Skewness(draws), 0.0, 0.02);
+}
+
+TEST(SkellamSamplerTest, ClosureUnderSummation) {
+  // Sum of n draws from Sk(mu/n) must be distributed as Sk(mu) — the
+  // property the distributed noise injection of Algorithm 1 relies on.
+  constexpr double kTotalMu = 40.0;
+  constexpr size_t kClients = 8;
+  SkellamSampler share_sampler(kTotalMu / kClients);
+  Rng rng(17);
+  constexpr size_t kDraws = 100000;
+  std::vector<double> sums(kDraws, 0.0);
+  for (auto& s : sums) {
+    for (size_t j = 0; j < kClients; ++j) {
+      s += static_cast<double>(share_sampler.Sample(rng));
+    }
+  }
+  EXPECT_NEAR(Mean(sums), 0.0, 5.0 * std::sqrt(2.0 * kTotalMu / kDraws));
+  EXPECT_NEAR(Variance(sums), 2.0 * kTotalMu, 0.05 * 2.0 * kTotalMu);
+  // Excess kurtosis of Sk(mu) is 1/(2 mu): small but positive.
+  EXPECT_NEAR(ExcessKurtosis(sums), 1.0 / (2.0 * kTotalMu), 0.03);
+}
+
+TEST(SkellamSamplerTest, ExactRegimeFlag) {
+  EXPECT_TRUE(SkellamSampler(1e6).IsExact());
+  EXPECT_TRUE(SkellamSampler(SkellamSampler::kExactMuLimit).IsExact());
+  EXPECT_FALSE(SkellamSampler(SkellamSampler::kExactMuLimit * 2).IsExact());
+}
+
+TEST(SkellamSamplerTest, LargeMuFallbackHasMatchingMoments) {
+  // Above the exact limit the sampler switches to a rounded Gaussian of the
+  // same variance; verify the moments (relative tolerance).
+  const double mu = 1e16;
+  SkellamSampler sampler(mu);
+  ASSERT_FALSE(sampler.IsExact());
+  Rng rng(19);
+  constexpr size_t kDraws = 50000;
+  std::vector<double> draws(kDraws);
+  for (auto& d : draws) d = static_cast<double>(sampler.Sample(rng));
+  EXPECT_NEAR(Mean(draws) / std::sqrt(2.0 * mu), 0.0, 0.05);
+  EXPECT_NEAR(Variance(draws) / (2.0 * mu), 1.0, 0.05);
+}
+
+TEST(SkellamSamplerTest, VarianceAccessor) {
+  EXPECT_DOUBLE_EQ(SkellamSampler(3.5).Variance(), 7.0);
+}
+
+}  // namespace
+}  // namespace sqm

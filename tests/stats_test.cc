@@ -1,0 +1,55 @@
+#include "math/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sqm {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{1, 2, 3, 4}), 2.5);
+}
+
+TEST(StatsTest, VarianceIsUnbiasedForm) {
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{1.0}), 0.0);
+  // Sample variance of {1, 3} with n-1 denominator is 2.
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{1, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev(std::vector<double>{1, 3}),
+                   std::sqrt(2.0));
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.1), 1.4);
+}
+
+TEST(StatsTest, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Quantile({5, 1, 3, 2, 4}, 0.5), 3.0);
+}
+
+TEST(StatsTest, SkewnessOfSymmetricIsZero) {
+  EXPECT_NEAR(Skewness({-2, -1, 0, 1, 2}), 0.0, 1e-12);
+  EXPECT_GT(Skewness({0, 0, 0, 0, 10}), 0.0);
+  EXPECT_LT(Skewness({0, 0, 0, 0, -10}), 0.0);
+}
+
+TEST(StatsTest, KurtosisEdgeCases) {
+  EXPECT_DOUBLE_EQ(ExcessKurtosis({1, 2, 3}), 0.0);  // size < 4.
+  EXPECT_DOUBLE_EQ(ExcessKurtosis({5, 5, 5, 5}), 0.0);  // zero variance.
+}
+
+TEST(StatsTest, IntegerOverloads) {
+  std::vector<int64_t> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.0);
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,118 @@
+#include "vfl/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "math/eigen.h"
+#include "math/linalg.h"
+#include "vfl/metrics.h"
+
+namespace sqm {
+namespace {
+
+TEST(SyntheticPcaTest, ShapeAndNormBound) {
+  SyntheticPcaSpec spec;
+  spec.rows = 200;
+  spec.cols = 20;
+  spec.rank = 5;
+  const VflDataset data = GeneratePcaDataset(spec);
+  EXPECT_EQ(data.num_records(), 200u);
+  EXPECT_EQ(data.num_features(), 20u);
+  EXPECT_FALSE(data.has_labels());
+  EXPECT_LE(MaxRecordNorm(data.features), 1.0 + 1e-9);
+}
+
+TEST(SyntheticPcaTest, HasLowRankStructure) {
+  SyntheticPcaSpec spec;
+  spec.rows = 400;
+  spec.cols = 30;
+  spec.rank = 4;
+  spec.noise_level = 0.05;
+  const VflDataset data = GeneratePcaDataset(spec);
+  // Top-rank subspace must capture almost all the energy.
+  const Matrix v =
+      TopKEigenvectors(Gram(data.features), spec.rank).ValueOrDie();
+  const double captured = PcaUtility(data.features, v);
+  const double total =
+      PcaUtility(data.features, Matrix::Identity(spec.cols));
+  EXPECT_GT(captured / total, 0.9);
+}
+
+TEST(SyntheticPcaTest, DeterministicPerSeed) {
+  SyntheticPcaSpec spec;
+  spec.rows = 50;
+  spec.cols = 8;
+  spec.seed = 77;
+  EXPECT_EQ(GeneratePcaDataset(spec).features,
+            GeneratePcaDataset(spec).features);
+  spec.seed = 78;
+  EXPECT_FALSE(GeneratePcaDataset(spec).features ==
+               GeneratePcaDataset(SyntheticPcaSpec{.rows = 50,
+                                                   .cols = 8,
+                                                   .seed = 77})
+                   .features);
+}
+
+TEST(SyntheticLrTest, ShapeLabelsAndNorm) {
+  SyntheticLrSpec spec;
+  spec.rows = 500;
+  spec.cols = 12;
+  const VflDataset data = GenerateLrDataset(spec);
+  EXPECT_EQ(data.num_records(), 500u);
+  EXPECT_EQ(data.labels.size(), 500u);
+  EXPECT_LE(MaxRecordNorm(data.features), 1.0 + 1e-9);
+  size_t positives = 0;
+  for (int y : data.labels) {
+    EXPECT_TRUE(y == 0 || y == 1);
+    positives += static_cast<size_t>(y);
+  }
+  // Balanced classes.
+  EXPECT_NEAR(static_cast<double>(positives) / 500.0, 0.5, 0.1);
+}
+
+TEST(SyntheticLrTest, TaskIsLearnable) {
+  // A logistic model on the clean data must beat chance by a wide margin —
+  // otherwise the LR benchmarks would measure noise only.
+  SyntheticLrSpec spec;
+  spec.rows = 2000;
+  spec.cols = 10;
+  spec.margin = 2.0;
+  spec.label_noise = 0.05;
+  const VflDataset data = GenerateLrDataset(spec);
+  // Cheap learnability proxy: the class-conditional means differ strongly
+  // along some direction; use the mean-difference direction as weights.
+  std::vector<double> w(spec.cols, 0.0);
+  double pos = 0.0;
+  for (size_t i = 0; i < data.num_records(); ++i) {
+    const double sign = data.labels[i] == 1 ? 1.0 : -1.0;
+    pos += data.labels[i];
+    for (size_t j = 0; j < spec.cols; ++j) {
+      w[j] += sign * data.features(i, j);
+    }
+  }
+  ClipNorm(w, 1.0);
+  // Scale up for a sharper sigmoid.
+  for (auto& wi : w) wi *= 50.0;
+  const double acc = Accuracy(w, data);
+  EXPECT_GT(acc, 0.8);
+}
+
+TEST(SyntheticProfilesTest, ShapesScaleAsDocumented) {
+  const VflDataset kdd = MakeKddCupLike(0.01);
+  EXPECT_GE(kdd.num_records(), 200u);
+  EXPECT_GE(kdd.num_features(), 16u);
+  EXPECT_EQ(kdd.name, "kddcup-like");
+
+  const VflDataset gene = MakeGeneLike(0.1);
+  EXPECT_GT(gene.num_features(), gene.num_records() / 2);  // n >> m profile.
+}
+
+TEST(SyntheticProfilesTest, StatesProduceDistinctData) {
+  const VflDataset ca = MakeAcsIncomeLrLike("CA", 0.01);
+  const VflDataset tx = MakeAcsIncomeLrLike("TX", 0.01);
+  EXPECT_TRUE(ca.has_labels());
+  EXPECT_FALSE(ca.features == tx.features);
+  EXPECT_EQ(ca.name, "acsincome-CA");
+}
+
+}  // namespace
+}  // namespace sqm

@@ -1,0 +1,74 @@
+#include "poly/taylor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sqm {
+namespace {
+
+TEST(TaylorTest, SigmoidKnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(1.0), 1.0 / (1.0 + std::exp(-1.0)), 1e-15);
+  EXPECT_NEAR(Sigmoid(-1.0), 1.0 - Sigmoid(1.0), 1e-15);
+}
+
+TEST(TaylorTest, SigmoidStableAtExtremes) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_FALSE(std::isnan(Sigmoid(-1000.0)));
+}
+
+TEST(TaylorTest, Order1CoefficientsMatchPaper) {
+  // sigma(u) ~ 1/2 + u/4 (Section V-B).
+  const std::vector<double> c = SigmoidTaylorCoefficients(1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+  EXPECT_DOUBLE_EQ(c[1], 0.25);
+}
+
+TEST(TaylorTest, HigherOrderCoefficients) {
+  const std::vector<double> c = SigmoidTaylorCoefficients(7);
+  EXPECT_DOUBLE_EQ(c[3], -1.0 / 48.0);
+  EXPECT_DOUBLE_EQ(c[5], 1.0 / 480.0);
+  EXPECT_DOUBLE_EQ(c[7], -17.0 / 80640.0);
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+  EXPECT_DOUBLE_EQ(c[4], 0.0);
+}
+
+TEST(TaylorTest, ApproximationExactAtZero) {
+  for (size_t order : {1, 3, 5, 7}) {
+    EXPECT_DOUBLE_EQ(SigmoidTaylor(0.0, order), 0.5);
+  }
+}
+
+TEST(TaylorTest, ErrorDecreasesWithOrder) {
+  const double e1 = SigmoidTaylorMaxError(1, 1.0);
+  const double e3 = SigmoidTaylorMaxError(3, 1.0);
+  const double e5 = SigmoidTaylorMaxError(5, 1.0);
+  const double e7 = SigmoidTaylorMaxError(7, 1.0);
+  EXPECT_GT(e1, e3);
+  EXPECT_GT(e3, e5);
+  EXPECT_GT(e5, e7);
+}
+
+TEST(TaylorTest, Order1ErrorSmallOnUnitInterval) {
+  // With ||w||, ||x|| <= 1 the argument satisfies |u| <= 1, where the
+  // order-1 error stays below 0.02 — why H = 1 suffices in the paper
+  // (Figure 5 reports the resulting accuracy gap as "constantly smaller
+  // than 0.05").
+  EXPECT_LT(SigmoidTaylorMaxError(1, 1.0), 0.02);
+}
+
+TEST(TaylorTest, ApproximationOddSymmetryAroundHalf) {
+  // sigma(u) - 1/2 is odd; the truncations preserve this.
+  for (size_t order : {1, 3, 5, 7}) {
+    for (double u : {0.1, 0.5, 0.9}) {
+      EXPECT_NEAR(SigmoidTaylor(u, order) - 0.5,
+                  -(SigmoidTaylor(-u, order) - 0.5), 1e-15);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqm
