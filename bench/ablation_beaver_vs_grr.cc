@@ -15,6 +15,7 @@
 // either (the paper treats the MPC as a black box).
 
 #include <chrono>
+#include "mpc/network.h"
 #include <cstdio>
 #include <vector>
 

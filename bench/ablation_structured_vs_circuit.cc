@@ -11,6 +11,7 @@
 // wins on rounds and engine overhead only.
 
 #include <chrono>
+#include "mpc/network.h"
 #include <cmath>
 #include <cstdio>
 #include <vector>

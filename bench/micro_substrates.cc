@@ -4,6 +4,7 @@
 // asymptotic complexities.
 
 #include <benchmark/benchmark.h>
+#include "mpc/network.h"
 
 #include "core/quantize.h"
 #include "math/eigen.h"

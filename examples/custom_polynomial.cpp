@@ -10,6 +10,7 @@
 // (6) RDP -> (eps, delta) accounting for both adversaries.
 
 #include <cstdio>
+#include "mpc/network.h"
 
 #include "core/quantize.h"
 #include "core/sensitivity.h"

@@ -117,14 +117,64 @@ JsonWriter& JsonWriter::Value(bool value) {
   return *this;
 }
 
-std::string NetworkStatsToJson(const NetworkStats& stats) {
-  JsonWriter writer;
-  writer.BeginObject()
-      .Field("messages", stats.messages)
+namespace {
+
+void WriteNetworkStatsFields(JsonWriter& writer, const NetworkStats& stats) {
+  writer.Field("messages", stats.messages)
       .Field("field_elements", stats.field_elements)
       .Field("bytes", stats.bytes())
-      .Field("rounds", stats.rounds)
-      .EndObject();
+      .Field("rounds", stats.rounds);
+}
+
+void WriteTransportStatsFields(JsonWriter& writer,
+                               const TransportStats& stats) {
+  writer.Field("num_parties", static_cast<uint64_t>(stats.num_parties));
+  writer.Key("totals").BeginObject();
+  WriteNetworkStatsFields(writer, stats.totals);
+  writer.EndObject();
+  writer.BeginArray("channels");
+  for (const ChannelStats& channel : stats.channels) {
+    writer.BeginObject()
+        .Field("from", static_cast<uint64_t>(channel.from))
+        .Field("to", static_cast<uint64_t>(channel.to))
+        .Field("messages", channel.messages)
+        .Field("field_elements", channel.field_elements)
+        .Field("bytes", channel.wire_bytes)
+        .EndObject();
+  }
+  writer.EndArray();
+  writer.BeginArray("phases");
+  for (const PhaseStats& phase : stats.phases) {
+    writer.BeginObject().Field("phase", phase.phase);
+    WriteNetworkStatsFields(writer, phase.traffic);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Field("drops_injected", stats.drops_injected)
+      .Field("delays_injected", stats.delays_injected)
+      .Field("reorders_injected", stats.reorders_injected)
+      .Field("receive_timeouts", stats.receive_timeouts)
+      .Field("retries", stats.retries)
+      .Field("crash_losses", stats.crash_losses)
+      .Field("simulated_seconds", stats.simulated_seconds)
+      .Field("wall_seconds", stats.wall_seconds);
+}
+
+}  // namespace
+
+std::string NetworkStatsToJson(const NetworkStats& stats) {
+  JsonWriter writer;
+  writer.BeginObject();
+  WriteNetworkStatsFields(writer, stats);
+  writer.EndObject();
+  return writer.str();
+}
+
+std::string TransportStatsToJson(const TransportStats& stats) {
+  JsonWriter writer;
+  writer.BeginObject();
+  WriteTransportStatsFields(writer, stats);
+  writer.EndObject();
   return writer.str();
 }
 
@@ -151,8 +201,12 @@ std::string SqmReportToJson(const SqmReport& report) {
   writer.Key("network").BeginObject()
       .Field("messages", report.network.messages)
       .Field("field_elements", report.network.field_elements)
+      .Field("bytes", report.network.bytes())
       .Field("rounds", report.network.rounds)
       .EndObject();
+  writer.Key("transport").BeginObject();
+  WriteTransportStatsFields(writer, report.transport);
+  writer.EndObject();
   writer.EndObject();
   return writer.str();
 }

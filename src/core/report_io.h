@@ -48,11 +48,15 @@ class JsonWriter {
 };
 
 /// Serializes an SQM release report (estimates, raw integers, timing,
-/// network counters) to a JSON object.
+/// network counters, transport breakdowns) to a JSON object.
 std::string SqmReportToJson(const SqmReport& report);
 
 /// Serializes network counters alone.
 std::string NetworkStatsToJson(const NetworkStats& stats);
+
+/// Serializes a full transport snapshot: totals, per-channel and per-phase
+/// breakdowns, fault/retry counters, simulated and wall clocks.
+std::string TransportStatsToJson(const TransportStats& stats);
 
 }  // namespace sqm
 

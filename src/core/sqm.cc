@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
 
 #include "core/logging.h"
 #include "mpc/bgw.h"
@@ -268,8 +269,20 @@ Result<SqmReport> SqmEvaluator::EvaluateBgw(
     circuit.MarkOutput(acc);
   }
 
-  SimulatedNetwork network(num_clients, options_.network_latency_seconds);
-  BgwEngine engine(ShamirScheme(num_clients, threshold), &network,
+  // The protocol code is transport-agnostic; the options pick the
+  // execution model (deterministic lock-step vs concurrent mailboxes with
+  // optional fault injection).
+  std::unique_ptr<Transport> network;
+  if (options_.transport == TransportMode::kThreaded) {
+    ThreadedTransportOptions threaded = options_.threaded;
+    threaded.per_round_latency_seconds = options_.network_latency_seconds;
+    threaded.element_wire_bytes = Field::kWireBytes;
+    network = std::make_unique<ThreadedTransport>(num_clients, threaded);
+  } else {
+    network = std::make_unique<SimulatedNetwork>(
+        num_clients, options_.network_latency_seconds);
+  }
+  BgwEngine engine(ShamirScheme(num_clients, threshold), network.get(),
                    options_.seed ^ 0xb9d7);
 
   const auto compute_start = std::chrono::steady_clock::now();
@@ -301,11 +314,12 @@ Result<SqmReport> SqmEvaluator::EvaluateBgw(
     report.estimate[t] =
         static_cast<double>(report.raw[t]) / qf.output_scale;
   }
-  report.network = network.stats();
+  report.network = network->stats();
+  report.transport = network->Snapshot();
   report.timing.quantize_seconds = quantize_seconds;
   report.timing.noise_sampling_seconds = noise_seconds;
   report.timing.mpc_compute_seconds = compute_seconds;
-  report.timing.simulated_network_seconds = network.SimulatedSeconds();
+  report.timing.simulated_network_seconds = network->SimulatedSeconds();
   report.timing.noise_injection_seconds =
       noise_seconds + inject_seconds;
   return report;

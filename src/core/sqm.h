@@ -9,6 +9,7 @@
 #include "core/status.h"
 #include "math/matrix.h"
 #include "mpc/network.h"
+#include "net/threaded.h"
 #include "poly/polynomial.h"
 
 namespace sqm {
@@ -49,6 +50,18 @@ struct SqmOptions {
 
   /// Simulated per-round message latency (the paper uses 0.1 s).
   double network_latency_seconds = 0.0;
+
+  /// Which transport runs the BGW phase. kLockstep reproduces the paper's
+  /// deterministic single-machine simulation; kThreaded uses concurrent
+  /// mailboxes with blocking receives and (optionally) fault injection.
+  /// The released values are identical across transports — only timing,
+  /// traffic, and failure behavior differ.
+  TransportMode transport = TransportMode::kLockstep;
+
+  /// Mailbox/timeout/retry/fault configuration when transport == kThreaded
+  /// (per_round_latency_seconds and element_wire_bytes are overridden from
+  /// this struct's siblings above).
+  ThreadedTransportOptions threaded;
 
   uint64_t seed = 42;
 
@@ -101,6 +114,9 @@ struct SqmReport {
   SqmTiming timing;
   /// Network counters (zero in plaintext mode).
   NetworkStats network;
+  /// Full transport accounting: per-channel and per-phase breakdowns plus
+  /// fault/retry counters (empty in plaintext mode).
+  TransportStats transport;
 };
 
 /// The Skellam Quantization Mechanism: evaluates F(X) = sum_x f(x) for a

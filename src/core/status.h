@@ -21,6 +21,8 @@ enum class StatusCode : int8_t {
   kNotFound = 5,          ///< A requested entity does not exist.
   kUnimplemented = 6,     ///< Feature intentionally not supported.
   kIoError = 7,           ///< Filesystem / parsing failure.
+  kDeadlineExceeded = 8,  ///< A blocking operation ran out of time.
+  kUnavailable = 9,       ///< The peer is gone (e.g. crashed party).
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -61,6 +63,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

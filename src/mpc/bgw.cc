@@ -6,7 +6,7 @@
 
 namespace sqm {
 
-BgwEngine::BgwEngine(ShamirScheme scheme, SimulatedNetwork* network,
+BgwEngine::BgwEngine(ShamirScheme scheme, Transport* network,
                      uint64_t seed)
     : protocol_(std::move(scheme), network, seed), network_(network) {}
 
@@ -153,10 +153,7 @@ Result<std::vector<int64_t>> BgwEngine::Evaluate(
 
   last_report_.multiplications = circuit.num_multiplications();
   last_report_.mul_rounds = mul_rounds;
-  last_report_.network = network_->stats();
-  last_report_.network.messages -= stats_before.messages;
-  last_report_.network.field_elements -= stats_before.field_elements;
-  last_report_.network.rounds -= stats_before.rounds;
+  last_report_.network = network_->stats() - stats_before;
   return outputs;
 }
 

@@ -6,9 +6,9 @@
 
 #include "core/status.h"
 #include "mpc/circuit.h"
-#include "mpc/network.h"
 #include "mpc/protocol.h"
 #include "mpc/shamir.h"
+#include "net/transport.h"
 
 namespace sqm {
 
@@ -34,7 +34,9 @@ struct BgwExecutionReport {
 class BgwEngine {
  public:
   /// `network` must outlive the engine and match the scheme's party count.
-  BgwEngine(ShamirScheme scheme, SimulatedNetwork* network, uint64_t seed);
+  /// Any Transport works: the lock-step simulation for deterministic runs,
+  /// a ThreadedTransport for concurrent/faulty execution.
+  BgwEngine(ShamirScheme scheme, Transport* network, uint64_t seed);
 
   /// Evaluates `circuit`. `inputs_per_party[j]` supplies party j's private
   /// inputs as centered signed integers, in input-gate declaration order.
@@ -49,7 +51,7 @@ class BgwEngine {
 
  private:
   BgwProtocol protocol_;
-  SimulatedNetwork* network_;
+  Transport* network_;
   BgwExecutionReport last_report_;
 };
 

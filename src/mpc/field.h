@@ -28,6 +28,13 @@ class Field {
 
   static constexpr Element kModulus = (uint64_t{1} << 61) - 1;
 
+  /// Serialized width of one element. The wire format packs the 61-bit
+  /// residue, so the width follows the modulus — not sizeof(Element), which
+  /// is an in-memory representation choice. Transports use this for byte
+  /// accounting.
+  static constexpr size_t kWireBits = 61;
+  static constexpr size_t kWireBytes = (kWireBits + 7) / 8;
+
   /// Largest magnitude representable in the centered encoding.
   static constexpr int64_t kMaxCentered =
       static_cast<int64_t>((kModulus - 1) / 2);

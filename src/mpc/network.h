@@ -1,71 +1,34 @@
 #ifndef SQM_MPC_NETWORK_H_
 #define SQM_MPC_NETWORK_H_
 
-#include <cstdint>
-#include <deque>
-#include <vector>
-
-#include "core/status.h"
 #include "mpc/field.h"
+#include "net/lockstep.h"
+#include "net/stats.h"
 
 namespace sqm {
-
-/// Traffic and timing counters for a protocol execution.
-struct NetworkStats {
-  uint64_t messages = 0;        ///< Point-to-point sends.
-  uint64_t field_elements = 0;  ///< Payload volume (8 bytes each on the wire).
-  uint64_t rounds = 0;          ///< Synchronous communication rounds.
-
-  uint64_t bytes() const { return field_elements * sizeof(Field::Element); }
-};
 
 /// In-process simulation of the pairwise secure channels BGW assumes.
 ///
 /// The paper evaluates on "a single machine ... to simulate the distributed
 /// environment where each party is assumed to have a secure and noiseless
-/// channel" with a fixed message-passing latency (0.1 s). This class
-/// reproduces that: messages are queued locally, and a simulated clock
-/// advances by `per_round_latency` once per synchronous round (all messages
-/// of a round fly in parallel, as in the standard synchronous MPC model).
-/// Tables II/IV/V report simulated-latency + measured-compute time.
-class SimulatedNetwork {
+/// channel" with a fixed message-passing latency (0.1 s). This is exactly
+/// LockstepTransport (src/net/lockstep.h) instantiated with the field's
+/// serialized element width: messages are queued locally, and a simulated
+/// clock advances by `per_round_latency` once per synchronous round (all
+/// messages of a round fly in parallel, as in the standard synchronous MPC
+/// model). Tables II/IV/V report simulated-latency + measured-compute time.
+///
+/// Protocol code should depend on the abstract `Transport` (see
+/// src/net/transport.h) so the same run works over the concurrent
+/// ThreadedTransport; this alias-class exists for construction convenience
+/// and backward compatibility.
+class SimulatedNetwork : public LockstepTransport {
  public:
   /// `num_parties` pairwise channels; `per_round_latency_seconds` is added
   /// to the simulated clock at every EndRound().
-  SimulatedNetwork(size_t num_parties, double per_round_latency_seconds);
-
-  size_t num_parties() const { return num_parties_; }
-
-  /// Enqueues `payload` on the (from -> to) channel. Self-sends are allowed
-  /// (parties keep their own sub-shares) but do not count as traffic.
-  void Send(size_t from, size_t to, std::vector<Field::Element> payload);
-
-  /// Pops the oldest pending message on (from -> to). Fails if none pending
-  /// — in a correct synchronous protocol every receive is matched by a send
-  /// in the same round.
-  Result<std::vector<Field::Element>> Receive(size_t from, size_t to);
-
-  /// True if a message is waiting on (from -> to).
-  bool HasPending(size_t from, size_t to) const;
-
-  /// Marks the end of a synchronous round: advances the simulated clock.
-  void EndRound();
-
-  /// Simulated communication time so far (rounds * latency).
-  double SimulatedSeconds() const;
-
-  const NetworkStats& stats() const { return stats_; }
-
-  /// Zeroes counters and drops any undelivered messages (test helper).
-  void Reset();
-
- private:
-  size_t ChannelIndex(size_t from, size_t to) const;
-
-  size_t num_parties_;
-  double per_round_latency_;
-  std::vector<std::deque<std::vector<Field::Element>>> channels_;
-  NetworkStats stats_;
+  SimulatedNetwork(size_t num_parties, double per_round_latency_seconds)
+      : LockstepTransport(num_parties, per_round_latency_seconds,
+                          Field::kWireBytes) {}
 };
 
 }  // namespace sqm

@@ -6,7 +6,7 @@
 
 namespace sqm {
 
-BgwProtocol::BgwProtocol(ShamirScheme scheme, SimulatedNetwork* network,
+BgwProtocol::BgwProtocol(ShamirScheme scheme, Transport* network,
                          uint64_t seed)
     : scheme_(std::move(scheme)), network_(network) {
   SQM_CHECK(network_ != nullptr);
@@ -25,6 +25,7 @@ SharedVector BgwProtocol::ShareFromParty(
     size_t party, const std::vector<Field::Element>& values) {
   const size_t n = num_parties();
   SQM_CHECK(party < n);
+  PhaseScope phase(network_, "input");
   // The owner computes one share vector per recipient and sends it.
   std::vector<std::vector<Field::Element>> outbound(
       n, std::vector<Field::Element>(values.size()));
@@ -116,6 +117,7 @@ Result<SharedVector> BgwProtocol::Mul(const SharedVector& a,
   }
   const size_t n = num_parties();
   const size_t k = a.size();
+  PhaseScope phase(network_, "mul");
 
   // Step 1 (local): each party multiplies its shares, yielding a share of a
   // degree-2t polynomial with the right free coefficient.
@@ -149,8 +151,10 @@ Result<SharedVector> BgwProtocol::Mul(const SharedVector& a,
   for (size_t r = 0; r < n; ++r) {
     auto& acc = out.shares(r);
     for (size_t j = 0; j < n; ++j) {
-      const std::vector<Field::Element> received =
-          network_->Receive(j, r).ValueOrDie();
+      // A failed receive (timed-out retries, crashed dealer) aborts the
+      // multiplication gracefully — the caller decides how to recover.
+      SQM_ASSIGN_OR_RETURN(const std::vector<Field::Element> received,
+                           network_->Receive(j, r));
       if (j >= needed) continue;
       const Field::Element weight = degree2t_lagrange_[j];
       for (size_t i = 0; i < k; ++i) {
@@ -179,6 +183,7 @@ Result<SharedVector> BgwProtocol::InnerProduct(const SharedVector& a,
 
 std::vector<Field::Element> BgwProtocol::Open(const SharedVector& a) {
   const size_t n = num_parties();
+  PhaseScope phase(network_, "open");
   for (size_t j = 0; j < n; ++j) {
     for (size_t r = 0; r < n; ++r) {
       network_->Send(j, r, a.shares(j));

@@ -6,8 +6,8 @@
 
 #include "core/status.h"
 #include "mpc/field.h"
-#include "mpc/network.h"
 #include "mpc/shamir.h"
+#include "net/transport.h"
 #include "sampling/rng.h"
 
 namespace sqm {
@@ -33,7 +33,7 @@ class SharedVector {
   std::vector<std::vector<Field::Element>> shares_;
 };
 
-/// Vectorized semi-honest BGW primitives over a simulated network.
+/// Vectorized semi-honest BGW primitives over an abstract transport.
 ///
 /// Executes all parties in one process, exactly following the message
 /// pattern of the real protocol so that communication counters and round
@@ -50,11 +50,20 @@ class SharedVector {
 /// All element-wise operations are batched: a Mul over a K-element vector
 /// costs one round and n*(n-1) messages of K elements, matching how a real
 /// implementation would pack a round's traffic.
+///
+/// The protocol is transport-agnostic: over LockstepTransport it reproduces
+/// the paper's deterministic simulation; over ThreadedTransport the same
+/// message pattern runs with blocking receives, and fault-injected drops
+/// are recovered by the transport's retry path. `Mul` surfaces transport
+/// failures (e.g. a crashed party) as an error Status; `ShareFromParty` and
+/// `Open` assume delivery eventually succeeds (retries included) and abort
+/// on an exhausted channel, which in a correct configuration indicates a
+/// protocol bug rather than a recoverable fault.
 class BgwProtocol {
  public:
   /// `network` must outlive the protocol and have the same party count as
   /// `scheme`. `seed` drives all sharing randomness.
-  BgwProtocol(ShamirScheme scheme, SimulatedNetwork* network, uint64_t seed);
+  BgwProtocol(ShamirScheme scheme, Transport* network, uint64_t seed);
 
   size_t num_parties() const { return scheme_.num_parties(); }
   const ShamirScheme& scheme() const { return scheme_; }
@@ -99,7 +108,7 @@ class BgwProtocol {
 
  private:
   ShamirScheme scheme_;
-  SimulatedNetwork* network_;
+  Transport* network_;
   std::vector<Rng> party_rngs_;  // Independent randomness per party.
   std::vector<Field::Element> degree2t_lagrange_;
 };

@@ -6,7 +6,7 @@
 namespace sqm {
 
 SecureAggregation::SecureAggregation(size_t num_clients, uint64_t seed,
-                                     SimulatedNetwork* network)
+                                     Transport* network)
     : num_clients_(num_clients), seed_(seed), network_(network) {
   SQM_CHECK(num_clients >= 2);
 }
@@ -42,6 +42,7 @@ Result<std::vector<Field::Element>> SecureAggregation::MaskedUpload(
   }
   if (network_ != nullptr) {
     // Model the upload to the server as party `client` -> party 0.
+    PhaseScope phase(network_, "secagg_upload");
     network_->Send(client, 0, upload);
   }
   return upload;

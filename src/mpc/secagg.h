@@ -6,7 +6,7 @@
 
 #include "core/status.h"
 #include "mpc/field.h"
-#include "mpc/network.h"
+#include "net/transport.h"
 
 namespace sqm {
 
@@ -29,9 +29,9 @@ namespace sqm {
 class SecureAggregation {
  public:
   /// `num_clients` >= 2; `seed` drives all pairwise masks; `network`
-  /// (optional) counts the traffic of the masked uploads.
+  /// (optional, any Transport) counts the traffic of the masked uploads.
   SecureAggregation(size_t num_clients, uint64_t seed,
-                    SimulatedNetwork* network = nullptr);
+                    Transport* network = nullptr);
 
   /// The masked vector client `client` uploads for its private input
   /// (values as centered signed integers). Uniformly distributed in the
@@ -55,7 +55,7 @@ class SecureAggregation {
 
   size_t num_clients_;
   uint64_t seed_;
-  SimulatedNetwork* network_;
+  Transport* network_;
 };
 
 }  // namespace sqm

@@ -1,0 +1,61 @@
+#include "net/fault.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sqm {
+
+bool FaultOptions::any() const {
+  if (all_links.any() || crash_party != kNoCrash) return true;
+  for (const auto& [from, to, faults] : per_link) {
+    (void)from;
+    (void)to;
+    if (faults.any()) return true;
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(size_t num_parties, FaultOptions options)
+    : num_parties_(num_parties),
+      options_(std::move(options)),
+      link_faults_(num_parties * num_parties, options_.all_links) {
+  SQM_CHECK(num_parties >= 1);
+  SQM_CHECK(options_.crash_party == FaultOptions::kNoCrash ||
+            options_.crash_party < num_parties);
+  for (const auto& [from, to, faults] : options_.per_link) {
+    SQM_CHECK(from < num_parties && to < num_parties);
+    link_faults_[from * num_parties + to] = faults;
+  }
+  Rng root(options_.seed);
+  link_rngs_.reserve(num_parties * num_parties);
+  for (size_t link = 0; link < num_parties * num_parties; ++link) {
+    link_rngs_.push_back(root.Split(link));
+  }
+}
+
+FaultInjector::SendFate FaultInjector::OnSend(size_t from, size_t to) {
+  SendFate fate;
+  if (from == to) return fate;
+  const size_t link = from * num_parties_ + to;
+  const LinkFaults& faults = link_faults_[link];
+  if (!faults.any()) return fate;
+  std::lock_guard<std::mutex> lock(mu_);
+  Rng& rng = link_rngs_[link];
+  fate.drop = rng.NextBernoulli(faults.drop_probability);
+  fate.reorder = rng.NextBernoulli(faults.reorder_probability);
+  if (faults.delay_mean_seconds > 0.0) {
+    // Inverse-CDF exponential draw; 1 - u in (0, 1] keeps log finite.
+    fate.delay_seconds =
+        -faults.delay_mean_seconds * std::log(1.0 - rng.NextDouble());
+  }
+  return fate;
+}
+
+bool FaultInjector::HasCrashed(size_t party,
+                               uint64_t completed_rounds) const {
+  return party == options_.crash_party &&
+         completed_rounds >= options_.crash_after_rounds;
+}
+
+}  // namespace sqm

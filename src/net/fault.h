@@ -1,0 +1,88 @@
+#ifndef SQM_NET_FAULT_H_
+#define SQM_NET_FAULT_H_
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "sampling/rng.h"
+
+namespace sqm {
+
+/// Fault model for one directed link.
+struct LinkFaults {
+  /// Probability a sent message is lost in transit (recoverable by the
+  /// transport's retry/retransmission path).
+  double drop_probability = 0.0;
+  /// Probability a message jumps ahead of the ones already queued on its
+  /// channel (models IP-style reordering).
+  double reorder_probability = 0.0;
+  /// Mean of an exponential extra delivery delay in seconds; 0 disables.
+  double delay_mean_seconds = 0.0;
+
+  bool any() const {
+    return drop_probability > 0.0 || reorder_probability > 0.0 ||
+           delay_mean_seconds > 0.0;
+  }
+};
+
+/// Fault-injection configuration for a ThreadedTransport: a default fault
+/// model for every link, per-link overrides, and an optional party crash.
+struct FaultOptions {
+  static constexpr size_t kNoCrash = std::numeric_limits<size_t>::max();
+
+  /// Applied to every cross-party link unless overridden below.
+  LinkFaults all_links;
+  /// (from, to, faults) overrides for specific directed links.
+  std::vector<std::tuple<size_t, size_t, LinkFaults>> per_link;
+
+  /// Party that crashes, or kNoCrash. A crashed party's sends are silently
+  /// swallowed (no retransmission possible) once `crash_after_rounds`
+  /// communication rounds have completed; crash_after_rounds = 0 means the
+  /// party never sends at all.
+  size_t crash_party = kNoCrash;
+  uint64_t crash_after_rounds = 0;
+
+  /// Drives every fault decision; same seed -> same fault schedule.
+  uint64_t seed = 0x5eed;
+
+  bool any() const;
+};
+
+/// Deterministic per-link fault oracle. Each directed link owns an
+/// independent RNG stream split from the seed, so adding faults to one link
+/// does not perturb the schedule of another. Thread-safe.
+class FaultInjector {
+ public:
+  FaultInjector(size_t num_parties, FaultOptions options);
+
+  /// What happens to one message sent on (from -> to).
+  struct SendFate {
+    bool drop = false;
+    bool reorder = false;
+    double delay_seconds = 0.0;
+  };
+
+  /// Draws the fate of the next message on the link. `from == to` is never
+  /// faulted (a party cannot lose its own memory).
+  SendFate OnSend(size_t from, size_t to);
+
+  /// True if `party` has crashed by the time `completed_rounds` rounds have
+  /// finished.
+  bool HasCrashed(size_t party, uint64_t completed_rounds) const;
+
+  const FaultOptions& options() const { return options_; }
+
+ private:
+  size_t num_parties_;
+  FaultOptions options_;
+  std::vector<LinkFaults> link_faults_;  // n*n resolved, row-major.
+  std::vector<Rng> link_rngs_;           // n*n independent streams.
+  std::mutex mu_;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_NET_FAULT_H_

@@ -1,0 +1,53 @@
+#include "net/lockstep.h"
+
+#include "core/logging.h"
+
+namespace sqm {
+
+LockstepTransport::LockstepTransport(size_t num_parties,
+                                     double per_round_latency_seconds,
+                                     size_t element_wire_bytes)
+    : Transport(num_parties, per_round_latency_seconds, element_wire_bytes),
+      queues_(num_parties * num_parties) {}
+
+void LockstepTransport::Send(size_t from, size_t to, Payload payload) {
+  CheckParty(from, to);
+  if (from != to) RecordSend(from, to, payload.size());
+  queues_[ChannelIndex(from, to)].push_back(std::move(payload));
+}
+
+Result<Transport::Payload> LockstepTransport::Receive(size_t from,
+                                                      size_t to) {
+  CheckParty(from, to);
+  auto& queue = queues_[ChannelIndex(from, to)];
+  if (queue.empty()) {
+    return Status::FailedPrecondition(
+        "receive with no pending message on channel " +
+        std::to_string(from) + " -> " + std::to_string(to));
+  }
+  Payload payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+bool LockstepTransport::HasPending(size_t from, size_t to) const {
+  CheckParty(from, to);
+  return !queues_[ChannelIndex(from, to)].empty();
+}
+
+size_t LockstepTransport::Reset() {
+  size_t dropped = 0;
+  for (auto& queue : queues_) {
+    dropped += queue.size();
+    queue.clear();
+  }
+  if (dropped > 0) {
+    SQM_LOG(kWarning) << "LockstepTransport::Reset dropped " << dropped
+                      << " undelivered message(s); a correct synchronous "
+                         "protocol drains every round";
+  }
+  ResetAccounting();
+  return dropped;
+}
+
+}  // namespace sqm

@@ -1,0 +1,39 @@
+#ifndef SQM_NET_LOCKSTEP_H_
+#define SQM_NET_LOCKSTEP_H_
+
+#include <deque>
+
+#include "net/transport.h"
+
+namespace sqm {
+
+/// Deterministic single-threaded transport reproducing the paper's
+/// single-machine simulation (and the seed `SimulatedNetwork` semantics
+/// bit-for-bit): messages queue in program order per directed channel, a
+/// Receive with nothing pending hard-fails — in a correct synchronous
+/// protocol every receive is matched by a send in the same round — and the
+/// simulated clock advances by the per-round latency at every EndRound.
+///
+/// Not thread-safe for Send/Receive (accounting snapshots are); use
+/// ThreadedTransport for concurrent parties.
+class LockstepTransport : public Transport {
+ public:
+  LockstepTransport(size_t num_parties, double per_round_latency_seconds,
+                    size_t element_wire_bytes = kDefaultElementWireBytes);
+
+  void Send(size_t from, size_t to, Payload payload) override;
+  Result<Payload> Receive(size_t from, size_t to) override;
+  bool HasPending(size_t from, size_t to) const override;
+
+  /// Zeroes counters; warns (and returns the count) when undelivered
+  /// messages are discarded, since that usually flags a protocol bug or a
+  /// test that did not drain its rounds.
+  size_t Reset() override;
+
+ private:
+  std::vector<std::deque<Payload>> queues_;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_NET_LOCKSTEP_H_

@@ -1,0 +1,34 @@
+#include "net/runner.h"
+
+#include <thread>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace sqm {
+
+PartyRunner::PartyRunner(size_t num_parties) : num_parties_(num_parties) {
+  SQM_CHECK(num_parties >= 1);
+}
+
+Status PartyRunner::Run(
+    const std::function<Status(size_t party)>& body) const {
+  std::vector<Status> statuses(num_parties_);
+  std::vector<std::thread> threads;
+  threads.reserve(num_parties_);
+  for (size_t party = 0; party < num_parties_; ++party) {
+    threads.emplace_back(
+        [&body, &statuses, party] { statuses[party] = body(party); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t party = 0; party < num_parties_; ++party) {
+    if (!statuses[party].ok()) {
+      return Status(statuses[party].code(),
+                    "party " + std::to_string(party) + ": " +
+                        statuses[party].message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sqm

@@ -1,0 +1,34 @@
+#ifndef SQM_NET_RUNNER_H_
+#define SQM_NET_RUNNER_H_
+
+#include <functional>
+
+#include "core/status.h"
+
+namespace sqm {
+
+/// Runs one body per party, each on its own thread, and joins them all —
+/// the per-party execution harness for ThreadedTransport. The body receives
+/// the party index; it typically loops over rounds, calling Send/Receive on
+/// a shared ThreadedTransport and ThreadedTransport::ArriveRound at each
+/// round boundary.
+///
+/// Run returns OK when every party returned OK, else the first failing
+/// party's status annotated with its index. All threads are always joined
+/// before Run returns, even on failure, so the transport can be torn down
+/// safely afterwards.
+class PartyRunner {
+ public:
+  explicit PartyRunner(size_t num_parties);
+
+  Status Run(const std::function<Status(size_t party)>& body) const;
+
+  size_t num_parties() const { return num_parties_; }
+
+ private:
+  size_t num_parties_;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_NET_RUNNER_H_

@@ -1,0 +1,210 @@
+#include "net/threaded.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/logging.h"
+
+namespace sqm {
+
+namespace {
+
+std::chrono::steady_clock::duration ToDuration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+ThreadedTransport::ThreadedTransport(size_t num_parties,
+                                     ThreadedTransportOptions options)
+    : Transport(num_parties, options.per_round_latency_seconds,
+                options.element_wire_bytes),
+      options_(options),
+      faults_(num_parties, options.faults),
+      mailboxes_(num_parties * num_parties) {
+  SQM_CHECK(options_.mailbox_capacity >= 1);
+  SQM_CHECK(options_.receive_timeout_seconds > 0.0);
+  SQM_CHECK(options_.retry_backoff_seconds >= 0.0);
+  for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
+}
+
+ThreadedTransport::~ThreadedTransport() = default;
+
+void ThreadedTransport::Send(size_t from, size_t to, Payload payload) {
+  CheckParty(from, to);
+  Mailbox& box = mailbox(from, to);
+
+  if (from == to) {
+    // A party's messages to itself live in its own memory: no faults, no
+    // accounting, but still through the mailbox so driver- and per-party
+    // mode behave identically.
+    std::unique_lock<std::mutex> lock(box.mu);
+    box.space.wait(lock, [&] {
+      return box.queue.size() < options_.mailbox_capacity;
+    });
+    box.queue.push_back(
+        Entry{std::move(payload), std::chrono::steady_clock::now()});
+    box.ready.notify_one();
+    return;
+  }
+
+  if (faults_.HasCrashed(from, completed_rounds())) {
+    // The sender is dead: the message vanishes and can never be
+    // retransmitted.
+    RecordCrashLoss();
+    return;
+  }
+
+  const FaultInjector::SendFate fate = faults_.OnSend(from, to);
+  RecordSend(from, to, payload.size());
+
+  if (fate.drop) {
+    RecordDrop();
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.retransmit.push_back(std::move(payload));
+    return;
+  }
+
+  Entry entry{std::move(payload), std::chrono::steady_clock::now()};
+  if (fate.delay_seconds > 0.0) {
+    entry.deliver_at += ToDuration(fate.delay_seconds);
+    RecordDelay();
+  }
+
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.space.wait(lock, [&] {
+    return box.queue.size() < options_.mailbox_capacity;
+  });
+  if (fate.reorder && !box.queue.empty()) {
+    box.queue.push_front(std::move(entry));
+    RecordReorder();
+  } else {
+    box.queue.push_back(std::move(entry));
+  }
+  box.ready.notify_one();
+}
+
+Result<Transport::Payload> ThreadedTransport::Receive(size_t from,
+                                                      size_t to) {
+  CheckParty(from, to);
+  Mailbox& box = mailbox(from, to);
+  double backoff = options_.retry_backoff_seconds;
+
+  for (size_t attempt = 0;; ++attempt) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          ToDuration(options_.receive_timeout_seconds);
+    std::unique_lock<std::mutex> lock(box.mu);
+    while (true) {
+      const auto now = std::chrono::steady_clock::now();
+      // Deliver the oldest ready entry; delayed entries behind it do not
+      // block delivery (the link reorders around in-flight packets).
+      auto ready = std::find_if(
+          box.queue.begin(), box.queue.end(),
+          [&](const Entry& entry) { return entry.deliver_at <= now; });
+      if (ready != box.queue.end()) {
+        Payload payload = std::move(ready->payload);
+        box.queue.erase(ready);
+        box.space.notify_one();
+        return payload;
+      }
+      if (!box.queue.empty()) {
+        // Messages are in flight (fault-injected delay): a timeout would
+        // lie, so wait for the earliest scheduled delivery instead.
+        auto earliest = box.queue.front().deliver_at;
+        for (const Entry& entry : box.queue) {
+          earliest = std::min(earliest, entry.deliver_at);
+        }
+        box.ready.wait_until(lock, earliest);
+        continue;
+      }
+      if (now >= deadline) break;
+      box.ready.wait_until(lock, deadline);
+    }
+
+    // Timed out with an empty channel.
+    RecordTimeout();
+    const bool sender_crashed = faults_.HasCrashed(from, completed_rounds());
+    if (attempt >= options_.max_retries) {
+      if (sender_crashed) {
+        return Status::Unavailable(
+            "party " + std::to_string(from) + " crashed; receive " +
+            std::to_string(from) + " -> " + std::to_string(to) +
+            " cannot complete");
+      }
+      return Status::DeadlineExceeded(
+          "receive timed out on channel " + std::to_string(from) + " -> " +
+          std::to_string(to) + " after " + std::to_string(attempt) +
+          " retries");
+    }
+    if (!sender_crashed && !box.retransmit.empty()) {
+      // Request retransmission of a dropped message: redelivered after the
+      // backoff and charged as fresh traffic, like any resent packet.
+      Payload payload = std::move(box.retransmit.front());
+      box.retransmit.pop_front();
+      lock.unlock();
+      RecordRetry();
+      RecordSend(from, to, payload.size());
+      if (backoff > 0.0) std::this_thread::sleep_for(ToDuration(backoff));
+      return payload;
+    }
+    lock.unlock();
+    if (backoff > 0.0) std::this_thread::sleep_for(ToDuration(backoff));
+    backoff *= 2.0;
+  }
+}
+
+bool ThreadedTransport::HasPending(size_t from, size_t to) const {
+  CheckParty(from, to);
+  const Mailbox& box = mailbox(from, to);
+  std::lock_guard<std::mutex> lock(box.mu);
+  const auto now = std::chrono::steady_clock::now();
+  return std::any_of(
+      box.queue.begin(), box.queue.end(),
+      [&](const Entry& entry) { return entry.deliver_at <= now; });
+}
+
+void ThreadedTransport::EndRound() {
+  completed_rounds_.fetch_add(1, std::memory_order_acq_rel);
+  Transport::EndRound();
+}
+
+void ThreadedTransport::ArriveRound(size_t party) {
+  SQM_CHECK(party < num_parties());
+  std::unique_lock<std::mutex> lock(round_mu_);
+  const uint64_t generation = generation_;
+  if (++arrived_ == num_parties()) {
+    arrived_ = 0;
+    ++generation_;
+    completed_rounds_.fetch_add(1, std::memory_order_acq_rel);
+    Transport::EndRound();
+    lock.unlock();
+    round_cv_.notify_all();
+    return;
+  }
+  round_cv_.wait(lock, [&] { return generation_ != generation; });
+}
+
+size_t ThreadedTransport::Reset() {
+  size_t dropped = 0;
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    dropped += box->queue.size() + box->retransmit.size();
+    box->queue.clear();
+    box->retransmit.clear();
+    box->space.notify_all();
+  }
+  if (dropped > 0) {
+    SQM_LOG(kWarning) << "ThreadedTransport::Reset dropped " << dropped
+                      << " undelivered message(s)";
+  }
+  {
+    std::lock_guard<std::mutex> lock(round_mu_);
+    arrived_ = 0;
+  }
+  completed_rounds_.store(0, std::memory_order_release);
+  ResetAccounting();
+  return dropped;
+}
+
+}  // namespace sqm

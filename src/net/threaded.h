@@ -1,0 +1,123 @@
+#ifndef SQM_NET_THREADED_H_
+#define SQM_NET_THREADED_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+
+#include "net/fault.h"
+#include "net/transport.h"
+
+namespace sqm {
+
+/// Configuration of a ThreadedTransport.
+struct ThreadedTransportOptions {
+  /// Added to the simulated clock per completed round (same meaning as in
+  /// the lock-step transport, so the two report comparable numbers).
+  double per_round_latency_seconds = 0.0;
+  /// Serialized element width for byte accounting (Field::kWireBytes for
+  /// the 61-bit field).
+  size_t element_wire_bytes = kDefaultElementWireBytes;
+  /// Bounded mailbox depth per directed channel; Send blocks while the
+  /// channel already holds this many undelivered messages (backpressure).
+  size_t mailbox_capacity = 256;
+  /// How long one blocking Receive waits (wall-clock) before declaring a
+  /// timeout. Messages known to be in flight (delayed by fault injection)
+  /// extend the wait — a timeout means "nothing is coming".
+  double receive_timeout_seconds = 0.25;
+  /// Retry budget per Receive after a timeout. A retry first asks for a
+  /// retransmission of a dropped message if one exists; otherwise it waits
+  /// another timeout window.
+  size_t max_retries = 3;
+  /// Backoff before a retry completes, doubled per attempt.
+  double retry_backoff_seconds = 0.001;
+  /// Fault injection; default-constructed = reliable links, no crash.
+  FaultOptions faults;
+};
+
+/// Concurrent multi-party transport: every directed channel is a bounded
+/// MPSC mailbox guarded by a mutex + condition variables, so each party can
+/// run on its own thread. Receive blocks until a message is deliverable,
+/// with timeout, retry/backoff, and retransmission of fault-dropped
+/// messages; a FaultInjector decides per-message drops, delays, reordering
+/// and party crashes.
+///
+/// Execution modes:
+///  - Driver mode: one thread runs the whole protocol (as the lock-step
+///    simulation does) and calls EndRound(). Sends land in mailboxes and
+///    receives drain them; faults and retries still apply. This keeps the
+///    protocol code identical across transports.
+///  - Per-party mode: each party runs on its own thread (see
+///    net/runner.h) and calls ArriveRound() instead of EndRound(); the
+///    round counter advances once per barrier generation.
+///
+/// Retransmission model: a message dropped by fault injection is parked on
+/// its channel's retransmission buffer. When a Receive times out it
+/// "requests retransmission": the parked message is redelivered after the
+/// backoff and charged to the traffic counters again, exactly like a resent
+/// packet. A crashed sender's messages are swallowed outright — no
+/// retransmission — so receives from a crashed party fail with kUnavailable
+/// once the retry budget is spent.
+class ThreadedTransport : public Transport {
+ public:
+  ThreadedTransport(size_t num_parties, ThreadedTransportOptions options);
+  ~ThreadedTransport() override;
+
+  void Send(size_t from, size_t to, Payload payload) override;
+  Result<Payload> Receive(size_t from, size_t to) override;
+  bool HasPending(size_t from, size_t to) const override;
+
+  /// Driver-mode round boundary (single protocol-driving thread).
+  void EndRound() override;
+
+  /// Per-party round barrier: blocks until all parties have arrived, then
+  /// advances the round counter once. Every party thread must call it with
+  /// its own index once per round.
+  void ArriveRound(size_t party);
+
+  size_t Reset() override;
+
+  const ThreadedTransportOptions& options() const { return options_; }
+
+  /// Rounds completed so far (drives crash-at-round fault decisions).
+  uint64_t completed_rounds() const {
+    return completed_rounds_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Entry {
+    Payload payload;
+    std::chrono::steady_clock::time_point deliver_at;
+  };
+  struct Mailbox {
+    mutable std::mutex mu;
+    std::condition_variable ready;  ///< Signaled on enqueue.
+    std::condition_variable space;  ///< Signaled on dequeue.
+    std::deque<Entry> queue;
+    std::deque<Payload> retransmit;  ///< Dropped messages awaiting re-send.
+  };
+
+  Mailbox& mailbox(size_t from, size_t to) {
+    return *mailboxes_[ChannelIndex(from, to)];
+  }
+  const Mailbox& mailbox(size_t from, size_t to) const {
+    return *mailboxes_[ChannelIndex(from, to)];
+  }
+
+  ThreadedTransportOptions options_;
+  FaultInjector faults_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<uint64_t> completed_rounds_{0};
+
+  // Round-barrier state for per-party mode.
+  std::mutex round_mu_;
+  std::condition_variable round_cv_;
+  size_t arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_NET_THREADED_H_

@@ -1,0 +1,154 @@
+#ifndef SQM_NET_TRANSPORT_H_
+#define SQM_NET_TRANSPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "net/stats.h"
+
+namespace sqm {
+
+/// Which Transport implementation a pipeline should construct.
+enum class TransportMode {
+  /// Deterministic single-threaded queues, seed `SimulatedNetwork`
+  /// semantics: Receive hard-fails when no message is pending.
+  kLockstep,
+  /// Thread-safe bounded mailboxes with blocking receives, timeouts,
+  /// retry/backoff and optional fault injection (src/net/threaded.h).
+  kThreaded,
+};
+
+/// Abstract pairwise message transport between `num_parties` parties.
+///
+/// This is the seam between protocol logic (BgwProtocol, SecAgg, the SQM
+/// pipeline) and the execution model. The same protocol code runs over
+///  - LockstepTransport: the paper's single-machine simulation — queues in
+///    program order, a simulated clock advancing per round,
+///  - ThreadedTransport: concurrent parties, lossy/delayed links, blocking
+///    receives with retry — the stepping stone to a real socket backend.
+///
+/// Accounting is uniform across implementations: global totals
+/// (NetworkStats), per-directed-channel counters, and per-phase counters
+/// keyed by the label set via SetPhase. All accounting methods are
+/// thread-safe; Send/Receive thread-safety is implementation-defined
+/// (lock-step is single-threaded only).
+class Transport {
+ public:
+  using Payload = std::vector<uint64_t>;
+
+  /// `element_wire_bytes` is the serialized width of one payload element on
+  /// the wire (for the 61-bit field, Field::kWireBytes), used for byte
+  /// accounting.
+  Transport(size_t num_parties, double per_round_latency_seconds,
+            size_t element_wire_bytes);
+  virtual ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  size_t num_parties() const { return num_parties_; }
+  double per_round_latency() const { return per_round_latency_; }
+  size_t element_wire_bytes() const { return element_wire_bytes_; }
+
+  /// Enqueues `payload` on the (from -> to) channel. Self-sends are allowed
+  /// (parties keep their own sub-shares) and are delivered, but count in no
+  /// traffic statistic — see the convention in net/stats.h.
+  virtual void Send(size_t from, size_t to, Payload payload) = 0;
+
+  /// Takes the oldest deliverable message on (from -> to). Lock-step
+  /// implementations fail immediately when nothing is pending; threaded
+  /// implementations block up to their configured timeout and may retry.
+  virtual Result<Payload> Receive(size_t from, size_t to) = 0;
+
+  /// True if a message is ready for delivery on (from -> to).
+  virtual bool HasPending(size_t from, size_t to) const = 0;
+
+  /// Marks the end of a synchronous round: advances the simulated clock and
+  /// the round counter. In threaded per-party execution use a round barrier
+  /// (ThreadedTransport::ArriveRound) instead of calling this from every
+  /// party.
+  virtual void EndRound();
+
+  /// Drops undelivered messages and zeroes all counters; returns how many
+  /// messages were dropped (logging a warning when nonzero).
+  virtual size_t Reset() = 0;
+
+  /// Simulated communication time so far (rounds * per-round latency).
+  double SimulatedSeconds() const;
+
+  /// Snapshot of the global traffic totals (thread-safe copy).
+  NetworkStats stats() const;
+
+  /// Full accounting snapshot: totals, per-channel, per-phase, fault and
+  /// reliability counters, simulated and wall clocks.
+  TransportStats Snapshot() const;
+
+  /// Labels subsequent traffic with `phase` in the per-phase breakdown
+  /// (e.g. "input", "mul", "open"). Empty string = unattributed.
+  void SetPhase(const std::string& phase);
+  std::string phase() const;
+
+ protected:
+  /// Bounds-check helper: aborts on an out-of-range party index.
+  void CheckParty(size_t from, size_t to) const;
+
+  size_t ChannelIndex(size_t from, size_t to) const {
+    return from * num_parties_ + to;
+  }
+
+  // Thread-safe accounting hooks for implementations. Cross-party only;
+  // callers skip self-sends.
+  void RecordSend(size_t from, size_t to, size_t elements);
+  void RecordRound();
+  void RecordDrop();
+  void RecordDelay();
+  void RecordReorder();
+  void RecordTimeout();
+  void RecordRetry();
+  void RecordCrashLoss();
+
+  /// Zeroes every counter and phase (used by Reset implementations).
+  void ResetAccounting();
+
+ private:
+  const size_t num_parties_;
+  const double per_round_latency_;
+  const size_t element_wire_bytes_;
+  const std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  NetworkStats totals_;
+  std::vector<ChannelStats> channels_;  // n*n, row-major (from, to).
+  std::vector<PhaseStats> phases_;      // First-use order.
+  size_t current_phase_ = 0;            // Index into phases_.
+  uint64_t drops_ = 0;
+  uint64_t delays_ = 0;
+  uint64_t reorders_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t crash_losses_ = 0;
+};
+
+/// RAII phase label: sets the transport's phase on construction and
+/// restores the previous label on destruction. Tolerates a null transport
+/// so protocol code can run without accounting.
+class PhaseScope {
+ public:
+  PhaseScope(Transport* transport, const std::string& phase);
+  ~PhaseScope();
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Transport* transport_;
+  std::string previous_;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_NET_TRANSPORT_H_

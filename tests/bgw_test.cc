@@ -1,4 +1,5 @@
 #include "mpc/bgw.h"
+#include "mpc/network.h"
 
 #include <gtest/gtest.h>
 

@@ -3,6 +3,7 @@
 // the privacy accountant.
 
 #include <gtest/gtest.h>
+#include "mpc/network.h"
 
 #include <cmath>
 #include <sstream>

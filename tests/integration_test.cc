@@ -3,6 +3,7 @@
 // and the cross-mechanism comparisons the paper's evaluation rests on.
 
 #include <gtest/gtest.h>
+#include "mpc/network.h"
 
 #include <cmath>
 

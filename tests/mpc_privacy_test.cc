@@ -6,6 +6,7 @@
 // leaking a secret into a deterministic share.
 
 #include <gtest/gtest.h>
+#include "mpc/network.h"
 
 #include <cmath>
 #include <vector>

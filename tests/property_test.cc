@@ -5,6 +5,7 @@
 //  - SQM's estimate converges to the exact polynomial sum as gamma grows.
 
 #include <gtest/gtest.h>
+#include "mpc/network.h"
 
 #include <cmath>
 #include <tuple>

@@ -1,4 +1,5 @@
 #include "mpc/protocol.h"
+#include "mpc/network.h"
 
 #include <gtest/gtest.h>
 

@@ -57,10 +57,49 @@ TEST(ReportIoTest, NetworkStatsShape) {
   stats.messages = 12;
   stats.field_elements = 34;
   stats.rounds = 5;
+  // bytes are tracked at Send time from the serialized element width, not
+  // recomputed from field_elements, so a hand-filled struct carries them
+  // explicitly.
+  stats.wire_bytes = 272;
   const std::string json = NetworkStatsToJson(stats);
   EXPECT_EQ(json,
             "{\"messages\":12,\"field_elements\":34,\"bytes\":272,"
             "\"rounds\":5}");
+}
+
+TEST(ReportIoTest, TransportStatsShape) {
+  TransportStats stats;
+  stats.num_parties = 3;
+  stats.totals.messages = 6;
+  stats.totals.field_elements = 18;
+  stats.totals.wire_bytes = 144;
+  stats.totals.rounds = 2;
+  ChannelStats channel;
+  channel.from = 0;
+  channel.to = 1;
+  channel.messages = 2;
+  channel.field_elements = 6;
+  channel.wire_bytes = 48;
+  stats.channels.push_back(channel);
+  PhaseStats phase;
+  phase.phase = "mul";
+  phase.traffic.messages = 6;
+  stats.phases.push_back(phase);
+  stats.retries = 1;
+  stats.simulated_seconds = 0.2;
+  const std::string json = TransportStatsToJson(stats);
+  EXPECT_NE(json.find("\"num_parties\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"channels\":[{\"from\":0,\"to\":1,\"messages\":2,"
+                      "\"field_elements\":6,\"bytes\":48}]"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"phases\":[{\"phase\":\"mul\",\"messages\":6,"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"retries\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"simulated_seconds\":0.2"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
 }
 
 TEST(ReportIoTest, SqmReportContainsAllSections) {
