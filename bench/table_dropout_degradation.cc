@@ -1,0 +1,231 @@
+// Dropout degradation table: PCA utility and realized epsilon versus the
+// number of dropped clients, comparing DropoutPolicy::kDegrade (release
+// with the noise deficit, honestly re-accounted) against kTopUp (survivors
+// refill the deficit before release).
+//
+// Two measurement paths, because the in-process crash simulation schedules
+// crashes mid-Mul — AFTER the noise inputs were secret-shared, so the
+// degraded release still carries the full Sk(mu) in value while the
+// accountant conservatively assumes the dropped clients' noise never
+// arrived:
+//   - realized epsilon comes from REAL BGW runs with d crashed parties
+//     (the full dropout pipeline: liveness detection, quorum Mul, top-up,
+//     recomputed guarantee in SqmReport.dropout);
+//   - utility comes from plaintext runs at the accountant's worst-case
+//     noise level — Sk((n-d)/n mu) for kDegrade, Sk(mu) for kTopUp — i.e.
+//     the release distribution when the dropped clients died before
+//     contributing any noise.
+// Prints a table and a JSON block (line after "JSON:") for plotting.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sampling/gaussian_sampler.h"
+#include "core/report_io.h"
+#include "core/sensitivity.h"
+#include "core/sqm.h"
+#include "dp/skellam.h"
+#include "math/eigen.h"
+#include "math/matrix.h"
+#include "sampling/rng.h"
+#include "vfl/dataset.h"
+#include "vfl/metrics.h"
+
+namespace sqm {
+namespace {
+
+// n attributes, one client each; bgw_threshold = 2 keeps the quorum at
+// 2t+1 = 5, so up to n - 5 parties may drop.
+constexpr size_t kAttributes = 9;
+constexpr size_t kThreshold = 2;
+constexpr size_t kTopKDims = 3;
+constexpr double kEpsilon = 1.0;
+constexpr double kDelta = 1e-5;
+constexpr double kGamma = 4096.0;
+
+// Correlated synthetic columns (a planted rank-3 signal plus noise), rows
+// normalized to the record norm bound 1 as the PCA mechanisms require.
+Matrix MakeData(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  GaussianSampler gauss(1.0);
+  Matrix x(rows, kAttributes);
+  for (size_t i = 0; i < rows; ++i) {
+    double factor[3];
+    for (double& v : factor) v = gauss.Sample(rng);
+    for (size_t j = 0; j < kAttributes; ++j) {
+      x(i, j) = factor[j % 3] * (1.0 + 0.1 * static_cast<double>(j)) +
+                0.3 * gauss.Sample(rng);
+    }
+  }
+  NormalizeRecords(x, 1.0);
+  return x;
+}
+
+// Upper-triangle covariance release, Section V-A style (coefficients all 1,
+// degree uniformly 2, so coefficient quantization is skipped).
+PolynomialVector CovarianceF() {
+  PolynomialVector f;
+  for (size_t i = 0; i < kAttributes; ++i) {
+    for (size_t j = i; j < kAttributes; ++j) {
+      Polynomial p;
+      p.AddTerm(i == j ? Monomial::Power(1.0, i, 2)
+                       : Monomial(1.0, {{i, 1}, {j, 1}}));
+      f.AddDimension(std::move(p));
+    }
+  }
+  return f;
+}
+
+SqmOptions BaseOptions(double mu, uint64_t seed) {
+  SqmOptions options;
+  options.gamma = kGamma;
+  options.mu = mu;
+  options.bgw_threshold = kThreshold;
+  options.seed = seed;
+  options.record_norm_bound = 1.0;
+  options.max_f_l2 = 1.0;
+  options.dp_delta = kDelta;
+  options.quantize_coefficients = false;
+  return options;
+}
+
+double UtilityFromEstimate(const Matrix& x,
+                           const std::vector<double>& estimate,
+                           uint64_t seed) {
+  Matrix covariance(kAttributes, kAttributes);
+  size_t t = 0;
+  for (size_t i = 0; i < kAttributes; ++i) {
+    for (size_t j = i; j < kAttributes; ++j, ++t) {
+      covariance(i, j) = estimate[t];
+      covariance(j, i) = estimate[t];
+    }
+  }
+  TopKOptions eig;
+  eig.seed = seed ^ 0xe16e;
+  const Matrix subspace =
+      TopKEigenvectors(covariance, kTopKDims, eig).ValueOrDie();
+  return PcaUtility(x, subspace);
+}
+
+struct Row {
+  const char* policy;
+  size_t dropped;
+  double realized_mu = 0.0;
+  double realized_epsilon = 0.0;
+  bench::Summary utility;
+};
+
+}  // namespace
+}  // namespace sqm
+
+int main(int argc, char** argv) {
+  using namespace sqm;
+  const bench::BenchConfig config = bench::ParseArgs(argc, argv);
+  const int reps = config.reps > 0 ? config.reps
+                                   : (config.paper_scale ? 10 : 3);
+  const size_t rows = config.paper_scale ? 400 : 100;
+
+  bench::PrintHeader(
+      "Dropout degradation: PCA utility and realized epsilon vs dropped "
+      "clients",
+      "kDegrade releases with the noise deficit (epsilon grows); kTopUp "
+      "refills it (epsilon holds, extra noise costs utility vs the "
+      "no-dropout run only through sampling variance).");
+
+  const Matrix x = MakeData(rows, 7);
+  const PolynomialVector f = CovarianceF();
+  const SensitivityBound sens = PcaSensitivity(kGamma, 1.0, kAttributes);
+  const double mu =
+      CalibrateSkellamMuSingleRelease(kEpsilon, kDelta, sens.l1, sens.l2)
+          .ValueOrDie();
+  std::printf("m=%zu n=%zu t=%zu quorum=%zu  eps=%.3g delta=%.1e  "
+              "mu=%.1f  reps=%d\n",
+              rows, kAttributes, kThreshold, 2 * kThreshold + 1, kEpsilon,
+              kDelta, mu, reps);
+
+  {
+    SqmOptions exact = BaseOptions(0.0, 1);
+    const SqmReport clean = SqmEvaluator(exact).Evaluate(f, x).ValueOrDie();
+    std::printf("non-private utility ||X V||_F^2 = %.4f\n",
+                UtilityFromEstimate(x, clean.estimate, 1));
+  }
+
+  std::printf("\n%-9s %-8s %-12s %-14s %-22s\n", "policy", "dropped",
+              "realized_mu", "realized_eps", "utility (mean +- std)");
+  bench::PrintRule();
+
+  const size_t max_dropped = kAttributes - (2 * kThreshold + 1);
+  std::vector<Row> table;
+  for (const DropoutPolicy policy :
+       {DropoutPolicy::kDegrade, DropoutPolicy::kTopUp}) {
+    for (size_t dropped = 0; dropped <= max_dropped; ++dropped) {
+      Row row;
+      row.policy = DropoutPolicyToString(policy);
+      row.dropped = dropped;
+
+      // One real BGW run with `dropped` parties crashing right after the
+      // input phase: exercises liveness detection, quorum multiplication,
+      // (for kTopUp) the compensation round, and yields the honestly
+      // recomputed guarantee.
+      SqmOptions bgw = BaseOptions(mu, 11);
+      bgw.backend = MpcBackend::kBgw;
+      bgw.dropout_policy = policy;
+      for (size_t c = 0; c < dropped; ++c) {
+        bgw.threaded.faults.crashes.push_back(
+            {1 + 2 * c, static_cast<uint64_t>(kAttributes)});
+      }
+      const SqmReport report =
+          SqmEvaluator(bgw).Evaluate(f, x).ValueOrDie();
+      SQM_CHECK(report.dropout.num_dropped == dropped);
+      row.realized_mu = report.dropout.realized_mu;
+      row.realized_epsilon = report.dropout.realized_epsilon;
+
+      // Utility at the accountant's worst-case noise level, averaged over
+      // seeds (plaintext backend: the MPC is exact, so utility only
+      // depends on the noise distribution).
+      const double effective_mu = policy == DropoutPolicy::kTopUp
+                                      ? mu
+                                      : SkellamMuWithDropouts(
+                                            mu, kAttributes, dropped);
+      std::vector<double> utilities;
+      for (int r = 0; r < reps; ++r) {
+        SqmOptions plain = BaseOptions(effective_mu, 1000 + 17 * r);
+        const SqmReport sample =
+            SqmEvaluator(plain).Evaluate(f, x).ValueOrDie();
+        utilities.push_back(
+            UtilityFromEstimate(x, sample.estimate, plain.seed));
+      }
+      row.utility = bench::Summarize(utilities);
+
+      std::printf("%-9s %-8zu %-12.1f %-14.4f %.4f +- %.4f\n", row.policy,
+                  row.dropped, row.realized_mu, row.realized_epsilon,
+                  row.utility.mean, row.utility.stddev);
+      table.push_back(row);
+    }
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("epsilon_configured", kEpsilon)
+      .Field("delta", kDelta)
+      .Field("mu_configured", mu)
+      .Field("num_clients", static_cast<uint64_t>(kAttributes))
+      .Field("threshold", static_cast<uint64_t>(kThreshold));
+  json.BeginArray("rows");
+  for (const Row& row : table) {
+    json.BeginObject()
+        .Field("policy", std::string(row.policy))
+        .Field("dropped", static_cast<uint64_t>(row.dropped))
+        .Field("realized_mu", row.realized_mu)
+        .Field("realized_epsilon", row.realized_epsilon)
+        .Field("utility_mean", row.utility.mean)
+        .Field("utility_stddev", row.utility.stddev)
+        .EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  std::printf("\nJSON:\n%s\n", json.str().c_str());
+  return 0;
+}

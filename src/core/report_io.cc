@@ -207,6 +207,30 @@ std::string SqmReportToJson(const SqmReport& report) {
   writer.Key("transport").BeginObject();
   WriteTransportStatsFields(writer, report.transport);
   writer.EndObject();
+  writer.Key("dropout").BeginObject()
+      .Field("policy", std::string(DropoutPolicyToString(
+                           report.dropout.policy)))
+      .Field("num_parties", static_cast<uint64_t>(
+                                report.dropout.num_parties))
+      .Field("num_dropped", static_cast<uint64_t>(
+                                report.dropout.num_dropped));
+  writer.BeginArray("survivors");
+  for (size_t j : report.dropout.survivors) {
+    writer.Value(static_cast<uint64_t>(j));
+  }
+  writer.EndArray();
+  writer.Field("configured_mu", report.dropout.configured_mu)
+      .Field("realized_mu", report.dropout.realized_mu)
+      .Field("topup_mu", report.dropout.topup_mu)
+      .Field("configured_epsilon", report.dropout.configured_epsilon)
+      .Field("realized_epsilon", report.dropout.realized_epsilon)
+      .Field("delta", report.dropout.delta)
+      .Field("best_alpha", report.dropout.best_alpha)
+      .Field("mpc_attempts", static_cast<uint64_t>(
+                                 report.dropout.mpc_attempts))
+      .Field("resumed_from_level",
+             static_cast<uint64_t>(report.dropout.resumed_from_level))
+      .EndObject();
   writer.EndObject();
   return writer.str();
 }

@@ -35,7 +35,8 @@ SensitivityBound LogisticGradientSensitivity(double gamma,
 
 SensitivityBound PolynomialSensitivity(const PolynomialVector& f, double gamma,
                                        double record_norm_bound,
-                                       double max_f_l2) {
+                                       double max_f_l2,
+                                       bool quantize_coefficients) {
   const double lambda = static_cast<double>(f.Degree());
   const double d = static_cast<double>(f.output_dim());
   const double v = static_cast<double>(f.MaxTermsPerDimension());
@@ -43,15 +44,20 @@ SensitivityBound PolynomialSensitivity(const PolynomialVector& f, double gamma,
 
   // Main term: every monomial is amplified by exactly gamma^{lambda+1}
   // (data scaling gamma^{lambda_t[l]} times coefficient scaling
-  // gamma^{1+lambda-lambda_t[l]}).
-  const double main = std::pow(gamma, lambda + 1.0) * max_f_l2;
+  // gamma^{1+lambda-lambda_t[l]}). Without coefficient quantization the
+  // coefficient factor is 1 and the release scale is gamma^lambda.
+  const double scale_exp = quantize_coefficients ? lambda + 1.0 : lambda;
+  const double main = std::pow(gamma, scale_exp) * max_f_l2;
 
   // Overhead: Lemma 2 gives a per-monomial data-rounding error of at most
   // 2*lambda*c^{lambda-1}*gamma^{lambda-1} before coefficient scaling; the
   // coefficient itself carries an extra rounding error of at most 1, which
   // multiplies the data product bounded by (gamma*c + 1)^{lambda}. Both are
   // O(gamma^lambda); we take a conservative union over d*v monomials, where
-  // the largest pre-quantization coefficient magnitude also enters.
+  // the largest pre-quantization coefficient magnitude also enters. With
+  // integer coefficients kept as-is there is no coefficient rounding term
+  // and no amplification: only the data rounding at gamma^{lambda-1}
+  // survives.
   double max_abs_coeff = 0.0;
   for (const Polynomial& p : f.dims()) {
     for (const Monomial& term : p.terms()) {
@@ -59,11 +65,14 @@ SensitivityBound PolynomialSensitivity(const PolynomialVector& f, double gamma,
     }
   }
   max_abs_coeff = std::max(max_abs_coeff, 1.0);
+  const double data_rounding =
+      2.0 * lambda * std::pow(c, std::max(lambda - 1.0, 0.0)) *
+      max_abs_coeff;
   const double per_monomial =
-      (2.0 * lambda * std::pow(c, std::max(lambda - 1.0, 0.0)) *
-           max_abs_coeff +
-       std::pow(c + 1.0, lambda)) *
-      std::pow(gamma, lambda);
+      quantize_coefficients
+          ? (data_rounding + std::pow(c + 1.0, lambda)) *
+                std::pow(gamma, lambda)
+          : data_rounding * std::pow(gamma, std::max(lambda - 1.0, 0.0));
   const double overhead = d * v * per_monomial;
 
   SensitivityBound bound;

@@ -37,10 +37,15 @@ SensitivityBound LogisticGradientSensitivity(double gamma,
 /// bounded via Lemma 2's per-monomial O(gamma^{lambda-1}) term scaled by the
 /// per-degree coefficient amplification and summed over d * max_t v_t
 /// monomials. `max_f_l2` must upper-bound max_{||x||_2 <= c} ||f(x)||_2
-/// (task-specific; PCA uses c^2, LR uses 3/4).
+/// (task-specific; PCA uses c^2, LR uses 3/4). With
+/// `quantize_coefficients` false (the PCA-style integer-coefficient path,
+/// release scale gamma^lambda instead of gamma^{lambda+1}), the
+/// coefficient amplification factor and its rounding error drop out —
+/// matching Lemma 5's gamma^2 c^2 + n shape for the covariance release.
 SensitivityBound PolynomialSensitivity(const PolynomialVector& f, double gamma,
                                        double record_norm_bound,
-                                       double max_f_l2);
+                                       double max_f_l2,
+                                       bool quantize_coefficients = true);
 
 /// Relative sensitivity overhead of LR quantization plotted in Figure 4:
 /// sqrt((3/4)^2 + 9 d / gamma + 36 / gamma^2) - 3/4.

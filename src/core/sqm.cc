@@ -1,15 +1,20 @@
 #include "core/sqm.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "core/logging.h"
+#include "dp/accountant.h"
+#include "dp/skellam.h"
 #include "mpc/bgw.h"
 #include "mpc/circuit.h"
 #include "mpc/field.h"
 #include "mpc/protocol.h"
 #include "mpc/shamir.h"
+#include "net/liveness.h"
 #include "sampling/skellam_sampler.h"
 
 namespace sqm {
@@ -35,6 +40,18 @@ std::pair<size_t, size_t> ClientColumnRange(size_t j, size_t cols,
 }
 
 }  // namespace
+
+const char* DropoutPolicyToString(DropoutPolicy policy) {
+  switch (policy) {
+    case DropoutPolicy::kAbort:
+      return "abort";
+    case DropoutPolicy::kDegrade:
+      return "degrade";
+    case DropoutPolicy::kTopUp:
+      return "topup";
+  }
+  return "unknown";
+}
 
 SqmEvaluator::SqmEvaluator(SqmOptions options)
     : options_(std::move(options)) {}
@@ -140,8 +157,17 @@ Result<SqmReport> SqmEvaluator::Evaluate(const PolynomialVector& f,
     return EvaluatePlaintext(qf, db, noise_per_client, quantize_seconds,
                              noise_seconds);
   }
+  // Sensitivity of the release, needed by the dropout accounting to turn a
+  // realized noise level back into an honest (epsilon, delta).
+  SensitivityBound sensitivity;
+  if (options_.mu > 0.0) {
+    sensitivity = PolynomialSensitivity(f, options_.gamma,
+                                        options_.record_norm_bound,
+                                        options_.max_f_l2,
+                                        options_.quantize_coefficients);
+  }
   return EvaluateBgw(qf, db, noise_per_client, quantize_seconds,
-                     noise_seconds);
+                     noise_seconds, sensitivity);
 }
 
 Result<SqmReport> SqmEvaluator::EvaluatePlaintext(
@@ -198,7 +224,8 @@ Result<SqmReport> SqmEvaluator::EvaluatePlaintext(
 Result<SqmReport> SqmEvaluator::EvaluateBgw(
     const QuantizedPolynomial& qf, const QuantizedDatabase& db,
     const std::vector<std::vector<int64_t>>& noise_per_client,
-    double quantize_seconds, double noise_seconds) {
+    double quantize_seconds, double noise_seconds,
+    const SensitivityBound& sensitivity) {
   const size_t num_clients = noise_per_client.size();
   const size_t d = qf.dims.size();
   if (num_clients < 3) {
@@ -279,16 +306,88 @@ Result<SqmReport> SqmEvaluator::EvaluateBgw(
     threaded.element_wire_bytes = Field::kWireBytes;
     network = std::make_unique<ThreadedTransport>(num_clients, threaded);
   } else {
-    network = std::make_unique<SimulatedNetwork>(
+    auto lockstep = std::make_unique<SimulatedNetwork>(
         num_clients, options_.network_latency_seconds);
+    // Lockstep honors the crash component of the fault options, so the
+    // same dropout scenario runs under both transports.
+    lockstep->ScheduleCrashes(options_.threaded.faults.EffectiveCrashes());
+    network = std::move(lockstep);
   }
   BgwEngine engine(ShamirScheme(num_clients, threshold), network.get(),
                    options_.seed ^ 0xb9d7);
 
+  const DropoutPolicy policy = options_.dropout_policy;
+  const size_t quorum = 2 * threshold + 1;
+  LivenessTracker tracker(num_clients);
+  if (policy != DropoutPolicy::kAbort) engine.set_liveness(&tracker);
+
   const auto compute_start = std::chrono::steady_clock::now();
+
+  // BGW phases 1+2 with phase-level checkpointing: a run that loses a
+  // multiplication level to flaky links retries from the last completed
+  // level instead of restarting quantization or input sharing. A quorum
+  // shortfall (alive < 2t+1) is unrecoverable and surfaces immediately.
+  BgwCheckpoint checkpoint;
+  BgwCheckpoint* checkpoint_ptr =
+      policy != DropoutPolicy::kAbort ? &checkpoint : nullptr;
+  const size_t max_attempts =
+      policy != DropoutPolicy::kAbort
+          ? std::max<size_t>(options_.mpc_max_attempts, 1)
+          : 1;
+  SharedVector out_shares;
+  size_t attempts = 0;
+  size_t resumed_from_level = 0;
+  while (true) {
+    ++attempts;
+    Result<SharedVector> shares =
+        engine.EvaluateToShares(circuit, inputs_per_party, checkpoint_ptr);
+    if (shares.ok()) {
+      out_shares = std::move(shares).ValueOrDie();
+      break;
+    }
+    const bool retryable = policy != DropoutPolicy::kAbort &&
+                           checkpoint.valid && attempts < max_attempts &&
+                           tracker.num_alive() >= quorum;
+    if (!retryable) return shares.status();
+    resumed_from_level = checkpoint.next_level;
+  }
+
+  // kTopUp: before opening, the survivors deal compensating Skellam noise
+  // totalling Sk(d/n * mu), restoring the release to the full Sk(mu).
+  double topup_mu = 0.0;
+  const size_t num_dropped =
+      policy != DropoutPolicy::kAbort ? tracker.num_dead() : 0;
+  if (policy == DropoutPolicy::kTopUp && options_.mu > 0.0 &&
+      num_dropped > 0) {
+    const std::vector<size_t> survivors = tracker.Survivors();
+    const double per_survivor_mu =
+        options_.mu * static_cast<double>(num_dropped) /
+        (static_cast<double>(num_clients) *
+         static_cast<double>(survivors.size()));
+    const SkellamSampler sampler(per_survivor_mu);
+    Rng topup_root(options_.seed ^ 0x70bu);
+    for (size_t j : survivors) {
+      Rng survivor_rng = topup_root.Split(j);
+      const std::vector<int64_t> extra =
+          sampler.SampleVector(survivor_rng, d);
+      SQM_ASSIGN_OR_RETURN(
+          SharedVector extra_shares,
+          engine.protocol().TryShareFromParty(
+              j, Field::EncodeVector(extra), "topup"));
+      SQM_ASSIGN_OR_RETURN(out_shares,
+                           engine.protocol().Add(out_shares, extra_shares));
+      topup_mu += per_survivor_mu;
+    }
+  }
+
   SQM_ASSIGN_OR_RETURN(std::vector<int64_t> raw,
-                       engine.Evaluate(circuit, inputs_per_party));
+                       engine.OpenOutputs(out_shares));
   const double compute_seconds = SecondsSince(compute_start);
+  // The census must include parties that died during the open itself, so
+  // it is taken only now. (The top-up above used the pre-open count: noise
+  // compensation can only react to deaths known before release.)
+  const size_t num_dropped_final =
+      policy != DropoutPolicy::kAbort ? tracker.num_dead() : 0;
 
   // Measure the marginal cost of DP enforcement the way the paper does:
   // wall time for secret-sharing and summing the P noise vectors alone,
@@ -322,6 +421,55 @@ Result<SqmReport> SqmEvaluator::EvaluateBgw(
   report.timing.simulated_network_seconds = network->SimulatedSeconds();
   report.timing.noise_injection_seconds =
       noise_seconds + inject_seconds;
+
+  // ---- Dropout accounting: record who survived and, when noise was
+  // configured, recompute the realized (epsilon, delta) from the noise the
+  // release actually carried.
+  DropoutReport& dropout = report.dropout;
+  dropout.policy = policy;
+  dropout.num_parties = num_clients;
+  dropout.num_dropped = num_dropped_final;
+  if (policy != DropoutPolicy::kAbort) {
+    dropout.survivors = tracker.Survivors();
+  } else {
+    dropout.survivors.resize(num_clients);
+    for (size_t j = 0; j < num_clients; ++j) dropout.survivors[j] = j;
+  }
+  dropout.configured_mu = options_.mu;
+  dropout.topup_mu = topup_mu;
+  dropout.realized_mu =
+      options_.mu > 0.0
+          ? SkellamMuWithDropouts(options_.mu, num_clients,
+                                  num_dropped_final) +
+                topup_mu
+          : 0.0;
+  dropout.delta = options_.dp_delta;
+  dropout.mpc_attempts = attempts;
+  dropout.resumed_from_level = resumed_from_level;
+  if (options_.mu > 0.0) {
+    dropout.configured_epsilon = SkellamEpsilonSingleRelease(
+        options_.mu, sensitivity.l1, sensitivity.l2, options_.dp_delta);
+    if (dropout.realized_mu > 0.0) {
+      PrivacyAccountant accountant;
+      accountant.AddSkellamWithDropouts(
+          "sqm_release", sensitivity.l1, sensitivity.l2, options_.mu,
+          num_clients, num_dropped_final);
+      if (topup_mu > 0.0) {
+        // The top-up restores noise without adding a release: account the
+        // single release at its total realized noise instead.
+        accountant.Reset();
+        accountant.AddSkellam("sqm_release", sensitivity.l1, sensitivity.l2,
+                              dropout.realized_mu);
+      }
+      SQM_ASSIGN_OR_RETURN(const PrivacyGuarantee guarantee,
+                           accountant.TotalGuarantee(options_.dp_delta));
+      dropout.realized_epsilon = guarantee.epsilon;
+      dropout.best_alpha = guarantee.best_alpha;
+    } else {
+      // Every noise contributor dropped: the release is unprotected.
+      dropout.realized_epsilon = std::numeric_limits<double>::infinity();
+    }
+  }
   return report;
 }
 

@@ -27,6 +27,21 @@ enum class MpcBackend {
   kPlaintext,
 };
 
+/// What the BGW backend does when parties drop out mid-protocol.
+enum class DropoutPolicy {
+  /// Legacy behavior: any transport failure aborts the whole run.
+  kAbort,
+  /// Finish on the surviving >= 2t+1 quorum and release with the noise
+  /// deficit Sk((n-d)/n * mu); the report carries the honestly recomputed
+  /// realized (epsilon, delta).
+  kDegrade,
+  /// Like kDegrade, but survivors first share compensating Skellam noise
+  /// totalling Sk(d/n * mu) so the release carries the full Sk(mu) again.
+  kTopUp,
+};
+
+const char* DropoutPolicyToString(DropoutPolicy policy);
+
 /// Parameters of one SQM invocation (Algorithms 1 and 3).
 struct SqmOptions {
   /// Scaling parameter gamma (quantization granularity). Larger gamma means
@@ -64,6 +79,23 @@ struct SqmOptions {
   ThreadedTransportOptions threaded;
 
   uint64_t seed = 42;
+
+  /// Dropout handling for the BGW backend. kDegrade/kTopUp attach a
+  /// LivenessTracker, switch the protocol onto its quorum paths, and may
+  /// resume a failed multiplication level from the phase checkpoint.
+  DropoutPolicy dropout_policy = DropoutPolicy::kAbort;
+
+  /// Delta at which degraded-mode (epsilon, delta) guarantees are
+  /// recomputed and reported.
+  double dp_delta = 1e-5;
+
+  /// Bound c on ||x||_2 per record, used (with max_f_l2) to derive the
+  /// release's L1/L2 sensitivities for the dropout accounting.
+  double record_norm_bound = 1.0;
+
+  /// Total attempts (first run + checkpoint resumes) for the BGW phase
+  /// under kDegrade/kTopUp before the failure is surfaced.
+  size_t mpc_max_attempts = 2;
 
   /// Upper bound on max_{||x||<=c} ||f(x)||_2, used for the field-capacity
   /// guard. Callers that know their task (PCA: c^2, LR: 3/4) should set it.
@@ -104,6 +136,26 @@ struct SqmTiming {
   }
 };
 
+/// Dropout outcome of one BGW-backed run: who survived, how much noise the
+/// release actually carried, and the honestly recomputed privacy guarantee.
+struct DropoutReport {
+  DropoutPolicy policy = DropoutPolicy::kAbort;
+  size_t num_parties = 0;
+  std::vector<size_t> survivors;  ///< Party indices that finished the run.
+  size_t num_dropped = 0;
+  double configured_mu = 0.0;  ///< Sk(mu) the run was provisioned for.
+  double realized_mu = 0.0;    ///< Noise the release actually carried.
+  double topup_mu = 0.0;       ///< Compensating noise added (kTopUp only).
+  /// Single-release epsilon at `delta` for configured_mu / realized_mu
+  /// (equal when nothing dropped; 0 when mu == 0, i.e. no DP configured).
+  double configured_epsilon = 0.0;
+  double realized_epsilon = 0.0;
+  double delta = 0.0;
+  double best_alpha = 0.0;  ///< Rényi order minimizing realized_epsilon.
+  size_t mpc_attempts = 1;  ///< 1 = no checkpoint resume was needed.
+  size_t resumed_from_level = 0;  ///< Mul level the last resume started at.
+};
+
 /// Output of one SQM invocation.
 struct SqmReport {
   /// The server's estimate tilde-y for sum_x f(x), after down-scaling by
@@ -117,6 +169,9 @@ struct SqmReport {
   /// Full transport accounting: per-channel and per-phase breakdowns plus
   /// fault/retry counters (empty in plaintext mode).
   TransportStats transport;
+  /// Dropout outcome (BGW backend; default-constructed in plaintext mode
+  /// and in runs where every party survived under kAbort).
+  DropoutReport dropout;
 };
 
 /// The Skellam Quantization Mechanism: evaluates F(X) = sum_x f(x) for a
@@ -157,7 +212,8 @@ class SqmEvaluator {
                                 const QuantizedDatabase& db,
                                 const std::vector<std::vector<int64_t>>&
                                     noise_per_client,
-                                double quantize_seconds, double noise_seconds);
+                                double quantize_seconds, double noise_seconds,
+                                const SensitivityBound& sensitivity);
 
   SqmOptions options_;
 };

@@ -56,6 +56,17 @@ void PrivacyAccountant::AddSkellam(const std::string& label,
   events_.push_back(std::move(event));
 }
 
+void PrivacyAccountant::AddSkellamWithDropouts(
+    const std::string& label, double l1_sensitivity, double l2_sensitivity,
+    double mu, size_t num_clients, size_t num_dropped, double sampling_rate,
+    size_t count) {
+  const double realized_mu =
+      SkellamMuWithDropouts(mu, num_clients, num_dropped);
+  SQM_CHECK(realized_mu > 0.0);
+  AddSkellam(label, l1_sensitivity, l2_sensitivity, realized_mu,
+             sampling_rate, count);
+}
+
 void PrivacyAccountant::AddEvent(PrivacyEvent event) {
   SQM_CHECK(event.rdp != nullptr);
   SQM_CHECK(event.count >= 1);
@@ -81,6 +92,20 @@ Result<double> PrivacyAccountant::TotalEpsilon(double delta) const {
     return TotalRdp(static_cast<size_t>(alpha));
   };
   return BestEpsilonFromCurve(curve, DefaultAlphaGrid(), delta);
+}
+
+Result<PrivacyGuarantee> PrivacyAccountant::TotalGuarantee(
+    double delta) const {
+  if (delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  PrivacyGuarantee guarantee;
+  guarantee.delta = delta;
+  if (events_.empty()) return guarantee;
+  const auto curve = [this](double alpha) {
+    return TotalRdp(static_cast<size_t>(alpha));
+  };
+  return GuaranteeFromCurve(curve, DefaultAlphaGrid(), delta);
 }
 
 Result<size_t> PrivacyAccountant::RemainingRepetitions(

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "dp/rdp.h"
 
 namespace sqm {
 
@@ -45,6 +46,16 @@ class PrivacyAccountant {
                   double l2_sensitivity, double mu,
                   double sampling_rate = 1.0, size_t count = 1);
 
+  /// Tracks a Skellam release whose configured Sk(mu) was degraded by
+  /// `num_dropped` of `num_clients` contributors dropping out: the curve
+  /// is charged at the realized Sk((n-d)/n * mu) — the honest accounting
+  /// for a kDegrade run.
+  void AddSkellamWithDropouts(const std::string& label,
+                              double l1_sensitivity, double l2_sensitivity,
+                              double mu, size_t num_clients,
+                              size_t num_dropped, double sampling_rate = 1.0,
+                              size_t count = 1);
+
   /// Tracks an arbitrary RDP curve.
   void AddEvent(PrivacyEvent event);
 
@@ -56,6 +67,10 @@ class PrivacyAccountant {
 
   /// Total (epsilon, delta) guarantee; delta in (0, 1).
   Result<double> TotalEpsilon(double delta) const;
+
+  /// Like TotalEpsilon, but also reports the minimizing Rényi order — the
+  /// form SqmReport records for degraded runs.
+  Result<PrivacyGuarantee> TotalGuarantee(double delta) const;
 
   /// Remaining repetitions of `event` that fit a target epsilon: the
   /// largest k such that the tracked events plus k copies of `event` stay

@@ -39,6 +39,17 @@ double BestEpsilonFromCurve(const std::function<double(double)>& tau_of_alpha,
   return best;
 }
 
+PrivacyGuarantee GuaranteeFromCurve(
+    const std::function<double(double)>& tau_of_alpha,
+    const std::vector<double>& alphas, double delta) {
+  PrivacyGuarantee guarantee;
+  guarantee.delta = delta;
+  guarantee.epsilon =
+      BestEpsilonFromCurve(tau_of_alpha, alphas, delta,
+                           &guarantee.best_alpha);
+  return guarantee;
+}
+
 std::vector<double> DefaultAlphaGrid() {
   std::vector<double> alphas;
   for (size_t a = 2; a <= 128; ++a) alphas.push_back(static_cast<double>(a));

@@ -26,6 +26,19 @@ double BestEpsilonFromCurve(const std::function<double(double)>& tau_of_alpha,
                             const std::vector<double>& alphas, double delta,
                             double* best_alpha = nullptr);
 
+/// A fully resolved classical guarantee, with the Rényi order that
+/// produced it — what a report or a degraded-mode recomputation records.
+struct PrivacyGuarantee {
+  double epsilon = 0.0;
+  double delta = 0.0;
+  double best_alpha = 0.0;
+};
+
+/// BestEpsilonFromCurve packaged as a PrivacyGuarantee.
+PrivacyGuarantee GuaranteeFromCurve(
+    const std::function<double(double)>& tau_of_alpha,
+    const std::vector<double>& alphas, double delta);
+
 /// Default integer grid of Rényi orders 2..128 used by the calibrators.
 std::vector<double> DefaultAlphaGrid();
 

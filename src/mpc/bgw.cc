@@ -13,6 +13,15 @@ BgwEngine::BgwEngine(ShamirScheme scheme, Transport* network,
 Result<std::vector<int64_t>> BgwEngine::Evaluate(
     const Circuit& circuit,
     const std::vector<std::vector<int64_t>>& inputs_per_party) {
+  SQM_ASSIGN_OR_RETURN(SharedVector out_shares,
+                       EvaluateToShares(circuit, inputs_per_party));
+  return OpenOutputs(out_shares);
+}
+
+Result<SharedVector> BgwEngine::EvaluateToShares(
+    const Circuit& circuit,
+    const std::vector<std::vector<int64_t>>& inputs_per_party,
+    BgwCheckpoint* checkpoint) {
   const size_t n = protocol_.num_parties();
   SQM_RETURN_NOT_OK(circuit.Validate(n));
   if (inputs_per_party.size() != n) {
@@ -27,32 +36,58 @@ Result<std::vector<int64_t>> BgwEngine::Evaluate(
     }
   }
 
-  const NetworkStats stats_before = network_->stats();
+  BgwCheckpoint scratch;
+  BgwCheckpoint* ckpt = checkpoint != nullptr ? checkpoint : &scratch;
+  const bool resuming = ckpt->valid;
   const auto& gates = circuit.gates();
 
-  // wire_shares[party][wire].
-  std::vector<std::vector<Field::Element>> wire_shares(
-      n, std::vector<Field::Element>(gates.size(), 0));
+  if (!resuming) {
+    stats_before_ = network_->stats();
+    ckpt->next_level = 0;
+    ckpt->mul_rounds_done = 0;
+    // wire_shares[party][wire] lives inside the checkpoint: each completed
+    // level's results are persisted in place, no copies.
+    ckpt->wire_shares.assign(n,
+                             std::vector<Field::Element>(gates.size(), 0));
 
-  // ---- Phase 1: input sharing (one protocol round per contributing party;
-  // each party's inputs are batched into a single message per recipient).
-  for (size_t j = 0; j < n; ++j) {
-    if (inputs_per_party[j].empty()) continue;
-    const SharedVector shared = protocol_.ShareFromParty(
-        j, Field::EncodeVector(inputs_per_party[j]));
-    // Scatter this party's input shares onto its input wires.
-    size_t index = 0;
-    for (size_t w = 0; w < gates.size(); ++w) {
-      const Circuit::Gate& gate = gates[w];
-      if (gate.kind == Circuit::GateKind::kInput && gate.owner == j) {
-        for (size_t r = 0; r < n; ++r) {
-          wire_shares[r][w] = shared.shares(r)[gate.input_index];
-        }
-        ++index;
+    // ---- Phase 1: input sharing (one protocol round per contributing
+    // party; each party's inputs are batched into a single message per
+    // recipient). Crashed parties' input shares survive among the live
+    // parties, so a later resume never repeats this phase.
+    for (size_t j = 0; j < n; ++j) {
+      if (inputs_per_party[j].empty()) continue;
+      SharedVector shared;
+      if (protocol_.liveness() != nullptr) {
+        SQM_ASSIGN_OR_RETURN(
+            shared, protocol_.TryShareFromParty(
+                        j, Field::EncodeVector(inputs_per_party[j])));
+      } else {
+        shared = protocol_.ShareFromParty(
+            j, Field::EncodeVector(inputs_per_party[j]));
       }
+      // Scatter this party's input shares onto its input wires.
+      size_t index = 0;
+      for (size_t w = 0; w < gates.size(); ++w) {
+        const Circuit::Gate& gate = gates[w];
+        if (gate.kind == Circuit::GateKind::kInput && gate.owner == j) {
+          for (size_t r = 0; r < n; ++r) {
+            ckpt->wire_shares[r][w] = shared.shares(r)[gate.input_index];
+          }
+          ++index;
+        }
+      }
+      SQM_CHECK(index == inputs_per_party[j].size());
     }
-    SQM_CHECK(index == inputs_per_party[j].size());
+    ckpt->valid = true;
+  } else {
+    SQM_CHECK(ckpt->wire_shares.size() == n);
+    SQM_CHECK(ckpt->wire_shares[0].size() == gates.size());
+    // Stale sub-shares queued by the aborted round must not mix into the
+    // retry's fresh resharing randomness.
+    protocol_.DrainPending();
   }
+
+  std::vector<std::vector<Field::Element>>& wire_shares = ckpt->wire_shares;
 
   // ---- Phase 2: evaluate gate levels. Multiplications of equal depth are
   // batched into one communication round.
@@ -104,8 +139,7 @@ Result<std::vector<int64_t>> BgwEngine::Evaluate(
     }
   };
 
-  size_t mul_rounds = 0;
-  for (size_t level = 0; level <= max_depth; ++level) {
+  for (size_t level = ckpt->next_level; level <= max_depth; ++level) {
     if (level > 0) {
       // Batch all multiplications at this depth into one round.
       std::vector<size_t> mul_wires;
@@ -123,13 +157,15 @@ Result<std::vector<int64_t>> BgwEngine::Evaluate(
             rhs.shares(r)[i] = wire_shares[r][gates[mul_wires[i]].rhs];
           }
         }
+        // A failed Mul leaves wire_shares at the previous level and
+        // ckpt->next_level == level: exactly where a retry must resume.
         SQM_ASSIGN_OR_RETURN(SharedVector products, protocol_.Mul(lhs, rhs));
         for (size_t r = 0; r < n; ++r) {
           for (size_t i = 0; i < mul_wires.size(); ++i) {
             wire_shares[r][mul_wires[i]] = products.shares(r)[i];
           }
         }
-        ++mul_rounds;
+        ++ckpt->mul_rounds_done;
       }
     }
     // Local gates at this depth, in id order (intra-level dependencies
@@ -140,20 +176,33 @@ Result<std::vector<int64_t>> BgwEngine::Evaluate(
         process_local_gate(w);
       }
     }
+    ckpt->next_level = level + 1;
   }
 
-  // ---- Phase 3: open outputs.
   SharedVector out_shares(n, circuit.outputs().size());
   for (size_t r = 0; r < n; ++r) {
     for (size_t i = 0; i < circuit.outputs().size(); ++i) {
       out_shares.shares(r)[i] = wire_shares[r][circuit.outputs()[i]];
     }
   }
-  std::vector<int64_t> outputs = protocol_.OpenSigned(out_shares);
-
   last_report_.multiplications = circuit.num_multiplications();
-  last_report_.mul_rounds = mul_rounds;
-  last_report_.network = network_->stats() - stats_before;
+  last_report_.mul_rounds = ckpt->mul_rounds_done;
+  return out_shares;
+}
+
+Result<std::vector<int64_t>> BgwEngine::OpenOutputs(
+    const SharedVector& out_shares) {
+  // ---- Phase 3: open outputs.
+  std::vector<int64_t> outputs;
+  if (protocol_.liveness() != nullptr) {
+    SQM_ASSIGN_OR_RETURN(outputs, protocol_.TryOpenSigned(out_shares));
+  } else {
+    outputs = protocol_.OpenSigned(out_shares);
+  }
+  // The network delta spans everything since the fresh EvaluateToShares
+  // start, including any failed attempts retried from a checkpoint — that
+  // is the traffic the run actually cost.
+  last_report_.network = network_->stats() - stats_before_;
   return outputs;
 }
 

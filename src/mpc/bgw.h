@@ -8,6 +8,7 @@
 #include "mpc/circuit.h"
 #include "mpc/protocol.h"
 #include "mpc/shamir.h"
+#include "net/liveness.h"
 #include "net/transport.h"
 
 namespace sqm {
@@ -17,6 +18,19 @@ struct BgwExecutionReport {
   NetworkStats network;
   size_t multiplications = 0;
   size_t mul_rounds = 0;  ///< Communication rounds spent on multiplications.
+};
+
+/// Phase-level checkpoint of one circuit evaluation: the wire shares after
+/// the last fully completed multiplication level. A Mul that fails (quorum
+/// shortfall, timed-out links) leaves the checkpoint at the preceding
+/// level; passing the same checkpoint back into EvaluateToShares resumes
+/// there — input sharing and all completed levels are skipped, and stale
+/// queued sub-shares from the aborted round are drained first.
+struct BgwCheckpoint {
+  bool valid = false;    ///< Inputs shared; wire_shares meaningful.
+  size_t next_level = 0; ///< First multiplication level not yet completed.
+  std::vector<std::vector<Field::Element>> wire_shares;  ///< [party][wire].
+  size_t mul_rounds_done = 0;
 };
 
 /// Gate-level BGW evaluator (the paper's Appendix B, three-phase execution).
@@ -31,6 +45,11 @@ struct BgwExecutionReport {
 /// data and the locally sampled Skellam noise as private inputs, and a
 /// circuit that sums f-hat over records plus the noise shares (Algorithm 1
 /// line 5 / Algorithm 3 line 9).
+///
+/// Dropout tolerance: attach a LivenessTracker (set_liveness) and use the
+/// EvaluateToShares / OpenOutputs split with a BgwCheckpoint. Dead parties
+/// are excluded from every round, multiplications recombine over any 2t+1
+/// usable dealers, and a failed level can be retried from the checkpoint.
 class BgwEngine {
  public:
   /// `network` must outlive the engine and match the scheme's party count.
@@ -46,6 +65,31 @@ class BgwEngine {
       const Circuit& circuit,
       const std::vector<std::vector<int64_t>>& inputs_per_party);
 
+  /// Phases 1 + 2 only: shares inputs, evaluates every gate level, and
+  /// returns the output-wire shares unopened (so callers can, e.g., add
+  /// top-up noise shares before release). With a non-null `checkpoint`,
+  /// progress is recorded per completed multiplication level and a
+  /// previously valid checkpoint resumes instead of restarting — input
+  /// sharing is never repeated. An input-phase failure is fatal (a lost
+  /// input has no quorum to reconstruct it) and leaves the checkpoint
+  /// invalid.
+  Result<SharedVector> EvaluateToShares(
+      const Circuit& circuit,
+      const std::vector<std::vector<int64_t>>& inputs_per_party,
+      BgwCheckpoint* checkpoint = nullptr);
+
+  /// Phase 3: opens output shares to all parties and finalizes
+  /// last_report(). Uses the quorum opening path when a tracker is
+  /// attached.
+  Result<std::vector<int64_t>> OpenOutputs(const SharedVector& out_shares);
+
+  /// Attaches a shared failure detector (forwarded to the protocol layer).
+  void set_liveness(LivenessTracker* tracker) {
+    protocol_.set_liveness(tracker);
+  }
+
+  BgwProtocol& protocol() { return protocol_; }
+
   /// Report for the most recent Evaluate call.
   const BgwExecutionReport& last_report() const { return last_report_; }
 
@@ -53,6 +97,7 @@ class BgwEngine {
   BgwProtocol protocol_;
   Transport* network_;
   BgwExecutionReport last_report_;
+  NetworkStats stats_before_;  ///< Captured at fresh EvaluateToShares start.
 };
 
 }  // namespace sqm

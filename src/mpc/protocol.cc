@@ -115,6 +115,7 @@ Result<SharedVector> BgwProtocol::Mul(const SharedVector& a,
   if (a.size() != b.size() || a.num_parties() != b.num_parties()) {
     return Status::InvalidArgument("Mul: shape mismatch");
   }
+  if (liveness_ != nullptr) return MulQuorum(a, b);
   const size_t n = num_parties();
   const size_t k = a.size();
   PhaseScope phase(network_, "mul");
@@ -159,6 +160,90 @@ Result<SharedVector> BgwProtocol::Mul(const SharedVector& a,
       const Field::Element weight = degree2t_lagrange_[j];
       for (size_t i = 0; i < k; ++i) {
         acc[i] = Field::Add(acc[i], Field::Mul(weight, received[i]));
+      }
+    }
+  }
+  return out;
+}
+
+Result<SharedVector> BgwProtocol::MulQuorum(const SharedVector& a,
+                                            const SharedVector& b) {
+  const size_t n = num_parties();
+  const size_t k = a.size();
+  const size_t needed = 2 * scheme_.threshold() + 1;
+  PhaseScope phase(network_, "mul");
+
+  // Dealing: dead parties neither compute nor send (their RNG streams are
+  // independent, so skipping them leaves the survivors' randomness — and
+  // hence the recombined free coefficients — untouched). Sends to dead
+  // recipients are skipped too; a real sender has removed them from its
+  // view.
+  for (size_t j = 0; j < n; ++j) {
+    if (PartyDead(j)) continue;
+    std::vector<std::vector<Field::Element>> outbound(
+        n, std::vector<Field::Element>(k));
+    for (size_t i = 0; i < k; ++i) {
+      const Field::Element product =
+          Field::Mul(a.shares(j)[i], b.shares(j)[i]);
+      const std::vector<Field::Element> subshares =
+          scheme_.Share(product, party_rngs_[j]);
+      for (size_t r = 0; r < n; ++r) outbound[r][i] = subshares[r];
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r != j && PartyDead(r)) continue;
+      network_->Send(j, r, std::move(outbound[r]));
+    }
+  }
+  network_->EndRound();
+
+  // Collection, dealer-outer: a dealer is usable only if EVERY alive
+  // recipient received its sub-share vector — all parties must recombine
+  // with the same dealer set and weights or the result is not a consistent
+  // degree-t sharing. Payloads are buffered and only accumulated once the
+  // dealer set is final.
+  std::vector<size_t> usable;
+  std::vector<std::vector<std::vector<Field::Element>>> payloads(n);
+  for (size_t j = 0; j < n; ++j) {
+    if (PartyDead(j)) continue;
+    bool dealer_ok = true;
+    std::vector<std::vector<Field::Element>> received_rows(n);
+    for (size_t r = 0; r < n; ++r) {
+      if (r != j && PartyDead(r)) continue;
+      Result<Transport::Payload> received = network_->Receive(j, r);
+      if (!received.ok()) {
+        liveness_->RecordFailure(j, received.status().code());
+        dealer_ok = false;
+        break;
+      }
+      received_rows[r] = std::move(received).ValueOrDie();
+    }
+    if (!dealer_ok) continue;
+    liveness_->RecordSuccess(j);
+    usable.push_back(j);
+    payloads[j] = std::move(received_rows);
+  }
+
+  if (usable.size() < needed) {
+    return Status::Unavailable(
+        "Mul quorum shortfall: degree-2t recombination needs 2t+1 = " +
+        std::to_string(needed) + " dealers, only " +
+        std::to_string(usable.size()) + " of " + std::to_string(n) +
+        " delivered (dead: " + std::to_string(liveness_->num_dead()) + ")");
+  }
+
+  // Recombine over the first 2t+1 usable dealers with Lagrange weights for
+  // exactly those evaluation points. Any such subset yields the same free
+  // coefficient, so degraded outputs equal the no-crash outputs.
+  const std::vector<size_t> dealers(usable.begin(), usable.begin() + needed);
+  const std::vector<Field::Element> weights = scheme_.LagrangeAtZero(dealers);
+  SharedVector out(n, k);
+  for (size_t r = 0; r < n; ++r) {
+    if (PartyDead(r)) continue;
+    auto& acc = out.shares(r);
+    for (size_t d = 0; d < dealers.size(); ++d) {
+      const std::vector<Field::Element>& row = payloads[dealers[d]][r];
+      for (size_t i = 0; i < k; ++i) {
+        acc[i] = Field::Add(acc[i], Field::Mul(weights[d], row[i]));
       }
     }
   }
@@ -211,6 +296,135 @@ std::vector<Field::Element> BgwProtocol::Open(const SharedVector& a) {
 
 std::vector<int64_t> BgwProtocol::OpenSigned(const SharedVector& a) {
   return Field::DecodeVector(Open(a));
+}
+
+Result<SharedVector> BgwProtocol::TryShareFromParty(
+    size_t party, const std::vector<Field::Element>& values,
+    const std::string& phase_label) {
+  const size_t n = num_parties();
+  SQM_CHECK(party < n);
+  SQM_CHECK(liveness_ != nullptr);
+  if (PartyDead(party)) {
+    return Status::Unavailable("input sharing impossible: dealer party " +
+                               std::to_string(party) + " is dead");
+  }
+  PhaseScope phase(network_, phase_label);
+  std::vector<std::vector<Field::Element>> outbound(
+      n, std::vector<Field::Element>(values.size()));
+  for (size_t i = 0; i < values.size(); ++i) {
+    const std::vector<Field::Element> shares =
+        scheme_.Share(values[i], party_rngs_[party]);
+    for (size_t j = 0; j < n; ++j) outbound[j][i] = shares[j];
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (j != party && PartyDead(j)) continue;
+    network_->Send(party, j, std::move(outbound[j]));
+  }
+  network_->EndRound();
+
+  SharedVector result(n, values.size());
+  for (size_t j = 0; j < n; ++j) {
+    if (j != party && PartyDead(j)) continue;
+    Result<Transport::Payload> received = network_->Receive(party, j);
+    if (!received.ok()) {
+      liveness_->RecordFailure(party, received.status().code());
+      // A lost input is not degradable: no quorum of other parties holds
+      // the dealer's secret. Surface kUnavailable and let the caller
+      // decide whether the run can proceed without this input.
+      return Status::Unavailable(
+          "input sharing from party " + std::to_string(party) +
+          " failed (" + received.status().message() +
+          "); inputs cannot be reconstructed by a quorum");
+    }
+    result.shares(j) = std::move(received).ValueOrDie();
+  }
+  liveness_->RecordSuccess(party);
+  return result;
+}
+
+Result<std::vector<Field::Element>> BgwProtocol::TryOpen(
+    const SharedVector& a) {
+  const size_t n = num_parties();
+  SQM_CHECK(liveness_ != nullptr);
+  PhaseScope phase(network_, "open");
+  for (size_t j = 0; j < n; ++j) {
+    if (PartyDead(j)) continue;
+    for (size_t r = 0; r < n; ++r) {
+      if (r != j && PartyDead(r)) continue;
+      network_->Send(j, r, a.shares(j));
+    }
+  }
+  network_->EndRound();
+
+  // Collect each usable broadcaster's share vector and drain the other
+  // recipients' copies so no stale messages linger. A broadcaster sends the
+  // SAME vector to every recipient, so the first successfully received copy
+  // serves as everyone's view — this stays correct even when a party dies
+  // in the middle of this very round (its pending copies simply fail).
+  if (liveness_->num_alive() == 0) {
+    return Status::Unavailable("open impossible: every party is dead");
+  }
+  std::vector<bool> have(n, false);
+  std::vector<std::vector<Field::Element>> all(n);
+  for (size_t j = 0; j < n; ++j) {
+    if (PartyDead(j)) continue;
+    bool broadcaster_ok = true;
+    bool have_copy = false;
+    std::vector<Field::Element> kept;
+    for (size_t r = 0; r < n; ++r) {
+      if (r != j && PartyDead(r)) continue;
+      Result<Transport::Payload> received = network_->Receive(j, r);
+      if (!received.ok()) {
+        liveness_->RecordFailure(j, received.status().code());
+        broadcaster_ok = false;
+        break;
+      }
+      if (!have_copy) {
+        kept = std::move(received).ValueOrDie();
+        have_copy = true;
+      }
+    }
+    if (!broadcaster_ok || !have_copy) continue;
+    liveness_->RecordSuccess(j);
+    have[j] = true;
+    all[j] = std::move(kept);
+  }
+
+  std::vector<size_t> survivors;
+  for (size_t j = 0; j < n; ++j) {
+    if (have[j]) survivors.push_back(j);
+  }
+  std::vector<Field::Element> out(a.size());
+  std::vector<Field::Element> shares(n, 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j : survivors) shares[j] = all[j][i];
+    SQM_ASSIGN_OR_RETURN(
+        out[i],
+        scheme_.ReconstructFromSurvivors(shares, survivors,
+                                         scheme_.threshold()));
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> BgwProtocol::TryOpenSigned(
+    const SharedVector& a) {
+  SQM_ASSIGN_OR_RETURN(const std::vector<Field::Element> opened, TryOpen(a));
+  return Field::DecodeVector(opened);
+}
+
+size_t BgwProtocol::DrainPending() {
+  const size_t n = num_parties();
+  size_t drained = 0;
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t r = 0; r < n; ++r) {
+      while (network_->HasPending(j, r)) {
+        Result<Transport::Payload> stale = network_->Receive(j, r);
+        if (!stale.ok()) break;
+        ++drained;
+      }
+    }
+  }
+  return drained;
 }
 
 }  // namespace sqm

@@ -2,11 +2,13 @@
 #define SQM_MPC_PROTOCOL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/status.h"
 #include "mpc/field.h"
 #include "mpc/shamir.h"
+#include "net/liveness.h"
 #include "net/transport.h"
 #include "sampling/rng.h"
 
@@ -59,6 +61,17 @@ class SharedVector {
 /// `Open` assume delivery eventually succeeds (retries included) and abort
 /// on an exhausted channel, which in a correct configuration indicates a
 /// protocol bug rather than a recoverable fault.
+///
+/// Dropout tolerance: attach a LivenessTracker via set_liveness() to switch
+/// Mul into its quorum path and enable TryShareFromParty / TryOpen /
+/// TryOpenSigned. Parties the tracker declares dead are skipped entirely
+/// (no sends, no timeout windows burned), and recombination / opening
+/// interpolate over the surviving evaluation points: any 2t+1 usable
+/// dealers recombine a product to the same degree-t sharing free
+/// coefficient, so a degraded run's released values are bit-identical to
+/// the no-crash run's. Fewer than 2t+1 usable dealers fails with
+/// kUnavailable naming the quorum shortfall. Without a tracker the legacy
+/// behavior (and traffic pattern) is unchanged.
 class BgwProtocol {
  public:
   /// `network` must outlive the protocol and have the same party count as
@@ -106,9 +119,44 @@ class BgwProtocol {
   /// Convenience: opens and decodes to centered signed integers.
   std::vector<int64_t> OpenSigned(const SharedVector& a);
 
+  /// Attaches (or detaches, with nullptr) a shared failure detector. Must
+  /// outlive the protocol while attached. With a tracker, Mul runs its
+  /// quorum path and the Try* entry points become dropout-tolerant.
+  void set_liveness(LivenessTracker* tracker) { liveness_ = tracker; }
+  LivenessTracker* liveness() const { return liveness_; }
+
+  /// Dropout-tolerant input sharing. A dead dealer, or a receive failure
+  /// during the round, fails with kUnavailable — a lost *input* cannot be
+  /// degraded around (the secret is gone), only the dealing party excluded
+  /// by the caller. `phase_label` tags the traffic (e.g. "input", "topup").
+  Result<SharedVector> TryShareFromParty(
+      size_t party, const std::vector<Field::Element>& values,
+      const std::string& phase_label = "input");
+
+  /// Dropout-tolerant opening: dead parties neither broadcast nor receive,
+  /// and reconstruction interpolates over any threshold+1 usable
+  /// survivors' shares (kFailedPrecondition below that).
+  Result<std::vector<Field::Element>> TryOpen(const SharedVector& a);
+  Result<std::vector<int64_t>> TryOpenSigned(const SharedVector& a);
+
+  /// Discards every currently deliverable queued message. Called when
+  /// resuming from a checkpoint after a failed round, so stale sub-shares
+  /// from the aborted round cannot mix into the retry's fresh randomness.
+  /// Driver-mode only (single protocol-driving thread).
+  size_t DrainPending();
+
  private:
+  /// Quorum-path multiplication used when a tracker is attached.
+  Result<SharedVector> MulQuorum(const SharedVector& a,
+                                 const SharedVector& b);
+
+  bool PartyDead(size_t party) const {
+    return liveness_ != nullptr && liveness_->IsDead(party);
+  }
+
   ShamirScheme scheme_;
   Transport* network_;
+  LivenessTracker* liveness_ = nullptr;
   std::vector<Rng> party_rngs_;  // Independent randomness per party.
   std::vector<Field::Element> degree2t_lagrange_;
 };

@@ -52,7 +52,8 @@ Result<std::vector<int64_t>> SecureAggregation::Aggregate(
     const std::vector<std::vector<Field::Element>>& uploads) const {
   if (uploads.size() != num_clients_) {
     return Status::InvalidArgument(
-        "need exactly one upload per client (no-dropout protocol)");
+        "need exactly one upload per client (use AggregateWithDropouts for "
+        "missing uploads)");
   }
   const size_t length = uploads[0].size();
   std::vector<Field::Element> total(length, 0);
@@ -65,6 +66,75 @@ Result<std::vector<int64_t>> SecureAggregation::Aggregate(
     }
   }
   return Field::DecodeVector(total);
+}
+
+Result<SecureAggregation::SecAggResult>
+SecureAggregation::AggregateWithDropouts(
+    const std::vector<std::optional<std::vector<Field::Element>>>& uploads)
+    const {
+  if (uploads.size() != num_clients_) {
+    return Status::InvalidArgument("need one upload slot per client");
+  }
+  std::vector<size_t> survivors;
+  std::vector<size_t> dropped;
+  size_t length = 0;
+  for (size_t j = 0; j < num_clients_; ++j) {
+    if (uploads[j].has_value()) {
+      survivors.push_back(j);
+      length = uploads[j]->size();
+    } else {
+      dropped.push_back(j);
+    }
+  }
+  if (survivors.size() < 2) {
+    // One survivor's unmasked "sum" is its bare private vector.
+    return Status::FailedPrecondition(
+        "secure aggregation needs >= 2 survivors, have " +
+        std::to_string(survivors.size()) +
+        "; a single survivor's input would be revealed in the clear");
+  }
+  std::vector<Field::Element> total(length, 0);
+  for (size_t j : survivors) {
+    if (uploads[j]->size() != length) {
+      return Status::InvalidArgument("ragged uploads");
+    }
+    for (size_t t = 0; t < length; ++t) {
+      total[t] = Field::Add(total[t], (*uploads[j])[t]);
+    }
+  }
+  // Unmask round: each survivor reveals its pair seed towards every dropped
+  // client so the server can strip the residual masks. Masks between two
+  // dropped clients never entered an upload and need no correction.
+  if (network_ != nullptr && !dropped.empty()) {
+    PhaseScope phase(network_, "secagg_unmask");
+    for (size_t j : survivors) {
+      network_->Send(j, 0,
+                     std::vector<Field::Element>(dropped.size(), 0));
+    }
+    network_->EndRound();
+    for (size_t j : survivors) {
+      // Drain the modeled unmask messages so the transport stays clean.
+      (void)network_->Receive(j, 0);
+    }
+  }
+  for (size_t i : survivors) {
+    for (size_t d : dropped) {
+      const size_t lo = std::min(i, d);
+      const size_t hi = std::max(i, d);
+      const std::vector<Field::Element> mask = PairMask(lo, hi, length);
+      for (size_t t = 0; t < length; ++t) {
+        // Survivor i carried +m (if it is the lower endpoint) or -m; the
+        // dropped peer's cancelling term never arrived. Remove i's term.
+        total[t] = i == lo ? Field::Sub(total[t], mask[t])
+                           : Field::Add(total[t], mask[t]);
+      }
+    }
+  }
+  SecAggResult result;
+  result.sum = Field::DecodeVector(total);
+  result.survivors = std::move(survivors);
+  result.num_dropped = dropped.size();
+  return result;
 }
 
 }  // namespace sqm

@@ -2,6 +2,7 @@
 #define SQM_MPC_SECAGG_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/status.h"
@@ -17,7 +18,10 @@ namespace sqm {
 /// Each pair of clients (i, j) derives a shared mask m_ij from a common
 /// seed; client i adds +m_ij and client j adds -m_ij to its input vector,
 /// so the masks cancel in the sum and the server learns exactly
-/// sum_j x_j and nothing else (semi-honest, no dropouts).
+/// sum_j x_j and nothing else (semi-honest). Dropouts are tolerated via
+/// AggregateWithDropouts: survivors reveal their pairwise masks towards
+/// the dropped clients so the residual masks can be removed, and the
+/// server obtains the partial sum over the survivor set.
 ///
 /// Included to make the paper's gap concrete: SecAgg reveals only a LINEAR
 /// function of the clients' vectors. In VFL the function of interest is a
@@ -41,9 +45,29 @@ class SecureAggregation {
 
   /// Server-side aggregation of all clients' uploads: masks cancel,
   /// returning sum_j x_j exactly. Requires exactly one upload per client,
-  /// all of equal length.
+  /// all of equal length (use AggregateWithDropouts when uploads may be
+  /// missing).
   Result<std::vector<int64_t>> Aggregate(
       const std::vector<std::vector<Field::Element>>& uploads) const;
+
+  /// Dropout-tolerant aggregation result: the partial sum over the
+  /// survivors plus exactly who contributed.
+  struct SecAggResult {
+    std::vector<int64_t> sum;       ///< sum over survivors' inputs.
+    std::vector<size_t> survivors;  ///< Clients whose upload arrived.
+    size_t num_dropped = 0;
+  };
+
+  /// Aggregates with missing uploads (std::nullopt = dropped client).
+  /// Survivors' residual masks towards each dropped client are
+  /// reconstructed from the pair seeds and removed (the unmask round of
+  /// Bonawitz et al.; its traffic is modeled on the transport when one is
+  /// attached). Masks between two dropped clients never entered any
+  /// upload. Needs >= 2 survivors: a single survivor's "sum" would be its
+  /// bare input, which the protocol must never reveal.
+  Result<SecAggResult> AggregateWithDropouts(
+      const std::vector<std::optional<std::vector<Field::Element>>>& uploads)
+      const;
 
   size_t num_clients() const { return num_clients_; }
 

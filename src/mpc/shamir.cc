@@ -108,6 +108,44 @@ Field::Element ShamirScheme::ReconstructDegree2t(
   return acc;
 }
 
+Result<Field::Element> ShamirScheme::ReconstructFromSurvivors(
+    const std::vector<Field::Element>& shares,
+    const std::vector<size_t>& survivors, size_t degree) const {
+  SQM_CHECK(shares.size() == num_parties_);
+  const size_t needed = degree + 1;
+  std::vector<size_t> parties;
+  parties.reserve(needed);
+  for (size_t party : survivors) {
+    if (party >= num_parties_) {
+      return Status::InvalidArgument("survivor index " +
+                                     std::to_string(party) +
+                                     " out of range");
+    }
+    bool duplicate = false;
+    for (size_t seen : parties) {
+      if (seen == party) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    parties.push_back(party);
+    if (parties.size() == needed) break;
+  }
+  if (parties.size() < needed) {
+    return Status::FailedPrecondition(
+        "quorum too small for degree-" + std::to_string(degree) +
+        " reconstruction: need " + std::to_string(needed) +
+        " survivors, have " + std::to_string(parties.size()));
+  }
+  const std::vector<Field::Element> lagrange = LagrangeAtZero(parties);
+  Field::Element acc = 0;
+  for (size_t j = 0; j < parties.size(); ++j) {
+    acc = Field::Add(acc, Field::Mul(lagrange[j], shares[parties[j]]));
+  }
+  return acc;
+}
+
 std::vector<Field::Element> ShamirScheme::LagrangeAtZero(
     const std::vector<size_t>& parties) const {
   std::vector<Field::Element> coeffs(parties.size());

@@ -53,6 +53,18 @@ class ShamirScheme {
   Field::Element ReconstructDegree2t(
       const std::vector<Field::Element>& shares) const;
 
+  /// Quorum reconstruction: interpolates a degree-`degree` sharing from the
+  /// shares of the listed survivor parties only. `shares` is the full
+  /// n-length vector indexed by party; entries of non-survivors are ignored
+  /// (typically stale or missing). Needs at least degree+1 distinct valid
+  /// survivors, else fails with kFailedPrecondition naming the shortfall.
+  /// Any (degree+1)-subset of a consistent sharing yields the same secret —
+  /// this is what lets a BGW run release the exact no-crash output from a
+  /// 2t+1 quorum after dropouts.
+  Result<Field::Element> ReconstructFromSurvivors(
+      const std::vector<Field::Element>& shares,
+      const std::vector<size_t>& survivors, size_t degree) const;
+
   /// Lagrange coefficients L_j such that sum_j L_j * phi(alpha_j) = phi(0)
   /// for any polynomial phi of degree < parties.size(), where the points are
   /// alpha_{parties[j]}.

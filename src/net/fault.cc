@@ -1,5 +1,6 @@
 #include "net/fault.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/logging.h"
@@ -7,7 +8,9 @@
 namespace sqm {
 
 bool FaultOptions::any() const {
-  if (all_links.any() || crash_party != kNoCrash) return true;
+  if (all_links.any() || crash_party != kNoCrash || !crashes.empty()) {
+    return true;
+  }
   for (const auto& [from, to, faults] : per_link) {
     (void)from;
     (void)to;
@@ -16,13 +19,37 @@ bool FaultOptions::any() const {
   return false;
 }
 
+std::vector<CrashEvent> FaultOptions::EffectiveCrashes() const {
+  std::vector<CrashEvent> merged = crashes;
+  if (crash_party != kNoCrash) {
+    merged.push_back(CrashEvent{crash_party, crash_after_rounds});
+  }
+  // Deduplicate per party, keeping the earliest crash round.
+  std::vector<CrashEvent> out;
+  for (const CrashEvent& event : merged) {
+    bool found = false;
+    for (CrashEvent& existing : out) {
+      if (existing.party == event.party) {
+        existing.after_rounds =
+            std::min(existing.after_rounds, event.after_rounds);
+        found = true;
+        break;
+      }
+    }
+    if (!found) out.push_back(event);
+  }
+  return out;
+}
+
 FaultInjector::FaultInjector(size_t num_parties, FaultOptions options)
     : num_parties_(num_parties),
       options_(std::move(options)),
+      crashes_(options_.EffectiveCrashes()),
       link_faults_(num_parties * num_parties, options_.all_links) {
   SQM_CHECK(num_parties >= 1);
-  SQM_CHECK(options_.crash_party == FaultOptions::kNoCrash ||
-            options_.crash_party < num_parties);
+  for (const CrashEvent& event : crashes_) {
+    SQM_CHECK(event.party < num_parties);
+  }
   for (const auto& [from, to, faults] : options_.per_link) {
     SQM_CHECK(from < num_parties && to < num_parties);
     link_faults_[from * num_parties + to] = faults;
@@ -54,8 +81,12 @@ FaultInjector::SendFate FaultInjector::OnSend(size_t from, size_t to) {
 
 bool FaultInjector::HasCrashed(size_t party,
                                uint64_t completed_rounds) const {
-  return party == options_.crash_party &&
-         completed_rounds >= options_.crash_after_rounds;
+  for (const CrashEvent& event : crashes_) {
+    if (event.party == party && completed_rounds >= event.after_rounds) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace sqm

@@ -28,8 +28,19 @@ struct LinkFaults {
   }
 };
 
+/// One scheduled party crash: `party` stops sending once `after_rounds`
+/// communication rounds have completed. after_rounds = 0 means the party
+/// never sends at all. A crashed party's sends are silently swallowed — no
+/// retransmission possible.
+struct CrashEvent {
+  size_t party = 0;
+  uint64_t after_rounds = 0;
+};
+
 /// Fault-injection configuration for a ThreadedTransport: a default fault
-/// model for every link, per-link overrides, and an optional party crash.
+/// model for every link, per-link overrides, and any number of scheduled
+/// party crashes. LockstepTransport honors the crash schedule too (via
+/// ScheduleCrashes); the probabilistic link faults are threaded-only.
 struct FaultOptions {
   static constexpr size_t kNoCrash = std::numeric_limits<size_t>::max();
 
@@ -38,10 +49,13 @@ struct FaultOptions {
   /// (from, to, faults) overrides for specific directed links.
   std::vector<std::tuple<size_t, size_t, LinkFaults>> per_link;
 
-  /// Party that crashes, or kNoCrash. A crashed party's sends are silently
-  /// swallowed (no retransmission possible) once `crash_after_rounds`
-  /// communication rounds have completed; crash_after_rounds = 0 means the
-  /// party never sends at all.
+  /// Scheduled crashes; multiple parties may crash, at different rounds
+  /// (the quorum boundary n - d = 2t+1 vs 2t is exercised exactly this
+  /// way). A party listed twice crashes at the earliest of its rounds.
+  std::vector<CrashEvent> crashes;
+
+  /// Legacy single-crash fields, kept so existing configurations keep
+  /// working; merged into `crashes` by FaultInjector. Prefer `crashes`.
   size_t crash_party = kNoCrash;
   uint64_t crash_after_rounds = 0;
 
@@ -49,6 +63,10 @@ struct FaultOptions {
   uint64_t seed = 0x5eed;
 
   bool any() const;
+
+  /// The crash schedule with the legacy fields folded in (deduplicated per
+  /// party, keeping the earliest round).
+  std::vector<CrashEvent> EffectiveCrashes() const;
 };
 
 /// Deterministic per-link fault oracle. Each directed link owns an
@@ -74,10 +92,12 @@ class FaultInjector {
   bool HasCrashed(size_t party, uint64_t completed_rounds) const;
 
   const FaultOptions& options() const { return options_; }
+  const std::vector<CrashEvent>& crashes() const { return crashes_; }
 
  private:
   size_t num_parties_;
   FaultOptions options_;
+  std::vector<CrashEvent> crashes_;      // Effective (merged) schedule.
   std::vector<LinkFaults> link_faults_;  // n*n resolved, row-major.
   std::vector<Rng> link_rngs_;           // n*n independent streams.
   std::mutex mu_;

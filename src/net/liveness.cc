@@ -1,0 +1,105 @@
+#include "net/liveness.h"
+
+#include "core/logging.h"
+
+namespace sqm {
+
+const char* PartyLivenessToString(PartyLiveness state) {
+  switch (state) {
+    case PartyLiveness::kAlive:
+      return "alive";
+    case PartyLiveness::kSuspected:
+      return "suspected";
+    case PartyLiveness::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+LivenessTracker::LivenessTracker(size_t num_parties, LivenessOptions options)
+    : options_(options), states_(num_parties) {
+  SQM_CHECK(num_parties >= 1);
+  SQM_CHECK(options_.suspect_after >= 1);
+  SQM_CHECK(options_.dead_after >= options_.suspect_after);
+}
+
+PartyLiveness LivenessTracker::state(size_t party) const {
+  SQM_CHECK(party < states_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_[party].liveness;
+}
+
+bool LivenessTracker::IsDead(size_t party) const {
+  return state(party) == PartyLiveness::kDead;
+}
+
+void LivenessTracker::RecordFailure(size_t party, StatusCode code) {
+  SQM_CHECK(party < states_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  State& s = states_[party];
+  if (s.liveness == PartyLiveness::kDead) return;
+  if (code == StatusCode::kUnavailable) {
+    s.liveness = PartyLiveness::kDead;
+    return;
+  }
+  ++s.consecutive_failures;
+  if (s.consecutive_failures >= options_.dead_after) {
+    s.liveness = PartyLiveness::kDead;
+  } else if (s.consecutive_failures >= options_.suspect_after) {
+    s.liveness = PartyLiveness::kSuspected;
+  }
+}
+
+void LivenessTracker::RecordSuccess(size_t party) {
+  SQM_CHECK(party < states_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  State& s = states_[party];
+  if (s.liveness == PartyLiveness::kDead) return;
+  s.consecutive_failures = 0;
+  s.liveness = PartyLiveness::kAlive;
+}
+
+void LivenessTracker::MarkDead(size_t party) {
+  SQM_CHECK(party < states_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  states_[party].liveness = PartyLiveness::kDead;
+}
+
+std::vector<size_t> LivenessTracker::Survivors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<size_t> out;
+  out.reserve(states_.size());
+  for (size_t j = 0; j < states_.size(); ++j) {
+    if (states_[j].liveness != PartyLiveness::kDead) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<size_t> LivenessTracker::Dead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<size_t> out;
+  for (size_t j = 0; j < states_.size(); ++j) {
+    if (states_[j].liveness == PartyLiveness::kDead) out.push_back(j);
+  }
+  return out;
+}
+
+size_t LivenessTracker::num_alive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t alive = 0;
+  for (const State& s : states_) {
+    if (s.liveness != PartyLiveness::kDead) ++alive;
+  }
+  return alive;
+}
+
+size_t LivenessTracker::num_dead() const {
+  return states_.size() - num_alive();
+}
+
+void LivenessTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (State& s : states_) s = State{};
+}
+
+}  // namespace sqm

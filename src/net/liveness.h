@@ -1,0 +1,96 @@
+#ifndef SQM_NET_LIVENESS_H_
+#define SQM_NET_LIVENESS_H_
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sqm {
+
+/// Failure-detector verdict for one party.
+///
+/// State machine (per party, monotone towards kDead):
+///   kAlive --(timeout failures >= suspect_after)--> kSuspected
+///   kSuspected --(timeout failures >= dead_after)--> kDead
+///   kSuspected --(successful receive)--> kAlive
+///   any --(kUnavailable receive, i.e. the transport knows the peer
+///          crashed)--> kDead
+/// kDead is absorbing: a party declared dead never rejoins the run (its
+/// sends are stale and its shares must not be mixed back into a quorum).
+enum class PartyLiveness { kAlive, kSuspected, kDead };
+
+const char* PartyLivenessToString(PartyLiveness state);
+
+/// Thresholds converting per-receive failures into liveness verdicts.
+struct LivenessOptions {
+  /// Consecutive timed-out receives before a party becomes kSuspected.
+  size_t suspect_after = 1;
+  /// Consecutive timed-out receives before a suspected party is declared
+  /// kDead. kUnavailable (the transport's "peer crashed" verdict) kills
+  /// immediately regardless of this budget.
+  size_t dead_after = 2;
+};
+
+/// Shared failure detector for one protocol run.
+///
+/// Protocol layers (BgwProtocol, BgwEngine, the SQM pipeline) feed every
+/// receive outcome into one tracker, so a party declared dead during the
+/// input phase is skipped — no further timeout windows burned on it — in
+/// every later multiplication and opening round. Thread-safe: per-party
+/// threads of a ThreadedTransport run may record outcomes concurrently.
+class LivenessTracker {
+ public:
+  explicit LivenessTracker(size_t num_parties,
+                           LivenessOptions options = LivenessOptions{});
+
+  size_t num_parties() const { return states_.size(); }
+  const LivenessOptions& options() const { return options_; }
+
+  PartyLiveness state(size_t party) const;
+  bool IsDead(size_t party) const;
+
+  /// Records a failed receive whose *sender* was `party`. kUnavailable
+  /// means the transport positively knows the peer crashed: immediate
+  /// death. Any other code (kDeadlineExceeded in practice) counts against
+  /// the consecutive-failure budget.
+  void RecordFailure(size_t party, StatusCode code);
+
+  /// Records a successful receive from `party`: clears its suspicion
+  /// counter and restores kSuspected back to kAlive. A dead party stays
+  /// dead.
+  void RecordSuccess(size_t party);
+
+  /// Administrative kill (e.g. a quorum decision taken elsewhere).
+  void MarkDead(size_t party);
+
+  /// Indices of all non-dead parties, ascending. Suspected parties count
+  /// as survivors: they may still deliver, and quorum math should not give
+  /// up on them until they are positively dead.
+  std::vector<size_t> Survivors() const;
+
+  /// Indices of all dead parties, ascending.
+  std::vector<size_t> Dead() const;
+
+  size_t num_alive() const;
+  size_t num_dead() const;
+
+  /// Forgets everything (all parties alive). For reusing a tracker across
+  /// independent runs, not for resurrecting parties within one.
+  void Reset();
+
+ private:
+  struct State {
+    PartyLiveness liveness = PartyLiveness::kAlive;
+    size_t consecutive_failures = 0;
+  };
+
+  LivenessOptions options_;
+  mutable std::mutex mu_;
+  std::vector<State> states_;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_NET_LIVENESS_H_

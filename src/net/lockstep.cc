@@ -10,8 +10,30 @@ LockstepTransport::LockstepTransport(size_t num_parties,
     : Transport(num_parties, per_round_latency_seconds, element_wire_bytes),
       queues_(num_parties * num_parties) {}
 
+void LockstepTransport::ScheduleCrashes(
+    const std::vector<CrashEvent>& crashes) {
+  for (const CrashEvent& event : crashes) {
+    SQM_CHECK(event.party < num_parties());
+  }
+  crashes_ = crashes;
+}
+
+bool LockstepTransport::HasCrashed(size_t party) const {
+  const uint64_t completed_rounds = stats().rounds;
+  for (const CrashEvent& event : crashes_) {
+    if (event.party == party && completed_rounds >= event.after_rounds) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void LockstepTransport::Send(size_t from, size_t to, Payload payload) {
   CheckParty(from, to);
+  if (from != to && HasCrashed(from)) {
+    RecordCrashLoss();
+    return;
+  }
   if (from != to) RecordSend(from, to, payload.size());
   queues_[ChannelIndex(from, to)].push_back(std::move(payload));
 }
@@ -20,6 +42,11 @@ Result<Transport::Payload> LockstepTransport::Receive(size_t from,
                                                       size_t to) {
   CheckParty(from, to);
   auto& queue = queues_[ChannelIndex(from, to)];
+  if (queue.empty() && from != to && HasCrashed(from)) {
+    return Status::Unavailable("party " + std::to_string(from) +
+                               " crashed; channel " + std::to_string(from) +
+                               " -> " + std::to_string(to) + " is dead");
+  }
   if (queue.empty()) {
     return Status::FailedPrecondition(
         "receive with no pending message on channel " +

@@ -3,6 +3,7 @@
 
 #include <deque>
 
+#include "net/fault.h"
 #include "net/transport.h"
 
 namespace sqm {
@@ -25,13 +26,23 @@ class LockstepTransport : public Transport {
   Result<Payload> Receive(size_t from, size_t to) override;
   bool HasPending(size_t from, size_t to) const override;
 
+  /// Installs a crash schedule (the only component of FaultOptions lockstep
+  /// honors; probabilistic link faults need the threaded transport). A
+  /// crashed party's sends are swallowed (counted as crash losses); a
+  /// Receive from a crashed party with nothing queued returns kUnavailable
+  /// — messages it sent before crashing remain deliverable.
+  void ScheduleCrashes(const std::vector<CrashEvent>& crashes);
+
   /// Zeroes counters; warns (and returns the count) when undelivered
   /// messages are discarded, since that usually flags a protocol bug or a
-  /// test that did not drain its rounds.
+  /// test that did not drain its rounds. Keeps the crash schedule.
   size_t Reset() override;
 
  private:
+  bool HasCrashed(size_t party) const;
+
   std::vector<std::deque<Payload>> queues_;
+  std::vector<CrashEvent> crashes_;
 };
 
 }  // namespace sqm

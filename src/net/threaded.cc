@@ -186,17 +186,23 @@ void ThreadedTransport::ArriveRound(size_t party) {
 }
 
 size_t ThreadedTransport::Reset() {
+  // Atomic reset: hold every mailbox lock while draining and zeroing the
+  // counters, so a concurrent sender can neither land a message in an
+  // already-drained box nor be charged against pre-reset accounting. Only
+  // Reset ever takes more than one mailbox lock, and it does so in a fixed
+  // (channel-index) order, so this cannot deadlock against Send/Receive.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(mailboxes_.size());
+  for (auto& box : mailboxes_) {
+    locks.emplace_back(box->mu);
+  }
   size_t dropped = 0;
   for (auto& box : mailboxes_) {
-    std::lock_guard<std::mutex> lock(box->mu);
+    // Dropped count = undelivered queue entries + parked retransmissions,
+    // matching LockstepTransport's "every undelivered message" convention.
     dropped += box->queue.size() + box->retransmit.size();
     box->queue.clear();
     box->retransmit.clear();
-    box->space.notify_all();
-  }
-  if (dropped > 0) {
-    SQM_LOG(kWarning) << "ThreadedTransport::Reset dropped " << dropped
-                      << " undelivered message(s)";
   }
   {
     std::lock_guard<std::mutex> lock(round_mu_);
@@ -204,6 +210,14 @@ size_t ThreadedTransport::Reset() {
   }
   completed_rounds_.store(0, std::memory_order_release);
   ResetAccounting();
+  for (size_t i = 0; i < mailboxes_.size(); ++i) {
+    locks[i].unlock();
+    mailboxes_[i]->space.notify_all();
+  }
+  if (dropped > 0) {
+    SQM_LOG(kWarning) << "ThreadedTransport::Reset dropped " << dropped
+                      << " undelivered message(s)";
+  }
   return dropped;
 }
 

@@ -74,7 +74,12 @@ class Transport {
   virtual void EndRound();
 
   /// Drops undelivered messages and zeroes all counters; returns how many
-  /// messages were dropped (logging a warning when nonzero).
+  /// messages were dropped (logging a warning when nonzero). The dropped
+  /// count uniformly includes every undelivered message — queued entries
+  /// plus any retransmission buffers — across implementations, and the
+  /// drain + counter reset is atomic with respect to concurrent senders:
+  /// a message is either counted in pre-reset traffic and dropped, or
+  /// lands after the reset with fresh accounting, never half of each.
   virtual size_t Reset() = 0;
 
   /// Simulated communication time so far (rounds * per-round latency).

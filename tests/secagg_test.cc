@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include <optional>
 #include <set>
 
 #include "sampling/rng.h"
@@ -103,6 +104,67 @@ TEST(SecAggTest, CannotExpressCrossClientProducts) {
   // (1, 4) and (2, 3): same aggregate 5, products 4 vs 6 — a linear
   // aggregation of per-client values cannot distinguish them.
   EXPECT_EQ(run(1, 4), run(2, 3));
+}
+
+TEST(SecAggTest, DropoutsYieldPartialSumOverSurvivors) {
+  constexpr size_t kClients = 6;
+  SecureAggregation secagg(kClients, 21);
+  std::vector<std::optional<std::vector<Field::Element>>> uploads(kClients);
+  std::vector<int64_t> expected(3, 0);
+  Rng rng(4);
+  for (size_t j = 0; j < kClients; ++j) {
+    std::vector<int64_t> values(3);
+    for (auto& v : values) {
+      v = static_cast<int64_t>(rng.NextBounded(2001)) - 1000;
+    }
+    if (j == 1 || j == 4) continue;  // Clients 1 and 4 drop out.
+    for (size_t t = 0; t < 3; ++t) expected[t] += values[t];
+    uploads[j] = secagg.MaskedUpload(j, values).ValueOrDie();
+  }
+  const auto result = secagg.AggregateWithDropouts(uploads).ValueOrDie();
+  EXPECT_EQ(result.sum, expected);
+  EXPECT_EQ(result.survivors, (std::vector<size_t>{0, 2, 3, 5}));
+  EXPECT_EQ(result.num_dropped, 2u);
+}
+
+TEST(SecAggTest, NoDropoutsMatchesPlainAggregate) {
+  SecureAggregation secagg(4, 31);
+  std::vector<std::vector<Field::Element>> plain;
+  std::vector<std::optional<std::vector<Field::Element>>> optional;
+  for (size_t j = 0; j < 4; ++j) {
+    const auto upload =
+        secagg.MaskedUpload(j, {int64_t(j) + 1, -int64_t(j)}).ValueOrDie();
+    plain.push_back(upload);
+    optional.emplace_back(upload);
+  }
+  const auto result = secagg.AggregateWithDropouts(optional).ValueOrDie();
+  EXPECT_EQ(result.sum, secagg.Aggregate(plain).ValueOrDie());
+  EXPECT_EQ(result.num_dropped, 0u);
+}
+
+TEST(SecAggTest, SingleSurvivorIsRefused) {
+  // Unmasking down to one survivor would reveal its bare input.
+  SecureAggregation secagg(3, 41);
+  std::vector<std::optional<std::vector<Field::Element>>> uploads(3);
+  uploads[2] = secagg.MaskedUpload(2, {99}).ValueOrDie();
+  const auto result = secagg.AggregateWithDropouts(uploads);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SecAggTest, UnmaskTrafficAccountedWhenNetworkAttached) {
+  SimulatedNetwork network(5, 0.0);
+  SecureAggregation secagg(5, 51, &network);
+  std::vector<std::optional<std::vector<Field::Element>>> uploads(5);
+  for (size_t j = 0; j < 5; ++j) {
+    if (j == 3) continue;
+    uploads[j] = secagg.MaskedUpload(j, {7, 8}).ValueOrDie();
+  }
+  const auto before = network.stats();
+  ASSERT_TRUE(secagg.AggregateWithDropouts(uploads).ok());
+  // One unmask message per survivor towards the server; survivor 0 is the
+  // server itself (self-send, not counted).
+  EXPECT_EQ(network.stats().messages - before.messages, 3u);
 }
 
 TEST(SecAggTest, TrafficAccountedWhenNetworkAttached) {

@@ -101,6 +101,74 @@ TEST(ShamirTest, Degree2tReconstructionOfShareProducts) {
   EXPECT_EQ(Field::Decode(scheme.ReconstructDegree2t(products)), -84);
 }
 
+TEST(ShamirTest, EveryQuorumSubsetReconstructsTheSameProduct) {
+  // Quorum property behind dropout-tolerant BGW: a degree-2t sharing (the
+  // local products of two degree-t sharings) reconstructs to the SAME
+  // secret from every (2t+1)-subset of the n evaluation points.
+  constexpr size_t kParties = 7;
+  constexpr size_t kThreshold = 2;  // 2t+1 = 5 of 7.
+  ShamirScheme scheme(kParties, kThreshold);
+  Rng rng(7);
+  const auto sa = scheme.Share(Field::Encode(1234), rng);
+  const auto sb = scheme.Share(Field::Encode(-567), rng);
+  std::vector<Field::Element> products(kParties);
+  for (size_t j = 0; j < kParties; ++j) {
+    products[j] = Field::Mul(sa[j], sb[j]);
+  }
+  const int64_t expected = 1234 * -567;
+  size_t subsets = 0;
+  // Enumerate all (7 choose 5) = 21 survivor subsets via the complement
+  // (the two dropped parties).
+  for (size_t d1 = 0; d1 < kParties; ++d1) {
+    for (size_t d2 = d1 + 1; d2 < kParties; ++d2) {
+      std::vector<size_t> survivors;
+      for (size_t j = 0; j < kParties; ++j) {
+        if (j != d1 && j != d2) survivors.push_back(j);
+      }
+      const auto value = scheme.ReconstructFromSurvivors(
+          products, survivors, 2 * kThreshold);
+      ASSERT_TRUE(value.ok());
+      EXPECT_EQ(Field::Decode(value.ValueOrDie()), expected);
+      ++subsets;
+    }
+  }
+  EXPECT_EQ(subsets, 21u);
+}
+
+TEST(ShamirTest, QuorumOfOnly2tSharesFailsWithFailedPrecondition) {
+  ShamirScheme scheme(7, 2);
+  Rng rng(8);
+  const auto sa = scheme.Share(Field::Encode(5), rng);
+  const auto sb = scheme.Share(Field::Encode(9), rng);
+  std::vector<Field::Element> products(7);
+  for (size_t j = 0; j < 7; ++j) products[j] = Field::Mul(sa[j], sb[j]);
+  // 2t = 4 survivors: one short of the 2t+1 quorum.
+  const auto value =
+      scheme.ReconstructFromSurvivors(products, {0, 2, 4, 6}, 4);
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(value.status().message().find("need 5"), std::string::npos);
+  EXPECT_NE(value.status().message().find("have 4"), std::string::npos);
+}
+
+TEST(ShamirTest, SurvivorReconstructionValidatesInput) {
+  ShamirScheme scheme(5, 2);
+  Rng rng(9);
+  const auto shares = scheme.Share(Field::Encode(11), rng);
+  // Out-of-range survivor index.
+  EXPECT_FALSE(
+      scheme.ReconstructFromSurvivors(shares, {0, 1, 9}, 2).ok());
+  // Duplicates do not count twice towards the quorum.
+  const auto dup =
+      scheme.ReconstructFromSurvivors(shares, {0, 0, 1}, 2);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kFailedPrecondition);
+  // Degree-t reconstruction from t+1 survivors works on any subset.
+  const auto value = scheme.ReconstructFromSurvivors(shares, {4, 2, 0}, 2);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(Field::Decode(value.ValueOrDie()), 11);
+}
+
 TEST(ShamirTest, LagrangeCoefficientsSumToOneForConstantPolynomial) {
   // For the constant polynomial phi == 1 every share is 1, so the Lagrange
   // weights must sum to 1.
