@@ -1,8 +1,12 @@
 #include "core/report_io.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 namespace sqm {
 
@@ -117,7 +121,315 @@ JsonWriter& JsonWriter::Value(bool value) {
   return *this;
 }
 
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
 namespace {
+
+/// Recursive-descent JSON parser. Depth-limited so adversarial nesting
+/// fails with a Status instead of exhausting the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    SkipWhitespace();
+    JsonValue value;
+    SQM_RETURN_NOT_OK(ParseValue(0, &value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing garbage after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr size_t kMaxDepth = 256;
+
+  Status Error(const std::string& what) const {
+    return Status::IoError("JSON parse error at byte " +
+                           std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(size_t depth, JsonValue* out) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(depth, out);
+      case '[':
+        return ParseArray(depth, out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+      case 'f':
+        return ParseKeyword(out);
+      case 'n':
+        return ParseKeyword(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseKeyword(JsonValue* out) {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      pos_ += 5;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return Status::OK();
+    }
+    return Error("unrecognized token");
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // the writer never emits them).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) out->is_negative = true;
+    bool integral = true;
+    if (pos_ >= text_.size() || !std::isdigit(
+            static_cast<unsigned char>(text_[pos_]))) {
+      return Error("expected a digit");
+    }
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      return Error("leading zero in number");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    const size_t int_end = pos_;
+    if (Consume('.')) {
+      integral = false;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("expected a digit after '.'");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("expected a digit in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string lexeme = text_.substr(start, pos_ - start);
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(lexeme.c_str(), nullptr);
+    if (integral) {
+      // Exact 64-bit integer path: field elements exceed double precision.
+      const std::string digits =
+          text_.substr(start + (out->is_negative ? 1 : 0),
+                       int_end - start - (out->is_negative ? 1 : 0));
+      errno = 0;
+      const uint64_t magnitude = std::strtoull(digits.c_str(), nullptr, 10);
+      if (errno != ERANGE) {
+        out->is_integer = true;
+        out->uint_value = magnitude;
+        if (!out->is_negative &&
+            magnitude <= static_cast<uint64_t>(
+                             std::numeric_limits<int64_t>::max())) {
+          out->int_value = static_cast<int64_t>(magnitude);
+        } else if (out->is_negative &&
+                   magnitude <= static_cast<uint64_t>(
+                                    std::numeric_limits<int64_t>::max()) +
+                                    1) {
+          out->int_value = static_cast<int64_t>(-magnitude);
+        } else if (out->is_negative) {
+          out->is_integer = false;  // Below int64 range.
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseArray(size_t depth, JsonValue* out) {
+    Consume('[');
+    out->kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue item;
+      SkipWhitespace();
+      SQM_RETURN_NOT_OK(ParseValue(depth + 1, &item));
+      out->items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(size_t depth, JsonValue* out) {
+    Consume('{');
+    out->kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      SQM_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      SkipWhitespace();
+      SQM_RETURN_NOT_OK(ParseValue(depth + 1, &value));
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Structured accessors for reloading reports: every mismatch is a Status
+/// naming the offending key, never a crash.
+Status RequireKind(const JsonValue& value, JsonValue::Kind kind,
+                   const std::string& what) {
+  if (value.kind != kind) {
+    return Status::IoError("JSON field \"" + what +
+                           "\" has the wrong type");
+  }
+  return Status::OK();
+}
+
+Result<const JsonValue*> RequireMember(const JsonValue& object,
+                                       const std::string& key) {
+  const JsonValue* member = object.Find(key);
+  if (member == nullptr) {
+    return Status::IoError("JSON object is missing required key \"" + key +
+                           "\"");
+  }
+  return member;
+}
+
+Result<double> NumberField(const JsonValue& object, const std::string& key) {
+  SQM_ASSIGN_OR_RETURN(const JsonValue* member, RequireMember(object, key));
+  if (member->kind == JsonValue::Kind::kNull) return 0.0;  // NaN/Inf.
+  SQM_RETURN_NOT_OK(RequireKind(*member, JsonValue::Kind::kNumber, key));
+  return member->number;
+}
+
+Result<uint64_t> UintField(const JsonValue& object, const std::string& key) {
+  SQM_ASSIGN_OR_RETURN(const JsonValue* member, RequireMember(object, key));
+  SQM_RETURN_NOT_OK(RequireKind(*member, JsonValue::Kind::kNumber, key));
+  if (!member->is_integer || member->is_negative) {
+    return Status::IoError("JSON field \"" + key +
+                           "\" is not an unsigned integer");
+  }
+  return member->uint_value;
+}
+
+Result<int64_t> IntElement(const JsonValue& value, const std::string& what) {
+  SQM_RETURN_NOT_OK(RequireKind(value, JsonValue::Kind::kNumber, what));
+  if (!value.is_integer) {
+    return Status::IoError("JSON field \"" + what +
+                           "\" is not a 64-bit integer");
+  }
+  return value.int_value;
+}
 
 void WriteNetworkStatsFields(JsonWriter& writer, const NetworkStats& stats) {
   writer.Field("messages", stats.messages)
@@ -233,6 +545,109 @@ std::string SqmReportToJson(const SqmReport& report) {
       .EndObject();
   writer.EndObject();
   return writer.str();
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  JsonParser parser(text);
+  return parser.ParseDocument();
+}
+
+Result<SqmReport> SqmReportFromJson(const std::string& json) {
+  SQM_ASSIGN_OR_RETURN(const JsonValue root, ParseJson(json));
+  SQM_RETURN_NOT_OK(RequireKind(root, JsonValue::Kind::kObject, "<root>"));
+  SqmReport report;
+
+  SQM_ASSIGN_OR_RETURN(const JsonValue* estimate,
+                       RequireMember(root, "estimate"));
+  SQM_RETURN_NOT_OK(
+      RequireKind(*estimate, JsonValue::Kind::kArray, "estimate"));
+  for (const JsonValue& item : estimate->items) {
+    SQM_RETURN_NOT_OK(
+        RequireKind(item, JsonValue::Kind::kNumber, "estimate[i]"));
+    report.estimate.push_back(item.number);
+  }
+
+  SQM_ASSIGN_OR_RETURN(const JsonValue* raw, RequireMember(root, "raw"));
+  SQM_RETURN_NOT_OK(RequireKind(*raw, JsonValue::Kind::kArray, "raw"));
+  for (const JsonValue& item : raw->items) {
+    SQM_ASSIGN_OR_RETURN(const int64_t v, IntElement(item, "raw[i]"));
+    report.raw.push_back(v);
+  }
+
+  SQM_ASSIGN_OR_RETURN(const JsonValue* timing,
+                       RequireMember(root, "timing"));
+  SQM_RETURN_NOT_OK(RequireKind(*timing, JsonValue::Kind::kObject, "timing"));
+  SQM_ASSIGN_OR_RETURN(report.timing.quantize_seconds,
+                       NumberField(*timing, "quantize_seconds"));
+  SQM_ASSIGN_OR_RETURN(report.timing.noise_sampling_seconds,
+                       NumberField(*timing, "noise_sampling_seconds"));
+  SQM_ASSIGN_OR_RETURN(report.timing.mpc_compute_seconds,
+                       NumberField(*timing, "mpc_compute_seconds"));
+  SQM_ASSIGN_OR_RETURN(report.timing.simulated_network_seconds,
+                       NumberField(*timing, "simulated_network_seconds"));
+  SQM_ASSIGN_OR_RETURN(report.timing.noise_injection_seconds,
+                       NumberField(*timing, "noise_injection_seconds"));
+
+  SQM_ASSIGN_OR_RETURN(const JsonValue* network,
+                       RequireMember(root, "network"));
+  SQM_RETURN_NOT_OK(
+      RequireKind(*network, JsonValue::Kind::kObject, "network"));
+  SQM_ASSIGN_OR_RETURN(report.network.messages,
+                       UintField(*network, "messages"));
+  SQM_ASSIGN_OR_RETURN(report.network.field_elements,
+                       UintField(*network, "field_elements"));
+  SQM_ASSIGN_OR_RETURN(report.network.rounds, UintField(*network, "rounds"));
+
+  SQM_ASSIGN_OR_RETURN(const JsonValue* dropout,
+                       RequireMember(root, "dropout"));
+  SQM_RETURN_NOT_OK(
+      RequireKind(*dropout, JsonValue::Kind::kObject, "dropout"));
+  SQM_ASSIGN_OR_RETURN(const JsonValue* policy,
+                       RequireMember(*dropout, "policy"));
+  SQM_RETURN_NOT_OK(
+      RequireKind(*policy, JsonValue::Kind::kString, "dropout.policy"));
+  SQM_ASSIGN_OR_RETURN(report.dropout.policy,
+                       DropoutPolicyFromString(policy->string_value));
+  SQM_ASSIGN_OR_RETURN(const uint64_t num_parties,
+                       UintField(*dropout, "num_parties"));
+  report.dropout.num_parties = static_cast<size_t>(num_parties);
+  SQM_ASSIGN_OR_RETURN(const uint64_t num_dropped,
+                       UintField(*dropout, "num_dropped"));
+  report.dropout.num_dropped = static_cast<size_t>(num_dropped);
+  SQM_ASSIGN_OR_RETURN(const JsonValue* survivors,
+                       RequireMember(*dropout, "survivors"));
+  SQM_RETURN_NOT_OK(RequireKind(*survivors, JsonValue::Kind::kArray,
+                                "dropout.survivors"));
+  for (const JsonValue& item : survivors->items) {
+    SQM_ASSIGN_OR_RETURN(const int64_t j,
+                         IntElement(item, "dropout.survivors[i]"));
+    if (j < 0) {
+      return Status::IoError("dropout.survivors[i] is negative");
+    }
+    report.dropout.survivors.push_back(static_cast<size_t>(j));
+  }
+  SQM_ASSIGN_OR_RETURN(report.dropout.configured_mu,
+                       NumberField(*dropout, "configured_mu"));
+  SQM_ASSIGN_OR_RETURN(report.dropout.realized_mu,
+                       NumberField(*dropout, "realized_mu"));
+  SQM_ASSIGN_OR_RETURN(report.dropout.topup_mu,
+                       NumberField(*dropout, "topup_mu"));
+  SQM_ASSIGN_OR_RETURN(report.dropout.configured_epsilon,
+                       NumberField(*dropout, "configured_epsilon"));
+  SQM_ASSIGN_OR_RETURN(report.dropout.realized_epsilon,
+                       NumberField(*dropout, "realized_epsilon"));
+  SQM_ASSIGN_OR_RETURN(report.dropout.delta,
+                       NumberField(*dropout, "delta"));
+  SQM_ASSIGN_OR_RETURN(report.dropout.best_alpha,
+                       NumberField(*dropout, "best_alpha"));
+  SQM_ASSIGN_OR_RETURN(const uint64_t mpc_attempts,
+                       UintField(*dropout, "mpc_attempts"));
+  report.dropout.mpc_attempts = static_cast<size_t>(mpc_attempts);
+  SQM_ASSIGN_OR_RETURN(const uint64_t resumed_from_level,
+                       UintField(*dropout, "resumed_from_level"));
+  report.dropout.resumed_from_level =
+      static_cast<size_t>(resumed_from_level);
+  return report;
 }
 
 }  // namespace sqm

@@ -1,7 +1,9 @@
 #ifndef SQM_CORE_REPORT_IO_H_
 #define SQM_CORE_REPORT_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/sqm.h"
@@ -11,8 +13,8 @@ namespace sqm {
 /// Minimal JSON writer used to persist experiment artifacts — release
 /// reports, timing breakdowns, network counters — so downstream analysis
 /// (plotting the reproduced figures, regression-tracking the tables) does
-/// not have to scrape stdout. Writes only; the library has no JSON
-/// consumer.
+/// not have to scrape stdout. ParseJson below is the matching consumer,
+/// used to reload reports and transcripts for replay.
 class JsonWriter {
  public:
   JsonWriter();
@@ -47,9 +49,44 @@ class JsonWriter {
   std::vector<bool> needs_comma_;
 };
 
+/// A parsed JSON value. Numbers keep their exact integer representation
+/// alongside the double: field elements go up to 2^61 - 2, beyond double's
+/// 2^53 of integer precision, so a transcript round-tripped through the
+/// double would silently corrupt shares.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+
+  double number = 0.0;      ///< Numeric value (lossy above 2^53).
+  bool is_integer = false;  ///< Lexically integral and within 64-bit range.
+  bool is_negative = false;
+  uint64_t uint_value = 0;  ///< Magnitude when is_integer.
+  int64_t int_value = 0;    ///< Signed value when is_integer & representable.
+
+  std::string string_value;
+  std::vector<JsonValue> items;  ///< kArray elements.
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject.
+
+  /// First member with the given key, or nullptr (object only).
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Malformed input fails with kIoError naming the
+/// byte offset — never a crash.
+Result<JsonValue> ParseJson(const std::string& text);
+
 /// Serializes an SQM release report (estimates, raw integers, timing,
 /// network counters, transport breakdowns) to a JSON object.
 std::string SqmReportToJson(const SqmReport& report);
+
+/// Reloads a report written by SqmReportToJson: estimate, raw, timing,
+/// network and dropout blocks (transport breakdowns are not reloaded).
+/// Malformed or structurally wrong documents fail with a Status, never a
+/// crash.
+Result<SqmReport> SqmReportFromJson(const std::string& json);
 
 /// Serializes network counters alone.
 std::string NetworkStatsToJson(const NetworkStats& stats);

@@ -53,6 +53,14 @@ const char* DropoutPolicyToString(DropoutPolicy policy) {
   return "unknown";
 }
 
+Result<DropoutPolicy> DropoutPolicyFromString(const std::string& name) {
+  if (name == "abort") return DropoutPolicy::kAbort;
+  if (name == "degrade") return DropoutPolicy::kDegrade;
+  if (name == "topup") return DropoutPolicy::kTopUp;
+  return Status::InvalidArgument("unknown dropout policy \"" + name +
+                                 "\" (expected abort, degrade, or topup)");
+}
+
 SqmEvaluator::SqmEvaluator(SqmOptions options)
     : options_(std::move(options)) {}
 
@@ -313,10 +321,15 @@ Result<SqmReport> SqmEvaluator::EvaluateBgw(
     lockstep->ScheduleCrashes(options_.threaded.faults.EffectiveCrashes());
     network = std::move(lockstep);
   }
+  if (options_.interceptor != nullptr) {
+    network->SetInterceptor(options_.interceptor);
+  }
   BgwEngine engine(ShamirScheme(num_clients, threshold), network.get(),
                    options_.seed ^ 0xb9d7);
-
   const DropoutPolicy policy = options_.dropout_policy;
+  if (options_.verify_sharings && policy == DropoutPolicy::kAbort) {
+    engine.set_verify_sharings(true);
+  }
   const size_t quorum = 2 * threshold + 1;
   LivenessTracker tracker(num_clients);
   if (policy != DropoutPolicy::kAbort) engine.set_liveness(&tracker);

@@ -10,6 +10,7 @@
 #include "math/matrix.h"
 #include "mpc/network.h"
 #include "net/threaded.h"
+#include "net/transport.h"
 #include "poly/polynomial.h"
 
 namespace sqm {
@@ -41,6 +42,9 @@ enum class DropoutPolicy {
 };
 
 const char* DropoutPolicyToString(DropoutPolicy policy);
+
+/// Inverse of DropoutPolicyToString; kInvalidArgument on unknown names.
+Result<DropoutPolicy> DropoutPolicyFromString(const std::string& name);
 
 /// Parameters of one SQM invocation (Algorithms 1 and 3).
 struct SqmOptions {
@@ -115,6 +119,21 @@ struct SqmOptions {
   /// exceed the field's centered range (silent wrap would corrupt results
   /// and void the DP analysis).
   bool check_capacity = true;
+
+  /// Adversarial-conformance hooks (testing only; both default off so
+  /// production runs are byte-identical to before).
+  ///
+  /// `interceptor` is installed on the internally constructed transport for
+  /// the BGW phase — e.g. a testing::ByzantineInterceptor tampering with
+  /// wire messages, or a testing::TranscriptRecorder capturing them. Must
+  /// outlive the Evaluate call.
+  MessageInterceptor* interceptor = nullptr;
+
+  /// Enables the BGW conformance checks (see BgwEngine::set_verify_sharings)
+  /// so a tampered run fails with kIntegrityViolation instead of releasing
+  /// a silently wrong estimate. Only honored under DropoutPolicy::kAbort —
+  /// the quorum paths have their own share-selection semantics.
+  bool verify_sharings = false;
 };
 
 /// Timing breakdown of one SQM invocation, mirroring the columns of

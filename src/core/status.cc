@@ -27,6 +27,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kIntegrityViolation:
+      return "IntegrityViolation";
   }
   return "Unknown";
 }

@@ -23,6 +23,9 @@ enum class StatusCode : int8_t {
   kIoError = 7,           ///< Filesystem / parsing failure.
   kDeadlineExceeded = 8,  ///< A blocking operation ran out of time.
   kUnavailable = 9,       ///< The peer is gone (e.g. crashed party).
+  kIntegrityViolation = 10,  ///< Received data fails a conformance check
+                             ///< (inconsistent sharing, bad digest): a
+                             ///< faulty or byzantine peer, never proceed.
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -69,6 +72,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status IntegrityViolation(std::string msg) {
+    return Status(StatusCode::kIntegrityViolation, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

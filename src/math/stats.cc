@@ -85,4 +85,58 @@ double Variance(const std::vector<int64_t>& values) {
   return Variance(ToDouble(values));
 }
 
+namespace {
+
+/// Lower regularized gamma P(a, x) by series: converges fast for x < a+1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Upper regularized gamma Q(a, x) by modified Lentz continued fraction:
+/// converges fast for x >= a+1.
+double GammaQContinuedFraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaQ(double a, double x) {
+  if (!(a > 0.0) || x < 0.0) return std::nan("");
+  if (x == 0.0) return 1.0;
+  return x < a + 1.0 ? 1.0 - GammaPSeries(a, x)
+                     : GammaQContinuedFraction(a, x);
+}
+
+double ChiSquarePValue(double statistic, double dof) {
+  if (dof <= 0.0) return std::nan("");
+  if (statistic <= 0.0) return 1.0;
+  return RegularizedGammaQ(dof / 2.0, statistic / 2.0);
+}
+
 }  // namespace sqm

@@ -31,6 +31,19 @@ double ExcessKurtosis(const std::vector<double>& values);
 double Mean(const std::vector<int64_t>& values);
 double Variance(const std::vector<int64_t>& values);
 
+/// Regularized upper incomplete gamma function Q(a, x) = Γ(a, x) / Γ(a),
+/// a > 0, x >= 0. Series expansion for x < a + 1, Lentz continued
+/// fraction otherwise (the classical gammp/gammq split). Accurate to
+/// ~1e-12, which is far below any significance level the conformance
+/// tests use.
+double RegularizedGammaQ(double a, double x);
+
+/// Survival function of the chi-square distribution: P(X > statistic)
+/// with `dof` degrees of freedom. This is the p-value of a Pearson
+/// goodness-of-fit statistic; the distributional conformance suite
+/// (ctest -L stats) rejects when it falls below a fixed significance.
+double ChiSquarePValue(double statistic, double dof);
+
 }  // namespace sqm
 
 #endif  // SQM_MATH_STATS_H_

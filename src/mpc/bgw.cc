@@ -61,6 +61,10 @@ Result<SharedVector> BgwEngine::EvaluateToShares(
         SQM_ASSIGN_OR_RETURN(
             shared, protocol_.TryShareFromParty(
                         j, Field::EncodeVector(inputs_per_party[j])));
+      } else if (protocol_.verify_sharings()) {
+        SQM_ASSIGN_OR_RETURN(
+            shared, protocol_.ShareFromPartyChecked(
+                        j, Field::EncodeVector(inputs_per_party[j])));
       } else {
         shared = protocol_.ShareFromParty(
             j, Field::EncodeVector(inputs_per_party[j]));
@@ -196,6 +200,8 @@ Result<std::vector<int64_t>> BgwEngine::OpenOutputs(
   std::vector<int64_t> outputs;
   if (protocol_.liveness() != nullptr) {
     SQM_ASSIGN_OR_RETURN(outputs, protocol_.TryOpenSigned(out_shares));
+  } else if (protocol_.verify_sharings()) {
+    SQM_ASSIGN_OR_RETURN(outputs, protocol_.OpenSignedChecked(out_shares));
   } else {
     outputs = protocol_.OpenSigned(out_shares);
   }

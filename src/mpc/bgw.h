@@ -88,6 +88,16 @@ class BgwEngine {
     protocol_.set_liveness(tracker);
   }
 
+  /// Enables conformance verification (forwarded to the protocol layer):
+  /// input sharing, multiplication outputs, and opening all check
+  /// degree-consistency and broadcast agreement, turning any single-message
+  /// wire tamper into a descriptive kIntegrityViolation. Ignored on code
+  /// paths that run with a liveness tracker (the quorum paths have their
+  /// own share-selection semantics).
+  void set_verify_sharings(bool verify) {
+    protocol_.set_verify_sharings(verify);
+  }
+
   BgwProtocol& protocol() { return protocol_; }
 
   /// Report for the most recent Evaluate call.

@@ -156,12 +156,24 @@ Result<SharedVector> BgwProtocol::Mul(const SharedVector& a,
       // multiplication gracefully — the caller decides how to recover.
       SQM_ASSIGN_OR_RETURN(const std::vector<Field::Element> received,
                            network_->Receive(j, r));
+      if (received.size() != k) {
+        // A wrong-length sub-share batch means the channel is desynced —
+        // a replayed or stale message — and must never be recombined.
+        return Status::IntegrityViolation(
+            "Mul sub-share batch from dealer " + std::to_string(j) +
+            " to party " + std::to_string(r) + " has " +
+            std::to_string(received.size()) + " elements, expected " +
+            std::to_string(k) + " (replayed or stale message)");
+      }
       if (j >= needed) continue;
       const Field::Element weight = degree2t_lagrange_[j];
       for (size_t i = 0; i < k; ++i) {
         acc[i] = Field::Add(acc[i], Field::Mul(weight, received[i]));
       }
     }
+  }
+  if (verify_sharings_) {
+    SQM_RETURN_NOT_OK(VerifySharing(out, "Mul output"));
   }
   return out;
 }
@@ -215,6 +227,14 @@ Result<SharedVector> BgwProtocol::MulQuorum(const SharedVector& a,
         dealer_ok = false;
         break;
       }
+      if (received.ValueOrDie().size() != k) {
+        return Status::IntegrityViolation(
+            "quorum Mul sub-share batch from dealer " + std::to_string(j) +
+            " to party " + std::to_string(r) + " has " +
+            std::to_string(received.ValueOrDie().size()) +
+            " elements, expected " + std::to_string(k) +
+            " (replayed or stale message)");
+      }
       received_rows[r] = std::move(received).ValueOrDie();
     }
     if (!dealer_ok) continue;
@@ -246,6 +266,9 @@ Result<SharedVector> BgwProtocol::MulQuorum(const SharedVector& a,
         acc[i] = Field::Add(acc[i], Field::Mul(weights[d], row[i]));
       }
     }
+  }
+  if (verify_sharings_) {
+    SQM_RETURN_NOT_OK(VerifySharing(out, "quorum Mul output"));
   }
   return out;
 }
@@ -409,6 +432,122 @@ Result<std::vector<Field::Element>> BgwProtocol::TryOpen(
 Result<std::vector<int64_t>> BgwProtocol::TryOpenSigned(
     const SharedVector& a) {
   SQM_ASSIGN_OR_RETURN(const std::vector<Field::Element> opened, TryOpen(a));
+  return Field::DecodeVector(opened);
+}
+
+Status BgwProtocol::VerifySharing(const SharedVector& a,
+                                  const std::string& where) const {
+  const size_t n = num_parties();
+  std::vector<size_t> usable;
+  usable.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    if (!PartyDead(j)) usable.push_back(j);
+  }
+  std::vector<Field::Element> shares(n);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < n; ++j) shares[j] = a.shares(j)[i];
+    const Status status =
+        scheme_.CheckConsistentSharing(shares, usable, scheme_.threshold());
+    if (!status.ok()) {
+      return Status(status.code(), where + ", element " + std::to_string(i) +
+                                       ": " + status.message());
+    }
+  }
+  return Status::OK();
+}
+
+Result<SharedVector> BgwProtocol::ShareFromPartyChecked(
+    size_t party, const std::vector<Field::Element>& values) {
+  const size_t n = num_parties();
+  SQM_CHECK(party < n);
+  PhaseScope phase(network_, "input");
+  std::vector<std::vector<Field::Element>> outbound(
+      n, std::vector<Field::Element>(values.size()));
+  for (size_t i = 0; i < values.size(); ++i) {
+    const std::vector<Field::Element> shares =
+        scheme_.Share(values[i], party_rngs_[party]);
+    for (size_t j = 0; j < n; ++j) outbound[j][i] = shares[j];
+  }
+  for (size_t j = 0; j < n; ++j) {
+    network_->Send(party, j, std::move(outbound[j]));
+  }
+  network_->EndRound();
+
+  SharedVector result(n, values.size());
+  for (size_t j = 0; j < n; ++j) {
+    SQM_ASSIGN_OR_RETURN(Transport::Payload received,
+                         network_->Receive(party, j));
+    if (received.size() != values.size()) {
+      return Status::IntegrityViolation(
+          "input dealing from party " + std::to_string(party) + " to " +
+          std::to_string(j) + " has " + std::to_string(received.size()) +
+          " elements, expected " + std::to_string(values.size()));
+    }
+    result.shares(j) = std::move(received);
+  }
+  if (verify_sharings_) {
+    SQM_RETURN_NOT_OK(VerifySharing(
+        result, "input dealing from party " + std::to_string(party)));
+  }
+  return result;
+}
+
+Result<std::vector<Field::Element>> BgwProtocol::OpenChecked(
+    const SharedVector& a) {
+  const size_t n = num_parties();
+  PhaseScope phase(network_, "open");
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t r = 0; r < n; ++r) {
+      network_->Send(j, r, a.shares(j));
+    }
+  }
+  network_->EndRound();
+
+  // Collect EVERY recipient's copy of every broadcast (Open keeps only
+  // party 0's): equivocation — a broadcaster telling different recipients
+  // different shares — is visible only across copies.
+  std::vector<std::vector<Field::Element>> view(n);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t r = 0; r < n; ++r) {
+      SQM_ASSIGN_OR_RETURN(Transport::Payload received,
+                           network_->Receive(j, r));
+      if (received.size() != a.size()) {
+        return Status::IntegrityViolation(
+            "opened broadcast from party " + std::to_string(j) + " to " +
+            std::to_string(r) + " has " + std::to_string(received.size()) +
+            " elements, expected " + std::to_string(a.size()));
+      }
+      if (r == 0) {
+        view[j] = std::move(received);
+      } else if (received != view[j]) {
+        return Status::IntegrityViolation(
+            "equivocation: party " + std::to_string(j) +
+            " broadcast different share vectors to recipients 0 and " +
+            std::to_string(r));
+      }
+    }
+  }
+
+  std::vector<Field::Element> out(a.size());
+  std::vector<Field::Element> shares(n);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < n; ++j) shares[j] = view[j][i];
+    const Status status =
+        scheme_.CheckConsistentSharing(shares, scheme_.threshold());
+    if (!status.ok()) {
+      return Status(status.code(),
+                    "open, element " + std::to_string(i) + ": " +
+                        status.message());
+    }
+    out[i] = scheme_.Reconstruct(shares);
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> BgwProtocol::OpenSignedChecked(
+    const SharedVector& a) {
+  SQM_ASSIGN_OR_RETURN(const std::vector<Field::Element> opened,
+                       OpenChecked(a));
   return Field::DecodeVector(opened);
 }
 

@@ -22,11 +22,8 @@ std::vector<Field::Element> SecureAggregation::PairMask(
   return mask;
 }
 
-Result<std::vector<Field::Element>> SecureAggregation::MaskedUpload(
-    size_t client, const std::vector<int64_t>& values) {
-  if (client >= num_clients_) {
-    return Status::InvalidArgument("unknown client index");
-  }
+std::vector<Field::Element> SecureAggregation::MaskVector(
+    size_t client, const std::vector<int64_t>& values) const {
   std::vector<Field::Element> upload = Field::EncodeVector(values);
   for (size_t other = 0; other < num_clients_; ++other) {
     if (other == client) continue;
@@ -40,12 +37,82 @@ Result<std::vector<Field::Element>> SecureAggregation::MaskedUpload(
                                : Field::Sub(upload[t], mask[t]);
     }
   }
+  return upload;
+}
+
+Result<std::vector<Field::Element>> SecureAggregation::MaskedUpload(
+    size_t client, const std::vector<int64_t>& values) {
+  if (client >= num_clients_) {
+    return Status::InvalidArgument("unknown client index");
+  }
+  std::vector<Field::Element> upload = MaskVector(client, values);
   if (network_ != nullptr) {
     // Model the upload to the server as party `client` -> party 0.
     PhaseScope phase(network_, "secagg_upload");
     network_->Send(client, 0, upload);
   }
   return upload;
+}
+
+Field::Element SecureAggregation::UploadDigest(
+    size_t client, const std::vector<Field::Element>& masked) {
+  // Horner evaluation of the upload at a fixed public point, seeded with
+  // the client index so an upload replayed onto another client's slot also
+  // fails. The point is public: this is an *integrity* tag against wire
+  // corruption, not a MAC against a byzantine sender.
+  constexpr Field::Element kDigestPoint = 0x5DEECE66DULL;
+  Field::Element acc = Field::Reduce(static_cast<uint64_t>(client) + 1);
+  for (Field::Element v : masked) {
+    acc = Field::Add(Field::Mul(acc, kDigestPoint), v);
+  }
+  return acc;
+}
+
+Status SecureAggregation::UploadOverTransport(
+    size_t client, const std::vector<int64_t>& values) {
+  if (client >= num_clients_) {
+    return Status::InvalidArgument("unknown client index");
+  }
+  if (network_ == nullptr) {
+    return Status::FailedPrecondition(
+        "UploadOverTransport requires an attached transport");
+  }
+  std::vector<Field::Element> payload = MaskVector(client, values);
+  payload.push_back(UploadDigest(client, payload));
+  PhaseScope phase(network_, "secagg_upload");
+  network_->Send(client, 0, std::move(payload));
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<Field::Element>>>
+SecureAggregation::CollectUploads(size_t vector_length) {
+  if (network_ == nullptr) {
+    return Status::FailedPrecondition(
+        "CollectUploads requires an attached transport");
+  }
+  std::vector<std::vector<Field::Element>> uploads(num_clients_);
+  for (size_t j = 0; j < num_clients_; ++j) {
+    SQM_ASSIGN_OR_RETURN(std::vector<Field::Element> payload,
+                         network_->Receive(j, 0));
+    if (payload.size() != vector_length + 1) {
+      return Status::IntegrityViolation(
+          "client " + std::to_string(j) + "'s upload has " +
+          std::to_string(payload.size()) + " elements, expected " +
+          std::to_string(vector_length + 1) +
+          " (vector + digest); truncated or replayed message");
+    }
+    const Field::Element received_tag = payload.back();
+    payload.pop_back();
+    const Field::Element expected_tag = UploadDigest(j, payload);
+    if (received_tag != expected_tag) {
+      return Status::IntegrityViolation(
+          "client " + std::to_string(j) +
+          "'s upload failed its integrity digest: the masked vector was "
+          "corrupted in transit");
+    }
+    uploads[j] = std::move(payload);
+  }
+  return uploads;
 }
 
 Result<std::vector<int64_t>> SecureAggregation::Aggregate(

@@ -71,11 +71,41 @@ class SecureAggregation {
 
   size_t num_clients() const { return num_clients_; }
 
+  /// Wire-integrity digest over a masked upload: a Horner-evaluated
+  /// polynomial hash keyed by a fixed public point and bound to the
+  /// uploading client's index. Linear masking carries no redundancy of its
+  /// own — any single flipped or perturbed element silently shifts the
+  /// aggregate — so transport-integrated uploads append this tag and the
+  /// server recomputes it on receipt. This detects transmission-level
+  /// corruption (the adversary model of tests/adversary_test.cc); a
+  /// byzantine client lying about its *own* input is out of scope, exactly
+  /// as in Bonawitz et al.'s semi-honest setting.
+  static Field::Element UploadDigest(size_t client,
+                                     const std::vector<Field::Element>& masked);
+
+  /// Masks `values` and sends the upload (digest appended) to the server
+  /// (party 0) over the attached transport. Requires a transport.
+  Status UploadOverTransport(size_t client,
+                             const std::vector<int64_t>& values);
+
+  /// Server side of UploadOverTransport: receives one upload per client
+  /// from the transport, verifies each digest (mismatch or wrong length
+  /// fails with kIntegrityViolation naming the client), strips the tags and
+  /// returns the masked uploads ready for Aggregate(). Call
+  /// network->EndRound() between the uploads and this on a lockstep
+  /// transport.
+  Result<std::vector<std::vector<Field::Element>>> CollectUploads(
+      size_t vector_length);
+
  private:
   /// Deterministic mask stream for the ordered pair (i < j), expanded per
   /// vector element.
   std::vector<Field::Element> PairMask(size_t i, size_t j,
                                        size_t length) const;
+
+  /// The pairwise-masked field vector for `client`'s input (no traffic).
+  std::vector<Field::Element> MaskVector(
+      size_t client, const std::vector<int64_t>& values) const;
 
   size_t num_clients_;
   uint64_t seed_;

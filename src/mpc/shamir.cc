@@ -148,6 +148,11 @@ Result<Field::Element> ShamirScheme::ReconstructFromSurvivors(
 
 std::vector<Field::Element> ShamirScheme::LagrangeAtZero(
     const std::vector<size_t>& parties) const {
+  return LagrangeAt(parties, 0);
+}
+
+std::vector<Field::Element> ShamirScheme::LagrangeAt(
+    const std::vector<size_t>& parties, Field::Element x) const {
   std::vector<Field::Element> coeffs(parties.size());
   for (size_t j = 0; j < parties.size(); ++j) {
     const Field::Element xj = EvaluationPoint(parties[j]);
@@ -156,13 +161,49 @@ std::vector<Field::Element> ShamirScheme::LagrangeAtZero(
     for (size_t l = 0; l < parties.size(); ++l) {
       if (l == j) continue;
       const Field::Element xl = EvaluationPoint(parties[l]);
-      // L_j(0) = prod_{l != j} (0 - x_l) / (x_j - x_l).
-      num = Field::Mul(num, Field::Neg(xl));
+      // L_j(x) = prod_{l != j} (x - x_l) / (x_j - x_l).
+      num = Field::Mul(num, Field::Sub(x, xl));
       den = Field::Mul(den, Field::Sub(xj, xl));
     }
     coeffs[j] = Field::Mul(num, Field::Inv(den));
   }
   return coeffs;
+}
+
+Status ShamirScheme::CheckConsistentSharing(
+    const std::vector<Field::Element>& shares,
+    const std::vector<size_t>& parties, size_t degree) const {
+  SQM_CHECK(shares.size() == num_parties_);
+  const size_t basis_size = degree + 1;
+  if (parties.size() <= basis_size) return Status::OK();  // No redundancy.
+  const std::vector<size_t> basis(parties.begin(),
+                                  parties.begin() + basis_size);
+  for (size_t j = basis_size; j < parties.size(); ++j) {
+    const size_t party = parties[j];
+    const std::vector<Field::Element> weights =
+        LagrangeAt(basis, EvaluationPoint(party));
+    Field::Element predicted = 0;
+    for (size_t l = 0; l < basis.size(); ++l) {
+      predicted =
+          Field::Add(predicted, Field::Mul(weights[l], shares[basis[l]]));
+    }
+    if (predicted != shares[party]) {
+      return Status::IntegrityViolation(
+          "inconsistent sharing: party " + std::to_string(party) +
+          "'s share does not lie on the degree-" + std::to_string(degree) +
+          " polynomial through the first " + std::to_string(basis_size) +
+          " shares (wrong-degree dealing, equivocation, or a tampered "
+          "share)");
+    }
+  }
+  return Status::OK();
+}
+
+Status ShamirScheme::CheckConsistentSharing(
+    const std::vector<Field::Element>& shares, size_t degree) const {
+  std::vector<size_t> all(num_parties_);
+  std::iota(all.begin(), all.end(), 0);
+  return CheckConsistentSharing(shares, all, degree);
 }
 
 }  // namespace sqm

@@ -71,6 +71,31 @@ class ShamirScheme {
   std::vector<Field::Element> LagrangeAtZero(
       const std::vector<size_t>& parties) const;
 
+  /// Lagrange coefficients L_j for evaluating at an arbitrary point x:
+  /// sum_j L_j * phi(alpha_{parties[j]}) = phi(x) for any polynomial of
+  /// degree < parties.size(). `x` must differ from every alpha_{parties[j]}.
+  std::vector<Field::Element> LagrangeAt(const std::vector<size_t>& parties,
+                                         Field::Element x) const;
+
+  /// Conformance check: do the listed parties' share points all lie on ONE
+  /// polynomial of degree <= `degree`? Interpolates from the first
+  /// degree+1 listed points and verifies every remaining one; a honest
+  /// degree-`degree` sharing always passes, while a wrong-degree dealing,
+  /// an equivocated broadcast, or any single tampered share among at least
+  /// degree+2 points fails with kIntegrityViolation naming the first
+  /// mismatching party. With exactly degree+1 points there is no
+  /// redundancy: the check vacuously passes (any degree+1 points lie on
+  /// some degree-`degree` polynomial), which is the information-theoretic
+  /// limit, not an implementation gap. `shares` is the full n-length
+  /// vector indexed by party.
+  Status CheckConsistentSharing(const std::vector<Field::Element>& shares,
+                                const std::vector<size_t>& parties,
+                                size_t degree) const;
+
+  /// All-parties overload: checks the full n-point sharing.
+  Status CheckConsistentSharing(const std::vector<Field::Element>& shares,
+                                size_t degree) const;
+
  private:
   size_t num_parties_;
   size_t threshold_;

@@ -34,8 +34,13 @@ void LockstepTransport::Send(size_t from, size_t to, Payload payload) {
     RecordCrashLoss();
     return;
   }
-  if (from != to) RecordSend(from, to, payload.size());
-  queues_[ChannelIndex(from, to)].push_back(std::move(payload));
+  // The interceptor (adversarial harness) sees the message before any
+  // accounting; a swallowed message never existed on the wire, a replay
+  // counts as one more sent message.
+  for (Payload& delivered : InterceptSend(from, to, std::move(payload))) {
+    if (from != to) RecordSend(from, to, delivered.size());
+    queues_[ChannelIndex(from, to)].push_back(std::move(delivered));
+  }
 }
 
 Result<Transport::Payload> LockstepTransport::Receive(size_t from,

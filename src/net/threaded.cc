@@ -56,6 +56,17 @@ void ThreadedTransport::Send(size_t from, size_t to, Payload payload) {
     return;
   }
 
+  // The interceptor (adversarial harness) rewrites the wire before fault
+  // injection: a tampered payload can still be dropped or delayed, and a
+  // replayed copy draws its own independent fault fate.
+  for (Payload& delivered : InterceptSend(from, to, std::move(payload))) {
+    DeliverFaulted(from, to, std::move(delivered));
+  }
+}
+
+void ThreadedTransport::DeliverFaulted(size_t from, size_t to,
+                                       Payload payload) {
+  Mailbox& box = mailbox(from, to);
   const FaultInjector::SendFate fate = faults_.OnSend(from, to);
   RecordSend(from, to, payload.size());
 

@@ -99,6 +99,10 @@ class ThreadedTransport : public Transport {
     std::deque<Payload> retransmit;  ///< Dropped messages awaiting re-send.
   };
 
+  /// Post-interceptor delivery of one cross-party payload: draws its
+  /// fault fate, accounts it, and lands it in the mailbox.
+  void DeliverFaulted(size_t from, size_t to, Payload payload);
+
   Mailbox& mailbox(size_t from, size_t to) {
     return *mailboxes_[ChannelIndex(from, to)];
   }

@@ -85,6 +85,43 @@ std::string Transport::phase() const {
   return phases_[current_phase_].phase;
 }
 
+void Transport::SetInterceptor(MessageInterceptor* interceptor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  interceptor_ = interceptor;
+}
+
+MessageInterceptor* Transport::interceptor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return interceptor_;
+}
+
+std::vector<Transport::Payload> Transport::InterceptSend(size_t from,
+                                                         size_t to,
+                                                         Payload payload) {
+  MessageInterceptor* hook;
+  uint64_t round;
+  std::string phase_label;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = interceptor_;
+    round = totals_.rounds;
+    phase_label = phases_[current_phase_].phase;
+  }
+  std::vector<Payload> deliveries;
+  if (hook == nullptr || from == to) {
+    deliveries.push_back(std::move(payload));
+    return deliveries;
+  }
+  const MessageInterceptor::WireContext context{from, to, round,
+                                                std::move(phase_label)};
+  MessageInterceptor::SendVerdict verdict = hook->OnSend(context, payload);
+  if (!verdict.swallow) deliveries.push_back(std::move(payload));
+  for (Payload& replay : verdict.replays) {
+    deliveries.push_back(std::move(replay));
+  }
+  return deliveries;
+}
+
 void Transport::RecordSend(size_t from, size_t to, size_t elements) {
   const uint64_t bytes =
       static_cast<uint64_t>(elements) * element_wire_bytes_;

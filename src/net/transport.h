@@ -22,6 +22,42 @@ enum class TransportMode {
   kThreaded,
 };
 
+/// Wire-level message hook: sees (and may rewrite) every cross-party
+/// message at the instant it enters the wire, before fault injection and
+/// traffic accounting. This is the seam the adversarial conformance
+/// harness (src/testing/) attaches to — a ByzantineInterceptor tampers
+/// payloads, a TranscriptRecorder captures them — without the protocol
+/// layer knowing an observer exists.
+///
+/// Self-sends (from == to) model a party's own memory and are never
+/// presented to the interceptor: a wire adversary cannot touch them.
+/// Implementations must be thread-safe when attached to a
+/// ThreadedTransport (concurrent senders call OnSend concurrently).
+class MessageInterceptor {
+ public:
+  virtual ~MessageInterceptor() = default;
+
+  /// Everything the wire knows about one message at send time.
+  struct WireContext {
+    size_t from = 0;
+    size_t to = 0;
+    uint64_t round = 0;  ///< Communication rounds completed at send time.
+    std::string phase;   ///< Transport phase label ("input", "mul", ...).
+  };
+
+  /// What the interceptor decided for this message. The (possibly
+  /// mutated) payload is delivered unless `swallow` is set; `replays`
+  /// are extra copies enqueued right behind it (message duplication).
+  struct SendVerdict {
+    bool swallow = false;
+    std::vector<std::vector<uint64_t>> replays;
+  };
+
+  /// Called once per cross-party Send. May mutate `payload` in place.
+  virtual SendVerdict OnSend(const WireContext& context,
+                             std::vector<uint64_t>& payload) = 0;
+};
+
 /// Abstract pairwise message transport between `num_parties` parties.
 ///
 /// This is the seam between protocol logic (BgwProtocol, SecAgg, the SQM
@@ -97,6 +133,13 @@ class Transport {
   void SetPhase(const std::string& phase);
   std::string phase() const;
 
+  /// Installs a wire interceptor (non-owning; nullptr detaches). The
+  /// interceptor must outlive the transport while attached. Interceptors
+  /// see every cross-party message before fault injection and accounting;
+  /// see MessageInterceptor for the contract.
+  void SetInterceptor(MessageInterceptor* interceptor);
+  MessageInterceptor* interceptor() const;
+
  protected:
   /// Bounds-check helper: aborts on an out-of-range party index.
   void CheckParty(size_t from, size_t to) const;
@@ -119,6 +162,15 @@ class Transport {
   /// Zeroes every counter and phase (used by Reset implementations).
   void ResetAccounting();
 
+  /// Runs the attached interceptor (if any) on one outgoing message and
+  /// returns the payloads to actually enqueue: usually {payload}; empty
+  /// when the interceptor swallowed it; more than one when it requested
+  /// replays. Self-sends bypass the interceptor. Implementations call
+  /// this from Send, then enqueue (and account) each returned payload as
+  /// if it were an independently sent message.
+  std::vector<Payload> InterceptSend(size_t from, size_t to,
+                                     Payload payload);
+
  private:
   const size_t num_parties_;
   const double per_round_latency_;
@@ -126,6 +178,7 @@ class Transport {
   const std::chrono::steady_clock::time_point start_;
 
   mutable std::mutex mu_;
+  MessageInterceptor* interceptor_ = nullptr;
   NetworkStats totals_;
   std::vector<ChannelStats> channels_;  // n*n, row-major (from, to).
   std::vector<PhaseStats> phases_;      // First-use order.

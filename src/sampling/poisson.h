@@ -31,6 +31,10 @@ class PoissonSampler {
 
   double mu() const { return mu_; }
 
+  /// Rate at which sampling switches from Knuth inversion to PTRS.
+  /// Public so conformance tests can pin each path explicitly.
+  static constexpr double kPtrsThreshold = 10.0;
+
  private:
   int64_t SampleKnuth(Rng& rng) const;
   int64_t SamplePtrs(Rng& rng) const;
@@ -38,8 +42,6 @@ class PoissonSampler {
   double mu_;
   // Precomputed PTRS constants (valid when mu_ >= kPtrsThreshold).
   double b_, a_, inv_alpha_, v_r_, log_mu_;
-
-  static constexpr double kPtrsThreshold = 10.0;
 };
 
 }  // namespace sqm

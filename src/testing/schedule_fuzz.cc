@@ -1,0 +1,220 @@
+#include "testing/schedule_fuzz.h"
+
+#include "mpc/field.h"
+#include "mpc/protocol.h"
+#include "mpc/shamir.h"
+#include "net/lockstep.h"
+#include "net/runner.h"
+#include "net/threaded.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+namespace testing {
+namespace {
+
+/// Deterministic storm-message content: receiver recomputes this and any
+/// corruption or cross-wiring of (round, from, to, index) is caught.
+uint64_t StormElement(uint64_t seed, uint64_t round, size_t from, size_t to,
+                      size_t index) {
+  uint64_t z = seed;
+  z ^= round * 0x9E3779B97F4A7C15ULL;
+  z ^= static_cast<uint64_t>(from) * 0xBF58476D1CE4E5B9ULL;
+  z ^= static_cast<uint64_t>(to) * 0x94D049BB133111EBULL;
+  z ^= static_cast<uint64_t>(index) + 1;
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ULL;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z % Field::kModulus;
+}
+
+constexpr size_t kStormPayloadSize = 5;
+
+}  // namespace
+
+ScheduleFuzzer::ScheduleFuzzer(ScheduleFuzzOptions options)
+    : options_(options) {}
+
+Result<ScheduleFuzzReport> ScheduleFuzzer::Run() {
+  accumulating_ = ScheduleFuzzReport{};
+  Rng seed_stream(options_.seed);
+  for (size_t i = 0; i < options_.iterations; ++i) {
+    const uint64_t iteration_seed = seed_stream.NextUint64();
+    const Status status = RunIteration(iteration_seed);
+    ++accumulating_.iterations_run;
+    if (!status.ok()) {
+      if (accumulating_.failures == 0) {
+        accumulating_.first_failing_seed = iteration_seed;
+        accumulating_.first_failure = status.ToString();
+      }
+      ++accumulating_.failures;
+      if (options_.stop_on_failure) break;
+    }
+  }
+  return accumulating_;
+}
+
+Status ScheduleFuzzer::RunIteration(uint64_t iteration_seed) {
+  const size_t n = options_.num_parties;
+  SQM_RETURN_NOT_OK(ShamirScheme::Validate(n, options_.threshold));
+
+  // Everything below is a pure function of the iteration seed.
+  Rng derive(iteration_seed);
+  const double drop = derive.NextDouble() * options_.max_drop_probability;
+  const double reorder =
+      derive.NextDouble() * options_.max_reorder_probability;
+  const double delay = derive.NextDouble() * options_.max_delay_mean_seconds;
+  std::vector<int64_t> x0(options_.vector_size);
+  std::vector<int64_t> x1(options_.vector_size);
+  for (auto& v : x0) v = static_cast<int64_t>(derive.NextBounded(2001)) - 1000;
+  for (auto& v : x1) v = static_cast<int64_t>(derive.NextBounded(2001)) - 1000;
+
+  // The probe: input sharing, a batched Mul, an inner product, two opens.
+  // Driver mode in both runs, so the global send order — and therefore the
+  // transcript — must be identical regardless of the fault schedule.
+  auto run_probe = [&](Transport* net,
+                       std::vector<int64_t>* outputs) -> Status {
+    BgwProtocol protocol(ShamirScheme(n, options_.threshold), net,
+                         iteration_seed ^ 0xb9d7);
+    const SharedVector a =
+        protocol.ShareFromParty(0, Field::EncodeVector(x0));
+    const SharedVector b =
+        protocol.ShareFromParty(1, Field::EncodeVector(x1));
+    SQM_ASSIGN_OR_RETURN(const SharedVector prod, protocol.Mul(a, b));
+    SQM_ASSIGN_OR_RETURN(const SharedVector ip, protocol.InnerProduct(a, b));
+    *outputs = protocol.OpenSigned(prod);
+    const std::vector<int64_t> ip_open = protocol.OpenSigned(ip);
+    outputs->insert(outputs->end(), ip_open.begin(), ip_open.end());
+    return Status::OK();
+  };
+
+  // Reference: fault-free lockstep.
+  TranscriptRecorder reference_recorder(n);
+  std::vector<int64_t> reference_outputs;
+  {
+    LockstepTransport lockstep(n, 0.0, Field::kWireBytes);
+    lockstep.SetInterceptor(&reference_recorder);
+    SQM_RETURN_NOT_OK(run_probe(&lockstep, &reference_outputs));
+    lockstep.SetInterceptor(nullptr);
+  }
+  last_reference_ = reference_recorder.transcript();
+  last_outputs_ = reference_outputs;
+
+  // Expected plaintext values: the probe's inputs are small enough that
+  // the products never wrap the field.
+  std::vector<int64_t> expected(options_.vector_size, 0);
+  int64_t expected_ip = 0;
+  for (size_t t = 0; t < options_.vector_size; ++t) {
+    expected[t] = x0[t] * x1[t];
+    expected_ip += expected[t];
+  }
+  expected.push_back(expected_ip);
+  if (reference_outputs != expected) {
+    return Status::IntegrityViolation(
+        "seed " + std::to_string(iteration_seed) +
+        ": lockstep probe released wrong values");
+  }
+
+  // Faulted threaded run, driver mode.
+  TranscriptRecorder threaded_recorder(n);
+  std::vector<int64_t> threaded_outputs;
+  ThreadedTransportOptions threaded_options;
+  threaded_options.element_wire_bytes = Field::kWireBytes;
+  threaded_options.receive_timeout_seconds = 0.02;
+  threaded_options.max_retries = 6;
+  threaded_options.retry_backoff_seconds = 0.0005;
+  threaded_options.faults.all_links.drop_probability = drop;
+  threaded_options.faults.all_links.reorder_probability = reorder;
+  threaded_options.faults.all_links.delay_mean_seconds = delay;
+  threaded_options.faults.seed = iteration_seed ^ 0xfa017;
+  {
+    ThreadedTransport threaded(n, threaded_options);
+    threaded.SetInterceptor(&threaded_recorder);
+    SQM_RETURN_NOT_OK(run_probe(&threaded, &threaded_outputs));
+    const TransportStats stats = threaded.Snapshot();
+    accumulating_.drops_injected += stats.drops_injected;
+    accumulating_.delays_injected += stats.delays_injected;
+    accumulating_.reorders_injected += stats.reorders_injected;
+    accumulating_.retries += stats.retries;
+    threaded.SetInterceptor(nullptr);
+  }
+  last_threaded_ = threaded_recorder.transcript();
+
+  if (threaded_outputs != reference_outputs) {
+    return Status::IntegrityViolation(
+        "seed " + std::to_string(iteration_seed) +
+        ": threaded release diverged from the lockstep reference");
+  }
+  const TranscriptDiff diff =
+      CompareTranscripts(last_reference_, last_threaded_);
+  if (!diff.identical) {
+    return Status::IntegrityViolation(
+        "seed " + std::to_string(iteration_seed) +
+        ": transcripts diverged: " + diff.description);
+  }
+
+  if (options_.storm_rounds > 0) {
+    SQM_RETURN_NOT_OK(RunStorm(iteration_seed, drop, reorder, delay));
+  }
+  return Status::OK();
+}
+
+Status ScheduleFuzzer::RunStorm(uint64_t iteration_seed,
+                                double drop_probability,
+                                double reorder_probability,
+                                double delay_mean_seconds) {
+  const size_t n = options_.num_parties;
+  ThreadedTransportOptions storm_options;
+  storm_options.element_wire_bytes = Field::kWireBytes;
+  storm_options.receive_timeout_seconds = 0.05;
+  storm_options.max_retries = 6;
+  storm_options.retry_backoff_seconds = 0.0005;
+  storm_options.faults.all_links.drop_probability = drop_probability;
+  storm_options.faults.all_links.reorder_probability = reorder_probability;
+  storm_options.faults.all_links.delay_mean_seconds = delay_mean_seconds;
+  storm_options.faults.seed = iteration_seed ^ 0x5702a;
+  ThreadedTransport storm(n, storm_options);
+
+  // Every party on its own thread: all-to-all rounds of deterministic
+  // content, verified element-by-element on receipt. The round barrier
+  // guarantees at most one in-flight message per channel, so reordering
+  // and delays may shuffle timing but never content.
+  PartyRunner runner(n);
+  return runner.Run([&](size_t party) -> Status {
+    for (uint64_t round = 0; round < options_.storm_rounds; ++round) {
+      for (size_t to = 0; to < n; ++to) {
+        if (to == party) continue;
+        Transport::Payload payload(kStormPayloadSize);
+        for (size_t t = 0; t < kStormPayloadSize; ++t) {
+          payload[t] = StormElement(iteration_seed, round, party, to, t);
+        }
+        storm.Send(party, to, std::move(payload));
+      }
+      for (size_t from = 0; from < n; ++from) {
+        if (from == party) continue;
+        SQM_ASSIGN_OR_RETURN(const Transport::Payload received,
+                             storm.Receive(from, party));
+        if (received.size() != kStormPayloadSize) {
+          return Status::IntegrityViolation(
+              "storm message from " + std::to_string(from) + " to " +
+              std::to_string(party) + " has wrong size");
+        }
+        for (size_t t = 0; t < kStormPayloadSize; ++t) {
+          if (received[t] !=
+              StormElement(iteration_seed, round, from, party, t)) {
+            return Status::IntegrityViolation(
+                "storm message from " + std::to_string(from) + " to " +
+                std::to_string(party) + " round " + std::to_string(round) +
+                " corrupted at element " + std::to_string(t));
+          }
+        }
+      }
+      storm.ArriveRound(party);
+    }
+    return Status::OK();
+  });
+}
+
+}  // namespace testing
+}  // namespace sqm

@@ -1,0 +1,106 @@
+#ifndef SQM_TESTING_SCHEDULE_FUZZ_H_
+#define SQM_TESTING_SCHEDULE_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "testing/transcript.h"
+
+namespace sqm {
+namespace testing {
+
+/// Configuration of one schedule-exploration fuzz sweep. Everything an
+/// iteration does — fault probabilities, probe inputs, sharing randomness —
+/// is derived from a single uint64 iteration seed, so any failure
+/// reproduces bit-exactly from the seed the report names.
+struct ScheduleFuzzOptions {
+  uint64_t seed = 0xf022ed5eedULL;
+  size_t iterations = 8;
+  size_t num_parties = 5;
+  size_t threshold = 2;
+  /// Elements in each party's probe input vector.
+  size_t vector_size = 6;
+  /// Per-iteration fault intensities are drawn uniformly from [0, max].
+  double max_drop_probability = 0.15;
+  double max_reorder_probability = 0.25;
+  double max_delay_mean_seconds = 0.001;
+  /// Rounds of the per-party message-storm phase (0 disables it).
+  size_t storm_rounds = 3;
+  /// Stop at the first failing iteration (keeps its transcripts for
+  /// replay); false sweeps every seed and counts failures.
+  bool stop_on_failure = true;
+};
+
+/// Outcome of a sweep.
+struct ScheduleFuzzReport {
+  size_t iterations_run = 0;
+  size_t failures = 0;
+  uint64_t first_failing_seed = 0;  ///< Valid when failures > 0.
+  std::string first_failure;        ///< Invariant that broke, human-readable.
+  /// Aggregate fault/reliability counters over all threaded runs.
+  uint64_t drops_injected = 0;
+  uint64_t delays_injected = 0;
+  uint64_t reorders_injected = 0;
+  uint64_t retries = 0;
+};
+
+/// Seeded schedule-exploration fuzzer for ThreadedTransport.
+///
+/// Each iteration derives a fault mix and probe inputs from its seed, then
+/// runs the same BGW probe (input sharing, a batched multiplication, an
+/// inner product, opening) twice: once over a fault-free LockstepTransport
+/// (the reference) and once over a ThreadedTransport with the drawn drops,
+/// delays and reorders. Both runs record transcripts. The invariants:
+///
+///  1. the released values match the plaintext expectation exactly,
+///  2. the threaded release is bit-identical to the lockstep release,
+///  3. the two transcripts agree entry-by-entry (retransmissions recover
+///     drops without changing what was logically sent).
+///
+/// A final message-storm phase runs every party on its own thread
+/// (net/runner.h) against the same fault mix, verifying per-round content
+/// integrity under real interleavings — the part TSan watches.
+class ScheduleFuzzer {
+ public:
+  explicit ScheduleFuzzer(ScheduleFuzzOptions options);
+
+  /// Runs the sweep. An error Status means the harness itself failed; a
+  /// broken invariant is reported via `failures` / `first_failure`.
+  Result<ScheduleFuzzReport> Run();
+
+  /// Runs a single iteration from its seed — the repro entry point for a
+  /// failure the report named. OK iff every invariant held.
+  Status RunIteration(uint64_t iteration_seed);
+
+  /// Transcripts of the most recent iteration (reference and threaded),
+  /// for replay and divergence inspection.
+  const Transcript& last_reference_transcript() const {
+    return last_reference_;
+  }
+  const Transcript& last_threaded_transcript() const {
+    return last_threaded_;
+  }
+  /// Values the most recent iteration's reference run released.
+  const std::vector<int64_t>& last_reference_outputs() const {
+    return last_outputs_;
+  }
+
+  const ScheduleFuzzOptions& options() const { return options_; }
+
+ private:
+  Status RunStorm(uint64_t iteration_seed, double drop_probability,
+                  double reorder_probability, double delay_mean_seconds);
+
+  ScheduleFuzzOptions options_;
+  Transcript last_reference_;
+  Transcript last_threaded_;
+  std::vector<int64_t> last_outputs_;
+  ScheduleFuzzReport accumulating_;
+};
+
+}  // namespace testing
+}  // namespace sqm
+
+#endif  // SQM_TESTING_SCHEDULE_FUZZ_H_

@@ -1,0 +1,109 @@
+#include "testing/stat_check.h"
+
+#include <cmath>
+
+#include "math/stats.h"
+
+namespace sqm {
+namespace testing {
+
+Result<ChiSquareResult> ChiSquareGoodnessOfFit(
+    const std::vector<uint64_t>& observed,
+    const std::vector<double>& expected, size_t fitted) {
+  if (observed.size() != expected.size()) {
+    return Status::InvalidArgument(
+        "observed and expected bin counts differ in length");
+  }
+  if (observed.size() < 2) {
+    return Status::InvalidArgument("chi-square needs >= 2 bins");
+  }
+  if (observed.size() < fitted + 2) {
+    return Status::InvalidArgument(
+        "not enough bins for the number of fitted parameters");
+  }
+  double statistic = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    if (!(expected[i] > 0.0)) {
+      return Status::InvalidArgument(
+          "expected count in bin " + std::to_string(i) +
+          " is not positive; pool sparse bins before testing");
+    }
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    statistic += diff * diff / expected[i];
+  }
+  ChiSquareResult result;
+  result.statistic = statistic;
+  result.dof = static_cast<double>(observed.size() - 1 - fitted);
+  result.p_value = ChiSquarePValue(statistic, result.dof);
+  return result;
+}
+
+Result<ChiSquareResult> ChiSquareUniform(
+    const std::vector<uint64_t>& observed) {
+  if (observed.size() < 2) {
+    return Status::InvalidArgument("chi-square needs >= 2 bins");
+  }
+  uint64_t total = 0;
+  for (uint64_t count : observed) total += count;
+  if (total == 0) {
+    return Status::InvalidArgument("no observations");
+  }
+  const std::vector<double> expected(
+      observed.size(),
+      static_cast<double>(total) / static_cast<double>(observed.size()));
+  return ChiSquareGoodnessOfFit(observed, expected);
+}
+
+Result<ChiSquareResult> ChiSquareTwoSample(const std::vector<uint64_t>& a,
+                                           const std::vector<uint64_t>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("samples have different bin counts");
+  }
+  double total_a = 0.0, total_b = 0.0;
+  for (uint64_t count : a) total_a += static_cast<double>(count);
+  for (uint64_t count : b) total_b += static_cast<double>(count);
+  if (total_a == 0.0 || total_b == 0.0) {
+    return Status::InvalidArgument("a sample has no observations");
+  }
+  // Standard two-sample statistic with sample-size weights k1 = sqrt(n2/n1),
+  // k2 = sqrt(n1/n2); bins empty in both samples contribute nothing and
+  // drop from the dof.
+  const double k1 = std::sqrt(total_b / total_a);
+  const double k2 = std::sqrt(total_a / total_b);
+  double statistic = 0.0;
+  size_t used_bins = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double ai = static_cast<double>(a[i]);
+    const double bi = static_cast<double>(b[i]);
+    if (ai + bi == 0.0) continue;
+    const double diff = k1 * ai - k2 * bi;
+    statistic += diff * diff / (ai + bi);
+    ++used_bins;
+  }
+  if (used_bins < 2) {
+    return Status::InvalidArgument("fewer than 2 non-empty bins");
+  }
+  ChiSquareResult result;
+  result.statistic = statistic;
+  result.dof = static_cast<double>(used_bins - 1);
+  result.p_value = ChiSquarePValue(statistic, result.dof);
+  return result;
+}
+
+std::vector<uint64_t> BinTopBits(const std::vector<uint64_t>& values,
+                                 size_t bins) {
+  // Field elements are < 2^61; shift so the requested number of top bits
+  // indexes the bin, mirroring tests/mpc_privacy_test.cc's `v >> 57` for
+  // 16 bins.
+  size_t bits = 0;
+  while ((size_t{1} << bits) < bins) ++bits;
+  std::vector<uint64_t> counts(size_t{1} << bits, 0);
+  const unsigned shift = 61 - static_cast<unsigned>(bits);
+  for (uint64_t v : values) {
+    ++counts[v >> shift];
+  }
+  return counts;
+}
+
+}  // namespace testing
+}  // namespace sqm

@@ -1,0 +1,49 @@
+#ifndef SQM_TESTING_STAT_CHECK_H_
+#define SQM_TESTING_STAT_CHECK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sqm {
+namespace testing {
+
+/// Result of one chi-square test. The p-value is exact (regularized
+/// incomplete gamma, math/stats.h), so callers assert p > alpha directly
+/// instead of comparing against tabulated critical values.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double dof = 0.0;
+  double p_value = 1.0;
+};
+
+/// Pearson goodness-of-fit of observed counts against expected counts.
+/// `expected` entries must be positive and, for the asymptotics to hold,
+/// should be >= ~5 (callers pool tail bins). dof = bins - 1 - `fitted`
+/// (number of distribution parameters estimated from the data; 0 when the
+/// expected counts come from fixed parameters).
+Result<ChiSquareResult> ChiSquareGoodnessOfFit(
+    const std::vector<uint64_t>& observed,
+    const std::vector<double>& expected, size_t fitted = 0);
+
+/// Goodness-of-fit against the uniform distribution over the bins.
+Result<ChiSquareResult> ChiSquareUniform(
+    const std::vector<uint64_t>& observed);
+
+/// Two-sample chi-square homogeneity test: were the two count vectors drawn
+/// from the same distribution? Bins empty in both samples are skipped.
+Result<ChiSquareResult> ChiSquareTwoSample(const std::vector<uint64_t>& a,
+                                           const std::vector<uint64_t>& b);
+
+/// Histograms 61-bit field elements by their top bits into `bins` bins
+/// (bins must be a power of two <= 2^61). A uniform field element is
+/// uniform over these bins up to O(bins / 2^61) — the binning used by the
+/// transcript-privacy verifier, generalizing tests/mpc_privacy_test.cc.
+std::vector<uint64_t> BinTopBits(const std::vector<uint64_t>& values,
+                                 size_t bins);
+
+}  // namespace testing
+}  // namespace sqm
+
+#endif  // SQM_TESTING_STAT_CHECK_H_

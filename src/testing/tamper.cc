@@ -1,0 +1,137 @@
+#include "testing/tamper.h"
+
+#include <algorithm>
+
+#include "mpc/field.h"
+
+namespace sqm {
+namespace testing {
+
+bool TamperTarget::Matches(
+    const MessageInterceptor::WireContext& context) const {
+  if (from != kAnyParty && context.from != from) return false;
+  if (to != kAnyParty && context.to != to) return false;
+  if (!phase.empty() && context.phase != phase) return false;
+  return context.round >= min_round && context.round <= max_round;
+}
+
+const char* TamperKindToString(TamperPolicy::Kind kind) {
+  switch (kind) {
+    case TamperPolicy::Kind::kAdditive:
+      return "additive";
+    case TamperPolicy::Kind::kBitFlip:
+      return "bitflip";
+    case TamperPolicy::Kind::kWrongDegree:
+      return "wrong_degree";
+    case TamperPolicy::Kind::kEquivocate:
+      return "equivocate";
+    case TamperPolicy::Kind::kReplay:
+      return "replay";
+    case TamperPolicy::Kind::kSwallow:
+      return "swallow";
+  }
+  return "unknown";
+}
+
+void ByzantineInterceptor::AddPolicy(TamperPolicy policy) {
+  policies_.push_back(std::move(policy));
+  matches_seen_.push_back(0);
+  applications_.push_back(0);
+}
+
+MessageInterceptor::SendVerdict ByzantineInterceptor::OnSend(
+    const WireContext& context, std::vector<uint64_t>& payload) {
+  SendVerdict verdict;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < policies_.size(); ++i) {
+    const TamperPolicy& policy = policies_[i];
+    if (!policy.target.Matches(context)) continue;
+    const size_t seen = matches_seen_[i]++;
+    if (seen < policy.skip_matches) continue;
+    if (applications_[i] >= policy.max_applications) continue;
+    if (payload.empty() && policy.kind != TamperPolicy::Kind::kReplay &&
+        policy.kind != TamperPolicy::Kind::kSwallow) {
+      continue;  // Nothing to corrupt.
+    }
+    const size_t element = payload.empty()
+                               ? 0
+                               : std::min(policy.element, payload.size() - 1);
+    switch (policy.kind) {
+      case TamperPolicy::Kind::kAdditive:
+        payload[element] = Field::Add(Field::Reduce(payload[element]),
+                                      Field::Reduce(policy.magnitude));
+        break;
+      case TamperPolicy::Kind::kBitFlip:
+        payload[element] ^= uint64_t{1} << (policy.bit & 63u);
+        break;
+      case TamperPolicy::Kind::kWrongDegree: {
+        // Adding c * alpha_to^degree across a dealer's fan-out is exactly
+        // what dealing with an extra degree-`degree` term would produce.
+        const Field::Element alpha =
+            static_cast<Field::Element>(context.to + 1);
+        Field::Element term = Field::Reduce(policy.magnitude);
+        for (size_t d = 0; d < policy.degree; ++d) {
+          term = Field::Mul(term, alpha);
+        }
+        payload[element] =
+            Field::Add(Field::Reduce(payload[element]), term);
+        break;
+      }
+      case TamperPolicy::Kind::kEquivocate: {
+        // Recipient-dependent offset: the same logical broadcast arrives
+        // different at every receiver.
+        const Field::Element alpha =
+            static_cast<Field::Element>(context.to + 1);
+        payload[element] =
+            Field::Add(Field::Reduce(payload[element]),
+                       Field::Mul(Field::Reduce(policy.magnitude), alpha));
+        break;
+      }
+      case TamperPolicy::Kind::kReplay:
+        verdict.replays.push_back(payload);
+        break;
+      case TamperPolicy::Kind::kSwallow:
+        verdict.swallow = true;
+        break;
+    }
+    ++applications_[i];
+    TamperRecord record;
+    record.kind = policy.kind;
+    record.policy_index = i;
+    record.from = context.from;
+    record.to = context.to;
+    record.round = context.round;
+    record.phase = context.phase;
+    record.element = element;
+    log_.push_back(std::move(record));
+    if (verdict.swallow) break;  // Later policies cannot see the message.
+  }
+  return verdict;
+}
+
+size_t ByzantineInterceptor::total_applications() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (size_t count : applications_) total += count;
+  return total;
+}
+
+size_t ByzantineInterceptor::applications(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applications_[i];
+}
+
+std::vector<TamperRecord> ByzantineInterceptor::log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+void ByzantineInterceptor::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t& count : matches_seen_) count = 0;
+  for (size_t& count : applications_) count = 0;
+  log_.clear();
+}
+
+}  // namespace testing
+}  // namespace sqm

@@ -1,0 +1,149 @@
+// fuzz_smoke: seeded adversarial smoke run, wired into ctest and intended
+// to be re-run under -DSQM_SANITIZE=thread. Two sweeps:
+//
+//   1. schedule fuzzing — N seeded iterations of the BGW probe over
+//      ThreadedTransport with derived fault mixes, transcript-compared
+//      against the lockstep reference (plus the threaded message storm);
+//   2. adversary conformance — every tamper kind against the checked BGW
+//      probe, asserting detect-or-release-unchanged.
+//
+// Usage: fuzz_smoke [--iterations N] [--seed S]
+// On failure it prints the iteration seed; reproduce with
+//   fuzz_smoke --iterations 1 --seed <S>
+// or ScheduleFuzzer::RunIteration(<S>) under a debugger.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "mpc/field.h"
+#include "mpc/protocol.h"
+#include "mpc/shamir.h"
+#include "net/lockstep.h"
+#include "testing/schedule_fuzz.h"
+#include "testing/tamper.h"
+
+namespace {
+
+using sqm::BgwProtocol;
+using sqm::Field;
+using sqm::LockstepTransport;
+using sqm::ShamirScheme;
+using sqm::SharedVector;
+using sqm::Status;
+using sqm::testing::ByzantineInterceptor;
+using sqm::testing::ScheduleFuzzOptions;
+using sqm::testing::ScheduleFuzzer;
+using sqm::testing::TamperPolicy;
+
+/// One checked BGW probe under the given interceptor; reports whether the
+/// run failed (detected) and, if it released, whether the release matched.
+bool DetectOrUnchanged(TamperPolicy policy, std::string* what) {
+  constexpr size_t kParties = 5;
+  constexpr size_t kThreshold = 2;
+  const std::vector<int64_t> x0 = {3, -4, 5};
+  const std::vector<int64_t> x1 = {-7, 2, 9};
+  const std::vector<int64_t> expected = {-21, -8, 45};
+
+  ByzantineInterceptor byzantine({policy});
+  LockstepTransport network(kParties, 0.0, Field::kWireBytes);
+  network.SetInterceptor(&byzantine);
+  BgwProtocol protocol(ShamirScheme(kParties, kThreshold), &network, 5);
+  protocol.set_verify_sharings(true);
+  auto run = [&]() -> sqm::Result<std::vector<int64_t>> {
+    SQM_ASSIGN_OR_RETURN(
+        const SharedVector a,
+        protocol.ShareFromPartyChecked(0, Field::EncodeVector(x0)));
+    SQM_ASSIGN_OR_RETURN(
+        const SharedVector b,
+        protocol.ShareFromPartyChecked(1, Field::EncodeVector(x1)));
+    SQM_ASSIGN_OR_RETURN(const SharedVector prod, protocol.Mul(a, b));
+    return protocol.OpenSignedChecked(prod);
+  };
+  const auto result = run();
+  network.SetInterceptor(nullptr);
+  if (!result.ok()) return true;  // Detected: fine.
+  if (result.ValueOrDie() == expected) return true;  // Unchanged: fine.
+  *what = std::string(sqm::testing::TamperKindToString(policy.kind)) +
+          " on phase \"" + policy.target.phase +
+          "\" changed the release without an error";
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScheduleFuzzOptions options;
+  options.iterations = 8;
+  options.storm_rounds = 2;
+  options.stop_on_failure = false;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--iterations") == 0) {
+      options.iterations = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      options.seed = std::strtoull(argv[i + 1], nullptr, 0);
+    }
+  }
+
+  std::printf("fuzz_smoke: %zu schedule iterations from seed 0x%llx\n",
+              options.iterations,
+              static_cast<unsigned long long>(options.seed));
+  ScheduleFuzzer fuzzer(options);
+  const auto report = fuzzer.Run();
+  if (!report.ok()) {
+    std::printf("FAIL: fuzz harness error: %s\n",
+                report.status().ToString().c_str());
+    return 1;
+  }
+  if (report.ValueOrDie().failures > 0) {
+    std::printf(
+        "FAIL: %zu/%zu iterations broke an invariant.\n"
+        "  first failing seed: %llu\n  %s\n"
+        "  reproduce: fuzz_smoke --iterations 1 --seed %llu\n",
+        report.ValueOrDie().failures, report.ValueOrDie().iterations_run,
+        static_cast<unsigned long long>(
+            report.ValueOrDie().first_failing_seed),
+        report.ValueOrDie().first_failure.c_str(),
+        static_cast<unsigned long long>(
+            report.ValueOrDie().first_failing_seed));
+    return 1;
+  }
+  std::printf(
+      "  ok: %zu iterations (%llu drops, %llu delays, %llu reorders, "
+      "%llu retries injected)\n",
+      report.ValueOrDie().iterations_run,
+      static_cast<unsigned long long>(report.ValueOrDie().drops_injected),
+      static_cast<unsigned long long>(report.ValueOrDie().delays_injected),
+      static_cast<unsigned long long>(report.ValueOrDie().reorders_injected),
+      static_cast<unsigned long long>(report.ValueOrDie().retries));
+
+  // Adversary conformance sweep: detect-or-unchanged for every kind/phase.
+  const TamperPolicy::Kind kKinds[] = {
+      TamperPolicy::Kind::kAdditive,    TamperPolicy::Kind::kBitFlip,
+      TamperPolicy::Kind::kWrongDegree, TamperPolicy::Kind::kEquivocate,
+      TamperPolicy::Kind::kReplay,      TamperPolicy::Kind::kSwallow,
+  };
+  const char* kPhases[] = {"input", "mul", "open"};
+  size_t checks = 0;
+  for (TamperPolicy::Kind kind : kKinds) {
+    for (const char* phase : kPhases) {
+      TamperPolicy policy;
+      policy.kind = kind;
+      policy.target.phase = phase;
+      policy.magnitude = 7;
+      policy.bit = 20;
+      policy.degree = 3;
+      std::string what;
+      if (!DetectOrUnchanged(policy, &what)) {
+        std::printf("FAIL: %s\n", what.c_str());
+        return 1;
+      }
+      ++checks;
+    }
+  }
+  std::printf("  ok: %zu tamper policies detect-or-unchanged\n", checks);
+  std::printf("fuzz_smoke: PASS\n");
+  return 0;
+}

@@ -120,5 +120,168 @@ TEST(ReportIoTest, SqmReportContainsAllSections) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+// ---------------------------------------------------------------------------
+// JSON parsing and report round-trips.
+
+TEST(JsonParserTest, ParsesScalarsAndContainers) {
+  const auto parsed = ParseJson(
+      "{\"a\": [1, -2, 3.5], \"b\": {\"c\": \"x\\ny\", \"d\": true, "
+      "\"e\": null}}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = parsed.ValueOrDie();
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  const JsonValue* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_TRUE(a->items[0].is_integer);
+  EXPECT_EQ(a->items[0].uint_value, 1u);
+  EXPECT_TRUE(a->items[1].is_negative);
+  EXPECT_EQ(a->items[1].int_value, -2);
+  EXPECT_FALSE(a->items[2].is_integer);
+  EXPECT_DOUBLE_EQ(a->items[2].number, 3.5);
+  const JsonValue* b = root.Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->Find("c")->string_value, "x\ny");
+  EXPECT_TRUE(b->Find("d")->bool_value);
+  EXPECT_EQ(b->Find("e")->kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParserTest, KeepsFieldElementsExactAboveDoublePrecision) {
+  // 2^61 - 2 = 2305843009213693950 is not representable as a double; the
+  // parser must preserve the exact integer for transcript payloads.
+  const auto parsed = ParseJson("[2305843009213693950]");
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& element = parsed.ValueOrDie().items[0];
+  ASSERT_TRUE(element.is_integer);
+  EXPECT_EQ(element.uint_value, 2305843009213693950ULL);
+}
+
+TEST(JsonParserTest, MalformedDocumentsFailWithStatusNotCrash) {
+  const char* kBad[] = {
+      "",                      // empty
+      "{",                     // truncated object
+      "[1,2",                  // truncated array
+      "{\"a\":}",              // missing value
+      "{\"a\":1,}",            // trailing comma
+      "{'a':1}",               // wrong quotes
+      "{\"a\":1} trailing",    // garbage after document
+      "{\"s\":\"\\q\"}",       // bad escape
+      "{\"s\":\"unterminated", // unterminated string
+      "nullx",                 // keyword with suffix
+      "01",                    // leading zero
+      "{\"a\":+1}",            // explicit plus
+      "\"\x01\"",              // raw control character
+  };
+  for (const char* text : kBad) {
+    const auto parsed = ParseJson(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted malformed JSON: " << text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kIoError);
+    EXPECT_NE(parsed.status().message().find("byte"), std::string::npos)
+        << "error should name the offending byte offset: "
+        << parsed.status().ToString();
+  }
+}
+
+TEST(JsonParserTest, RejectsPathologicallyDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 300; ++i) deep += '[';
+  for (int i = 0; i < 300; ++i) deep += ']';
+  const auto parsed = ParseJson(deep);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("deep"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(ReportIoTest, SqmReportRoundTripsThroughJson) {
+  SqmReport report;
+  report.estimate = {1.5, -2.25, 0.0};
+  report.raw = {3, -4, 0};
+  report.timing.quantize_seconds = 0.25;
+  report.timing.noise_sampling_seconds = 0.125;
+  report.timing.mpc_compute_seconds = 1.5;
+  report.timing.simulated_network_seconds = 0.75;
+  report.timing.noise_injection_seconds = 0.0625;
+  report.network.messages = 9;
+  report.network.field_elements = 27;
+  report.network.rounds = 4;
+  report.dropout.policy = DropoutPolicy::kTopUp;
+  report.dropout.num_parties = 5;
+  report.dropout.num_dropped = 2;
+  report.dropout.survivors = {0, 2, 4};
+  report.dropout.configured_mu = 16.0;
+  report.dropout.realized_mu = 9.6;
+  report.dropout.topup_mu = 6.4;
+  report.dropout.configured_epsilon = 0.5;
+  report.dropout.realized_epsilon = 0.8125;
+  report.dropout.delta = 1e-6;
+  report.dropout.best_alpha = 12.5;
+  report.dropout.mpc_attempts = 3;
+  report.dropout.resumed_from_level = 1;
+
+  const std::string json = SqmReportToJson(report);
+  const auto parsed = SqmReportFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const SqmReport& back = parsed.ValueOrDie();
+  EXPECT_EQ(back.estimate, report.estimate);
+  EXPECT_EQ(back.raw, report.raw);
+  EXPECT_EQ(back.timing.quantize_seconds, report.timing.quantize_seconds);
+  EXPECT_EQ(back.timing.noise_injection_seconds,
+            report.timing.noise_injection_seconds);
+  EXPECT_EQ(back.network.messages, report.network.messages);
+  EXPECT_EQ(back.network.field_elements, report.network.field_elements);
+  EXPECT_EQ(back.network.rounds, report.network.rounds);
+  EXPECT_EQ(back.dropout.policy, DropoutPolicy::kTopUp);
+  EXPECT_EQ(back.dropout.num_parties, 5u);
+  EXPECT_EQ(back.dropout.num_dropped, 2u);
+  EXPECT_EQ(back.dropout.survivors, report.dropout.survivors);
+  EXPECT_EQ(back.dropout.configured_mu, 16.0);
+  EXPECT_EQ(back.dropout.realized_mu, 9.6);
+  EXPECT_EQ(back.dropout.topup_mu, 6.4);
+  EXPECT_EQ(back.dropout.realized_epsilon, 0.8125);
+  EXPECT_EQ(back.dropout.delta, 1e-6);
+  EXPECT_EQ(back.dropout.best_alpha, 12.5);
+  EXPECT_EQ(back.dropout.mpc_attempts, 3u);
+  EXPECT_EQ(back.dropout.resumed_from_level, 1u);
+}
+
+TEST(ReportIoTest, SqmReportFromJsonRejectsStructuralMistakes) {
+  SqmReport report;
+  report.estimate = {1.0};
+  report.raw = {1};
+  const std::string good = SqmReportToJson(report);
+  ASSERT_TRUE(SqmReportFromJson(good).ok());
+
+  // Whole-document damage.
+  EXPECT_FALSE(SqmReportFromJson("").ok());
+  EXPECT_FALSE(SqmReportFromJson("[]").ok());
+  EXPECT_FALSE(SqmReportFromJson(good.substr(0, good.size() / 2)).ok());
+
+  // A wrong-typed member: "raw" holding strings.
+  std::string bad = good;
+  const size_t raw_pos = bad.find("\"raw\":[1]");
+  ASSERT_NE(raw_pos, std::string::npos);
+  bad.replace(raw_pos, 9, "\"raw\":[\"x\"]");
+  const auto typed = SqmReportFromJson(bad);
+  ASSERT_FALSE(typed.ok());
+  EXPECT_EQ(typed.status().code(), StatusCode::kIoError);
+
+  // An unknown dropout policy string.
+  std::string policy = good;
+  const size_t policy_pos = policy.find("\"policy\":\"abort\"");
+  ASSERT_NE(policy_pos, std::string::npos);
+  policy.replace(policy_pos, 16, "\"policy\":\"shrug\"");
+  EXPECT_FALSE(SqmReportFromJson(policy).ok());
+}
+
+TEST(ReportIoTest, DropoutPolicyStringsRoundTrip) {
+  for (DropoutPolicy policy : {DropoutPolicy::kAbort, DropoutPolicy::kDegrade,
+                               DropoutPolicy::kTopUp}) {
+    const auto back = DropoutPolicyFromString(DropoutPolicyToString(policy));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.ValueOrDie(), policy);
+  }
+  EXPECT_FALSE(DropoutPolicyFromString("nonsense").ok());
+}
+
 }  // namespace
 }  // namespace sqm

@@ -1,0 +1,256 @@
+// Distributional conformance: chi-square goodness-of-fit for the Poisson
+// sampler's two code paths (Knuth inversion below the PTRS threshold, PTRS
+// rejection above it) and for Skellam tails, plus identities for the
+// regularized-gamma machinery the p-values rest on. Seeds are fixed, so
+// the chi-square statistics are deterministic — thresholds are loose
+// enough (p > 1e-6) that a correct sampler never flakes, yet an off-by-one
+// in either path moves the statistic by orders of magnitude.
+
+#include "testing/stat_check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "math/stats.h"
+#include "sampling/poisson.h"
+#include "sampling/rng.h"
+#include "sampling/skellam_sampler.h"
+
+namespace sqm {
+namespace {
+
+using testing::ChiSquareGoodnessOfFit;
+using testing::ChiSquareResult;
+using testing::ChiSquareTwoSample;
+using testing::ChiSquareUniform;
+
+double PoissonLogPmf(double mu, int64_t k) {
+  return -mu + static_cast<double>(k) * std::log(mu) -
+         std::lgamma(static_cast<double>(k) + 1.0);
+}
+
+/// Chi-square GOF of `samples` against Poisson(mu), binning the window
+/// [lo, hi] with pooled tails so every expected count is comfortably > 5.
+ChiSquareResult PoissonGof(double mu, const std::vector<int64_t>& samples,
+                           int64_t lo, int64_t hi) {
+  const size_t n = samples.size();
+  const size_t bins = static_cast<size_t>(hi - lo) + 3;  // window + 2 tails.
+  std::vector<uint64_t> observed(bins, 0);
+  for (int64_t s : samples) {
+    if (s < lo) {
+      ++observed[0];
+    } else if (s > hi) {
+      ++observed[bins - 1];
+    } else {
+      ++observed[static_cast<size_t>(s - lo) + 1];
+    }
+  }
+  std::vector<double> expected(bins, 0.0);
+  double window_mass = 0.0;
+  for (int64_t k = lo; k <= hi; ++k) {
+    const double p = std::exp(PoissonLogPmf(mu, k));
+    expected[static_cast<size_t>(k - lo) + 1] = p * static_cast<double>(n);
+    window_mass += p;
+  }
+  // Tail mass, split by a wide numeric sum (Poisson mass beyond mu +- 12
+  // sigma is far below double precision, so the truncation is exact for
+  // test purposes).
+  double lower_mass = 0.0;
+  for (int64_t k = 0; k < lo; ++k) lower_mass += std::exp(PoissonLogPmf(mu, k));
+  expected[0] = lower_mass * static_cast<double>(n);
+  expected[bins - 1] =
+      (1.0 - window_mass - lower_mass) * static_cast<double>(n);
+  // When lo == 0 the lower tail is empty; drop zero-mass bins.
+  std::vector<uint64_t> used_observed;
+  std::vector<double> used_expected;
+  for (size_t i = 0; i < bins; ++i) {
+    if (expected[i] <= 0.0) continue;
+    used_observed.push_back(observed[i]);
+    used_expected.push_back(expected[i]);
+  }
+  const auto result = ChiSquareGoodnessOfFit(used_observed, used_expected);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result.ValueOrDie() : ChiSquareResult{};
+}
+
+TEST(StatConformanceTest, PoissonPtrsPathMatchesThePmf) {
+  // mu = 25 is well above kPtrsThreshold = 10: every draw exercises the
+  // PTRS transformed-rejection path.
+  constexpr double kMu = 25.0;
+  static_assert(kMu >= PoissonSampler::kPtrsThreshold);
+  PoissonSampler sampler(kMu);
+  Rng rng(20240801);
+  const std::vector<int64_t> samples = sampler.SampleVector(rng, 200000);
+  // Window mu +- 4 sigma: [5, 45].
+  const ChiSquareResult gof = PoissonGof(kMu, samples, 5, 45);
+  EXPECT_GT(gof.p_value, 1e-6)
+      << "PTRS chi-square " << gof.statistic << " on " << gof.dof << " dof";
+}
+
+TEST(StatConformanceTest, PoissonKnuthPathMatchesThePmf) {
+  constexpr double kMu = 3.5;
+  static_assert(kMu < PoissonSampler::kPtrsThreshold);
+  PoissonSampler sampler(kMu);
+  Rng rng(911);
+  const std::vector<int64_t> samples = sampler.SampleVector(rng, 200000);
+  const ChiSquareResult gof = PoissonGof(kMu, samples, 0, 11);
+  EXPECT_GT(gof.p_value, 1e-6)
+      << "Knuth chi-square " << gof.statistic << " on " << gof.dof << " dof";
+}
+
+TEST(StatConformanceTest, TwoPoissonPathsAgreeAcrossTheThreshold) {
+  // mu just below and just above the PTRS threshold should produce nearly
+  // identical distributions; the weighted two-sample statistic tolerates
+  // the genuine mu difference at this resolution while still catching a
+  // path-specific bias.
+  Rng rng_a(5), rng_b(6);
+  const std::vector<int64_t> below =
+      PoissonSampler(9.99).SampleVector(rng_a, 150000);
+  const std::vector<int64_t> above =
+      PoissonSampler(10.01).SampleVector(rng_b, 150000);
+  std::vector<uint64_t> bins_a(25, 0), bins_b(25, 0);
+  for (int64_t s : below) ++bins_a[static_cast<size_t>(std::min(s, int64_t{24}))];
+  for (int64_t s : above) ++bins_b[static_cast<size_t>(std::min(s, int64_t{24}))];
+  const auto result = ChiSquareTwoSample(bins_a, bins_b);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.ValueOrDie().p_value, 1e-6);
+}
+
+TEST(StatConformanceTest, SkellamTailsMatchTheConvolutionPmf) {
+  // Sk(mu) here is the difference of two independent Poisson(mu) variates.
+  // Sanity-check the parameterisation via the variance (Var = 2*mu), then
+  // run a full GOF against the numeric convolution pmf with pooled tails —
+  // the tails are where a biased PTRS acceptance region would show up.
+  constexpr double kMu = 8.0;
+  SkellamSampler sampler(kMu);
+  Rng rng(777);
+  const std::vector<int64_t> samples = sampler.SampleVector(rng, 200000);
+  const double variance = Variance(samples);
+  EXPECT_NEAR(variance, 2.0 * kMu, 0.25)
+      << "Skellam variance should be 2*mu";
+
+  // pmf of Z = X - Y with X, Y ~ Poisson(mu): sum_k p(k) p(k - z).
+  auto skellam_pmf = [&](int64_t z) {
+    double mass = 0.0;
+    for (int64_t k = std::max<int64_t>(0, z); k <= z + 200; ++k) {
+      mass += std::exp(PoissonLogPmf(kMu, k) + PoissonLogPmf(kMu, k - z));
+    }
+    return mass;
+  };
+  // Window +-4 sigma (sigma = 4): [-16, 16], pooled tails.
+  const int64_t lo = -16, hi = 16;
+  const size_t bins = static_cast<size_t>(hi - lo) + 3;
+  std::vector<uint64_t> observed(bins, 0);
+  for (int64_t s : samples) {
+    if (s < lo) {
+      ++observed[0];
+    } else if (s > hi) {
+      ++observed[bins - 1];
+    } else {
+      ++observed[static_cast<size_t>(s - lo) + 1];
+    }
+  }
+  std::vector<double> expected(bins, 0.0);
+  double window_mass = 0.0;
+  for (int64_t z = lo; z <= hi; ++z) {
+    const double p = skellam_pmf(z);
+    expected[static_cast<size_t>(z - lo) + 1] =
+        p * static_cast<double>(samples.size());
+    window_mass += p;
+  }
+  // The distribution is symmetric: split the remaining tail mass evenly.
+  const double tail = (1.0 - window_mass) / 2.0;
+  expected[0] = tail * static_cast<double>(samples.size());
+  expected[bins - 1] = tail * static_cast<double>(samples.size());
+  const auto gof = ChiSquareGoodnessOfFit(observed, expected);
+  ASSERT_TRUE(gof.ok()) << gof.status().ToString();
+  EXPECT_GT(gof.ValueOrDie().p_value, 1e-6)
+      << "Skellam chi-square " << gof.ValueOrDie().statistic;
+}
+
+// ---------------------------------------------------------------------------
+// The gamma-function machinery under the p-values.
+
+TEST(StatConformanceTest, RegularizedGammaQKnownIdentities) {
+  // Q(1, x) = e^-x.
+  for (double x : {0.1, 0.5, 1.0, 2.5, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaQ(1.0, x), std::exp(-x), 1e-12);
+  }
+  // Q(1/2, x) = erfc(sqrt(x)).
+  for (double x : {0.01, 0.25, 1.0, 4.0, 9.0}) {
+    EXPECT_NEAR(RegularizedGammaQ(0.5, x), std::erfc(std::sqrt(x)), 1e-10);
+  }
+  // Q(a, 0) = 1, and Q decreases in x.
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(3.0, 0.0), 1.0);
+  EXPECT_LT(RegularizedGammaQ(3.0, 5.0), RegularizedGammaQ(3.0, 2.0));
+}
+
+TEST(StatConformanceTest, ChiSquarePValueMatchesTextbookQuantiles) {
+  // 95th percentile of chi-square(1) is 3.841; of chi-square(10), 18.307.
+  EXPECT_NEAR(ChiSquarePValue(3.841, 1.0), 0.05, 5e-4);
+  EXPECT_NEAR(ChiSquarePValue(18.307, 10.0), 0.05, 5e-4);
+  EXPECT_NEAR(ChiSquarePValue(0.0, 4.0), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// The chi-square helpers themselves.
+
+TEST(StatConformanceTest, UniformTestAcceptsUniformRejectsSkewed) {
+  Rng rng(31337);
+  std::vector<uint64_t> uniform(16, 0);
+  for (size_t i = 0; i < 80000; ++i) ++uniform[rng.NextBounded(16)];
+  const auto ok_result = ChiSquareUniform(uniform);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_GT(ok_result.ValueOrDie().p_value, 1e-6);
+
+  std::vector<uint64_t> skewed(16, 4000);
+  skewed[3] = 12000;  // One bin triple-weighted.
+  const auto bad_result = ChiSquareUniform(skewed);
+  ASSERT_TRUE(bad_result.ok());
+  EXPECT_LT(bad_result.ValueOrDie().p_value, 1e-9);
+}
+
+TEST(StatConformanceTest, TwoSampleTestSeparatesDistributions) {
+  Rng rng(99);
+  std::vector<uint64_t> a(12, 0), b(12, 0), c(12, 0);
+  for (size_t i = 0; i < 60000; ++i) ++a[rng.NextBounded(12)];
+  for (size_t i = 0; i < 60000; ++i) ++b[rng.NextBounded(12)];
+  for (size_t i = 0; i < 60000; ++i) {
+    // Triangular-ish: sum of two dice halves.
+    ++c[(rng.NextBounded(12) + rng.NextBounded(12)) / 2];
+  }
+  const auto same = ChiSquareTwoSample(a, b);
+  ASSERT_TRUE(same.ok());
+  EXPECT_GT(same.ValueOrDie().p_value, 1e-6);
+  const auto different = ChiSquareTwoSample(a, c);
+  ASSERT_TRUE(different.ok());
+  EXPECT_LT(different.ValueOrDie().p_value, 1e-9);
+}
+
+TEST(StatConformanceTest, GoodnessOfFitRejectsBadInputs) {
+  EXPECT_FALSE(ChiSquareGoodnessOfFit({1, 2}, {3.0}).ok());
+  EXPECT_FALSE(ChiSquareGoodnessOfFit({1}, {1.0}).ok());
+  EXPECT_FALSE(ChiSquareGoodnessOfFit({1, 2, 3}, {5.0, 0.0, 5.0}).ok());
+}
+
+TEST(StatConformanceTest, BinTopBitsUsesTheHighBitsOfTheField) {
+  // 16 bins over a 61-bit field: bin index is the value's top nibble,
+  // exactly the v >> 57 binning the privacy tests use.
+  const std::vector<uint64_t> values = {
+      0,                          // bin 0
+      uint64_t{1} << 57,          // bin 1
+      (uint64_t{1} << 61) - 2,    // top bin (modulus - 1)
+      uint64_t{15} << 57,         // top bin
+  };
+  const std::vector<uint64_t> counts = testing::BinTopBits(values, 16);
+  ASSERT_EQ(counts.size(), 16u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[15], 2u);
+}
+
+}  // namespace
+}  // namespace sqm
