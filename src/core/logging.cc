@@ -1,8 +1,15 @@
 #include "core/logging.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/json.h"
+#include "obs/obs.h"
 
 namespace sqm {
 namespace {
@@ -25,6 +32,57 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Mutable logger state behind one mutex: sink, per-module overrides and
+/// fatal hooks. Heap-allocated and never destroyed so logging from
+/// detached threads during process exit stays safe.
+struct LoggerState {
+  std::mutex mu;
+  LogSink sink;  // Null: default stderr sink.
+  std::map<std::string, int> module_levels;
+  std::vector<std::function<void()>> fatal_hooks;
+};
+
+LoggerState& State() {
+  static LoggerState* state = new LoggerState();
+  return *state;
+}
+
+void DefaultSink(const LogRecord& record) {
+  // One formatted line composed up front, emitted with a single fwrite so
+  // concurrent parties cannot interleave bytes.
+  std::string line = "[";
+  line += LevelName(record.level);
+  line += "] ";
+  line += record.message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+void Dispatch(const LogRecord& record) {
+  LoggerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.sink) {
+    state.sink(record);
+  } else {
+    DefaultSink(record);
+  }
+}
+
+void RunFatalHooks() {
+  // Recursion guard: a hook that itself hits a fatal condition must not
+  // re-enter the hook list.
+  static std::atomic<bool> ran{false};
+  if (ran.exchange(true)) return;
+  std::vector<std::function<void()>> hooks;
+  {
+    LoggerState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    hooks = state.fatal_hooks;
+  }
+  for (const auto& hook : hooks) hook();
+}
+
 }  // namespace
 
 void Logger::SetLevel(LogLevel level) {
@@ -35,12 +93,113 @@ LogLevel Logger::GetLevel() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
-void Logger::Log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) >=
-      g_level.load(std::memory_order_relaxed)) {
-    std::cerr << "[" << LevelName(level) << "] " << message << "\n";
-  }
-  if (level == LogLevel::kFatal) std::abort();
+void Logger::SetModuleLevel(const std::string& module, LogLevel level) {
+  LoggerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.module_levels[module] = static_cast<int>(level);
 }
+
+void Logger::ClearModuleLevel(const std::string& module) {
+  LoggerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.module_levels.erase(module);
+}
+
+void Logger::ClearModuleLevels() {
+  LoggerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.module_levels.clear();
+}
+
+bool Logger::ShouldLog(LogLevel level, const std::string& module) {
+  int threshold = g_level.load(std::memory_order_relaxed);
+  if (!module.empty()) {
+    LoggerState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    auto it = state.module_levels.find(module);
+    if (it != state.module_levels.end()) threshold = it->second;
+  }
+  return static_cast<int>(level) >= threshold;
+}
+
+void Logger::SetSink(LogSink sink) {
+  LoggerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.sink = std::move(sink);
+}
+
+std::string Logger::RecordToJsonLine(const LogRecord& record) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Field("ts", record.elapsed_seconds)
+      .Field("level", LevelName(record.level))
+      .Field("module", record.module)
+      .Field("file", record.file)
+      .Field("line", record.line)
+      .Field("message", record.message)
+      .EndObject();
+  return writer.str();
+}
+
+void Logger::AddFatalHook(std::function<void()> hook) {
+  LoggerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.fatal_hooks.push_back(std::move(hook));
+}
+
+std::string Logger::ModuleFromFile(const char* file) {
+  if (file == nullptr) return "";
+  const std::string path(file);
+  // Prefer the segment after the last "src/" so absolute paths work too.
+  const size_t src = path.rfind("src/");
+  size_t begin;
+  if (src != std::string::npos) {
+    begin = src + 4;
+  } else {
+    const size_t slash = path.find('/');
+    if (slash == std::string::npos) return "";
+    begin = 0;
+  }
+  const size_t end = path.find('/', begin);
+  if (end == std::string::npos) return "";  // A bare filename under src/.
+  return path.substr(begin, end - begin);
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  LogAt(level, "", 0, message);
+}
+
+void Logger::LogAt(LogLevel level, const char* file, int line,
+                   const std::string& message) {
+  LogRecord record;
+  record.level = level;
+  record.file = file == nullptr ? "" : file;
+  record.line = line;
+  record.module = ModuleFromFile(record.file);
+  record.message = message;
+  record.elapsed_seconds = static_cast<double>(obs::NowMicros()) * 1e-6;
+  if (ShouldLog(level, record.module)) {
+    Dispatch(record);
+  }
+  if (level == LogLevel::kFatal) {
+    RunFatalHooks();
+    std::abort();
+  }
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expression) {
+  std::string message = "Check failed: ";
+  message += expression;
+  message += " at ";
+  message += file;
+  message += ":";
+  message += std::to_string(line);
+  Logger::LogAt(LogLevel::kFatal, file, line, message);
+  std::abort();  // Unreachable: LogAt aborts on kFatal.
+}
+
+}  // namespace internal
 
 }  // namespace sqm

@@ -1,6 +1,7 @@
 #ifndef SQM_CORE_LOGGING_H_
 #define SQM_CORE_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,17 +16,67 @@ enum class LogLevel : int {
   kFatal = 4,
 };
 
-/// Minimal thread-compatible logger. Messages at or above the global
-/// threshold go to stderr; kFatal additionally aborts. Benchmarks and tests
-/// raise the threshold to keep output clean.
+/// One log emission, as handed to sinks.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";    ///< __FILE__ of the call site ("" for legacy).
+  int line = 0;
+  std::string module;       ///< Source subsystem, e.g. "net", "mpc".
+  std::string message;
+  double elapsed_seconds = 0.0;  ///< Since the process trace epoch.
+};
+
+/// A pluggable destination for log records. Sinks are called under the
+/// logger mutex, so each record is emitted exactly once and whole —
+/// concurrent party threads can no longer interleave bytes within a line.
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Thread-safe logger. Messages at or above the effective threshold (the
+/// per-module override when one is set, else the global level) go to the
+/// installed sink — by default one atomic "[LEVEL] message" line on stderr.
+/// kFatal runs the registered fatal hooks (e.g. the tracer's crash flush)
+/// and aborts. Benchmarks and tests raise the threshold to keep output
+/// clean.
 class Logger {
  public:
   /// Sets the global minimum severity that will be emitted.
   static void SetLevel(LogLevel level);
   static LogLevel GetLevel();
 
+  /// Per-module threshold override (module = path segment after "src/",
+  /// e.g. "net"). Wins over the global level for that module's call sites.
+  static void SetModuleLevel(const std::string& module, LogLevel level);
+  static void ClearModuleLevel(const std::string& module);
+  static void ClearModuleLevels();
+
+  /// Whether a record at `level` from `module` would be emitted.
+  static bool ShouldLog(LogLevel level, const std::string& module);
+
+  /// Replaces the output sink; a null sink restores the default stderr
+  /// sink. The sink runs under the logger mutex — keep it fast.
+  static void SetSink(LogSink sink);
+
+  /// A record rendered as one JSON object (no trailing newline) — the
+  /// building block for JSON-lines sinks:
+  ///   Logger::SetSink([&](const LogRecord& r) {
+  ///     stream << Logger::RecordToJsonLine(r) << '\n';
+  ///   });
+  static std::string RecordToJsonLine(const LogRecord& record);
+
+  /// Registers a hook run (once each) on the fatal path before abort.
+  /// Used by obs::Tracer to flush the active trace from crashes.
+  static void AddFatalHook(std::function<void()> hook);
+
   /// Emits one formatted line ("[LEVEL] message"). Aborts on kFatal.
   static void Log(LogLevel level, const std::string& message);
+
+  /// Full-context emission used by SQM_LOG; derives the module from file.
+  static void LogAt(LogLevel level, const char* file, int line,
+                    const std::string& message);
+
+  /// "src/net/threaded.cc" -> "net"; files outside src/ map to their
+  /// directory name, bare filenames to "".
+  static std::string ModuleFromFile(const char* file);
 };
 
 namespace internal {
@@ -35,7 +86,9 @@ namespace internal {
 class LogMessage {
  public:
   explicit LogMessage(LogLevel level) : level_(level) {}
-  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::LogAt(level_, file_, line_, stream_.str()); }
 
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
@@ -48,25 +101,35 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_ = "";
+  int line_ = 0;
   std::ostringstream stream_;
 };
+
+/// Fatal path of SQM_CHECK: one atomic write carrying the failed
+/// expression and location, fatal hooks (trace flush), then abort.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const char* expression);
 
 }  // namespace internal
 
 /// Usage: SQM_LOG(kInfo) << "epoch " << e << " done";
-#define SQM_LOG(severity) \
-  ::sqm::internal::LogMessage(::sqm::LogLevel::severity)
+#define SQM_LOG(severity)                                     \
+  ::sqm::internal::LogMessage(::sqm::LogLevel::severity,      \
+                              __FILE__, __LINE__)
 
-/// Precondition check that survives release builds. Aborts with the
-/// condition text on failure; use for programmer errors, not data errors.
-#define SQM_CHECK(condition)                                            \
-  do {                                                                  \
-    if (!(condition)) {                                                 \
-      ::sqm::Logger::Log(::sqm::LogLevel::kFatal,                       \
-                         std::string("Check failed: ") + #condition +  \
-                             " at " + __FILE__ + ":" +                  \
-                             std::to_string(__LINE__));                 \
-    }                                                                   \
+/// Precondition check that survives release builds. On failure, emits the
+/// failed expression and location in one atomic write, flushes the active
+/// trace buffer (via the logger's fatal hooks), and aborts. The statement
+/// form is safe in an unbraced if/else, and the compiler knows execution
+/// does not continue past a failed check. Use for programmer errors, not
+/// data errors.
+#define SQM_CHECK(condition)                                  \
+  do {                                                        \
+    if (!(condition)) {                                       \
+      ::sqm::internal::CheckFailed(__FILE__, __LINE__,        \
+                                   #condition);               \
+    }                                                         \
   } while (false)
 
 }  // namespace sqm

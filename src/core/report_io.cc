@@ -1,388 +1,10 @@
 #include "core/report_io.h"
 
-#include <cctype>
-#include <cerrno>
-#include <cinttypes>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <limits>
 
 namespace sqm {
 
-JsonWriter::JsonWriter() { needs_comma_.push_back(false); }
-
-void JsonWriter::MaybeComma() {
-  if (needs_comma_.back()) out_ += ',';
-  needs_comma_.back() = true;
-}
-
-void JsonWriter::Escape(const std::string& raw) {
-  out_ += '"';
-  for (char c : raw) {
-    switch (c) {
-      case '"':
-        out_ += "\\\"";
-        break;
-      case '\\':
-        out_ += "\\\\";
-        break;
-      case '\n':
-        out_ += "\\n";
-        break;
-      case '\t':
-        out_ += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out_ += buf;
-        } else {
-          out_ += c;
-        }
-    }
-  }
-  out_ += '"';
-}
-
-JsonWriter& JsonWriter::BeginObject() {
-  MaybeComma();
-  out_ += '{';
-  needs_comma_.push_back(false);
-  return *this;
-}
-
-JsonWriter& JsonWriter::EndObject() {
-  out_ += '}';
-  needs_comma_.pop_back();
-  return *this;
-}
-
-JsonWriter& JsonWriter::BeginArray(const std::string& key) {
-  if (!key.empty()) Key(key);
-  MaybeComma();
-  out_ += '[';
-  needs_comma_.push_back(false);
-  return *this;
-}
-
-JsonWriter& JsonWriter::EndArray() {
-  out_ += ']';
-  needs_comma_.pop_back();
-  return *this;
-}
-
-JsonWriter& JsonWriter::Key(const std::string& key) {
-  MaybeComma();
-  Escape(key);
-  out_ += ':';
-  needs_comma_.back() = false;  // Next Value should not emit a comma.
-  return *this;
-}
-
-JsonWriter& JsonWriter::Value(double value) {
-  MaybeComma();
-  if (std::isfinite(value)) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    out_ += buf;
-  } else {
-    out_ += "null";  // JSON has no NaN/Inf.
-  }
-  return *this;
-}
-
-JsonWriter& JsonWriter::Value(uint64_t value) {
-  MaybeComma();
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
-  out_ += buf;
-  return *this;
-}
-
-JsonWriter& JsonWriter::Value(int64_t value) {
-  MaybeComma();
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
-  out_ += buf;
-  return *this;
-}
-
-JsonWriter& JsonWriter::Value(const std::string& value) {
-  MaybeComma();
-  Escape(value);
-  return *this;
-}
-
-JsonWriter& JsonWriter::Value(bool value) {
-  MaybeComma();
-  out_ += value ? "true" : "false";
-  return *this;
-}
-
-const JsonValue* JsonValue::Find(const std::string& key) const {
-  if (kind != Kind::kObject) return nullptr;
-  for (const auto& [name, value] : members) {
-    if (name == key) return &value;
-  }
-  return nullptr;
-}
-
 namespace {
-
-/// Recursive-descent JSON parser. Depth-limited so adversarial nesting
-/// fails with a Status instead of exhausting the stack.
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  Result<JsonValue> ParseDocument() {
-    SkipWhitespace();
-    JsonValue value;
-    SQM_RETURN_NOT_OK(ParseValue(0, &value));
-    SkipWhitespace();
-    if (pos_ != text_.size()) {
-      return Error("trailing garbage after JSON document");
-    }
-    return value;
-  }
-
- private:
-  static constexpr size_t kMaxDepth = 256;
-
-  Status Error(const std::string& what) const {
-    return Status::IoError("JSON parse error at byte " +
-                           std::to_string(pos_) + ": " + what);
-  }
-
-  void SkipWhitespace() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      ++pos_;
-    }
-  }
-
-  bool Consume(char expected) {
-    if (pos_ < text_.size() && text_[pos_] == expected) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Status ParseValue(size_t depth, JsonValue* out) {
-    if (depth > kMaxDepth) return Error("nesting too deep");
-    if (pos_ >= text_.size()) return Error("unexpected end of input");
-    switch (text_[pos_]) {
-      case '{':
-        return ParseObject(depth, out);
-      case '[':
-        return ParseArray(depth, out);
-      case '"':
-        out->kind = JsonValue::Kind::kString;
-        return ParseString(&out->string_value);
-      case 't':
-      case 'f':
-        return ParseKeyword(out);
-      case 'n':
-        return ParseKeyword(out);
-      default:
-        return ParseNumber(out);
-    }
-  }
-
-  Status ParseKeyword(JsonValue* out) {
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out->kind = JsonValue::Kind::kBool;
-      out->bool_value = true;
-      pos_ += 4;
-      return Status::OK();
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out->kind = JsonValue::Kind::kBool;
-      out->bool_value = false;
-      pos_ += 5;
-      return Status::OK();
-    }
-    if (text_.compare(pos_, 4, "null") == 0) {
-      out->kind = JsonValue::Kind::kNull;
-      pos_ += 4;
-      return Status::OK();
-    }
-    return Error("unrecognized token");
-  }
-
-  Status ParseString(std::string* out) {
-    if (!Consume('"')) return Error("expected '\"'");
-    out->clear();
-    while (true) {
-      if (pos_ >= text_.size()) return Error("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return Status::OK();
-      if (static_cast<unsigned char>(c) < 0x20) {
-        return Error("raw control character in string");
-      }
-      if (c != '\\') {
-        *out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) return Error("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': *out += '"'; break;
-        case '\\': *out += '\\'; break;
-        case '/': *out += '/'; break;
-        case 'b': *out += '\b'; break;
-        case 'f': *out += '\f'; break;
-        case 'n': *out += '\n'; break;
-        case 'r': *out += '\r'; break;
-        case 't': *out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return Error("bad hex digit in \\u escape");
-          }
-          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
-          // the writer never emits them).
-          if (code < 0x80) {
-            *out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            *out += static_cast<char>(0xC0 | (code >> 6));
-            *out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            *out += static_cast<char>(0xE0 | (code >> 12));
-            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            *out += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default:
-          return Error("unknown escape character");
-      }
-    }
-  }
-
-  Status ParseNumber(JsonValue* out) {
-    const size_t start = pos_;
-    if (Consume('-')) out->is_negative = true;
-    bool integral = true;
-    if (pos_ >= text_.size() || !std::isdigit(
-            static_cast<unsigned char>(text_[pos_]))) {
-      return Error("expected a digit");
-    }
-    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
-        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
-      return Error("leading zero in number");
-    }
-    while (pos_ < text_.size() &&
-           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-    const size_t int_end = pos_;
-    if (Consume('.')) {
-      integral = false;
-      if (pos_ >= text_.size() ||
-          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        return Error("expected a digit after '.'");
-      }
-      while (pos_ < text_.size() &&
-             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-      }
-    }
-    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      integral = false;
-      ++pos_;
-      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
-        ++pos_;
-      }
-      if (pos_ >= text_.size() ||
-          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        return Error("expected a digit in exponent");
-      }
-      while (pos_ < text_.size() &&
-             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-      }
-    }
-    const std::string lexeme = text_.substr(start, pos_ - start);
-    out->kind = JsonValue::Kind::kNumber;
-    out->number = std::strtod(lexeme.c_str(), nullptr);
-    if (integral) {
-      // Exact 64-bit integer path: field elements exceed double precision.
-      const std::string digits =
-          text_.substr(start + (out->is_negative ? 1 : 0),
-                       int_end - start - (out->is_negative ? 1 : 0));
-      errno = 0;
-      const uint64_t magnitude = std::strtoull(digits.c_str(), nullptr, 10);
-      if (errno != ERANGE) {
-        out->is_integer = true;
-        out->uint_value = magnitude;
-        if (!out->is_negative &&
-            magnitude <= static_cast<uint64_t>(
-                             std::numeric_limits<int64_t>::max())) {
-          out->int_value = static_cast<int64_t>(magnitude);
-        } else if (out->is_negative &&
-                   magnitude <= static_cast<uint64_t>(
-                                    std::numeric_limits<int64_t>::max()) +
-                                    1) {
-          out->int_value = static_cast<int64_t>(-magnitude);
-        } else if (out->is_negative) {
-          out->is_integer = false;  // Below int64 range.
-        }
-      }
-    }
-    return Status::OK();
-  }
-
-  Status ParseArray(size_t depth, JsonValue* out) {
-    Consume('[');
-    out->kind = JsonValue::Kind::kArray;
-    SkipWhitespace();
-    if (Consume(']')) return Status::OK();
-    while (true) {
-      JsonValue item;
-      SkipWhitespace();
-      SQM_RETURN_NOT_OK(ParseValue(depth + 1, &item));
-      out->items.push_back(std::move(item));
-      SkipWhitespace();
-      if (Consume(']')) return Status::OK();
-      if (!Consume(',')) return Error("expected ',' or ']' in array");
-    }
-  }
-
-  Status ParseObject(size_t depth, JsonValue* out) {
-    Consume('{');
-    out->kind = JsonValue::Kind::kObject;
-    SkipWhitespace();
-    if (Consume('}')) return Status::OK();
-    while (true) {
-      SkipWhitespace();
-      std::string key;
-      SQM_RETURN_NOT_OK(ParseString(&key));
-      SkipWhitespace();
-      if (!Consume(':')) return Error("expected ':' after object key");
-      JsonValue value;
-      SkipWhitespace();
-      SQM_RETURN_NOT_OK(ParseValue(depth + 1, &value));
-      out->members.emplace_back(std::move(key), std::move(value));
-      SkipWhitespace();
-      if (Consume('}')) return Status::OK();
-      if (!Consume(',')) return Error("expected ',' or '}' in object");
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
 
 /// Structured accessors for reloading reports: every mismatch is a Status
 /// naming the offending key, never a crash.
@@ -420,6 +42,13 @@ Result<uint64_t> UintField(const JsonValue& object, const std::string& key) {
                            "\" is not an unsigned integer");
   }
   return member->uint_value;
+}
+
+Result<std::string> StringField(const JsonValue& object,
+                                const std::string& key) {
+  SQM_ASSIGN_OR_RETURN(const JsonValue* member, RequireMember(object, key));
+  SQM_RETURN_NOT_OK(RequireKind(*member, JsonValue::Kind::kString, key));
+  return member->string_value;
 }
 
 Result<int64_t> IntElement(const JsonValue& value, const std::string& what) {
@@ -470,6 +99,65 @@ void WriteTransportStatsFields(JsonWriter& writer,
       .Field("crash_losses", stats.crash_losses)
       .Field("simulated_seconds", stats.simulated_seconds)
       .Field("wall_seconds", stats.wall_seconds);
+}
+
+void WriteLedgerEntryFields(JsonWriter& writer,
+                            const obs::LedgerEntry& entry) {
+  writer.Field("sequence", entry.sequence)
+      .Field("elapsed_seconds", entry.elapsed_seconds)
+      .Field("mechanism", entry.mechanism)
+      .Field("label", entry.label)
+      .Field("mu", entry.mu)
+      .Field("gamma", entry.gamma)
+      .Field("dimension", static_cast<uint64_t>(entry.dimension))
+      .Field("l1_sensitivity", entry.l1_sensitivity)
+      .Field("l2_sensitivity", entry.l2_sensitivity)
+      .Field("sampling_rate", entry.sampling_rate)
+      .Field("count", entry.count)
+      .Field("epsilon", entry.epsilon)
+      .Field("delta", entry.delta)
+      .Field("best_alpha", entry.best_alpha)
+      .Field("cumulative_epsilon", entry.cumulative_epsilon)
+      .Field("contributors", static_cast<uint64_t>(entry.contributors))
+      .Field("expected_contributors",
+             static_cast<uint64_t>(entry.expected_contributors))
+      .Field("deficit_mu", entry.deficit_mu);
+}
+
+Result<obs::LedgerEntry> LedgerEntryFromJson(const JsonValue& object) {
+  SQM_RETURN_NOT_OK(
+      RequireKind(object, JsonValue::Kind::kObject, "privacy_ledger[i]"));
+  obs::LedgerEntry entry;
+  SQM_ASSIGN_OR_RETURN(entry.sequence, UintField(object, "sequence"));
+  SQM_ASSIGN_OR_RETURN(entry.elapsed_seconds,
+                       NumberField(object, "elapsed_seconds"));
+  SQM_ASSIGN_OR_RETURN(entry.mechanism, StringField(object, "mechanism"));
+  SQM_ASSIGN_OR_RETURN(entry.label, StringField(object, "label"));
+  SQM_ASSIGN_OR_RETURN(entry.mu, NumberField(object, "mu"));
+  SQM_ASSIGN_OR_RETURN(entry.gamma, NumberField(object, "gamma"));
+  SQM_ASSIGN_OR_RETURN(const uint64_t dimension,
+                       UintField(object, "dimension"));
+  entry.dimension = static_cast<size_t>(dimension);
+  SQM_ASSIGN_OR_RETURN(entry.l1_sensitivity,
+                       NumberField(object, "l1_sensitivity"));
+  SQM_ASSIGN_OR_RETURN(entry.l2_sensitivity,
+                       NumberField(object, "l2_sensitivity"));
+  SQM_ASSIGN_OR_RETURN(entry.sampling_rate,
+                       NumberField(object, "sampling_rate"));
+  SQM_ASSIGN_OR_RETURN(entry.count, UintField(object, "count"));
+  SQM_ASSIGN_OR_RETURN(entry.epsilon, NumberField(object, "epsilon"));
+  SQM_ASSIGN_OR_RETURN(entry.delta, NumberField(object, "delta"));
+  SQM_ASSIGN_OR_RETURN(entry.best_alpha, NumberField(object, "best_alpha"));
+  SQM_ASSIGN_OR_RETURN(entry.cumulative_epsilon,
+                       NumberField(object, "cumulative_epsilon"));
+  SQM_ASSIGN_OR_RETURN(const uint64_t contributors,
+                       UintField(object, "contributors"));
+  entry.contributors = static_cast<size_t>(contributors);
+  SQM_ASSIGN_OR_RETURN(const uint64_t expected,
+                       UintField(object, "expected_contributors"));
+  entry.expected_contributors = static_cast<size_t>(expected);
+  SQM_ASSIGN_OR_RETURN(entry.deficit_mu, NumberField(object, "deficit_mu"));
+  return entry;
 }
 
 }  // namespace
@@ -543,13 +231,15 @@ std::string SqmReportToJson(const SqmReport& report) {
       .Field("resumed_from_level",
              static_cast<uint64_t>(report.dropout.resumed_from_level))
       .EndObject();
+  writer.BeginArray("privacy_ledger");
+  for (const obs::LedgerEntry& entry : report.ledger) {
+    writer.BeginObject();
+    WriteLedgerEntryFields(writer, entry);
+    writer.EndObject();
+  }
+  writer.EndArray();
   writer.EndObject();
   return writer.str();
-}
-
-Result<JsonValue> ParseJson(const std::string& text) {
-  JsonParser parser(text);
-  return parser.ParseDocument();
 }
 
 Result<SqmReport> SqmReportFromJson(const std::string& json) {
@@ -647,6 +337,18 @@ Result<SqmReport> SqmReportFromJson(const std::string& json) {
                        UintField(*dropout, "resumed_from_level"));
   report.dropout.resumed_from_level =
       static_cast<size_t>(resumed_from_level);
+
+  // Pre-observability reports have no ledger block; load those as empty
+  // rather than failing, so archived artifacts stay readable.
+  if (const JsonValue* ledger = root.Find("privacy_ledger")) {
+    SQM_RETURN_NOT_OK(
+        RequireKind(*ledger, JsonValue::Kind::kArray, "privacy_ledger"));
+    for (const JsonValue& item : ledger->items) {
+      SQM_ASSIGN_OR_RETURN(obs::LedgerEntry entry,
+                           LedgerEntryFromJson(item));
+      report.ledger.push_back(std::move(entry));
+    }
+  }
   return report;
 }
 

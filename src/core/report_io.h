@@ -6,86 +6,25 @@
 #include <utility>
 #include <vector>
 
+#include "core/json.h"
 #include "core/sqm.h"
 
 namespace sqm {
 
-/// Minimal JSON writer used to persist experiment artifacts — release
-/// reports, timing breakdowns, network counters — so downstream analysis
-/// (plotting the reproduced figures, regression-tracking the tables) does
-/// not have to scrape stdout. ParseJson below is the matching consumer,
-/// used to reload reports and transcripts for replay.
-class JsonWriter {
- public:
-  JsonWriter();
-
-  JsonWriter& BeginObject();
-  JsonWriter& EndObject();
-  JsonWriter& BeginArray(const std::string& key = "");
-  JsonWriter& EndArray();
-
-  JsonWriter& Key(const std::string& key);
-  JsonWriter& Value(double value);
-  JsonWriter& Value(uint64_t value);
-  JsonWriter& Value(int64_t value);
-  JsonWriter& Value(const std::string& value);
-  JsonWriter& Value(bool value);
-
-  /// Convenience: Key(key) + Value(value).
-  template <typename T>
-  JsonWriter& Field(const std::string& key, const T& value) {
-    Key(key);
-    return Value(value);
-  }
-
-  /// The accumulated document.
-  std::string str() const { return out_; }
-
- private:
-  void MaybeComma();
-  void Escape(const std::string& raw);
-
-  std::string out_;
-  std::vector<bool> needs_comma_;
-};
-
-/// A parsed JSON value. Numbers keep their exact integer representation
-/// alongside the double: field elements go up to 2^61 - 2, beyond double's
-/// 2^53 of integer precision, so a transcript round-tripped through the
-/// double would silently corrupt shares.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Kind kind = Kind::kNull;
-  bool bool_value = false;
-
-  double number = 0.0;      ///< Numeric value (lossy above 2^53).
-  bool is_integer = false;  ///< Lexically integral and within 64-bit range.
-  bool is_negative = false;
-  uint64_t uint_value = 0;  ///< Magnitude when is_integer.
-  int64_t int_value = 0;    ///< Signed value when is_integer & representable.
-
-  std::string string_value;
-  std::vector<JsonValue> items;  ///< kArray elements.
-  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject.
-
-  /// First member with the given key, or nullptr (object only).
-  const JsonValue* Find(const std::string& key) const;
-};
-
-/// Parses a complete JSON document (trailing whitespace allowed, trailing
-/// garbage is an error). Malformed input fails with kIoError naming the
-/// byte offset — never a crash.
-Result<JsonValue> ParseJson(const std::string& text);
+// JsonWriter, JsonValue and ParseJson moved to core/json.h (base layer) so
+// the observability runtime and logger can emit JSON; this header re-exports
+// them for existing consumers.
 
 /// Serializes an SQM release report (estimates, raw integers, timing,
-/// network counters, transport breakdowns) to a JSON object.
+/// network counters, transport breakdowns, privacy ledger) to a JSON
+/// object.
 std::string SqmReportToJson(const SqmReport& report);
 
 /// Reloads a report written by SqmReportToJson: estimate, raw, timing,
-/// network and dropout blocks (transport breakdowns are not reloaded).
-/// Malformed or structurally wrong documents fail with a Status, never a
-/// crash.
+/// network, dropout and privacy-ledger blocks (transport breakdowns are not
+/// reloaded; a missing privacy_ledger block — pre-observability reports —
+/// loads as an empty ledger). Malformed or structurally wrong documents
+/// fail with a Status, never a crash.
 Result<SqmReport> SqmReportFromJson(const std::string& json);
 
 /// Serializes network counters alone.

@@ -15,6 +15,7 @@
 #include "mpc/protocol.h"
 #include "mpc/shamir.h"
 #include "net/liveness.h"
+#include "obs/trace.h"
 #include "sampling/skellam_sampler.h"
 
 namespace sqm {
@@ -25,6 +26,20 @@ double SecondsSince(
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+/// Emits a completed span [start_micros, now) on the current track —
+/// used where a pipeline step's extent is delimited by statements, not a
+/// scope, so RAII Span cannot bound it.
+void EmitPhaseSpan(const char* name, uint64_t start_micros) {
+  if (!obs::Enabled()) return;
+  obs::TraceEvent event;
+  event.name = name;
+  event.category = "sqm";
+  event.track = obs::Tracer::CurrentTrack();
+  event.ts_micros = start_micros;
+  event.dur_micros = obs::NowMicros() - start_micros;
+  obs::Tracer::Global().Emit(event);
 }
 
 /// Columns owned by client `j` when `cols` attributes are evenly split
@@ -100,9 +115,15 @@ Result<SqmReport> SqmEvaluator::Evaluate(const PolynomialVector& f,
 
   Rng rng(options_.seed);
 
+  obs::Span evaluate_span("sqm.evaluate", "sqm");
+  evaluate_span.AddArg("clients", static_cast<int64_t>(num_clients));
+  evaluate_span.AddArg("rows", static_cast<int64_t>(x.rows()));
+  evaluate_span.AddArg("output_dim", static_cast<int64_t>(f.output_dim()));
+
   // ---- Step 1: quantization (Algorithm 3 lines 1-5). Coefficients are
   // public; data columns are rounded privately per client.
   const auto quantize_start = std::chrono::steady_clock::now();
+  const uint64_t quantize_ts = obs::NowMicros();
   QuantizedPolynomial qf;
   if (options_.quantize_coefficients) {
     Rng coeff_rng = rng.Split(0x0c0eff);
@@ -141,11 +162,13 @@ Result<SqmReport> SqmEvaluator::Evaluate(const PolynomialVector& f,
   Rng data_rng = rng.Split(0xda7a);
   QuantizedDatabase db = QuantizeDatabase(x, options_.gamma, data_rng);
   const double quantize_seconds = SecondsSince(quantize_start);
+  EmitPhaseSpan("sqm.quantize", quantize_ts);
 
   // ---- Step 2: local noise sampling (Algorithm 3 lines 6-8): each client
   // draws Sk(mu / n) per output dimension, privately, before the MPC phase
   // (which is what makes the mechanism robust to timing attacks).
   const auto noise_start = std::chrono::steady_clock::now();
+  const uint64_t noise_ts = obs::NowMicros();
   const size_t d = f.output_dim();
   std::vector<std::vector<int64_t>> noise_per_client(
       num_clients, std::vector<int64_t>(d, 0));
@@ -158,6 +181,7 @@ Result<SqmReport> SqmEvaluator::Evaluate(const PolynomialVector& f,
     }
   }
   const double noise_seconds = SecondsSince(noise_start);
+  EmitPhaseSpan("sqm.noise_sample", noise_ts);
 
   // ---- Step 3: secure evaluation + perturbation, then server
   // post-processing.
@@ -247,6 +271,21 @@ Result<SqmReport> SqmEvaluator::EvaluateBgw(
                                : options_.bgw_threshold;
   SQM_RETURN_NOT_OK(ShamirScheme::Validate(num_clients, threshold));
 
+  // Name the party tracks so the exported trace renders one labeled row
+  // per party; the driver's own spans go on the track after the parties.
+  if (obs::Enabled()) {
+    for (size_t j = 0; j < num_clients; ++j) {
+      obs::Tracer::Global().SetTrackName(static_cast<int32_t>(j),
+                                         "party " + std::to_string(j));
+    }
+    obs::Tracer::Global().SetTrackName(static_cast<int32_t>(num_clients),
+                                       "driver");
+  }
+  obs::TrackScope driver_track(static_cast<int32_t>(num_clients));
+  obs::Span bgw_span("sqm.bgw", "sqm");
+  bgw_span.AddArg("parties", static_cast<int64_t>(num_clients));
+  bgw_span.AddArg("threshold", static_cast<int64_t>(threshold));
+
   // ---- Build one circuit: data inputs per client (its columns), noise
   // inputs per client (one per output dimension), d outputs.
   Circuit circuit;
@@ -335,6 +374,7 @@ Result<SqmReport> SqmEvaluator::EvaluateBgw(
   if (policy != DropoutPolicy::kAbort) engine.set_liveness(&tracker);
 
   const auto compute_start = std::chrono::steady_clock::now();
+  const uint64_t compute_ts = obs::NowMicros();
 
   // BGW phases 1+2 with phase-level checkpointing: a run that loses a
   // multiplication level to flaky links retries from the last completed
@@ -396,6 +436,7 @@ Result<SqmReport> SqmEvaluator::EvaluateBgw(
   SQM_ASSIGN_OR_RETURN(std::vector<int64_t> raw,
                        engine.OpenOutputs(out_shares));
   const double compute_seconds = SecondsSince(compute_start);
+  EmitPhaseSpan("sqm.mpc_compute", compute_ts);
   // The census must include parties that died during the open itself, so
   // it is taken only now. (The top-up above used the pre-open count: noise
   // compensation can only react to deaths known before release.)
@@ -406,8 +447,13 @@ Result<SqmReport> SqmEvaluator::EvaluateBgw(
   // wall time for secret-sharing and summing the P noise vectors alone,
   // on a scratch network so the main run's counters stay clean.
   const auto inject_start = std::chrono::steady_clock::now();
+  const uint64_t inject_ts = obs::NowMicros();
   {
     SimulatedNetwork scratch(num_clients, 0.0);
+    // The probe's traffic must not pollute the registry's "net.*"
+    // counters: those reconcile exactly against the main transport's
+    // TransportStats (see docs/OBSERVABILITY.md).
+    scratch.set_registry_accounting(false);
     BgwProtocol protocol(ShamirScheme(num_clients, threshold), &scratch,
                          options_.seed ^ 0x5c4a7c);
     SharedVector sum(num_clients, d);
@@ -418,6 +464,7 @@ Result<SqmReport> SqmEvaluator::EvaluateBgw(
     }
   }
   const double inject_seconds = SecondsSince(inject_start);
+  EmitPhaseSpan("sqm.noise_probe", inject_ts);
 
   SqmReport report;
   report.raw = std::move(raw);
@@ -464,6 +511,7 @@ Result<SqmReport> SqmEvaluator::EvaluateBgw(
         options_.mu, sensitivity.l1, sensitivity.l2, options_.dp_delta);
     if (dropout.realized_mu > 0.0) {
       PrivacyAccountant accountant;
+      accountant.SetLedgerContext(options_.dp_delta, options_.gamma, d);
       accountant.AddSkellamWithDropouts(
           "sqm_release", sensitivity.l1, sensitivity.l2, options_.mu,
           num_clients, num_dropped_final);
@@ -478,6 +526,9 @@ Result<SqmReport> SqmEvaluator::EvaluateBgw(
                            accountant.TotalGuarantee(options_.dp_delta));
       dropout.realized_epsilon = guarantee.epsilon;
       dropout.best_alpha = guarantee.best_alpha;
+      // Every spend the accountant witnessed, as report data: the ledger
+      // rides along in SqmReport and serializes as "privacy_ledger".
+      report.ledger = accountant.ledger();
     } else {
       // Every noise contributor dropped: the release is unprotected.
       dropout.realized_epsilon = std::numeric_limits<double>::infinity();

@@ -11,6 +11,7 @@
 #include "mpc/network.h"
 #include "net/threaded.h"
 #include "net/transport.h"
+#include "obs/ledger.h"
 #include "poly/polynomial.h"
 
 namespace sqm {
@@ -191,6 +192,10 @@ struct SqmReport {
   /// Dropout outcome (BGW backend; default-constructed in plaintext mode
   /// and in runs where every party survived under kAbort).
   DropoutReport dropout;
+  /// Privacy-spend timeline for this run: every mechanism charge the
+  /// internal accountant recorded (BGW backend with mu > 0; empty
+  /// otherwise). Serialized as the report's "privacy_ledger" block.
+  std::vector<obs::LedgerEntry> ledger;
 };
 
 /// The Skellam Quantization Mechanism: evaluates F(X) = sum_x f(x) for a

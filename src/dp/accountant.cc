@@ -7,6 +7,7 @@
 #include "dp/gaussian.h"
 #include "dp/rdp.h"
 #include "dp/skellam.h"
+#include "obs/obs.h"
 
 namespace sqm {
 namespace {
@@ -27,6 +28,38 @@ double EventRdp(const PrivacyEvent& event, size_t alpha) {
 
 }  // namespace
 
+void PrivacyAccountant::SetLedgerContext(double delta, double gamma,
+                                         size_t dimension) {
+  ledger_delta_ = delta;
+  ledger_gamma_ = gamma;
+  ledger_dimension_ = dimension;
+}
+
+void PrivacyAccountant::RecordLedgerEntry(obs::LedgerEntry entry) {
+  entry.gamma = ledger_gamma_;
+  entry.dimension = ledger_dimension_;
+  if (ledger_delta_ > 0.0 && ledger_delta_ < 1.0 && !events_.empty()) {
+    const PrivacyEvent& event = events_.back();
+    const auto standalone = [&event](double alpha) {
+      return EventRdp(event, static_cast<size_t>(alpha));
+    };
+    const PrivacyGuarantee guarantee =
+        GuaranteeFromCurve(standalone, DefaultAlphaGrid(), ledger_delta_);
+    entry.epsilon = guarantee.epsilon;
+    entry.delta = ledger_delta_;
+    entry.best_alpha = guarantee.best_alpha;
+    const auto cumulative = [this](double alpha) {
+      return TotalRdp(static_cast<size_t>(alpha));
+    };
+    entry.cumulative_epsilon =
+        BestEpsilonFromCurve(cumulative, DefaultAlphaGrid(), ledger_delta_);
+  }
+  entry.sequence = ledger_.size();
+  entry.elapsed_seconds = static_cast<double>(obs::NowMicros()) * 1e-6;
+  if (obs::Enabled()) obs::PrivacyLedger::Global().Append(entry);
+  ledger_.push_back(std::move(entry));
+}
+
 void PrivacyAccountant::AddGaussian(const std::string& label,
                                     double l2_sensitivity, double sigma,
                                     double sampling_rate, size_t count) {
@@ -39,6 +72,15 @@ void PrivacyAccountant::AddGaussian(const std::string& label,
   event.sampling_rate = sampling_rate;
   event.count = count;
   events_.push_back(std::move(event));
+
+  obs::LedgerEntry entry;
+  entry.mechanism = "gaussian";
+  entry.label = label;
+  entry.mu = sigma;
+  entry.l2_sensitivity = l2_sensitivity;
+  entry.sampling_rate = sampling_rate;
+  entry.count = count;
+  RecordLedgerEntry(std::move(entry));
 }
 
 void PrivacyAccountant::AddSkellam(const std::string& label,
@@ -54,6 +96,16 @@ void PrivacyAccountant::AddSkellam(const std::string& label,
   event.sampling_rate = sampling_rate;
   event.count = count;
   events_.push_back(std::move(event));
+
+  obs::LedgerEntry entry;
+  entry.mechanism = "skellam";
+  entry.label = label;
+  entry.mu = mu;
+  entry.l1_sensitivity = l1_sensitivity;
+  entry.l2_sensitivity = l2_sensitivity;
+  entry.sampling_rate = sampling_rate;
+  entry.count = count;
+  RecordLedgerEntry(std::move(entry));
 }
 
 void PrivacyAccountant::AddSkellamWithDropouts(
@@ -63,15 +115,42 @@ void PrivacyAccountant::AddSkellamWithDropouts(
   const double realized_mu =
       SkellamMuWithDropouts(mu, num_clients, num_dropped);
   SQM_CHECK(realized_mu > 0.0);
-  AddSkellam(label, l1_sensitivity, l2_sensitivity, realized_mu,
-             sampling_rate, count);
+  PrivacyEvent event;
+  event.label = label;
+  event.rdp = [l1_sensitivity, l2_sensitivity, realized_mu](double alpha) {
+    return SkellamRdp(alpha, l1_sensitivity, l2_sensitivity, realized_mu);
+  };
+  event.sampling_rate = sampling_rate;
+  event.count = count;
+  events_.push_back(std::move(event));
+
+  // The charge is honest at the realized mu; the ledger keeps the deficit
+  // visible next to it.
+  obs::LedgerEntry entry;
+  entry.mechanism = "skellam_dropout";
+  entry.label = label;
+  entry.mu = realized_mu;
+  entry.l1_sensitivity = l1_sensitivity;
+  entry.l2_sensitivity = l2_sensitivity;
+  entry.sampling_rate = sampling_rate;
+  entry.count = count;
+  entry.contributors = num_clients - num_dropped;
+  entry.expected_contributors = num_clients;
+  entry.deficit_mu = mu - realized_mu;
+  RecordLedgerEntry(std::move(entry));
 }
 
 void PrivacyAccountant::AddEvent(PrivacyEvent event) {
   SQM_CHECK(event.rdp != nullptr);
   SQM_CHECK(event.count >= 1);
   SQM_CHECK(event.sampling_rate > 0.0 && event.sampling_rate <= 1.0);
+  obs::LedgerEntry entry;
+  entry.mechanism = "custom";
+  entry.label = event.label;
+  entry.sampling_rate = event.sampling_rate;
+  entry.count = event.count;
   events_.push_back(std::move(event));
+  RecordLedgerEntry(std::move(entry));
 }
 
 double PrivacyAccountant::TotalRdp(size_t alpha) const {
@@ -152,6 +231,9 @@ Result<size_t> PrivacyAccountant::RemainingRepetitions(
   return lo;
 }
 
-void PrivacyAccountant::Reset() { events_.clear(); }
+void PrivacyAccountant::Reset() {
+  events_.clear();
+  ledger_.clear();
+}
 
 }  // namespace sqm

@@ -8,6 +8,7 @@
 
 #include "core/status.h"
 #include "dp/rdp.h"
+#include "obs/ledger.h"
 
 namespace sqm {
 
@@ -59,6 +60,20 @@ class PrivacyAccountant {
   /// Tracks an arbitrary RDP curve.
   void AddEvent(PrivacyEvent event);
 
+  /// Context stamped onto subsequent ledger entries: the delta at which
+  /// each spend's standalone and cumulative epsilon are computed (0 leaves
+  /// them unevaluated), plus the quantization scale and release dimension
+  /// of the surrounding run. The SQM driver sets this before charging.
+  void SetLedgerContext(double delta, double gamma = 0.0,
+                        size_t dimension = 0);
+
+  /// Spend timeline mirroring events(): one obs::LedgerEntry per Add*
+  /// call, with mechanism parameters, dropout-deficit context and (when a
+  /// ledger delta is set) the standalone and cumulative epsilon at that
+  /// point. Always recorded locally; also forwarded to
+  /// obs::PrivacyLedger::Global() while the observability switch is on.
+  const std::vector<obs::LedgerEntry>& ledger() const { return ledger_; }
+
   size_t num_events() const { return events_.size(); }
   const std::vector<PrivacyEvent>& events() const { return events_; }
 
@@ -82,11 +97,21 @@ class PrivacyAccountant {
                                       double delta,
                                       size_t max_repetitions = 100000) const;
 
-  /// Drops all tracked events.
+  /// Drops all tracked events (and the local ledger mirror).
   void Reset();
 
  private:
+  /// Completes a ledger entry for the event just pushed onto events_:
+  /// stamps context, computes the standalone and cumulative epsilon when a
+  /// ledger delta is configured, and forwards to the global ledger when
+  /// observability is enabled.
+  void RecordLedgerEntry(obs::LedgerEntry entry);
+
   std::vector<PrivacyEvent> events_;
+  std::vector<obs::LedgerEntry> ledger_;
+  double ledger_delta_ = 0.0;
+  double ledger_gamma_ = 0.0;
+  size_t ledger_dimension_ = 0;
 };
 
 }  // namespace sqm

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.h"
+#include "obs/trace.h"
 
 namespace sqm {
 
@@ -40,6 +41,19 @@ Result<SharedVector> BgwEngine::EvaluateToShares(
   BgwCheckpoint* ckpt = checkpoint != nullptr ? checkpoint : &scratch;
   const bool resuming = ckpt->valid;
   const auto& gates = circuit.gates();
+
+  obs::Span evaluate("bgw.evaluate", "mpc");
+  evaluate.AddArg("gates", static_cast<int64_t>(gates.size()));
+  evaluate.AddArg("resuming", resuming ? 1 : 0);
+  if (resuming && obs::Enabled()) {
+    obs::TraceEvent event;
+    event.name = "bgw.checkpoint_resume";
+    event.category = "mpc";
+    event.AddArg("next_level", static_cast<int64_t>(ckpt->next_level));
+    event.AddArg("mul_rounds_done",
+                 static_cast<int64_t>(ckpt->mul_rounds_done));
+    obs::Tracer::Global().Instant(event);
+  }
 
   if (!resuming) {
     stats_before_ = network_->stats();

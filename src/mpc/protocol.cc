@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "core/logging.h"
+#include "obs/trace.h"
 
 namespace sqm {
 
@@ -26,6 +27,11 @@ SharedVector BgwProtocol::ShareFromParty(
   const size_t n = num_parties();
   SQM_CHECK(party < n);
   PhaseScope phase(network_, "input");
+  // Pinned to the dealer's track: in driver mode one thread plays every
+  // party, and the trace should still show who did the work.
+  obs::Span span("bgw.share", "mpc", static_cast<int32_t>(party));
+  span.AddArg("party", static_cast<int64_t>(party));
+  span.AddArg("elements", static_cast<int64_t>(values.size()));
   // The owner computes one share vector per recipient and sends it.
   std::vector<std::vector<Field::Element>> outbound(
       n, std::vector<Field::Element>(values.size()));
@@ -119,6 +125,8 @@ Result<SharedVector> BgwProtocol::Mul(const SharedVector& a,
   const size_t n = num_parties();
   const size_t k = a.size();
   PhaseScope phase(network_, "mul");
+  obs::Span span("bgw.mul", "mpc");
+  span.AddArg("elements", static_cast<int64_t>(k));
 
   // Step 1 (local): each party multiplies its shares, yielding a share of a
   // degree-2t polynomial with the right free coefficient.
@@ -129,6 +137,8 @@ Result<SharedVector> BgwProtocol::Mul(const SharedVector& a,
       n, std::vector<std::vector<Field::Element>>(
              n, std::vector<Field::Element>(k)));
   for (size_t j = 0; j < n; ++j) {
+    obs::Span deal("bgw.mul.deal", "mpc", static_cast<int32_t>(j));
+    deal.AddArg("party", static_cast<int64_t>(j));
     for (size_t i = 0; i < k; ++i) {
       const Field::Element product =
           Field::Mul(a.shares(j)[i], b.shares(j)[i]);
@@ -150,6 +160,8 @@ Result<SharedVector> BgwProtocol::Mul(const SharedVector& a,
   const size_t needed = 2 * scheme_.threshold() + 1;
   SharedVector out(n, k);
   for (size_t r = 0; r < n; ++r) {
+    obs::Span recombine("bgw.mul.recombine", "mpc", static_cast<int32_t>(r));
+    recombine.AddArg("party", static_cast<int64_t>(r));
     auto& acc = out.shares(r);
     for (size_t j = 0; j < n; ++j) {
       // A failed receive (timed-out retries, crashed dealer) aborts the
@@ -184,6 +196,9 @@ Result<SharedVector> BgwProtocol::MulQuorum(const SharedVector& a,
   const size_t k = a.size();
   const size_t needed = 2 * scheme_.threshold() + 1;
   PhaseScope phase(network_, "mul");
+  obs::Span span("bgw.mul", "mpc");
+  span.AddArg("elements", static_cast<int64_t>(k));
+  span.AddArg("quorum", 1);
 
   // Dealing: dead parties neither compute nor send (their RNG streams are
   // independent, so skipping them leaves the survivors' randomness — and
@@ -192,6 +207,8 @@ Result<SharedVector> BgwProtocol::MulQuorum(const SharedVector& a,
   // view.
   for (size_t j = 0; j < n; ++j) {
     if (PartyDead(j)) continue;
+    obs::Span deal("bgw.mul.deal", "mpc", static_cast<int32_t>(j));
+    deal.AddArg("party", static_cast<int64_t>(j));
     std::vector<std::vector<Field::Element>> outbound(
         n, std::vector<Field::Element>(k));
     for (size_t i = 0; i < k; ++i) {
@@ -224,6 +241,14 @@ Result<SharedVector> BgwProtocol::MulQuorum(const SharedVector& a,
       Result<Transport::Payload> received = network_->Receive(j, r);
       if (!received.ok()) {
         liveness_->RecordFailure(j, received.status().code());
+        if (obs::Enabled()) {
+          obs::TraceEvent event;
+          event.name = "bgw.mul.dealer_failed";
+          event.category = "mpc";
+          event.AddArg("dealer", static_cast<int64_t>(j));
+          event.AddArg("recipient", static_cast<int64_t>(r));
+          obs::Tracer::Global().Instant(event);
+        }
         dealer_ok = false;
         break;
       }
@@ -259,6 +284,8 @@ Result<SharedVector> BgwProtocol::MulQuorum(const SharedVector& a,
   SharedVector out(n, k);
   for (size_t r = 0; r < n; ++r) {
     if (PartyDead(r)) continue;
+    obs::Span recombine("bgw.mul.recombine", "mpc", static_cast<int32_t>(r));
+    recombine.AddArg("party", static_cast<int64_t>(r));
     auto& acc = out.shares(r);
     for (size_t d = 0; d < dealers.size(); ++d) {
       const std::vector<Field::Element>& row = payloads[dealers[d]][r];
@@ -292,7 +319,11 @@ Result<SharedVector> BgwProtocol::InnerProduct(const SharedVector& a,
 std::vector<Field::Element> BgwProtocol::Open(const SharedVector& a) {
   const size_t n = num_parties();
   PhaseScope phase(network_, "open");
+  obs::Span span("bgw.open", "mpc");
+  span.AddArg("elements", static_cast<int64_t>(a.size()));
   for (size_t j = 0; j < n; ++j) {
+    obs::Span broadcast("bgw.open.broadcast", "mpc", static_cast<int32_t>(j));
+    broadcast.AddArg("party", static_cast<int64_t>(j));
     for (size_t r = 0; r < n; ++r) {
       network_->Send(j, r, a.shares(j));
     }
@@ -332,6 +363,9 @@ Result<SharedVector> BgwProtocol::TryShareFromParty(
                                std::to_string(party) + " is dead");
   }
   PhaseScope phase(network_, phase_label);
+  obs::Span span("bgw.share", "mpc", static_cast<int32_t>(party));
+  span.AddArg("party", static_cast<int64_t>(party));
+  span.AddArg("elements", static_cast<int64_t>(values.size()));
   std::vector<std::vector<Field::Element>> outbound(
       n, std::vector<Field::Element>(values.size()));
   for (size_t i = 0; i < values.size(); ++i) {
@@ -370,8 +404,13 @@ Result<std::vector<Field::Element>> BgwProtocol::TryOpen(
   const size_t n = num_parties();
   SQM_CHECK(liveness_ != nullptr);
   PhaseScope phase(network_, "open");
+  obs::Span span("bgw.open", "mpc");
+  span.AddArg("elements", static_cast<int64_t>(a.size()));
+  span.AddArg("quorum", 1);
   for (size_t j = 0; j < n; ++j) {
     if (PartyDead(j)) continue;
+    obs::Span broadcast("bgw.open.broadcast", "mpc", static_cast<int32_t>(j));
+    broadcast.AddArg("party", static_cast<int64_t>(j));
     for (size_t r = 0; r < n; ++r) {
       if (r != j && PartyDead(r)) continue;
       network_->Send(j, r, a.shares(j));
@@ -461,6 +500,9 @@ Result<SharedVector> BgwProtocol::ShareFromPartyChecked(
   const size_t n = num_parties();
   SQM_CHECK(party < n);
   PhaseScope phase(network_, "input");
+  obs::Span span("bgw.share", "mpc", static_cast<int32_t>(party));
+  span.AddArg("party", static_cast<int64_t>(party));
+  span.AddArg("elements", static_cast<int64_t>(values.size()));
   std::vector<std::vector<Field::Element>> outbound(
       n, std::vector<Field::Element>(values.size()));
   for (size_t i = 0; i < values.size(); ++i) {
@@ -496,7 +538,12 @@ Result<std::vector<Field::Element>> BgwProtocol::OpenChecked(
     const SharedVector& a) {
   const size_t n = num_parties();
   PhaseScope phase(network_, "open");
+  obs::Span span("bgw.open", "mpc");
+  span.AddArg("elements", static_cast<int64_t>(a.size()));
+  span.AddArg("checked", 1);
   for (size_t j = 0; j < n; ++j) {
+    obs::Span broadcast("bgw.open.broadcast", "mpc", static_cast<int32_t>(j));
+    broadcast.AddArg("party", static_cast<int64_t>(j));
     for (size_t r = 0; r < n; ++r) {
       network_->Send(j, r, a.shares(j));
     }

@@ -1,6 +1,7 @@
 #include "mpc/secagg.h"
 
 #include "core/logging.h"
+#include "obs/trace.h"
 #include "sampling/rng.h"
 
 namespace sqm {
@@ -45,6 +46,9 @@ Result<std::vector<Field::Element>> SecureAggregation::MaskedUpload(
   if (client >= num_clients_) {
     return Status::InvalidArgument("unknown client index");
   }
+  obs::Span span("secagg.upload", "mpc", static_cast<int32_t>(client));
+  span.AddArg("client", static_cast<int64_t>(client));
+  span.AddArg("elements", static_cast<int64_t>(values.size()));
   std::vector<Field::Element> upload = MaskVector(client, values);
   if (network_ != nullptr) {
     // Model the upload to the server as party `client` -> party 0.
@@ -77,6 +81,9 @@ Status SecureAggregation::UploadOverTransport(
     return Status::FailedPrecondition(
         "UploadOverTransport requires an attached transport");
   }
+  obs::Span span("secagg.upload", "mpc", static_cast<int32_t>(client));
+  span.AddArg("client", static_cast<int64_t>(client));
+  span.AddArg("elements", static_cast<int64_t>(values.size()));
   std::vector<Field::Element> payload = MaskVector(client, values);
   payload.push_back(UploadDigest(client, payload));
   PhaseScope phase(network_, "secagg_upload");
@@ -153,6 +160,9 @@ SecureAggregation::AggregateWithDropouts(
       dropped.push_back(j);
     }
   }
+  obs::Span span("secagg.unmask", "mpc");
+  span.AddArg("survivors", static_cast<int64_t>(survivors.size()));
+  span.AddArg("dropped", static_cast<int64_t>(dropped.size()));
   if (survivors.size() < 2) {
     // One survivor's unmasked "sum" is its bare private vector.
     return Status::FailedPrecondition(

@@ -1,6 +1,7 @@
 #include "net/lockstep.h"
 
 #include "core/logging.h"
+#include "obs/trace.h"
 
 namespace sqm {
 
@@ -32,8 +33,19 @@ void LockstepTransport::Send(size_t from, size_t to, Payload payload) {
   CheckParty(from, to);
   if (from != to && HasCrashed(from)) {
     RecordCrashLoss();
+    if (obs::Enabled() && registry_accounting()) {
+      obs::TraceEvent event;
+      event.name = "net.fault.crash_loss";
+      event.category = "net";
+      event.AddArg("from", static_cast<int64_t>(from));
+      event.AddArg("to", static_cast<int64_t>(to));
+      obs::Tracer::Global().Instant(event);
+    }
     return;
   }
+  obs::Span span("net.send", "net");
+  span.AddArg("from", static_cast<int64_t>(from));
+  span.AddArg("to", static_cast<int64_t>(to));
   // The interceptor (adversarial harness) sees the message before any
   // accounting; a swallowed message never existed on the wire, a replay
   // counts as one more sent message.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/logging.h"
+#include "obs/trace.h"
 
 namespace sqm {
 
@@ -16,9 +17,21 @@ Status PartyRunner::Run(
   std::vector<Status> statuses(num_parties_);
   std::vector<std::thread> threads;
   threads.reserve(num_parties_);
+  if (obs::Enabled()) {
+    for (size_t party = 0; party < num_parties_; ++party) {
+      obs::Tracer::Global().SetTrackName(static_cast<int32_t>(party),
+                                         "party " + std::to_string(party));
+    }
+  }
   for (size_t party = 0; party < num_parties_; ++party) {
-    threads.emplace_back(
-        [&body, &statuses, party] { statuses[party] = body(party); });
+    threads.emplace_back([&body, &statuses, party] {
+      // Each party thread claims its own trace track so per-party spans
+      // render as separate rows in Perfetto.
+      obs::TrackScope track(static_cast<int32_t>(party));
+      obs::Span span("party.run", "net");
+      span.AddArg("party", static_cast<int64_t>(party));
+      statuses[party] = body(party);
+    });
   }
   for (std::thread& thread : threads) thread.join();
   for (size_t party = 0; party < num_parties_; ++party) {

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/logging.h"
+#include "obs/trace.h"
 
 namespace sqm {
 
@@ -12,6 +13,17 @@ namespace {
 std::chrono::steady_clock::duration ToDuration(double seconds) {
   return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(seconds));
+}
+
+/// Fault-injection instant on the party track, with channel context.
+void TraceFault(const char* name, size_t from, size_t to) {
+  if (!sqm::obs::Enabled()) return;
+  obs::TraceEvent event;
+  event.name = name;
+  event.category = "net";
+  event.AddArg("from", static_cast<int64_t>(from));
+  event.AddArg("to", static_cast<int64_t>(to));
+  obs::Tracer::Global().Instant(event);
 }
 
 }  // namespace
@@ -53,9 +65,13 @@ void ThreadedTransport::Send(size_t from, size_t to, Payload payload) {
     // The sender is dead: the message vanishes and can never be
     // retransmitted.
     RecordCrashLoss();
+    TraceFault("net.fault.crash_loss", from, to);
     return;
   }
 
+  obs::Span span("net.send", "net");
+  span.AddArg("from", static_cast<int64_t>(from));
+  span.AddArg("to", static_cast<int64_t>(to));
   // The interceptor (adversarial harness) rewrites the wire before fault
   // injection: a tampered payload can still be dropped or delayed, and a
   // replayed copy draws its own independent fault fate.
@@ -72,6 +88,7 @@ void ThreadedTransport::DeliverFaulted(size_t from, size_t to,
 
   if (fate.drop) {
     RecordDrop();
+    TraceFault("net.fault.drop", from, to);
     std::lock_guard<std::mutex> lock(box.mu);
     box.retransmit.push_back(std::move(payload));
     return;
@@ -81,6 +98,7 @@ void ThreadedTransport::DeliverFaulted(size_t from, size_t to,
   if (fate.delay_seconds > 0.0) {
     entry.deliver_at += ToDuration(fate.delay_seconds);
     RecordDelay();
+    TraceFault("net.fault.delay", from, to);
   }
 
   std::unique_lock<std::mutex> lock(box.mu);
@@ -90,6 +108,7 @@ void ThreadedTransport::DeliverFaulted(size_t from, size_t to,
   if (fate.reorder && !box.queue.empty()) {
     box.queue.push_front(std::move(entry));
     RecordReorder();
+    TraceFault("net.fault.reorder", from, to);
   } else {
     box.queue.push_back(std::move(entry));
   }
@@ -101,6 +120,12 @@ Result<Transport::Payload> ThreadedTransport::Receive(size_t from,
   CheckParty(from, to);
   Mailbox& box = mailbox(from, to);
   double backoff = options_.retry_backoff_seconds;
+
+  // Spans the whole receive including blocking waits, timeouts and retry
+  // backoff — the "where does party j sit idle" signal in the trace.
+  obs::Span span("net.recv.wait", "net");
+  span.AddArg("from", static_cast<int64_t>(from));
+  span.AddArg("to", static_cast<int64_t>(to));
 
   for (size_t attempt = 0;; ++attempt) {
     const auto deadline = std::chrono::steady_clock::now() +
@@ -135,6 +160,7 @@ Result<Transport::Payload> ThreadedTransport::Receive(size_t from,
 
     // Timed out with an empty channel.
     RecordTimeout();
+    TraceFault("net.recv.timeout", from, to);
     const bool sender_crashed = faults_.HasCrashed(from, completed_rounds());
     if (attempt >= options_.max_retries) {
       if (sender_crashed) {
@@ -155,6 +181,7 @@ Result<Transport::Payload> ThreadedTransport::Receive(size_t from,
       box.retransmit.pop_front();
       lock.unlock();
       RecordRetry();
+      TraceFault("net.recv.retry", from, to);
       RecordSend(from, to, payload.size());
       if (backoff > 0.0) std::this_thread::sleep_for(ToDuration(backoff));
       return payload;

@@ -1,6 +1,7 @@
 #ifndef SQM_NET_TRANSPORT_H_
 #define SQM_NET_TRANSPORT_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -140,6 +141,18 @@ class Transport {
   void SetInterceptor(MessageInterceptor* interceptor);
   MessageInterceptor* interceptor() const;
 
+  /// Whether this transport mirrors its accounting into the global
+  /// obs::Registry ("net.send.*", "net.fault.*", ... — on by default).
+  /// Scratch transports (e.g. the SQM driver's noise-injection timing
+  /// probe) turn this off so the registry's traffic counters stay exactly
+  /// reconcilable with the main transport's TransportStats.
+  void set_registry_accounting(bool on) {
+    registry_accounting_.store(on, std::memory_order_relaxed);
+  }
+  bool registry_accounting() const {
+    return registry_accounting_.load(std::memory_order_relaxed);
+  }
+
  protected:
   /// Bounds-check helper: aborts on an out-of-range party index.
   void CheckParty(size_t from, size_t to) const;
@@ -172,10 +185,15 @@ class Transport {
                                      Payload payload);
 
  private:
+  /// Adds to the "net.*" registry counter `name` iff observability is on
+  /// and this transport participates in registry accounting.
+  void MirrorToRegistry(const char* name, uint64_t n);
+
   const size_t num_parties_;
   const double per_round_latency_;
   const size_t element_wire_bytes_;
   const std::chrono::steady_clock::time_point start_;
+  std::atomic<bool> registry_accounting_{true};
 
   mutable std::mutex mu_;
   MessageInterceptor* interceptor_ = nullptr;

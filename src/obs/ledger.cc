@@ -1,0 +1,81 @@
+#include "obs/ledger.h"
+
+#include "core/json.h"
+
+namespace sqm::obs {
+
+PrivacyLedger& PrivacyLedger::Global() {
+  static PrivacyLedger* ledger = new PrivacyLedger();  // Never destroyed.
+  return *ledger;
+}
+
+uint64_t PrivacyLedger::Append(LedgerEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.sequence = next_sequence_++;
+  entry.elapsed_seconds = static_cast<double>(NowMicros()) * 1e-6;
+  const uint64_t sequence = entry.sequence;
+  entries_.push_back(std::move(entry));
+  return sequence;
+}
+
+std::vector<LedgerEntry> PrivacyLedger::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::vector<LedgerEntry> PrivacyLedger::EntriesSince(
+    uint64_t sequence) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LedgerEntry> out;
+  for (const LedgerEntry& entry : entries_) {
+    if (entry.sequence >= sequence) out.push_back(entry);
+  }
+  return out;
+}
+
+size_t PrivacyLedger::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t PrivacyLedger::NextSequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_sequence_;
+}
+
+void PrivacyLedger::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::string PrivacyLedger::ToJson(const std::vector<LedgerEntry>& entries) {
+  JsonWriter writer;
+  writer.BeginArray();
+  for (const LedgerEntry& entry : entries) {
+    writer.BeginObject()
+        .Field("sequence", entry.sequence)
+        .Field("elapsed_seconds", entry.elapsed_seconds)
+        .Field("mechanism", entry.mechanism)
+        .Field("label", entry.label)
+        .Field("mu", entry.mu)
+        .Field("gamma", entry.gamma)
+        .Field("dimension", static_cast<uint64_t>(entry.dimension))
+        .Field("l1_sensitivity", entry.l1_sensitivity)
+        .Field("l2_sensitivity", entry.l2_sensitivity)
+        .Field("sampling_rate", entry.sampling_rate)
+        .Field("count", entry.count)
+        .Field("epsilon", entry.epsilon)
+        .Field("delta", entry.delta)
+        .Field("best_alpha", entry.best_alpha)
+        .Field("cumulative_epsilon", entry.cumulative_epsilon)
+        .Field("contributors", static_cast<uint64_t>(entry.contributors))
+        .Field("expected_contributors",
+               static_cast<uint64_t>(entry.expected_contributors))
+        .Field("deficit_mu", entry.deficit_mu)
+        .EndObject();
+  }
+  writer.EndArray();
+  return writer.str();
+}
+
+}  // namespace sqm::obs

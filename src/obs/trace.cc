@@ -1,0 +1,236 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <fstream>
+
+#include "core/json.h"
+#include "core/logging.h"
+
+namespace sqm::obs {
+namespace {
+
+thread_local int32_t tl_track = -1;  // -1: not yet assigned.
+std::atomic<int32_t> g_next_anonymous_track{Tracer::kFirstAnonymousTrack};
+
+const char* PhaseLetter(TraceEvent::Type type) {
+  switch (type) {
+    case TraceEvent::Type::kComplete:
+      return "X";
+    case TraceEvent::Type::kInstant:
+      return "i";
+    case TraceEvent::Type::kCounter:
+      return "C";
+  }
+  return "X";
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // Never destroyed: party threads
+  return *tracer;  // may still emit while the process winds down.
+}
+
+Tracer::Tracer() {
+  // SQM_CHECK failures and SQM_LOG(kFatal) flush the active trace so a
+  // crashed run still leaves a loadable timeline behind.
+  Logger::AddFatalHook([] { Tracer::Global().FlushForCrash(); });
+}
+
+Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+void Tracer::Emit(const TraceEvent& event) {
+  if (!Enabled()) return;
+  ThreadBuffer& buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= kMaxEventsPerBuffer) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(event);
+}
+
+void Tracer::Instant(const char* name, const char* category) {
+  if (!Enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.type = TraceEvent::Type::kInstant;
+  event.track = CurrentTrack();
+  event.ts_micros = NowMicros();
+  Emit(event);
+}
+
+void Tracer::Instant(const TraceEvent& proto) {
+  if (!Enabled()) return;
+  TraceEvent event = proto;
+  event.type = TraceEvent::Type::kInstant;
+  event.track = CurrentTrack();
+  event.ts_micros = NowMicros();
+  Emit(event);
+}
+
+void Tracer::CounterValue(const char* name, int64_t value) {
+  if (!Enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.type = TraceEvent::Type::kCounter;
+  event.track = CurrentTrack();
+  event.ts_micros = NowMicros();
+  event.AddArg("value", value);
+  Emit(event);
+}
+
+void Tracer::SetTrackName(int32_t track, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_names_[track] = name;
+}
+
+void Tracer::SetCurrentTrack(int32_t track) { tl_track = track; }
+
+int32_t Tracer::CurrentTrack() {
+  if (tl_track < 0) {
+    tl_track = g_next_anonymous_track.fetch_add(1,
+                                                std::memory_order_relaxed);
+  }
+  return tl_track;
+}
+
+std::vector<TraceEvent> Tracer::Collect() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(),
+                  buffer->events.end());
+  }
+  return events;
+}
+
+size_t Tracer::num_events() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  size_t total = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+uint64_t Tracer::dropped_events() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  uint64_t total = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void Tracer::Clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Collect();
+  std::map<int32_t, std::string> track_names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    track_names = track_names_;
+  }
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.BeginArray("traceEvents");
+  // Metadata first: one thread_name record per named track, so Perfetto
+  // labels the party rows.
+  for (const auto& [track, name] : track_names) {
+    writer.BeginObject()
+        .Field("name", "thread_name")
+        .Field("ph", "M")
+        .Field("pid", uint64_t{1})
+        .Field("tid", static_cast<int64_t>(track));
+    writer.Key("args").BeginObject().Field("name", name).EndObject();
+    writer.EndObject();
+  }
+  for (const TraceEvent& event : events) {
+    writer.BeginObject()
+        .Field("name", event.name)
+        .Field("cat", event.category)
+        .Field("ph", PhaseLetter(event.type))
+        .Field("ts", event.ts_micros)
+        .Field("pid", uint64_t{1})
+        .Field("tid", static_cast<int64_t>(event.track));
+    if (event.type == TraceEvent::Type::kComplete) {
+      writer.Field("dur", event.dur_micros);
+    }
+    if (event.type == TraceEvent::Type::kInstant) {
+      writer.Field("s", "t");  // Thread-scoped instant.
+    }
+    if (event.num_args > 0) {
+      writer.Key("args").BeginObject();
+      for (int i = 0; i < event.num_args; ++i) {
+        writer.Field(event.args[i].key, event.args[i].value);
+      }
+      writer.EndObject();
+    }
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Field("displayTimeUnit", "ms");
+  writer.EndObject();
+  return writer.str();
+}
+
+bool Tracer::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) return false;
+  out << ToChromeTraceJson();
+  return static_cast<bool>(out);
+}
+
+void Tracer::SetCrashDumpPath(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_dump_path_ = std::move(path);
+}
+
+void Tracer::FlushForCrash() const {
+  if (num_events() == 0) return;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = crash_dump_path_;
+  }
+  WriteChromeTraceFile(path);
+}
+
+}  // namespace sqm::obs

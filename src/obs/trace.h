@@ -1,0 +1,185 @@
+#ifndef SQM_OBS_TRACE_H_
+#define SQM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace sqm::obs {
+
+/// One trace record. Name/category are `const char*` and must point at
+/// string literals (or other process-lifetime storage): events are buffered
+/// raw and only stringified at export time, keeping the hot path
+/// allocation-free.
+struct TraceEvent {
+  enum class Type : uint8_t {
+    kComplete,  ///< A span: [ts, ts+dur).
+    kInstant,   ///< A point event (fault injected, checkpoint resume, ...).
+    kCounter,   ///< A sampled counter value (args[0].value).
+  };
+
+  struct Arg {
+    const char* key = nullptr;
+    int64_t value = 0;
+  };
+  static constexpr int kMaxArgs = 4;
+
+  const char* name = "";
+  const char* category = "sqm";
+  uint64_t ts_micros = 0;
+  uint64_t dur_micros = 0;
+  int32_t track = 0;
+  Type type = Type::kComplete;
+  uint8_t num_args = 0;
+  Arg args[kMaxArgs] = {};
+
+  void AddArg(const char* key, int64_t value) {
+    if (num_args < kMaxArgs) args[num_args++] = {key, value};
+  }
+};
+
+/// Collects trace events into per-thread buffers and exports them as a
+/// Chrome trace-event JSON document (loadable in Perfetto or
+/// chrome://tracing — see docs/OBSERVABILITY.md).
+///
+/// Each thread appends to its own buffer under that buffer's mutex, so
+/// concurrent parties never contend; Collect() walks all buffers. Tracks
+/// map to Chrome thread ids: party threads call SetCurrentTrack(party) (or
+/// use TrackScope) so each party renders as its own named row.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Appends to the calling thread's buffer. No-op when the kill switch is
+  /// off. Per-buffer capacity is bounded; overflow drops the event and
+  /// counts it (see dropped_events).
+  void Emit(const TraceEvent& event);
+
+  /// Convenience: a point event on the current track, stamped now.
+  void Instant(const char* name, const char* category = "sqm");
+  void Instant(const TraceEvent& proto);
+
+  /// Convenience: a counter sample on the current track, stamped now.
+  void CounterValue(const char* name, int64_t value);
+
+  /// Names a track ("party 0", "driver") in the exported trace.
+  void SetTrackName(int32_t track, const std::string& name);
+
+  /// The calling thread's default track. Unset threads get a unique track
+  /// id >= kFirstAnonymousTrack.
+  static void SetCurrentTrack(int32_t track);
+  static int32_t CurrentTrack();
+  static constexpr int32_t kFirstAnonymousTrack = 1000;
+
+  /// Snapshot of all buffered events across threads, in buffer order.
+  std::vector<TraceEvent> Collect() const;
+  size_t num_events() const;
+  uint64_t dropped_events() const;
+
+  /// Drops all buffered events (track names are kept).
+  void Clear();
+
+  /// Chrome trace-event JSON of everything collected so far:
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to a file; false on I/O failure.
+  bool WriteChromeTraceFile(const std::string& path) const;
+
+  /// Where the fatal-path flush writes the active trace (default
+  /// "sqm_crash_trace.json" in the working directory).
+  void SetCrashDumpPath(std::string path);
+
+  /// Flushes the active trace to the crash dump path if any events are
+  /// buffered. Installed as a Logger fatal hook so SQM_CHECK failures and
+  /// SQM_LOG(kFatal) leave a readable trace behind.
+  void FlushForCrash() const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    uint64_t dropped = 0;
+  };
+  static constexpr size_t kMaxEventsPerBuffer = 1 << 18;
+
+  Tracer();
+  ThreadBuffer& BufferForThisThread();
+
+  mutable std::mutex mu_;  // Guards buffers_, track_names_, crash path.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::map<int32_t, std::string> track_names_;
+  std::string crash_dump_path_ = "sqm_crash_trace.json";
+};
+
+/// RAII span: measures construction-to-destruction on the current track.
+/// Free (no clock read, no buffer touch) when the kill switch is off.
+///
+///   obs::Span span("bgw.mul", "mpc");
+///   span.AddArg("round", round);
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "sqm")
+      : active_(Enabled()) {
+    if (active_) {
+      event_.name = name;
+      event_.category = category;
+      event_.track = Tracer::CurrentTrack();
+      event_.ts_micros = NowMicros();
+    }
+  }
+
+  /// Pins the span to an explicit track — how driver-mode protocol code
+  /// (one thread simulating all parties) attributes work to party rows.
+  Span(const char* name, const char* category, int32_t track)
+      : active_(Enabled()) {
+    if (active_) {
+      event_.name = name;
+      event_.category = category;
+      event_.track = track;
+      event_.ts_micros = NowMicros();
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void AddArg(const char* key, int64_t value) {
+    if (active_) event_.AddArg(key, value);
+  }
+
+  ~Span() {
+    if (active_) {
+      event_.dur_micros = NowMicros() - event_.ts_micros;
+      Tracer::Global().Emit(event_);
+    }
+  }
+
+ private:
+  TraceEvent event_;
+  bool active_;
+};
+
+/// RAII current-track override for a thread (party threads use this so
+/// their spans land on the party's row).
+class TrackScope {
+ public:
+  explicit TrackScope(int32_t track) : previous_(Tracer::CurrentTrack()) {
+    Tracer::SetCurrentTrack(track);
+  }
+  TrackScope(const TrackScope&) = delete;
+  TrackScope& operator=(const TrackScope&) = delete;
+  ~TrackScope() { Tracer::SetCurrentTrack(previous_); }
+
+ private:
+  int32_t previous_;
+};
+
+}  // namespace sqm::obs
+
+#endif  // SQM_OBS_TRACE_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "obs/metrics.h"
 
 namespace sqm {
 namespace {
@@ -61,6 +62,7 @@ DiscreteGaussianSampler::DiscreteGaussianSampler(double sigma)
 }
 
 int64_t DiscreteGaussianSampler::Sample(Rng& rng) const {
+  SQM_OBS_COUNTER_INC("sampler.dgauss.draws");
   const double sigma_sq = sigma_ * sigma_;
   for (;;) {
     const int64_t y = SampleDiscreteLaplace(t_, rng);
@@ -69,6 +71,7 @@ int64_t DiscreteGaussianSampler::Sample(Rng& rng) const {
         sigma_sq / static_cast<double>(t_);
     const double gamma = shift * shift / (2.0 * sigma_sq);
     if (BernoulliExp(gamma, rng)) return y;
+    SQM_OBS_COUNTER_INC("sampler.dgauss.rejections");
   }
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "obs/metrics.h"
 
 namespace sqm {
 
@@ -32,6 +33,7 @@ std::vector<int64_t> PoissonSampler::SampleVector(Rng& rng,
 }
 
 int64_t PoissonSampler::SampleKnuth(Rng& rng) const {
+  SQM_OBS_COUNTER_INC("sampler.poisson.knuth_draws");
   // Multiply uniforms until the product drops below e^{-mu}.
   const double limit = std::exp(-mu_);
   int64_t k = 0;
@@ -44,6 +46,7 @@ int64_t PoissonSampler::SampleKnuth(Rng& rng) const {
 }
 
 int64_t PoissonSampler::SamplePtrs(Rng& rng) const {
+  SQM_OBS_COUNTER_INC("sampler.poisson.ptrs_draws");
   // Hörmann (1993), "The transformed rejection method for generating Poisson
   // random variables", algorithm PTRS. Exact for mu >= 10.
   for (;;) {
@@ -52,12 +55,16 @@ int64_t PoissonSampler::SamplePtrs(Rng& rng) const {
     const double us = 0.5 - std::fabs(u);
     const double kf = std::floor((2.0 * a_ / us + b_) * u + mu_ + 0.43);
     if (us >= 0.07 && v <= v_r_) return static_cast<int64_t>(kf);
-    if (kf < 0.0 || (us < 0.013 && v > us)) continue;
+    if (kf < 0.0 || (us < 0.013 && v > us)) {
+      SQM_OBS_COUNTER_INC("sampler.poisson.ptrs_rejections");
+      continue;
+    }
     const double k = kf;
     const double lhs =
         std::log(v * inv_alpha_ / (a_ / (us * us) + b_));
     const double rhs = k * log_mu_ - mu_ - std::lgamma(k + 1.0);
     if (lhs <= rhs) return static_cast<int64_t>(kf);
+    SQM_OBS_COUNTER_INC("sampler.poisson.ptrs_rejections");
   }
 }
 

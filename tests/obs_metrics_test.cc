@@ -1,0 +1,162 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/json.h"
+#include "obs/obs.h"
+
+namespace sqm::obs {
+namespace {
+
+/// Global-state hygiene: the registry is shared by every test in this
+/// binary, so each test starts from zeroed metrics with obs enabled.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    Registry::Global().ResetAll();
+  }
+};
+
+TEST_F(MetricsTest, CounterAddsAndResets) {
+  Counter& counter = Registry::Global().GetCounter("test.counter");
+  EXPECT_EQ(counter.Get(), 0u);
+  counter.Add(3);
+  counter.Increment();
+  EXPECT_EQ(counter.Get(), 4u);
+  counter.Reset();
+  EXPECT_EQ(counter.Get(), 0u);
+}
+
+TEST_F(MetricsTest, GetCounterReturnsStableReference) {
+  Counter& a = Registry::Global().GetCounter("test.stable");
+  Counter& b = Registry::Global().GetCounter("test.stable");
+  EXPECT_EQ(&a, &b);
+  a.Add(7);
+  EXPECT_EQ(b.Get(), 7u);
+}
+
+TEST_F(MetricsTest, GaugeStoresDoubles) {
+  Gauge& gauge = Registry::Global().GetGauge("test.gauge");
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.Get(), 2.5);
+  gauge.Set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.Get(), -1.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAreLogarithmic) {
+  // Bucket upper bounds are 2^i - 1: value v lands in the bucket indexed
+  // by the bit width of v.
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1), 1);
+  EXPECT_EQ(Histogram::BucketFor(2), 2);
+  EXPECT_EQ(Histogram::BucketFor(3), 2);
+  EXPECT_EQ(Histogram::BucketFor(4), 3);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11);
+  EXPECT_EQ(Histogram::BucketFor(~0ull), Histogram::kNumBuckets - 1);
+}
+
+TEST_F(MetricsTest, HistogramTracksCountSumMax) {
+  Histogram& h = Registry::Global().GetHistogram("test.hist");
+  h.Record(1);
+  h.Record(10);
+  h.Record(100);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 111u);
+}
+
+TEST_F(MetricsTest, SnapshotContainsAllMetrics) {
+  Registry::Global().GetCounter("snap.counter").Add(5);
+  Registry::Global().GetGauge("snap.gauge").Set(1.5);
+  Registry::Global().GetHistogram("snap.hist").Record(42);
+
+  const MetricsSnapshot snapshot = Registry::Global().Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("snap.counter"), 5u);
+  EXPECT_EQ(snapshot.CounterValue("missing.counter"), 0u);
+
+  bool found_gauge = false;
+  for (const auto& g : snapshot.gauges) {
+    if (g.name == "snap.gauge") {
+      found_gauge = true;
+      EXPECT_DOUBLE_EQ(g.value, 1.5);
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+
+  bool found_hist = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "snap.hist") {
+      found_hist = true;
+      EXPECT_EQ(h.count, 1u);
+      EXPECT_EQ(h.sum, 42u);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+TEST_F(MetricsTest, SnapshotJsonParses) {
+  Registry::Global().GetCounter("json.counter").Add(9);
+  Registry::Global().GetHistogram("json.hist").Record(7);
+  const std::string json = Registry::Global().SnapshotJson();
+
+  const JsonValue root = ParseJson(json).ValueOrDie();
+  const JsonValue* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  bool found = false;
+  for (const JsonValue& c : counters->items) {
+    if (c.Find("name")->string_value == "json.counter") {
+      found = true;
+      EXPECT_EQ(c.Find("value")->int_value, 9);
+    }
+  }
+  EXPECT_TRUE(found);
+  ASSERT_NE(root.Find("histograms"), nullptr);
+}
+
+TEST_F(MetricsTest, ResetAllZeroesWithoutInvalidatingReferences) {
+  Counter& counter = Registry::Global().GetCounter("reset.counter");
+  counter.Add(10);
+  Registry::Global().ResetAll();
+  EXPECT_EQ(counter.Get(), 0u);  // Same object, zeroed, still usable.
+  counter.Add(1);
+  EXPECT_EQ(counter.Get(), 1u);
+}
+
+TEST_F(MetricsTest, MacrosRespectRuntimeKillSwitch) {
+  SQM_OBS_COUNTER_ADD("macro.counter", 2);
+  SetEnabled(false);
+  SQM_OBS_COUNTER_ADD("macro.counter", 100);
+  SetEnabled(true);
+  SQM_OBS_COUNTER_INC("macro.counter");
+  EXPECT_EQ(Registry::Global().GetCounter("macro.counter").Get(), 3u);
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsOneSample) {
+  Histogram& h = Registry::Global().GetHistogram("timer.hist");
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST_F(MetricsTest, ConcurrentCountersDontLoseIncrements) {
+  Counter& counter = Registry::Global().GetCounter("race.counter");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Get(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace sqm::obs

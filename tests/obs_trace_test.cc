@@ -1,0 +1,198 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/json.h"
+#include "obs/obs.h"
+
+namespace sqm::obs {
+namespace {
+
+/// The tracer is process-global; every test starts from an empty buffer
+/// with observability enabled and the default track restored.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    Tracer::Global().Clear();
+  }
+};
+
+/// Events with the given name in the collected buffer.
+std::vector<TraceEvent> EventsNamed(const std::string& name) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : Tracer::Global().Collect()) {
+    if (name == event.name) out.push_back(event);
+  }
+  return out;
+}
+
+TEST_F(TraceTest, SpanRecordsCompleteEvent) {
+  {
+    Span span("test.span", "test");
+    span.AddArg("answer", 42);
+  }
+  const auto events = EventsNamed("test.span");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, TraceEvent::Type::kComplete);
+  EXPECT_STREQ(events[0].category, "test");
+  ASSERT_EQ(events[0].num_args, 1);
+  EXPECT_STREQ(events[0].args[0].key, "answer");
+  EXPECT_EQ(events[0].args[0].value, 42);
+}
+
+TEST_F(TraceTest, NestedSpansBothRecorded) {
+  {
+    Span outer("test.outer", "test");
+    {
+      Span inner("test.inner", "test");
+    }
+  }
+  EXPECT_EQ(EventsNamed("test.outer").size(), 1u);
+  EXPECT_EQ(EventsNamed("test.inner").size(), 1u);
+  // The inner span closed first, so its end is <= the outer's end.
+  const TraceEvent outer = EventsNamed("test.outer")[0];
+  const TraceEvent inner = EventsNamed("test.inner")[0];
+  EXPECT_GE(inner.ts_micros, outer.ts_micros);
+  EXPECT_LE(inner.ts_micros + inner.dur_micros,
+            outer.ts_micros + outer.dur_micros);
+}
+
+TEST_F(TraceTest, ExplicitTrackPinsSpanToPartyRow) {
+  {
+    Span span("test.party_span", "test", /*track=*/3);
+  }
+  const auto events = EventsNamed("test.party_span");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].track, 3);
+}
+
+TEST_F(TraceTest, TrackScopeSetsAndRestoresCurrentTrack) {
+  const int32_t before = Tracer::CurrentTrack();
+  {
+    TrackScope track(7);
+    EXPECT_EQ(Tracer::CurrentTrack(), 7);
+    Span span("test.tracked", "test");
+  }
+  EXPECT_EQ(Tracer::CurrentTrack(), before);
+  ASSERT_EQ(EventsNamed("test.tracked").size(), 1u);
+  EXPECT_EQ(EventsNamed("test.tracked")[0].track, 7);
+}
+
+TEST_F(TraceTest, DisabledSpanEmitsNothing) {
+  SetEnabled(false);
+  {
+    Span span("test.disabled", "test");
+  }
+  SetEnabled(true);
+  EXPECT_TRUE(EventsNamed("test.disabled").empty());
+}
+
+TEST_F(TraceTest, InstantEventRecorded) {
+  Tracer::Global().Instant("test.instant", "test");
+  const auto events = EventsNamed("test.instant");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, TraceEvent::Type::kInstant);
+}
+
+TEST_F(TraceTest, CounterEventRecorded) {
+  Tracer::Global().CounterValue("test.counter_event", 17);
+  const auto events = EventsNamed("test.counter_event");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, TraceEvent::Type::kCounter);
+  EXPECT_EQ(events[0].args[0].value, 17);
+}
+
+TEST_F(TraceTest, ArgsBeyondCapacityAreDropped) {
+  TraceEvent event;
+  for (int i = 0; i < TraceEvent::kMaxArgs + 3; ++i) {
+    event.AddArg("k", i);
+  }
+  EXPECT_EQ(event.num_args, TraceEvent::kMaxArgs);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormed) {
+  Tracer::Global().SetTrackName(0, "party 0");
+  {
+    TrackScope track(0);
+    Span span("test.json_span", "test");
+    span.AddArg("n", 5);
+  }
+  Tracer::Global().Instant("test.json_instant", "test");
+
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  const JsonValue root = ParseJson(json).ValueOrDie();
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+
+  bool found_metadata = false;
+  bool found_span = false;
+  bool found_instant = false;
+  for (const JsonValue& event : events->items) {
+    const std::string name = event.Find("name")->string_value;
+    const std::string ph = event.Find("ph")->string_value;
+    if (ph == "M" && name == "thread_name") {
+      found_metadata = true;
+      EXPECT_EQ(event.Find("args")->Find("name")->string_value, "party 0");
+    }
+    if (name == "test.json_span") {
+      found_span = true;
+      EXPECT_EQ(ph, "X");
+      EXPECT_EQ(event.Find("tid")->int_value, 0);
+      ASSERT_NE(event.Find("dur"), nullptr);
+      EXPECT_EQ(event.Find("args")->Find("n")->int_value, 5);
+    }
+    if (name == "test.json_instant") {
+      found_instant = true;
+      EXPECT_EQ(ph, "i");
+      EXPECT_EQ(event.Find("s")->string_value, "t");
+    }
+  }
+  EXPECT_TRUE(found_metadata);
+  EXPECT_TRUE(found_span);
+  EXPECT_TRUE(found_instant);
+  EXPECT_EQ(root.Find("displayTimeUnit")->string_value, "ms");
+}
+
+TEST_F(TraceTest, CollectSeesEventsFromOtherThreads) {
+  std::thread worker([] {
+    TrackScope track(11);
+    Span span("test.worker_span", "test");
+  });
+  worker.join();
+  const auto events = EventsNamed("test.worker_span");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].track, 11);
+}
+
+TEST_F(TraceTest, ClearDropsBufferedEvents) {
+  {
+    Span span("test.cleared", "test");
+  }
+  ASSERT_EQ(EventsNamed("test.cleared").size(), 1u);
+  Tracer::Global().Clear();
+  EXPECT_EQ(Tracer::Global().num_events(), 0u);
+}
+
+TEST_F(TraceTest, WriteChromeTraceFileRoundTrips) {
+  {
+    Span span("test.file_span", "test");
+  }
+  const std::string path = ::testing::TempDir() + "/obs_trace_test.json";
+  ASSERT_TRUE(Tracer::Global().WriteChromeTraceFile(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue root = ParseJson(buffer.str()).ValueOrDie();
+  ASSERT_NE(root.Find("traceEvents"), nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sqm::obs

@@ -273,6 +273,85 @@ TEST(ReportIoTest, SqmReportFromJsonRejectsStructuralMistakes) {
   EXPECT_FALSE(SqmReportFromJson(policy).ok());
 }
 
+TEST(ReportIoTest, PrivacyLedgerRoundTripsThroughJson) {
+  SqmReport report;
+  report.estimate = {1.0};
+  report.raw = {1};
+  obs::LedgerEntry spend;
+  spend.sequence = 7;
+  spend.elapsed_seconds = 0.5;
+  spend.mechanism = "skellam_dropout";
+  spend.label = "sqm_release";
+  spend.mu = 80.0;
+  spend.gamma = 256.0;
+  spend.dimension = 9;
+  spend.l1_sensitivity = 2.0;
+  spend.l2_sensitivity = 1.0;
+  spend.sampling_rate = 1.0;
+  spend.count = 1;
+  spend.epsilon = 0.75;
+  spend.delta = 1e-5;
+  spend.best_alpha = 8.5;
+  spend.cumulative_epsilon = 0.75;
+  spend.contributors = 4;
+  spend.expected_contributors = 5;
+  spend.deficit_mu = 20.0;
+  report.ledger.push_back(spend);
+
+  const std::string json = SqmReportToJson(report);
+  EXPECT_NE(json.find("\"privacy_ledger\":["), std::string::npos);
+  const auto parsed = SqmReportFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.ValueOrDie().ledger.size(), 1u);
+  const obs::LedgerEntry& back = parsed.ValueOrDie().ledger[0];
+  EXPECT_EQ(back.sequence, 7u);
+  EXPECT_EQ(back.mechanism, "skellam_dropout");
+  EXPECT_EQ(back.label, "sqm_release");
+  EXPECT_EQ(back.mu, 80.0);
+  EXPECT_EQ(back.gamma, 256.0);
+  EXPECT_EQ(back.dimension, 9u);
+  EXPECT_EQ(back.l1_sensitivity, 2.0);
+  EXPECT_EQ(back.epsilon, 0.75);
+  EXPECT_EQ(back.delta, 1e-5);
+  EXPECT_EQ(back.best_alpha, 8.5);
+  EXPECT_EQ(back.cumulative_epsilon, 0.75);
+  EXPECT_EQ(back.contributors, 4u);
+  EXPECT_EQ(back.expected_contributors, 5u);
+  EXPECT_EQ(back.deficit_mu, 20.0);
+}
+
+TEST(ReportIoTest, MissingPrivacyLedgerBlockLoadsAsEmpty) {
+  // Reports written before the observability release have no
+  // "privacy_ledger" member; loading them must succeed with an empty
+  // ledger, not fail on a missing key.
+  SqmReport report;
+  report.estimate = {1.0};
+  report.raw = {1};
+  std::string json = SqmReportToJson(report);
+  const size_t pos = json.find(",\"privacy_ledger\":[]");
+  ASSERT_NE(pos, std::string::npos);
+  json.erase(pos, std::string(",\"privacy_ledger\":[]").size());
+
+  const auto parsed = SqmReportFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.ValueOrDie().ledger.empty());
+}
+
+TEST(ReportIoTest, MalformedLedgerEntryFailsWithStatus) {
+  SqmReport report;
+  report.estimate = {1.0};
+  report.raw = {1};
+  std::string json = SqmReportToJson(report);
+  const size_t pos = json.find("\"privacy_ledger\":[]");
+  ASSERT_NE(pos, std::string::npos);
+  // An entry missing every required field.
+  json.replace(pos, std::string("\"privacy_ledger\":[]").size(),
+               "\"privacy_ledger\":[{\"mechanism\":\"skellam\"}]");
+  const auto parsed = SqmReportFromJson(json);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIoError);
+}
+
 TEST(ReportIoTest, DropoutPolicyStringsRoundTrip) {
   for (DropoutPolicy policy : {DropoutPolicy::kAbort, DropoutPolicy::kDegrade,
                                DropoutPolicy::kTopUp}) {
