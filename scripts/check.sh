@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# One-shot verification gate: configure, build, run the full test suite
+# (which includes the sqmlint repo scan under the `lint` label), then run
+# sqmlint once more directly so its diff-style report lands in the log.
+#
+# Usage: scripts/check.sh [build-dir]    (default: build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j"$(nproc)"
+
+(cd "$build_dir" && ctest --output-on-failure -j"$(nproc)")
+
+"$build_dir"/tools/sqmlint/sqmlint "$repo_root/src" "$repo_root/tests"
+
+echo "check.sh: all gates passed"

@@ -36,7 +36,12 @@ const char* StatusCodeToString(StatusCode code);
 /// A `Status` is cheap to copy in the success case (no allocation) and holds
 /// a code plus message otherwise. Library functions that can fail return
 /// `Status` (or `Result<T>`); they never throw.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a returned Status hides
+/// protocol failures (a timed-out receive, an integrity violation), so the
+/// compiler flags every unconsumed return. Tests that intentionally ignore
+/// an outcome make it explicit by asserting on it or binding it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -99,9 +104,10 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 ///
 /// Accessing `ValueOrDie()` on an error aborts the process with the error
 /// message; callers that can recover should test `ok()` first or use
-/// the SQM_ASSIGN_OR_RETURN macro.
+/// the SQM_ASSIGN_OR_RETURN macro. [[nodiscard]] for the same reason as
+/// Status: a dropped Result is a swallowed error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

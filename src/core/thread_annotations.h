@@ -1,0 +1,70 @@
+#ifndef SQM_CORE_THREAD_ANNOTATIONS_H_
+#define SQM_CORE_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety annotation macros (SQM_GUARDED_BY, SQM_REQUIRES,
+/// ...), compiled to nothing on toolchains without the attributes.
+///
+/// The annotations let clang's -Wthread-safety analysis prove, at compile
+/// time, that every access to a mutex-guarded member happens under its
+/// mutex. They only carry meaning on the capability-annotated sync
+/// primitives in core/sync.h (sqm::Mutex, sqm::MutexLock, sqm::CondVar);
+/// raw std::mutex is invisible to the analysis, which is why src/net/ and
+/// src/obs/ use the wrappers exclusively (machine-enforced by sqmlint's
+/// mutex-annotation check, see docs/STATIC_ANALYSIS.md).
+///
+/// Spelling follows the modern capability attributes, with the same shape
+/// as abseil's thread_annotations.h:
+///
+///   class SQM_CAPABILITY("mutex") Mutex { ... };
+///   Mutex mu_;
+///   int balance_ SQM_GUARDED_BY(mu_);
+///   void Deposit(int n) SQM_REQUIRES(mu_);
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SQM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SQM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex").
+#define SQM_CAPABILITY(x) SQM_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define SQM_SCOPED_CAPABILITY SQM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define SQM_GUARDED_BY(x) SQM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define SQM_PT_GUARDED_BY(x) SQM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry.
+#define SQM_REQUIRES(...) \
+  SQM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define SQM_ACQUIRE(...) \
+  SQM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry, not on return).
+#define SQM_RELEASE(...) \
+  SQM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function may not be called while holding the listed capabilities.
+#define SQM_EXCLUDES(...) SQM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding it.
+#define SQM_RETURN_CAPABILITY(x) SQM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Assertion that the calling thread already holds `x` (runtime no-op).
+#define SQM_ASSERT_CAPABILITY(...) \
+  SQM_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+/// Escape hatch for functions whose locking is too dynamic for the static
+/// analysis (e.g. acquiring a vector of mutexes in a loop). Use sparingly
+/// and say why at the call site.
+#define SQM_NO_THREAD_SAFETY_ANALYSIS \
+  SQM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SQM_CORE_THREAD_ANNOTATIONS_H_

@@ -35,9 +35,10 @@ class Field {
   static constexpr size_t kWireBits = 61;
   static constexpr size_t kWireBytes = (kWireBits + 7) / 8;
 
-  /// Largest magnitude representable in the centered encoding.
+  /// Largest magnitude representable in the centered encoding. Constant
+  /// arithmetic on the modulus itself cannot wrap.
   static constexpr int64_t kMaxCentered =
-      static_cast<int64_t>((kModulus - 1) / 2);
+      static_cast<int64_t>((kModulus - 1) / 2);  // sqmlint:allow(field-capacity)
 
   /// Reduces an arbitrary 64-bit value into [0, p).
   static Element Reduce(uint64_t x);

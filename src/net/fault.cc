@@ -67,7 +67,7 @@ FaultInjector::SendFate FaultInjector::OnSend(size_t from, size_t to) {
   const size_t link = from * num_parties_ + to;
   const LinkFaults& faults = link_faults_[link];
   if (!faults.any()) return fate;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Rng& rng = link_rngs_[link];
   fate.drop = rng.NextBernoulli(faults.drop_probability);
   fate.reorder = rng.NextBernoulli(faults.reorder_probability);

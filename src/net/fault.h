@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <tuple>
 #include <vector>
 
+#include "core/sync.h"
 #include "sampling/rng.h"
 
 namespace sqm {
@@ -99,8 +99,10 @@ class FaultInjector {
   FaultOptions options_;
   std::vector<CrashEvent> crashes_;      // Effective (merged) schedule.
   std::vector<LinkFaults> link_faults_;  // n*n resolved, row-major.
-  std::vector<Rng> link_rngs_;           // n*n independent streams.
-  std::mutex mu_;
+  mutable Mutex mu_;
+  /// n*n independent streams; drawing from a stream mutates it, so every
+  /// access goes through mu_.
+  std::vector<Rng> link_rngs_ SQM_GUARDED_BY(mu_);
 };
 
 }  // namespace sqm

@@ -17,15 +17,15 @@ const char* PartyLivenessToString(PartyLiveness state) {
 }
 
 LivenessTracker::LivenessTracker(size_t num_parties, LivenessOptions options)
-    : options_(options), states_(num_parties) {
+    : options_(options), num_parties_(num_parties), states_(num_parties) {
   SQM_CHECK(num_parties >= 1);
   SQM_CHECK(options_.suspect_after >= 1);
   SQM_CHECK(options_.dead_after >= options_.suspect_after);
 }
 
 PartyLiveness LivenessTracker::state(size_t party) const {
-  SQM_CHECK(party < states_.size());
-  std::lock_guard<std::mutex> lock(mu_);
+  SQM_CHECK(party < num_parties_);
+  MutexLock lock(mu_);
   return states_[party].liveness;
 }
 
@@ -34,8 +34,8 @@ bool LivenessTracker::IsDead(size_t party) const {
 }
 
 void LivenessTracker::RecordFailure(size_t party, StatusCode code) {
-  SQM_CHECK(party < states_.size());
-  std::lock_guard<std::mutex> lock(mu_);
+  SQM_CHECK(party < num_parties_);
+  MutexLock lock(mu_);
   State& s = states_[party];
   if (s.liveness == PartyLiveness::kDead) return;
   if (code == StatusCode::kUnavailable) {
@@ -51,8 +51,8 @@ void LivenessTracker::RecordFailure(size_t party, StatusCode code) {
 }
 
 void LivenessTracker::RecordSuccess(size_t party) {
-  SQM_CHECK(party < states_.size());
-  std::lock_guard<std::mutex> lock(mu_);
+  SQM_CHECK(party < num_parties_);
+  MutexLock lock(mu_);
   State& s = states_[party];
   if (s.liveness == PartyLiveness::kDead) return;
   s.consecutive_failures = 0;
@@ -60,13 +60,13 @@ void LivenessTracker::RecordSuccess(size_t party) {
 }
 
 void LivenessTracker::MarkDead(size_t party) {
-  SQM_CHECK(party < states_.size());
-  std::lock_guard<std::mutex> lock(mu_);
+  SQM_CHECK(party < num_parties_);
+  MutexLock lock(mu_);
   states_[party].liveness = PartyLiveness::kDead;
 }
 
 std::vector<size_t> LivenessTracker::Survivors() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<size_t> out;
   out.reserve(states_.size());
   for (size_t j = 0; j < states_.size(); ++j) {
@@ -76,7 +76,7 @@ std::vector<size_t> LivenessTracker::Survivors() const {
 }
 
 std::vector<size_t> LivenessTracker::Dead() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<size_t> out;
   for (size_t j = 0; j < states_.size(); ++j) {
     if (states_[j].liveness == PartyLiveness::kDead) out.push_back(j);
@@ -85,7 +85,7 @@ std::vector<size_t> LivenessTracker::Dead() const {
 }
 
 size_t LivenessTracker::num_alive() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t alive = 0;
   for (const State& s : states_) {
     if (s.liveness != PartyLiveness::kDead) ++alive;
@@ -94,11 +94,11 @@ size_t LivenessTracker::num_alive() const {
 }
 
 size_t LivenessTracker::num_dead() const {
-  return states_.size() - num_alive();
+  return num_parties_ - num_alive();
 }
 
 void LivenessTracker::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (State& s : states_) s = State{};
 }
 

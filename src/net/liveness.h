@@ -2,10 +2,10 @@
 #define SQM_NET_LIVENESS_H_
 
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #include "core/status.h"
+#include "core/sync.h"
 
 namespace sqm {
 
@@ -45,7 +45,7 @@ class LivenessTracker {
   explicit LivenessTracker(size_t num_parties,
                            LivenessOptions options = LivenessOptions{});
 
-  size_t num_parties() const { return states_.size(); }
+  size_t num_parties() const { return num_parties_; }
   const LivenessOptions& options() const { return options_; }
 
   PartyLiveness state(size_t party) const;
@@ -87,8 +87,9 @@ class LivenessTracker {
   };
 
   LivenessOptions options_;
-  mutable std::mutex mu_;
-  std::vector<State> states_;
+  const size_t num_parties_;
+  mutable Mutex mu_;
+  std::vector<State> states_ SQM_GUARDED_BY(mu_);
 };
 
 }  // namespace sqm

@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <memory>
 
+#include "core/sync.h"
 #include "net/fault.h"
 #include "net/transport.h"
 
@@ -92,11 +92,12 @@ class ThreadedTransport : public Transport {
     std::chrono::steady_clock::time_point deliver_at;
   };
   struct Mailbox {
-    mutable std::mutex mu;
-    std::condition_variable ready;  ///< Signaled on enqueue.
-    std::condition_variable space;  ///< Signaled on dequeue.
-    std::deque<Entry> queue;
-    std::deque<Payload> retransmit;  ///< Dropped messages awaiting re-send.
+    mutable Mutex mu;
+    CondVar ready;  ///< Signaled on enqueue.
+    CondVar space;  ///< Signaled on dequeue.
+    std::deque<Entry> queue SQM_GUARDED_BY(mu);
+    /// Dropped messages awaiting re-send.
+    std::deque<Payload> retransmit SQM_GUARDED_BY(mu);
   };
 
   /// Post-interceptor delivery of one cross-party payload: draws its
@@ -116,10 +117,10 @@ class ThreadedTransport : public Transport {
   std::atomic<uint64_t> completed_rounds_{0};
 
   // Round-barrier state for per-party mode.
-  std::mutex round_mu_;
-  std::condition_variable round_cv_;
-  size_t arrived_ = 0;
-  uint64_t generation_ = 0;
+  Mutex round_mu_;
+  CondVar round_cv_;
+  size_t arrived_ SQM_GUARDED_BY(round_mu_) = 0;
+  uint64_t generation_ SQM_GUARDED_BY(round_mu_) = 0;
 };
 
 }  // namespace sqm

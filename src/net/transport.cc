@@ -33,17 +33,17 @@ void Transport::CheckParty(size_t from, size_t to) const {
 void Transport::EndRound() { RecordRound(); }
 
 double Transport::SimulatedSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<double>(totals_.rounds) * per_round_latency_;
 }
 
 NetworkStats Transport::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return totals_;
 }
 
 TransportStats Transport::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TransportStats snapshot;
   snapshot.num_parties = num_parties_;
   snapshot.totals = totals_;
@@ -70,7 +70,7 @@ TransportStats Transport::Snapshot() const {
 }
 
 void Transport::SetPhase(const std::string& phase) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t i = 0; i < phases_.size(); ++i) {
     if (phases_[i].phase == phase) {
       current_phase_ = i;
@@ -82,17 +82,17 @@ void Transport::SetPhase(const std::string& phase) {
 }
 
 std::string Transport::phase() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return phases_[current_phase_].phase;
 }
 
 void Transport::SetInterceptor(MessageInterceptor* interceptor) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   interceptor_ = interceptor;
 }
 
 MessageInterceptor* Transport::interceptor() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return interceptor_;
 }
 
@@ -103,7 +103,7 @@ std::vector<Transport::Payload> Transport::InterceptSend(size_t from,
   uint64_t round;
   std::string phase_label;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hook = interceptor_;
     round = totals_.rounds;
     phase_label = phases_[current_phase_].phase;
@@ -134,7 +134,7 @@ void Transport::RecordSend(size_t from, size_t to, size_t elements) {
   const uint64_t bytes =
       static_cast<uint64_t>(elements) * element_wire_bytes_;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     totals_.messages += 1;
     totals_.field_elements += elements;
     totals_.wire_bytes += bytes;
@@ -165,7 +165,7 @@ void Transport::RecordSend(size_t from, size_t to, size_t elements) {
 
 void Transport::RecordRound() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     totals_.rounds += 1;
     phases_[current_phase_].traffic.rounds += 1;
   }
@@ -174,7 +174,7 @@ void Transport::RecordRound() {
 
 void Transport::RecordDrop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++drops_;
   }
   MirrorToRegistry("net.fault.drops", 1);
@@ -182,7 +182,7 @@ void Transport::RecordDrop() {
 
 void Transport::RecordDelay() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++delays_;
   }
   MirrorToRegistry("net.fault.delays", 1);
@@ -190,7 +190,7 @@ void Transport::RecordDelay() {
 
 void Transport::RecordReorder() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++reorders_;
   }
   MirrorToRegistry("net.fault.reorders", 1);
@@ -198,7 +198,7 @@ void Transport::RecordReorder() {
 
 void Transport::RecordTimeout() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++timeouts_;
   }
   MirrorToRegistry("net.recv.timeouts", 1);
@@ -206,7 +206,7 @@ void Transport::RecordTimeout() {
 
 void Transport::RecordRetry() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++retries_;
   }
   MirrorToRegistry("net.recv.retries", 1);
@@ -214,14 +214,14 @@ void Transport::RecordRetry() {
 
 void Transport::RecordCrashLoss() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++crash_losses_;
   }
   MirrorToRegistry("net.fault.crash_losses", 1);
 }
 
 void Transport::ResetAccounting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   totals_ = NetworkStats{};
   for (ChannelStats& channel : channels_) {
     channel.messages = 0;

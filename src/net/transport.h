@@ -4,11 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/status.h"
+#include "core/sync.h"
 #include "net/stats.h"
 
 namespace sqm {
@@ -195,18 +195,21 @@ class Transport {
   const std::chrono::steady_clock::time_point start_;
   std::atomic<bool> registry_accounting_{true};
 
-  mutable std::mutex mu_;
-  MessageInterceptor* interceptor_ = nullptr;
-  NetworkStats totals_;
-  std::vector<ChannelStats> channels_;  // n*n, row-major (from, to).
-  std::vector<PhaseStats> phases_;      // First-use order.
-  size_t current_phase_ = 0;            // Index into phases_.
-  uint64_t drops_ = 0;
-  uint64_t delays_ = 0;
-  uint64_t reorders_ = 0;
-  uint64_t timeouts_ = 0;
-  uint64_t retries_ = 0;
-  uint64_t crash_losses_ = 0;
+  mutable Mutex mu_;
+  MessageInterceptor* interceptor_ SQM_GUARDED_BY(mu_) = nullptr;
+  NetworkStats totals_ SQM_GUARDED_BY(mu_);
+  // n*n, row-major (from, to).
+  std::vector<ChannelStats> channels_ SQM_GUARDED_BY(mu_);
+  // First-use order.
+  std::vector<PhaseStats> phases_ SQM_GUARDED_BY(mu_);
+  // Index into phases_.
+  size_t current_phase_ SQM_GUARDED_BY(mu_) = 0;
+  uint64_t drops_ SQM_GUARDED_BY(mu_) = 0;
+  uint64_t delays_ SQM_GUARDED_BY(mu_) = 0;
+  uint64_t reorders_ SQM_GUARDED_BY(mu_) = 0;
+  uint64_t timeouts_ SQM_GUARDED_BY(mu_) = 0;
+  uint64_t retries_ SQM_GUARDED_BY(mu_) = 0;
+  uint64_t crash_losses_ SQM_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII phase label: sets the transport's phase on construction and

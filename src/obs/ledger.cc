@@ -10,7 +10,7 @@ PrivacyLedger& PrivacyLedger::Global() {
 }
 
 uint64_t PrivacyLedger::Append(LedgerEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entry.sequence = next_sequence_++;
   entry.elapsed_seconds = static_cast<double>(NowMicros()) * 1e-6;
   const uint64_t sequence = entry.sequence;
@@ -19,13 +19,13 @@ uint64_t PrivacyLedger::Append(LedgerEntry entry) {
 }
 
 std::vector<LedgerEntry> PrivacyLedger::Entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_;
 }
 
 std::vector<LedgerEntry> PrivacyLedger::EntriesSince(
     uint64_t sequence) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<LedgerEntry> out;
   for (const LedgerEntry& entry : entries_) {
     if (entry.sequence >= sequence) out.push_back(entry);
@@ -34,17 +34,17 @@ std::vector<LedgerEntry> PrivacyLedger::EntriesSince(
 }
 
 size_t PrivacyLedger::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 uint64_t PrivacyLedger::NextSequence() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_sequence_;
 }
 
 void PrivacyLedger::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
 }
 

@@ -3,10 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/sync.h"
 #include "obs/obs.h"
 
 namespace sqm::obs {
@@ -68,9 +68,9 @@ class PrivacyLedger {
   static std::string ToJson(const std::vector<LedgerEntry>& entries);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<LedgerEntry> entries_;
-  uint64_t next_sequence_ = 0;
+  mutable Mutex mu_;
+  std::vector<LedgerEntry> entries_ SQM_GUARDED_BY(mu_);
+  uint64_t next_sequence_ SQM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sqm::obs

@@ -40,7 +40,7 @@ Tracer::Tracer() {
 Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
     auto fresh = std::make_shared<ThreadBuffer>();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers_.push_back(fresh);
     return fresh;
   }();
@@ -50,7 +50,7 @@ Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
 void Tracer::Emit(const TraceEvent& event) {
   if (!Enabled()) return;
   ThreadBuffer& buffer = BufferForThisThread();
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(buffer.mu);
   if (buffer.events.size() >= kMaxEventsPerBuffer) {
     ++buffer.dropped;
     return;
@@ -90,7 +90,7 @@ void Tracer::CounterValue(const char* name, int64_t value) {
 }
 
 void Tracer::SetTrackName(int32_t track, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   track_names_[track] = name;
 }
 
@@ -107,12 +107,12 @@ int32_t Tracer::CurrentTrack() {
 std::vector<TraceEvent> Tracer::Collect() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers = buffers_;
   }
   std::vector<TraceEvent> events;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     events.insert(events.end(), buffer->events.begin(),
                   buffer->events.end());
   }
@@ -122,12 +122,12 @@ std::vector<TraceEvent> Tracer::Collect() const {
 size_t Tracer::num_events() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers = buffers_;
   }
   size_t total = 0;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     total += buffer->events.size();
   }
   return total;
@@ -136,12 +136,12 @@ size_t Tracer::num_events() const {
 uint64_t Tracer::dropped_events() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers = buffers_;
   }
   uint64_t total = 0;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     total += buffer->dropped;
   }
   return total;
@@ -150,11 +150,11 @@ uint64_t Tracer::dropped_events() const {
 void Tracer::Clear() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers = buffers_;
   }
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     buffer->events.clear();
     buffer->dropped = 0;
   }
@@ -164,7 +164,7 @@ std::string Tracer::ToChromeTraceJson() const {
   const std::vector<TraceEvent> events = Collect();
   std::map<int32_t, std::string> track_names;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     track_names = track_names_;
   }
 
@@ -219,7 +219,7 @@ bool Tracer::WriteChromeTraceFile(const std::string& path) const {
 }
 
 void Tracer::SetCrashDumpPath(std::string path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   crash_dump_path_ = std::move(path);
 }
 
@@ -227,7 +227,7 @@ void Tracer::FlushForCrash() const {
   if (num_events() == 0) return;
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     path = crash_dump_path_;
   }
   WriteChromeTraceFile(path);

@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/sync.h"
 #include "obs/obs.h"
 
 namespace sqm::obs {
@@ -102,19 +102,19 @@ class Tracer {
 
  private:
   struct ThreadBuffer {
-    std::mutex mu;
-    std::vector<TraceEvent> events;
-    uint64_t dropped = 0;
+    Mutex mu;
+    std::vector<TraceEvent> events SQM_GUARDED_BY(mu);
+    uint64_t dropped SQM_GUARDED_BY(mu) = 0;
   };
   static constexpr size_t kMaxEventsPerBuffer = 1 << 18;
 
   Tracer();
   ThreadBuffer& BufferForThisThread();
 
-  mutable std::mutex mu_;  // Guards buffers_, track_names_, crash path.
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  std::map<int32_t, std::string> track_names_;
-  std::string crash_dump_path_ = "sqm_crash_trace.json";
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ SQM_GUARDED_BY(mu_);
+  std::map<int32_t, std::string> track_names_ SQM_GUARDED_BY(mu_);
+  std::string crash_dump_path_ SQM_GUARDED_BY(mu_) = "sqm_crash_trace.json";
 };
 
 /// RAII span: measures construction-to-destruction on the current track.

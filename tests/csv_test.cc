@@ -11,7 +11,11 @@ namespace {
 class CsvTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/sqm_csv_test.csv";
+    // Unique per test case: ctest runs cases as parallel processes, and a
+    // shared filename races (one process's TearDown unlinks another's file).
+    path_ = ::testing::TempDir() + "/sqm_csv_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".csv";
   }
   void TearDown() override { std::remove(path_.c_str()); }
 

@@ -1,0 +1,363 @@
+// Drives the sqmlint checker in-process over fixture snippets: for every
+// check, one case proving it fires and one proving a named suppression
+// silences it. Fixtures are raw strings — the lexer treats literals as
+// single tokens, so sqmlint's own scan of this file stays clean.
+
+#include "sqmlint/checker.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using sqmlint::Finding;
+
+std::vector<Finding> Lint(const std::string& path, const std::string& code) {
+  return sqmlint::RunChecks(sqmlint::BuildProject({{path, code}}));
+}
+
+/// Findings for `check` with the given suppression state.
+int Count(const std::vector<Finding>& findings, const std::string& check,
+          bool suppressed) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.check == check && f.suppressed == suppressed) ++n;
+  }
+  return n;
+}
+
+int Active(const std::vector<Finding>& findings, const std::string& check) {
+  return Count(findings, check, false);
+}
+
+// ---------------------------------------------------------------- unchecked-status
+
+constexpr char kDiscardedStatus[] = R"cpp(
+Status Flush(int fd);
+void f(int fd) {
+  Flush(fd);
+}
+)cpp";
+
+TEST(UncheckedStatus, FiresOnDiscardedCall) {
+  const auto findings = Lint("src/dp/x.cc", kDiscardedStatus);
+  EXPECT_EQ(Active(findings, "unchecked-status"), 1);
+}
+
+TEST(UncheckedStatus, SuppressionSilences) {
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+Status Flush(int fd);
+void f(int fd) {
+  Flush(fd);  // sqmlint:allow(unchecked-status)
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "unchecked-status"), 0);
+  EXPECT_EQ(Count(findings, "unchecked-status", true), 1);
+}
+
+TEST(UncheckedStatus, VoidCastAndAssignmentAreChecked) {
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+Status Flush(int fd);
+void f(int fd) {
+  (void)Flush(fd);
+  Status s = Flush(fd);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "unchecked-status"), 0);
+}
+
+TEST(UncheckedStatus, AmbiguousNameIsSkipped) {
+  // `Add` is declared both Status-returning and void-returning; without
+  // type resolution the call is ambiguous, so the lexicon drops the name
+  // ([[nodiscard]] still covers the real sites at compile time).
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+Status Add(int x);
+void g() { Add(1); }
+struct Counter { void Add(int n); };
+void h(Counter& c) { c.Add(1); }
+)cpp");
+  EXPECT_EQ(Active(findings, "unchecked-status"), 0);
+}
+
+TEST(UncheckedStatus, ResultReturnTypeCounts) {
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+Result<std::vector<int>> Parse(const char* s);
+void f(const char* s) {
+  Parse(s);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "unchecked-status"), 1);
+}
+
+// ------------------------------------------------------------------- secret-taint
+
+constexpr char kLoggedShare[] = R"cpp(
+void f(const std::vector<uint64_t>& noise_shares) {
+  SQM_LOG(kInfo) << "first " << noise_shares[0];
+}
+)cpp";
+
+TEST(SecretTaint, FiresOnShareReachingLogSink) {
+  const auto findings = Lint("src/mpc/x.cc", kLoggedShare);
+  EXPECT_EQ(Active(findings, "secret-taint"), 1);
+}
+
+TEST(SecretTaint, SuppressionSilences) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(const std::vector<uint64_t>& noise_shares) {
+  // sqmlint:allow(secret-taint)
+  SQM_LOG(kInfo) << "first " << noise_shares[0];
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "secret-taint"), 0);
+  EXPECT_EQ(Count(findings, "secret-taint", true), 1);
+}
+
+TEST(SecretTaint, TestingBoundaryIsAllowlisted) {
+  const auto findings = Lint("src/testing/x.cc", kLoggedShare);
+  EXPECT_EQ(Active(findings, "secret-taint"), 0);
+}
+
+TEST(SecretTaint, WordBoundariesAvoidSharedPtr) {
+  // "shared" is not "share": lexicon matching is per identifier word.
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(const std::shared_ptr<int>& shared_state) {
+  SQM_LOG(kInfo) << "ptr " << shared_state.use_count();
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "secret-taint"), 0);
+}
+
+TEST(SecretTaint, FiresOnObsArgumentSink) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(Span& span, uint64_t mask_value) {
+  span.AddArg("m", mask_value);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "secret-taint"), 1);
+}
+
+// ----------------------------------------------------------------- rng-discipline
+
+constexpr char kStdEngine[] = R"cpp(
+#include <random>
+void f() {
+  std::mt19937 gen(42);
+}
+)cpp";
+
+TEST(RngDiscipline, FiresOnStdEngineOutsideSampling) {
+  const auto findings = Lint("src/net/x.cc", kStdEngine);
+  EXPECT_GE(Active(findings, "rng-discipline"), 1);
+}
+
+TEST(RngDiscipline, SamplingModuleIsAllowlisted) {
+  const auto findings = Lint("src/sampling/x.cc", kStdEngine);
+  EXPECT_EQ(Active(findings, "rng-discipline"), 0);
+}
+
+TEST(RngDiscipline, SuppressionSilences) {
+  const auto findings = Lint("src/net/x.cc", R"cpp(
+void f() {
+  std::mt19937 gen(42);  // sqmlint:allow(rng-discipline)
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "rng-discipline"), 0);
+  EXPECT_EQ(Count(findings, "rng-discipline", true), 1);
+}
+
+TEST(RngDiscipline, WallClockInDeterministicModule) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f() {
+  long t = time(nullptr);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "rng-discipline"), 1);
+}
+
+TEST(RngDiscipline, SystemClockBannedEverywhere) {
+  const auto findings = Lint("tests/x.cc", R"cpp(
+void f() {
+  auto t = std::chrono::system_clock::now();
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "rng-discipline"), 1);
+}
+
+// ----------------------------------------------------------------- field-capacity
+
+constexpr char kRawAdd[] = R"cpp(
+void f() {
+  Field::Element a = 1;
+  Field::Element b = 2;
+  Field::Element c = a + b;
+}
+)cpp";
+
+TEST(FieldCapacity, FiresOnRawArithmetic) {
+  const auto findings = Lint("src/vfl/x.cc", kRawAdd);
+  EXPECT_EQ(Active(findings, "field-capacity"), 1);
+}
+
+TEST(FieldCapacity, SuppressionSilences) {
+  const auto findings = Lint("src/vfl/x.cc", R"cpp(
+void f() {
+  Field::Element a = 1;
+  Field::Element b = 2;
+  Field::Element c = a + b;  // sqmlint:allow(field-capacity)
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "field-capacity"), 0);
+  EXPECT_EQ(Count(findings, "field-capacity", true), 1);
+}
+
+TEST(FieldCapacity, CheckedOpsAreClean) {
+  const auto findings = Lint("src/vfl/x.cc", R"cpp(
+void f() {
+  Field::Element a = 1;
+  Field::Element b = 2;
+  Field::Element c = Field::Add(a, b);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "field-capacity"), 0);
+}
+
+TEST(FieldCapacity, FieldImplementationIsAllowlisted) {
+  const auto findings = Lint("src/mpc/field.cc", kRawAdd);
+  EXPECT_EQ(Active(findings, "field-capacity"), 0);
+}
+
+TEST(FieldCapacity, VectorElementIndexing) {
+  const auto findings = Lint("src/vfl/x.cc", R"cpp(
+void f(std::vector<Field::Element>& shares_vec) {
+  shares_vec[0] += 7;
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "field-capacity"), 1);
+}
+
+// --------------------------------------------------------------- mutex-annotation
+
+constexpr char kRawStdMutex[] = R"cpp(
+#include <mutex>
+struct S {
+  std::mutex mu_;
+};
+)cpp";
+
+TEST(MutexAnnotation, FiresOnRawStdMutexInNet) {
+  const auto findings = Lint("src/net/x.h", kRawStdMutex);
+  EXPECT_GE(Active(findings, "mutex-annotation"), 1);
+}
+
+TEST(MutexAnnotation, OtherModulesOutOfScope) {
+  const auto findings = Lint("src/dp/x.h", kRawStdMutex);
+  EXPECT_EQ(Active(findings, "mutex-annotation"), 0);
+}
+
+TEST(MutexAnnotation, SuppressionSilences) {
+  const auto findings = Lint("src/net/x.h", R"cpp(
+struct S {
+  std::mutex mu_;  // sqmlint:allow(mutex-annotation)
+};
+)cpp");
+  EXPECT_EQ(Active(findings, "mutex-annotation"), 0);
+  EXPECT_EQ(Count(findings, "mutex-annotation", true), 1);
+}
+
+TEST(MutexAnnotation, UnannotatedMutexMember) {
+  const auto findings = Lint("src/obs/x.h", R"cpp(
+struct S {
+  Mutex mu_;
+  int guarded_value = 0;
+};
+)cpp");
+  EXPECT_EQ(Active(findings, "mutex-annotation"), 1);
+}
+
+TEST(MutexAnnotation, GuardedByAnnotationSatisfies) {
+  const auto findings = Lint("src/obs/x.h", R"cpp(
+struct S {
+  Mutex mu_;
+  int guarded_value SQM_GUARDED_BY(mu_) = 0;
+};
+)cpp");
+  EXPECT_EQ(Active(findings, "mutex-annotation"), 0);
+}
+
+// ------------------------------------------------------------- suppression rules
+
+TEST(Suppression, BareDirectiveIsItselfAFinding) {
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+int f();  // sqmlint:allow
+)cpp");
+  EXPECT_EQ(Active(findings, "suppression-syntax"), 1);
+}
+
+TEST(Suppression, WrongCheckNameDoesNotSilence) {
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+Status Flush(int fd);
+void f(int fd) {
+  Flush(fd);  // sqmlint:allow(rng-discipline)
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "unchecked-status"), 1);
+}
+
+TEST(Suppression, DirectiveAboveOffendingLine) {
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+Status Flush(int fd);
+void f(int fd) {
+  // sqmlint:allow(unchecked-status)
+  Flush(fd);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "unchecked-status"), 0);
+}
+
+// ------------------------------------------------------------------ JSON output
+
+TEST(Json, FindingsAndSummaryShapes) {
+  const auto project =
+      sqmlint::BuildProject({{"src/dp/x.cc", kDiscardedStatus}});
+  const auto findings = sqmlint::RunChecks(project);
+  const std::string json = sqmlint::RenderJson(project, findings);
+  EXPECT_NE(json.find("\"check\":\"unchecked-status\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"src/dp/x.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"summary\":{\"files\":1,\"active\":1,\"suppressed\":0}"),
+            std::string::npos);
+}
+
+TEST(Json, SuppressedFindingMarked) {
+  const auto project = sqmlint::BuildProject({{"src/vfl/x.cc", R"cpp(
+void f() {
+  Field::Element a = 1;
+  Field::Element r = a * a;  // sqmlint:allow(field-capacity)
+}
+)cpp"}});
+  const auto findings = sqmlint::RunChecks(project);
+  const std::string json = sqmlint::RenderJson(project, findings);
+  EXPECT_NE(json.find("\"suppressed\":true"), std::string::npos);
+  EXPECT_EQ(sqmlint::CountActive(findings), 0u);
+}
+
+// ------------------------------------------------------------------ lexer rules
+
+TEST(Lexer, LiteralsAreInert) {
+  // Engine names and secret words inside string literals never fire.
+  const auto findings = Lint("src/net/x.cc", R"cpp(
+const char* kDoc = "std::mt19937 and noise_shares and time(nullptr)";
+)cpp");
+  EXPECT_EQ(sqmlint::CountActive(findings), 0u);
+}
+
+TEST(Lexer, CheckSubsetSelection) {
+  const auto project = sqmlint::BuildProject({{"src/net/x.cc", kStdEngine}});
+  const auto findings = sqmlint::RunChecks(project, {"secret-taint"});
+  EXPECT_EQ(sqmlint::CountActive(findings), 0u);
+}
+
+}  // namespace

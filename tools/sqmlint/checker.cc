@@ -1,0 +1,370 @@
+#include "sqmlint/checker.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sqmlint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+/// Parses "sqmlint:allow(a, b)" directives out of one comment. Returns
+/// false (malformed) when the marker is present but the check list is
+/// missing, unparenthesized or empty.
+bool ParseAllowDirective(const std::string& comment,
+                         std::set<std::string>* checks) {
+  const std::string marker = "sqmlint:allow";
+  const size_t at = comment.find(marker);
+  if (at == std::string::npos) return true;  // No directive at all.
+  size_t i = at + marker.size();
+  while (i < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[i]))) {
+    ++i;
+  }
+  if (i >= comment.size() || comment[i] != '(') return false;
+  const size_t close = comment.find(')', i);
+  if (close == std::string::npos) return false;
+  std::string list = comment.substr(i + 1, close - i - 1);
+  std::string name;
+  std::set<std::string> parsed;
+  for (char c : list + ",") {
+    if (c == ',') {
+      if (!name.empty()) {
+        parsed.insert(name);
+        name.clear();
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    name.push_back(c);
+  }
+  if (parsed.empty()) return false;
+  checks->insert(parsed.begin(), parsed.end());
+  return true;
+}
+
+SourceFile MakeSourceFile(const std::string& path,
+                          const std::string& content) {
+  SourceFile file;
+  file.path = path;
+  file.content = content;
+  file.lines = SplitLines(content);
+  LexResult lexed = Lex(content);
+  file.tokens = std::move(lexed.tokens);
+  for (const Comment& comment : lexed.comments) {
+    if (comment.text.find("sqmlint:allow") == std::string::npos) continue;
+    std::set<std::string> checks;
+    if (!ParseAllowDirective(comment.text, &checks)) {
+      Finding finding;
+      finding.check = "suppression-syntax";
+      finding.path = path;
+      finding.line = comment.begin_line;
+      finding.message =
+          "malformed suppression: every sqmlint:allow must carry a "
+          "parenthesized, non-empty check-name list, e.g. "
+          "sqmlint:allow(rng-discipline)";
+      file.suppression_errors.push_back(std::move(finding));
+      continue;
+    }
+    // Cover the directive's own extent plus the next line, so the comment
+    // works trailing the offending line or on its own line above it.
+    for (int l = comment.begin_line; l <= comment.end_line + 1; ++l) {
+      file.allows[l].insert(checks.begin(), checks.end());
+    }
+  }
+  return file;
+}
+
+/// Pre-pass: record every function name declared with return type Status
+/// or Result<...>. Token shapes matched (optionally with qualifiers):
+///   Status Name (            Result < ... > Name (
+///   Status Qual::Name (      sqm::Status Name (
+/// `other_names` collects names declared with any other identifier-shaped
+/// return type ("void Add(", "Element Sub("): a name in both sets is
+/// ambiguous without type resolution and is dropped from the lexicon (the
+/// [[nodiscard]] attribute still covers those call sites at compile time).
+void CollectStatusFunctions(const SourceFile& file,
+                            std::set<std::string>* names,
+                            std::set<std::string>* other_names) {
+  static const std::set<std::string> kNotAReturnType = {
+      "return", "co_return", "co_await", "co_yield", "new",  "delete",
+      "throw",  "case",      "goto",     "else",     "do",   "if",
+      "while",  "for",       "switch",   "sizeof",   "not",  "and",
+      "or",     "operator",  "explicit", "typename", "using"};
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& t = toks[i].text;
+    if (t != "Status" && t != "Result") {
+      // `T Name (` with a plain-identifier return type T.
+      if (kNotAReturnType.count(t) == 0 && i + 2 < toks.size() &&
+          toks[i + 1].kind == TokenKind::kIdentifier &&
+          kNotAReturnType.count(toks[i + 1].text) == 0 &&
+          toks[i + 2].kind == TokenKind::kPunct && toks[i + 2].text == "(") {
+        other_names->insert(toks[i + 1].text);
+      }
+      continue;
+    }
+    // Member access like value.Status() is not a return type.
+    if (i > 0 && toks[i - 1].kind == TokenKind::kPunct &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (t == "Result") {
+      if (j >= toks.size() || toks[j].text != "<") continue;
+      int depth = 0;
+      while (j < toks.size()) {
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">") --depth;
+        if (toks[j].text == ">>") depth -= 2;
+        ++j;
+        if (depth <= 0) break;
+      }
+    }
+    // Optional & / * between type and declarator.
+    while (j < toks.size() && toks[j].kind == TokenKind::kPunct &&
+           (toks[j].text == "&" || toks[j].text == "*")) {
+      ++j;
+    }
+    // Qualified declarator: Name (:: Name)* then '('.
+    if (j >= toks.size() || toks[j].kind != TokenKind::kIdentifier) continue;
+    std::string last = toks[j].text;
+    ++j;
+    while (j + 1 < toks.size() && toks[j].text == "::" &&
+           toks[j + 1].kind == TokenKind::kIdentifier) {
+      last = toks[j + 1].text;
+      j += 2;
+    }
+    if (j < toks.size() && toks[j].text == "(" && last != "operator") {
+      names->insert(last);
+    }
+  }
+}
+
+}  // namespace
+
+bool PathInModule(const std::string& path, const std::string& needle) {
+  std::string normalized = path;
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  size_t at = normalized.find(needle);
+  while (at != std::string::npos) {
+    if (at == 0 || normalized[at - 1] == '/') return true;
+    at = normalized.find(needle, at + 1);
+  }
+  return false;
+}
+
+std::vector<std::string> IdentifierWords(const std::string& identifier) {
+  std::vector<std::string> words;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      words.push_back(current);
+      current.clear();
+    }
+  };
+  for (size_t i = 0; i < identifier.size(); ++i) {
+    const char c = identifier[i];
+    if (c == '_') {
+      flush();
+      continue;
+    }
+    if (std::isupper(static_cast<unsigned char>(c)) && i > 0 &&
+        std::islower(static_cast<unsigned char>(identifier[i - 1]))) {
+      flush();
+    }
+    current.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  flush();
+  return words;
+}
+
+Project BuildProject(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  Project project;
+  project.files.reserve(files.size());
+  for (const auto& [path, content] : files) {
+    project.files.push_back(MakeSourceFile(path, content));
+  }
+  std::set<std::string> other_names;
+  for (const SourceFile& file : project.files) {
+    CollectStatusFunctions(file, &project.status_functions, &other_names);
+  }
+  for (const std::string& name : other_names) {
+    project.status_functions.erase(name);
+  }
+  return project;
+}
+
+std::vector<std::pair<std::string, std::string>> CollectSources(
+    const std::vector<std::string>& paths, std::vector<std::string>* errors) {
+  std::vector<std::pair<std::string, std::string>> out;
+  auto read_file = [&](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      errors->push_back("cannot read " + p.string());
+      return;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out.emplace_back(p.generic_string(), buffer.str());
+  };
+  const std::set<std::string> extensions = {".h", ".hpp", ".cc", ".cpp",
+                                            ".cxx"};
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file()) continue;
+        if (extensions.count(it->path().extension().string()) == 0) continue;
+        read_file(it->path());
+      }
+      if (ec) errors->push_back("cannot walk " + path + ": " + ec.message());
+    } else if (fs::exists(path, ec)) {
+      read_file(path);
+    } else {
+      errors->push_back("no such path: " + path);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Finding> RunChecks(const Project& project,
+                               const std::set<std::string>& only) {
+  std::vector<Finding> findings;
+  for (const SourceFile& file : project.files) {
+    for (const Check& check : AllChecks()) {
+      if (!only.empty() && only.count(check.name) == 0) continue;
+      check.run(project, file, &findings);
+    }
+    for (const Finding& error : file.suppression_errors) {
+      findings.push_back(error);  // Never suppressible.
+    }
+  }
+  // Resolve suppressions.
+  for (Finding& finding : findings) {
+    if (finding.check == "suppression-syntax") continue;
+    for (const SourceFile& file : project.files) {
+      if (file.path != finding.path) continue;
+      auto it = file.allows.find(finding.line);
+      if (it != file.allows.end() && it->second.count(finding.check) > 0) {
+        finding.suppressed = true;
+      }
+      break;
+    }
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+size_t CountActive(const std::vector<Finding>& findings) {
+  size_t active = 0;
+  for (const Finding& finding : findings) {
+    if (!finding.suppressed) ++active;
+  }
+  return active;
+}
+
+std::string RenderHuman(const Project& project,
+                        const std::vector<Finding>& findings,
+                        bool show_suppressed) {
+  std::ostringstream out;
+  for (const Finding& finding : findings) {
+    if (finding.suppressed && !show_suppressed) continue;
+    out << finding.path << ":" << finding.line << ": ["
+        << finding.check << "] " << finding.message;
+    if (finding.suppressed) out << " (suppressed)";
+    out << "\n";
+    for (const SourceFile& file : project.files) {
+      if (file.path != finding.path) continue;
+      if (finding.line >= 1 &&
+          static_cast<size_t>(finding.line) <= file.lines.size()) {
+        out << "  | " << file.lines[finding.line - 1] << "\n";
+      }
+      break;
+    }
+  }
+  const size_t active = CountActive(findings);
+  out << (active == 0 ? "sqmlint: clean" : "sqmlint: FAIL") << " ("
+      << active << " finding(s), " << findings.size() - active
+      << " suppressed, " << project.files.size() << " file(s))\n";
+  return out.str();
+}
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string RenderJson(const Project& project,
+                       const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out << ",";
+    out << "{\"check\":\"" << JsonEscape(f.check) << "\",\"path\":\""
+        << JsonEscape(f.path) << "\",\"line\":" << f.line
+        << ",\"message\":\"" << JsonEscape(f.message) << "\",\"suppressed\":"
+        << (f.suppressed ? "true" : "false") << "}";
+  }
+  const size_t active = CountActive(findings);
+  out << "],\"summary\":{\"files\":" << project.files.size()
+      << ",\"active\":" << active
+      << ",\"suppressed\":" << findings.size() - active << "}}";
+  return out.str();
+}
+
+}  // namespace sqmlint

@@ -1,0 +1,458 @@
+#include <array>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sqmlint/checker.h"
+
+namespace sqmlint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool IsPunct(const Token& token, const char* text) {
+  return token.kind == TokenKind::kPunct && token.text == text;
+}
+bool IsIdent(const Token& token) {
+  return token.kind == TokenKind::kIdentifier;
+}
+
+/// Index just past the ')' matching the '(' at `open`; tokens.size() when
+/// unbalanced.
+size_t SkipParens(const Tokens& toks, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (IsPunct(toks[i], "(")) ++depth;
+    if (IsPunct(toks[i], ")")) {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+void Report(std::vector<Finding>* findings, const char* check,
+            const SourceFile& file, int line, std::string message) {
+  Finding finding;
+  finding.check = check;
+  finding.path = file.path;
+  finding.line = line;
+  finding.message = std::move(message);
+  findings->push_back(std::move(finding));
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-status: a call to a function declared to return Status or
+// Result<T>, used as a bare expression statement (its value discarded).
+// The compiler-side half of this check is the [[nodiscard]] attribute on
+// Status/Result in core/status.h; this pass keeps the rule enforced even
+// in builds that swallow warnings, and localizes the diagnostic.
+// ---------------------------------------------------------------------------
+void CheckUncheckedStatus(const Project& project, const SourceFile& file,
+                          std::vector<Finding>* findings) {
+  const Tokens& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i])) continue;
+    // Statement start: after ; { } ), after else/do, or at file start.
+    // (':' is deliberately not a start: it is usually the ternary colon,
+    // whose value is consumed — label statements are the rare loss.)
+    bool starts = i == 0;
+    if (i > 0) {
+      const Token& prev = toks[i - 1];
+      starts = IsPunct(prev, ";") || IsPunct(prev, "{") ||
+               IsPunct(prev, "}") || IsPunct(prev, ")") ||
+               (IsIdent(prev) && (prev.text == "else" || prev.text == "do"));
+      // `(void)Foo();` is an explicit, intentional discard.
+      if (IsPunct(prev, ")") && i >= 3 && IsPunct(toks[i - 3], "(") &&
+          IsIdent(toks[i - 2]) && toks[i - 2].text == "void") {
+        starts = false;
+      }
+    }
+    if (!starts) continue;
+
+    // Identifier chain: id ((:: | . | ->) id)* then '(' args ')' ';'.
+    size_t j = i;
+    std::string last = toks[j].text;
+    while (j + 2 < toks.size() &&
+           (IsPunct(toks[j + 1], "::") || IsPunct(toks[j + 1], ".") ||
+            IsPunct(toks[j + 1], "->")) &&
+           IsIdent(toks[j + 2])) {
+      j += 2;
+      last = toks[j].text;
+    }
+    if (j + 1 >= toks.size() || !IsPunct(toks[j + 1], "(")) continue;
+    const size_t after = SkipParens(toks, j + 1);
+    if (after >= toks.size() || !IsPunct(toks[after], ";")) continue;
+    if (project.status_functions.count(last) == 0) continue;
+    Report(findings, "unchecked-status", file, toks[j].line,
+           "result of '" + last +
+               "' (returns Status/Result) is discarded; check it, propagate "
+               "it, or make the discard explicit with (void)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// secret-taint: identifiers from the secret lexicon (shares, sub-shares,
+// masks, raw noise samples — values that must stay inside the MPC
+// boundary) appearing in the argument region of a logging / tracing /
+// serialization sink. src/testing/ is the allowlisted boundary: the
+// adversarial harness logs tampered wire payloads by design.
+// ---------------------------------------------------------------------------
+bool IsSecretIdentifier(const std::string& identifier) {
+  static const std::set<std::string> kSecretWords = {
+      "share", "shares", "subshare", "subshares", "secret", "secrets",
+      "mask",  "masks"};
+  const std::vector<std::string> words = IdentifierWords(identifier);
+  bool raw = false, noise = false, sample = false;
+  for (const std::string& word : words) {
+    if (kSecretWords.count(word) > 0) return true;
+    raw = raw || word == "raw";
+    noise = noise || word == "noise";
+    sample = sample || word == "sample" || word == "samples";
+  }
+  return (raw || noise) && sample;
+}
+
+void CheckSecretTaint(const Project& /*project*/, const SourceFile& file,
+                      std::vector<Finding>* findings) {
+  if (PathInModule(file.path, "src/testing/")) return;
+  static const std::set<std::string> kStatementSinks = {
+      "SQM_LOG", "SQM_LOG_IF", "SQM_VLOG", "printf", "fprintf",
+      "puts",    "fputs",      "cout",     "cerr",   "clog"};
+  static const std::set<std::string> kMemberCallSinks = {"AddArg", "Field"};
+  static const std::set<std::string> kMacroCallSinks = {
+      "SQM_OBS_COUNTER_ADD", "SQM_OBS_COUNTER_INC", "SQM_OBS_GAUGE_SET",
+      "SQM_OBS_HISTOGRAM_RECORD"};
+
+  const Tokens& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i])) continue;
+    const std::string& name = toks[i].text;
+
+    size_t begin = 0, end = 0;  // Argument region [begin, end).
+    if (kStatementSinks.count(name) > 0) {
+      // Scan to the terminating ';' at the statement's paren depth.
+      begin = i + 1;
+      int depth = 0;
+      size_t j = begin;
+      for (; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], "(")) ++depth;
+        if (IsPunct(toks[j], ")")) --depth;
+        if (depth < 0) break;
+        if (depth == 0 && IsPunct(toks[j], ";")) break;
+      }
+      end = j;
+    } else if (kMemberCallSinks.count(name) > 0 || kMacroCallSinks.count(name) > 0) {
+      if (kMemberCallSinks.count(name) > 0) {
+        if (i == 0 || !(IsPunct(toks[i - 1], ".") ||
+                        IsPunct(toks[i - 1], "->"))) {
+          continue;  // sqm::Field the class, not JsonWriter::Field.
+        }
+      }
+      if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) continue;
+      begin = i + 2;
+      end = SkipParens(toks, i + 1);
+      if (end > begin) --end;  // Drop the closing ')'.
+    } else {
+      continue;
+    }
+
+    for (size_t j = begin; j < end && j < toks.size(); ++j) {
+      if (!IsIdent(toks[j])) continue;
+      if (!IsSecretIdentifier(toks[j].text)) continue;
+      Report(findings, "secret-taint", file, toks[j].line,
+             "secret-lexicon identifier '" + toks[j].text +
+                 "' reaches sink '" + name +
+                 "'; shares, masks and raw noise samples must not be "
+                 "logged or serialized outside the MPC boundary "
+                 "(src/testing/ is the allowlisted harness)");
+      break;  // One finding per sink region.
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// rng-discipline: all randomness flows through sqm::Rng (src/sampling/);
+// std engines and libc rand are banned elsewhere, and protocol-
+// deterministic modules must not read wall-clock time (same transcript in,
+// same transcript out — the replay and fuzz harnesses depend on it).
+// ---------------------------------------------------------------------------
+void CheckRngDiscipline(const Project& /*project*/, const SourceFile& file,
+                        std::vector<Finding>* findings) {
+  static const std::set<std::string> kEngines = {
+      "mt19937",        "mt19937_64",    "minstd_rand", "minstd_rand0",
+      "default_random_engine", "random_device", "ranlux24", "ranlux48",
+      "ranlux24_base",  "ranlux48_base", "knuth_b"};
+  static const std::set<std::string> kRandCalls = {
+      "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48", "random"};
+  static const std::set<std::string> kWallClockAnywhere = {"system_clock",
+                                                           "gettimeofday"};
+  static const std::set<std::string> kWallClockCalls = {
+      "time",  "clock",   "localtime", "gmtime",
+      "mktime", "ctime",  "asctime",   "strftime"};
+  static const char* const kDeterministicModules[] = {
+      "src/mpc/",  "src/poly/", "src/dp/",
+      "src/math/", "src/vfl/",  "src/core/", "src/sampling/"};
+
+  const bool in_sampling = PathInModule(file.path, "src/sampling/");
+  bool deterministic = false;
+  for (const char* module : kDeterministicModules) {
+    deterministic = deterministic || PathInModule(file.path, module);
+  }
+
+  const Tokens& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i])) continue;
+    const std::string& name = toks[i].text;
+    const bool call_form = i + 1 < toks.size() && IsPunct(toks[i + 1], "(");
+    const bool member = i > 0 && (IsPunct(toks[i - 1], ".") ||
+                                  IsPunct(toks[i - 1], "->"));
+
+    if (!in_sampling && kEngines.count(name) > 0) {
+      Report(findings, "rng-discipline", file, toks[i].line,
+             "'" + name +
+                 "' outside src/sampling/: all randomness must flow "
+                 "through sqm::Rng so runs stay seed-reproducible");
+      continue;
+    }
+    if (!in_sampling && kRandCalls.count(name) > 0 && call_form && !member) {
+      Report(findings, "rng-discipline", file, toks[i].line,
+             "libc '" + name +
+                 "()' outside src/sampling/: use sqm::Rng (seeded, "
+                 "reproducible, unbiased) instead");
+      continue;
+    }
+    if (kWallClockAnywhere.count(name) > 0) {
+      Report(findings, "rng-discipline", file, toks[i].line,
+             "wall-clock '" + name +
+                 "' is banned: protocol code uses the simulated clock or "
+                 "steady_clock; wall time breaks transcript determinism");
+      continue;
+    }
+    if (deterministic && kWallClockCalls.count(name) > 0 && call_form &&
+        !member) {
+      Report(findings, "rng-discipline", file, toks[i].line,
+             "wall-clock call '" + name +
+                 "()' in a protocol-deterministic module; the transcript "
+                 "replay and schedule-fuzz invariants require identical "
+                 "re-runs");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// field-capacity: raw + - * % on values declared Field::Element bypasses
+// the checked field ops (Field::Add/Sub/Mul/Neg). p = 2^61 - 1 residues
+// wrap silently under native uint64 arithmetic, corrupting results and
+// invalidating the sensitivity analysis. src/mpc/field.cc implements the
+// checked ops and is the one place raw arithmetic is allowed.
+// ---------------------------------------------------------------------------
+void CheckFieldCapacity(const Project& /*project*/, const SourceFile& file,
+                        std::vector<Finding>* findings) {
+  if (PathInModule(file.path, "src/mpc/field.cc")) return;
+  const Tokens& toks = file.tokens;
+
+  // File-local alias `using Element = ...` makes bare `Element` a field
+  // type; otherwise only the qualified spelling (or mpc sources) count.
+  bool element_alias = PathInModule(file.path, "src/mpc/");
+  for (size_t i = 0; i + 2 < toks.size() && !element_alias; ++i) {
+    element_alias = IsIdent(toks[i]) && toks[i].text == "using" &&
+                    IsIdent(toks[i + 1]) && toks[i + 1].text == "Element" &&
+                    IsPunct(toks[i + 2], "=");
+  }
+
+  std::set<std::string> scalars;
+  std::set<std::string> vectors;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i])) continue;
+    // `Field :: Element name` or (with the alias) `Element name`.
+    if (toks[i].text == "Element") {
+      const bool qualified = i >= 2 && IsPunct(toks[i - 1], "::") &&
+                             IsIdent(toks[i - 2]) &&
+                             toks[i - 2].text == "Field";
+      const bool bare =
+          element_alias && (i == 0 || !IsPunct(toks[i - 1], "::"));
+      if (!qualified && !bare) continue;
+      size_t j = i + 1;
+      while (j < toks.size() && IsPunct(toks[j], "&")) ++j;
+      if (j < toks.size() && IsIdent(toks[j]) &&
+          (j + 1 >= toks.size() || !IsPunct(toks[j + 1], "("))) {
+        scalars.insert(toks[j].text);
+      }
+      continue;
+    }
+    // `vector < ... Element ... > name` — skipped when the element type is
+    // a pointer ('*' in the template region): indexing those yields
+    // pointers, not field values.
+    if (toks[i].text == "vector" && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "<")) {
+      int depth = 0;
+      bool has_element = false;
+      bool has_pointer = false;
+      size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], "<")) ++depth;
+        if (IsPunct(toks[j], ">")) --depth;
+        if (IsPunct(toks[j], ">>")) depth -= 2;
+        if (IsPunct(toks[j], "*")) has_pointer = true;
+        if (IsIdent(toks[j]) && toks[j].text == "Element") {
+          has_element = true;
+        }
+        if (depth <= 0 && j > i + 1) break;
+      }
+      if (!has_element || has_pointer) continue;
+      size_t k = j + 1;
+      while (k < toks.size() && IsPunct(toks[k], "&")) ++k;
+      if (k < toks.size() && IsIdent(toks[k]) &&
+          (k + 1 >= toks.size() || !IsPunct(toks[k + 1], "("))) {
+        vectors.insert(toks[k].text);
+      }
+    }
+  }
+  if (scalars.empty() && vectors.empty()) return;
+
+  // Walks back from `close` (a ']') to the identifier that owns the index
+  // expression; empty string when the shape is more complex.
+  auto index_base = [&](size_t close) -> std::string {
+    int depth = 0;
+    size_t i = close;
+    while (true) {
+      if (IsPunct(toks[i], "]")) ++depth;
+      if (IsPunct(toks[i], "[")) {
+        --depth;
+        if (depth == 0) {
+          if (i == 0) return "";
+          if (IsIdent(toks[i - 1])) return toks[i - 1].text;
+          if (IsPunct(toks[i - 1], "]")) {
+            close = i - 1;  // Multi-dimensional: recurse one level out.
+            i = close;
+            depth = 0;
+            continue;
+          }
+          return "";
+        }
+      }
+      if (i == 0) return "";
+      --i;
+    }
+  };
+
+  static const std::set<std::string> kOps = {"+",  "-",  "*",  "%", "+=",
+                                             "-=", "*=", "%=", "++", "--"};
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct || kOps.count(toks[i].text) == 0) {
+      continue;
+    }
+    // A '*' not preceded by a value expression is a unary dereference, not
+    // multiplication; only the binary form is field arithmetic.
+    const bool deref =
+        toks[i].text == "*" &&
+        (i == 0 || (toks[i - 1].kind == TokenKind::kPunct &&
+                    !IsPunct(toks[i - 1], "]") && !IsPunct(toks[i - 1], ")")));
+    if (deref) continue;
+    std::string operand;
+    if (i > 0) {
+      if (IsIdent(toks[i - 1]) && scalars.count(toks[i - 1].text) > 0) {
+        operand = toks[i - 1].text;
+      } else if (IsPunct(toks[i - 1], "]")) {
+        const std::string base = index_base(i - 1);
+        if (vectors.count(base) > 0) operand = base + "[...]";
+      }
+    }
+    if (operand.empty() && i + 1 < toks.size() && IsIdent(toks[i + 1])) {
+      const std::string& right = toks[i + 1].text;
+      if (scalars.count(right) > 0) {
+        operand = right;
+      } else if (vectors.count(right) > 0 && i + 2 < toks.size() &&
+                 IsPunct(toks[i + 2], "[")) {
+        operand = right + "[...]";
+      }
+    }
+    if (operand.empty()) continue;
+    Report(findings, "field-capacity", file, toks[i].line,
+           "raw '" + toks[i].text + "' on Field::Element value '" + operand +
+               "' bypasses the checked field ops; use "
+               "Field::Add/Sub/Mul/Neg — native arithmetic wraps silently "
+               "past p = 2^61 - 1 and breaks the sensitivity analysis");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mutex-annotation: src/net/ and src/obs/ are the concurrent modules; they
+// must use the capability-annotated primitives from core/sync.h (raw std
+// sync is invisible to clang's -Wthread-safety proof), and a file that
+// declares a Mutex must carry SQM_GUARDED_BY annotations for the state the
+// mutex protects.
+// ---------------------------------------------------------------------------
+void CheckMutexAnnotation(const Project& /*project*/, const SourceFile& file,
+                          std::vector<Finding>* findings) {
+  if (!PathInModule(file.path, "src/net/") &&
+      !PathInModule(file.path, "src/obs/")) {
+    return;
+  }
+  static const std::set<std::string> kRawSync = {
+      "mutex",         "recursive_mutex",        "timed_mutex",
+      "shared_mutex",  "condition_variable",     "condition_variable_any",
+      "lock_guard",    "unique_lock",            "scoped_lock",
+      "shared_lock"};
+
+  const Tokens& toks = file.tokens;
+  bool has_guarded_by = false;
+  std::vector<size_t> mutex_decls;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i])) continue;
+    const std::string& name = toks[i].text;
+    if (name == "SQM_GUARDED_BY" || name == "SQM_PT_GUARDED_BY" ||
+        name == "SQM_REQUIRES") {
+      has_guarded_by = true;
+    }
+    if (kRawSync.count(name) > 0 && i >= 2 && IsPunct(toks[i - 1], "::") &&
+        IsIdent(toks[i - 2]) && toks[i - 2].text == "std") {
+      Report(findings, "mutex-annotation", file, toks[i].line,
+             "raw std::" + name +
+                 " in an annotated module; use sqm::Mutex / MutexLock / "
+                 "CondVar from core/sync.h so -Wthread-safety can prove "
+                 "the locking discipline");
+    }
+    // `Mutex name ;` — a mutex member/variable declaration.
+    if (name == "Mutex" && i + 2 < toks.size() && IsIdent(toks[i + 1]) &&
+        IsPunct(toks[i + 2], ";")) {
+      mutex_decls.push_back(i);
+    }
+  }
+  if (!has_guarded_by) {
+    for (size_t i : mutex_decls) {
+      Report(findings, "mutex-annotation", file, toks[i].line,
+             "Mutex '" + toks[i + 1].text +
+                 "' declared but no SQM_GUARDED_BY / SQM_REQUIRES "
+                 "annotation in this file; annotate the state the mutex "
+                 "guards (core/thread_annotations.h)");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<Check>& AllChecks() {
+  static const std::vector<Check> kChecks = {
+      {"unchecked-status",
+       "discarded call result of a Status/Result-returning function",
+       CheckUncheckedStatus},
+      {"secret-taint",
+       "secret-lexicon identifier flowing into a logging/serialization sink",
+       CheckSecretTaint},
+      {"rng-discipline",
+       "std/libc randomness outside src/sampling/, wall clock in "
+       "deterministic modules",
+       CheckRngDiscipline},
+      {"field-capacity",
+       "raw arithmetic on Field::Element values bypassing checked field ops",
+       CheckFieldCapacity},
+      {"mutex-annotation",
+       "raw std sync or unannotated Mutex state in src/net/ + src/obs/",
+       CheckMutexAnnotation},
+  };
+  return kChecks;
+}
+
+}  // namespace sqmlint

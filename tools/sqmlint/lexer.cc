@@ -1,0 +1,186 @@
+#include "sqmlint/lexer.h"
+
+#include <cctype>
+
+namespace sqmlint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the checks care about, longest first so the
+/// greedy match below is correct.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=", "*=",
+    "/=",  "%=",  "&=",  "|=",  "^=", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&",  "||",
+};
+
+}  // namespace
+
+LexResult Lex(const std::string& src) {
+  LexResult out;
+  size_t i = 0;
+  const size_t n = src.size();
+  int line = 1;
+  int col = 1;
+
+  auto bump = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      bump(1);
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int begin_line = line;
+      size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      out.comments.push_back(
+          Comment{src.substr(i + 2, j - (i + 2)), begin_line, begin_line});
+      bump(j - i);
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int begin_line = line;
+      size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) ++j;
+      const size_t body_end = (j + 1 < n) ? j : n;
+      const size_t skip = (j + 1 < n) ? j + 2 - i : n - i;
+      std::string body = src.substr(i + 2, body_end - (i + 2));
+      bump(skip);
+      out.comments.push_back(Comment{std::move(body), begin_line, line});
+      continue;
+    }
+
+    // Identifier — possibly a raw-string prefix (R", u8R", LR", ...).
+    if (IsIdentStart(c)) {
+      const int tline = line;
+      const int tcol = col;
+      size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      std::string text = src.substr(i, j - i);
+      const bool raw_prefix =
+          j < n && src[j] == '"' && !text.empty() && text.back() == 'R' &&
+          (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+           text == "LR");
+      if (raw_prefix) {
+        // R"delim( ... )delim"
+        size_t k = j + 1;
+        std::string delim;
+        while (k < n && src[k] != '(') delim.push_back(src[k++]);
+        const std::string closer = ")" + delim + "\"";
+        size_t end = src.find(closer, k);
+        end = (end == std::string::npos) ? n : end + closer.size();
+        out.tokens.push_back(
+            Token{TokenKind::kString, src.substr(i, end - i), tline, tcol});
+        bump(end - i);
+        continue;
+      }
+      out.tokens.push_back(
+          Token{TokenKind::kIdentifier, std::move(text), tline, tcol});
+      bump(j - i);
+      continue;
+    }
+
+    // Number (pp-number: digits, letters, ', ., and exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const int tline = line;
+      const int tcol = col;
+      size_t j = i;
+      while (j < n) {
+        const char d = src[j];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i) {
+          const char prev = src[j - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      out.tokens.push_back(
+          Token{TokenKind::kNumber, src.substr(i, j - i), tline, tcol});
+      bump(j - i);
+      continue;
+    }
+
+    // String literal.
+    if (c == '"') {
+      const int tline = line;
+      const int tcol = col;
+      size_t j = i + 1;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      if (j < n) ++j;
+      out.tokens.push_back(
+          Token{TokenKind::kString, src.substr(i, j - i), tline, tcol});
+      bump(j - i);
+      continue;
+    }
+
+    // Char literal.
+    if (c == '\'') {
+      const int tline = line;
+      const int tcol = col;
+      size_t j = i + 1;
+      while (j < n && src[j] != '\'') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      if (j < n) ++j;
+      out.tokens.push_back(
+          Token{TokenKind::kChar, src.substr(i, j - i), tline, tcol});
+      bump(j - i);
+      continue;
+    }
+
+    // Punctuator, longest match first.
+    {
+      const int tline = line;
+      const int tcol = col;
+      std::string text(1, c);
+      for (const char* p : kPuncts) {
+        const size_t len = std::char_traits<char>::length(p);
+        if (src.compare(i, len, p) == 0) {
+          text.assign(p);
+          break;
+        }
+      }
+      out.tokens.push_back(
+          Token{TokenKind::kPunct, text, tline, tcol});
+      bump(text.size());
+    }
+  }
+  return out;
+}
+
+}  // namespace sqmlint

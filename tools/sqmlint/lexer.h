@@ -1,0 +1,51 @@
+#ifndef SQM_TOOLS_SQMLINT_LEXER_H_
+#define SQM_TOOLS_SQMLINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace sqmlint {
+
+/// Token categories sqmlint distinguishes. Comments are not tokens: the
+/// lexer consumes them and reports them through the Comment callback list,
+/// which is where suppression directives come from. String and char
+/// literals are single tokens, so identifier-based checks never fire on
+/// text inside a literal (fixture snippets embedded as raw strings in the
+/// linter's own tests stay inert).
+enum class TokenKind {
+  kIdentifier,  ///< Identifiers and keywords; C++ keywords are not split out.
+  kNumber,
+  kString,  ///< Includes raw strings R"( ... )".
+  kChar,
+  kPunct,  ///< Operators and punctuation, longest-match ("::", "->", "+=").
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based.
+  int col = 0;   ///< 1-based.
+};
+
+/// A comment the lexer consumed, with its line extent ("//" comments have
+/// begin_line == end_line; block comments may span lines).
+struct Comment {
+  std::string text;  ///< Without the delimiters.
+  int begin_line = 0;
+  int end_line = 0;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes C++ source. This is a lossy, analysis-oriented lexer: it keeps
+/// identifiers, numbers, literals and punctuation with line numbers, and
+/// routes comments to the side. It understands escapes, raw strings and
+/// digit separators well enough to never misparse literal contents as code.
+LexResult Lex(const std::string& source);
+
+}  // namespace sqmlint
+
+#endif  // SQM_TOOLS_SQMLINT_LEXER_H_
