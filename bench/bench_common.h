@@ -7,6 +7,9 @@
 //                   shape (who wins, by roughly what factor, crossovers).
 //   --scale=paper   the paper's parameter grid (can take hours).
 //   --reps=N        overrides the number of repetitions per configuration.
+//   --json=FILE     additionally writes the bench's machine-readable
+//                   summary to FILE (benches that support it; used by
+//                   scripts/check.sh to archive BENCH_*.json records).
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +25,7 @@ namespace bench {
 struct BenchConfig {
   bool paper_scale = false;
   int reps = 0;  // 0 = bench-specific default.
+  std::string json_path;  // Empty = no JSON summary file.
 };
 
 inline BenchConfig ParseArgs(int argc, char** argv) {
@@ -33,6 +37,8 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
       config.paper_scale = false;
     } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
       config.reps = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      config.json_path = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
       // Ignore google-benchmark flags when sharing a command line.
     } else {

@@ -16,4 +16,10 @@ cmake --build "$build_dir" -j"$(nproc)"
 
 "$build_dir"/tools/sqmlint/sqmlint "$repo_root/src" "$repo_root/tests"
 
+# Archive the transport-mode comparison (lockstep vs threaded vs lossy vs
+# tcp-localhost) so every gate run leaves a machine-readable record of the
+# bit-exactness-across-transports claim next to the build.
+"$build_dir"/bench/table2_transport_modes --scale=small \
+    --json="$build_dir/BENCH_transport_modes.json"
+
 echo "check.sh: all gates passed"

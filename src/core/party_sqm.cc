@@ -1,0 +1,444 @@
+#include "core/party_sqm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/quantize.h"
+#include "core/sensitivity.h"
+#include "dp/accountant.h"
+#include "dp/skellam.h"
+#include "mpc/circuit.h"
+#include "mpc/field.h"
+#include "mpc/network.h"
+#include "mpc/party_protocol.h"
+#include "mpc/protocol.h"
+#include "mpc/shamir.h"
+#include "net/liveness.h"
+#include "obs/trace.h"
+#include "poly/parser.h"
+#include "sampling/skellam_sampler.h"
+
+namespace sqm {
+namespace {
+
+double SecondsSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+size_t DeploymentCols(const DeploymentConfig& config) {
+  return config.cols == 0 ? config.parties.size() : config.cols;
+}
+
+Matrix GenerateDeploymentMatrix(size_t rows, size_t cols,
+                                uint64_t data_seed) {
+  Rng rng(data_seed);
+  std::vector<double> values(rows * cols);
+  for (size_t i = 0; i < rows; ++i) {
+    double norm_sq = 0.0;
+    for (size_t j = 0; j < cols; ++j) {
+      const double v = 2.0 * rng.NextDouble() - 1.0;
+      values[i * cols + j] = v;
+      norm_sq += v * v;
+    }
+    // Normalize records into the unit ball so the default
+    // record_norm_bound = 1 sensitivity analysis applies.
+    const double norm = std::sqrt(norm_sq);
+    if (norm > 1.0) {
+      for (size_t j = 0; j < cols; ++j) values[i * cols + j] /= norm;
+    }
+  }
+  return Matrix(rows, cols, std::move(values));
+}
+
+Result<SqmOptions> SqmOptionsFromDeployment(const DeploymentConfig& config) {
+  SqmOptions options;
+  options.gamma = config.gamma;
+  options.mu = config.mu;
+  options.num_clients = config.parties.size();
+  options.backend = MpcBackend::kBgw;
+  options.bgw_threshold = config.bgw_threshold;
+  options.transport = TransportMode::kLockstep;
+  options.seed = config.seed;
+  SQM_ASSIGN_OR_RETURN(options.dropout_policy,
+                       DropoutPolicyFromString(config.dropout_policy));
+  options.dp_delta = config.dp_delta;
+  options.record_norm_bound = config.record_norm_bound;
+  options.mpc_max_attempts = config.mpc_max_attempts;
+  options.max_f_l2 = config.max_f_l2;
+  options.quantize_coefficients = config.quantize_coefficients;
+  options.check_capacity = config.check_capacity;
+  return options;
+}
+
+Result<SqmReport> RunPartySqm(const DeploymentConfig& config, size_t me,
+                              Transport* transport,
+                              const PartySqmHooks& hooks) {
+  const size_t num_clients = config.parties.size();
+  if (me >= num_clients) {
+    return Status::InvalidArgument(
+        "party index " + std::to_string(me) + " out of range for " +
+        std::to_string(num_clients) + " parties");
+  }
+  if (transport == nullptr || transport->num_parties() != num_clients) {
+    return Status::InvalidArgument(
+        "transport party count does not match the deployment roster");
+  }
+  SQM_ASSIGN_OR_RETURN(const DropoutPolicy policy,
+                       DropoutPolicyFromString(config.dropout_policy));
+  SQM_ASSIGN_OR_RETURN(const PolynomialVector f,
+                       ParsePolynomialVector(config.polynomial));
+
+  const size_t cols = DeploymentCols(config);
+  // Validation mirror of SqmEvaluator::Evaluate — same failure, same
+  // message class, before any traffic.
+  if (f.output_dim() == 0) {
+    return Status::InvalidArgument("polynomial has no output dimensions");
+  }
+  if (f.MinArity() > cols) {
+    return Status::InvalidArgument(
+        "polynomial references more variables than the database has columns");
+  }
+  if (num_clients > cols) {
+    return Status::InvalidArgument(
+        "more clients than columns: every client must own >= 1 column");
+  }
+  if (num_clients < 3) {
+    return Status::InvalidArgument(
+        "the BGW backend needs >= 3 clients (threshold < n/2 with "
+        "threshold >= 1)");
+  }
+  if (config.gamma < 1.0) {
+    return Status::InvalidArgument("gamma must be >= 1");
+  }
+  if (config.mu < 0.0) {
+    return Status::InvalidArgument("mu must be >= 0");
+  }
+  if (config.check_capacity) {
+    SQM_RETURN_NOT_OK(CheckFieldCapacity(config.rows, config.gamma,
+                                         f.Degree(), config.max_f_l2,
+                                         config.mu));
+  }
+
+  const Matrix x = GenerateDeploymentMatrix(config.rows, cols,
+                                            config.data_seed);
+  Rng rng(config.seed);
+
+  obs::Span evaluate_span("sqm.party_evaluate", "sqm");
+  evaluate_span.AddArg("party", static_cast<int64_t>(me));
+  evaluate_span.AddArg("clients", static_cast<int64_t>(num_clients));
+  evaluate_span.AddArg("rows", static_cast<int64_t>(config.rows));
+
+  // ---- Step 1: quantization. Coefficients are public, so every party
+  // derives the same quantized polynomial from the shared seed's
+  // coefficient stream. Data columns: this party replays the driver's
+  // per-column split sequence and stochastically rounds ONLY its own
+  // columns — the splits consume parent draws but never data, so the
+  // values equal what driver mode assigns to this party.
+  const auto quantize_start = std::chrono::steady_clock::now();
+  QuantizedPolynomial qf;
+  if (config.quantize_coefficients) {
+    Rng coeff_rng = rng.Split(0x0c0eff);
+    SQM_ASSIGN_OR_RETURN(qf,
+                         QuantizePolynomial(f, config.gamma, coeff_rng));
+  } else {
+    for (const Polynomial& p : f.dims()) {
+      for (const Monomial& term : p.terms()) {
+        if (term.Degree() != f.Degree()) {
+          return Status::InvalidArgument(
+              "quantize_coefficients=false requires all monomials to have "
+              "the polynomial's degree");
+        }
+        const double c = term.coefficient();
+        if (c != std::floor(c)) {
+          return Status::InvalidArgument(
+              "quantize_coefficients=false requires integer coefficients");
+        }
+      }
+    }
+    qf.degree = f.Degree();
+    qf.output_scale =
+        std::pow(config.gamma, static_cast<double>(qf.degree));
+    qf.dims.resize(f.output_dim());
+    for (size_t t = 0; t < f.output_dim(); ++t) {
+      for (const Monomial& term : f.dims()[t].terms()) {
+        QuantizedMonomial qm;
+        qm.coefficient = static_cast<int64_t>(term.coefficient());
+        qm.exponents = term.exponents();
+        qf.dims[t].push_back(std::move(qm));
+      }
+    }
+  }
+  Rng data_rng = rng.Split(0xda7a);
+  const auto [col_begin, col_end] =
+      ClientColumnRange(me, cols, num_clients);
+  std::vector<std::vector<int64_t>> my_columns(cols);
+  for (size_t j = 0; j < cols; ++j) {
+    Rng client_rng = data_rng.Split(j);
+    if (j >= col_begin && j < col_end) {
+      my_columns[j] = StochasticRoundVector(x.Col(j), config.gamma,
+                                            client_rng);
+    }
+  }
+  const double quantize_seconds = SecondsSince(quantize_start);
+
+  // ---- Step 2: local Skellam noise — own stream only, same replay.
+  const auto noise_start = std::chrono::steady_clock::now();
+  const size_t d = f.output_dim();
+  std::vector<int64_t> my_noise(d, 0);
+  if (config.mu > 0.0) {
+    const SkellamSampler sampler(config.mu /
+                                 static_cast<double>(num_clients));
+    for (size_t j = 0; j < num_clients; ++j) {
+      Rng client_rng = rng.Split(0x4015e + j);
+      if (j == me) my_noise = sampler.SampleVector(client_rng, d);
+    }
+  }
+  const double noise_seconds = SecondsSince(noise_start);
+
+  SensitivityBound sensitivity;
+  if (config.mu > 0.0) {
+    sensitivity = PolynomialSensitivity(f, config.gamma,
+                                        config.record_norm_bound,
+                                        config.max_f_l2,
+                                        config.quantize_coefficients);
+  }
+
+  const size_t threshold = config.bgw_threshold == 0
+                               ? (num_clients - 1) / 2
+                               : config.bgw_threshold;
+  SQM_RETURN_NOT_OK(ShamirScheme::Validate(num_clients, threshold));
+
+  if (obs::Enabled()) {
+    obs::Tracer::Global().SetTrackName(static_cast<int32_t>(me),
+                                       "party " + std::to_string(me));
+  }
+  obs::TrackScope party_track(static_cast<int32_t>(me));
+  obs::Span bgw_span("sqm.bgw", "sqm");
+  bgw_span.AddArg("parties", static_cast<int64_t>(num_clients));
+  bgw_span.AddArg("threshold", static_cast<int64_t>(threshold));
+
+  // ---- Step 3: the same circuit SqmEvaluator::EvaluateBgw builds — the
+  // structure is a pure function of (qf, rows, cols, partition, d), all
+  // public. Only this party's input VALUES are filled in.
+  Circuit circuit;
+  std::vector<std::vector<Circuit::WireId>> column_wires(cols);
+  std::vector<int64_t> my_inputs;
+  for (size_t j = 0; j < num_clients; ++j) {
+    const auto [begin, end] = ClientColumnRange(j, cols, num_clients);
+    for (size_t col = begin; col < end; ++col) {
+      column_wires[col].resize(config.rows);
+      for (size_t i = 0; i < config.rows; ++i) {
+        column_wires[col][i] = circuit.AddInput(j);
+        if (j == me) my_inputs.push_back(my_columns[col][i]);
+      }
+    }
+  }
+  std::vector<std::vector<Circuit::WireId>> noise_wires(num_clients);
+  for (size_t j = 0; j < num_clients; ++j) {
+    noise_wires[j].resize(d);
+    for (size_t t = 0; t < d; ++t) {
+      noise_wires[j][t] = circuit.AddInput(j);
+      if (j == me) my_inputs.push_back(my_noise[t]);
+    }
+  }
+  for (size_t t = 0; t < d; ++t) {
+    Circuit::WireId acc = circuit.AddConstant(0);
+    for (size_t i = 0; i < config.rows; ++i) {
+      for (const QuantizedMonomial& term : qf.dims[t]) {
+        Circuit::WireId prod = 0;
+        bool have_prod = false;
+        for (const auto& [var, exp] : term.exponents) {
+          for (uint32_t e = 0; e < exp; ++e) {
+            if (!have_prod) {
+              prod = column_wires[var][i];
+              have_prod = true;
+            } else {
+              prod = circuit.AddMul(prod, column_wires[var][i]);
+            }
+          }
+        }
+        const Field::Element coeff = Field::Encode(term.coefficient);
+        const Circuit::WireId scaled =
+            have_prod ? circuit.AddMulConst(prod, coeff)
+                      : circuit.AddConstant(coeff);
+        acc = circuit.AddAdd(acc, scaled);
+      }
+    }
+    for (size_t j = 0; j < num_clients; ++j) {
+      acc = circuit.AddAdd(acc, noise_wires[j][t]);
+    }
+    circuit.MarkOutput(acc);
+  }
+
+  PartyEngine engine(ShamirScheme(num_clients, threshold), transport,
+                     config.seed ^ 0xb9d7, me);
+  if (hooks.mul_level_hook) {
+    engine.set_mul_level_hook(hooks.mul_level_hook);
+  }
+  const size_t quorum = 2 * threshold + 1;
+  LivenessTracker tracker(num_clients);
+  if (policy != DropoutPolicy::kAbort) engine.set_liveness(&tracker);
+
+  const auto compute_start = std::chrono::steady_clock::now();
+
+  // Checkpoint retry loop, mirroring the driver. Under TCP's crash-stop
+  // failure model a failed level usually means a permanent quorum
+  // shortfall (links die, they do not flake), so retries are rare — the
+  // loop exists for schedule parity and for transports with transient
+  // faults.
+  PartyCheckpoint checkpoint;
+  PartyCheckpoint* checkpoint_ptr =
+      policy != DropoutPolicy::kAbort ? &checkpoint : nullptr;
+  const size_t max_attempts =
+      policy != DropoutPolicy::kAbort
+          ? std::max<size_t>(config.mpc_max_attempts, 1)
+          : 1;
+  PartyProtocol::Shares out_shares;
+  size_t attempts = 0;
+  size_t resumed_from_level = 0;
+  while (true) {
+    ++attempts;
+    Result<PartyProtocol::Shares> shares =
+        engine.EvaluateToShares(circuit, my_inputs, checkpoint_ptr);
+    if (shares.ok()) {
+      out_shares = std::move(shares).ValueOrDie();
+      break;
+    }
+    const bool retryable = policy != DropoutPolicy::kAbort &&
+                           checkpoint.valid && attempts < max_attempts &&
+                           tracker.num_alive() >= quorum;
+    if (!retryable) return shares.status();
+    resumed_from_level = checkpoint.next_level;
+  }
+
+  // kTopUp: replay the driver's survivor-ordered top-up split sequence;
+  // this party samples only its own compensating share. Survivor sets
+  // agree across parties under the crash-stop model (a dead TCP link is
+  // kUnavailable for every peer).
+  double topup_mu = 0.0;
+  const size_t num_dropped =
+      policy != DropoutPolicy::kAbort ? tracker.num_dead() : 0;
+  if (policy == DropoutPolicy::kTopUp && config.mu > 0.0 &&
+      num_dropped > 0) {
+    const std::vector<size_t> survivors = tracker.Survivors();
+    const double per_survivor_mu =
+        config.mu * static_cast<double>(num_dropped) /
+        (static_cast<double>(num_clients) *
+         static_cast<double>(survivors.size()));
+    const SkellamSampler sampler(per_survivor_mu);
+    Rng topup_root(config.seed ^ 0x70bu);
+    for (size_t j : survivors) {
+      Rng survivor_rng = topup_root.Split(j);
+      std::vector<Field::Element> encoded;
+      if (j == me) {
+        encoded = Field::EncodeVector(sampler.SampleVector(survivor_rng, d));
+      }
+      SQM_ASSIGN_OR_RETURN(
+          const PartyProtocol::Shares extra_shares,
+          engine.protocol().ShareFromParty(j, encoded, d, "topup"));
+      SQM_ASSIGN_OR_RETURN(out_shares,
+                           engine.protocol().Add(out_shares, extra_shares));
+      topup_mu += per_survivor_mu;
+    }
+  }
+
+  SQM_ASSIGN_OR_RETURN(std::vector<int64_t> raw,
+                       engine.OpenOutputs(out_shares));
+  const double compute_seconds = SecondsSince(compute_start);
+  const size_t num_dropped_final =
+      policy != DropoutPolicy::kAbort ? tracker.num_dead() : 0;
+
+  // Noise-injection timing probe, same shape as the driver's but with
+  // zero vectors for the other parties (their noise is private to them);
+  // the timing is representative, the values are never compared.
+  const auto inject_start = std::chrono::steady_clock::now();
+  {
+    SimulatedNetwork scratch(num_clients, 0.0);
+    scratch.set_registry_accounting(false);
+    BgwProtocol protocol(ShamirScheme(num_clients, threshold), &scratch,
+                         config.seed ^ 0x5c4a7c);
+    SharedVector sum(num_clients, d);
+    const std::vector<int64_t> zero(d, 0);
+    for (size_t j = 0; j < num_clients; ++j) {
+      const SharedVector share = protocol.ShareFromParty(
+          j, Field::EncodeVector(j == me ? my_noise : zero));
+      SQM_ASSIGN_OR_RETURN(sum, protocol.Add(sum, share));
+    }
+  }
+  const double inject_seconds = SecondsSince(inject_start);
+
+  SqmReport report;
+  report.raw = std::move(raw);
+  report.estimate.resize(d);
+  for (size_t t = 0; t < d; ++t) {
+    report.estimate[t] =
+        static_cast<double>(report.raw[t]) / qf.output_scale;
+  }
+  report.network = transport->stats();
+  report.transport = transport->Snapshot();
+  report.timing.quantize_seconds = quantize_seconds;
+  report.timing.noise_sampling_seconds = noise_seconds;
+  report.timing.mpc_compute_seconds = compute_seconds;
+  report.timing.simulated_network_seconds = transport->SimulatedSeconds();
+  report.timing.noise_injection_seconds = noise_seconds + inject_seconds;
+
+  // ---- Dropout accounting: byte-for-byte the driver's computation —
+  // every input (survivor census, mu, sensitivities, delta) is public, so
+  // all surviving parties report the same realized guarantee.
+  DropoutReport& dropout = report.dropout;
+  dropout.policy = policy;
+  dropout.num_parties = num_clients;
+  dropout.num_dropped = num_dropped_final;
+  if (policy != DropoutPolicy::kAbort) {
+    dropout.survivors = tracker.Survivors();
+  } else {
+    dropout.survivors.resize(num_clients);
+    for (size_t j = 0; j < num_clients; ++j) dropout.survivors[j] = j;
+  }
+  dropout.configured_mu = config.mu;
+  dropout.topup_mu = topup_mu;
+  dropout.realized_mu =
+      config.mu > 0.0
+          ? SkellamMuWithDropouts(config.mu, num_clients,
+                                  num_dropped_final) +
+                topup_mu
+          : 0.0;
+  dropout.delta = config.dp_delta;
+  dropout.mpc_attempts = attempts;
+  dropout.resumed_from_level = resumed_from_level;
+  if (config.mu > 0.0) {
+    dropout.configured_epsilon = SkellamEpsilonSingleRelease(
+        config.mu, sensitivity.l1, sensitivity.l2, config.dp_delta);
+    if (dropout.realized_mu > 0.0) {
+      PrivacyAccountant accountant;
+      accountant.SetLedgerContext(config.dp_delta, config.gamma, d);
+      accountant.AddSkellamWithDropouts(
+          "sqm_release", sensitivity.l1, sensitivity.l2, config.mu,
+          num_clients, num_dropped_final);
+      if (topup_mu > 0.0) {
+        accountant.Reset();
+        accountant.AddSkellam("sqm_release", sensitivity.l1,
+                              sensitivity.l2, dropout.realized_mu);
+      }
+      SQM_ASSIGN_OR_RETURN(const PrivacyGuarantee guarantee,
+                           accountant.TotalGuarantee(config.dp_delta));
+      dropout.realized_epsilon = guarantee.epsilon;
+      dropout.best_alpha = guarantee.best_alpha;
+      report.ledger = accountant.ledger();
+    } else {
+      dropout.realized_epsilon = std::numeric_limits<double>::infinity();
+    }
+  }
+  return report;
+}
+
+}  // namespace sqm

@@ -1,0 +1,69 @@
+#ifndef SQM_CORE_PARTY_SQM_H_
+#define SQM_CORE_PARTY_SQM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/sqm.h"
+#include "core/status.h"
+#include "math/matrix.h"
+#include "net/tcp/party_config.h"
+#include "net/transport.h"
+
+namespace sqm {
+
+/// The number of database columns a deployment uses (config.cols, or one
+/// column per party when it is 0).
+size_t DeploymentCols(const DeploymentConfig& config);
+
+/// The deployment's synthetic database: rows x cols, filled from
+/// `data_seed` with every record normalized to ||x||_2 <= 1 (the paper's
+/// precondition with the default record_norm_bound). Deterministic, so the
+/// coordinator's in-process comparison run and every party generate the
+/// SAME matrix; a party then keeps only its own ClientColumnRange columns.
+Matrix GenerateDeploymentMatrix(size_t rows, size_t cols,
+                                uint64_t data_seed);
+
+/// SqmOptions that make SqmEvaluator run this deployment in-process over
+/// the lockstep transport — the driver-mode reference the deploy_smoke
+/// test compares bit-for-bit against the networked run.
+Result<SqmOptions> SqmOptionsFromDeployment(const DeploymentConfig& config);
+
+/// Test/chaos hooks threaded into the per-party engine.
+struct PartySqmHooks {
+  /// Forwarded to PartyEngine::set_mul_level_hook; the sqm-party daemon's
+  /// --crash-at-mul-level uses it to raise SIGKILL mid-protocol.
+  std::function<void(size_t)> mul_level_hook;
+};
+
+/// Runs party `me`'s side of the full SQM mechanism (Algorithm 3) over
+/// `transport` and returns this party's copy of the report. The networked
+/// counterpart of SqmEvaluator::Evaluate with backend kBgw:
+///
+///  - quantizes the public coefficients identically to the driver (the
+///    coefficient RNG stream is derived from the shared seed),
+///  - quantizes ONLY its own columns and samples ONLY its own Skellam
+///    noise share, replaying the driver's RNG split sequence so the values
+///    equal the ones driver mode would have assigned to this party,
+///  - builds the same arithmetic circuit (public structure) and evaluates
+///    it with PartyEngine, so the released values are BIT-IDENTICAL to a
+///    driver-mode run of the same config,
+///  - reproduces the driver's dropout accounting: every input to the
+///    realized-(epsilon, delta) computation is public (survivor census,
+///    mu, sensitivities), so all surviving parties — and the coordinator —
+///    report the same guarantee.
+///
+/// The report's noise_injection timing comes from a local zero-noise probe
+/// of the same shape as the driver's (a party cannot know the other
+/// parties' noise vectors): the TIMING is representative, the probe values
+/// are not compared anywhere.
+///
+/// `transport` must already be connected (see TcpTransport::Create) and
+/// have num_parties() == config.parties.size().
+Result<SqmReport> RunPartySqm(const DeploymentConfig& config, size_t me,
+                              Transport* transport,
+                              const PartySqmHooks& hooks = {});
+
+}  // namespace sqm
+
+#endif  // SQM_CORE_PARTY_SQM_H_

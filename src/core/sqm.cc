@@ -42,9 +42,8 @@ void EmitPhaseSpan(const char* name, uint64_t start_micros) {
   obs::Tracer::Global().Emit(event);
 }
 
-/// Columns owned by client `j` when `cols` attributes are evenly split
-/// among `num_clients` clients (contiguous blocks, remainder to the first
-/// clients).
+}  // namespace
+
 std::pair<size_t, size_t> ClientColumnRange(size_t j, size_t cols,
                                             size_t num_clients) {
   const size_t base = cols / num_clients;
@@ -53,8 +52,6 @@ std::pair<size_t, size_t> ClientColumnRange(size_t j, size_t cols,
   const size_t count = base + (j < extra ? 1 : 0);
   return {begin, begin + count};
 }
-
-}  // namespace
 
 const char* DropoutPolicyToString(DropoutPolicy policy) {
   switch (policy) {

@@ -44,6 +44,14 @@ enum class DropoutPolicy {
 
 const char* DropoutPolicyToString(DropoutPolicy policy);
 
+/// Columns owned by client `j` when `cols` attributes are evenly split
+/// among `num_clients` clients (contiguous blocks, remainder to the first
+/// clients). Shared by the driver evaluator and the per-party session
+/// (core/party_sqm.h): both must carve the same partition or their circuit
+/// input schedules diverge.
+std::pair<size_t, size_t> ClientColumnRange(size_t j, size_t cols,
+                                            size_t num_clients);
+
 /// Inverse of DropoutPolicyToString; kInvalidArgument on unknown names.
 Result<DropoutPolicy> DropoutPolicyFromString(const std::string& name);
 

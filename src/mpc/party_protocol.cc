@@ -1,0 +1,532 @@
+#include "mpc/party_protocol.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/logging.h"
+#include "obs/trace.h"
+
+namespace sqm {
+namespace {
+
+/// Replays the driver's per-party Split sequence and keeps stream `me`:
+/// BgwProtocol's constructor does root.Split(j) for j = 0..n-1 in order,
+/// and each Split consumes parent draws, so the prefix must be consumed
+/// identically for stream `me` to match the driver's party_rngs_[me].
+Rng DeriveMyStream(uint64_t seed, size_t me) {
+  Rng root(seed);
+  for (size_t j = 0; j < me; ++j) {
+    (void)root.Split(j);
+  }
+  return root.Split(me);
+}
+
+}  // namespace
+
+PartyProtocol::PartyProtocol(ShamirScheme scheme, Transport* transport,
+                             uint64_t seed, size_t me)
+    : scheme_(std::move(scheme)),
+      network_(transport),
+      me_(me),
+      my_rng_(DeriveMyStream(seed, me)) {
+  SQM_CHECK(network_ != nullptr);
+  SQM_CHECK(network_->num_parties() == scheme_.num_parties());
+  SQM_CHECK(me_ < scheme_.num_parties());
+  SQM_CHECK(scheme_.num_parties() <= 64);  // Census masks are one u64.
+  std::vector<size_t> all(2 * scheme_.threshold() + 1);
+  std::iota(all.begin(), all.end(), 0);
+  degree2t_lagrange_ = scheme_.LagrangeAtZero(all);
+}
+
+void PartyProtocol::EndRound() {
+  if (round_fn_) {
+    round_fn_();
+  } else {
+    network_->EndRound();
+  }
+}
+
+Result<PartyProtocol::Shares> PartyProtocol::ShareFromParty(
+    size_t dealer, const std::vector<Field::Element>& values, size_t count,
+    const std::string& phase_label) {
+  const size_t n = num_parties();
+  SQM_CHECK(dealer < n);
+  if (liveness_ != nullptr && PartyDead(dealer)) {
+    return Status::Unavailable("input sharing impossible: dealer party " +
+                               std::to_string(dealer) + " is dead");
+  }
+  PhaseScope phase(network_, phase_label);
+  obs::Span span("bgw.share", "mpc", static_cast<int32_t>(me_));
+  span.AddArg("party", static_cast<int64_t>(dealer));
+  span.AddArg("elements", static_cast<int64_t>(count));
+  if (dealer == me_) {
+    SQM_CHECK(values.size() == count);
+    std::vector<std::vector<Field::Element>> outbound(
+        n, std::vector<Field::Element>(count));
+    for (size_t i = 0; i < count; ++i) {
+      const std::vector<Field::Element> shares =
+          scheme_.Share(values[i], my_rng_);
+      for (size_t j = 0; j < n; ++j) outbound[j][i] = shares[j];
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (liveness_ != nullptr && j != me_ && PartyDead(j)) continue;
+      network_->Send(me_, j, std::move(outbound[j]));
+    }
+  }
+  EndRound();
+
+  Result<Transport::Payload> received = network_->Receive(dealer, me_);
+  if (!received.ok()) {
+    if (liveness_ != nullptr) {
+      liveness_->RecordFailure(dealer, received.status().code());
+      return Status::Unavailable(
+          "input sharing from party " + std::to_string(dealer) + " failed (" +
+          received.status().message() +
+          "); inputs cannot be reconstructed by a quorum");
+    }
+    return received.status();
+  }
+  if (received.ValueOrDie().size() != count) {
+    return Status::IntegrityViolation(
+        "input dealing from party " + std::to_string(dealer) + " has " +
+        std::to_string(received.ValueOrDie().size()) +
+        " elements, expected " + std::to_string(count));
+  }
+  if (liveness_ != nullptr) liveness_->RecordSuccess(dealer);
+  return std::move(received).ValueOrDie();
+}
+
+PartyProtocol::Shares PartyProtocol::SharePublic(
+    const std::vector<Field::Element>& values) const {
+  // Degree-0 sharing: every party's share is the value itself.
+  return values;
+}
+
+Result<PartyProtocol::Shares> PartyProtocol::Add(const Shares& a,
+                                                 const Shares& b) const {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("Add: shape mismatch");
+  }
+  Shares out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = Field::Add(a[i], b[i]);
+  return out;
+}
+
+Result<PartyProtocol::Shares> PartyProtocol::Sub(const Shares& a,
+                                                 const Shares& b) const {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("Sub: shape mismatch");
+  }
+  Shares out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = Field::Sub(a[i], b[i]);
+  return out;
+}
+
+PartyProtocol::Shares PartyProtocol::ScaleConst(const Shares& a,
+                                                Field::Element c) const {
+  Shares out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = Field::Mul(a[i], c);
+  return out;
+}
+
+Result<PartyProtocol::Shares> PartyProtocol::Mul(const Shares& a,
+                                                 const Shares& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("Mul: shape mismatch");
+  }
+  if (liveness_ != nullptr) return MulQuorum(a, b);
+  const size_t n = num_parties();
+  const size_t k = a.size();
+  PhaseScope phase(network_, "mul");
+  obs::Span span("bgw.mul", "mpc", static_cast<int32_t>(me_));
+  span.AddArg("elements", static_cast<int64_t>(k));
+
+  // Local product (a share of a degree-2t sharing), re-shared at degree t
+  // with this party's driver-identical randomness stream.
+  std::vector<std::vector<Field::Element>> outbound(
+      n, std::vector<Field::Element>(k));
+  for (size_t i = 0; i < k; ++i) {
+    const Field::Element product = Field::Mul(a[i], b[i]);
+    const std::vector<Field::Element> subshares =
+        scheme_.Share(product, my_rng_);
+    for (size_t r = 0; r < n; ++r) outbound[r][i] = subshares[r];
+  }
+  for (size_t r = 0; r < n; ++r) {
+    network_->Send(me_, r, std::move(outbound[r]));
+  }
+  EndRound();
+
+  // Recombine the first 2t+1 dealers with the precomputed degree-2t
+  // weights; later dealers' batches are received and discarded, exactly as
+  // in the driver.
+  const size_t needed = 2 * scheme_.threshold() + 1;
+  Shares out(k, 0);
+  for (size_t j = 0; j < n; ++j) {
+    SQM_ASSIGN_OR_RETURN(const std::vector<Field::Element> received,
+                         network_->Receive(j, me_));
+    if (received.size() != k) {
+      return Status::IntegrityViolation(
+          "Mul sub-share batch from dealer " + std::to_string(j) +
+          " to party " + std::to_string(me_) + " has " +
+          std::to_string(received.size()) + " elements, expected " +
+          std::to_string(k) + " (replayed or stale message)");
+    }
+    if (j >= needed) continue;
+    const Field::Element weight = degree2t_lagrange_[j];
+    for (size_t i = 0; i < k; ++i) {
+      out[i] = Field::Add(out[i], Field::Mul(weight, received[i]));
+    }
+  }
+  return out;
+}
+
+Result<PartyProtocol::Shares> PartyProtocol::MulQuorum(const Shares& a,
+                                                       const Shares& b) {
+  const size_t n = num_parties();
+  const size_t k = a.size();
+  const size_t needed = 2 * scheme_.threshold() + 1;
+  PhaseScope phase(network_, "mul");
+  obs::Span span("bgw.mul", "mpc", static_cast<int32_t>(me_));
+  span.AddArg("elements", static_cast<int64_t>(k));
+  span.AddArg("quorum", 1);
+
+  // Deal to the parties this party believes alive.
+  {
+    std::vector<std::vector<Field::Element>> outbound(
+        n, std::vector<Field::Element>(k));
+    for (size_t i = 0; i < k; ++i) {
+      const Field::Element product = Field::Mul(a[i], b[i]);
+      const std::vector<Field::Element> subshares =
+          scheme_.Share(product, my_rng_);
+      for (size_t r = 0; r < n; ++r) outbound[r][i] = subshares[r];
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r != me_ && PartyDead(r)) continue;
+      network_->Send(me_, r, std::move(outbound[r]));
+    }
+  }
+  EndRound();
+
+  // Collect sub-share batches; the receipt bitmask is this party's census
+  // vote.
+  uint64_t my_mask = 0;
+  std::vector<std::vector<Field::Element>> payloads(n);
+  for (size_t j = 0; j < n; ++j) {
+    if (PartyDead(j)) continue;
+    Result<Transport::Payload> received = network_->Receive(j, me_);
+    if (!received.ok()) {
+      liveness_->RecordFailure(j, received.status().code());
+      if (obs::Enabled()) {
+        obs::TraceEvent event;
+        event.name = "bgw.mul.dealer_failed";
+        event.category = "mpc";
+        event.AddArg("dealer", static_cast<int64_t>(j));
+        event.AddArg("recipient", static_cast<int64_t>(me_));
+        obs::Tracer::Global().Instant(event);
+      }
+      continue;
+    }
+    if (received.ValueOrDie().size() != k) {
+      return Status::IntegrityViolation(
+          "quorum Mul sub-share batch from dealer " + std::to_string(j) +
+          " to party " + std::to_string(me_) + " has " +
+          std::to_string(received.ValueOrDie().size()) +
+          " elements, expected " + std::to_string(k) +
+          " (replayed or stale message)");
+    }
+    payloads[j] = std::move(received).ValueOrDie();
+    my_mask |= uint64_t{1} << j;
+  }
+
+  // Census round: every survivor broadcasts which dealers it received and
+  // the intersection becomes the agreed dealer set. The driver gets this
+  // agreement for free (one process sees every channel); distributed
+  // parties must exchange it, or two survivors could recombine over
+  // different dealer subsets and the result would not be a consistent
+  // degree-t sharing. A voter that fails to deliver its mask is treated as
+  // failed for this round and excluded from the electorate.
+  uint64_t agreed = my_mask;
+  {
+    PhaseScope census_phase(network_, "census");
+    for (size_t r = 0; r < n; ++r) {
+      if (r != me_ && PartyDead(r)) continue;
+      network_->Send(me_, r, Transport::Payload{my_mask});
+    }
+    EndRound();
+    for (size_t r = 0; r < n; ++r) {
+      if (PartyDead(r)) continue;
+      Result<Transport::Payload> vote = network_->Receive(r, me_);
+      if (!vote.ok()) {
+        liveness_->RecordFailure(r, vote.status().code());
+        continue;
+      }
+      if (vote.ValueOrDie().size() != 1) {
+        return Status::IntegrityViolation(
+            "census vote from party " + std::to_string(r) + " has " +
+            std::to_string(vote.ValueOrDie().size()) +
+            " elements, expected 1");
+      }
+      agreed &= vote.ValueOrDie()[0];
+    }
+  }
+
+  std::vector<size_t> usable;
+  for (size_t j = 0; j < n; ++j) {
+    if ((agreed >> j) & 1) {
+      usable.push_back(j);
+      liveness_->RecordSuccess(j);
+    }
+  }
+  if (usable.size() < needed) {
+    return Status::Unavailable(
+        "Mul quorum shortfall: degree-2t recombination needs 2t+1 = " +
+        std::to_string(needed) + " dealers, only " +
+        std::to_string(usable.size()) + " of " + std::to_string(n) +
+        " agreed by census (dead: " + std::to_string(liveness_->num_dead()) +
+        ")");
+  }
+
+  // First 2t+1 agreed dealers, fresh Lagrange weights for exactly those
+  // evaluation points — the same selection rule as the driver's quorum
+  // path, so degraded outputs equal the no-crash outputs.
+  const std::vector<size_t> dealers(usable.begin(), usable.begin() + needed);
+  const std::vector<Field::Element> weights = scheme_.LagrangeAtZero(dealers);
+  Shares out(k, 0);
+  for (size_t d = 0; d < dealers.size(); ++d) {
+    const std::vector<Field::Element>& row = payloads[dealers[d]];
+    for (size_t i = 0; i < k; ++i) {
+      out[i] = Field::Add(out[i], Field::Mul(weights[d], row[i]));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Field::Element>> PartyProtocol::Open(const Shares& a) {
+  const size_t n = num_parties();
+  PhaseScope phase(network_, "open");
+  obs::Span span("bgw.open", "mpc", static_cast<int32_t>(me_));
+  span.AddArg("elements", static_cast<int64_t>(a.size()));
+  for (size_t r = 0; r < n; ++r) {
+    if (liveness_ != nullptr && r != me_ && PartyDead(r)) continue;
+    network_->Send(me_, r, a);
+  }
+  EndRound();
+
+  if (liveness_ == nullptr) {
+    std::vector<std::vector<Field::Element>> all(n);
+    for (size_t j = 0; j < n; ++j) {
+      SQM_ASSIGN_OR_RETURN(all[j], network_->Receive(j, me_));
+      if (all[j].size() != a.size()) {
+        return Status::IntegrityViolation(
+            "opened broadcast from party " + std::to_string(j) + " has " +
+            std::to_string(all[j].size()) + " elements, expected " +
+            std::to_string(a.size()));
+      }
+    }
+    std::vector<Field::Element> out(a.size());
+    std::vector<Field::Element> shares(n);
+    for (size_t i = 0; i < a.size(); ++i) {
+      for (size_t j = 0; j < n; ++j) shares[j] = all[j][i];
+      out[i] = scheme_.Reconstruct(shares);
+    }
+    return out;
+  }
+
+  // Quorum opening: collect whichever survivors deliver and interpolate
+  // over their evaluation points. Any t+1 shares of a consistent sharing
+  // agree on the value, so every party — and the driver — opens the same
+  // plaintext regardless of which subset delivered to it.
+  std::vector<bool> have(n, false);
+  std::vector<std::vector<Field::Element>> all(n);
+  std::vector<size_t> survivors;
+  for (size_t j = 0; j < n; ++j) {
+    if (PartyDead(j)) continue;
+    Result<Transport::Payload> received = network_->Receive(j, me_);
+    if (!received.ok()) {
+      liveness_->RecordFailure(j, received.status().code());
+      continue;
+    }
+    liveness_->RecordSuccess(j);
+    have[j] = true;
+    all[j] = std::move(received).ValueOrDie();
+    survivors.push_back(j);
+  }
+  if (survivors.empty()) {
+    return Status::Unavailable("open impossible: no broadcast delivered");
+  }
+  std::vector<Field::Element> out(a.size());
+  std::vector<Field::Element> shares(n, 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j : survivors) shares[j] = all[j][i];
+    SQM_ASSIGN_OR_RETURN(
+        out[i], scheme_.ReconstructFromSurvivors(shares, survivors,
+                                                 scheme_.threshold()));
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> PartyProtocol::OpenSigned(const Shares& a) {
+  SQM_ASSIGN_OR_RETURN(const std::vector<Field::Element> opened, Open(a));
+  return Field::DecodeVector(opened);
+}
+
+size_t PartyProtocol::DrainPending() {
+  const size_t n = num_parties();
+  size_t drained = 0;
+  for (size_t j = 0; j < n; ++j) {
+    while (network_->HasPending(j, me_)) {
+      Result<Transport::Payload> stale = network_->Receive(j, me_);
+      if (!stale.ok()) break;
+      ++drained;
+    }
+  }
+  return drained;
+}
+
+PartyEngine::PartyEngine(ShamirScheme scheme, Transport* network,
+                         uint64_t seed, size_t me)
+    : protocol_(std::move(scheme), network, seed, me) {}
+
+Result<PartyProtocol::Shares> PartyEngine::EvaluateToShares(
+    const Circuit& circuit, const std::vector<int64_t>& my_inputs,
+    PartyCheckpoint* checkpoint) {
+  const size_t n = protocol_.num_parties();
+  const size_t me = protocol_.me();
+  SQM_RETURN_NOT_OK(circuit.Validate(n));
+  if (my_inputs.size() != circuit.NumInputsForParty(me)) {
+    return Status::InvalidArgument(
+        "party " + std::to_string(me) + " supplied " +
+        std::to_string(my_inputs.size()) + " inputs, circuit expects " +
+        std::to_string(circuit.NumInputsForParty(me)));
+  }
+
+  PartyCheckpoint scratch;
+  PartyCheckpoint* ckpt = checkpoint != nullptr ? checkpoint : &scratch;
+  const bool resuming = ckpt->valid;
+  const auto& gates = circuit.gates();
+
+  obs::Span evaluate("bgw.evaluate", "mpc", static_cast<int32_t>(me));
+  evaluate.AddArg("gates", static_cast<int64_t>(gates.size()));
+  evaluate.AddArg("resuming", resuming ? 1 : 0);
+
+  if (!resuming) {
+    ckpt->next_level = 0;
+    ckpt->mul_rounds_done = 0;
+    ckpt->wire_shares.assign(gates.size(), 0);
+
+    // Phase 1: one sharing round per contributing dealer, in party order —
+    // the same schedule as the driver, with every other dealer's input
+    // count read from the public circuit structure.
+    for (size_t j = 0; j < n; ++j) {
+      const size_t count = circuit.NumInputsForParty(j);
+      if (count == 0) continue;
+      std::vector<Field::Element> encoded;
+      if (j == me) encoded = Field::EncodeVector(my_inputs);
+      SQM_ASSIGN_OR_RETURN(
+          const PartyProtocol::Shares shared,
+          protocol_.ShareFromParty(j, encoded, count));
+      for (size_t w = 0; w < gates.size(); ++w) {
+        const Circuit::Gate& gate = gates[w];
+        if (gate.kind == Circuit::GateKind::kInput && gate.owner == j) {
+          ckpt->wire_shares[w] = shared[gate.input_index];
+        }
+      }
+    }
+    ckpt->valid = true;
+  } else {
+    SQM_CHECK(ckpt->wire_shares.size() == gates.size());
+    protocol_.DrainPending();
+  }
+
+  std::vector<Field::Element>& shares = ckpt->wire_shares;
+
+  // Phase 2: identical level schedule to BgwEngine — depth assignment and
+  // wire order determine the message pattern, and both are pure functions
+  // of the circuit.
+  std::vector<size_t> depth(gates.size(), 0);
+  size_t max_depth = 0;
+  for (size_t i = 0; i < gates.size(); ++i) {
+    const Circuit::Gate& gate = gates[i];
+    switch (gate.kind) {
+      case Circuit::GateKind::kInput:
+      case Circuit::GateKind::kConstant:
+        break;
+      case Circuit::GateKind::kAdd:
+      case Circuit::GateKind::kSub:
+        depth[i] = std::max(depth[gate.lhs], depth[gate.rhs]);
+        break;
+      case Circuit::GateKind::kMulConst:
+        depth[i] = depth[gate.lhs];
+        break;
+      case Circuit::GateKind::kMul:
+        depth[i] = std::max(depth[gate.lhs], depth[gate.rhs]) + 1;
+        break;
+    }
+    max_depth = std::max(max_depth, depth[i]);
+  }
+
+  for (size_t level = ckpt->next_level; level <= max_depth; ++level) {
+    if (level > 0) {
+      std::vector<size_t> mul_wires;
+      for (size_t w = 0; w < gates.size(); ++w) {
+        if (gates[w].kind == Circuit::GateKind::kMul && depth[w] == level) {
+          mul_wires.push_back(w);
+        }
+      }
+      if (!mul_wires.empty()) {
+        if (mul_level_hook_) mul_level_hook_(level);
+        PartyProtocol::Shares lhs(mul_wires.size());
+        PartyProtocol::Shares rhs(mul_wires.size());
+        for (size_t i = 0; i < mul_wires.size(); ++i) {
+          lhs[i] = shares[gates[mul_wires[i]].lhs];
+          rhs[i] = shares[gates[mul_wires[i]].rhs];
+        }
+        SQM_ASSIGN_OR_RETURN(const PartyProtocol::Shares products,
+                             protocol_.Mul(lhs, rhs));
+        for (size_t i = 0; i < mul_wires.size(); ++i) {
+          shares[mul_wires[i]] = products[i];
+        }
+        ++ckpt->mul_rounds_done;
+      }
+    }
+    for (size_t w = 0; w < gates.size(); ++w) {
+      const Circuit::Gate& gate = gates[w];
+      if (gate.kind == Circuit::GateKind::kMul ||
+          gate.kind == Circuit::GateKind::kInput || depth[w] != level) {
+        continue;
+      }
+      switch (gate.kind) {
+        case Circuit::GateKind::kConstant:
+          shares[w] = Field::Reduce(gate.constant);
+          break;
+        case Circuit::GateKind::kAdd:
+          shares[w] = Field::Add(shares[gate.lhs], shares[gate.rhs]);
+          break;
+        case Circuit::GateKind::kSub:
+          shares[w] = Field::Sub(shares[gate.lhs], shares[gate.rhs]);
+          break;
+        case Circuit::GateKind::kMulConst:
+          shares[w] = Field::Mul(shares[gate.lhs],
+                                 Field::Reduce(gate.constant));
+          break;
+        case Circuit::GateKind::kInput:
+        case Circuit::GateKind::kMul:
+          break;
+      }
+    }
+    ckpt->next_level = level + 1;
+  }
+
+  PartyProtocol::Shares out(circuit.outputs().size());
+  for (size_t i = 0; i < circuit.outputs().size(); ++i) {
+    out[i] = shares[circuit.outputs()[i]];
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> PartyEngine::OpenOutputs(
+    const PartyProtocol::Shares& out_shares) {
+  return protocol_.OpenSigned(out_shares);
+}
+
+}  // namespace sqm

@@ -1,0 +1,173 @@
+#ifndef SQM_MPC_PARTY_PROTOCOL_H_
+#define SQM_MPC_PARTY_PROTOCOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "mpc/circuit.h"
+#include "mpc/field.h"
+#include "mpc/shamir.h"
+#include "net/liveness.h"
+#include "net/transport.h"
+#include "sampling/rng.h"
+
+namespace sqm {
+
+/// Per-party BGW primitives: the distributed counterpart of BgwProtocol.
+///
+/// BgwProtocol executes every party in one process — it owns all n RNG
+/// streams and all n share rows. PartyProtocol is what one OS process runs
+/// in a real deployment: it holds party `me`'s share row only, derives
+/// exactly the RNG stream the driver would have assigned to `me` (by
+/// replaying the driver's Split sequence, which consumes parent draws but
+/// never data), and exchanges the same messages over the transport. The
+/// consequence, asserted by tests/party_protocol_test.cc and the
+/// deploy_smoke target, is that n PartyProtocol processes release values
+/// BIT-IDENTICAL to one driver-mode run with the same seed.
+///
+/// A "shared vector" here is just this party's row:
+/// std::vector<Field::Element> with one share per element.
+///
+/// Rounds: the driver calls Transport::EndRound once per round. In
+/// per-party execution every party signals its own round end; over a
+/// TcpTransport that is a plain EndRound (per-process accounting), while n
+/// party threads sharing one ThreadedTransport must instead arrive at the
+/// transport's round barrier — inject that via set_round_barrier.
+///
+/// Dropout tolerance mirrors the driver's quorum paths with one genuinely
+/// distributed addition: after a multiplication's sub-share exchange the
+/// survivors run a census round (phase "census"), broadcasting a bitmask of
+/// the dealers they received and intersecting the masks, so every survivor
+/// recombines over the SAME 2t+1 dealer set — the property the driver gets
+/// for free from its global view. The census is agreement under the
+/// documented failure model (crash-stop, reliable links among survivors,
+/// failures detected by every survivor within its timeout window); it is
+/// not Byzantine consensus.
+class PartyProtocol {
+ public:
+  using Shares = std::vector<Field::Element>;
+  using RoundFn = std::function<void()>;
+
+  /// `transport` must outlive the protocol. `seed` must equal the driver
+  /// seed (BgwEngine's protocol seed) for bit-identical execution; `me` is
+  /// this process's party index.
+  PartyProtocol(ShamirScheme scheme, Transport* transport, uint64_t seed,
+                size_t me);
+
+  size_t num_parties() const { return scheme_.num_parties(); }
+  size_t me() const { return me_; }
+  const ShamirScheme& scheme() const { return scheme_; }
+
+  /// Attaches (or detaches) the local failure detector. Each party holds
+  /// its OWN tracker — liveness is a local view, reconciled where it must
+  /// be (multiplications) by the census round.
+  void set_liveness(LivenessTracker* tracker) { liveness_ = tracker; }
+  LivenessTracker* liveness() const { return liveness_; }
+
+  /// Overrides how a round end is signaled (default:
+  /// transport->EndRound()). Party threads sharing one ThreadedTransport
+  /// pass [&] { transport.ArriveRound(me); }.
+  void set_round_barrier(RoundFn fn) { round_fn_ = std::move(fn); }
+
+  /// Input phase for dealer `dealer` dealing `count` elements. When
+  /// dealer == me, `values` holds the encoded plaintext inputs
+  /// (values.size() == count); otherwise `values` is ignored. Every party
+  /// returns its own share row. Mirrors BgwProtocol::ShareFromParty /
+  /// TryShareFromParty: with a liveness tracker attached, a dead dealer or
+  /// a failed receive fails kUnavailable (a lost input has no quorum).
+  Result<Shares> ShareFromParty(size_t dealer,
+                                const std::vector<Field::Element>& values,
+                                size_t count,
+                                const std::string& phase_label = "input");
+
+  /// Local linear algebra on own share rows (identical to the driver's
+  /// per-row arithmetic).
+  Shares SharePublic(const std::vector<Field::Element>& values) const;
+  Result<Shares> Add(const Shares& a, const Shares& b) const;
+  Result<Shares> Sub(const Shares& a, const Shares& b) const;
+  Shares ScaleConst(const Shares& a, Field::Element c) const;
+
+  /// Element-wise product with GRR degree reduction; one communication
+  /// round without a tracker, two (sub-shares + census) with one.
+  Result<Shares> Mul(const Shares& a, const Shares& b);
+
+  /// Opens to every party (one round) and returns the plaintext. With a
+  /// tracker, dead parties are skipped and reconstruction interpolates
+  /// over whichever survivors delivered (any t+1 agree on the value).
+  Result<std::vector<Field::Element>> Open(const Shares& a);
+  Result<std::vector<int64_t>> OpenSigned(const Shares& a);
+
+  /// Discards every deliverable message addressed to this party. Called
+  /// between a failed multiplication level and its checkpoint retry.
+  size_t DrainPending();
+
+ private:
+  Result<Shares> MulQuorum(const Shares& a, const Shares& b);
+
+  void EndRound();
+  bool PartyDead(size_t party) const {
+    return liveness_ != nullptr && liveness_->IsDead(party);
+  }
+
+  ShamirScheme scheme_;
+  Transport* network_;
+  LivenessTracker* liveness_ = nullptr;
+  const size_t me_;
+  Rng my_rng_;
+  std::vector<Field::Element> degree2t_lagrange_;
+  RoundFn round_fn_;
+};
+
+/// Checkpoint of one per-party circuit evaluation: this party's wire shares
+/// after the last completed multiplication level (the per-party slice of
+/// BgwCheckpoint).
+struct PartyCheckpoint {
+  bool valid = false;
+  size_t next_level = 0;
+  std::vector<Field::Element> wire_shares;  ///< [wire], own row only.
+  size_t mul_rounds_done = 0;
+};
+
+/// Per-party gate-level evaluator: the distributed counterpart of
+/// BgwEngine. Evaluates the SAME circuit the driver builds, on this party's
+/// share row, with the same level batching — so the message schedule, and
+/// therefore the released values, match driver-mode bit for bit.
+class PartyEngine {
+ public:
+  PartyEngine(ShamirScheme scheme, Transport* network, uint64_t seed,
+              size_t me);
+
+  /// `my_inputs` supplies only this party's private inputs (centered
+  /// signed), which must number circuit.NumInputsForParty(me). Other
+  /// parties' input counts are read from the circuit — public structure.
+  Result<PartyProtocol::Shares> EvaluateToShares(
+      const Circuit& circuit, const std::vector<int64_t>& my_inputs,
+      PartyCheckpoint* checkpoint = nullptr);
+
+  Result<std::vector<int64_t>> OpenOutputs(
+      const PartyProtocol::Shares& out_shares);
+
+  void set_liveness(LivenessTracker* tracker) {
+    protocol_.set_liveness(tracker);
+  }
+
+  /// Called at the start of every multiplication level with the level
+  /// index. The sqm-party daemon's --crash-at-mul-level hook (raising
+  /// SIGKILL mid-protocol for the resilience tests) attaches here.
+  void set_mul_level_hook(std::function<void(size_t)> hook) {
+    mul_level_hook_ = std::move(hook);
+  }
+
+  PartyProtocol& protocol() { return protocol_; }
+
+ private:
+  PartyProtocol protocol_;
+  std::function<void(size_t)> mul_level_hook_;
+};
+
+}  // namespace sqm
+
+#endif  // SQM_MPC_PARTY_PROTOCOL_H_

@@ -81,15 +81,14 @@ bool LockstepTransport::HasPending(size_t from, size_t to) const {
 
 size_t LockstepTransport::Reset() {
   size_t dropped = 0;
+  size_t channels = 0;
   for (auto& queue : queues_) {
+    if (queue.empty()) continue;
     dropped += queue.size();
+    ++channels;
     queue.clear();
   }
-  if (dropped > 0) {
-    SQM_LOG(kWarning) << "LockstepTransport::Reset dropped " << dropped
-                      << " undelivered message(s); a correct synchronous "
-                         "protocol drains every round";
-  }
+  WarnDroppedOnReset("LockstepTransport", dropped, channels);
   ResetAccounting();
   return dropped;
 }

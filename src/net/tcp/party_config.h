@@ -1,0 +1,90 @@
+#ifndef SQM_NET_TCP_PARTY_CONFIG_H_
+#define SQM_NET_TCP_PARTY_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "net/tcp/tcp_transport.h"
+
+namespace sqm {
+namespace net {
+
+/// One networked SQM deployment, as shared by every process in the run:
+/// the coordinator writes this file once and hands the SAME file to all n
+/// sqm-party daemons plus itself. Everything in here is public knowledge
+/// (the session key is a transport-authentication secret among the
+/// parties, not data) — per-party private state is derived locally from
+/// the party index.
+///
+/// This struct deliberately holds only scalars and strings (the query
+/// polynomial is kept in poly/parser.h text form) so it can live in the
+/// net layer: parsing it into Matrix/PolynomialVector objects happens in
+/// core/party_sqm.h, which owns the math dependencies.
+struct DeploymentConfig {
+  /// Transport session identity: frames from another run are rejected.
+  uint64_t run_id = 1;
+  /// Shared SipHash MAC key authenticating every frame on every channel.
+  uint64_t session_key = 0;
+  /// Party roster; index == party id. parties[j].port == 0 is allowed for
+  /// coordinator-managed runs where listeners are pre-bound and ports are
+  /// rewritten before the config reaches the daemons.
+  std::vector<TcpPeer> parties;
+
+  /// Synthetic database: every process regenerates the full rows x cols
+  /// matrix from data_seed and keeps only its own columns, so no data
+  /// travels in the config. cols == 0 means one column per party.
+  size_t rows = 16;
+  size_t cols = 0;
+  uint64_t data_seed = 7;
+
+  /// Query polynomial in poly/parser.h text form, e.g. "x0*x0; x0*x1".
+  std::string polynomial;
+
+  /// SqmOptions mirror (names match core/sqm.h field for field).
+  double gamma = 256.0;
+  double mu = 0.0;
+  uint64_t seed = 42;
+  std::string dropout_policy = "abort";
+  double dp_delta = 1e-5;
+  size_t bgw_threshold = 0;
+  double record_norm_bound = 1.0;
+  double max_f_l2 = 1.0;
+  size_t mpc_max_attempts = 2;
+  bool quantize_coefficients = true;
+  bool check_capacity = true;
+
+  /// Transport tuning (TcpTransportOptions mirror).
+  double receive_timeout_seconds = 2.0;
+  double connect_timeout_seconds = 10.0;
+  size_t max_reconnect_attempts = 5;
+  double reconnect_backoff_seconds = 0.05;
+};
+
+/// Parses a deployment config from its JSON text. Structural validation
+/// only (>= 2 parties, rows >= 1, non-empty polynomial, positive
+/// timeouts); SQM-semantic validation happens when the options reach
+/// SqmEvaluator/RunPartySqm.
+Result<DeploymentConfig> ParseDeploymentConfig(const std::string& json);
+
+/// Serializes; ParseDeploymentConfig(DeploymentConfigToJson(c)) == c.
+std::string DeploymentConfigToJson(const DeploymentConfig& config);
+
+/// The TcpTransportOptions for party `local_party` of this deployment.
+/// `listen_fd` >= 0 adopts a pre-bound listening socket (coordinator
+/// mode) instead of binding parties[local_party].
+TcpTransportOptions TcpOptionsFromDeployment(const DeploymentConfig& config,
+                                             size_t local_party,
+                                             int listen_fd = -1);
+
+}  // namespace net
+
+using net::DeploymentConfig;
+using net::DeploymentConfigToJson;
+using net::ParseDeploymentConfig;
+using net::TcpOptionsFromDeployment;
+
+}  // namespace sqm
+
+#endif  // SQM_NET_TCP_PARTY_CONFIG_H_

@@ -1,0 +1,638 @@
+#include "net/tcp/tcp_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/logging.h"
+
+namespace sqm {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration Seconds(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+/// Slice-sleeps `total`, returning early (false) when `abort()` turns true.
+template <typename AbortFn>
+bool InterruptibleSleep(Clock::duration total, AbortFn abort) {
+  const Clock::time_point deadline = Clock::now() + total;
+  while (Clock::now() < deadline) {
+    if (abort()) return false;
+    const auto remaining = deadline - Clock::now();
+    std::this_thread::sleep_for(
+        std::min<Clock::duration>(remaining, std::chrono::milliseconds(50)));
+  }
+  return !abort();
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(const TcpTransportOptions& options)
+    : Transport(options.peers.size(), options.per_round_latency_seconds,
+                options.element_wire_bytes),
+      options_(options),
+      me_(options.local_party) {
+  MutexLock lock(mu_);
+  links_.resize(options.peers.size());
+  inboxes_.resize(options.peers.size());
+  links_[me_].state = LinkState::kUp;  // A party's own memory is never down.
+  const Clock::time_point now = Clock::now();
+  for (Link& link : links_) link.down_since = now;
+}
+
+TcpTransport::~TcpTransport() { Shutdown(); }
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Create(
+    const TcpTransportOptions& options) {
+  if (!TcpSupported()) {
+    return Status::Unimplemented(
+        "TCP transport requires POSIX sockets on this platform");
+  }
+  const size_t n = options.peers.size();
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "TCP transport needs a roster of >= 2 parties");
+  }
+  if (options.local_party >= n) {
+    return Status::InvalidArgument(
+        "local_party " + std::to_string(options.local_party) +
+        " outside the " + std::to_string(n) + "-party roster");
+  }
+  std::unique_ptr<TcpTransport> transport(new TcpTransport(options));
+  SQM_RETURN_NOT_OK(transport->Start());
+  SQM_RETURN_NOT_OK(transport->WaitMeshUp(
+      Clock::now() + Seconds(options.connect_timeout_seconds)));
+  return transport;
+}
+
+Status TcpTransport::Start() {
+  if (options_.listen_fd >= 0) {
+    listener_ = Socket(options_.listen_fd);
+  } else {
+    SQM_ASSIGN_OR_RETURN(
+        listener_,
+        ListenOn(options_.peers[me_].host, options_.peers[me_].port));
+  }
+  SQM_ASSIGN_OR_RETURN(listen_port_, LocalPort(listener_));
+
+  const size_t n = options_.peers.size();
+  if (me_ + 1 < n) {
+    threads_.emplace_back([this] { AcceptorMain(); });
+  }
+  for (size_t peer = 0; peer < n; ++peer) {
+    if (peer == me_) continue;
+    if (peer < me_) {
+      threads_.emplace_back([this, peer] { DialerMain(peer); });
+    } else {
+      threads_.emplace_back([this, peer] { AcceptSideMain(peer); });
+    }
+  }
+  return Status::OK();
+}
+
+Status TcpTransport::WaitMeshUp(Clock::time_point deadline) {
+  MutexLock lock(mu_);
+  const bool ready = link_cv_.WaitUntil(mu_, deadline, [this]()
+                                            SQM_REQUIRES(mu_) {
+    for (size_t peer = 0; peer < links_.size(); ++peer) {
+      if (peer == me_) continue;
+      if (links_[peer].state == LinkState::kDead) return true;  // Fail fast.
+      if (links_[peer].state != LinkState::kUp) return false;
+    }
+    return true;
+  });
+  std::string missing;
+  for (size_t peer = 0; peer < links_.size(); ++peer) {
+    if (peer == me_ || links_[peer].state == LinkState::kUp) continue;
+    if (!missing.empty()) missing += ", ";
+    missing += std::to_string(peer);
+  }
+  if (!ready || !missing.empty()) {
+    return Status::Unavailable("party " + std::to_string(me_) +
+                               " could not establish tcp links to parties [" +
+                               missing + "] within " +
+                               std::to_string(options_.connect_timeout_seconds) +
+                               " s");
+  }
+  return Status::OK();
+}
+
+bool TcpTransport::ShuttingDown() const {
+  MutexLock lock(mu_);
+  return shutting_down_;
+}
+
+void TcpTransport::InstallConn(size_t peer, std::shared_ptr<Conn> conn) {
+  MutexLock lock(mu_);
+  const bool was_down = links_[peer].state == LinkState::kDown;
+  links_[peer].conn = std::move(conn);
+  links_[peer].state = LinkState::kUp;
+  link_cv_.NotifyAll();
+  if (was_down) RecordRetry();  // A successful reconnect is a recovery.
+}
+
+void TcpTransport::MarkDown(size_t peer) {
+  MutexLock lock(mu_);
+  if (links_[peer].state != LinkState::kUp &&
+      links_[peer].state != LinkState::kConnecting) {
+    return;
+  }
+  links_[peer].state = LinkState::kDown;
+  links_[peer].down_since = Clock::now();
+  links_[peer].conn.reset();
+  link_cv_.NotifyAll();
+}
+
+void TcpTransport::MarkDead(size_t peer, const char* reason) {
+  MutexLock lock(mu_);
+  if (links_[peer].state == LinkState::kDead) return;
+  links_[peer].state = LinkState::kDead;
+  links_[peer].conn.reset();
+  link_cv_.NotifyAll();
+  recv_cv_.NotifyAll();  // Blocked receives must fail kUnavailable now.
+  SQM_LOG(kInfo) << "TcpTransport party " << me_ << ": peer " << peer
+                 << " declared dead (" << reason << ")";
+}
+
+Status TcpTransport::DialHandshake(const std::shared_ptr<Conn>& conn,
+                                   size_t peer) {
+  SQM_RETURN_NOT_OK(SetRecvTimeout(conn->sock, 2.0));
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.from = static_cast<uint32_t>(me_);
+  hello.to = static_cast<uint32_t>(peer);
+  hello.run_id = options_.run_id;
+  const std::vector<uint8_t> wire =
+      EncodeFrame(hello, options_.session_key);
+  SQM_RETURN_NOT_OK(WriteAll(conn->sock, wire.data(), wire.size()));
+
+  uint8_t len_bytes[4];
+  SQM_RETURN_NOT_OK(ReadAll(conn->sock, len_bytes, 4));
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(len_bytes[i]) << (8 * i);
+  }
+  if (len < 8 || len > MaxEncodedFrameBytes(0)) {
+    return Status::IntegrityViolation("handshake ack frame length " +
+                                      std::to_string(len) + " out of range");
+  }
+  std::vector<uint8_t> body(len);
+  SQM_RETURN_NOT_OK(ReadAll(conn->sock, body.data(), len));
+  SQM_ASSIGN_OR_RETURN(
+      const Frame ack, DecodeFrame(body.data(), len, options_.session_key));
+  if (ack.type != FrameType::kHelloAck || ack.from != peer ||
+      ack.to != me_ || ack.run_id != options_.run_id) {
+    return Status::IntegrityViolation(
+        "handshake ack mismatch from peer " + std::to_string(peer));
+  }
+  return SetRecvTimeout(conn->sock, 0.25);
+}
+
+void TcpTransport::AcceptorMain() {
+  while (!ShuttingDown()) {
+    Result<Socket> accepted = AcceptWithDeadline(
+        listener_, Clock::now() + std::chrono::milliseconds(250));
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;
+      }
+      if (ShuttingDown() ||
+          accepted.status().code() == StatusCode::kUnavailable) {
+        return;
+      }
+      SQM_LOG(kWarning) << "TcpTransport party " << me_
+                        << ": accept failed: " << accepted.status();
+      continue;
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->sock = std::move(accepted).ValueOrDie();
+
+    // Handshake: the dialer must present a MAC-verified HELLO naming this
+    // run and this recipient before any payload is believed.
+    const Status armed = SetRecvTimeout(conn->sock, 2.0);
+    if (!armed.ok()) continue;
+    uint8_t len_bytes[4];
+    if (!ReadAll(conn->sock, len_bytes, 4).ok()) continue;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(len_bytes[i]) << (8 * i);
+    }
+    if (len < 8 || len > MaxEncodedFrameBytes(0)) continue;
+    std::vector<uint8_t> body(len);
+    if (!ReadAll(conn->sock, body.data(), len).ok()) continue;
+    Result<Frame> hello =
+        DecodeFrame(body.data(), len, options_.session_key);
+    if (!hello.ok()) {
+      SQM_LOG(kWarning) << "TcpTransport party " << me_
+                        << ": rejected connection: " << hello.status();
+      continue;
+    }
+    const Frame& frame = hello.ValueOrDie();
+    const size_t peer = frame.from;
+    if (frame.type != FrameType::kHello || frame.run_id != options_.run_id ||
+        frame.to != me_ || peer <= me_ || peer >= options_.peers.size()) {
+      SQM_LOG(kWarning) << "TcpTransport party " << me_
+                        << ": rejected hello (wrong run, role, or party id)";
+      continue;
+    }
+    if (PeerDead(peer)) continue;  // Dead is absorbing; no resurrection.
+
+    Frame ack;
+    ack.type = FrameType::kHelloAck;
+    ack.from = static_cast<uint32_t>(me_);
+    ack.to = static_cast<uint32_t>(peer);
+    ack.run_id = options_.run_id;
+    const std::vector<uint8_t> wire =
+        EncodeFrame(ack, options_.session_key);
+    if (!WriteAll(conn->sock, wire.data(), wire.size()).ok()) continue;
+    if (!SetRecvTimeout(conn->sock, 0.25).ok()) continue;
+    InstallConn(peer, std::move(conn));
+  }
+}
+
+void TcpTransport::DialerMain(size_t peer) {
+  const TcpPeer& address = options_.peers[peer];
+  // Initial mesh phase: peers start in any order, so refusals are retried
+  // until the connect window closes.
+  const Clock::time_point initial_deadline =
+      Clock::now() + Seconds(options_.connect_timeout_seconds);
+  bool established = false;
+  while (!ShuttingDown() && !established) {
+    auto conn = std::make_shared<Conn>();
+    Result<Socket> sock =
+        ConnectTo(address.host, address.port,
+                  std::min(initial_deadline,
+                           Clock::now() + std::chrono::seconds(1)));
+    if (sock.ok()) {
+      conn->sock = std::move(sock).ValueOrDie();
+      const Status shaken = DialHandshake(conn, peer);
+      if (shaken.ok()) {
+        InstallConn(peer, conn);
+        established = true;
+        const Status terminal = ReadLoop(peer, conn);
+        if (ShuttingDown()) return;
+        if (terminal.code() == StatusCode::kUnavailable &&
+            PeerDead(peer)) {
+          return;  // Goodbye received; ReadLoop already marked dead.
+        }
+        MarkDown(peer);
+        break;  // Fall through to the reconnect loop.
+      }
+    }
+    if (Clock::now() >= initial_deadline) {
+      MarkDead(peer, "initial connect window exhausted");
+      return;
+    }
+    if (!InterruptibleSleep(std::chrono::milliseconds(20),
+                            [this] { return ShuttingDown(); })) {
+      return;
+    }
+  }
+
+  // Reconnect phase: exponential backoff, bounded attempts, then death.
+  while (!ShuttingDown()) {
+    size_t attempt = 0;
+    bool reconnected = false;
+    for (; attempt < options_.max_reconnect_attempts; ++attempt) {
+      const double backoff = options_.reconnect_backoff_seconds *
+                             static_cast<double>(uint64_t{1} << attempt);
+      if (!InterruptibleSleep(Seconds(backoff),
+                              [this] { return ShuttingDown(); })) {
+        return;
+      }
+      auto conn = std::make_shared<Conn>();
+      Result<Socket> sock = ConnectTo(address.host, address.port,
+                                      Clock::now() + std::chrono::seconds(1));
+      if (!sock.ok()) continue;
+      conn->sock = std::move(sock).ValueOrDie();
+      if (!DialHandshake(conn, peer).ok()) continue;
+      InstallConn(peer, conn);
+      reconnected = true;
+      const Status terminal = ReadLoop(peer, conn);
+      if (ShuttingDown()) return;
+      if (terminal.code() == StatusCode::kUnavailable && PeerDead(peer)) {
+        return;
+      }
+      MarkDown(peer);
+      break;  // Fresh backoff budget after every successful period.
+    }
+    if (!reconnected) {
+      MarkDead(peer, "reconnect budget exhausted");
+      return;
+    }
+  }
+}
+
+void TcpTransport::AcceptSideMain(size_t peer) {
+  for (;;) {
+    std::shared_ptr<Conn> conn;
+    {
+      MutexLock lock(mu_);
+      const Clock::time_point deadline =
+          links_[peer].down_since +
+          Seconds(links_[peer].state == LinkState::kConnecting
+                      ? options_.connect_timeout_seconds
+                      : ReconnectWindowSeconds());
+      const bool changed =
+          link_cv_.WaitUntil(mu_, deadline, [&]() SQM_REQUIRES(mu_) {
+            return shutting_down_ ||
+                   links_[peer].state == LinkState::kUp ||
+                   links_[peer].state == LinkState::kDead;
+          });
+      if (shutting_down_) return;
+      if (links_[peer].state == LinkState::kDead) return;
+      if (!changed) {
+        // Window expired without the dialer coming back.
+        links_[peer].state = LinkState::kDead;
+        links_[peer].conn.reset();
+        link_cv_.NotifyAll();
+        recv_cv_.NotifyAll();
+        SQM_LOG(kInfo) << "TcpTransport party " << me_ << ": peer " << peer
+                       << " declared dead (reconnect window expired)";
+        return;
+      }
+      conn = links_[peer].conn;
+    }
+    if (conn == nullptr) continue;
+    const Status terminal = ReadLoop(peer, conn);
+    if (ShuttingDown()) return;
+    if (terminal.code() == StatusCode::kUnavailable && PeerDead(peer)) {
+      return;  // Goodbye path.
+    }
+    {
+      // Only demote the link if this reader's connection is still the
+      // installed one (the acceptor may have replaced it already).
+      MutexLock lock(mu_);
+      if (links_[peer].conn == conn &&
+          links_[peer].state == LinkState::kUp) {
+        links_[peer].state = LinkState::kDown;
+        links_[peer].down_since = Clock::now();
+        links_[peer].conn.reset();
+        link_cv_.NotifyAll();
+      }
+    }
+  }
+}
+
+Status TcpTransport::ReadLoop(size_t peer,
+                              const std::shared_ptr<Conn>& conn) {
+  std::vector<uint8_t> body;
+  for (;;) {
+    uint8_t len_bytes[4];
+    size_t got = 0;
+    for (;;) {
+      const Status header = ReadFull(conn->sock, len_bytes, 4, &got);
+      if (header.ok()) break;
+      if (header.code() == StatusCode::kDeadlineExceeded) {
+        if (ShuttingDown()) return Status::OK();
+        MutexLock lock(mu_);
+        if (links_[peer].conn != conn) return Status::OK();  // Replaced.
+        continue;
+      }
+      return header;
+    }
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(len_bytes[i]) << (8 * i);
+    }
+    if (len < 8 || len > MaxEncodedFrameBytes(kMaxFrameElements)) {
+      return Status::IntegrityViolation(
+          "tcp frame length " + std::to_string(len) + " out of range");
+    }
+    body.resize(len);
+    got = 0;
+    for (;;) {
+      // Mid-frame timeouts keep waiting: the bytes are committed on the
+      // stream, and a genuinely dead peer surfaces as EOF/reset instead.
+      const Status read = ReadFull(conn->sock, body.data(), len, &got);
+      if (read.ok()) break;
+      if (read.code() == StatusCode::kDeadlineExceeded) {
+        if (ShuttingDown()) return Status::OK();
+        continue;
+      }
+      return read;
+    }
+    Result<Frame> decoded =
+        DecodeFrame(body.data(), len, options_.session_key);
+    if (!decoded.ok()) {
+      SQM_LOG(kWarning) << "TcpTransport party " << me_ << ": severing link "
+                        << peer << ": " << decoded.status();
+      return decoded.status();
+    }
+    Frame frame = std::move(decoded).ValueOrDie();
+    if (frame.from != peer || frame.to != me_ ||
+        frame.run_id != options_.run_id) {
+      return Status::IntegrityViolation(
+          "tcp frame addressed (" + std::to_string(frame.from) + " -> " +
+          std::to_string(frame.to) + ") arrived on link " +
+          std::to_string(peer) + " -> " + std::to_string(me_));
+    }
+    if (frame.type == FrameType::kBye) {
+      MarkDead(peer, "peer departed gracefully");
+      return Status::Unavailable("peer departed");
+    }
+    if (frame.type != FrameType::kData) {
+      return Status::IntegrityViolation("unexpected mid-stream frame type");
+    }
+    MutexLock lock(mu_);
+    if (frame.seq <= links_[peer].last_recv_seq) {
+      return Status::IntegrityViolation(
+          "tcp frame sequence " + std::to_string(frame.seq) +
+          " not above " + std::to_string(links_[peer].last_recv_seq) +
+          " (replayed or re-ordered frame)");
+    }
+    links_[peer].last_recv_seq = frame.seq;
+    inboxes_[peer].push_back(std::move(frame.payload));
+    recv_cv_.NotifyAll();
+  }
+}
+
+void TcpTransport::Send(size_t from, size_t to, Payload payload) {
+  CheckParty(from, to);
+  SQM_CHECK(from == me_);
+  if (to == me_) {
+    // Self-send: the party's own memory — no wire, no statistics.
+    MutexLock lock(mu_);
+    inboxes_[me_].push_back(std::move(payload));
+    recv_cv_.NotifyAll();
+    return;
+  }
+  const std::string phase_label = phase();
+  std::vector<Payload> deliveries = InterceptSend(from, to, std::move(payload));
+  for (Payload& out : deliveries) {
+    std::shared_ptr<Conn> conn;
+    uint64_t seq = 0;
+    bool up = false;
+    {
+      MutexLock lock(mu_);
+      seq = ++links_[to].send_seq;
+      if (links_[to].state == LinkState::kUp) {
+        conn = links_[to].conn;
+        up = conn != nullptr;
+      }
+    }
+    RecordSend(from, to, out.size());
+    if (!up) {
+      // The peer is down or dead: the frame is irrecoverably unsent, the
+      // same verdict the in-process transports give sends to a crashed
+      // party. The receiver's timeout/liveness machinery handles the gap.
+      RecordCrashLoss();
+      continue;
+    }
+    Frame frame;
+    frame.type = FrameType::kData;
+    frame.from = static_cast<uint32_t>(from);
+    frame.to = static_cast<uint32_t>(to);
+    frame.seq = seq;
+    frame.run_id = options_.run_id;
+    frame.phase = phase_label;
+    frame.payload = std::move(out);
+    const std::vector<uint8_t> wire =
+        EncodeFrame(frame, options_.session_key);
+    Status written = Status::OK();
+    {
+      MutexLock write_lock(conn->write_mu);
+      written = WriteAll(conn->sock, wire.data(), wire.size());
+    }
+    if (!written.ok()) {
+      RecordCrashLoss();
+      // Wake the link's reader promptly so reconnection starts now.
+      ShutdownBoth(conn->sock);
+      MarkDown(to);
+    }
+  }
+}
+
+Result<Transport::Payload> TcpTransport::Receive(size_t from, size_t to) {
+  CheckParty(from, to);
+  SQM_CHECK(to == me_);
+  const Clock::time_point deadline =
+      Clock::now() + Seconds(options_.receive_timeout_seconds);
+  MutexLock lock(mu_);
+  for (;;) {
+    if (!inboxes_[from].empty()) {
+      Payload payload = std::move(inboxes_[from].front());
+      inboxes_[from].pop_front();
+      return payload;
+    }
+    if (from != me_ && links_[from].state == LinkState::kDead) {
+      return Status::Unavailable(
+          "party " + std::to_string(from) +
+          " crashed (tcp link dead, reconnect window exhausted)");
+    }
+    if (Clock::now() >= deadline) {
+      RecordTimeout();
+      return Status::DeadlineExceeded(
+          "receive from party " + std::to_string(from) + " timed out after " +
+          std::to_string(options_.receive_timeout_seconds) + " s");
+    }
+    const bool woken = recv_cv_.WaitUntil(mu_, deadline);
+    (void)woken;  // Timeout and wake both re-run the checks above.
+  }
+}
+
+bool TcpTransport::HasPending(size_t from, size_t to) const {
+  CheckParty(from, to);
+  if (to != me_) return false;
+  MutexLock lock(mu_);
+  return !inboxes_[from].empty();
+}
+
+size_t TcpTransport::Reset() {
+  size_t dropped = 0;
+  size_t channels = 0;
+  {
+    MutexLock lock(mu_);
+    for (std::deque<Payload>& inbox : inboxes_) {
+      if (!inbox.empty()) {
+        dropped += inbox.size();
+        ++channels;
+        inbox.clear();
+      }
+    }
+  }
+  WarnDroppedOnReset("TcpTransport", dropped, channels);
+  ResetAccounting();
+  return dropped;
+}
+
+bool TcpTransport::PeerDead(size_t peer) const {
+  MutexLock lock(mu_);
+  return links_[peer].state == LinkState::kDead;
+}
+
+double TcpTransport::ReconnectWindowSeconds() const {
+  // Sum of the dialer's backoff schedule plus one connect attempt's slack:
+  // the accepting side waits this long before declaring the dialer dead,
+  // and callers can use it to bound worst-case stall on a killed peer.
+  double window = 1.0;
+  for (size_t attempt = 0; attempt < options_.max_reconnect_attempts;
+       ++attempt) {
+    window += options_.reconnect_backoff_seconds *
+              static_cast<double>(uint64_t{1} << attempt);
+  }
+  return window;
+}
+
+void TcpTransport::Shutdown() {
+  bool already = false;
+  {
+    MutexLock lock(mu_);
+    already = shutting_down_;
+    shutting_down_ = true;
+    link_cv_.NotifyAll();
+    recv_cv_.NotifyAll();
+  }
+  if (already) return;
+
+  // Graceful goodbyes: peers that hear a kBye mark this party departed
+  // instead of burning their reconnect budget on it.
+  for (size_t peer = 0; peer < options_.peers.size(); ++peer) {
+    if (peer == me_) continue;
+    std::shared_ptr<Conn> conn;
+    uint64_t seq = 0;
+    {
+      MutexLock lock(mu_);
+      if (links_[peer].state != LinkState::kUp) continue;
+      conn = links_[peer].conn;
+      seq = ++links_[peer].send_seq;
+    }
+    if (conn == nullptr) continue;
+    Frame bye;
+    bye.type = FrameType::kBye;
+    bye.from = static_cast<uint32_t>(me_);
+    bye.to = static_cast<uint32_t>(peer);
+    bye.seq = seq;
+    bye.run_id = options_.run_id;
+    const std::vector<uint8_t> wire = EncodeFrame(bye, options_.session_key);
+    MutexLock write_lock(conn->write_mu);
+    const Status sent = WriteAll(conn->sock, wire.data(), wire.size());
+    (void)sent;  // A peer that is already gone cannot hear the goodbye.
+  }
+
+  // Wake blocked readers, then join everything. Sockets close when the
+  // last shared_ptr reference (reader or link slot) releases.
+  {
+    MutexLock lock(mu_);
+    for (Link& link : links_) {
+      if (link.conn != nullptr) ShutdownBoth(link.conn->sock);
+    }
+  }
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  {
+    MutexLock lock(mu_);
+    for (Link& link : links_) link.conn.reset();
+  }
+  listener_.Close();
+}
+
+}  // namespace net
+}  // namespace sqm

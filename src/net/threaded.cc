@@ -238,10 +238,13 @@ size_t ThreadedTransport::Reset() SQM_NO_THREAD_SAFETY_ANALYSIS {
     box->mu.Lock();
   }
   size_t dropped = 0;
+  size_t channels = 0;
   for (auto& box : mailboxes_) {
     // Dropped count = undelivered queue entries + parked retransmissions,
     // matching LockstepTransport's "every undelivered message" convention.
-    dropped += box->queue.size() + box->retransmit.size();
+    const size_t in_box = box->queue.size() + box->retransmit.size();
+    dropped += in_box;
+    if (in_box > 0) ++channels;
     box->queue.clear();
     box->retransmit.clear();
   }
@@ -255,10 +258,7 @@ size_t ThreadedTransport::Reset() SQM_NO_THREAD_SAFETY_ANALYSIS {
     box->mu.Unlock();
     box->space.NotifyAll();
   }
-  if (dropped > 0) {
-    SQM_LOG(kWarning) << "ThreadedTransport::Reset dropped " << dropped
-                      << " undelivered message(s)";
-  }
+  WarnDroppedOnReset("ThreadedTransport", dropped, channels);
   return dropped;
 }
 

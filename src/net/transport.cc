@@ -220,6 +220,29 @@ void Transport::RecordCrashLoss() {
   MirrorToRegistry("net.fault.crash_losses", 1);
 }
 
+void Transport::WarnDroppedOnReset(const char* transport_name,
+                                   size_t dropped, size_t channels) {
+  if (dropped == 0) return;
+  uint64_t warnings = 0;
+  uint64_t lifetime = 0;
+  {
+    MutexLock lock(mu_);
+    ++reset_warnings_;
+    reset_dropped_total_ += dropped;
+    warnings = reset_warnings_;
+    lifetime = reset_dropped_total_;
+  }
+  std::string cumulative;
+  if (warnings > 1) {
+    cumulative = "; " + std::to_string(lifetime) + " across " +
+                 std::to_string(warnings) + " resets";
+  }
+  SQM_LOG(kWarning) << transport_name << "::Reset dropped " << dropped
+                    << " undelivered message(s) on " << channels
+                    << " channel(s)" << cumulative
+                    << "; a correct synchronous protocol drains every round";
+}
+
 void Transport::ResetAccounting() {
   MutexLock lock(mu_);
   totals_ = NetworkStats{};

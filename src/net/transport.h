@@ -175,6 +175,15 @@ class Transport {
   /// Zeroes every counter and phase (used by Reset implementations).
   void ResetAccounting();
 
+  /// Emits the single coalesced warning for a Reset that found undelivered
+  /// messages: one summary line with the total message count, the number of
+  /// channels affected, and (from the second occurrence on) the cumulative
+  /// total across this transport's lifetime — never one line per channel,
+  /// so reconnect loops that Reset repeatedly cannot flood the log. No-op
+  /// when `dropped` is zero. The lifetime totals survive ResetAccounting.
+  void WarnDroppedOnReset(const char* transport_name, size_t dropped,
+                          size_t channels);
+
   /// Runs the attached interceptor (if any) on one outgoing message and
   /// returns the payloads to actually enqueue: usually {payload}; empty
   /// when the interceptor swallowed it; more than one when it requested
@@ -210,6 +219,10 @@ class Transport {
   uint64_t timeouts_ SQM_GUARDED_BY(mu_) = 0;
   uint64_t retries_ SQM_GUARDED_BY(mu_) = 0;
   uint64_t crash_losses_ SQM_GUARDED_BY(mu_) = 0;
+  // Lifetime Reset-drop telemetry (deliberately not zeroed by
+  // ResetAccounting — it summarizes across resets).
+  uint64_t reset_warnings_ SQM_GUARDED_BY(mu_) = 0;
+  uint64_t reset_dropped_total_ SQM_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII phase label: sets the transport's phase on construction and

@@ -233,4 +233,97 @@ void Tracer::FlushForCrash() const {
   WriteChromeTraceFile(path);
 }
 
+namespace {
+
+/// Re-emits a parsed JSON value verbatim. Exact integers go out through
+/// the integer path so u64 timestamps survive the round trip.
+void EmitJsonValue(JsonWriter& writer, const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      // The writer has no null; our own traces never contain one, and a
+      // foreign null degrades to false rather than corrupting the doc.
+      writer.Value(false);
+      break;
+    case JsonValue::Kind::kBool:
+      writer.Value(value.bool_value);
+      break;
+    case JsonValue::Kind::kNumber:
+      if (value.is_integer && !value.is_negative) {
+        writer.Value(value.uint_value);
+      } else if (value.is_integer) {
+        writer.Value(value.int_value);
+      } else {
+        writer.Value(value.number);
+      }
+      break;
+    case JsonValue::Kind::kString:
+      writer.Value(value.string_value);
+      break;
+    case JsonValue::Kind::kArray:
+      writer.BeginArray();
+      for (const JsonValue& item : value.items) {
+        EmitJsonValue(writer, item);
+      }
+      writer.EndArray();
+      break;
+    case JsonValue::Kind::kObject:
+      writer.BeginObject();
+      for (const auto& [key, member] : value.members) {
+        writer.Key(key);
+        EmitJsonValue(writer, member);
+      }
+      writer.EndObject();
+      break;
+  }
+}
+
+}  // namespace
+
+Result<std::string> MergeChromeTraces(
+    const std::vector<std::pair<std::string, std::string>>& traces) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.BeginArray("traceEvents");
+  for (size_t i = 0; i < traces.size(); ++i) {
+    const uint64_t pid = static_cast<uint64_t>(i) + 1;
+    // Label the process group so Perfetto shows "party 0", "coordinator"
+    // instead of bare pids.
+    writer.BeginObject()
+        .Field("name", "process_name")
+        .Field("ph", "M")
+        .Field("pid", pid)
+        .Field("tid", uint64_t{0});
+    writer.Key("args").BeginObject().Field("name", traces[i].first);
+    writer.EndObject().EndObject();
+
+    SQM_ASSIGN_OR_RETURN(const JsonValue doc, ParseJson(traces[i].second));
+    const JsonValue* events = doc.Find("traceEvents");
+    if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+      return Status::InvalidArgument(
+          "trace \"" + traces[i].first +
+          "\" has no traceEvents array (not a Chrome trace document)");
+    }
+    for (const JsonValue& event : events->items) {
+      if (event.kind != JsonValue::Kind::kObject) {
+        return Status::InvalidArgument("trace \"" + traces[i].first +
+                                       "\" has a non-object trace event");
+      }
+      writer.BeginObject();
+      for (const auto& [key, member] : event.members) {
+        if (key == "pid") {
+          writer.Field("pid", pid);
+          continue;
+        }
+        writer.Key(key);
+        EmitJsonValue(writer, member);
+      }
+      writer.EndObject();
+    }
+  }
+  writer.EndArray();
+  writer.Field("displayTimeUnit", "ms");
+  writer.EndObject();
+  return writer.str();
+}
+
 }  // namespace sqm::obs

@@ -5,8 +5,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/status.h"
 #include "core/sync.h"
 #include "obs/obs.h"
 
@@ -116,6 +118,18 @@ class Tracer {
   std::map<int32_t, std::string> track_names_ SQM_GUARDED_BY(mu_);
   std::string crash_dump_path_ SQM_GUARDED_BY(mu_) = "sqm_crash_trace.json";
 };
+
+/// Merges Chrome trace-event documents from several processes (each as
+/// produced by ToChromeTraceJson / WriteChromeTraceFile) into one
+/// timeline: document i's events are rewritten to pid = i + 1, a
+/// process_name metadata record labels that pid with traces[i].first, and
+/// the event lists are concatenated. The multi-process coordinator uses
+/// this to fold the n sqm-party trace files plus its own into one file a
+/// single Perfetto tab can read, with one labeled process group per
+/// party. Timestamps are NOT re-aligned — every process stamps on its own
+/// steady clock, so cross-process offsets reflect process start skew.
+Result<std::string> MergeChromeTraces(
+    const std::vector<std::pair<std::string, std::string>>& traces);
 
 /// RAII span: measures construction-to-destruction on the current track.
 /// Free (no clock read, no buffer touch) when the kill switch is off.

@@ -1,0 +1,143 @@
+// Multi-process resilience: the coordinator launches a 5-party networked
+// run as real OS processes, one party is SIGKILLed mid-Mul (no goodbye
+// frame, sub-shares half-sent), and the survivors must finish and
+// re-account the privacy guarantee instead of hanging.
+//
+// This is the one suite that exercises the deployment path end-to-end —
+// fork/exec, pre-bound listeners, TCP framing, crash detection via
+// reconnect-window expiry, the census round, and the dropout ledger — so
+// it spawns the real sqm-coordinator binary (path baked in via
+// SQM_COORDINATOR_BIN) rather than simulating any layer.
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/report_io.h"
+#include "core/sqm.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define SQM_DEPLOY_TEST_SUPPORTED 1
+#endif
+
+namespace {
+
+#ifdef SQM_DEPLOY_TEST_SUPPORTED
+
+/// 5-party roster on loopback, port 0 everywhere (the coordinator binds
+/// real ports and rewrites the roster before forking). bgw_threshold = 1
+/// gives quorum 2t+1 = 3, so one crash among five parties is tolerable;
+/// the default threshold (n-1)/2 would make the quorum n and turn any
+/// crash into an abort.
+std::string DeployConfig(const std::string& policy) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"run_id\": 88, \"session_key\": 5555,\n"
+      << "  \"parties\": ["
+      << "{\"host\":\"127.0.0.1\",\"port\":0},"
+      << "{\"host\":\"127.0.0.1\",\"port\":0},"
+      << "{\"host\":\"127.0.0.1\",\"port\":0},"
+      << "{\"host\":\"127.0.0.1\",\"port\":0},"
+      << "{\"host\":\"127.0.0.1\",\"port\":0}],\n"
+      << "  \"rows\": 6, \"cols\": 5, \"data_seed\": 9,\n"
+      << "  \"polynomial\": \"x0*x1; x2*x3; x3*x4\",\n"
+      << "  \"gamma\": 32, \"mu\": 4, \"seed\": 1234,\n"
+      << "  \"dropout_policy\": \"" << policy << "\",\n"
+      << "  \"bgw_threshold\": 1, \"dp_delta\": 1e-5,\n"
+      << "  \"receive_timeout_seconds\": 1.0,\n"
+      << "  \"max_reconnect_attempts\": 2,\n"
+      << "  \"reconnect_backoff_seconds\": 0.05\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return in ? buffer.str() : std::string();
+}
+
+/// Runs the coordinator for `policy` with party 2 crashing at Mul level 1
+/// and returns party 0's report. Fails the test on any setup error.
+sqm::SqmReport RunCrashScenario(const std::string& policy) {
+  const std::string dir =
+      testing::TempDir() + "/deploy_" + policy + "_" +
+      std::to_string(::getpid());
+  EXPECT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  {
+    std::ofstream config(dir + "/deploy.json", std::ios::trunc);
+    config << DeployConfig(policy);
+    EXPECT_TRUE(config.good());
+  }
+
+  const std::string command = std::string(SQM_COORDINATOR_BIN) +
+                              " --config=" + dir + "/deploy.json" +
+                              " --out-dir=" + dir +
+                              " --crash-party=2 --crash-at-mul-level=1" +
+                              " --timeout-seconds=90 > " + dir +
+                              "/coordinator.log 2>&1";
+  const int rc = std::system(command.c_str());
+  EXPECT_TRUE(WIFEXITED(rc)) << "coordinator did not exit normally";
+  EXPECT_EQ(WEXITSTATUS(rc), 0)
+      << "coordinator failed; log:\n" << ReadFileOrEmpty(dir + "/coordinator.log");
+
+  const std::string report_json = ReadFileOrEmpty(dir + "/party_0.json");
+  EXPECT_FALSE(report_json.empty()) << "party 0 wrote no report";
+  sqm::Result<sqm::SqmReport> report = sqm::SqmReportFromJson(report_json);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? report.ValueOrDie() : sqm::SqmReport();
+}
+
+TEST(DeployResilience, KillMidMulUnderDegradeReaccountsEpsilon) {
+  const sqm::SqmReport report = RunCrashScenario("degrade");
+  const sqm::DropoutReport& dropout = report.dropout;
+
+  EXPECT_EQ(dropout.policy, sqm::DropoutPolicy::kDegrade);
+  EXPECT_EQ(dropout.num_parties, 5u);
+  EXPECT_EQ(dropout.num_dropped, 1u);
+  ASSERT_EQ(dropout.survivors.size(), 4u);
+  for (size_t survivor : dropout.survivors) {
+    EXPECT_NE(survivor, 2u) << "the killed party cannot be a survivor";
+  }
+
+  // Party 2's Skellam contribution died with it: mu drops from 4 to
+  // 4 * 4/5 = 3.2 and the honest epsilon at the weaker noise must be
+  // strictly worse (larger) but still finite — degraded, not destroyed.
+  EXPECT_DOUBLE_EQ(dropout.configured_mu, 4.0);
+  EXPECT_NEAR(dropout.realized_mu, 3.2, 1e-12);
+  EXPECT_DOUBLE_EQ(dropout.topup_mu, 0.0);
+  EXPECT_GT(dropout.realized_epsilon, dropout.configured_epsilon);
+  EXPECT_TRUE(std::isfinite(dropout.realized_epsilon));
+  EXPECT_GT(dropout.configured_epsilon, 0.0);
+}
+
+TEST(DeployResilience, KillMidMulUnderTopupRestoresConfiguredMu) {
+  const sqm::SqmReport report = RunCrashScenario("topup");
+  const sqm::DropoutReport& dropout = report.dropout;
+
+  EXPECT_EQ(dropout.policy, sqm::DropoutPolicy::kTopUp);
+  EXPECT_EQ(dropout.num_dropped, 1u);
+  // Each of the 4 survivors adds mu/n = 0.8 of fresh noise, restoring the
+  // provisioned total: 3.2 + 4 * 0.8 / 4 ... i.e. realized_mu == 4.
+  EXPECT_NEAR(dropout.topup_mu, 0.8, 1e-12);
+  EXPECT_NEAR(dropout.realized_mu, 4.0, 1e-12);
+  EXPECT_NEAR(dropout.realized_epsilon, dropout.configured_epsilon,
+              1e-9 * dropout.configured_epsilon);
+}
+
+#else  // !SQM_DEPLOY_TEST_SUPPORTED
+
+TEST(DeployResilience, SkippedWithoutForkExec) {
+  GTEST_SKIP() << "multi-process deployment tests need POSIX fork/exec";
+}
+
+#endif
+
+}  // namespace

@@ -1,0 +1,165 @@
+// The per-party execution path (PartyProtocol / PartyEngine / RunPartySqm)
+// must be a bit-exact mirror of the driver path (BgwProtocol / BgwEngine /
+// SqmEvaluator): same seed, same config, same released values — down to
+// the last bit — even though one runs n processes over TCP and the other
+// runs single-threaded over the lockstep transport. These tests run the
+// per-party side as three threads with real loopback sockets in one
+// process, which keeps the suite hermetic while exercising the identical
+// code the sqm-party daemon runs.
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/party_sqm.h"
+#include "core/sqm.h"
+#include "net/tcp/party_config.h"
+#include "net/tcp/socket.h"
+#include "net/tcp/tcp_transport.h"
+#include "poly/parser.h"
+
+namespace {
+
+using sqm::net::ListenOn;
+using sqm::net::LocalPort;
+using sqm::net::Socket;
+using sqm::net::TcpSupported;
+
+sqm::DeploymentConfig BaseConfig(size_t n) {
+  sqm::DeploymentConfig config;
+  config.run_id = 17;
+  config.session_key = 0xc0ffee;
+  config.parties.assign(n, {"127.0.0.1", 0});
+  config.rows = 8;
+  config.cols = n;
+  config.data_seed = 7;
+  config.polynomial = "x0*x1; x1*x2";
+  config.gamma = 64;
+  config.seed = 42;
+  config.dp_delta = 1e-5;
+  config.receive_timeout_seconds = 1.0;
+  config.connect_timeout_seconds = 10.0;
+  return config;
+}
+
+/// Runs every party of `config` as a thread over a real loopback mesh and
+/// returns the n reports (all asserted ok).
+std::vector<sqm::SqmReport> RunNetworked(sqm::DeploymentConfig config) {
+  const size_t n = config.parties.size();
+  std::vector<Socket> listeners;
+  for (size_t i = 0; i < n; ++i) {
+    sqm::Result<Socket> listener = ListenOn("127.0.0.1", 0);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    sqm::Result<uint16_t> port = LocalPort(listener.ValueOrDie());
+    EXPECT_TRUE(port.ok()) << port.status().ToString();
+    config.parties[i].port = port.ValueOrDie();
+    listeners.push_back(std::move(listener.ValueOrDie()));
+  }
+
+  std::vector<sqm::SqmReport> reports(n);
+  std::vector<std::string> errors(n);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < n; ++i) {
+    const int fd = listeners[i].Release();
+    threads.emplace_back([&, i, fd] {
+      sqm::Result<std::unique_ptr<sqm::TcpTransport>> transport =
+          sqm::TcpTransport::Create(
+              sqm::TcpOptionsFromDeployment(config, i, fd));
+      if (!transport.ok()) {
+        errors[i] = "transport: " + transport.status().ToString();
+        return;
+      }
+      sqm::Result<sqm::SqmReport> report =
+          sqm::RunPartySqm(config, i, transport.ValueOrDie().get());
+      transport.ValueOrDie()->Shutdown();
+      if (!report.ok()) {
+        errors[i] = report.status().ToString();
+        return;
+      }
+      reports[i] = report.ValueOrDie();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(errors[i].empty()) << "party " << i << ": " << errors[i];
+  }
+  return reports;
+}
+
+/// The driver-side reference for the same config.
+sqm::SqmReport RunLockstep(const sqm::DeploymentConfig& config) {
+  sqm::Result<sqm::SqmOptions> options =
+      sqm::SqmOptionsFromDeployment(config);
+  EXPECT_TRUE(options.ok()) << options.status().ToString();
+  const sqm::Matrix x = sqm::GenerateDeploymentMatrix(
+      config.rows, sqm::DeploymentCols(config), config.data_seed);
+  sqm::Result<sqm::PolynomialVector> f =
+      sqm::ParsePolynomialVector(config.polynomial);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  sqm::SqmEvaluator evaluator(options.ValueOrDie());
+  sqm::Result<sqm::SqmReport> report =
+      evaluator.Evaluate(f.ValueOrDie(), x);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? report.ValueOrDie() : sqm::SqmReport();
+}
+
+TEST(PartyProtocol, NoiselessTcpRunMatchesLockstepBitForBit) {
+  if (!TcpSupported()) GTEST_SKIP() << "no POSIX sockets on this platform";
+  const sqm::DeploymentConfig config = BaseConfig(3);
+  const std::vector<sqm::SqmReport> reports = RunNetworked(config);
+  ASSERT_EQ(reports.size(), 3u);
+  // Every party releases the same values...
+  for (size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].raw, reports[0].raw) << "party " << i << " differs";
+  }
+  // ...and they are the driver's values, bit for bit.
+  const sqm::SqmReport reference = RunLockstep(config);
+  ASSERT_FALSE(reference.raw.empty());
+  EXPECT_EQ(reports[0].raw, reference.raw);
+}
+
+TEST(PartyProtocol, NoisyQuantizedRunMatchesLockstepBitForBit) {
+  if (!TcpSupported()) GTEST_SKIP() << "no POSIX sockets on this platform";
+  sqm::DeploymentConfig config = BaseConfig(3);
+  config.run_id = 18;
+  config.mu = 4.0;
+  config.quantize_coefficients = true;
+  config.polynomial = "x0*x1 + x2; x2*x2";
+  const std::vector<sqm::SqmReport> reports = RunNetworked(config);
+  ASSERT_EQ(reports.size(), 3u);
+  for (size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].raw, reports[0].raw) << "party " << i << " differs";
+  }
+  const sqm::SqmReport reference = RunLockstep(config);
+  ASSERT_FALSE(reference.raw.empty());
+  EXPECT_EQ(reports[0].raw, reference.raw);
+  // The DP ledger is recomputed from public inputs on both sides; it must
+  // agree exactly as well.
+  EXPECT_EQ(reports[0].dropout.realized_mu, reference.dropout.realized_mu);
+  EXPECT_EQ(reports[0].dropout.realized_epsilon,
+            reference.dropout.realized_epsilon);
+}
+
+TEST(PartyProtocol, FourPartiesWithThresholdOne) {
+  if (!TcpSupported()) GTEST_SKIP() << "no POSIX sockets on this platform";
+  sqm::DeploymentConfig config = BaseConfig(4);
+  config.run_id = 19;
+  config.bgw_threshold = 1;
+  config.mu = 2.0;
+  config.dropout_policy = "degrade";
+  config.polynomial = "x0*x1; x2*x3";
+  const std::vector<sqm::SqmReport> reports = RunNetworked(config);
+  ASSERT_EQ(reports.size(), 4u);
+  for (size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].raw, reports[0].raw) << "party " << i << " differs";
+  }
+  const sqm::SqmReport reference = RunLockstep(config);
+  EXPECT_EQ(reports[0].raw, reference.raw);
+  // Nothing dropped: full noise, full quorum.
+  EXPECT_EQ(reports[0].dropout.num_dropped, 0u);
+}
+
+}  // namespace

@@ -287,6 +287,76 @@ struct S {
   EXPECT_EQ(Active(findings, "mutex-annotation"), 0);
 }
 
+// -------------------------------------------------------------- socket-discipline
+
+constexpr char kRawConnect[] = R"cpp(
+void f(int fd, const sockaddr* addr, unsigned len) {
+  if (::connect(fd, addr, len) != 0) return;
+}
+)cpp";
+
+TEST(SocketDiscipline, FiresOnRawCallOutsideSocketModule) {
+  const auto findings = Lint("src/net/tcp/tcp_transport.cc", kRawConnect);
+  EXPECT_EQ(Active(findings, "socket-discipline"), 1);
+}
+
+TEST(SocketDiscipline, SocketModuleIsAllowlisted) {
+  const auto findings = Lint("src/net/tcp/socket.cc", kRawConnect);
+  EXPECT_EQ(Active(findings, "socket-discipline"), 0);
+}
+
+TEST(SocketDiscipline, SuppressionSilences) {
+  const auto findings = Lint("src/net/tcp/tcp_transport.cc", R"cpp(
+void f(int fd, const sockaddr* addr, unsigned len) {
+  // sqmlint:allow(socket-discipline)
+  if (::connect(fd, addr, len) != 0) return;
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "socket-discipline"), 0);
+  EXPECT_EQ(Count(findings, "socket-discipline", true), 1);
+}
+
+TEST(SocketDiscipline, UnqualifiedCallAlsoFires) {
+  const auto findings = Lint("src/core/x.cc", R"cpp(
+void f(int fd) {
+  listen(fd, 64);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "socket-discipline"), 1);
+}
+
+TEST(SocketDiscipline, MemberAndNamespacedCallsAreClean) {
+  // x.send() is a method, std::bind is the functional utility — neither
+  // is a socket syscall.
+  const auto findings = Lint("src/core/x.cc", R"cpp(
+void f(Channel& x, Fn g) {
+  x.send(1);
+  auto h = std::bind(g, 2);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "socket-discipline"), 0);
+}
+
+TEST(SocketDiscipline, DiscardedResultInsideSocketModule) {
+  const auto findings = Lint("src/net/tcp/socket.cc", R"cpp(
+void f(int fd) {
+  ::shutdown(fd, 2);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "socket-discipline"), 1);
+}
+
+TEST(SocketDiscipline, CheckedAndVoidCastInsideSocketModule) {
+  const auto findings = Lint("src/net/tcp/socket.cc", R"cpp(
+void f(int fd) {
+  const int rc = ::shutdown(fd, 2);
+  (void)::shutdown(fd, rc);
+  if (::listen(fd, 64) != 0) return;
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "socket-discipline"), 0);
+}
+
 // ------------------------------------------------------------- suppression rules
 
 TEST(Suppression, BareDirectiveIsItselfAFinding) {

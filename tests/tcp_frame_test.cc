@@ -1,0 +1,142 @@
+// Wire framing for the TCP transport: length-prefixed frames with a
+// SipHash-2-4 MAC under the shared session key. The MAC is the only
+// authentication on the link (pre-TLS posture, docs/DEPLOYMENT.md), so
+// these tests pin down that every forgery vector — wrong key, flipped
+// bit, patched version, truncation, hostile length field — is rejected
+// before any payload byte is trusted.
+
+#include "net/tcp/frame.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using sqm::net::DecodeFrame;
+using sqm::net::EncodeFrame;
+using sqm::net::Frame;
+using sqm::net::FrameType;
+using sqm::net::SipHash24;
+
+constexpr uint64_t kKey = 0x5eed5e551044u;
+
+Frame SampleFrame() {
+  Frame frame;
+  frame.type = FrameType::kData;
+  frame.from = 3;
+  frame.to = 1;
+  frame.seq = 42;
+  frame.run_id = 88;
+  frame.phase = "mul";
+  frame.payload = {0, 1, uint64_t{1} << 60, 0x1fffffffffffffffull};
+  return frame;
+}
+
+/// EncodeFrame output starts with the u32 length prefix; DecodeFrame
+/// takes the body after it.
+const uint8_t* Body(const std::vector<uint8_t>& wire) {
+  return wire.data() + 4;
+}
+size_t BodyLen(const std::vector<uint8_t>& wire) { return wire.size() - 4; }
+
+TEST(TcpFrame, EncodeDecodeRoundTrip) {
+  const Frame frame = SampleFrame();
+  const std::vector<uint8_t> wire = EncodeFrame(frame, kKey);
+  ASSERT_GT(wire.size(), 4u);
+
+  // The length prefix counts exactly the bytes that follow it.
+  uint32_t prefix = 0;
+  std::memcpy(&prefix, wire.data(), 4);
+  EXPECT_EQ(prefix, BodyLen(wire));
+
+  sqm::Result<Frame> decoded = DecodeFrame(Body(wire), BodyLen(wire), kKey);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const Frame& got = decoded.ValueOrDie();
+  EXPECT_EQ(got.type, frame.type);
+  EXPECT_EQ(got.from, frame.from);
+  EXPECT_EQ(got.to, frame.to);
+  EXPECT_EQ(got.seq, frame.seq);
+  EXPECT_EQ(got.run_id, frame.run_id);
+  EXPECT_EQ(got.phase, frame.phase);
+  EXPECT_EQ(got.payload, frame.payload);
+}
+
+TEST(TcpFrame, EmptyPayloadAndPhaseRoundTrip) {
+  Frame frame;
+  frame.type = FrameType::kBye;
+  const std::vector<uint8_t> wire = EncodeFrame(frame, kKey);
+  sqm::Result<Frame> decoded = DecodeFrame(Body(wire), BodyLen(wire), kKey);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().type, FrameType::kBye);
+  EXPECT_TRUE(decoded.ValueOrDie().payload.empty());
+  EXPECT_TRUE(decoded.ValueOrDie().phase.empty());
+}
+
+TEST(TcpFrame, WrongSessionKeyFailsMac) {
+  const std::vector<uint8_t> wire = EncodeFrame(SampleFrame(), kKey);
+  sqm::Result<Frame> decoded =
+      DecodeFrame(Body(wire), BodyLen(wire), kKey + 1);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), sqm::StatusCode::kIntegrityViolation);
+}
+
+TEST(TcpFrame, AnySingleBitFlipIsRejected) {
+  const std::vector<uint8_t> wire = EncodeFrame(SampleFrame(), kKey);
+  // Walk a sample of byte positions across header, phase, payload, MAC.
+  for (size_t pos = 4; pos < wire.size(); pos += 5) {
+    std::vector<uint8_t> tampered = wire;
+    tampered[pos] ^= 0x40;
+    sqm::Result<Frame> decoded =
+        DecodeFrame(Body(tampered), BodyLen(tampered), kKey);
+    EXPECT_FALSE(decoded.ok()) << "bit flip at byte " << pos << " accepted";
+  }
+}
+
+TEST(TcpFrame, VersionMismatchRejected) {
+  std::vector<uint8_t> wire = EncodeFrame(SampleFrame(), kKey);
+  // Body layout starts with the u16 wire version, little-endian.
+  wire[4] ^= 0xff;
+  sqm::Result<Frame> decoded = DecodeFrame(Body(wire), BodyLen(wire), kKey);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), sqm::StatusCode::kIntegrityViolation);
+}
+
+TEST(TcpFrame, TruncationRejectedAtEveryLength) {
+  const std::vector<uint8_t> wire = EncodeFrame(SampleFrame(), kKey);
+  for (size_t len = 0; len < BodyLen(wire); ++len) {
+    sqm::Result<Frame> decoded = DecodeFrame(Body(wire), len, kKey);
+    EXPECT_FALSE(decoded.ok()) << "truncated body of " << len
+                               << " bytes accepted";
+  }
+}
+
+TEST(TcpFrame, HostilePayloadCountCannotDriveAllocation) {
+  std::vector<uint8_t> wire = EncodeFrame(SampleFrame(), kKey);
+  // The u32 payload count sits right before the payload words and the
+  // trailing 8-byte MAC: offset = len - mac - 4 * u64 payload - 4.
+  const size_t count_off = wire.size() - 8 - 4 * 8 - 4;
+  const uint32_t huge = 0xffffffffu;
+  std::memcpy(wire.data() + count_off, &huge, 4);
+  sqm::Result<Frame> decoded = DecodeFrame(Body(wire), BodyLen(wire), kKey);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), sqm::StatusCode::kIntegrityViolation);
+}
+
+TEST(TcpFrame, SipHashIsDeterministicAndKeySeparated) {
+  const uint8_t data[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const uint64_t a = SipHash24(1, 2, data, sizeof(data));
+  EXPECT_EQ(a, SipHash24(1, 2, data, sizeof(data)));
+  EXPECT_NE(a, SipHash24(2, 1, data, sizeof(data)));
+  EXPECT_NE(a, SipHash24(1, 2, data, sizeof(data) - 1));
+}
+
+TEST(TcpFrame, MaxEncodedFrameBytesBoundsRealEncodings) {
+  const Frame frame = SampleFrame();
+  const std::vector<uint8_t> wire = EncodeFrame(frame, kKey);
+  EXPECT_LE(wire.size(),
+            sqm::net::MaxEncodedFrameBytes(frame.payload.size()));
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// TcpTransport over real loopback sockets, three transports in one
+// process (the same adoption path the coordinator uses: pre-bound port-0
+// listeners handed over by fd, so no test run can lose a bind race).
+// Verifies the Transport seam contract — delivery, ordering, self-sends,
+// the counting convention, Reset drain — plus the TCP-only surface:
+// graceful goodbye vs. timeout, and PeerDead.
+
+#include "net/tcp/tcp_transport.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/tcp/socket.h"
+
+namespace {
+
+using sqm::net::ListenOn;
+using sqm::net::LocalPort;
+using sqm::net::Socket;
+using sqm::net::TcpSupported;
+using sqm::TcpPeer;
+using sqm::TcpTransport;
+using sqm::TcpTransportOptions;
+using Payload = sqm::Transport::Payload;
+
+/// Builds an n-party localhost mesh. Listeners are pre-bound on port 0
+/// and adopted via listen_fd; Create blocks until the mesh is up, so the
+/// n transports must be created concurrently.
+std::vector<std::unique_ptr<TcpTransport>> MakeMesh(
+    size_t n, double receive_timeout_seconds) {
+  std::vector<Socket> listeners;
+  std::vector<TcpPeer> roster(n);
+  for (size_t i = 0; i < n; ++i) {
+    sqm::Result<Socket> listener = ListenOn("127.0.0.1", 0);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    sqm::Result<uint16_t> port = LocalPort(listener.ValueOrDie());
+    EXPECT_TRUE(port.ok()) << port.status().ToString();
+    roster[i] = {"127.0.0.1", port.ValueOrDie()};
+    listeners.push_back(std::move(listener.ValueOrDie()));
+  }
+
+  std::vector<std::unique_ptr<TcpTransport>> transports(n);
+  std::vector<std::string> errors(n);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < n; ++i) {
+    TcpTransportOptions options;
+    options.local_party = i;
+    options.peers = roster;
+    options.session_key = 0xfeedfacecafeull;
+    options.run_id = 9;
+    options.receive_timeout_seconds = receive_timeout_seconds;
+    options.connect_timeout_seconds = 10.0;
+    options.max_reconnect_attempts = 2;
+    options.reconnect_backoff_seconds = 0.05;
+    options.listen_fd = listeners[i].Release();
+    threads.emplace_back([&transports, &errors, options, i] {
+      sqm::Result<std::unique_ptr<TcpTransport>> transport =
+          TcpTransport::Create(options);
+      if (transport.ok()) {
+        transports[i] = std::move(transport.ValueOrDie());
+      } else {
+        errors[i] = transport.status().ToString();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NE(transports[i], nullptr)
+        << "party " << i << " mesh setup failed: " << errors[i];
+  }
+  return transports;
+}
+
+class TcpTransportTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    if (!TcpSupported()) GTEST_SKIP() << "no POSIX sockets on this platform";
+    mesh_ = MakeMesh(3, /*receive_timeout_seconds=*/0.3);
+    for (const auto& transport : mesh_) {
+      ASSERT_NE(transport, nullptr);
+    }
+  }
+
+  void TearDown() override {
+    for (const auto& transport : mesh_) {
+      if (transport) transport->Shutdown();
+    }
+  }
+
+  std::vector<std::unique_ptr<TcpTransport>> mesh_;
+};
+
+TEST_F(TcpTransportTest, DeliversAcrossSocketsInOrder) {
+  mesh_[0]->Send(0, 1, {1, 2, 3});
+  mesh_[0]->Send(0, 1, {4});
+  sqm::Result<Payload> first = mesh_[1]->Receive(0, 1);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.ValueOrDie(), Payload({1, 2, 3}));
+  sqm::Result<Payload> second = mesh_[1]->Receive(0, 1);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second.ValueOrDie(), Payload({4}));
+}
+
+TEST_F(TcpTransportTest, SelfSendBypassesTheWire) {
+  mesh_[2]->Send(2, 2, {7, 8});
+  ASSERT_TRUE(mesh_[2]->HasPending(2, 2));
+  sqm::Result<Payload> got = mesh_[2]->Receive(2, 2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.ValueOrDie(), Payload({7, 8}));
+  // Counting convention: self-sends appear in no statistic.
+  EXPECT_EQ(mesh_[2]->stats().messages, 0u);
+  EXPECT_EQ(mesh_[2]->stats().wire_bytes, 0u);
+}
+
+TEST_F(TcpTransportTest, SendsCountAtTheSenderReceivesNever) {
+  mesh_[0]->Send(0, 1, {1, 2, 3});
+  mesh_[0]->Send(0, 2, {4, 5});
+  sqm::Result<Payload> got = mesh_[1]->Receive(0, 1);
+  ASSERT_TRUE(got.ok());
+
+  const sqm::NetworkStats sender = mesh_[0]->stats();
+  EXPECT_EQ(sender.messages, 2u);
+  EXPECT_EQ(sender.field_elements, 5u);
+  EXPECT_EQ(sender.wire_bytes, 5u * mesh_[0]->element_wire_bytes());
+  // The receiving side records nothing for deliveries.
+  EXPECT_EQ(mesh_[1]->stats().messages, 0u);
+  EXPECT_EQ(mesh_[2]->stats().messages, 0u);
+}
+
+TEST_F(TcpTransportTest, ReceiveTimesOutWhenNothingArrives) {
+  sqm::Result<Payload> got = mesh_[0]->Receive(1, 0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), sqm::StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(TcpTransportTest, ResetDrainsPendingAndZeroesCounters) {
+  mesh_[0]->Send(0, 1, {1});
+  mesh_[0]->Send(0, 1, {2});
+  // Wait until both frames are actually in party 1's inbox.
+  while (!mesh_[1]->HasPending(0, 1)) {
+    std::this_thread::yield();
+  }
+  sqm::Result<Payload> got = mesh_[1]->Receive(0, 1);
+  ASSERT_TRUE(got.ok());
+  while (!mesh_[1]->HasPending(0, 1)) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(mesh_[1]->Reset(), 1u);
+  EXPECT_FALSE(mesh_[1]->HasPending(0, 1));
+  EXPECT_EQ(mesh_[0]->Reset(), 0u);
+  EXPECT_EQ(mesh_[0]->stats().messages, 0u);
+}
+
+TEST_F(TcpTransportTest, GracefulGoodbyeMarksPeerDeparted) {
+  mesh_[2]->Shutdown();
+  // After the goodbye frame lands, receives from party 2 fail
+  // kUnavailable (positively dead) rather than kDeadlineExceeded
+  // (might still arrive), and PeerDead turns true.
+  sqm::Result<Payload> got = mesh_[0]->Receive(2, 0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), sqm::StatusCode::kUnavailable);
+  EXPECT_TRUE(mesh_[0]->PeerDead(2));
+  // Party 1 learns the same way once it looks at the link.
+  sqm::Result<Payload> other = mesh_[1]->Receive(2, 1);
+  ASSERT_FALSE(other.ok());
+  EXPECT_EQ(other.status().code(), sqm::StatusCode::kUnavailable);
+  EXPECT_TRUE(mesh_[1]->PeerDead(2));
+
+  // The surviving pair keeps working.
+  mesh_[0]->Send(0, 1, {11});
+  sqm::Result<Payload> alive = mesh_[1]->Receive(0, 1);
+  ASSERT_TRUE(alive.ok());
+  EXPECT_EQ(alive.ValueOrDie(), Payload({11}));
+}
+
+TEST_F(TcpTransportTest, MessagesSentBeforeGoodbyeStillDeliver) {
+  mesh_[2]->Send(2, 0, {31, 32});
+  mesh_[2]->Shutdown();
+  sqm::Result<Payload> got = mesh_[0]->Receive(2, 0);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.ValueOrDie(), Payload({31, 32}));
+}
+
+TEST(TcpTransportMesh, FivePartyMeshComesUp) {
+  if (!TcpSupported()) GTEST_SKIP() << "no POSIX sockets on this platform";
+  auto mesh = MakeMesh(5, 0.3);
+  for (const auto& transport : mesh) ASSERT_NE(transport, nullptr);
+  // Every ordered pair exchanges one message.
+  for (size_t from = 0; from < 5; ++from) {
+    for (size_t to = 0; to < 5; ++to) {
+      mesh[from]->Send(from, to, {from * 10 + to});
+    }
+  }
+  for (size_t from = 0; from < 5; ++from) {
+    for (size_t to = 0; to < 5; ++to) {
+      sqm::Result<Payload> got = mesh[to]->Receive(from, to);
+      ASSERT_TRUE(got.ok()) << "(" << from << "->" << to << "): "
+                            << got.status().ToString();
+      EXPECT_EQ(got.ValueOrDie(), Payload({from * 10 + to}));
+    }
+  }
+  for (const auto& transport : mesh) transport->Shutdown();
+}
+
+}  // namespace

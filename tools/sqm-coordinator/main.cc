@@ -1,0 +1,462 @@
+// sqm-coordinator: launches an N-process SQM run from one deployment
+// config and collects the results.
+//
+//   sqm-coordinator --config=deploy.json --out-dir=/tmp/run
+//       [--compare-lockstep] [--crash-party=N --crash-at-mul-level=L]
+//       [--party-bin=PATH] [--timeout-seconds=S]
+//
+// The coordinator pre-binds every roster port (resolving port 0 to an
+// ephemeral port), writes the resolved config, forks one sqm-party process
+// per roster entry (handing each its own pre-bound listener via
+// --listen-fd so no party can lose a bind race), waits for them with a
+// watchdog, then:
+//   - checks that every surviving party released bit-identical raw values,
+//   - merges the per-party trace files into one Perfetto-loadable
+//     timeline (<out-dir>/merged_trace.json),
+//   - optionally (--compare-lockstep) replays the same config in-process
+//     on the deterministic lockstep transport and requires the networked
+//     release to match it bit for bit,
+//   - writes a run summary (<out-dir>/coordinator.json).
+//
+// Exit 0 iff every party that was expected to survive exited cleanly and
+// all bit-exactness checks passed. See docs/DEPLOYMENT.md.
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SQM_COORDINATOR_SUPPORTED 1
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define SQM_COORDINATOR_SUPPORTED 0
+#endif
+
+#include <chrono>
+#include <thread>
+
+#include "core/json.h"
+#include "core/party_sqm.h"
+#include "core/report_io.h"
+#include "core/sqm.h"
+#include "core/status.h"
+#include "net/tcp/party_config.h"
+#include "net/tcp/socket.h"
+#include "obs/trace.h"
+#include "poly/parser.h"
+
+#ifndef SQM_PARTY_BIN
+#define SQM_PARTY_BIN "sqm-party"
+#endif
+
+namespace {
+
+struct Args {
+  std::string config_path;
+  std::string out_dir = ".";
+  std::string party_bin = SQM_PARTY_BIN;
+  bool compare_lockstep = false;
+  long crash_party = -1;
+  long crash_at_mul_level = -1;
+  double timeout_seconds = 120.0;
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseLongFlag(const std::string& arg, const std::string& name,
+                   long* out) {
+  std::string text;
+  if (!ParseFlag(arg, name, &text)) return false;
+  *out = std::stol(text);
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --config=FILE [--out-dir=DIR] [--compare-lockstep]"
+               " [--crash-party=N --crash-at-mul-level=L]"
+               " [--party-bin=PATH] [--timeout-seconds=S]\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+#if SQM_COORDINATOR_SUPPORTED
+
+namespace {
+
+struct PartyOutcome {
+  pid_t pid = -1;
+  bool exited = false;     ///< waitpid reaped it before the watchdog fired.
+  int exit_code = -1;      ///< Valid when exited normally.
+  int term_signal = 0;     ///< Non-zero when killed by a signal.
+  bool report_loaded = false;
+  sqm::SqmReport report;
+};
+
+/// Reaps every child, SIGKILLing stragglers once `deadline` passes — a
+/// deployment whose dropout handling works never gets that far; the
+/// watchdog turns a regression back into a test failure instead of a hang.
+void AwaitChildren(std::vector<PartyOutcome>& outcomes,
+                   std::chrono::steady_clock::time_point deadline) {
+  size_t remaining = 0;
+  for (const PartyOutcome& outcome : outcomes) {
+    if (outcome.pid > 0) ++remaining;
+  }
+  bool killed = false;
+  while (remaining > 0) {
+    bool reaped_one = false;
+    for (PartyOutcome& outcome : outcomes) {
+      if (outcome.pid <= 0 || outcome.exited) continue;
+      int status = 0;
+      const pid_t rc = ::waitpid(outcome.pid, &status, WNOHANG);
+      if (rc == outcome.pid) {
+        outcome.exited = true;
+        if (WIFEXITED(status)) outcome.exit_code = WEXITSTATUS(status);
+        if (WIFSIGNALED(status)) outcome.term_signal = WTERMSIG(status);
+        --remaining;
+        reaped_one = true;
+      }
+    }
+    if (remaining == 0) break;
+    if (!reaped_one) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        if (!killed) {
+          killed = true;
+          for (const PartyOutcome& outcome : outcomes) {
+            if (outcome.pid > 0 && !outcome.exited) {
+              std::cerr << "watchdog: killing hung party pid "
+                        << outcome.pid << "\n";
+              ::kill(outcome.pid, SIGKILL);
+            }
+          }
+        }
+        // After SIGKILL the next waitpid pass reaps them; keep looping.
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string timeout_text;
+    if (ParseFlag(arg, "config", &args.config_path) ||
+        ParseFlag(arg, "out-dir", &args.out_dir) ||
+        ParseFlag(arg, "party-bin", &args.party_bin) ||
+        ParseLongFlag(arg, "crash-party", &args.crash_party) ||
+        ParseLongFlag(arg, "crash-at-mul-level",
+                      &args.crash_at_mul_level)) {
+      continue;
+    }
+    if (arg == "--compare-lockstep") {
+      args.compare_lockstep = true;
+      continue;
+    }
+    if (ParseFlag(arg, "timeout-seconds", &timeout_text)) {
+      args.timeout_seconds = std::stod(timeout_text);
+      continue;
+    }
+    std::cerr << "unknown flag: " << arg << "\n";
+    return Usage(argv[0]);
+  }
+  if (args.config_path.empty()) return Usage(argv[0]);
+
+  std::string config_text;
+  if (!ReadFile(args.config_path, &config_text)) {
+    std::cerr << "cannot read config " << args.config_path << "\n";
+    return 1;
+  }
+  sqm::Result<sqm::DeploymentConfig> parsed =
+      sqm::ParseDeploymentConfig(config_text);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  sqm::DeploymentConfig config = std::move(parsed).ValueOrDie();
+  const size_t n = config.parties.size();
+
+  // Pre-bind every listener so (a) port 0 resolves before the roster is
+  // distributed and (b) no party can fail a bind race against a stale
+  // process. All listeners are close-on-exec; each child re-enables
+  // inheritance for its OWN listener only, so no party holds a sibling's
+  // port open after that sibling dies.
+  std::vector<sqm::net::Socket> listeners;
+  listeners.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    sqm::Result<sqm::net::Socket> listener =
+        sqm::net::ListenOn(config.parties[j].host, config.parties[j].port);
+    if (!listener.ok()) {
+      std::cerr << "cannot bind party " << j << " listener: "
+                << listener.status().ToString() << "\n";
+      return 1;
+    }
+    sqm::Result<uint16_t> port =
+        sqm::net::LocalPort(listener.ValueOrDie());
+    if (!port.ok()) {
+      std::cerr << port.status().ToString() << "\n";
+      return 1;
+    }
+    config.parties[j].port = port.ValueOrDie();
+    const sqm::Status cloexec =
+        sqm::net::SetCloseOnExec(listener.ValueOrDie(), true);
+    if (!cloexec.ok()) {
+      std::cerr << cloexec.ToString() << "\n";
+      return 1;
+    }
+    listeners.push_back(std::move(listener).ValueOrDie());
+  }
+
+  const std::string resolved_path = args.out_dir + "/deploy_resolved.json";
+  if (!WriteFile(resolved_path, sqm::DeploymentConfigToJson(config))) {
+    std::cerr << "cannot write " << resolved_path
+              << " (does --out-dir exist?)\n";
+    return 1;
+  }
+
+  // Launch the parties.
+  std::vector<PartyOutcome> outcomes(n);
+  std::vector<std::string> report_paths(n);
+  std::vector<std::string> trace_paths(n);
+  for (size_t j = 0; j < n; ++j) {
+    report_paths[j] =
+        args.out_dir + "/party_" + std::to_string(j) + ".json";
+    trace_paths[j] =
+        args.out_dir + "/party_" + std::to_string(j) + ".trace.json";
+    std::vector<std::string> child_args = {
+        args.party_bin,
+        "--config=" + resolved_path,
+        "--party=" + std::to_string(j),
+        "--listen-fd=" + std::to_string(listeners[j].fd()),
+        "--report=" + report_paths[j],
+        "--trace=" + trace_paths[j],
+    };
+    if (args.crash_party == static_cast<long>(j) &&
+        args.crash_at_mul_level >= 0) {
+      child_args.push_back("--crash-at-mul-level=" +
+                           std::to_string(args.crash_at_mul_level));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::cerr << "fork failed: " << std::strerror(errno) << "\n";
+      return 1;
+    }
+    if (pid == 0) {
+      // Child: hand over only our own listener, then become sqm-party.
+      const sqm::Status status =
+          sqm::net::SetCloseOnExec(listeners[j], false);
+      if (!status.ok()) _exit(127);
+      std::vector<char*> argv_raw;
+      argv_raw.reserve(child_args.size() + 1);
+      for (std::string& child_arg : child_args) {
+        argv_raw.push_back(child_arg.data());
+      }
+      argv_raw.push_back(nullptr);
+      ::execv(args.party_bin.c_str(), argv_raw.data());
+      // Only reached when execv failed.
+      _exit(127);
+    }
+    outcomes[j].pid = pid;
+  }
+  // Parent: release every listener — the children own them now.
+  listeners.clear();
+
+  AwaitChildren(outcomes,
+                std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            args.timeout_seconds)));
+
+  // Collect reports from the parties that produced one.
+  bool ok = true;
+  size_t canonical = n;
+  for (size_t j = 0; j < n; ++j) {
+    std::string report_text;
+    if (outcomes[j].exit_code == 0 &&
+        ReadFile(report_paths[j], &report_text)) {
+      sqm::Result<sqm::SqmReport> report =
+          sqm::SqmReportFromJson(report_text);
+      if (report.ok()) {
+        outcomes[j].report_loaded = true;
+        outcomes[j].report = std::move(report).ValueOrDie();
+        if (canonical == n) canonical = j;
+      } else {
+        std::cerr << "party " << j << " report unreadable: "
+                  << report.status().ToString() << "\n";
+        ok = false;
+      }
+    }
+    const bool expected_crash = args.crash_party == static_cast<long>(j);
+    if (!expected_crash && outcomes[j].exit_code != 0) {
+      std::cerr << "party " << j << " failed: exit="
+                << outcomes[j].exit_code
+                << " signal=" << outcomes[j].term_signal << "\n";
+      ok = false;
+    }
+  }
+  if (canonical == n) {
+    std::cerr << "no party produced a readable report\n";
+    ok = false;
+  }
+
+  // Every surviving party must have released the SAME values — the MPC
+  // opens to all parties, so a mismatch means a protocol bug.
+  bool parties_agree = true;
+  if (canonical < n) {
+    for (size_t j = 0; j < n; ++j) {
+      if (!outcomes[j].report_loaded || j == canonical) continue;
+      if (outcomes[j].report.raw != outcomes[canonical].report.raw) {
+        std::cerr << "party " << j << " released different raw values than "
+                  << "party " << canonical << "\n";
+        parties_agree = false;
+        ok = false;
+      }
+    }
+  }
+
+  // Merge whatever traces the parties wrote into one timeline.
+  std::vector<std::pair<std::string, std::string>> traces;
+  for (size_t j = 0; j < n; ++j) {
+    std::string trace_text;
+    if (ReadFile(trace_paths[j], &trace_text)) {
+      traces.emplace_back("party " + std::to_string(j),
+                          std::move(trace_text));
+    }
+  }
+  if (!traces.empty()) {
+    sqm::Result<std::string> merged = sqm::obs::MergeChromeTraces(traces);
+    if (merged.ok()) {
+      WriteFile(args.out_dir + "/merged_trace.json", merged.ValueOrDie());
+    } else {
+      std::cerr << "trace merge failed: " << merged.status().ToString()
+                << "\n";
+    }
+  }
+
+  // Reference run: the same deployment on the in-process lockstep
+  // transport must release bit-identical raw values.
+  bool lockstep_match = true;
+  if (args.compare_lockstep && canonical < n) {
+    sqm::Result<sqm::SqmOptions> options =
+        sqm::SqmOptionsFromDeployment(config);
+    if (!options.ok()) {
+      std::cerr << options.status().ToString() << "\n";
+      ok = false;
+    } else {
+      const size_t cols = sqm::DeploymentCols(config);
+      const sqm::Matrix x = sqm::GenerateDeploymentMatrix(
+          config.rows, cols, config.data_seed);
+      sqm::Result<sqm::PolynomialVector> f =
+          sqm::ParsePolynomialVector(config.polynomial);
+      if (!f.ok()) {
+        std::cerr << f.status().ToString() << "\n";
+        ok = false;
+      } else {
+        sqm::SqmEvaluator evaluator(options.ValueOrDie());
+        sqm::Result<sqm::SqmReport> reference =
+            evaluator.Evaluate(f.ValueOrDie(), x);
+        if (!reference.ok()) {
+          std::cerr << "lockstep reference run failed: "
+                    << reference.status().ToString() << "\n";
+          ok = false;
+        } else if (reference.ValueOrDie().raw !=
+                   outcomes[canonical].report.raw) {
+          std::cerr << "networked release differs from the lockstep "
+                       "reference (bit-exactness violated)\n";
+          lockstep_match = false;
+          ok = false;
+        } else {
+          std::cout << "lockstep comparison: bit-identical ("
+                    << outcomes[canonical].report.raw.size()
+                    << " outputs)\n";
+        }
+      }
+    }
+  }
+
+  // Run summary.
+  sqm::JsonWriter summary;
+  summary.BeginObject();
+  summary.Field("parties", static_cast<uint64_t>(n));
+  summary.Field("ok", ok);
+  summary.Field("parties_agree", parties_agree);
+  summary.Field("lockstep_compared", args.compare_lockstep);
+  summary.Field("lockstep_match", lockstep_match);
+  summary.BeginArray("party_outcomes");
+  for (size_t j = 0; j < n; ++j) {
+    summary.BeginObject();
+    summary.Field("party", static_cast<uint64_t>(j));
+    summary.Field("exit_code", static_cast<int64_t>(outcomes[j].exit_code));
+    summary.Field("term_signal",
+                  static_cast<int64_t>(outcomes[j].term_signal));
+    summary.Field("report_loaded", outcomes[j].report_loaded);
+    summary.EndObject();
+  }
+  summary.EndArray();
+  std::string canonical_text;
+  if (canonical < n && ReadFile(report_paths[canonical], &canonical_text)) {
+    // Re-embed the canonical party's report verbatim so the summary alone
+    // carries the release, dropout accounting and privacy ledger. The
+    // report is already a JSON object, so it splices as the value.
+    summary.Key("canonical_report");
+    std::string doc = summary.str();
+    doc += canonical_text;
+    doc += "}";
+    WriteFile(args.out_dir + "/coordinator.json", doc);
+  } else {
+    summary.EndObject();
+    WriteFile(args.out_dir + "/coordinator.json", summary.str());
+  }
+
+  if (canonical < n) {
+    const sqm::DropoutReport& dropout = outcomes[canonical].report.dropout;
+    std::cout << "run " << (ok ? "OK" : "FAILED") << ": " << n
+              << " parties, " << dropout.num_dropped << " dropped, policy "
+              << sqm::DropoutPolicyToString(dropout.policy)
+              << ", realized_mu " << dropout.realized_mu
+              << ", realized_epsilon " << dropout.realized_epsilon << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+#else  // !SQM_COORDINATOR_SUPPORTED
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  std::cerr << "sqm-coordinator requires POSIX fork/exec\n";
+  return 2;
+}
+
+#endif  // SQM_COORDINATOR_SUPPORTED

@@ -1,0 +1,159 @@
+// sqm-party: one party of a networked SQM deployment.
+//
+// Runs party --party of the deployment described by --config: connects the
+// TCP mesh, executes this party's side of the full mechanism (quantize own
+// columns, sample own noise, BGW over TCP), and writes this party's
+// SqmReport as JSON. Every party of a run — and the coordinator's
+// in-process comparison — releases bit-identical values.
+//
+//   sqm-party --config=deploy.json --party=2
+//       [--listen-fd=7] [--report=party2.json] [--trace=party2.trace.json]
+//       [--crash-at-mul-level=L]
+//
+// --listen-fd adopts a pre-bound listening socket (the coordinator binds
+// every roster port before forking so no party can lose a bind race).
+// --crash-at-mul-level raises SIGKILL when multiplication level L begins —
+// a deterministic stand-in for `kill -9` mid-protocol, used by the
+// resilience tests. See docs/DEPLOYMENT.md.
+
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/party_sqm.h"
+#include "core/report_io.h"
+#include "core/status.h"
+#include "net/tcp/party_config.h"
+#include "net/tcp/tcp_transport.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace {
+
+struct Args {
+  std::string config_path;
+  long party = -1;
+  int listen_fd = -1;
+  std::string report_path;
+  std::string trace_path;
+  long crash_at_mul_level = -1;
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseLongFlag(const std::string& arg, const std::string& name,
+                   long* out) {
+  std::string text;
+  if (!ParseFlag(arg, name, &text)) return false;
+  *out = std::stol(text);
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --config=FILE --party=N [--listen-fd=FD] [--report=FILE]"
+               " [--trace=FILE] [--crash-at-mul-level=L]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long fd = -1;
+    if (ParseFlag(arg, "config", &args.config_path) ||
+        ParseLongFlag(arg, "party", &args.party) ||
+        ParseFlag(arg, "report", &args.report_path) ||
+        ParseFlag(arg, "trace", &args.trace_path) ||
+        ParseLongFlag(arg, "crash-at-mul-level",
+                      &args.crash_at_mul_level)) {
+      continue;
+    }
+    if (ParseLongFlag(arg, "listen-fd", &fd)) {
+      args.listen_fd = static_cast<int>(fd);
+      continue;
+    }
+    std::cerr << "unknown flag: " << arg << "\n";
+    return Usage(argv[0]);
+  }
+  if (args.config_path.empty() || args.party < 0) return Usage(argv[0]);
+
+  std::ifstream config_file(args.config_path);
+  if (!config_file) {
+    std::cerr << "cannot read config " << args.config_path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << config_file.rdbuf();
+
+  sqm::Result<sqm::DeploymentConfig> config =
+      sqm::ParseDeploymentConfig(buffer.str());
+  if (!config.ok()) {
+    std::cerr << config.status().ToString() << "\n";
+    return 1;
+  }
+  const size_t me = static_cast<size_t>(args.party);
+
+  sqm::Result<std::unique_ptr<sqm::net::TcpTransport>> transport =
+      sqm::net::TcpTransport::Create(sqm::TcpOptionsFromDeployment(
+          config.ValueOrDie(), me, args.listen_fd));
+  if (!transport.ok()) {
+    std::cerr << "party " << me
+              << ": transport setup failed: " << transport.status().ToString()
+              << "\n";
+    return 1;
+  }
+
+  sqm::PartySqmHooks hooks;
+  if (args.crash_at_mul_level >= 0) {
+    const size_t crash_level = static_cast<size_t>(args.crash_at_mul_level);
+    hooks.mul_level_hook = [crash_level](size_t level) {
+      if (level == crash_level) {
+        // The resilience tests' deterministic `kill -9`: die mid-protocol
+        // with sub-shares half-sent, no goodbye frame, no cleanup.
+        std::raise(SIGKILL);
+      }
+    };
+  }
+
+  sqm::Result<sqm::SqmReport> report = sqm::RunPartySqm(
+      config.ValueOrDie(), me, transport.ValueOrDie().get(), hooks);
+  transport.ValueOrDie()->Shutdown();
+
+  if (!args.trace_path.empty() && sqm::obs::Enabled()) {
+    if (!sqm::obs::Tracer::Global().WriteChromeTraceFile(args.trace_path)) {
+      std::cerr << "party " << me << ": cannot write trace "
+                << args.trace_path << "\n";
+    }
+  }
+  if (!report.ok()) {
+    std::cerr << "party " << me << ": " << report.status().ToString()
+              << "\n";
+    return 1;
+  }
+
+  const std::string json = sqm::SqmReportToJson(report.ValueOrDie());
+  if (args.report_path.empty()) {
+    std::cout << json << "\n";
+  } else {
+    std::ofstream out(args.report_path, std::ios::trunc);
+    out << json;
+    if (!out) {
+      std::cerr << "party " << me << ": cannot write report "
+                << args.report_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

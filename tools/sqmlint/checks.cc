@@ -431,6 +431,75 @@ void CheckMutexAnnotation(const Project& /*project*/, const SourceFile& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// socket-discipline: src/net/tcp/socket.{h,cc} is the single module allowed
+// to issue raw socket syscalls — every other file must go through its
+// Status-returning wrappers (TcpTransport never touches an fd directly).
+// Inside the wrapper module the errno-returning calls must not be used as
+// bare discarded statements: a swallowed setsockopt/shutdown error becomes
+// a hung party instead of a diagnosable Status. `close` is exempt — the
+// destructor's best-effort close has no caller to report to.
+// ---------------------------------------------------------------------------
+void CheckSocketDiscipline(const Project& /*project*/, const SourceFile& file,
+                           std::vector<Finding>* findings) {
+  static const std::set<std::string> kSocketCalls = {
+      "socket",     "connect",    "accept",      "accept4",     "bind",
+      "listen",     "send",       "sendto",      "sendmsg",     "recv",
+      "recvfrom",   "recvmsg",    "setsockopt",  "getsockopt",  "getsockname",
+      "getpeername", "shutdown",  "poll",        "select",      "fcntl"};
+
+  const bool in_socket_module = PathInModule(file.path, "src/net/tcp/socket.");
+  const Tokens& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i]) || kSocketCalls.count(toks[i].text) == 0) continue;
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) continue;
+    const std::string& name = toks[i].text;
+
+    // Qualification: `x.send(...)` / `p->poll(...)` are member calls and
+    // `std::bind(...)` is a namespaced non-syscall — neither is a raw
+    // socket call. A bare global `::send(...)` is exactly the raw form.
+    const bool member = i > 0 && (IsPunct(toks[i - 1], ".") ||
+                                  IsPunct(toks[i - 1], "->"));
+    const bool scoped = i > 0 && IsPunct(toks[i - 1], "::");
+    const bool namespaced = scoped && i >= 2 && IsIdent(toks[i - 2]);
+    if (member || namespaced) continue;
+
+    if (!in_socket_module) {
+      Report(findings, "socket-discipline", file, toks[i].line,
+             "raw socket call '" + name +
+                 "' outside src/net/tcp/socket.{h,cc}; go through the "
+                 "Status-returning wrappers there — they own errno "
+                 "translation, deadlines and fd lifetime");
+      continue;
+    }
+
+    // Inside the wrapper module: the call's int/ssize_t result must be
+    // consumed. Bare `::shutdown(fd, ...);` as a statement discards the
+    // error. Mirrors the unchecked-status statement-start logic.
+    const size_t start = scoped ? i - 1 : i;
+    bool starts = start == 0;
+    if (start > 0) {
+      const Token& prev = toks[start - 1];
+      starts = IsPunct(prev, ";") || IsPunct(prev, "{") ||
+               IsPunct(prev, "}") || IsPunct(prev, ")") ||
+               (IsIdent(prev) && (prev.text == "else" || prev.text == "do"));
+      // `(void)::send(...);` is an explicit, intentional discard.
+      if (IsPunct(prev, ")") && start >= 3 && IsPunct(toks[start - 3], "(") &&
+          IsIdent(toks[start - 2]) && toks[start - 2].text == "void") {
+        starts = false;
+      }
+    }
+    if (!starts) continue;
+    const size_t after = SkipParens(toks, i + 1);
+    if (after >= toks.size() || !IsPunct(toks[after], ";")) continue;
+    Report(findings, "socket-discipline", file, toks[i].line,
+           "result of '" + name +
+               "' is discarded; socket syscalls report failure through "
+               "their return value — check it or make the discard "
+               "explicit with (void)");
+  }
+}
+
 }  // namespace
 
 const std::vector<Check>& AllChecks() {
@@ -451,6 +520,10 @@ const std::vector<Check>& AllChecks() {
       {"mutex-annotation",
        "raw std sync or unannotated Mutex state in src/net/ + src/obs/",
        CheckMutexAnnotation},
+      {"socket-discipline",
+       "raw socket syscalls outside src/net/tcp/socket.*, or their results "
+       "discarded inside it",
+       CheckSocketDiscipline},
   };
   return kChecks;
 }
