@@ -22,4 +22,13 @@ cmake --build "$build_dir" -j"$(nproc)"
 "$build_dir"/bench/table2_transport_modes --scale=small \
     --json="$build_dir/BENCH_transport_modes.json"
 
+# Recovery gate under ThreadSanitizer: the deploy + chaos suites exercise
+# SIGKILL, reconnect and resume-barrier paths where a data race would be
+# silent corruption in the release build. A separate build tree keeps the
+# instrumented objects out of the primary build.
+tsan_dir="$build_dir-tsan"
+cmake -B "$tsan_dir" -S "$repo_root" -DSQM_SANITIZE=thread
+cmake --build "$tsan_dir" -j"$(nproc)"
+(cd "$tsan_dir" && ctest -L 'deploy|chaos' --output-on-failure)
+
 echo "check.sh: all gates passed"

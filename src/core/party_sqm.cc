@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "core/sensitivity.h"
 #include "dp/accountant.h"
 #include "dp/skellam.h"
+#include "mpc/checkpoint_store.h"
 #include "mpc/circuit.h"
 #include "mpc/field.h"
 #include "mpc/network.h"
@@ -30,6 +32,36 @@ double SecondsSince(const std::chrono::steady_clock::time_point& start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+/// Identity of the computation a durable checkpoint belongs to: every
+/// config field that determines the circuit structure, the synthetic
+/// inputs, or the RNG streams. A checkpoint whose fingerprint mismatches
+/// is from a different deployment and must not be resumed.
+uint64_t ConfigFingerprint(const DeploymentConfig& config) {
+  uint64_t h = 0x53514d434b505431ULL;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  const auto mix_double = [&mix](double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  mix(config.run_id);
+  mix(config.seed);
+  mix(config.data_seed);
+  mix(config.rows);
+  mix(config.cols);
+  mix(config.parties.size());
+  mix(config.bgw_threshold);
+  mix_double(config.gamma);
+  mix_double(config.mu);
+  mix(config.quantize_coefficients ? 1 : 0);
+  for (const char c : config.polynomial) {
+    mix(static_cast<uint8_t>(c));
+  }
+  return h;
 }
 
 }  // namespace
@@ -288,14 +320,89 @@ Result<SqmReport> RunPartySqm(const DeploymentConfig& config, size_t me,
   LivenessTracker tracker(num_clients);
   if (policy != DropoutPolicy::kAbort) engine.set_liveness(&tracker);
 
+  // Supervised recovery: durable checkpoints at every phase boundary plus
+  // resume barriers on failure, so a kill -9'd party can be respawned by
+  // the coordinator and rejoin with full quorum (docs/DEPLOYMENT.md
+  // "Recovery & supervision"). Needs a non-abort policy: abort runs have
+  // no liveness tracker to arbitrate a barrier.
+  const bool recovery_enabled = !hooks.checkpoint_dir.empty() &&
+                                config.recovery_deadline_seconds > 0.0 &&
+                                policy != DropoutPolicy::kAbort;
+  const uint64_t fingerprint = ConfigFingerprint(config);
+  const CheckpointStore store(hooks.checkpoint_dir);
+  PartyCheckpoint checkpoint;
+  if (recovery_enabled) {
+    engine.protocol().set_recovery_mode(true);
+    engine.set_checkpoint_sink([&](const PartyCheckpoint& ckpt) {
+      DurableCheckpoint snap;
+      snap.run_id = config.run_id;
+      snap.party = static_cast<uint32_t>(me);
+      snap.incarnation = hooks.incarnation;
+      snap.fingerprint = fingerprint;
+      snap.valid = ckpt.valid;
+      snap.next_level = ckpt.next_level;
+      snap.mul_rounds_done = ckpt.mul_rounds_done;
+      snap.wire_shares = ckpt.wire_shares;
+      engine.protocol().SaveRngState(snap.rng_state);
+      const Status saved = store.Save(snap);
+      if (!saved.ok()) {
+        // A failed save degrades a future restart to a full redo; this
+        // run continues unharmed.
+        SQM_LOG(kWarning) << "party " << me
+                          << ": durable checkpoint save failed: " << saved;
+      }
+    });
+    if (hooks.incarnation > 0) {
+      // Restarted process: restore the pre-crash wire shares and RNG
+      // cursor, so redone levels deal bit-identical randomness.
+      Result<DurableCheckpoint> loaded = store.Load();
+      if (loaded.ok() && loaded.ValueOrDie().run_id == config.run_id &&
+          loaded.ValueOrDie().party == me &&
+          loaded.ValueOrDie().fingerprint == fingerprint &&
+          loaded.ValueOrDie().valid &&
+          loaded.ValueOrDie().wire_shares.size() == circuit.gates().size()) {
+        DurableCheckpoint& snap = loaded.ValueOrDie();
+        checkpoint.valid = true;
+        checkpoint.next_level = static_cast<size_t>(snap.next_level);
+        checkpoint.mul_rounds_done =
+            static_cast<size_t>(snap.mul_rounds_done);
+        checkpoint.wire_shares = std::move(snap.wire_shares);
+        engine.protocol().RestoreRngState(snap.rng_state);
+      } else {
+        SQM_LOG(kWarning)
+            << "party " << me << ": no usable durable checkpoint ("
+            << (loaded.ok() ? Status::OK() : loaded.status())
+            << "); announcing a full redo at the resume barrier";
+      }
+    }
+  }
+
   const auto compute_start = std::chrono::steady_clock::now();
+
+  // Meets every peer at the resume barrier and redoes from the minimum
+  // announced level: 0 = someone lost its input phase, full redo.
+  const auto reconcile = [&]() -> Status {
+    const uint64_t my_encoded =
+        checkpoint.valid ? static_cast<uint64_t>(checkpoint.next_level) + 1
+                         : 0;
+    SQM_ASSIGN_OR_RETURN(const uint64_t min_encoded,
+                         engine.protocol().ResumeBarrier(
+                             config.recovery_deadline_seconds, my_encoded));
+    if (min_encoded == 0) {
+      checkpoint = PartyCheckpoint{};
+    } else {
+      // min includes our own announcement, so min - 1 <= next_level.
+      checkpoint.next_level = static_cast<size_t>(min_encoded - 1);
+    }
+    return Status::OK();
+  };
 
   // Checkpoint retry loop, mirroring the driver. Under TCP's crash-stop
   // failure model a failed level usually means a permanent quorum
-  // shortfall (links die, they do not flake), so retries are rare — the
-  // loop exists for schedule parity and for transports with transient
-  // faults.
-  PartyCheckpoint checkpoint;
+  // shortfall (links die, they do not flake), so without recovery retries
+  // are rare — the loop exists for schedule parity and for transports
+  // with transient faults. With recovery enabled, a failed level is the
+  // NORMAL rendezvous with a restarted peer.
   PartyCheckpoint* checkpoint_ptr =
       policy != DropoutPolicy::kAbort ? &checkpoint : nullptr;
   const size_t max_attempts =
@@ -303,32 +410,31 @@ Result<SqmReport> RunPartySqm(const DeploymentConfig& config, size_t me,
           ? std::max<size_t>(config.mpc_max_attempts, 1)
           : 1;
   PartyProtocol::Shares out_shares;
+  std::vector<int64_t> raw;
+  double topup_mu = 0.0;
   size_t attempts = 0;
   size_t resumed_from_level = 0;
-  while (true) {
-    ++attempts;
-    Result<PartyProtocol::Shares> shares =
-        engine.EvaluateToShares(circuit, my_inputs, checkpoint_ptr);
-    if (shares.ok()) {
-      out_shares = std::move(shares).ValueOrDie();
-      break;
-    }
-    const bool retryable = policy != DropoutPolicy::kAbort &&
-                           checkpoint.valid && attempts < max_attempts &&
-                           tracker.num_alive() >= quorum;
-    if (!retryable) return shares.status();
-    resumed_from_level = checkpoint.next_level;
+  if (recovery_enabled && hooks.incarnation > 0) {
+    // The peers of this killed-and-respawned party are already waiting at
+    // their barriers; answer before the first attempt.
+    SQM_RETURN_NOT_OK(reconcile());
+    resumed_from_level = checkpoint.valid ? checkpoint.next_level : 0;
   }
 
   // kTopUp: replay the driver's survivor-ordered top-up split sequence;
   // this party samples only its own compensating share. Survivor sets
   // agree across parties under the crash-stop model (a dead TCP link is
-  // kUnavailable for every peer).
-  double topup_mu = 0.0;
-  const size_t num_dropped =
-      policy != DropoutPolicy::kAbort ? tracker.num_dead() : 0;
-  if (policy == DropoutPolicy::kTopUp && config.mu > 0.0 &&
-      num_dropped > 0) {
+  // kUnavailable for every peer). Deterministic seeds, so re-running it
+  // on a fresh out_shares after a recovery retry adds the same values.
+  const auto run_topup = [&](PartyProtocol::Shares* shares_io,
+                             double* mu_out) -> Status {
+    *mu_out = 0.0;
+    const size_t num_dropped =
+        policy != DropoutPolicy::kAbort ? tracker.num_dead() : 0;
+    if (policy != DropoutPolicy::kTopUp || config.mu <= 0.0 ||
+        num_dropped == 0) {
+      return Status::OK();
+    }
     const std::vector<size_t> survivors = tracker.Survivors();
     const double per_survivor_mu =
         config.mu * static_cast<double>(num_dropped) /
@@ -345,14 +451,58 @@ Result<SqmReport> RunPartySqm(const DeploymentConfig& config, size_t me,
       SQM_ASSIGN_OR_RETURN(
           const PartyProtocol::Shares extra_shares,
           engine.protocol().ShareFromParty(j, encoded, d, "topup"));
-      SQM_ASSIGN_OR_RETURN(out_shares,
-                           engine.protocol().Add(out_shares, extra_shares));
-      topup_mu += per_survivor_mu;
+      SQM_ASSIGN_OR_RETURN(*shares_io,
+                           engine.protocol().Add(*shares_io, extra_shares));
+      *mu_out += per_survivor_mu;
     }
-  }
+    return Status::OK();
+  };
 
-  SQM_ASSIGN_OR_RETURN(std::vector<int64_t> raw,
-                       engine.OpenOutputs(out_shares));
+  // The retry loop covers evaluate AND the output opening. The opening is
+  // the protocol's last exchange: under recovery its full-quorum failure
+  // (a laggard peer still at its resume barrier) must route back through
+  // reconcile() like any failed level, or the laggard would be stranded
+  // with nobody answering its barrier. Each retry recomputes out_shares
+  // from the (possibly rewound) checkpoint, so nothing is double-added.
+  while (true) {
+    ++attempts;
+    Status failure = Status::OK();
+    Result<PartyProtocol::Shares> shares =
+        engine.EvaluateToShares(circuit, my_inputs, checkpoint_ptr);
+    if (!shares.ok()) {
+      failure = shares.status();
+    } else {
+      out_shares = std::move(shares).ValueOrDie();
+      const Status topup_status = run_topup(&out_shares, &topup_mu);
+      if (!topup_status.ok()) {
+        // Without recovery this keeps the pre-recovery contract: a topup
+        // or open failure is terminal, never retried.
+        if (!recovery_enabled) return topup_status;
+        failure = topup_status;
+      } else {
+        Result<std::vector<int64_t>> opened = engine.OpenOutputs(out_shares);
+        if (opened.ok()) {
+          raw = std::move(opened).ValueOrDie();
+          break;
+        }
+        if (!recovery_enabled) return opened.status();
+        failure = opened.status();
+      }
+    }
+    SQM_LOG(kInfo) << "party " << me << " attempt " << attempts
+                   << " failed: " << failure;
+    bool retryable =
+        policy != DropoutPolicy::kAbort && attempts < max_attempts;
+    if (retryable && recovery_enabled) {
+      // The barrier may revive a restarted party or declare a vanished
+      // one positively dead, so the quorum check comes after it.
+      SQM_RETURN_NOT_OK(reconcile());
+    }
+    retryable = retryable && (checkpoint.valid || recovery_enabled) &&
+                tracker.num_alive() >= quorum;
+    if (!retryable) return failure;
+    resumed_from_level = checkpoint.valid ? checkpoint.next_level : 0;
+  }
   const double compute_seconds = SecondsSince(compute_start);
   const size_t num_dropped_final =
       policy != DropoutPolicy::kAbort ? tracker.num_dead() : 0;

@@ -34,6 +34,20 @@ struct PartySqmHooks {
   /// Forwarded to PartyEngine::set_mul_level_hook; the sqm-party daemon's
   /// --crash-at-mul-level uses it to raise SIGKILL mid-protocol.
   std::function<void(size_t)> mul_level_hook;
+
+  /// When non-empty AND config.recovery_deadline_seconds > 0 AND the
+  /// dropout policy is not kAbort, durable checkpoints (wire shares + RNG
+  /// cursor, see mpc/checkpoint_store.h) are written to this directory at
+  /// every phase boundary, and the protocol runs in recovery mode: failed
+  /// levels resynchronize at a resume barrier instead of degrading
+  /// immediately, so a supervised restart can rejoin.
+  std::string checkpoint_dir;
+
+  /// This process's restart generation (0 = first spawn). > 0 makes
+  /// RunPartySqm load the durable checkpoint and run a resume barrier
+  /// BEFORE the first evaluation attempt — the peers of a killed party
+  /// are already waiting at theirs.
+  uint32_t incarnation = 0;
 };
 
 /// Runs party `me`'s side of the full SQM mechanism (Algorithm 3) over

@@ -1,6 +1,7 @@
 #include "mpc/party_protocol.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
 #include "core/logging.h"
@@ -20,6 +21,12 @@ Rng DeriveMyStream(uint64_t seed, size_t me) {
   }
   return root.Split(me);
 }
+
+/// Resume-barrier marker words. Both exceed the field modulus 2^61 - 1, so
+/// no share or opening payload can contain them; census votes are size-1
+/// payloads and markers are size-3, so those cannot collide either.
+constexpr uint64_t kRecoveryMagic0 = 0x53514d5245434f56ULL;  // "SQMRECOV"
+constexpr uint64_t kRecoveryMagic1 = 0xfa11bacca5e00001ULL;
 
 }  // namespace
 
@@ -44,6 +51,35 @@ void PartyProtocol::EndRound() {
   } else {
     network_->EndRound();
   }
+}
+
+bool PartyProtocol::IsRecoveryMarker(const Transport::Payload& payload) {
+  return payload.size() == 3 && payload[0] == kRecoveryMagic0 &&
+         payload[1] == kRecoveryMagic1;
+}
+
+Result<Transport::Payload> PartyProtocol::RecvData(size_t from) {
+  for (;;) {
+    Result<Transport::Payload> received = network_->Receive(from, me_);
+    if (!received.ok()) return received;
+    if (recovery_mode_ && IsRecoveryMarker(received.ValueOrDie())) {
+      // A peer that left the resume barrier before us pushed one final
+      // marker round into this phase; it carries no protocol data.
+      continue;
+    }
+    return received;
+  }
+}
+
+void PartyProtocol::RecordRecvFailure(size_t party, StatusCode code) {
+  // Under recovery, declaring a party dead is the TRANSPORT's call alone:
+  // a receive timeout fails the level (the full-quorum census turns it
+  // into a resume barrier) but must not kill the peer — it may be seconds
+  // from a supervised rejoin, and the timeout-count heuristic would
+  // declare it dead before its reconnect + rejoin window is anywhere near
+  // spent. kUnavailable IS that window expiring, i.e. positive death.
+  if (recovery_mode_ && code != StatusCode::kUnavailable) return;
+  liveness_->RecordFailure(party, code);
 }
 
 Result<PartyProtocol::Shares> PartyProtocol::ShareFromParty(
@@ -75,10 +111,10 @@ Result<PartyProtocol::Shares> PartyProtocol::ShareFromParty(
   }
   EndRound();
 
-  Result<Transport::Payload> received = network_->Receive(dealer, me_);
+  Result<Transport::Payload> received = RecvData(dealer);
   if (!received.ok()) {
     if (liveness_ != nullptr) {
-      liveness_->RecordFailure(dealer, received.status().code());
+      RecordRecvFailure(dealer, received.status().code());
       return Status::Unavailable(
           "input sharing from party " + std::to_string(dealer) + " failed (" +
           received.status().message() +
@@ -87,6 +123,16 @@ Result<PartyProtocol::Shares> PartyProtocol::ShareFromParty(
     return received.status();
   }
   if (received.ValueOrDie().size() != count) {
+    if (recovery_mode_) {
+      // Lost-frame skew (see MulQuorum): fail the phase retryably so the
+      // resume barrier can flush and redo it, instead of treating the
+      // dealer's next frame as a forgery.
+      return Status::Unavailable(
+          "input dealing from party " + std::to_string(dealer) +
+          " skewed by a lost frame (" +
+          std::to_string(received.ValueOrDie().size()) + " elements, " +
+          "expected " + std::to_string(count) + "); retry via barrier");
+    }
     return Status::IntegrityViolation(
         "input dealing from party " + std::to_string(dealer) + " has " +
         std::to_string(received.ValueOrDie().size()) +
@@ -163,7 +209,7 @@ Result<PartyProtocol::Shares> PartyProtocol::Mul(const Shares& a,
   Shares out(k, 0);
   for (size_t j = 0; j < n; ++j) {
     SQM_ASSIGN_OR_RETURN(const std::vector<Field::Element> received,
-                         network_->Receive(j, me_));
+                         RecvData(j));
     if (received.size() != k) {
       return Status::IntegrityViolation(
           "Mul sub-share batch from dealer " + std::to_string(j) +
@@ -213,9 +259,9 @@ Result<PartyProtocol::Shares> PartyProtocol::MulQuorum(const Shares& a,
   std::vector<std::vector<Field::Element>> payloads(n);
   for (size_t j = 0; j < n; ++j) {
     if (PartyDead(j)) continue;
-    Result<Transport::Payload> received = network_->Receive(j, me_);
+    Result<Transport::Payload> received = RecvData(j);
     if (!received.ok()) {
-      liveness_->RecordFailure(j, received.status().code());
+      RecordRecvFailure(j, received.status().code());
       if (obs::Enabled()) {
         obs::TraceEvent event;
         event.name = "bgw.mul.dealer_failed";
@@ -227,6 +273,15 @@ Result<PartyProtocol::Shares> PartyProtocol::MulQuorum(const Shares& a,
       continue;
     }
     if (received.ValueOrDie().size() != k) {
+      if (recovery_mode_) {
+        // Not an attack: when chaos (or a crash) eats the dealer's batch
+        // and the link comes back, the dealer's NEXT frame — typically its
+        // census vote — arrives where the batch was expected. Consuming it
+        // keeps this channel aligned with the dealer's send stream, and
+        // leaving dealer j out of my_mask makes the census fail the level
+        // for everyone; the resume barrier then flushes both sides.
+        continue;
+      }
       return Status::IntegrityViolation(
           "quorum Mul sub-share batch from dealer " + std::to_string(j) +
           " to party " + std::to_string(me_) + " has " +
@@ -246,6 +301,7 @@ Result<PartyProtocol::Shares> PartyProtocol::MulQuorum(const Shares& a,
   // degree-t sharing. A voter that fails to deliver its mask is treated as
   // failed for this round and excluded from the electorate.
   uint64_t agreed = my_mask;
+  size_t voters = 0;
   {
     PhaseScope census_phase(network_, "census");
     for (size_t r = 0; r < n; ++r) {
@@ -255,18 +311,52 @@ Result<PartyProtocol::Shares> PartyProtocol::MulQuorum(const Shares& a,
     EndRound();
     for (size_t r = 0; r < n; ++r) {
       if (PartyDead(r)) continue;
-      Result<Transport::Payload> vote = network_->Receive(r, me_);
+      Result<Transport::Payload> vote = RecvData(r);
       if (!vote.ok()) {
-        liveness_->RecordFailure(r, vote.status().code());
+        RecordRecvFailure(r, vote.status().code());
         continue;
       }
       if (vote.ValueOrDie().size() != 1) {
+        if (recovery_mode_) {
+          // Mis-sized under recovery = the voter's stream lost a frame
+          // upstream (see the batch-collect case above); excluding the
+          // voter fails the full-quorum check below, which is the safe
+          // symmetric outcome.
+          continue;
+        }
         return Status::IntegrityViolation(
             "census vote from party " + std::to_string(r) + " has " +
             std::to_string(vote.ValueOrDie().size()) +
             " elements, expected 1");
       }
       agreed &= vote.ValueOrDie()[0];
+      ++voters;
+    }
+  }
+
+  if (recovery_mode_) {
+    // Full-quorum rule: every party not positively dead must have dealt to
+    // everyone (agreed covers it) AND voted. Anything less fails the level
+    // for EVERY party — the degraded-majority shortcut is forbidden, since
+    // it would let survivors recombine a level the restarted party never
+    // participated in and leave it permanently behind the resume barrier.
+    // A party the transport positively declared dead (kUnavailable, i.e.
+    // restarts exhausted) is excluded, which is exactly the escalation to
+    // the classic degrade path.
+    uint64_t full = 0;
+    size_t alive = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (!PartyDead(j)) {
+        full |= uint64_t{1} << j;
+        ++alive;
+      }
+    }
+    if (agreed != full || voters != alive) {
+      return Status::Unavailable(
+          "Mul full-quorum failure under recovery: census agreed 0x" +
+          std::to_string(agreed) + " of expected 0x" + std::to_string(full) +
+          ", " + std::to_string(voters) + "/" + std::to_string(alive) +
+          " alive parties voted; failing the level for a resume barrier");
     }
   }
 
@@ -315,7 +405,7 @@ Result<std::vector<Field::Element>> PartyProtocol::Open(const Shares& a) {
   if (liveness_ == nullptr) {
     std::vector<std::vector<Field::Element>> all(n);
     for (size_t j = 0; j < n; ++j) {
-      SQM_ASSIGN_OR_RETURN(all[j], network_->Receive(j, me_));
+      SQM_ASSIGN_OR_RETURN(all[j], RecvData(j));
       if (all[j].size() != a.size()) {
         return Status::IntegrityViolation(
             "opened broadcast from party " + std::to_string(j) + " has " +
@@ -339,17 +429,47 @@ Result<std::vector<Field::Element>> PartyProtocol::Open(const Shares& a) {
   std::vector<bool> have(n, false);
   std::vector<std::vector<Field::Element>> all(n);
   std::vector<size_t> survivors;
+  size_t expected = 0;
   for (size_t j = 0; j < n; ++j) {
     if (PartyDead(j)) continue;
-    Result<Transport::Payload> received = network_->Receive(j, me_);
+    ++expected;
+    Result<Transport::Payload> received = RecvData(j);
     if (!received.ok()) {
-      liveness_->RecordFailure(j, received.status().code());
+      RecordRecvFailure(j, received.status().code());
       continue;
+    }
+    if (received.ValueOrDie().size() != a.size()) {
+      if (recovery_mode_) {
+        // Same lost-frame skew as in MulQuorum: consume the stray frame
+        // to realign with party j's send stream and count j undelivered,
+        // which fails the full-quorum check below.
+        continue;
+      }
+      return Status::IntegrityViolation(
+          "opened broadcast from party " + std::to_string(j) + " has " +
+          std::to_string(received.ValueOrDie().size()) +
+          " elements, expected " + std::to_string(a.size()));
     }
     liveness_->RecordSuccess(j);
     have[j] = true;
     all[j] = std::move(received).ValueOrDie();
     survivors.push_back(j);
+  }
+  if (recovery_mode_ && survivors.size() != expected) {
+    // Full-quorum rule, Open edition. The output opening is the LAST
+    // exchange, so it is the one place a delivery asymmetry cannot
+    // self-heal through the next level's census: any t+1 shares open the
+    // same value, so parties that did receive enough would release and
+    // exit while a party missing one broadcast fails alone, with nobody
+    // left to answer its resume barrier. Failing the open for everyone
+    // whenever any non-dead party did not deliver keeps the level-failure
+    // decision symmetric (the laggard's own broadcast is late or its link
+    // is mid-reconnect in BOTH directions), so all parties converge on
+    // the barrier and re-open together.
+    return Status::Unavailable(
+        "open full-quorum failure under recovery: " +
+        std::to_string(survivors.size()) + "/" + std::to_string(expected) +
+        " non-dead parties delivered; failing for a resume barrier");
   }
   if (survivors.empty()) {
     return Status::Unavailable("open impossible: no broadcast delivered");
@@ -381,6 +501,116 @@ size_t PartyProtocol::DrainPending() {
     }
   }
   return drained;
+}
+
+Result<uint64_t> PartyProtocol::ResumeBarrier(double deadline_seconds,
+                                              uint64_t my_encoded_level) {
+  SQM_CHECK(liveness_ != nullptr);
+  const size_t n = num_parties();
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(deadline_seconds));
+  PhaseScope phase(network_, "recover");
+  obs::Span span("bgw.resume_barrier", "mpc", static_cast<int32_t>(me_));
+  span.AddArg("encoded_level", static_cast<int64_t>(my_encoded_level));
+
+  const Transport::Payload marker{kRecoveryMagic0, kRecoveryMagic1,
+                                  my_encoded_level};
+  std::vector<bool> resolved(n, false);
+  std::vector<bool> via_marker(n, false);
+  uint64_t min_level = my_encoded_level;
+  resolved[me_] = true;
+  // Flush the self channel. Wire channels are flushed below by discarding
+  // everything ahead of each peer's marker, but self-sends bypass the
+  // wire: a level aborted between its self-send and the matching receive
+  // (e.g. an integrity violation on an earlier dealer's batch) leaves the
+  // self inbox misaligned, and every later receive on it would be off by
+  // one frame. Between levels the self channel is empty by construction,
+  // so anything pending here is stale.
+  {
+    size_t self_stale = 0;
+    while (network_->HasPending(me_, me_)) {
+      if (!network_->Receive(me_, me_).ok()) break;
+      ++self_stale;
+    }
+    if (self_stale > 0) {
+      SQM_LOG(kInfo) << "party " << me_ << " resume barrier: discarded "
+                     << self_stale << " stale self-channel frame(s)";
+    }
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (j != me_ && PartyDead(j)) resolved[j] = true;  // Stays dead.
+  }
+
+  auto all_resolved = [&resolved] {
+    for (size_t j = 0; j < resolved.size(); ++j) {
+      if (!resolved[j]) return false;
+    }
+    return true;
+  };
+
+  // Resend/receive passes: each pass re-sends the marker to every
+  // unresolved peer — a send to a down link vanishes, and a restarted
+  // peer's link comes up at an unpredictable point inside the window, so
+  // one send is never enough — then waits up to one transport
+  // receive-timeout per unresolved peer. Stale pre-barrier payloads
+  // arrive ahead of a peer's marker (links are FIFO) and are discarded
+  // here, which is what flushes the in-flight state of the failed level.
+  // Deliberately no EndRound inside the loop: the barrier is a recovery
+  // exchange, not a protocol round, and passes are not synchronized
+  // across parties.
+  while (!all_resolved() && Clock::now() < deadline) {
+    for (size_t j = 0; j < n; ++j) {
+      if (!resolved[j]) network_->Send(me_, j, marker);
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (resolved[j]) continue;
+      Result<Transport::Payload> received = network_->Receive(j, me_);
+      if (!received.ok()) {
+        if (received.status().code() == StatusCode::kUnavailable) {
+          // Positively dead: reconnect + rejoin window exhausted, i.e.
+          // the supervisor's restarts for this peer are spent (or it was
+          // never supervised).
+          liveness_->MarkDead(j);
+          resolved[j] = true;
+        }
+        continue;  // Timeout: retry on the next pass.
+      }
+      const Transport::Payload& payload = received.ValueOrDie();
+      if (!IsRecoveryMarker(payload)) continue;  // Stale; discard.
+      resolved[j] = true;
+      via_marker[j] = true;
+      min_level = std::min(min_level, payload[2]);
+    }
+  }
+
+  size_t timed_out = 0;
+  for (size_t j = 0; j < n; ++j) {
+    if (!resolved[j]) {
+      liveness_->MarkDead(j);
+      ++timed_out;
+    }
+  }
+  // Marker-resolved peers proved themselves alive at this barrier. The
+  // levels from min_level on are redone by everyone, so reviving them
+  // cannot mix a pre-crash share of theirs into any quorum.
+  for (size_t j = 0; j < n; ++j) {
+    if (via_marker[j]) liveness_->Revive(j);
+  }
+  // One final marker round to the peers that answered: a peer whose link
+  // only just came up may have missed every earlier send (dropped on the
+  // down link) yet already delivered ITS marker to us — without this
+  // round it would sit at its own barrier until its deadline. Peers that
+  // already moved on discard the extra marker at their receive sites.
+  for (size_t j = 0; j < n; ++j) {
+    if (via_marker[j]) network_->Send(me_, j, marker);
+  }
+  SQM_LOG(kInfo) << "party " << me_ << " resume barrier done: min level code "
+                 << min_level << ", " << timed_out
+                 << " peer(s) timed out and declared dead, "
+                 << liveness_->num_alive() << "/" << n << " alive";
+  return min_level;
 }
 
 PartyEngine::PartyEngine(ShamirScheme scheme, Transport* network,
@@ -433,9 +663,13 @@ Result<PartyProtocol::Shares> PartyEngine::EvaluateToShares(
       }
     }
     ckpt->valid = true;
+    if (checkpoint_sink_) checkpoint_sink_(*ckpt);
   } else {
     SQM_CHECK(ckpt->wire_shares.size() == gates.size());
-    protocol_.DrainPending();
+    // In recovery mode the resume barrier already flushed the failed
+    // level's in-flight state, and a fast peer may ALREADY have dealt
+    // fresh sub-shares for the redo level — draining here would eat them.
+    if (!protocol_.recovery_mode()) protocol_.DrainPending();
   }
 
   std::vector<Field::Element>& shares = ckpt->wire_shares;
@@ -515,6 +749,7 @@ Result<PartyProtocol::Shares> PartyEngine::EvaluateToShares(
       }
     }
     ckpt->next_level = level + 1;
+    if (checkpoint_sink_) checkpoint_sink_(*ckpt);
   }
 
   PartyProtocol::Shares out(circuit.outputs().size());

@@ -104,8 +104,69 @@ class PartyProtocol {
   /// between a failed multiplication level and its checkpoint retry.
   size_t DrainPending();
 
+  /// Recovery mode changes two behaviors, both needed for supervised
+  /// restart+rejoin (see docs/DEPLOYMENT.md "Recovery & supervision"):
+  ///  - Full-quorum multiplications: MulQuorum fails the level unless the
+  ///    census agreed on EVERY non-dead party's dealing and every alive
+  ///    party voted, so all parties fail a level together and meet at the
+  ///    same resume barrier instead of partitioning into a degraded
+  ///    majority and an orphaned restartee.
+  ///  - Marker tolerance: every receive site discards late resume-barrier
+  ///    markers (a peer that finished its barrier first may send one final
+  ///    marker round into our next protocol phase).
+  /// Requires a LivenessTracker and an immediate-delivery transport (TCP
+  /// or threaded; the lockstep transport defers delivery to EndRound and
+  /// cannot run the barrier's resend loop).
+  void set_recovery_mode(bool on) { recovery_mode_ = on; }
+  bool recovery_mode() const { return recovery_mode_; }
+
+  /// Resynchronization point after a failed level or a supervised restart.
+  ///
+  /// Every participant announces the level it can resume from, encoded as
+  /// 0 = "no checkpoint, full redo" or next_level + 1 otherwise, and loops
+  /// {resend marker, try receive} per unresolved peer until each is either
+  /// marker-resolved (answered with its own marker) or positively dead
+  /// (transport kUnavailable), or `deadline_seconds` elapses — peers still
+  /// unresolved at the deadline are MarkDead. Marker-resolved peers are
+  /// Revive()d (the sanctioned resurrection: the minimum announced level
+  /// is redone by everyone, so no pre-crash share can reach a quorum).
+  ///
+  /// Returns the minimum encoded level across self and every
+  /// marker-resolved peer: 0 means redo from scratch (invalidate the
+  /// checkpoint), v > 0 means set next_level = v - 1 and redo from there.
+  /// Redoing a completed level is safe: mul wires are overwritten with
+  /// freshly dealt, census-consistent sub-shares, and non-mul gates are
+  /// pure functions of their inputs.
+  Result<uint64_t> ResumeBarrier(double deadline_seconds,
+                                 uint64_t my_encoded_level);
+
+  /// True when `payload` is a resume-barrier marker (size-3 payload whose
+  /// first two words are magic values above the field modulus, so no
+  /// share, census, or opening payload can collide with it).
+  static bool IsRecoveryMarker(const Transport::Payload& payload);
+
+  /// Snapshot / restore of this party's protocol RNG stream, so a durable
+  /// checkpoint can resume share dealing bit-identically: the restarted
+  /// process regenerates exactly the sub-share randomness the crashed one
+  /// would have drawn next.
+  void SaveRngState(uint64_t out[4]) const { my_rng_.SaveState(out); }
+  void RestoreRngState(const uint64_t state[4]) {
+    my_rng_ = Rng::FromState(state);
+  }
+
  private:
   Result<Shares> MulQuorum(const Shares& a, const Shares& b);
+
+  /// Receive that discards late resume-barrier markers in recovery mode.
+  /// ALL protocol receive sites must go through this: a peer that left the
+  /// barrier first may push one final marker round into our next phase.
+  Result<Transport::Payload> RecvData(size_t from);
+
+  /// Feeds a receive failure to the liveness tracker — except that in
+  /// recovery mode only the transport's positive kUnavailable counts as
+  /// death (timeouts fail the level but keep the peer revivable). Callers
+  /// must hold a non-null liveness_.
+  void RecordRecvFailure(size_t party, StatusCode code);
 
   void EndRound();
   bool PartyDead(size_t party) const {
@@ -119,6 +180,7 @@ class PartyProtocol {
   Rng my_rng_;
   std::vector<Field::Element> degree2t_lagrange_;
   RoundFn round_fn_;
+  bool recovery_mode_ = false;
 };
 
 /// Checkpoint of one per-party circuit evaluation: this party's wire shares
@@ -161,11 +223,21 @@ class PartyEngine {
     mul_level_hook_ = std::move(hook);
   }
 
+  /// Called with the in-memory checkpoint after the input phase completes
+  /// and again after every completed circuit level. The recovery layer
+  /// attaches a sink that persists a durable snapshot (wire shares + RNG
+  /// cursor) at each of these phase boundaries, so a kill -9 at any point
+  /// loses at most the level in flight.
+  void set_checkpoint_sink(std::function<void(const PartyCheckpoint&)> sink) {
+    checkpoint_sink_ = std::move(sink);
+  }
+
   PartyProtocol& protocol() { return protocol_; }
 
  private:
   PartyProtocol protocol_;
   std::function<void(size_t)> mul_level_hook_;
+  std::function<void(const PartyCheckpoint&)> checkpoint_sink_;
 };
 
 }  // namespace sqm

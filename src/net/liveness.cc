@@ -65,6 +65,12 @@ void LivenessTracker::MarkDead(size_t party) {
   states_[party].liveness = PartyLiveness::kDead;
 }
 
+void LivenessTracker::Revive(size_t party) {
+  SQM_CHECK(party < num_parties_);
+  MutexLock lock(mu_);
+  states_[party] = State{};
+}
+
 std::vector<size_t> LivenessTracker::Survivors() const {
   MutexLock lock(mu_);
   std::vector<size_t> out;

@@ -17,8 +17,12 @@ namespace sqm {
 ///   kSuspected --(successful receive)--> kAlive
 ///   any --(kUnavailable receive, i.e. the transport knows the peer
 ///          crashed)--> kDead
-/// kDead is absorbing: a party declared dead never rejoins the run (its
-/// sends are stale and its shares must not be mixed back into a quorum).
+/// kDead is absorbing for the protocol layers: a party declared dead never
+/// rejoins a round on its own (its sends are stale and its shares must not
+/// be mixed back into a quorum). The single sanctioned exception is the
+/// recovery layer's Revive(): after a supervised restart the party proved
+/// itself alive at a resume barrier, every level it was dead for is redone,
+/// so no stale share of its can reach a quorum.
 enum class PartyLiveness { kAlive, kSuspected, kDead };
 
 const char* PartyLivenessToString(PartyLiveness state);
@@ -64,6 +68,13 @@ class LivenessTracker {
 
   /// Administrative kill (e.g. a quorum decision taken elsewhere).
   void MarkDead(size_t party);
+
+  /// Administrative resurrection: returns `party` to kAlive with a clean
+  /// failure counter — even from kDead. ONLY the recovery layer may call
+  /// this, and only after the party answered a resume barrier under a new
+  /// incarnation (the failed level is then redone by everyone, so none of
+  /// the revived party's pre-crash shares can be recombined).
+  void Revive(size_t party);
 
   /// Indices of all non-dead parties, ascending. Suspected parties count
   /// as survivors: they may still deliver, and quorum math should not give

@@ -81,14 +81,16 @@ bool LockstepTransport::HasPending(size_t from, size_t to) const {
 
 size_t LockstepTransport::Reset() {
   size_t dropped = 0;
-  size_t channels = 0;
-  for (auto& queue : queues_) {
+  std::vector<ResetDrop> per_channel;
+  for (size_t index = 0; index < queues_.size(); ++index) {
+    auto& queue = queues_[index];
     if (queue.empty()) continue;
     dropped += queue.size();
-    ++channels;
+    per_channel.push_back(ResetDrop{index / num_parties(),
+                                    index % num_parties(), queue.size()});
     queue.clear();
   }
-  WarnDroppedOnReset("LockstepTransport", dropped, channels);
+  WarnDroppedOnReset("LockstepTransport", dropped, per_channel);
   ResetAccounting();
   return dropped;
 }

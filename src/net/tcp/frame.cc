@@ -135,8 +135,9 @@ void DeriveMacKey(uint64_t session_key, uint64_t* k0, uint64_t* k1) {
 }
 
 size_t MaxEncodedFrameBytes(size_t elements) {
-  // length prefix + fixed header + phase cap + payload + MAC.
-  return 4 + 2 + 1 + 1 + 4 + 4 + 8 + 8 + 2 + 256 + 4 + 8 * elements + 8;
+  // length prefix + fixed header (incl. incarnation) + phase cap + payload
+  // + MAC.
+  return 4 + 2 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 2 + 256 + 4 + 8 * elements + 8;
 }
 
 std::vector<uint8_t> EncodeFrame(const Frame& frame, uint64_t session_key) {
@@ -150,6 +151,7 @@ std::vector<uint8_t> EncodeFrame(const Frame& frame, uint64_t session_key) {
   out.push_back(0);  // flags
   PutU32(out, frame.from);
   PutU32(out, frame.to);
+  PutU32(out, frame.incarnation);
   PutU64(out, frame.seq);
   PutU64(out, frame.run_id);
   const size_t phase_len = frame.phase.size() > 255 ? 255 : frame.phase.size();
@@ -203,7 +205,8 @@ Result<Frame> DecodeFrame(const uint8_t* body, size_t len,
   uint16_t phase_len = 0;
   uint32_t count = 0;
   if (!r.U16(&version) || !r.U8(&type) || !r.U8(&flags) ||
-      !r.U32(&frame.from) || !r.U32(&frame.to) || !r.U64(&frame.seq) ||
+      !r.U32(&frame.from) || !r.U32(&frame.to) ||
+      !r.U32(&frame.incarnation) || !r.U64(&frame.seq) ||
       !r.U64(&frame.run_id) || !r.U16(&phase_len)) {
     return Status::IntegrityViolation("tcp frame header truncated");
   }

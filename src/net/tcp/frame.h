@@ -12,7 +12,8 @@ namespace sqm::net {
 /// Wire protocol version carried in every frame header. Receivers reject
 /// frames with a different version outright (kIntegrityViolation): a mixed
 /// deployment must be upgraded atomically, not limped through.
-inline constexpr uint16_t kTcpWireVersion = 1;
+/// Version 2 added the u32 incarnation field (party restart generation).
+inline constexpr uint16_t kTcpWireVersion = 2;
 
 /// Frame kinds exchanged on a TcpTransport link.
 enum class FrameType : uint8_t {
@@ -33,7 +34,7 @@ enum class FrameType : uint8_t {
 /// it is this struct. Layout, little-endian:
 ///
 ///   u16 version | u8 type | u8 flags | u32 from | u32 to |
-///   u64 seq | u64 run_id | u16 phase_len | phase bytes |
+///   u32 incarnation | u64 seq | u64 run_id | u16 phase_len | phase bytes |
 ///   u32 count | count * u64 payload | u64 mac
 ///
 /// The MAC is SipHash-2-4 keyed from the shared session key over every
@@ -46,6 +47,12 @@ struct Frame {
   FrameType type = FrameType::kData;
   uint32_t from = 0;
   uint32_t to = 0;
+  /// The sender's restart generation under this run_id: 0 for a party's
+  /// first process, +1 per supervisor respawn. Handshakes carry it so a
+  /// rejoining party resets its peers' replay state; data frames carry it
+  /// so a frame captured before a crash (old incarnation, old seq space)
+  /// can never be replayed into the new link.
+  uint32_t incarnation = 0;
   /// Per-(link, direction) send counter; receivers require it to be
   /// strictly increasing, which rejects replayed or re-ordered frames.
   uint64_t seq = 0;

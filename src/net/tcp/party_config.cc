@@ -130,6 +130,27 @@ Result<DeploymentConfig> ParseDeploymentConfig(const std::string& json) {
                              &config.max_reconnect_attempts));
   SQM_RETURN_NOT_OK(ReadDouble(root, "reconnect_backoff_seconds",
                                &config.reconnect_backoff_seconds));
+  SQM_RETURN_NOT_OK(ReadSize(root, "max_restarts", &config.max_restarts));
+  SQM_RETURN_NOT_OK(ReadDouble(root, "restart_backoff_seconds",
+                               &config.restart_backoff_seconds));
+  SQM_RETURN_NOT_OK(ReadDouble(root, "recovery_deadline_seconds",
+                               &config.recovery_deadline_seconds));
+  SQM_RETURN_NOT_OK(ReadUint(root, "chaos_seed", &config.chaos_seed));
+  SQM_RETURN_NOT_OK(ReadString(root, "chaos_phase", &config.chaos_phase));
+  SQM_RETURN_NOT_OK(
+      ReadSize(root, "chaos_max_events", &config.chaos_max_events));
+  SQM_RETURN_NOT_OK(ReadDouble(root, "chaos_reset_probability",
+                               &config.chaos_reset_probability));
+  SQM_RETURN_NOT_OK(ReadDouble(root, "chaos_partial_write_probability",
+                               &config.chaos_partial_write_probability));
+  SQM_RETURN_NOT_OK(ReadDouble(root, "chaos_stall_probability",
+                               &config.chaos_stall_probability));
+  SQM_RETURN_NOT_OK(
+      ReadDouble(root, "chaos_stall_seconds", &config.chaos_stall_seconds));
+  SQM_RETURN_NOT_OK(
+      ReadSize(root, "chaos_partition_peer", &config.chaos_partition_peer));
+  SQM_RETURN_NOT_OK(ReadSize(root, "chaos_partition_sends",
+                             &config.chaos_partition_sends));
 
   if (config.rows == 0) {
     return Status::InvalidArgument("deployment config: rows must be >= 1");
@@ -144,6 +165,32 @@ Result<DeploymentConfig> ParseDeploymentConfig(const std::string& json) {
     return Status::InvalidArgument(
         "deployment config: timeouts must be positive "
         "(backoff may be zero)");
+  }
+  if (config.max_restarts > 0 && config.recovery_deadline_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "deployment config: max_restarts > 0 requires "
+        "recovery_deadline_seconds > 0 (the resume-barrier budget every "
+        "party waits for a restarted peer; without it survivors would "
+        "degrade before the respawn can rejoin)");
+  }
+  if (config.restart_backoff_seconds < 0.0 ||
+      config.recovery_deadline_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "deployment config: restart_backoff_seconds and "
+        "recovery_deadline_seconds must be non-negative");
+  }
+  const double probs[] = {config.chaos_reset_probability,
+                          config.chaos_partial_write_probability,
+                          config.chaos_stall_probability};
+  for (double p : probs) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument(
+          "deployment config: chaos probabilities must be in [0, 1]");
+    }
+  }
+  if (config.chaos_stall_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "deployment config: chaos_stall_seconds must be non-negative");
   }
   return config;
 }
@@ -182,13 +229,30 @@ std::string DeploymentConfigToJson(const DeploymentConfig& config) {
   w.Field("max_reconnect_attempts",
           static_cast<uint64_t>(config.max_reconnect_attempts));
   w.Field("reconnect_backoff_seconds", config.reconnect_backoff_seconds);
+  w.Field("max_restarts", static_cast<uint64_t>(config.max_restarts));
+  w.Field("restart_backoff_seconds", config.restart_backoff_seconds);
+  w.Field("recovery_deadline_seconds", config.recovery_deadline_seconds);
+  w.Field("chaos_seed", config.chaos_seed);
+  w.Field("chaos_phase", config.chaos_phase);
+  w.Field("chaos_max_events",
+          static_cast<uint64_t>(config.chaos_max_events));
+  w.Field("chaos_reset_probability", config.chaos_reset_probability);
+  w.Field("chaos_partial_write_probability",
+          config.chaos_partial_write_probability);
+  w.Field("chaos_stall_probability", config.chaos_stall_probability);
+  w.Field("chaos_stall_seconds", config.chaos_stall_seconds);
+  w.Field("chaos_partition_peer",
+          static_cast<uint64_t>(config.chaos_partition_peer));
+  w.Field("chaos_partition_sends",
+          static_cast<uint64_t>(config.chaos_partition_sends));
   w.EndObject();
   return w.str();
 }
 
 TcpTransportOptions TcpOptionsFromDeployment(const DeploymentConfig& config,
                                              size_t local_party,
-                                             int listen_fd) {
+                                             int listen_fd,
+                                             uint32_t incarnation) {
   TcpTransportOptions options;
   options.local_party = local_party;
   options.peers = config.parties;
@@ -199,6 +263,28 @@ TcpTransportOptions TcpOptionsFromDeployment(const DeploymentConfig& config,
   options.max_reconnect_attempts = config.max_reconnect_attempts;
   options.reconnect_backoff_seconds = config.reconnect_backoff_seconds;
   options.listen_fd = listen_fd;
+  options.incarnation = incarnation;
+  options.jitter_seed = config.seed ^ config.run_id;
+  if (config.max_restarts > 0) {
+    // Per restart the supervisor sleeps its backoff, then the respawned
+    // process must load its checkpoint, rebind the listener, and complete
+    // the mesh handshakes; 2 s of slack per restart covers that startup
+    // on a loaded CI host. Every peer extends its reconnect window by
+    // this allowance so a legitimate rejoin never races the window.
+    options.rejoin_window_seconds =
+        static_cast<double>(config.max_restarts) *
+        (config.restart_backoff_seconds + 2.0);
+  }
+  options.chaos.seed = config.chaos_seed;
+  options.chaos.phase = config.chaos_phase;
+  options.chaos.max_events = config.chaos_max_events;
+  options.chaos.reset_probability = config.chaos_reset_probability;
+  options.chaos.partial_write_probability =
+      config.chaos_partial_write_probability;
+  options.chaos.stall_probability = config.chaos_stall_probability;
+  options.chaos.stall_seconds = config.chaos_stall_seconds;
+  options.chaos.partition_peer = config.chaos_partition_peer;
+  options.chaos.partition_sends = config.chaos_partition_sends;
   return options;
 }
 

@@ -60,6 +60,30 @@ struct DeploymentConfig {
   double connect_timeout_seconds = 10.0;
   size_t max_reconnect_attempts = 5;
   double reconnect_backoff_seconds = 0.05;
+
+  /// Supervised recovery (docs/DEPLOYMENT.md "Recovery & supervision").
+  /// max_restarts > 0 makes the coordinator respawn a dead party up to
+  /// that many times, pointing it at its durable checkpoint; it REQUIRES
+  /// recovery_deadline_seconds > 0, the per-incident budget every party
+  /// spends at the resume barrier waiting for the restartee to rejoin
+  /// before declaring it dead and falling back to the degrade path.
+  size_t max_restarts = 0;
+  /// Supervisor sleep before each respawn (crash storms damp out).
+  double restart_backoff_seconds = 0.25;
+  double recovery_deadline_seconds = 0.0;
+
+  /// Socket-level chaos injection (ChaosOptions mirror; testing only,
+  /// chaos_seed == 0 disables). chaos_partition_peer == SIZE_MAX means no
+  /// induced partition.
+  uint64_t chaos_seed = 0;
+  std::string chaos_phase;
+  size_t chaos_max_events = 8;
+  double chaos_reset_probability = 0.0;
+  double chaos_partial_write_probability = 0.0;
+  double chaos_stall_probability = 0.0;
+  double chaos_stall_seconds = 0.05;
+  size_t chaos_partition_peer = static_cast<size_t>(-1);
+  size_t chaos_partition_sends = 0;
 };
 
 /// Parses a deployment config from its JSON text. Structural validation
@@ -73,10 +97,13 @@ std::string DeploymentConfigToJson(const DeploymentConfig& config);
 
 /// The TcpTransportOptions for party `local_party` of this deployment.
 /// `listen_fd` >= 0 adopts a pre-bound listening socket (coordinator
-/// mode) instead of binding parties[local_party].
+/// mode) instead of binding parties[local_party]. `incarnation` is the
+/// process's restart generation (0 = first spawn; the supervisor passes
+/// restarts-used on each respawn).
 TcpTransportOptions TcpOptionsFromDeployment(const DeploymentConfig& config,
                                              size_t local_party,
-                                             int listen_fd = -1);
+                                             int listen_fd = -1,
+                                             uint32_t incarnation = 0);
 
 }  // namespace net
 

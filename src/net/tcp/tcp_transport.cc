@@ -30,6 +30,21 @@ bool InterruptibleSleep(Clock::duration total, AbortFn abort) {
   return !abort();
 }
 
+/// SplitMix64 finalizer: stateless deterministic hashing for backoff
+/// jitter and chaos decisions (not protocol randomness — those streams
+/// live in sampling/rng.h and never touch the transport).
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Maps a hash word to [0, 1).
+double UnitDouble(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
 }  // namespace
 
 TcpTransport::TcpTransport(const TcpTransportOptions& options)
@@ -159,6 +174,30 @@ void TcpTransport::MarkDead(size_t peer, const char* reason) {
                  << " declared dead (" << reason << ")";
 }
 
+Status TcpTransport::NoteIncarnation(size_t peer, uint32_t incarnation) {
+  MutexLock lock(mu_);
+  Link& link = links_[peer];
+  if (link.has_peer_incarnation && incarnation < link.peer_incarnation) {
+    return Status::IntegrityViolation(
+        "peer " + std::to_string(peer) + " presented stale incarnation " +
+        std::to_string(incarnation) + " < " +
+        std::to_string(link.peer_incarnation));
+  }
+  if (!link.has_peer_incarnation || incarnation > link.peer_incarnation) {
+    // A restarted peer opens a fresh sequence space: flush the replay
+    // state so its new frames (seq starting over at 1) are accepted. Any
+    // frame captured under the old incarnation can still never land —
+    // ReadLoop checks the incarnation on every data frame. An EQUAL
+    // incarnation (same process, new socket after a transient reset)
+    // keeps the sequence state, so pre-disconnect frames stay replayable
+    // to no one.
+    link.peer_incarnation = incarnation;
+    link.has_peer_incarnation = true;
+    link.last_recv_seq = 0;
+  }
+  return Status::OK();
+}
+
 Status TcpTransport::DialHandshake(const std::shared_ptr<Conn>& conn,
                                    size_t peer) {
   SQM_RETURN_NOT_OK(SetRecvTimeout(conn->sock, 2.0));
@@ -166,6 +205,7 @@ Status TcpTransport::DialHandshake(const std::shared_ptr<Conn>& conn,
   hello.type = FrameType::kHello;
   hello.from = static_cast<uint32_t>(me_);
   hello.to = static_cast<uint32_t>(peer);
+  hello.incarnation = options_.incarnation;
   hello.run_id = options_.run_id;
   const std::vector<uint8_t> wire =
       EncodeFrame(hello, options_.session_key);
@@ -190,6 +230,7 @@ Status TcpTransport::DialHandshake(const std::shared_ptr<Conn>& conn,
     return Status::IntegrityViolation(
         "handshake ack mismatch from peer " + std::to_string(peer));
   }
+  SQM_RETURN_NOT_OK(NoteIncarnation(peer, ack.incarnation));
   return SetRecvTimeout(conn->sock, 0.25);
 }
 
@@ -241,11 +282,18 @@ void TcpTransport::AcceptorMain() {
       continue;
     }
     if (PeerDead(peer)) continue;  // Dead is absorbing; no resurrection.
+    const Status noted = NoteIncarnation(peer, frame.incarnation);
+    if (!noted.ok()) {
+      SQM_LOG(kWarning) << "TcpTransport party " << me_
+                        << ": rejected hello: " << noted;
+      continue;
+    }
 
     Frame ack;
     ack.type = FrameType::kHelloAck;
     ack.from = static_cast<uint32_t>(me_);
     ack.to = static_cast<uint32_t>(peer);
+    ack.incarnation = options_.incarnation;
     ack.run_id = options_.run_id;
     const std::vector<uint8_t> wire =
         EncodeFrame(ack, options_.session_key);
@@ -294,17 +342,27 @@ void TcpTransport::DialerMain(size_t peer) {
     }
   }
 
-  // Reconnect phase: exponential backoff, bounded attempts, then death.
+  // Reconnect phase: jittered exponential backoff inside an elapsed-time
+  // window — the SAME window AcceptSideMain waits out, so both sides of a
+  // pair give up together. Bounding by elapsed time (not attempt count)
+  // is what lets the rejoin allowance work: a supervised restart takes
+  // restart-backoff + process-startup seconds, during which every dial is
+  // refused, and an attempt-counted loop would burn its budget long
+  // before the peer's listener is back.
+  size_t cycle = 0;
   while (!ShuttingDown()) {
-    size_t attempt = 0;
+    const Clock::time_point window_end =
+        Clock::now() + Seconds(ReconnectWindowSeconds());
     bool reconnected = false;
-    for (; attempt < options_.max_reconnect_attempts; ++attempt) {
-      const double backoff = options_.reconnect_backoff_seconds *
-                             static_cast<double>(uint64_t{1} << attempt);
+    size_t attempt = 0;
+    while (!ShuttingDown() && Clock::now() < window_end) {
+      const double backoff = ReconnectBackoffSeconds(peer, cycle, attempt);
+      ++attempt;
       if (!InterruptibleSleep(Seconds(backoff),
                               [this] { return ShuttingDown(); })) {
         return;
       }
+      if (Clock::now() >= window_end) break;
       auto conn = std::make_shared<Conn>();
       Result<Socket> sock = ConnectTo(address.host, address.port,
                                       Clock::now() + std::chrono::seconds(1));
@@ -319,13 +377,34 @@ void TcpTransport::DialerMain(size_t peer) {
         return;
       }
       MarkDown(peer);
-      break;  // Fresh backoff budget after every successful period.
+      break;  // Fresh window after every successful period.
     }
+    ++cycle;
     if (!reconnected) {
-      MarkDead(peer, "reconnect budget exhausted");
+      MarkDead(peer, "reconnect window exhausted");
       return;
     }
   }
+}
+
+double TcpTransport::ReconnectBackoffSeconds(size_t peer, size_t cycle,
+                                             size_t attempt) const {
+  // Exponential base schedule, capped per-sleep at 0.5 s so the window is
+  // probed frequently even late in the schedule (a restarting peer's
+  // listener comes back at an unpredictable point inside the window).
+  const size_t exponent = attempt < 10 ? attempt : 10;
+  double backoff = options_.reconnect_backoff_seconds *
+                   static_cast<double>(uint64_t{1} << exponent);
+  if (backoff > 0.5) backoff = 0.5;
+  // Decorrelation jitter in [0.5, 1.0) of the base value, derived from
+  // the transport's seed: all peers of a restarted party would otherwise
+  // dial on the SAME exponential schedule (thundering herd on its fresh
+  // listener). Deterministic, so chaos tests reproduce exactly.
+  const uint64_t h = Mix64(options_.jitter_seed ^
+                           (uint64_t{0x9e37} * (me_ + 1)) ^
+                           (uint64_t(peer) << 40) ^ (uint64_t(cycle) << 20) ^
+                           uint64_t(attempt));
+  return backoff * (0.5 + 0.5 * UnitDouble(h));
 }
 
 void TcpTransport::AcceptSideMain(size_t peer) {
@@ -440,6 +519,14 @@ Status TcpTransport::ReadLoop(size_t peer,
       return Status::IntegrityViolation("unexpected mid-stream frame type");
     }
     MutexLock lock(mu_);
+    if (links_[peer].has_peer_incarnation &&
+        frame.incarnation != links_[peer].peer_incarnation) {
+      return Status::IntegrityViolation(
+          "tcp frame incarnation " + std::to_string(frame.incarnation) +
+          " != link incarnation " +
+          std::to_string(links_[peer].peer_incarnation) +
+          " (frame captured before the peer's restart)");
+    }
     if (frame.seq <= links_[peer].last_recv_seq) {
       return Status::IntegrityViolation(
           "tcp frame sequence " + std::to_string(frame.seq) +
@@ -484,20 +571,53 @@ void TcpTransport::Send(size_t from, size_t to, Payload payload) {
       RecordCrashLoss();
       continue;
     }
+    const ChaosAction chaos = NextChaosAction(to, phase_label);
+    if (chaos == ChaosAction::kDrop) {
+      // Asymmetric partition: the frame silently vanishes while the
+      // peer's own traffic keeps arriving. Receivers see only a sequence
+      // gap (allowed — seq must be increasing, not contiguous) and a
+      // missing message, i.e. exactly what a one-way partition looks like.
+      RecordDrop();
+      continue;
+    }
+    if (chaos == ChaosAction::kReset) {
+      // Connection reset instead of the write: the reader on this link
+      // wakes with EOF and the reconnect machinery takes over.
+      RecordCrashLoss();
+      ShutdownBoth(conn->sock);
+      MarkDown(to);
+      continue;
+    }
     Frame frame;
     frame.type = FrameType::kData;
     frame.from = static_cast<uint32_t>(from);
     frame.to = static_cast<uint32_t>(to);
+    frame.incarnation = options_.incarnation;
     frame.seq = seq;
     frame.run_id = options_.run_id;
     frame.phase = phase_label;
     frame.payload = std::move(out);
     const std::vector<uint8_t> wire =
         EncodeFrame(frame, options_.session_key);
+    if (chaos == ChaosAction::kStall) {
+      // Fault injection, not a retry: the stall IS the event under test.
+      // sqmlint:allow(retry-discipline)
+      std::this_thread::sleep_for(Seconds(options_.chaos.stall_seconds));
+    }
     Status written = Status::OK();
     {
       MutexLock write_lock(conn->write_mu);
-      written = WriteAll(conn->sock, wire.data(), wire.size());
+      if (chaos == ChaosAction::kPartial) {
+        // Torn write: commit a prefix, then sever. The receiver's framing
+        // layer sees a truncated stream and drops the connection — the
+        // partial frame can never decode (its MAC is missing).
+        const size_t prefix = wire.size() / 2;
+        written = WriteAll(conn->sock, wire.data(), prefix);
+        ShutdownBoth(conn->sock);
+        written = Status::Unavailable("chaos: torn write");
+      } else {
+        written = WriteAll(conn->sock, wire.data(), wire.size());
+      }
     }
     if (!written.ok()) {
       RecordCrashLoss();
@@ -506,6 +626,43 @@ void TcpTransport::Send(size_t from, size_t to, Payload payload) {
       MarkDown(to);
     }
   }
+}
+
+TcpTransport::ChaosAction TcpTransport::NextChaosAction(
+    size_t to, const std::string& phase_label) {
+  const ChaosOptions& chaos = options_.chaos;
+  if (chaos.seed == 0) return ChaosAction::kNone;
+  if (!chaos.phase.empty() && phase_label != chaos.phase) {
+    return ChaosAction::kNone;
+  }
+  MutexLock lock(mu_);
+  if (chaos_events_ >= chaos.max_events) return ChaosAction::kNone;
+  const uint64_t draw = chaos_draws_++;
+  if (to == chaos.partition_peer &&
+      chaos_partition_drops_ < chaos.partition_sends) {
+    ++chaos_partition_drops_;
+    ++chaos_events_;
+    return ChaosAction::kDrop;
+  }
+  const double u = UnitDouble(
+      Mix64(chaos.seed ^ (uint64_t{0xc4a05} * (me_ + 1)) ^ (draw << 8) ^
+            uint64_t(to)));
+  double threshold = chaos.reset_probability;
+  if (u < threshold) {
+    ++chaos_events_;
+    return ChaosAction::kReset;
+  }
+  threshold += chaos.partial_write_probability;
+  if (u < threshold) {
+    ++chaos_events_;
+    return ChaosAction::kPartial;
+  }
+  threshold += chaos.stall_probability;
+  if (u < threshold) {
+    ++chaos_events_;
+    return ChaosAction::kStall;
+  }
+  return ChaosAction::kNone;
 }
 
 Result<Transport::Payload> TcpTransport::Receive(size_t from, size_t to) {
@@ -545,18 +702,19 @@ bool TcpTransport::HasPending(size_t from, size_t to) const {
 
 size_t TcpTransport::Reset() {
   size_t dropped = 0;
-  size_t channels = 0;
+  std::vector<ResetDrop> per_channel;
   {
     MutexLock lock(mu_);
-    for (std::deque<Payload>& inbox : inboxes_) {
+    for (size_t from = 0; from < inboxes_.size(); ++from) {
+      std::deque<Payload>& inbox = inboxes_[from];
       if (!inbox.empty()) {
         dropped += inbox.size();
-        ++channels;
+        per_channel.push_back(ResetDrop{from, me_, inbox.size()});
         inbox.clear();
       }
     }
   }
-  WarnDroppedOnReset("TcpTransport", dropped, channels);
+  WarnDroppedOnReset("TcpTransport", dropped, per_channel);
   ResetAccounting();
   return dropped;
 }
@@ -576,6 +734,11 @@ double TcpTransport::ReconnectWindowSeconds() const {
     window += options_.reconnect_backoff_seconds *
               static_cast<double>(uint64_t{1} << attempt);
   }
+  // Rejoin allowance: when a supervisor may respawn a killed party, the
+  // window must additionally cover its restart backoff, process startup,
+  // and listener rebinding — otherwise the restarted party's rejoin races
+  // a deadline that was sized for mere socket hiccups and loses.
+  window += options_.rejoin_window_seconds;
   return window;
 }
 
@@ -607,6 +770,7 @@ void TcpTransport::Shutdown() {
     bye.type = FrameType::kBye;
     bye.from = static_cast<uint32_t>(me_);
     bye.to = static_cast<uint32_t>(peer);
+    bye.incarnation = options_.incarnation;
     bye.seq = seq;
     bye.run_id = options_.run_id;
     const std::vector<uint8_t> wire = EncodeFrame(bye, options_.session_key);

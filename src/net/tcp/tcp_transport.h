@@ -24,6 +24,38 @@ struct TcpPeer {
   uint16_t port = 0;
 };
 
+/// Seeded socket-level fault injection applied inside TcpTransport::Send —
+/// the real-socket analogue of the in-process FaultInjector. Every
+/// decision derives deterministically from `seed` (mixed with the local
+/// party id, so faults are asymmetric across a mesh), injection can be
+/// scoped to one phase label, and `max_events` bounds the total damage so
+/// a chaotic run still converges. Handshake and goodbye frames are never
+/// touched: chaos exercises the recovery machinery, not the authenticator.
+struct ChaosOptions {
+  /// 0 disables chaos entirely.
+  uint64_t seed = 0;
+  /// Only sends whose transport phase label equals this are eligible
+  /// (empty = every phase).
+  std::string phase;
+  /// Hard cap on injected events across the transport's lifetime.
+  size_t max_events = 8;
+  /// Per-send probability of severing the connection instead of writing
+  /// (a mid-protocol connection reset; the link reconnects).
+  double reset_probability = 0.0;
+  /// Per-send probability of writing only a prefix of the frame and then
+  /// severing — the receiver sees a torn stream and drops the link.
+  double partial_write_probability = 0.0;
+  /// Per-send probability of stalling the write by `stall_seconds`.
+  double stall_probability = 0.0;
+  double stall_seconds = 0.05;
+  /// When != SIZE_MAX: an asymmetric partition against this peer — the
+  /// first `partition_sends` eligible cross-party sends to it are
+  /// silently dropped (never written), while the peer's own frames keep
+  /// arriving. Partition drops count against max_events.
+  size_t partition_peer = static_cast<size_t>(-1);
+  size_t partition_sends = 0;
+};
+
 struct TcpTransportOptions {
   /// Which roster entry this process plays. Unlike the in-process
   /// transports, a TcpTransport serves exactly ONE party: Send is valid
@@ -69,6 +101,28 @@ struct TcpTransportOptions {
   /// listeners (port 0 = ephemeral) and passes them to the spawned party
   /// processes, making localhost port assignment race-free.
   int listen_fd = -1;
+
+  /// This party's restart generation under run_id: 0 for the first
+  /// process, +1 per supervised respawn. Carried in every frame;
+  /// handshakes presenting a LOWER incarnation than previously seen are
+  /// rejected, a higher one flushes the link's replay state (the new
+  /// process opens a fresh sequence space).
+  uint32_t incarnation = 0;
+
+  /// Extra seconds every peer keeps waiting for a vanished party beyond
+  /// the dialer's own backoff schedule — sized to cover the supervisor's
+  /// restart backoff plus process startup and listener rebinding, so a
+  /// legitimate restart+rejoin never races the reconnect window. 0 = no
+  /// allowance (crash-stop semantics, the pre-recovery behavior).
+  double rejoin_window_seconds = 0.0;
+
+  /// Seed for the decorrelation jitter on reconnect backoff (all peers of
+  /// a restarted party would otherwise dial on the same exponential
+  /// schedule). Deterministic: same seed, same schedule.
+  uint64_t jitter_seed = 0;
+
+  /// Socket-level fault injection (testing only; seed 0 disables).
+  ChaosOptions chaos;
 };
 
 /// Transport over real TCP sockets: one OS process per party, full mesh.
@@ -115,7 +169,9 @@ class TcpTransport : public Transport {
   bool PeerDead(size_t peer) const;
 
   /// Upper bound in seconds between a peer vanishing and PeerDead turning
-  /// true: the sum of the exponential-backoff reconnect schedule.
+  /// true: the sum of the exponential-backoff reconnect schedule plus the
+  /// rejoin allowance (`rejoin_window_seconds`, covering supervisor
+  /// restart backoff and listener rebinding after a respawn).
   double ReconnectWindowSeconds() const;
 
   /// Sends goodbye frames on all live links and tears the mesh down
@@ -143,6 +199,12 @@ class TcpTransport : public Transport {
     uint64_t send_seq = 0;       ///< Next outgoing data-frame sequence.
     uint64_t last_recv_seq = 0;  ///< Highest verified incoming sequence.
     bool departed = false;       ///< Peer said goodbye (no reconnects).
+    /// The peer's restart generation as learned from its last verified
+    /// handshake. Data frames must match it exactly; a higher one at
+    /// handshake resets last_recv_seq (fresh sequence space), a lower one
+    /// is rejected as a stale process.
+    uint32_t peer_incarnation = 0;
+    bool has_peer_incarnation = false;
   };
 
   explicit TcpTransport(const TcpTransportOptions& options);
@@ -165,6 +227,21 @@ class TcpTransport : public Transport {
   void MarkDown(size_t peer);
   void MarkDead(size_t peer, const char* reason);
 
+  /// Registers the incarnation a verified handshake presented for `peer`:
+  /// rejects a stale (lower) incarnation, flushes replay state on a newer
+  /// one, keeps sequence state on an equal one (same process, new socket).
+  Status NoteIncarnation(size_t peer, uint32_t incarnation);
+
+  /// The jittered exponential backoff before reconnect attempt `attempt`
+  /// to `peer` (deterministic in jitter_seed; capped so the reconnect
+  /// window is probed frequently even late in the schedule).
+  double ReconnectBackoffSeconds(size_t peer, size_t cycle,
+                                 size_t attempt) const;
+
+  /// What chaos (if any) to inject into the next eligible send to `to`.
+  enum class ChaosAction : uint8_t { kNone, kDrop, kReset, kPartial, kStall };
+  ChaosAction NextChaosAction(size_t to, const std::string& phase_label);
+
   bool ShuttingDown() const;
 
   const TcpTransportOptions options_;
@@ -180,6 +257,10 @@ class TcpTransport : public Transport {
   std::vector<Link> links_ SQM_GUARDED_BY(mu_);
   std::vector<std::deque<Payload>> inboxes_ SQM_GUARDED_BY(mu_);
   bool shutting_down_ SQM_GUARDED_BY(mu_) = false;
+  /// Chaos bookkeeping: one draw per eligible send, events capped.
+  uint64_t chaos_draws_ SQM_GUARDED_BY(mu_) = 0;
+  size_t chaos_events_ SQM_GUARDED_BY(mu_) = 0;
+  size_t chaos_partition_drops_ SQM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace net

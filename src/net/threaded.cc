@@ -238,13 +238,17 @@ size_t ThreadedTransport::Reset() SQM_NO_THREAD_SAFETY_ANALYSIS {
     box->mu.Lock();
   }
   size_t dropped = 0;
-  size_t channels = 0;
-  for (auto& box : mailboxes_) {
+  std::vector<ResetDrop> per_channel;
+  for (size_t index = 0; index < mailboxes_.size(); ++index) {
+    auto& box = mailboxes_[index];
     // Dropped count = undelivered queue entries + parked retransmissions,
     // matching LockstepTransport's "every undelivered message" convention.
     const size_t in_box = box->queue.size() + box->retransmit.size();
     dropped += in_box;
-    if (in_box > 0) ++channels;
+    if (in_box > 0) {
+      per_channel.push_back(ResetDrop{index / num_parties(),
+                                      index % num_parties(), in_box});
+    }
     box->queue.clear();
     box->retransmit.clear();
   }
@@ -258,7 +262,7 @@ size_t ThreadedTransport::Reset() SQM_NO_THREAD_SAFETY_ANALYSIS {
     box->mu.Unlock();
     box->space.NotifyAll();
   }
-  WarnDroppedOnReset("ThreadedTransport", dropped, channels);
+  WarnDroppedOnReset("ThreadedTransport", dropped, per_channel);
   return dropped;
 }
 

@@ -221,7 +221,8 @@ void Transport::RecordCrashLoss() {
 }
 
 void Transport::WarnDroppedOnReset(const char* transport_name,
-                                   size_t dropped, size_t channels) {
+                                   size_t dropped,
+                                   const std::vector<ResetDrop>& per_channel) {
   if (dropped == 0) return;
   uint64_t warnings = 0;
   uint64_t lifetime = 0;
@@ -232,14 +233,24 @@ void Transport::WarnDroppedOnReset(const char* transport_name,
     warnings = reset_warnings_;
     lifetime = reset_dropped_total_;
   }
+  // Per-peer attribution: a partition strands messages on one peer's
+  // channels, a crash strands them everywhere — the breakdown tells the
+  // two apart from one log line.
+  std::string breakdown;
+  for (const ResetDrop& drop : per_channel) {
+    if (drop.count == 0) continue;
+    if (!breakdown.empty()) breakdown += ", ";
+    breakdown += std::to_string(drop.from) + "->" + std::to_string(drop.to) +
+                 ":" + std::to_string(drop.count);
+  }
   std::string cumulative;
   if (warnings > 1) {
     cumulative = "; " + std::to_string(lifetime) + " across " +
                  std::to_string(warnings) + " resets";
   }
   SQM_LOG(kWarning) << transport_name << "::Reset dropped " << dropped
-                    << " undelivered message(s) on " << channels
-                    << " channel(s)" << cumulative
+                    << " undelivered message(s) on " << per_channel.size()
+                    << " channel(s) [" << breakdown << "]" << cumulative
                     << "; a correct synchronous protocol drains every round";
 }
 

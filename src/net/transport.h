@@ -175,14 +175,24 @@ class Transport {
   /// Zeroes every counter and phase (used by Reset implementations).
   void ResetAccounting();
 
+  /// One undelivered-message tally found by a Reset, attributed to its
+  /// channel so recovery debugging can tell a partition (one peer's
+  /// channels piled up) from a crash (every channel piled up).
+  struct ResetDrop {
+    size_t from = 0;
+    size_t to = 0;
+    size_t count = 0;
+  };
+
   /// Emits the single coalesced warning for a Reset that found undelivered
-  /// messages: one summary line with the total message count, the number of
-  /// channels affected, and (from the second occurrence on) the cumulative
-  /// total across this transport's lifetime — never one line per channel,
-  /// so reconnect loops that Reset repeatedly cannot flood the log. No-op
-  /// when `dropped` is zero. The lifetime totals survive ResetAccounting.
+  /// messages: one summary line with the total message count, a per-peer
+  /// breakdown (`from->to:count` for every affected channel), and (from
+  /// the second occurrence on) the cumulative total across this
+  /// transport's lifetime — never one line per channel, so reconnect loops
+  /// that Reset repeatedly cannot flood the log. No-op when `dropped` is
+  /// zero. The lifetime totals survive ResetAccounting.
   void WarnDroppedOnReset(const char* transport_name, size_t dropped,
-                          size_t channels);
+                          const std::vector<ResetDrop>& per_channel);
 
   /// Runs the attached interceptor (if any) on one outgoing message and
   /// returns the payloads to actually enqueue: usually {payload}; empty

@@ -60,6 +60,19 @@ bool Rng::NextBernoulli(double p) {
   return NextDouble() < p;
 }
 
+void Rng::SaveState(uint64_t out[4]) const {
+  for (int i = 0; i < 4; ++i) out[i] = state_[i];
+}
+
+Rng Rng::FromState(const uint64_t state[4]) {
+  Rng rng(0);
+  for (int i = 0; i < 4; ++i) rng.state_[i] = state[i];
+  if ((rng.state_[0] | rng.state_[1] | rng.state_[2] | rng.state_[3]) == 0) {
+    rng.state_[0] = 1;
+  }
+  return rng;
+}
+
 Rng Rng::Split(uint64_t stream) {
   // Mix the parent's next output with the stream id through splitmix to get
   // an unrelated child seed.

@@ -39,6 +39,17 @@ class Rng {
   /// values are statistically independent of each other and of the parent.
   Rng Split(uint64_t stream);
 
+  /// Copies the engine's exact position in its stream into `out` (4 words).
+  /// Together with FromState this lets a durable checkpoint record the RNG
+  /// cursor, so a restarted party regenerates bit-identical shares and
+  /// noise from where it left off.
+  void SaveState(uint64_t out[4]) const;
+
+  /// Reconstructs an engine at a position previously captured by
+  /// SaveState. The words are engine state, not a seed: they are installed
+  /// verbatim (modulo the all-zero fixed-point guard).
+  static Rng FromState(const uint64_t state[4]);
+
  private:
   uint64_t state_[4];
 };

@@ -106,6 +106,108 @@ sqm::SqmReport RunLockstep(const sqm::DeploymentConfig& config) {
   return report.ok() ? report.ValueOrDie() : sqm::SqmReport();
 }
 
+/// A config with the supervised-recovery knobs set to sensible values, as
+/// the chaos suite deploys them. Serializing and re-parsing it is how the
+/// coordinator actually hands configs to daemons, so the validation tests
+/// below go through that exact path.
+sqm::DeploymentConfig RecoveryConfig() {
+  sqm::DeploymentConfig config = BaseConfig(3);
+  config.max_restarts = 2;
+  config.restart_backoff_seconds = 0.25;
+  config.recovery_deadline_seconds = 20.0;
+  return config;
+}
+
+TEST(DeploymentConfigJson, RecoveryAndChaosKnobsRoundTrip) {
+  sqm::DeploymentConfig config = RecoveryConfig();
+  config.chaos_seed = 777;
+  config.chaos_phase = "mul";
+  config.chaos_max_events = 3;
+  config.chaos_reset_probability = 0.2;
+  config.chaos_partial_write_probability = 0.15;
+  config.chaos_stall_probability = 0.1;
+  config.chaos_stall_seconds = 0.05;
+  config.chaos_partition_peer = 3;
+  config.chaos_partition_sends = 2;
+  sqm::Result<sqm::DeploymentConfig> parsed =
+      sqm::ParseDeploymentConfig(sqm::DeploymentConfigToJson(config));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const sqm::DeploymentConfig& got = parsed.ValueOrDie();
+  EXPECT_EQ(got.max_restarts, 2u);
+  EXPECT_EQ(got.restart_backoff_seconds, 0.25);
+  EXPECT_EQ(got.recovery_deadline_seconds, 20.0);
+  EXPECT_EQ(got.chaos_seed, 777u);
+  EXPECT_EQ(got.chaos_phase, "mul");
+  EXPECT_EQ(got.chaos_max_events, 3u);
+  EXPECT_EQ(got.chaos_reset_probability, 0.2);
+  EXPECT_EQ(got.chaos_partial_write_probability, 0.15);
+  EXPECT_EQ(got.chaos_stall_probability, 0.1);
+  EXPECT_EQ(got.chaos_stall_seconds, 0.05);
+  EXPECT_EQ(got.chaos_partition_peer, 3u);
+  EXPECT_EQ(got.chaos_partition_sends, 2u);
+}
+
+TEST(DeploymentConfigJson, NegativeMaxRestartsIsRejected) {
+  std::string json = sqm::DeploymentConfigToJson(RecoveryConfig());
+  const std::string key = "\"max_restarts\":2";
+  const size_t at = json.find(key);
+  ASSERT_NE(at, std::string::npos) << json;
+  json.replace(at, key.size(), "\"max_restarts\":-1");
+  sqm::Result<sqm::DeploymentConfig> parsed =
+      sqm::ParseDeploymentConfig(json);
+  EXPECT_EQ(parsed.status().code(), sqm::StatusCode::kInvalidArgument)
+      << parsed.status().ToString();
+}
+
+TEST(DeploymentConfigJson, RestartsWithoutRecoveryDeadlineIsRejected) {
+  sqm::DeploymentConfig config = RecoveryConfig();
+  config.recovery_deadline_seconds = 0.0;  // Restarts could never rejoin.
+  sqm::Result<sqm::DeploymentConfig> parsed =
+      sqm::ParseDeploymentConfig(sqm::DeploymentConfigToJson(config));
+  EXPECT_EQ(parsed.status().code(), sqm::StatusCode::kInvalidArgument)
+      << parsed.status().ToString();
+}
+
+TEST(DeploymentConfigJson, NegativeRecoveryKnobsAreRejected) {
+  sqm::DeploymentConfig config = RecoveryConfig();
+  config.restart_backoff_seconds = -0.5;
+  sqm::Result<sqm::DeploymentConfig> parsed =
+      sqm::ParseDeploymentConfig(sqm::DeploymentConfigToJson(config));
+  EXPECT_EQ(parsed.status().code(), sqm::StatusCode::kInvalidArgument)
+      << parsed.status().ToString();
+
+  config = RecoveryConfig();
+  config.max_restarts = 0;
+  config.recovery_deadline_seconds = -1.0;
+  parsed = sqm::ParseDeploymentConfig(sqm::DeploymentConfigToJson(config));
+  EXPECT_EQ(parsed.status().code(), sqm::StatusCode::kInvalidArgument)
+      << parsed.status().ToString();
+}
+
+TEST(DeploymentConfigJson, ChaosProbabilityOutOfRangeIsRejected) {
+  sqm::DeploymentConfig config = RecoveryConfig();
+  config.chaos_reset_probability = 1.5;
+  sqm::Result<sqm::DeploymentConfig> parsed =
+      sqm::ParseDeploymentConfig(sqm::DeploymentConfigToJson(config));
+  EXPECT_EQ(parsed.status().code(), sqm::StatusCode::kInvalidArgument)
+      << parsed.status().ToString();
+
+  config = RecoveryConfig();
+  config.chaos_stall_probability = -0.1;
+  parsed = sqm::ParseDeploymentConfig(sqm::DeploymentConfigToJson(config));
+  EXPECT_EQ(parsed.status().code(), sqm::StatusCode::kInvalidArgument)
+      << parsed.status().ToString();
+}
+
+TEST(DeploymentConfigJson, NegativeChaosStallSecondsIsRejected) {
+  sqm::DeploymentConfig config = RecoveryConfig();
+  config.chaos_stall_seconds = -0.05;
+  sqm::Result<sqm::DeploymentConfig> parsed =
+      sqm::ParseDeploymentConfig(sqm::DeploymentConfigToJson(config));
+  EXPECT_EQ(parsed.status().code(), sqm::StatusCode::kInvalidArgument)
+      << parsed.status().ToString();
+}
+
 TEST(PartyProtocol, NoiselessTcpRunMatchesLockstepBitForBit) {
   if (!TcpSupported()) GTEST_SKIP() << "no POSIX sockets on this platform";
   const sqm::DeploymentConfig config = BaseConfig(3);

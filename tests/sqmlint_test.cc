@@ -387,6 +387,87 @@ void f(int fd) {
   EXPECT_EQ(Active(findings, "unchecked-status"), 0);
 }
 
+// -------------------------------------------------------------- retry-discipline
+
+constexpr char kBareRetrySleep[] = R"cpp(
+void Dial() {
+  while (true) {
+    if (TryConnect()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+)cpp";
+
+TEST(RetryDiscipline, FiresOnUnpacedSleepInLoop) {
+  const auto findings = Lint("src/net/tcp/x.cc", kBareRetrySleep);
+  EXPECT_EQ(Active(findings, "retry-discipline"), 1);
+}
+
+TEST(RetryDiscipline, OutsideNetModuleIsIgnored) {
+  const auto findings = Lint("src/dp/x.cc", kBareRetrySleep);
+  EXPECT_EQ(Active(findings, "retry-discipline"), 0);
+}
+
+TEST(RetryDiscipline, SleepOutsideLoopIsFine) {
+  const auto findings = Lint("src/net/x.cc", R"cpp(
+void Settle() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "retry-discipline"), 0);
+}
+
+TEST(RetryDiscipline, BackoffInStatementPaces) {
+  const auto findings = Lint("src/net/x.cc", R"cpp(
+void Recv() {
+  double backoff = 0.001;
+  for (;;) {
+    if (Ready()) return;
+    if (backoff > 0.0) std::this_thread::sleep_for(ToDuration(backoff));
+    backoff *= 2.0;
+  }
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "retry-discipline"), 0);
+}
+
+TEST(RetryDiscipline, DeadlineInLoopHeaderPaces) {
+  const auto findings = Lint("src/net/tcp/x.cc", R"cpp(
+bool Wait(Clock::time_point deadline) {
+  while (Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return true;
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "retry-discipline"), 0);
+}
+
+TEST(RetryDiscipline, DoWhileIsALoopToo) {
+  const auto findings = Lint("src/net/x.cc", R"cpp(
+void Poll() {
+  do {
+    ::usleep(1000);
+  } while (!Done());
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "retry-discipline"), 1);
+}
+
+TEST(RetryDiscipline, SuppressionSilences) {
+  const auto findings = Lint("src/net/tcp/x.cc", R"cpp(
+void Stall() {
+  for (;;) {
+    // sqmlint:allow(retry-discipline)
+    std::this_thread::sleep_for(Seconds(stall_seconds));
+    return;
+  }
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "retry-discipline"), 0);
+  EXPECT_EQ(Count(findings, "retry-discipline", true), 1);
+}
+
 // ------------------------------------------------------------------ JSON output
 
 TEST(Json, FindingsAndSummaryShapes) {

@@ -28,6 +28,7 @@ Frame SampleFrame() {
   frame.from = 3;
   frame.to = 1;
   frame.seq = 42;
+  frame.incarnation = 7;
   frame.run_id = 88;
   frame.phase = "mul";
   frame.payload = {0, 1, uint64_t{1} << 60, 0x1fffffffffffffffull};
@@ -58,6 +59,7 @@ TEST(TcpFrame, EncodeDecodeRoundTrip) {
   EXPECT_EQ(got.from, frame.from);
   EXPECT_EQ(got.to, frame.to);
   EXPECT_EQ(got.seq, frame.seq);
+  EXPECT_EQ(got.incarnation, frame.incarnation);
   EXPECT_EQ(got.run_id, frame.run_id);
   EXPECT_EQ(got.phase, frame.phase);
   EXPECT_EQ(got.payload, frame.payload);
@@ -122,6 +124,23 @@ TEST(TcpFrame, HostilePayloadCountCannotDriveAllocation) {
   sqm::Result<Frame> decoded = DecodeFrame(Body(wire), BodyLen(wire), kKey);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), sqm::StatusCode::kIntegrityViolation);
+}
+
+TEST(TcpFrame, IncarnationIsCoveredByTheMac) {
+  // A replay attack on the rejoin protocol would take a pre-crash frame
+  // and patch its incarnation field up to the restarted peer's; that only
+  // works if the MAC ignores the field. Two frames differing ONLY in
+  // incarnation must therefore differ in their trailing MAC bytes, not
+  // just in the field itself.
+  Frame frame = SampleFrame();
+  const std::vector<uint8_t> wire_a = EncodeFrame(frame, kKey);
+  frame.incarnation += 1;
+  const std::vector<uint8_t> wire_b = EncodeFrame(frame, kKey);
+  ASSERT_EQ(wire_a.size(), wire_b.size());
+  EXPECT_NE(std::memcmp(wire_a.data() + wire_a.size() - 8,
+                        wire_b.data() + wire_b.size() - 8, 8),
+            0)
+      << "MAC unchanged when the incarnation changed";
 }
 
 TEST(TcpFrame, SipHashIsDeterministicAndKeySeparated) {

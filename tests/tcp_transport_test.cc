@@ -7,12 +7,15 @@
 
 #include "net/tcp/tcp_transport.h"
 
+#include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "net/tcp/frame.h"
 #include "net/tcp/socket.h"
 
 namespace {
@@ -20,6 +23,7 @@ namespace {
 using sqm::net::ListenOn;
 using sqm::net::LocalPort;
 using sqm::net::Socket;
+using sqm::net::ConnectTo;
 using sqm::net::TcpSupported;
 using sqm::TcpPeer;
 using sqm::TcpTransport;
@@ -203,6 +207,202 @@ TEST(TcpTransportMesh, FivePartyMeshComesUp) {
     }
   }
   for (const auto& transport : mesh) transport->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Rejoin protocol: replay rejection across incarnations.
+//
+// The restarted-party handshake resets the per-link sequence space, which
+// is exactly the window a replay attack would aim for: capture a data
+// frame before the crash, present it after the rejoin when last_recv_seq
+// is back to 0. The incarnation field (MAC-covered, tcp_frame_test) must
+// close that window. The crashing peer is driven over raw sockets
+// speaking the wire protocol, because a real TcpTransport says goodbye in
+// its destructor — kill -9 never does.
+// ---------------------------------------------------------------------------
+
+class FakePeerRejoinTest : public testing::Test {
+ protected:
+  static constexpr uint64_t kKey = 0x5eed5e551044ull;
+  static constexpr uint64_t kRunId = 77;
+
+  void SetUp() override {
+    if (!TcpSupported()) GTEST_SKIP() << "no POSIX sockets on this platform";
+    sqm::Result<Socket> listener = ListenOn("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+    sqm::Result<uint16_t> port = LocalPort(listener.ValueOrDie());
+    ASSERT_TRUE(port.ok()) << port.status().ToString();
+    port_ = port.ValueOrDie();
+
+    TcpTransportOptions options;
+    options.local_party = 0;
+    // Party 1 is the fake peer; by the acceptor convention (higher index
+    // dials lower) party 0 never dials it, so its roster port is unused.
+    options.peers = {{"127.0.0.1", port_}, {"127.0.0.1", 1}};
+    options.session_key = kKey;
+    options.run_id = kRunId;
+    options.receive_timeout_seconds = 0.5;
+    options.connect_timeout_seconds = 10.0;
+    options.max_reconnect_attempts = 2;
+    options.reconnect_backoff_seconds = 0.05;
+    // Generous rejoin allowance so the link waits for our staged
+    // reconnects instead of declaring the fake peer dead mid-test.
+    options.rejoin_window_seconds = 20.0;
+    options.listen_fd = listener.ValueOrDie().Release();
+
+    // Create blocks until the mesh is up (fake party 1's first handshake).
+    creator_ = std::thread([this, options] {
+      sqm::Result<std::unique_ptr<TcpTransport>> transport =
+          TcpTransport::Create(options);
+      if (transport.ok()) {
+        transport_ = std::move(transport.ValueOrDie());
+      } else {
+        error_ = transport.status().ToString();
+      }
+    });
+  }
+
+  void TearDown() override {
+    if (creator_.joinable()) creator_.join();
+    if (transport_) transport_->Shutdown();
+  }
+
+  /// Dials party 0 as party 1 and completes the hello/ack handshake under
+  /// `incarnation`. Returns the connected socket.
+  Socket Handshake(uint32_t incarnation) {
+    sqm::Result<Socket> dial = ConnectTo(
+        "127.0.0.1", port_,
+        std::chrono::steady_clock::now() + std::chrono::seconds(5));
+    EXPECT_TRUE(dial.ok()) << dial.status().ToString();
+    Socket sock = std::move(dial.ValueOrDie());
+
+    sqm::net::Frame hello;
+    hello.type = sqm::net::FrameType::kHello;
+    hello.from = 1;
+    hello.to = 0;
+    hello.incarnation = incarnation;
+    hello.run_id = kRunId;
+    const std::vector<uint8_t> wire = sqm::net::EncodeFrame(hello, kKey);
+    EXPECT_TRUE(sqm::net::WriteAll(sock, wire.data(), wire.size()).ok());
+
+    uint8_t len_bytes[4];
+    EXPECT_TRUE(sqm::net::ReadAll(sock, len_bytes, 4).ok());
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(len_bytes[i]) << (8 * i);
+    }
+    std::vector<uint8_t> body(len);
+    EXPECT_TRUE(sqm::net::ReadAll(sock, body.data(), len).ok());
+    sqm::Result<sqm::net::Frame> ack =
+        sqm::net::DecodeFrame(body.data(), len, kKey);
+    EXPECT_TRUE(ack.ok()) << ack.status().ToString();
+    if (ack.ok()) {
+      EXPECT_EQ(ack.ValueOrDie().type, sqm::net::FrameType::kHelloAck);
+      EXPECT_EQ(ack.ValueOrDie().from, 0u);
+      EXPECT_EQ(ack.ValueOrDie().to, 1u);
+    }
+    return sock;
+  }
+
+  /// Encoded wire bytes of a party-1 -> party-0 data frame.
+  std::vector<uint8_t> DataFrame(uint32_t incarnation, uint64_t seq,
+                                 uint64_t word) {
+    sqm::net::Frame frame;
+    frame.type = sqm::net::FrameType::kData;
+    frame.from = 1;
+    frame.to = 0;
+    frame.incarnation = incarnation;
+    frame.seq = seq;
+    frame.run_id = kRunId;
+    frame.phase = "mul";
+    frame.payload = {word};
+    return sqm::net::EncodeFrame(frame, kKey);
+  }
+
+  uint16_t port_ = 0;
+  std::unique_ptr<TcpTransport> transport_;
+  std::string error_;
+  std::thread creator_;
+};
+
+TEST_F(FakePeerRejoinTest, ReplayedPreCrashFrameIsRejectedAfterRejoin) {
+  Socket first = Handshake(/*incarnation=*/0);
+  creator_.join();
+  ASSERT_NE(transport_, nullptr) << error_;
+
+  // Incarnation 0 delivers normally.
+  const std::vector<uint8_t> fresh = DataFrame(0, /*seq=*/1, 5);
+  ASSERT_TRUE(sqm::net::WriteAll(first, fresh.data(), fresh.size()).ok());
+  sqm::Result<Payload> got = transport_->Receive(1, 0);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.ValueOrDie(), Payload({5}));
+
+  // "Capture" the next frame the old incarnation would have sent, then
+  // crash: abrupt close, no goodbye. The link goes down, not dead.
+  const std::vector<uint8_t> captured = DataFrame(0, /*seq=*/2, 6);
+  first.Close();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(transport_->PeerDead(1));
+
+  // Rejoin as incarnation 1. The handshake resets the replay state
+  // (last_recv_seq back to 0) — the captured frame's seq 2 would sail
+  // through a sequence-only check. Replay it.
+  Socket rejoined = Handshake(/*incarnation=*/1);
+  ASSERT_TRUE(
+      sqm::net::WriteAll(rejoined, captured.data(), captured.size()).ok());
+
+  // The stale-incarnation frame must NOT deliver (the receiver severs the
+  // link instead), and the severance is survivable, not a death.
+  sqm::Result<Payload> replay = transport_->Receive(1, 0);
+  ASSERT_FALSE(replay.ok()) << "pre-crash frame was delivered after rejoin";
+  EXPECT_EQ(replay.status().code(), sqm::StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(transport_->PeerDead(1));
+
+  // Reconnect once more under the same incarnation and send a legitimate
+  // frame in the new sequence space: the link recovers end to end.
+  Socket again = Handshake(/*incarnation=*/1);
+  const std::vector<uint8_t> after = DataFrame(1, /*seq=*/1, 7);
+  ASSERT_TRUE(sqm::net::WriteAll(again, after.data(), after.size()).ok());
+  sqm::Result<Payload> post = transport_->Receive(1, 0);
+  ASSERT_TRUE(post.ok()) << post.status().ToString();
+  EXPECT_EQ(post.ValueOrDie(), Payload({7}));
+  EXPECT_FALSE(transport_->PeerDead(1));
+}
+
+TEST_F(FakePeerRejoinTest, StaleIncarnationHandshakeIsRefused) {
+  Socket first = Handshake(/*incarnation=*/1);
+  creator_.join();
+  ASSERT_NE(transport_, nullptr) << error_;
+  first.Close();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // A zombie process from before the restart (incarnation 0 < 1) dials
+  // in: the acceptor must refuse the hello — no ack, just a dead socket.
+  sqm::Result<Socket> dial = ConnectTo(
+      "127.0.0.1", port_,
+      std::chrono::steady_clock::now() + std::chrono::seconds(5));
+  ASSERT_TRUE(dial.ok()) << dial.status().ToString();
+  Socket zombie = std::move(dial.ValueOrDie());
+  sqm::net::Frame hello;
+  hello.type = sqm::net::FrameType::kHello;
+  hello.from = 1;
+  hello.to = 0;
+  hello.incarnation = 0;
+  hello.run_id = kRunId;
+  const std::vector<uint8_t> wire = sqm::net::EncodeFrame(hello, kKey);
+  ASSERT_TRUE(sqm::net::WriteAll(zombie, wire.data(), wire.size()).ok());
+
+  uint8_t len_bytes[4];
+  EXPECT_FALSE(sqm::net::ReadAll(zombie, len_bytes, 4).ok())
+      << "acceptor acked a stale-incarnation hello";
+
+  // The real incarnation can still come back afterwards.
+  Socket back = Handshake(/*incarnation=*/1);
+  const std::vector<uint8_t> frame = DataFrame(1, /*seq=*/1, 9);
+  ASSERT_TRUE(sqm::net::WriteAll(back, frame.data(), frame.size()).ok());
+  sqm::Result<Payload> got = transport_->Receive(1, 0);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.ValueOrDie(), Payload({9}));
 }
 
 }  // namespace

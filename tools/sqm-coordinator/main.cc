@@ -18,12 +18,23 @@
 //     release to match it bit for bit,
 //   - writes a run summary (<out-dir>/coordinator.json).
 //
+// When the config sets max_restarts > 0 the coordinator is also the
+// SUPERVISOR: each party gets a durable checkpoint directory
+// (<out-dir>/ckpt_<j>), and a party that dies unexpectedly is respawned —
+// after restart_backoff_seconds, on its original resolved port, with
+// --incarnation bumped — up to max_restarts times, so it can rejoin the
+// still-running quorum from its checkpoint (docs/DEPLOYMENT.md "Recovery
+// & supervision"). Only when restarts are exhausted does the run fall
+// through to the parties' own dropout handling.
+//
 // Exit 0 iff every party that was expected to survive exited cleanly and
 // all bit-exactness checks passed. See docs/DEPLOYMENT.md.
 
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -31,6 +42,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define SQM_COORDINATOR_SUPPORTED 1
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #else
@@ -63,6 +75,11 @@ struct Args {
   bool compare_lockstep = false;
   long crash_party = -1;
   long crash_at_mul_level = -1;
+  /// Re-arm --crash-at-mul-level on every respawn of --crash-party, so a
+  /// test can deterministically exhaust the restart budget and exercise
+  /// the degrade fallback. Implies the crash party is an expected
+  /// casualty even under supervision.
+  bool crash_every_incarnation = false;
   double timeout_seconds = 120.0;
 };
 
@@ -86,6 +103,7 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --config=FILE [--out-dir=DIR] [--compare-lockstep]"
                " [--crash-party=N --crash-at-mul-level=L]"
+               " [--crash-every-incarnation]"
                " [--party-bin=PATH] [--timeout-seconds=S]\n";
   return 2;
 }
@@ -116,6 +134,7 @@ struct PartyOutcome {
   bool exited = false;     ///< waitpid reaped it before the watchdog fired.
   int exit_code = -1;      ///< Valid when exited normally.
   int term_signal = 0;     ///< Non-zero when killed by a signal.
+  size_t restarts = 0;     ///< Supervised respawns consumed.
   bool report_loaded = false;
   sqm::SqmReport report;
 };
@@ -123,8 +142,15 @@ struct PartyOutcome {
 /// Reaps every child, SIGKILLing stragglers once `deadline` passes — a
 /// deployment whose dropout handling works never gets that far; the
 /// watchdog turns a regression back into a test failure instead of a hang.
+///
+/// `try_restart(j)` is consulted when party j is reaped dead (killed by a
+/// signal or nonzero exit): returning true means it respawned the party
+/// (outcomes[j].pid now names the new incarnation) and supervision
+/// continues; false lets the death stand. Never consulted after the
+/// watchdog fires — those deaths are the watchdog's own SIGKILLs.
 void AwaitChildren(std::vector<PartyOutcome>& outcomes,
-                   std::chrono::steady_clock::time_point deadline) {
+                   std::chrono::steady_clock::time_point deadline,
+                   const std::function<bool(size_t)>& try_restart) {
   size_t remaining = 0;
   for (const PartyOutcome& outcome : outcomes) {
     if (outcome.pid > 0) ++remaining;
@@ -132,16 +158,20 @@ void AwaitChildren(std::vector<PartyOutcome>& outcomes,
   bool killed = false;
   while (remaining > 0) {
     bool reaped_one = false;
-    for (PartyOutcome& outcome : outcomes) {
+    for (size_t j = 0; j < outcomes.size(); ++j) {
+      PartyOutcome& outcome = outcomes[j];
       if (outcome.pid <= 0 || outcome.exited) continue;
       int status = 0;
       const pid_t rc = ::waitpid(outcome.pid, &status, WNOHANG);
       if (rc == outcome.pid) {
-        outcome.exited = true;
-        if (WIFEXITED(status)) outcome.exit_code = WEXITSTATUS(status);
-        if (WIFSIGNALED(status)) outcome.term_signal = WTERMSIG(status);
-        --remaining;
         reaped_one = true;
+        outcome.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+        outcome.term_signal = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+        const bool died =
+            outcome.term_signal != 0 || outcome.exit_code != 0;
+        if (died && !killed && try_restart && try_restart(j)) continue;
+        outcome.exited = true;
+        --remaining;
       }
     }
     if (remaining == 0) break;
@@ -181,6 +211,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--compare-lockstep") {
       args.compare_lockstep = true;
+      continue;
+    }
+    if (arg == "--crash-every-incarnation") {
+      args.crash_every_incarnation = true;
       continue;
     }
     if (ParseFlag(arg, "timeout-seconds", &timeout_text)) {
@@ -244,7 +278,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Launch the parties.
+  // Supervision: each party gets a durable checkpoint directory, so a
+  // respawned incarnation can resume from its last phase boundary.
+  const bool supervised = config.max_restarts > 0;
+  std::vector<std::string> checkpoint_dirs(n);
+  if (supervised) {
+    for (size_t j = 0; j < n; ++j) {
+      checkpoint_dirs[j] = args.out_dir + "/ckpt_" + std::to_string(j);
+      if (::mkdir(checkpoint_dirs[j].c_str(), 0755) != 0 &&
+          errno != EEXIST) {
+        std::cerr << "cannot create " << checkpoint_dirs[j] << ": "
+                  << std::strerror(errno) << "\n";
+        return 1;
+      }
+    }
+  }
+
   std::vector<PartyOutcome> outcomes(n);
   std::vector<std::string> report_paths(n);
   std::vector<std::string> trace_paths(n);
@@ -253,15 +302,27 @@ int main(int argc, char** argv) {
         args.out_dir + "/party_" + std::to_string(j) + ".json";
     trace_paths[j] =
         args.out_dir + "/party_" + std::to_string(j) + ".trace.json";
+  }
+
+  // Forks sqm-party j handing it `listener`; incarnation > 0 marks a
+  // supervised respawn, which resumes from its checkpoint and must NOT
+  // inherit the deterministic crash flag (the crash already happened).
+  auto spawn_party = [&](size_t j, sqm::net::Socket listener,
+                         size_t incarnation) -> pid_t {
     std::vector<std::string> child_args = {
         args.party_bin,
         "--config=" + resolved_path,
         "--party=" + std::to_string(j),
-        "--listen-fd=" + std::to_string(listeners[j].fd()),
+        "--listen-fd=" + std::to_string(listener.fd()),
         "--report=" + report_paths[j],
         "--trace=" + trace_paths[j],
     };
-    if (args.crash_party == static_cast<long>(j) &&
+    if (supervised) {
+      child_args.push_back("--checkpoint-dir=" + checkpoint_dirs[j]);
+      child_args.push_back("--incarnation=" + std::to_string(incarnation));
+    }
+    if ((incarnation == 0 || args.crash_every_incarnation) &&
+        args.crash_party == static_cast<long>(j) &&
         args.crash_at_mul_level >= 0) {
       child_args.push_back("--crash-at-mul-level=" +
                            std::to_string(args.crash_at_mul_level));
@@ -269,12 +330,11 @@ int main(int argc, char** argv) {
     const pid_t pid = ::fork();
     if (pid < 0) {
       std::cerr << "fork failed: " << std::strerror(errno) << "\n";
-      return 1;
+      return -1;
     }
     if (pid == 0) {
       // Child: hand over only our own listener, then become sqm-party.
-      const sqm::Status status =
-          sqm::net::SetCloseOnExec(listeners[j], false);
+      const sqm::Status status = sqm::net::SetCloseOnExec(listener, false);
       if (!status.ok()) _exit(127);
       std::vector<char*> argv_raw;
       argv_raw.reserve(child_args.size() + 1);
@@ -286,6 +346,58 @@ int main(int argc, char** argv) {
       // Only reached when execv failed.
       _exit(127);
     }
+    // Parent: `listener` closes on return — the child owns it now.
+    return pid;
+  };
+
+  // Respawns party j after an unexpected death, if the restart budget
+  // allows: back off, rebind the party's original resolved port (the
+  // listener died with the process; SO_REUSEADDR makes the rebind
+  // immediate), fork the next incarnation.
+  auto try_restart = [&](size_t j) -> bool {
+    if (!supervised || outcomes[j].restarts >= config.max_restarts) {
+      return false;
+    }
+    std::cerr << "supervisor: party " << j << " died (exit="
+              << outcomes[j].exit_code
+              << " signal=" << outcomes[j].term_signal << "), restart "
+              << (outcomes[j].restarts + 1) << "/" << config.max_restarts
+              << "\n";
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config.restart_backoff_seconds));
+    sqm::Result<sqm::net::Socket> listener = sqm::net::ListenOn(
+        config.parties[j].host, config.parties[j].port);
+    for (int attempt = 0; !listener.ok() && attempt < 20; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      listener = sqm::net::ListenOn(config.parties[j].host,
+                                    config.parties[j].port);
+    }
+    if (!listener.ok()) {
+      std::cerr << "supervisor: cannot rebind party " << j << " port "
+                << config.parties[j].port << ": "
+                << listener.status().ToString() << "\n";
+      return false;
+    }
+    const sqm::Status cloexec =
+        sqm::net::SetCloseOnExec(listener.ValueOrDie(), true);
+    if (!cloexec.ok()) {
+      std::cerr << cloexec.ToString() << "\n";
+      return false;
+    }
+    const pid_t pid = spawn_party(j, std::move(listener).ValueOrDie(),
+                                  outcomes[j].restarts + 1);
+    if (pid < 0) return false;
+    ++outcomes[j].restarts;
+    outcomes[j].pid = pid;
+    outcomes[j].exit_code = -1;
+    outcomes[j].term_signal = 0;
+    return true;
+  };
+
+  // Launch the parties.
+  for (size_t j = 0; j < n; ++j) {
+    const pid_t pid = spawn_party(j, std::move(listeners[j]), 0);
+    if (pid < 0) return 1;
     outcomes[j].pid = pid;
   }
   // Parent: release every listener — the children own them now.
@@ -296,7 +408,8 @@ int main(int argc, char** argv) {
                     std::chrono::duration_cast<
                         std::chrono::steady_clock::duration>(
                         std::chrono::duration<double>(
-                            args.timeout_seconds)));
+                            args.timeout_seconds)),
+                try_restart);
 
   // Collect reports from the parties that produced one.
   bool ok = true;
@@ -317,7 +430,13 @@ int main(int argc, char** argv) {
         ok = false;
       }
     }
-    const bool expected_crash = args.crash_party == static_cast<long>(j);
+    // A --crash-party death is only excusable when nothing was supposed
+    // to bring it back: under supervision its respawn must finish cleanly
+    // — unless the test re-arms the crash on every incarnation precisely
+    // to exhaust the restart budget.
+    const bool expected_crash =
+        args.crash_party == static_cast<long>(j) &&
+        (!supervised || args.crash_every_incarnation);
     if (!expected_crash && outcomes[j].exit_code != 0) {
       std::cerr << "party " << j << " failed: exit="
                 << outcomes[j].exit_code
@@ -420,6 +539,7 @@ int main(int argc, char** argv) {
     summary.Field("exit_code", static_cast<int64_t>(outcomes[j].exit_code));
     summary.Field("term_signal",
                   static_cast<int64_t>(outcomes[j].term_signal));
+    summary.Field("restarts", static_cast<uint64_t>(outcomes[j].restarts));
     summary.Field("report_loaded", outcomes[j].report_loaded);
     summary.EndObject();
   }

@@ -8,13 +8,17 @@
 //
 //   sqm-party --config=deploy.json --party=2
 //       [--listen-fd=7] [--report=party2.json] [--trace=party2.trace.json]
-//       [--crash-at-mul-level=L]
+//       [--crash-at-mul-level=L] [--checkpoint-dir=DIR] [--incarnation=K]
 //
 // --listen-fd adopts a pre-bound listening socket (the coordinator binds
 // every roster port before forking so no party can lose a bind race).
 // --crash-at-mul-level raises SIGKILL when multiplication level L begins —
 // a deterministic stand-in for `kill -9` mid-protocol, used by the
-// resilience tests. See docs/DEPLOYMENT.md.
+// resilience tests.
+// --checkpoint-dir enables durable checkpoints (and, with the config's
+// recovery fields, supervised rejoin); --incarnation=K marks this process
+// as the K-th supervised respawn, making it resume from its checkpoint.
+// See docs/DEPLOYMENT.md.
 
 #include <csignal>
 #include <cstdint>
@@ -40,6 +44,8 @@ struct Args {
   std::string report_path;
   std::string trace_path;
   long crash_at_mul_level = -1;
+  std::string checkpoint_dir;
+  long incarnation = 0;
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -61,7 +67,8 @@ bool ParseLongFlag(const std::string& arg, const std::string& name,
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --config=FILE --party=N [--listen-fd=FD] [--report=FILE]"
-               " [--trace=FILE] [--crash-at-mul-level=L]\n";
+               " [--trace=FILE] [--crash-at-mul-level=L]"
+               " [--checkpoint-dir=DIR] [--incarnation=K]\n";
   return 2;
 }
 
@@ -77,7 +84,9 @@ int main(int argc, char** argv) {
         ParseFlag(arg, "report", &args.report_path) ||
         ParseFlag(arg, "trace", &args.trace_path) ||
         ParseLongFlag(arg, "crash-at-mul-level",
-                      &args.crash_at_mul_level)) {
+                      &args.crash_at_mul_level) ||
+        ParseFlag(arg, "checkpoint-dir", &args.checkpoint_dir) ||
+        ParseLongFlag(arg, "incarnation", &args.incarnation)) {
       continue;
     }
     if (ParseLongFlag(arg, "listen-fd", &fd)) {
@@ -87,7 +96,9 @@ int main(int argc, char** argv) {
     std::cerr << "unknown flag: " << arg << "\n";
     return Usage(argv[0]);
   }
-  if (args.config_path.empty() || args.party < 0) return Usage(argv[0]);
+  if (args.config_path.empty() || args.party < 0 || args.incarnation < 0) {
+    return Usage(argv[0]);
+  }
 
   std::ifstream config_file(args.config_path);
   if (!config_file) {
@@ -107,7 +118,8 @@ int main(int argc, char** argv) {
 
   sqm::Result<std::unique_ptr<sqm::net::TcpTransport>> transport =
       sqm::net::TcpTransport::Create(sqm::TcpOptionsFromDeployment(
-          config.ValueOrDie(), me, args.listen_fd));
+          config.ValueOrDie(), me, args.listen_fd,
+          static_cast<uint32_t>(args.incarnation)));
   if (!transport.ok()) {
     std::cerr << "party " << me
               << ": transport setup failed: " << transport.status().ToString()
@@ -116,6 +128,8 @@ int main(int argc, char** argv) {
   }
 
   sqm::PartySqmHooks hooks;
+  hooks.checkpoint_dir = args.checkpoint_dir;
+  hooks.incarnation = static_cast<uint32_t>(args.incarnation);
   if (args.crash_at_mul_level >= 0) {
     const size_t crash_level = static_cast<size_t>(args.crash_at_mul_level);
     hooks.mul_level_hook = [crash_level](size_t level) {

@@ -500,6 +500,102 @@ void CheckSocketDiscipline(const Project& /*project*/, const SourceFile& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// retry-discipline: a sleep-family call inside a loop in src/net/ must
+// consult a backoff/deadline helper. A bare fixed sleep in a retry loop is
+// how reconnect storms and unbounded waits are born: the dialer that
+// hammers a dead peer every 50 ms forever, or the poll loop that never
+// checks its deadline. Pacing is visible lexically — the loop header or
+// the sleep statement names a backoff, deadline, remaining-time, window or
+// jitter value (InterruptibleSleep, the dialer backoff, the threaded
+// transport's exponential retry all do).
+// ---------------------------------------------------------------------------
+void CheckRetryDiscipline(const Project& /*project*/, const SourceFile& file,
+                          std::vector<Finding>* findings) {
+  if (!PathInModule(file.path, "src/net/")) return;
+  static const std::set<std::string> kSleepCalls = {
+      "sleep_for", "sleep_until", "usleep", "nanosleep", "sleep"};
+  static const std::set<std::string> kPacingWords = {
+      "backoff", "deadline", "remaining", "window", "jitter"};
+
+  const Tokens& toks = file.tokens;
+  auto has_pacing_word = [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end && j < toks.size(); ++j) {
+      if (!IsIdent(toks[j])) continue;
+      for (const std::string& word : IdentifierWords(toks[j].text)) {
+        if (kPacingWords.count(word) > 0) return true;
+      }
+    }
+    return false;
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i]) || kSleepCalls.count(toks[i].text) == 0) continue;
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) continue;
+
+    // Walk the brace structure outward from the sleep; every enclosing
+    // block whose owner is for/while/do marks the sleep as loop-resident,
+    // and a pacing word in any such loop's header counts as consulted.
+    bool in_loop = false;
+    bool paced = false;
+    int depth = 0;
+    for (size_t k = i; k > 0;) {
+      --k;
+      if (IsPunct(toks[k], "}")) {
+        ++depth;
+        continue;
+      }
+      if (!IsPunct(toks[k], "{")) continue;
+      if (depth > 0) {
+        --depth;
+        continue;
+      }
+      // toks[k] opens a block enclosing the sleep; classify its owner.
+      if (k > 0 && IsPunct(toks[k - 1], ")")) {
+        int pd = 0;
+        size_t open = k - 1;
+        while (open > 0) {
+          if (IsPunct(toks[open], ")")) ++pd;
+          if (IsPunct(toks[open], "(")) {
+            --pd;
+            if (pd == 0) break;
+          }
+          --open;
+        }
+        if (open > 0 && IsIdent(toks[open - 1]) &&
+            (toks[open - 1].text == "for" ||
+             toks[open - 1].text == "while")) {
+          in_loop = true;
+          paced = paced || has_pacing_word(open + 1, k - 1);
+        }
+      } else if (k > 0 && IsIdent(toks[k - 1]) && toks[k - 1].text == "do") {
+        in_loop = true;
+      }
+    }
+    if (!in_loop) continue;
+
+    // The sleep's own statement also counts: `sleep_for(backoff)` or the
+    // guarded `if (backoff > 0.0) sleep_for(...)` form.
+    if (!paced) {
+      size_t start = i;
+      while (start > 0 && !IsPunct(toks[start - 1], ";") &&
+             !IsPunct(toks[start - 1], "{") && !IsPunct(toks[start - 1], "}")) {
+        --start;
+      }
+      size_t end = i;
+      while (end < toks.size() && !IsPunct(toks[end], ";")) ++end;
+      paced = has_pacing_word(start, end);
+    }
+    if (paced) continue;
+    Report(findings, "retry-discipline", file, toks[i].line,
+           "'" + toks[i].text +
+               "' inside a loop with no backoff/deadline in sight; retry "
+               "loops in src/net/ must pace themselves through a "
+               "backoff/deadline/window helper (see InterruptibleSleep) or "
+               "they become reconnect storms");
+  }
+}
+
 }  // namespace
 
 const std::vector<Check>& AllChecks() {
@@ -524,6 +620,9 @@ const std::vector<Check>& AllChecks() {
        "raw socket syscalls outside src/net/tcp/socket.*, or their results "
        "discarded inside it",
        CheckSocketDiscipline},
+      {"retry-discipline",
+       "sleep inside a src/net/ loop without a backoff/deadline helper",
+       CheckRetryDiscipline},
   };
   return kChecks;
 }
