@@ -1,16 +1,26 @@
 // Table I reproduction: the paper's complexity table is analytic
 // (computation / communication / time for PCA and LR under BGW). This
-// bench (a) restates the formulas and (b) validates the dominant scaling
+// bench (a) restates the formulas, (b) validates the dominant scaling
 // empirically: measured communication for PCA grows ~n^2 m P and for LR
 // ~n m P, and measured time follows the same trend, by fitting the growth
-// exponent between successive problem sizes.
+// exponent between successive problem sizes, and (c) measures the batched
+// Shamir hot path (ShareBatch / ReconstructBatch over precomputed
+// Vandermonde / Lagrange tables) against the scalar loop it replaces —
+// the constant-factor side of the same complexity story.
+//
+// With --json=FILE the batch sweep is also written as a JSON record
+// (scripts/check.sh archives it as BENCH_complexity_scaling.json).
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/timing_common.h"
+#include "mpc/shamir.h"
+#include "sampling/rng.h"
 
 namespace sqm {
 namespace {
@@ -18,6 +28,114 @@ namespace {
 double GrowthExponent(double small_value, double large_value,
                       double size_ratio) {
   return std::log(large_value / small_value) / std::log(size_ratio);
+}
+
+double SecondsSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct BatchRow {
+  size_t d = 0;
+  double scalar_share_seconds = 0.0;
+  double batch_share_seconds = 0.0;
+  double scalar_recon_seconds = 0.0;
+  double batch_recon_seconds = 0.0;
+};
+
+/// Times d-secret sharing + reconstruction, scalar loop vs the batched
+/// entry points, over `reps` repetitions. Both legs consume identical RNG
+/// schedules (ShareBatch draws coefficients in scalar order), so the work
+/// compared is bit-for-bit the same computation.
+BatchRow TimeBatchSweep(size_t d, int reps) {
+  const ShamirScheme scheme(5, 2);
+  const size_t parties = 5;
+  std::vector<Field::Element> secrets(d);
+  for (size_t i = 0; i < d; ++i) {
+    secrets[i] = Field::Encode(static_cast<int64_t>(i) - 3);
+  }
+
+  BatchRow row;
+  row.d = d;
+  Field::Element sink = 0;
+
+  {
+    Rng rng(77);
+    std::vector<std::vector<Field::Element>> shares(d);
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      for (size_t i = 0; i < d; ++i) shares[i] = scheme.Share(secrets[i], rng);
+      sink ^= shares[d - 1][0];
+    }
+    row.scalar_share_seconds = SecondsSince(start) / reps;
+  }
+  {
+    Rng rng(77);
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      const auto rows = scheme.ShareBatch(secrets, rng);
+      sink ^= rows[0][d - 1];
+    }
+    row.batch_share_seconds = SecondsSince(start) / reps;
+  }
+
+  // Reconstruction operates on the party-major share matrix the protocol
+  // actually holds; the scalar leg pays the per-secret column gather that
+  // ReconstructBatch's table-driven sweep avoids.
+  Rng rng(78);
+  const std::vector<std::vector<Field::Element>> rows =
+      scheme.ShareBatch(secrets, rng);
+  {
+    std::vector<Field::Element> column(parties);
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      for (size_t i = 0; i < d; ++i) {
+        for (size_t j = 0; j < parties; ++j) column[j] = rows[j][i];
+        sink ^= scheme.Reconstruct(column);
+      }
+    }
+    row.scalar_recon_seconds = SecondsSince(start) / reps;
+  }
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      sink ^= scheme.ReconstructBatch(rows)[d - 1];
+    }
+    row.batch_recon_seconds = SecondsSince(start) / reps;
+  }
+  if (sink == 0xdeadbeef) std::printf("(unlikely sink)\n");
+  return row;
+}
+
+void WriteJson(const std::string& path, bool paper_scale,
+               const std::vector<BatchRow>& rows) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"complexity_scaling\",\"scale\":\"%s\","
+               "\"scheme\":{\"parties\":5,\"threshold\":2},"
+               "\"batch_rows\":[",
+               paper_scale ? "paper" : "small");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BatchRow& row = rows[i];
+    std::fprintf(
+        out,
+        "%s{\"d\":%zu,\"scalar_share_seconds\":%.9f,"
+        "\"batch_share_seconds\":%.9f,\"share_speedup\":%.3f,"
+        "\"scalar_reconstruct_seconds\":%.9f,"
+        "\"batch_reconstruct_seconds\":%.9f,\"reconstruct_speedup\":%.3f}",
+        i > 0 ? "," : "", row.d, row.scalar_share_seconds,
+        row.batch_share_seconds,
+        row.scalar_share_seconds / row.batch_share_seconds,
+        row.scalar_recon_seconds, row.batch_recon_seconds,
+        row.scalar_recon_seconds / row.batch_recon_seconds);
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
 }
 
 }  // namespace
@@ -79,5 +197,37 @@ int main(int argc, char** argv) {
       "polynomial (n^2 monomials); the paper's O(m n) LR figure assumes "
       "the structured inner-product evaluation, which the vectorized "
       "protocol layer (mpc/protocol.h InnerProduct) provides.\n");
+
+  std::printf(
+      "\nBatched Shamir hot path (scheme (5,2); per-batch seconds, mean of "
+      "reps):\n");
+  std::printf("%-6s | %-14s %-14s %-8s | %-14s %-14s %-8s\n", "d",
+              "scalar share", "batch share", "speedup", "scalar recon",
+              "batch recon", "speedup");
+  bench::PrintRule();
+  const int batch_reps =
+      config.reps > 0 ? config.reps : (config.paper_scale ? 2000 : 400);
+  std::vector<BatchRow> batch_rows;
+  for (const size_t d : {4u, 16u, 64u, 256u}) {
+    const BatchRow row = TimeBatchSweep(d, batch_reps);
+    batch_rows.push_back(row);
+    std::printf("%-6zu | %-14.9f %-14.9f %-8.2f | %-14.9f %-14.9f %-8.2f\n",
+                row.d, row.scalar_share_seconds, row.batch_share_seconds,
+                row.scalar_share_seconds / row.batch_share_seconds,
+                row.scalar_recon_seconds, row.batch_recon_seconds,
+                row.scalar_recon_seconds / row.batch_recon_seconds);
+  }
+  std::printf(
+      "\nReading: both columns perform the identical field computation "
+      "(same RNG schedule, bit-identical outputs — the differential suite "
+      "pins this); the batched columns amortize the Vandermonde / Lagrange "
+      "table lookups and run branchless lazy-reduction kernels over "
+      "contiguous spans. The win compounds with d; by d >= 16 the batched "
+      "path should dominate on any machine.\n");
+
+  if (!config.json_path.empty()) {
+    WriteJson(config.json_path, config.paper_scale, batch_rows);
+    std::printf("JSON summary written to %s\n", config.json_path.c_str());
+  }
   return 0;
 }

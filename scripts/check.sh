@@ -22,13 +22,24 @@ cmake --build "$build_dir" -j"$(nproc)"
 "$build_dir"/bench/table2_transport_modes --scale=small \
     --json="$build_dir/BENCH_transport_modes.json"
 
+# Archive the batched-hot-path and Beaver-vs-GRR records alongside it:
+# the scalar-vs-batched Shamir sweep (batched must win by d >= 16) and
+# the offline/online Beaver split with quorum-path round counts (Beaver
+# halves the per-Mul rounds by dropping the census).
+"$build_dir"/bench/table1_complexity_scaling --scale=small \
+    --json="$build_dir/BENCH_complexity_scaling.json"
+"$build_dir"/bench/ablation_beaver_vs_grr --scale=small \
+    --json="$build_dir/BENCH_beaver_vs_grr.json"
+
 # Recovery gate under ThreadSanitizer: the deploy + chaos suites exercise
 # SIGKILL, reconnect and resume-barrier paths where a data race would be
-# silent corruption in the release build. A separate build tree keeps the
-# instrumented objects out of the primary build.
+# silent corruption in the release build, and the batch differential
+# suite's threaded/TCP legs put the Beaver + batched hot path under the
+# race detector too. A separate build tree keeps the instrumented objects
+# out of the primary build.
 tsan_dir="$build_dir-tsan"
 cmake -B "$tsan_dir" -S "$repo_root" -DSQM_SANITIZE=thread
 cmake --build "$tsan_dir" -j"$(nproc)"
-(cd "$tsan_dir" && ctest -L 'deploy|chaos' --output-on-failure)
+(cd "$tsan_dir" && ctest -L 'deploy|chaos|batch' --output-on-failure)
 
 echo "check.sh: all gates passed"

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "core/sensitivity.h"
 #include "dp/accountant.h"
 #include "dp/skellam.h"
+#include "mpc/beaver.h"
 #include "mpc/checkpoint_store.h"
 #include "mpc/circuit.h"
 #include "mpc/field.h"
@@ -58,6 +60,10 @@ uint64_t ConfigFingerprint(const DeploymentConfig& config) {
   mix_double(config.gamma);
   mix_double(config.mu);
   mix(config.quantize_coefficients ? 1 : 0);
+  // The mul backend changes the RNG consumption schedule (Beaver Mul
+  // never draws re-sharing randomness), so checkpoints do not transfer
+  // across backends.
+  mix(config.mul_backend == "beaver" ? 1 : 0);
   for (const char c : config.polynomial) {
     mix(static_cast<uint8_t>(c));
   }
@@ -102,6 +108,8 @@ Result<SqmOptions> SqmOptionsFromDeployment(const DeploymentConfig& config) {
   options.seed = config.seed;
   SQM_ASSIGN_OR_RETURN(options.dropout_policy,
                        DropoutPolicyFromString(config.dropout_policy));
+  SQM_ASSIGN_OR_RETURN(options.mul_backend,
+                       MulBackendFromString(config.mul_backend));
   options.dp_delta = config.dp_delta;
   options.record_norm_bound = config.record_norm_bound;
   options.mpc_max_attempts = config.mpc_max_attempts;
@@ -126,6 +134,8 @@ Result<SqmReport> RunPartySqm(const DeploymentConfig& config, size_t me,
   }
   SQM_ASSIGN_OR_RETURN(const DropoutPolicy policy,
                        DropoutPolicyFromString(config.dropout_policy));
+  SQM_ASSIGN_OR_RETURN(const MulBackend mul_backend,
+                       MulBackendFromString(config.mul_backend));
   SQM_ASSIGN_OR_RETURN(const PolynomialVector f,
                        ParsePolynomialVector(config.polynomial));
 
@@ -375,6 +385,29 @@ Result<SqmReport> RunPartySqm(const DeploymentConfig& config, size_t me,
             << "); announcing a full redo at the resume barrier";
       }
     }
+  }
+
+  // Beaver backend: every party pre-deals the SAME pool from the shared
+  // (scheme, seed, capacity) — offline work, before the online clock.
+  // A checkpoint resume replays Mul levels, so the pool is provisioned
+  // for mpc_max_attempts full passes. Supervised recovery is rejected:
+  // the pool cursor is not part of the durable checkpoint, so a restarted
+  // incarnation could not realign its triple stream.
+  std::unique_ptr<BeaverTriplePool> beaver_pool;
+  if (mul_backend == MulBackend::kBeaver) {
+    if (recovery_enabled) {
+      return Status::InvalidArgument(
+          "mul_backend=beaver is not supported with supervised recovery: "
+          "the Beaver pool cursor is not part of the durable checkpoint");
+    }
+    const size_t pool_attempts =
+        policy != DropoutPolicy::kAbort
+            ? std::max<size_t>(config.mpc_max_attempts, 1)
+            : 1;
+    beaver_pool = std::make_unique<BeaverTriplePool>(
+        ShamirScheme(num_clients, threshold), config.seed ^ 0xbea7e5,
+        circuit.num_multiplications() * pool_attempts);
+    engine.protocol().set_beaver_pool(beaver_pool.get());
   }
 
   const auto compute_start = std::chrono::steady_clock::now();

@@ -9,6 +9,7 @@
 #include "core/logging.h"
 #include "dp/accountant.h"
 #include "dp/skellam.h"
+#include "mpc/beaver.h"
 #include "mpc/bgw.h"
 #include "mpc/circuit.h"
 #include "mpc/field.h"
@@ -71,6 +72,23 @@ Result<DropoutPolicy> DropoutPolicyFromString(const std::string& name) {
   if (name == "topup") return DropoutPolicy::kTopUp;
   return Status::InvalidArgument("unknown dropout policy \"" + name +
                                  "\" (expected abort, degrade, or topup)");
+}
+
+const char* MulBackendToString(MulBackend backend) {
+  switch (backend) {
+    case MulBackend::kGrr:
+      return "grr";
+    case MulBackend::kBeaver:
+      return "beaver";
+  }
+  return "unknown";
+}
+
+Result<MulBackend> MulBackendFromString(const std::string& name) {
+  if (name == "grr") return MulBackend::kGrr;
+  if (name == "beaver") return MulBackend::kBeaver;
+  return Status::InvalidArgument("unknown mul backend \"" + name +
+                                 "\" (expected grr or beaver)");
 }
 
 SqmEvaluator::SqmEvaluator(SqmOptions options)
@@ -369,6 +387,22 @@ Result<SqmReport> SqmEvaluator::EvaluateBgw(
   const size_t quorum = 2 * threshold + 1;
   LivenessTracker tracker(num_clients);
   if (policy != DropoutPolicy::kAbort) engine.set_liveness(&tracker);
+
+  // Beaver backend: deal the whole circuit's triples offline, before the
+  // online clock starts. A checkpoint resume replays Mul levels, so the
+  // pool is provisioned for max_attempts full passes; exhaustion inside
+  // the protocol is a kFailedPrecondition, never a silent online deal.
+  std::unique_ptr<BeaverTriplePool> beaver_pool;
+  if (options_.mul_backend == MulBackend::kBeaver) {
+    const size_t max_pool_attempts =
+        policy != DropoutPolicy::kAbort
+            ? std::max<size_t>(options_.mpc_max_attempts, 1)
+            : 1;
+    beaver_pool = std::make_unique<BeaverTriplePool>(
+        ShamirScheme(num_clients, threshold), options_.seed ^ 0xbea7e5,
+        circuit.num_multiplications() * max_pool_attempts);
+    engine.protocol().set_beaver_pool(beaver_pool.get());
+  }
 
   const auto compute_start = std::chrono::steady_clock::now();
   const uint64_t compute_ts = obs::NowMicros();

@@ -49,13 +49,77 @@ class BeaverTripleDealer {
   Rng rng_;
 };
 
+/// Offline-phase triple store: pre-deals a fixed budget of triples at
+/// construction and serves the online path from the queue, so online Mul
+/// timing and traffic contain zero dealing work. The triple stream is a
+/// pure function of (scheme, seed) and byte-identical to what a
+/// BeaverTripleDealer with the same seed would deal — every party (or the
+/// driver replaying all parties) derives the same pool independently,
+/// which is the standard semi-honest preprocessing abstraction.
+///
+/// Exhaustion is a refusal, never a silent online re-deal: Take past the
+/// dealt budget fails with kFailedPrecondition. Refill is an explicit
+/// offline act, and on the quorum/dropout path it enforces the same
+/// 2t+1 dealer rule as MulQuorum: fewer than 2t+1 surviving parties can
+/// no longer deal degree-t sharings that recombine to a correct product.
+class BeaverTriplePool {
+ public:
+  /// One Take's worth of triples in SharedVector layout: element i of
+  /// (a, b, c) is the i-th triple, c = a * b.
+  struct TripleBatch {
+    SharedVector a;
+    SharedVector b;
+    SharedVector c;
+  };
+
+  /// Pre-deals `capacity` triples from the deterministic `seed` stream
+  /// (the offline phase; not part of any online timing).
+  BeaverTriplePool(ShamirScheme scheme, uint64_t seed, size_t capacity);
+
+  size_t capacity() const { return dealt_; }
+  size_t taken() const { return cursor_; }
+  size_t available() const { return dealt_ - cursor_; }
+
+  /// Takes the next `count` triples in stream order. Fails with
+  /// kFailedPrecondition when fewer than `count` remain — the pool is
+  /// left untouched and no fresh triples are dealt.
+  Result<TripleBatch> Take(size_t count);
+
+  /// Offline refill: deals `count` further triples from the same stream.
+  Status Refill(size_t count);
+
+  /// Quorum-path refill: refuses with kFailedPrecondition unless at least
+  /// 2t+1 distinct valid parties survive in `survivors` (the MulQuorum
+  /// dealer rule); otherwise deals exactly as Refill(count).
+  Status Refill(size_t count, const std::vector<size_t>& survivors);
+
+ private:
+  void DealInto(size_t count);
+
+  ShamirScheme scheme_;
+  Rng rng_;
+  size_t dealt_ = 0;
+  size_t cursor_ = 0;
+  // Structure-of-arrays: rows_[party][triple], so a Take slices k
+  // contiguous columns into SharedVector rows.
+  std::vector<std::vector<Field::Element>> a_rows_;
+  std::vector<std::vector<Field::Element>> b_rows_;
+  std::vector<std::vector<Field::Element>> c_rows_;
+};
+
 /// Online Beaver multiplication over an existing BgwProtocol's network and
 /// sharing scheme.
 class BeaverMultiplier {
  public:
   /// `protocol` supplies the parties, scheme, and network; `dealer` the
-  /// preprocessed triples. Both must outlive this object.
+  /// preprocessed triples. Both must outlive this object. Triples are
+  /// dealt inline during Mul — online timings therefore include dealing
+  /// cost; prefer the pool constructor for a true offline/online split.
   BeaverMultiplier(BgwProtocol* protocol, BeaverTripleDealer* dealer);
+
+  /// Pool-backed variant: Mul consumes pre-dealt triples and fails with
+  /// the pool's kFailedPrecondition when the offline budget runs out.
+  BeaverMultiplier(BgwProtocol* protocol, BeaverTriplePool* pool);
 
   /// Element-wise product of two shared vectors using one triple per
   /// element: one communication round (the joint opening of d = x - a and
@@ -67,7 +131,8 @@ class BeaverMultiplier {
 
  private:
   BgwProtocol* protocol_;
-  BeaverTripleDealer* dealer_;
+  BeaverTripleDealer* dealer_ = nullptr;
+  BeaverTriplePool* pool_ = nullptr;
   size_t triples_used_ = 0;
 };
 

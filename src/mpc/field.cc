@@ -76,4 +76,69 @@ std::vector<int64_t> Field::DecodeVector(const std::vector<Element>& v) {
   return out;
 }
 
+namespace {
+
+// Branchless canonicalization of r in [0, 2p): subtract p iff r >= p. Same
+// result as the scalar `if (r >= kModulus) r -= kModulus`, but as a mask so
+// the batched loops below stay straight-line and auto-vectorizable.
+inline uint64_t CanonicalizeBranchless(uint64_t r) {
+  return r - (Field::kModulus &
+              -static_cast<uint64_t>(r >= Field::kModulus));
+}
+
+inline uint64_t MulOneBranchless(uint64_t a, uint64_t b) {
+  const __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  const uint64_t lo = static_cast<uint64_t>(prod) & Field::kModulus;
+  const uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t r = lo + (hi & Field::kModulus) + (hi >> 61);
+  r = (r & Field::kModulus) + (r >> 61);
+  return CanonicalizeBranchless(r);
+}
+
+}  // namespace
+
+void Field::ReduceVec(const uint64_t* in, Element* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] =
+        CanonicalizeBranchless((in[i] & kModulus) + (in[i] >> 61));
+  }
+}
+
+void Field::AddVec(const Element* a, const Element* b, Element* out,
+                   size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = CanonicalizeBranchless(a[i] + b[i]);  // a+b < 2^62: no overflow.
+  }
+}
+
+void Field::SubVec(const Element* a, const Element* b, Element* out,
+                   size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    // a - b + (p if a < b): the mask add replaces the scalar ternary.
+    out[i] =
+        a[i] - b[i] + (kModulus & -static_cast<uint64_t>(a[i] < b[i]));
+  }
+}
+
+void Field::MulVec(const Element* a, const Element* b, Element* out,
+                   size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = MulOneBranchless(a[i], b[i]);
+}
+
+void Field::ScaleVec(const Element* a, Element c, Element* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = MulOneBranchless(a[i], c);
+}
+
+void Field::MulAddVec(Element* acc, const Element* v, Element w, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    acc[i] = CanonicalizeBranchless(acc[i] + MulOneBranchless(v[i], w));
+  }
+}
+
+Field::Element Field::SumVec(const Element* a, size_t n) {
+  Element acc = 0;
+  for (size_t i = 0; i < n; ++i) acc = CanonicalizeBranchless(acc + a[i]);
+  return acc;
+}
+
 }  // namespace sqm

@@ -63,6 +63,28 @@ class Field {
   /// Vector conveniences used by the sharing layer.
   static std::vector<Element> EncodeVector(const std::vector<int64_t>& v);
   static std::vector<int64_t> DecodeVector(const std::vector<Element>& v);
+
+  /// Batched, branchless kernels for the MPC hot path (span-style:
+  /// pointer + count; `out` may alias an input). Each produces exactly the
+  /// canonical residues the scalar operations produce — the branchless
+  /// mask-subtract is a code-generation choice, not a semantic one — so the
+  /// batched protocol path is bit-identical to the element-at-a-time path
+  /// by construction. See tests/batch_equivalence_test.cc for the proof
+  /// harness and docs/PROTOCOL.md "Batched evaluation".
+  static void ReduceVec(const uint64_t* in, Element* out, size_t n);
+  static void AddVec(const Element* a, const Element* b, Element* out,
+                     size_t n);
+  static void SubVec(const Element* a, const Element* b, Element* out,
+                     size_t n);
+  static void MulVec(const Element* a, const Element* b, Element* out,
+                     size_t n);
+  /// out[i] = a[i] * c.
+  static void ScaleVec(const Element* a, Element c, Element* out, size_t n);
+  /// acc[i] += w * v[i] — the Lagrange-recombination axpy.
+  static void MulAddVec(Element* acc, const Element* v, Element w, size_t n);
+  /// Sum of a[0..n) in the field. Field addition is exact mod p, so the
+  /// reduction order cannot change the result.
+  static Element SumVec(const Element* a, size_t n);
 };
 
 }  // namespace sqm

@@ -108,11 +108,7 @@ Result<std::vector<int64_t>> SecureOps::NoisyCovarianceUpper(
     const auto& prod = products.shares(party);
     auto& out = gram.shares(party);
     for (size_t pair = 0; pair < d; ++pair) {
-      Field::Element acc = 0;
-      for (size_t rrow = 0; rrow < m; ++rrow) {
-        acc = Field::Add(acc, prod[pair * m + rrow]);
-      }
-      out[pair] = acc;
+      out[pair] = Field::SumVec(prod.data() + pair * m, m);
     }
   }
 
@@ -201,18 +197,16 @@ Result<std::vector<int64_t>> SecureOps::NoisyLogisticGradient(
   const Field::Element c_hat = Field::Encode(inputs.half_coefficient);
   const Field::Element l_hat = Field::Encode(inputs.label_coefficient);
   SharedVector grad(parties, d);
+  std::vector<Field::Element> row(m);
   for (size_t party = 0; party < parties; ++party) {
     const auto& prod = products.shares(party);
     auto& out = grad.shares(party);
     for (size_t t = 0; t < d; ++t) {
       const auto& x_sh = x_cols[t].shares(party);
-      Field::Element acc = 0;
-      for (size_t i = 0; i < m; ++i) {
-        acc = Field::Add(acc, Field::Mul(c_hat, x_sh[i]));
-        acc = Field::Add(acc, prod[t * m + i]);
-        acc = Field::Add(acc, Field::Mul(l_hat, prod[(d + t) * m + i]));
-      }
-      out[t] = acc;
+      Field::ScaleVec(x_sh.data(), c_hat, row.data(), m);
+      Field::AddVec(row.data(), prod.data() + t * m, row.data(), m);
+      Field::MulAddVec(row.data(), prod.data() + (d + t) * m, l_hat, m);
+      out[t] = Field::SumVec(row.data(), m);
     }
   }
 
@@ -294,16 +288,15 @@ Result<std::vector<int64_t>> SecureOps::NoisyLinearGradient(
 
   const Field::Element t_hat = Field::Encode(inputs.target_coefficient);
   SharedVector grad(parties, d);
+  std::vector<Field::Element> row(m);
   for (size_t party = 0; party < parties; ++party) {
     const auto& prod = products.shares(party);
     auto& out = grad.shares(party);
     for (size_t t = 0; t < d; ++t) {
-      Field::Element acc = 0;
-      for (size_t i = 0; i < m; ++i) {
-        acc = Field::Add(acc, prod[t * m + i]);
-        acc = Field::Add(acc, Field::Mul(t_hat, prod[(d + t) * m + i]));
-      }
-      out[t] = acc;
+      row.assign(prod.begin() + static_cast<std::ptrdiff_t>(t * m),
+                 prod.begin() + static_cast<std::ptrdiff_t>((t + 1) * m));
+      Field::MulAddVec(row.data(), prod.data() + (d + t) * m, t_hat, m);
+      out[t] = Field::SumVec(row.data(), m);
     }
   }
   for (size_t j = 0; j < parties; ++j) {

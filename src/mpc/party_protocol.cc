@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/logging.h"
+#include "mpc/beaver.h"
 #include "obs/trace.h"
 
 namespace sqm {
@@ -97,13 +98,8 @@ Result<PartyProtocol::Shares> PartyProtocol::ShareFromParty(
   span.AddArg("elements", static_cast<int64_t>(count));
   if (dealer == me_) {
     SQM_CHECK(values.size() == count);
-    std::vector<std::vector<Field::Element>> outbound(
-        n, std::vector<Field::Element>(count));
-    for (size_t i = 0; i < count; ++i) {
-      const std::vector<Field::Element> shares =
-          scheme_.Share(values[i], my_rng_);
-      for (size_t j = 0; j < n; ++j) outbound[j][i] = shares[j];
-    }
+    std::vector<std::vector<Field::Element>> outbound =
+        scheme_.ShareBatch(values, my_rng_);
     for (size_t j = 0; j < n; ++j) {
       if (liveness_ != nullptr && j != me_ && PartyDead(j)) continue;
       network_->Send(me_, j, std::move(outbound[j]));
@@ -154,7 +150,7 @@ Result<PartyProtocol::Shares> PartyProtocol::Add(const Shares& a,
     return Status::InvalidArgument("Add: shape mismatch");
   }
   Shares out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = Field::Add(a[i], b[i]);
+  Field::AddVec(a.data(), b.data(), out.data(), a.size());
   return out;
 }
 
@@ -164,14 +160,14 @@ Result<PartyProtocol::Shares> PartyProtocol::Sub(const Shares& a,
     return Status::InvalidArgument("Sub: shape mismatch");
   }
   Shares out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = Field::Sub(a[i], b[i]);
+  Field::SubVec(a.data(), b.data(), out.data(), a.size());
   return out;
 }
 
 PartyProtocol::Shares PartyProtocol::ScaleConst(const Shares& a,
                                                 Field::Element c) const {
   Shares out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = Field::Mul(a[i], c);
+  Field::ScaleVec(a.data(), c, out.data(), a.size());
   return out;
 }
 
@@ -180,6 +176,7 @@ Result<PartyProtocol::Shares> PartyProtocol::Mul(const Shares& a,
   if (a.size() != b.size()) {
     return Status::InvalidArgument("Mul: shape mismatch");
   }
+  if (beaver_pool_ != nullptr) return MulBeaver(a, b);
   if (liveness_ != nullptr) return MulQuorum(a, b);
   const size_t n = num_parties();
   const size_t k = a.size();
@@ -187,16 +184,12 @@ Result<PartyProtocol::Shares> PartyProtocol::Mul(const Shares& a,
   obs::Span span("bgw.mul", "mpc", static_cast<int32_t>(me_));
   span.AddArg("elements", static_cast<int64_t>(k));
 
-  // Local product (a share of a degree-2t sharing), re-shared at degree t
-  // with this party's driver-identical randomness stream.
-  std::vector<std::vector<Field::Element>> outbound(
-      n, std::vector<Field::Element>(k));
-  for (size_t i = 0; i < k; ++i) {
-    const Field::Element product = Field::Mul(a[i], b[i]);
-    const std::vector<Field::Element> subshares =
-        scheme_.Share(product, my_rng_);
-    for (size_t r = 0; r < n; ++r) outbound[r][i] = subshares[r];
-  }
+  // Local product batch (shares of a degree-2t sharing), re-shared at
+  // degree t with this party's driver-identical randomness stream.
+  std::vector<Field::Element> products(k);
+  Field::MulVec(a.data(), b.data(), products.data(), k);
+  std::vector<std::vector<Field::Element>> outbound =
+      scheme_.ShareBatch(products, my_rng_);
   for (size_t r = 0; r < n; ++r) {
     network_->Send(me_, r, std::move(outbound[r]));
   }
@@ -218,10 +211,7 @@ Result<PartyProtocol::Shares> PartyProtocol::Mul(const Shares& a,
           std::to_string(k) + " (replayed or stale message)");
     }
     if (j >= needed) continue;
-    const Field::Element weight = degree2t_lagrange_[j];
-    for (size_t i = 0; i < k; ++i) {
-      out[i] = Field::Add(out[i], Field::Mul(weight, received[i]));
-    }
+    Field::MulAddVec(out.data(), received.data(), degree2t_lagrange_[j], k);
   }
   return out;
 }
@@ -238,14 +228,10 @@ Result<PartyProtocol::Shares> PartyProtocol::MulQuorum(const Shares& a,
 
   // Deal to the parties this party believes alive.
   {
-    std::vector<std::vector<Field::Element>> outbound(
-        n, std::vector<Field::Element>(k));
-    for (size_t i = 0; i < k; ++i) {
-      const Field::Element product = Field::Mul(a[i], b[i]);
-      const std::vector<Field::Element> subshares =
-          scheme_.Share(product, my_rng_);
-      for (size_t r = 0; r < n; ++r) outbound[r][i] = subshares[r];
-    }
+    std::vector<Field::Element> products(k);
+    Field::MulVec(a.data(), b.data(), products.data(), k);
+    std::vector<std::vector<Field::Element>> outbound =
+        scheme_.ShareBatch(products, my_rng_);
     for (size_t r = 0; r < n; ++r) {
       if (r != me_ && PartyDead(r)) continue;
       network_->Send(me_, r, std::move(outbound[r]));
@@ -383,17 +369,19 @@ Result<PartyProtocol::Shares> PartyProtocol::MulQuorum(const Shares& a,
   const std::vector<Field::Element> weights = scheme_.LagrangeAtZero(dealers);
   Shares out(k, 0);
   for (size_t d = 0; d < dealers.size(); ++d) {
-    const std::vector<Field::Element>& row = payloads[dealers[d]];
-    for (size_t i = 0; i < k; ++i) {
-      out[i] = Field::Add(out[i], Field::Mul(weights[d], row[i]));
-    }
+    Field::MulAddVec(out.data(), payloads[dealers[d]].data(), weights[d], k);
   }
   return out;
 }
 
 Result<std::vector<Field::Element>> PartyProtocol::Open(const Shares& a) {
-  const size_t n = num_parties();
   PhaseScope phase(network_, "open");
+  return OpenInPhase(a);
+}
+
+Result<std::vector<Field::Element>> PartyProtocol::OpenInPhase(
+    const Shares& a) {
+  const size_t n = num_parties();
   obs::Span span("bgw.open", "mpc", static_cast<int32_t>(me_));
   span.AddArg("elements", static_cast<int64_t>(a.size()));
   for (size_t r = 0; r < n; ++r) {
@@ -413,13 +401,7 @@ Result<std::vector<Field::Element>> PartyProtocol::Open(const Shares& a) {
             std::to_string(a.size()));
       }
     }
-    std::vector<Field::Element> out(a.size());
-    std::vector<Field::Element> shares(n);
-    for (size_t i = 0; i < a.size(); ++i) {
-      for (size_t j = 0; j < n; ++j) shares[j] = all[j][i];
-      out[i] = scheme_.Reconstruct(shares);
-    }
-    return out;
+    return scheme_.ReconstructBatch(all);
   }
 
   // Quorum opening: collect whichever survivors deliver and interpolate
@@ -474,14 +456,48 @@ Result<std::vector<Field::Element>> PartyProtocol::Open(const Shares& a) {
   if (survivors.empty()) {
     return Status::Unavailable("open impossible: no broadcast delivered");
   }
-  std::vector<Field::Element> out(a.size());
-  std::vector<Field::Element> shares(n, 0);
-  for (size_t i = 0; i < a.size(); ++i) {
-    for (size_t j : survivors) shares[j] = all[j][i];
-    SQM_ASSIGN_OR_RETURN(
-        out[i], scheme_.ReconstructFromSurvivors(shares, survivors,
-                                                 scheme_.threshold()));
-  }
+  return scheme_.ReconstructBatchFromSurvivors(all, survivors,
+                                               scheme_.threshold());
+}
+
+Result<PartyProtocol::Shares> PartyProtocol::MulBeaver(const Shares& a,
+                                                       const Shares& b) {
+  const size_t k = a.size();
+  PhaseScope phase(network_, "mul");
+  obs::Span span("bgw.mul", "mpc", static_cast<int32_t>(me_));
+  span.AddArg("elements", static_cast<int64_t>(k));
+  span.AddArg("beaver", 1);
+
+  BeaverTriplePool::TripleBatch triples;
+  SQM_ASSIGN_OR_RETURN(triples, beaver_pool_->Take(k));
+  beaver_triples_used_ += k;
+  const std::vector<Field::Element>& ta = triples.a.shares(me_);
+  const std::vector<Field::Element>& tb = triples.b.shares(me_);
+  const std::vector<Field::Element>& tc = triples.c.shares(me_);
+
+  // One round: jointly open [x - a | y - b], packed so the batch costs a
+  // single broadcast tagged to the "mul" phase. The opened values are
+  // public, so even on the quorum path any t+1 survivor shares agree and
+  // no census round is needed — this is where Beaver halves the per-Mul
+  // round count relative to GRR's sub-share + census exchanges.
+  Shares packed(2 * k);
+  Field::SubVec(a.data(), ta.data(), packed.data(), k);
+  Field::SubVec(b.data(), tb.data(), packed.data() + k, k);
+  SQM_ASSIGN_OR_RETURN(const std::vector<Field::Element> opened,
+                       OpenInPhase(packed));
+
+  // [xy] = [c] + d*[b] + e*[a] + d*e, accumulated in the same order as the
+  // driver's combine so releases are bit-identical across execution modes.
+  const Field::Element* d = opened.data();
+  const Field::Element* e = opened.data() + k;
+  Shares out = tc;
+  std::vector<Field::Element> term(k);
+  Field::MulVec(d, tb.data(), term.data(), k);
+  Field::AddVec(out.data(), term.data(), out.data(), k);
+  Field::MulVec(e, ta.data(), term.data(), k);
+  Field::AddVec(out.data(), term.data(), out.data(), k);
+  Field::MulVec(d, e, term.data(), k);
+  Field::AddVec(out.data(), term.data(), out.data(), k);
   return out;
 }
 

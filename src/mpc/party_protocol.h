@@ -16,6 +16,8 @@
 
 namespace sqm {
 
+class BeaverTriplePool;
+
 /// Per-party BGW primitives: the distributed counterpart of BgwProtocol.
 ///
 /// BgwProtocol executes every party in one process — it owns all n RNG
@@ -91,8 +93,23 @@ class PartyProtocol {
   Shares ScaleConst(const Shares& a, Field::Element c) const;
 
   /// Element-wise product with GRR degree reduction; one communication
-  /// round without a tracker, two (sub-shares + census) with one.
+  /// round without a tracker, two (sub-shares + census) with one. With a
+  /// Beaver pool attached, the online path is instead one opening round in
+  /// BOTH cases: the opened (x-a, y-b) values are public, so any t+1
+  /// survivor shares agree and no census/agreement round is needed.
   Result<Shares> Mul(const Shares& a, const Shares& b);
+
+  /// Attaches this party's offline triple pool (nullptr detaches). Every
+  /// party constructs its pool from the same (scheme, seed, capacity), so
+  /// the pools' triple streams — and hence each party's rows — agree
+  /// without communication (the semi-honest preprocessing abstraction).
+  /// Must outlive the protocol while attached. Not supported together with
+  /// recovery mode: the pool cursor is not part of the durable checkpoint.
+  void set_beaver_pool(BeaverTriplePool* pool) { beaver_pool_ = pool; }
+  BeaverTriplePool* beaver_pool() const { return beaver_pool_; }
+
+  /// Beaver triples consumed by Mul since construction (0 under GRR).
+  size_t beaver_triples_used() const { return beaver_triples_used_; }
 
   /// Opens to every party (one round) and returns the plaintext. With a
   /// tracker, dead parties are skipped and reconstruction interpolates
@@ -157,6 +174,14 @@ class PartyProtocol {
  private:
   Result<Shares> MulQuorum(const Shares& a, const Shares& b);
 
+  /// Beaver online multiplication (pool attached): one opening round,
+  /// tagged to the "mul" phase, plus local combination.
+  Result<Shares> MulBeaver(const Shares& a, const Shares& b);
+
+  /// Broadcast-and-reconstruct body shared by Open and MulBeaver; the
+  /// caller owns the PhaseScope.
+  Result<std::vector<Field::Element>> OpenInPhase(const Shares& a);
+
   /// Receive that discards late resume-barrier markers in recovery mode.
   /// ALL protocol receive sites must go through this: a peer that left the
   /// barrier first may push one final marker round into our next phase.
@@ -176,6 +201,8 @@ class PartyProtocol {
   ShamirScheme scheme_;
   Transport* network_;
   LivenessTracker* liveness_ = nullptr;
+  BeaverTriplePool* beaver_pool_ = nullptr;
+  size_t beaver_triples_used_ = 0;
   const size_t me_;
   Rng my_rng_;
   std::vector<Field::Element> degree2t_lagrange_;

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "core/logging.h"
+#include "mpc/beaver.h"
 #include "obs/trace.h"
 
 namespace sqm {
@@ -32,14 +33,9 @@ SharedVector BgwProtocol::ShareFromParty(
   obs::Span span("bgw.share", "mpc", static_cast<int32_t>(party));
   span.AddArg("party", static_cast<int64_t>(party));
   span.AddArg("elements", static_cast<int64_t>(values.size()));
-  // The owner computes one share vector per recipient and sends it.
-  std::vector<std::vector<Field::Element>> outbound(
-      n, std::vector<Field::Element>(values.size()));
-  for (size_t i = 0; i < values.size(); ++i) {
-    const std::vector<Field::Element> shares =
-        scheme_.Share(values[i], party_rngs_[party]);
-    for (size_t j = 0; j < n; ++j) outbound[j][i] = shares[j];
-  }
+  // The owner deals every recipient's row in one table-driven batch.
+  std::vector<std::vector<Field::Element>> outbound =
+      scheme_.ShareBatch(values, party_rngs_[party]);
   for (size_t j = 0; j < n; ++j) {
     network_->Send(party, j, std::move(outbound[j]));
   }
@@ -68,9 +64,8 @@ Result<SharedVector> BgwProtocol::Add(const SharedVector& a,
   }
   SharedVector out(a.num_parties(), a.size());
   for (size_t j = 0; j < a.num_parties(); ++j) {
-    for (size_t i = 0; i < a.size(); ++i) {
-      out.shares(j)[i] = Field::Add(a.shares(j)[i], b.shares(j)[i]);
-    }
+    Field::AddVec(a.shares(j).data(), b.shares(j).data(),
+                  out.shares(j).data(), a.size());
   }
   return out;
 }
@@ -82,9 +77,8 @@ Result<SharedVector> BgwProtocol::Sub(const SharedVector& a,
   }
   SharedVector out(a.num_parties(), a.size());
   for (size_t j = 0; j < a.num_parties(); ++j) {
-    for (size_t i = 0; i < a.size(); ++i) {
-      out.shares(j)[i] = Field::Sub(a.shares(j)[i], b.shares(j)[i]);
-    }
+    Field::SubVec(a.shares(j).data(), b.shares(j).data(),
+                  out.shares(j).data(), a.size());
   }
   return out;
 }
@@ -93,9 +87,7 @@ SharedVector BgwProtocol::ScaleConst(const SharedVector& a,
                                      Field::Element c) const {
   SharedVector out(a.num_parties(), a.size());
   for (size_t j = 0; j < a.num_parties(); ++j) {
-    for (size_t i = 0; i < a.size(); ++i) {
-      out.shares(j)[i] = Field::Mul(a.shares(j)[i], c);
-    }
+    Field::ScaleVec(a.shares(j).data(), c, out.shares(j).data(), a.size());
   }
   return out;
 }
@@ -105,13 +97,12 @@ Result<SharedVector> BgwProtocol::AddPublic(
   if (a.size() != pub.size()) {
     return Status::InvalidArgument("AddPublic: shape mismatch");
   }
+  // Adding a public constant to a degree-t sharing adds it to the free
+  // coefficient: every party adds the constant to its share.
   SharedVector out(a.num_parties(), a.size());
   for (size_t j = 0; j < a.num_parties(); ++j) {
-    for (size_t i = 0; i < a.size(); ++i) {
-      // Adding a public constant to a degree-t sharing adds it to the free
-      // coefficient: every party adds the constant to its share.
-      out.shares(j)[i] = Field::Add(a.shares(j)[i], pub[i]);
-    }
+    Field::AddVec(a.shares(j).data(), pub.data(), out.shares(j).data(),
+                  a.size());
   }
   return out;
 }
@@ -121,6 +112,7 @@ Result<SharedVector> BgwProtocol::Mul(const SharedVector& a,
   if (a.size() != b.size() || a.num_parties() != b.num_parties()) {
     return Status::InvalidArgument("Mul: shape mismatch");
   }
+  if (beaver_pool_ != nullptr) return MulBeaver(a, b);
   if (liveness_ != nullptr) return MulQuorum(a, b);
   const size_t n = num_parties();
   const size_t k = a.size();
@@ -131,25 +123,18 @@ Result<SharedVector> BgwProtocol::Mul(const SharedVector& a,
   // Step 1 (local): each party multiplies its shares, yielding a share of a
   // degree-2t polynomial with the right free coefficient.
   // Step 2 (re-share): each party deals a fresh degree-t sharing of its
-  // degree-2t share and distributes the sub-shares — one message per pair,
-  // batched over all k elements.
-  std::vector<std::vector<std::vector<Field::Element>>> outbound(
-      n, std::vector<std::vector<Field::Element>>(
-             n, std::vector<Field::Element>(k)));
+  // degree-2t share batch and distributes the sub-shares — one message per
+  // pair carrying all k elements.
+  std::vector<Field::Element> products(k);
   for (size_t j = 0; j < n; ++j) {
     obs::Span deal("bgw.mul.deal", "mpc", static_cast<int32_t>(j));
     deal.AddArg("party", static_cast<int64_t>(j));
-    for (size_t i = 0; i < k; ++i) {
-      const Field::Element product =
-          Field::Mul(a.shares(j)[i], b.shares(j)[i]);
-      const std::vector<Field::Element> subshares =
-          scheme_.Share(product, party_rngs_[j]);
-      for (size_t r = 0; r < n; ++r) outbound[j][r][i] = subshares[r];
-    }
-  }
-  for (size_t j = 0; j < n; ++j) {
+    Field::MulVec(a.shares(j).data(), b.shares(j).data(), products.data(),
+                  k);
+    std::vector<std::vector<Field::Element>> outbound =
+        scheme_.ShareBatch(products, party_rngs_[j]);
     for (size_t r = 0; r < n; ++r) {
-      network_->Send(j, r, std::move(outbound[j][r]));
+      network_->Send(j, r, std::move(outbound[r]));
     }
   }
   network_->EndRound();
@@ -178,10 +163,8 @@ Result<SharedVector> BgwProtocol::Mul(const SharedVector& a,
             std::to_string(k) + " (replayed or stale message)");
       }
       if (j >= needed) continue;
-      const Field::Element weight = degree2t_lagrange_[j];
-      for (size_t i = 0; i < k; ++i) {
-        acc[i] = Field::Add(acc[i], Field::Mul(weight, received[i]));
-      }
+      Field::MulAddVec(acc.data(), received.data(), degree2t_lagrange_[j],
+                       k);
     }
   }
   if (verify_sharings_) {
@@ -205,19 +188,15 @@ Result<SharedVector> BgwProtocol::MulQuorum(const SharedVector& a,
   // hence the recombined free coefficients — untouched). Sends to dead
   // recipients are skipped too; a real sender has removed them from its
   // view.
+  std::vector<Field::Element> products(k);
   for (size_t j = 0; j < n; ++j) {
     if (PartyDead(j)) continue;
     obs::Span deal("bgw.mul.deal", "mpc", static_cast<int32_t>(j));
     deal.AddArg("party", static_cast<int64_t>(j));
-    std::vector<std::vector<Field::Element>> outbound(
-        n, std::vector<Field::Element>(k));
-    for (size_t i = 0; i < k; ++i) {
-      const Field::Element product =
-          Field::Mul(a.shares(j)[i], b.shares(j)[i]);
-      const std::vector<Field::Element> subshares =
-          scheme_.Share(product, party_rngs_[j]);
-      for (size_t r = 0; r < n; ++r) outbound[r][i] = subshares[r];
-    }
+    Field::MulVec(a.shares(j).data(), b.shares(j).data(), products.data(),
+                  k);
+    std::vector<std::vector<Field::Element>> outbound =
+        scheme_.ShareBatch(products, party_rngs_[j]);
     for (size_t r = 0; r < n; ++r) {
       if (r != j && PartyDead(r)) continue;
       network_->Send(j, r, std::move(outbound[r]));
@@ -288,10 +267,8 @@ Result<SharedVector> BgwProtocol::MulQuorum(const SharedVector& a,
     recombine.AddArg("party", static_cast<int64_t>(r));
     auto& acc = out.shares(r);
     for (size_t d = 0; d < dealers.size(); ++d) {
-      const std::vector<Field::Element>& row = payloads[dealers[d]][r];
-      for (size_t i = 0; i < k; ++i) {
-        acc[i] = Field::Add(acc[i], Field::Mul(weights[d], row[i]));
-      }
+      Field::MulAddVec(acc.data(), payloads[dealers[d]][r].data(),
+                       weights[d], k);
     }
   }
   if (verify_sharings_) {
@@ -317,8 +294,12 @@ Result<SharedVector> BgwProtocol::InnerProduct(const SharedVector& a,
 }
 
 std::vector<Field::Element> BgwProtocol::Open(const SharedVector& a) {
-  const size_t n = num_parties();
   PhaseScope phase(network_, "open");
+  return OpenInPhase(a);
+}
+
+std::vector<Field::Element> BgwProtocol::OpenInPhase(const SharedVector& a) {
+  const size_t n = num_parties();
   obs::Span span("bgw.open", "mpc");
   span.AddArg("elements", static_cast<int64_t>(a.size()));
   for (size_t j = 0; j < n; ++j) {
@@ -339,13 +320,9 @@ std::vector<Field::Element> BgwProtocol::Open(const SharedVector& a) {
       if (r == 0) all[j] = std::move(received);
     }
   }
-  std::vector<Field::Element> out(a.size());
-  std::vector<Field::Element> shares(n);
-  for (size_t i = 0; i < a.size(); ++i) {
-    for (size_t j = 0; j < n; ++j) shares[j] = all[j][i];
-    out[i] = scheme_.Reconstruct(shares);
-  }
-  return out;
+  // One table-driven recombination sweep instead of a.size() scalar
+  // interpolations (bit-identical; see ShamirScheme::ReconstructBatch).
+  return scheme_.ReconstructBatch(all);
 }
 
 std::vector<int64_t> BgwProtocol::OpenSigned(const SharedVector& a) {
@@ -366,13 +343,8 @@ Result<SharedVector> BgwProtocol::TryShareFromParty(
   obs::Span span("bgw.share", "mpc", static_cast<int32_t>(party));
   span.AddArg("party", static_cast<int64_t>(party));
   span.AddArg("elements", static_cast<int64_t>(values.size()));
-  std::vector<std::vector<Field::Element>> outbound(
-      n, std::vector<Field::Element>(values.size()));
-  for (size_t i = 0; i < values.size(); ++i) {
-    const std::vector<Field::Element> shares =
-        scheme_.Share(values[i], party_rngs_[party]);
-    for (size_t j = 0; j < n; ++j) outbound[j][i] = shares[j];
-  }
+  std::vector<std::vector<Field::Element>> outbound =
+      scheme_.ShareBatch(values, party_rngs_[party]);
   for (size_t j = 0; j < n; ++j) {
     if (j != party && PartyDead(j)) continue;
     network_->Send(party, j, std::move(outbound[j]));
@@ -401,9 +373,14 @@ Result<SharedVector> BgwProtocol::TryShareFromParty(
 
 Result<std::vector<Field::Element>> BgwProtocol::TryOpen(
     const SharedVector& a) {
+  PhaseScope phase(network_, "open");
+  return TryOpenInPhase(a);
+}
+
+Result<std::vector<Field::Element>> BgwProtocol::TryOpenInPhase(
+    const SharedVector& a) {
   const size_t n = num_parties();
   SQM_CHECK(liveness_ != nullptr);
-  PhaseScope phase(network_, "open");
   obs::Span span("bgw.open", "mpc");
   span.AddArg("elements", static_cast<int64_t>(a.size()));
   span.AddArg("quorum", 1);
@@ -456,14 +433,65 @@ Result<std::vector<Field::Element>> BgwProtocol::TryOpen(
   for (size_t j = 0; j < n; ++j) {
     if (have[j]) survivors.push_back(j);
   }
-  std::vector<Field::Element> out(a.size());
-  std::vector<Field::Element> shares(n, 0);
-  for (size_t i = 0; i < a.size(); ++i) {
-    for (size_t j : survivors) shares[j] = all[j][i];
-    SQM_ASSIGN_OR_RETURN(
-        out[i],
-        scheme_.ReconstructFromSurvivors(shares, survivors,
-                                         scheme_.threshold()));
+  return scheme_.ReconstructBatchFromSurvivors(all, survivors,
+                                               scheme_.threshold());
+}
+
+Result<SharedVector> BgwProtocol::MulBeaver(const SharedVector& a,
+                                            const SharedVector& b) {
+  const size_t n = num_parties();
+  const size_t k = a.size();
+  PhaseScope phase(network_, "mul");
+  obs::Span span("bgw.mul", "mpc");
+  span.AddArg("elements", static_cast<int64_t>(k));
+  span.AddArg("beaver", 1);
+
+  BeaverTriplePool::TripleBatch triples;
+  SQM_ASSIGN_OR_RETURN(triples, beaver_pool_->Take(k));
+  beaver_triples_used_ += k;
+
+  // Local masking: pack d = x - a and e = y - b into one 2k-element shared
+  // vector so the whole Mul costs exactly one opening round.
+  SharedVector packed(n, 2 * k);
+  for (size_t j = 0; j < n; ++j) {
+    if (PartyDead(j)) continue;
+    auto& dst = packed.shares(j);
+    Field::SubVec(a.shares(j).data(), triples.a.shares(j).data(),
+                  dst.data(), k);
+    Field::SubVec(b.shares(j).data(), triples.b.shares(j).data(),
+                  dst.data() + k, k);
+  }
+  std::vector<Field::Element> opened;
+  if (liveness_ != nullptr) {
+    // Quorum opening, but no census round: the opened values are PUBLIC,
+    // so any threshold+1 survivor shares of a consistent sharing agree —
+    // survivor-set agreement across parties is unnecessary. This is why
+    // the Beaver online path costs one round where quorum GRR costs two.
+    SQM_ASSIGN_OR_RETURN(opened, TryOpenInPhase(packed));
+  } else {
+    opened = OpenInPhase(packed);
+  }
+
+  // Local combination [xy] = [c] + d*[b] + e*[a] + d*e (same accumulation
+  // order as BeaverMultiplier, hence bit-identical results).
+  const Field::Element* d = opened.data();
+  const Field::Element* e = opened.data() + k;
+  std::vector<Field::Element> de(k);
+  Field::MulVec(d, e, de.data(), k);
+  std::vector<Field::Element> term(k);
+  SharedVector out(n, k);
+  for (size_t j = 0; j < n; ++j) {
+    if (PartyDead(j)) continue;
+    auto& dst = out.shares(j);
+    dst = triples.c.shares(j);
+    Field::MulVec(d, triples.b.shares(j).data(), term.data(), k);
+    Field::AddVec(dst.data(), term.data(), dst.data(), k);
+    Field::MulVec(e, triples.a.shares(j).data(), term.data(), k);
+    Field::AddVec(dst.data(), term.data(), dst.data(), k);
+    Field::AddVec(dst.data(), de.data(), dst.data(), k);
+  }
+  if (verify_sharings_) {
+    SQM_RETURN_NOT_OK(VerifySharing(out, "Beaver Mul output"));
   }
   return out;
 }
@@ -503,13 +531,8 @@ Result<SharedVector> BgwProtocol::ShareFromPartyChecked(
   obs::Span span("bgw.share", "mpc", static_cast<int32_t>(party));
   span.AddArg("party", static_cast<int64_t>(party));
   span.AddArg("elements", static_cast<int64_t>(values.size()));
-  std::vector<std::vector<Field::Element>> outbound(
-      n, std::vector<Field::Element>(values.size()));
-  for (size_t i = 0; i < values.size(); ++i) {
-    const std::vector<Field::Element> shares =
-        scheme_.Share(values[i], party_rngs_[party]);
-    for (size_t j = 0; j < n; ++j) outbound[j][i] = shares[j];
-  }
+  std::vector<std::vector<Field::Element>> outbound =
+      scheme_.ShareBatch(values, party_rngs_[party]);
   for (size_t j = 0; j < n; ++j) {
     network_->Send(party, j, std::move(outbound[j]));
   }

@@ -14,6 +14,8 @@
 
 namespace sqm {
 
+class BeaverTriplePool;
+
 /// A secret-shared vector: element i is Shamir-shared across all parties,
 /// shares(party)[i] being party's share. Produced and consumed by
 /// BgwProtocol; callers never see plaintext until Open().
@@ -130,8 +132,27 @@ class BgwProtocol {
   /// A real deployment would get the same guarantee from verifiable secret
   /// sharing / authenticated shares; in this single-process simulation the
   /// global view makes the check direct.
-  void set_verify_sharings(bool verify) { verify_sharings_ = verify; }
+  void set_verify_sharings(bool verify) {
+    verify_sharings_ = verify;
+    // Also arm the scheme-level debug assert: Reconstruct checks that ALL
+    // n shares lie on the interpolated polynomial instead of silently
+    // using only the first threshold+1.
+    scheme_.set_verify_reconstruction(verify);
+  }
   bool verify_sharings() const { return verify_sharings_; }
+
+  /// Attaches an offline-dealt BeaverTriplePool (nullptr detaches); Mul
+  /// switches from GRR degree reduction to the Beaver online path: one
+  /// opening of (x-a, y-b) per Mul, consuming one triple per element, and
+  /// no census round on the quorum path (the opened values are public, so
+  /// any t+1 survivor shares agree without a dealer-set agreement round).
+  /// The pool must outlive the protocol while attached; exhaustion
+  /// surfaces as the pool's kFailedPrecondition.
+  void set_beaver_pool(BeaverTriplePool* pool) { beaver_pool_ = pool; }
+  BeaverTriplePool* beaver_pool() const { return beaver_pool_; }
+
+  /// Beaver triples consumed by Mul since construction (0 under GRR).
+  size_t beaver_triples_used() const { return beaver_triples_used_; }
 
   /// Conformance check: every element of `a` must be a consistent
   /// degree-threshold sharing across all parties (or across the alive
@@ -185,6 +206,17 @@ class BgwProtocol {
   Result<SharedVector> MulQuorum(const SharedVector& a,
                                  const SharedVector& b);
 
+  /// Beaver online multiplication used when a pool is attached: one
+  /// opening (tagged to the "mul" phase) plus local combination.
+  Result<SharedVector> MulBeaver(const SharedVector& a,
+                                 const SharedVector& b);
+
+  /// Broadcast-and-reconstruct bodies shared by Open/TryOpen and
+  /// MulBeaver; the caller owns the PhaseScope so the traffic lands in
+  /// the right phase bucket.
+  std::vector<Field::Element> OpenInPhase(const SharedVector& a);
+  Result<std::vector<Field::Element>> TryOpenInPhase(const SharedVector& a);
+
   bool PartyDead(size_t party) const {
     return liveness_ != nullptr && liveness_->IsDead(party);
   }
@@ -192,7 +224,9 @@ class BgwProtocol {
   ShamirScheme scheme_;
   Transport* network_;
   LivenessTracker* liveness_ = nullptr;
+  BeaverTriplePool* beaver_pool_ = nullptr;
   bool verify_sharings_ = false;
+  size_t beaver_triples_used_ = 0;
   std::vector<Rng> party_rngs_;  // Independent randomness per party.
   std::vector<Field::Element> degree2t_lagrange_;
 };

@@ -9,6 +9,23 @@ namespace sqm {
 ShamirScheme::ShamirScheme(size_t num_parties, size_t threshold)
     : num_parties_(num_parties), threshold_(threshold) {
   SQM_CHECK(Validate(num_parties, threshold).ok());
+  // Precompute the evaluation and recombination tables once per scheme so
+  // the batched hot path is table lookups, not repeated interpolation.
+  vandermonde_.resize(num_parties_);
+  for (size_t j = 0; j < num_parties_; ++j) {
+    vandermonde_[j].resize(threshold_ + 1);
+    vandermonde_[j][0] = 1;
+    const Field::Element x = EvaluationPoint(j);
+    for (size_t e = 1; e <= threshold_; ++e) {
+      vandermonde_[j][e] = Field::Mul(vandermonde_[j][e - 1], x);
+    }
+  }
+  std::vector<size_t> basis_t(threshold_ + 1);
+  std::iota(basis_t.begin(), basis_t.end(), 0);
+  lagrange_t_ = LagrangeAtZero(basis_t);
+  std::vector<size_t> basis_2t(2 * threshold_ + 1);  // 2t+1 <= n (Validate).
+  std::iota(basis_2t.begin(), basis_2t.end(), 0);
+  lagrange_2t_ = LagrangeAtZero(basis_2t);
 }
 
 Status ShamirScheme::Validate(size_t num_parties, size_t threshold) {
@@ -55,14 +72,101 @@ std::vector<Field::Element> ShamirScheme::Share(Field::Element secret,
 Field::Element ShamirScheme::Reconstruct(
     const std::vector<Field::Element>& shares) const {
   SQM_CHECK(shares.size() == num_parties_);
-  std::vector<size_t> parties(threshold_ + 1);
-  std::iota(parties.begin(), parties.end(), 0);
-  const std::vector<Field::Element> lagrange = LagrangeAtZero(parties);
+  if (verify_reconstruction_) {
+    // Debug mode: interpolation uses only the first t+1 shares, so a
+    // tampered trailing share would otherwise pass silently. Check the
+    // full n-point sharing before trusting it.
+    const Status consistent = CheckConsistentSharing(shares, threshold_);
+    if (!consistent.ok()) SQM_LOG(kError) << consistent.ToString();
+    SQM_CHECK(consistent.ok());
+  }
   Field::Element acc = 0;
-  for (size_t j = 0; j < parties.size(); ++j) {
-    acc = Field::Add(acc, Field::Mul(lagrange[j], shares[parties[j]]));
+  for (size_t j = 0; j <= threshold_; ++j) {
+    acc = Field::Add(acc, Field::Mul(lagrange_t_[j], shares[j]));
   }
   return acc;
+}
+
+Result<Field::Element> ShamirScheme::ReconstructChecked(
+    const std::vector<Field::Element>& shares) const {
+  SQM_CHECK(shares.size() == num_parties_);
+  SQM_RETURN_NOT_OK(CheckConsistentSharing(shares, threshold_));
+  Field::Element acc = 0;
+  for (size_t j = 0; j <= threshold_; ++j) {
+    acc = Field::Add(acc, Field::Mul(lagrange_t_[j], shares[j]));
+  }
+  return acc;
+}
+
+std::vector<std::vector<Field::Element>> ShamirScheme::ShareBatch(
+    const std::vector<Field::Element>& secrets, Rng& rng) const {
+  const size_t d = secrets.size();
+  // Draw every polynomial's coefficients first, secret-major — the exact
+  // order d scalar Share calls consume the stream — then evaluate all d
+  // polynomials per party as one table multiply-accumulate sweep per
+  // coefficient index.
+  std::vector<std::vector<Field::Element>> coeffs(
+      threshold_, std::vector<Field::Element>(d));
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t e = 0; e < threshold_; ++e) {
+      coeffs[e][i] = rng.NextBounded(Field::kModulus);
+    }
+  }
+  std::vector<std::vector<Field::Element>> rows(num_parties_);
+  for (size_t j = 0; j < num_parties_; ++j) {
+    rows[j] = secrets;  // vandermonde_[j][0] == 1: constant term.
+    for (size_t e = 0; e < threshold_; ++e) {
+      Field::MulAddVec(rows[j].data(), coeffs[e].data(),
+                       vandermonde_[j][e + 1], d);
+    }
+  }
+  return rows;
+}
+
+std::vector<Field::Element> ShamirScheme::ReconstructBatch(
+    const std::vector<std::vector<Field::Element>>& rows) const {
+  SQM_CHECK(rows.size() == num_parties_);
+  const size_t d = rows.empty() ? 0 : rows[0].size();
+  for (const std::vector<Field::Element>& row : rows) {
+    SQM_CHECK(row.size() == d);
+  }
+  if (verify_reconstruction_) {
+    std::vector<Field::Element> column(num_parties_);
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < num_parties_; ++j) column[j] = rows[j][i];
+      const Status consistent = CheckConsistentSharing(column, threshold_);
+      if (!consistent.ok()) SQM_LOG(kError) << consistent.ToString();
+      SQM_CHECK(consistent.ok());
+    }
+  }
+  std::vector<Field::Element> out(d, 0);
+  for (size_t j = 0; j <= threshold_; ++j) {
+    Field::MulAddVec(out.data(), rows[j].data(), lagrange_t_[j], d);
+  }
+  return out;
+}
+
+Result<std::vector<Field::Element>> ShamirScheme::ReconstructBatchFromSurvivors(
+    const std::vector<std::vector<Field::Element>>& rows,
+    const std::vector<size_t>& survivors, size_t degree) const {
+  SQM_CHECK(rows.size() == num_parties_);
+  std::vector<size_t> parties;
+  SQM_ASSIGN_OR_RETURN(parties, SelectSurvivorBasis(survivors, degree));
+  size_t d = rows[parties[0]].size();
+  for (size_t party : parties) {
+    if (rows[party].size() != d) {
+      return Status::IntegrityViolation(
+          "survivor " + std::to_string(party) +
+          " sent a batch of length " + std::to_string(rows[party].size()) +
+          ", expected " + std::to_string(d));
+    }
+  }
+  const std::vector<Field::Element> lagrange = LagrangeAtZero(parties);
+  std::vector<Field::Element> out(d, 0);
+  for (size_t j = 0; j < parties.size(); ++j) {
+    Field::MulAddVec(out.data(), rows[parties[j]].data(), lagrange[j], d);
+  }
+  return out;
 }
 
 Result<Field::Element> ShamirScheme::ReconstructFromSubset(
@@ -97,21 +201,15 @@ Field::Element ShamirScheme::ReconstructDegree2t(
     const std::vector<Field::Element>& shares) const {
   SQM_CHECK(shares.size() == num_parties_);
   const size_t needed = 2 * threshold_ + 1;
-  SQM_CHECK(needed <= num_parties_);
-  std::vector<size_t> parties(needed);
-  std::iota(parties.begin(), parties.end(), 0);
-  const std::vector<Field::Element> lagrange = LagrangeAtZero(parties);
   Field::Element acc = 0;
   for (size_t j = 0; j < needed; ++j) {
-    acc = Field::Add(acc, Field::Mul(lagrange[j], shares[parties[j]]));
+    acc = Field::Add(acc, Field::Mul(lagrange_2t_[j], shares[j]));
   }
   return acc;
 }
 
-Result<Field::Element> ShamirScheme::ReconstructFromSurvivors(
-    const std::vector<Field::Element>& shares,
+Result<std::vector<size_t>> ShamirScheme::SelectSurvivorBasis(
     const std::vector<size_t>& survivors, size_t degree) const {
-  SQM_CHECK(shares.size() == num_parties_);
   const size_t needed = degree + 1;
   std::vector<size_t> parties;
   parties.reserve(needed);
@@ -138,6 +236,15 @@ Result<Field::Element> ShamirScheme::ReconstructFromSurvivors(
         " reconstruction: need " + std::to_string(needed) +
         " survivors, have " + std::to_string(parties.size()));
   }
+  return parties;
+}
+
+Result<Field::Element> ShamirScheme::ReconstructFromSurvivors(
+    const std::vector<Field::Element>& shares,
+    const std::vector<size_t>& survivors, size_t degree) const {
+  SQM_CHECK(shares.size() == num_parties_);
+  std::vector<size_t> parties;
+  SQM_ASSIGN_OR_RETURN(parties, SelectSurvivorBasis(survivors, degree));
   const std::vector<Field::Element> lagrange = LagrangeAtZero(parties);
   Field::Element acc = 0;
   for (size_t j = 0; j < parties.size(); ++j) {

@@ -37,10 +37,54 @@ class ShamirScheme {
   /// Splits `secret` into one share per party using randomness from `rng`.
   std::vector<Field::Element> Share(Field::Element secret, Rng& rng) const;
 
+  /// Batched sharing: splits a d-vector of secrets into one d-row per
+  /// party, evaluating against the precomputed Vandermonde table instead of
+  /// d Horner walks. Draws randomness in exactly the order d scalar Share
+  /// calls would (secret-major, coefficient-minor), so a driver issuing
+  /// ShareBatch and a replayer issuing d Share calls stay bit-identical and
+  /// leave `rng` at the same cursor.
+  std::vector<std::vector<Field::Element>> ShareBatch(
+      const std::vector<Field::Element>& secrets, Rng& rng) const;
+
   /// Reconstructs the secret from the full share vector (degree-t
-  /// interpolation using the first threshold+1 shares).
+  /// interpolation using the first threshold+1 shares). When
+  /// verify_reconstruction is set (wired from the protocol layer's
+  /// verify_sharings option), first checks that ALL n shares lie on the
+  /// interpolated degree-t polynomial and aborts on a tampered share —
+  /// by default the trailing n-t-1 shares are silently ignored.
   Field::Element Reconstruct(
       const std::vector<Field::Element>& shares) const;
+
+  /// Status-returning variant of the full-share consistency check: fails
+  /// with kIntegrityViolation if any of the n shares (including the
+  /// trailing ones Reconstruct never touches) is off the degree-t
+  /// polynomial, otherwise returns the reconstructed secret.
+  Result<Field::Element> ReconstructChecked(
+      const std::vector<Field::Element>& shares) const;
+
+  /// Batched reconstruction of d secrets from per-party d-rows
+  /// (`rows[party][i]`), using the precomputed degree-t Lagrange weights —
+  /// one multiply-accumulate sweep per basis party instead of d
+  /// interpolations. Bit-identical to d scalar Reconstruct calls.
+  std::vector<Field::Element> ReconstructBatch(
+      const std::vector<std::vector<Field::Element>>& rows) const;
+
+  /// Quorum variant of ReconstructBatch: selects interpolation parties from
+  /// `survivors` exactly as ReconstructFromSurvivors does, then recombines
+  /// all d elements with one weight vector. Rows of non-survivors are
+  /// ignored and may be empty; a selected row of the wrong length fails
+  /// with kIntegrityViolation.
+  Result<std::vector<Field::Element>> ReconstructBatchFromSurvivors(
+      const std::vector<std::vector<Field::Element>>& rows,
+      const std::vector<size_t>& survivors, size_t degree) const;
+
+  /// Debug-mode consistency assert for Reconstruct/ReconstructBatch (see
+  /// Reconstruct). Off by default; the protocol layer's set_verify_sharings
+  /// forwards here.
+  void set_verify_reconstruction(bool verify) {
+    verify_reconstruction_ = verify;
+  }
+  bool verify_reconstruction() const { return verify_reconstruction_; }
 
   /// Reconstructs from an arbitrary subset of (party index, share) pairs.
   /// Needs at least threshold+1 pairs with distinct parties.
@@ -97,8 +141,24 @@ class ShamirScheme {
                                 size_t degree) const;
 
  private:
+  /// Selects the first degree+1 distinct valid survivor indices — the
+  /// shared selection rule of ReconstructFromSurvivors and its batch
+  /// variant, so both always interpolate from the same quorum subset.
+  Result<std::vector<size_t>> SelectSurvivorBasis(
+      const std::vector<size_t>& survivors, size_t degree) const;
+
   size_t num_parties_;
   size_t threshold_;
+  bool verify_reconstruction_ = false;
+
+  /// Precomputed coefficient tables (see docs/PROTOCOL.md "Batched
+  /// evaluation"): vandermonde_[j][e] = alpha_j^e for e <= threshold, and
+  /// the Lagrange-at-zero weights of the first t+1 (degree-t) and first
+  /// 2t+1 (degree-2t) parties. All are pure functions of (n, t), so two
+  /// schemes with equal parameters share identical tables.
+  std::vector<std::vector<Field::Element>> vandermonde_;
+  std::vector<Field::Element> lagrange_t_;
+  std::vector<Field::Element> lagrange_2t_;
 };
 
 }  // namespace sqm

@@ -1,0 +1,428 @@
+// Differential-equivalence harness for the batched hot path: every batched
+// kernel (Field *Vec, Shamir ShareBatch/ReconstructBatch) must be
+// bit-identical to the element-at-a-time reference it replaced, and the
+// Beaver-pool Mul backend must release bit-identical values to GRR degree
+// reduction across all three transports (lockstep, threaded, TCP) under
+// identical seeds. These are not statistical comparisons — a single
+// differing bit anywhere is a failure, because every recorded transcript,
+// golden pin, and published experiment depends on exact reproducibility.
+//
+// docs/TESTING.md "Differential equivalence" describes the tier; the
+// companion pins live in golden_stream_test.cc.
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/party_sqm.h"
+#include "core/sqm.h"
+#include "mpc/beaver.h"
+#include "mpc/field.h"
+#include "mpc/network.h"
+#include "mpc/protocol.h"
+#include "mpc/shamir.h"
+#include "net/tcp/party_config.h"
+#include "net/tcp/socket.h"
+#include "net/tcp/tcp_transport.h"
+#include "poly/parser.h"
+#include "sampling/rng.h"
+
+namespace {
+
+using sqm::BeaverTriplePool;
+using sqm::Field;
+using sqm::Rng;
+using sqm::ShamirScheme;
+using sqm::net::ListenOn;
+using sqm::net::LocalPort;
+using sqm::net::Socket;
+using sqm::net::TcpSupported;
+
+// Adversarial operands for the branchless kernels: the canonical boundary
+// (0, 1, p-2, p-1), values straddling the conditional-subtract edge, and a
+// seeded random fill. The scalar ops are the ground truth.
+std::vector<Field::Element> AdversarialOperands(uint64_t seed) {
+  std::vector<Field::Element> v = {
+      0,
+      1,
+      2,
+      Field::kModulus - 1,
+      Field::kModulus - 2,
+      (Field::kModulus - 1) / 2,
+      (Field::kModulus + 1) / 2,
+      uint64_t{1} << 60,
+      (uint64_t{1} << 60) - 1,
+  };
+  Rng rng(seed);
+  for (size_t i = 0; i < 64; ++i) v.push_back(rng.NextBounded(Field::kModulus));
+  return v;
+}
+
+TEST(FieldVecEquivalence, AddSubMulScaleMatchScalarBitForBit) {
+  const std::vector<Field::Element> a = AdversarialOperands(101);
+  const std::vector<Field::Element> b = AdversarialOperands(202);
+  const size_t n = a.size();
+  std::vector<Field::Element> got(n);
+
+  Field::AddVec(a.data(), b.data(), got.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i], Field::Add(a[i], b[i])) << "AddVec at " << i;
+  }
+  Field::SubVec(a.data(), b.data(), got.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i], Field::Sub(a[i], b[i])) << "SubVec at " << i;
+  }
+  Field::MulVec(a.data(), b.data(), got.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i], Field::Mul(a[i], b[i])) << "MulVec at " << i;
+  }
+  const Field::Element c = Field::kModulus - 3;
+  Field::ScaleVec(a.data(), c, got.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i], Field::Mul(a[i], c)) << "ScaleVec at " << i;
+  }
+}
+
+TEST(FieldVecEquivalence, MulAddVecMatchesScalarAccumulation) {
+  const std::vector<Field::Element> v = AdversarialOperands(303);
+  const Field::Element w = (Field::kModulus - 1) / 3;
+  std::vector<Field::Element> acc_vec = AdversarialOperands(404);
+  std::vector<Field::Element> acc_ref = acc_vec;
+  Field::MulAddVec(acc_vec.data(), v.data(), w, v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    acc_ref[i] = Field::Add(acc_ref[i], Field::Mul(v[i], w));
+  }
+  EXPECT_EQ(acc_vec, acc_ref);
+}
+
+TEST(FieldVecEquivalence, ReduceVecMatchesScalarReduceAboveModulus) {
+  // Raw 64-bit inputs deliberately above p (the lazy-reduction range),
+  // including the top of the uint64 range and exact multiples of p.
+  std::vector<uint64_t> raw = {
+      0,
+      Field::kModulus,
+      Field::kModulus + 1,
+      2 * Field::kModulus,
+      2 * Field::kModulus + 5,
+      ~uint64_t{0},
+      ~uint64_t{0} - 1,
+      uint64_t{1} << 61,
+      (uint64_t{1} << 62) | 12345,
+  };
+  Rng rng(505);
+  for (size_t i = 0; i < 64; ++i) raw.push_back(rng.NextUint64());
+  std::vector<Field::Element> got(raw.size());
+  Field::ReduceVec(raw.data(), got.data(), raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(got[i], Field::Reduce(raw[i])) << "ReduceVec at " << i;
+    EXPECT_LT(got[i], Field::kModulus);
+  }
+}
+
+TEST(FieldVecEquivalence, SumVecMatchesScalarFold) {
+  const std::vector<Field::Element> v = AdversarialOperands(606);
+  Field::Element ref = 0;
+  for (const Field::Element e : v) ref = Field::Add(ref, e);
+  EXPECT_EQ(Field::SumVec(v.data(), v.size()), ref);
+  EXPECT_EQ(Field::SumVec(v.data(), 0), 0u);
+}
+
+// ShareBatch must draw randomness in exactly the order d scalar Share
+// calls would, produce the identical share matrix, and leave the RNG at
+// the identical cursor — this is what lets the protocol swap one for the
+// other without invalidating any recorded transcript.
+TEST(ShamirBatchEquivalence, ShareBatchMatchesScalarShareStream) {
+  const ShamirScheme scheme(5, 2);
+  const std::vector<Field::Element> secrets = {
+      Field::Encode(42),  Field::Encode(-7), 0, Field::kModulus - 1,
+      Field::Encode(123),
+  };
+  Rng scalar_rng(2024);
+  Rng batch_rng(2024);
+
+  std::vector<std::vector<Field::Element>> expected(
+      scheme.num_parties(), std::vector<Field::Element>(secrets.size()));
+  for (size_t i = 0; i < secrets.size(); ++i) {
+    const std::vector<Field::Element> shares =
+        scheme.Share(secrets[i], scalar_rng);
+    for (size_t j = 0; j < scheme.num_parties(); ++j) {
+      expected[j][i] = shares[j];
+    }
+  }
+  const std::vector<std::vector<Field::Element>> got =
+      scheme.ShareBatch(secrets, batch_rng);
+  EXPECT_EQ(got, expected);
+  // Cursor equality: the next draws from both streams must agree.
+  EXPECT_EQ(batch_rng.NextUint64(), scalar_rng.NextUint64());
+  EXPECT_EQ(batch_rng.NextUint64(), scalar_rng.NextUint64());
+}
+
+TEST(ShamirBatchEquivalence, ReconstructBatchMatchesScalar) {
+  const ShamirScheme scheme(7, 3);
+  Rng rng(99);
+  const std::vector<Field::Element> secrets = {
+      Field::Encode(1), Field::Encode(-1000), Field::kModulus - 1, 0,
+  };
+  const std::vector<std::vector<Field::Element>> rows =
+      scheme.ShareBatch(secrets, rng);
+  const std::vector<Field::Element> opened = scheme.ReconstructBatch(rows);
+  ASSERT_EQ(opened.size(), secrets.size());
+  std::vector<Field::Element> column(scheme.num_parties());
+  for (size_t i = 0; i < secrets.size(); ++i) {
+    for (size_t j = 0; j < scheme.num_parties(); ++j) column[j] = rows[j][i];
+    EXPECT_EQ(opened[i], scheme.Reconstruct(column)) << "element " << i;
+    EXPECT_EQ(opened[i], secrets[i]) << "element " << i;
+  }
+}
+
+TEST(ShamirBatchEquivalence, ReconstructBatchFromSurvivorsMatchesScalar) {
+  const ShamirScheme scheme(5, 2);
+  Rng rng(4242);
+  const std::vector<Field::Element> secrets = {
+      Field::Encode(5), Field::Encode(-5), Field::Encode(1 << 20),
+  };
+  std::vector<std::vector<Field::Element>> rows =
+      scheme.ShareBatch(secrets, rng);
+  // Parties 1 and 3 dropped: their rows are stale/empty.
+  const std::vector<size_t> survivors = {0, 2, 4};
+  rows[1].clear();
+  rows[3].assign(1, 777);  // Wrong length too — must never be touched.
+  const sqm::Result<std::vector<Field::Element>> batch =
+      scheme.ReconstructBatchFromSurvivors(rows, survivors,
+                                           scheme.threshold());
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  std::vector<Field::Element> column(scheme.num_parties(), 0);
+  for (size_t i = 0; i < secrets.size(); ++i) {
+    for (const size_t j : survivors) column[j] = rows[j][i];
+    const sqm::Result<Field::Element> scalar =
+        scheme.ReconstructFromSurvivors(column, survivors,
+                                        scheme.threshold());
+    ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+    EXPECT_EQ(batch.ValueOrDie()[i], scalar.ValueOrDie()) << "element " << i;
+    EXPECT_EQ(batch.ValueOrDie()[i], secrets[i]) << "element " << i;
+  }
+}
+
+TEST(ShamirBatchEquivalence, SurvivorShortfallFailsLikeScalar) {
+  const ShamirScheme scheme(5, 2);
+  Rng rng(7);
+  const std::vector<std::vector<Field::Element>> rows =
+      scheme.ShareBatch({Field::Encode(9)}, rng);
+  const std::vector<size_t> survivors = {0, 4};  // Need t+1 = 3.
+  const sqm::Result<std::vector<Field::Element>> batch =
+      scheme.ReconstructBatchFromSurvivors(rows, survivors,
+                                           scheme.threshold());
+  EXPECT_EQ(batch.status().code(), sqm::StatusCode::kFailedPrecondition)
+      << batch.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// GRR vs Beaver, driver transports. The MPC is exact — the release is a
+// deterministic function of the quantized inputs and the externally
+// sampled noise, neither of which depends on how products are reduced —
+// so switching the Mul backend must not move a single bit of the release.
+
+sqm::SqmOptions DriverOptions(sqm::MulBackend backend,
+                              sqm::TransportMode transport) {
+  sqm::SqmOptions options;
+  options.backend = sqm::MpcBackend::kBgw;
+  options.mul_backend = backend;
+  options.transport = transport;
+  options.gamma = 64.0;
+  options.mu = 4.0;
+  options.seed = 42;
+  return options;
+}
+
+sqm::Result<sqm::SqmReport> RunDriver(const sqm::SqmOptions& options) {
+  sqm::Result<sqm::PolynomialVector> f =
+      sqm::ParsePolynomialVector("x0*x1 + x2; x2*x2");
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  const sqm::Matrix x = sqm::GenerateDeploymentMatrix(8, 3, 7);
+  sqm::SqmEvaluator evaluator(options);
+  return evaluator.Evaluate(f.ValueOrDie(), x);
+}
+
+TEST(GrrVsBeaver, LockstepReleasesAreBitIdentical) {
+  const sqm::Result<sqm::SqmReport> grr = RunDriver(
+      DriverOptions(sqm::MulBackend::kGrr, sqm::TransportMode::kLockstep));
+  ASSERT_TRUE(grr.ok()) << grr.status().ToString();
+  const sqm::Result<sqm::SqmReport> beaver = RunDriver(
+      DriverOptions(sqm::MulBackend::kBeaver, sqm::TransportMode::kLockstep));
+  ASSERT_TRUE(beaver.ok()) << beaver.status().ToString();
+  ASSERT_FALSE(grr.ValueOrDie().raw.empty());
+  EXPECT_EQ(beaver.ValueOrDie().raw, grr.ValueOrDie().raw);
+  EXPECT_EQ(beaver.ValueOrDie().estimate, grr.ValueOrDie().estimate);
+}
+
+TEST(GrrVsBeaver, ThreadedReleasesMatchLockstepBothBackends) {
+  const sqm::Result<sqm::SqmReport> reference = RunDriver(
+      DriverOptions(sqm::MulBackend::kGrr, sqm::TransportMode::kLockstep));
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (const sqm::MulBackend backend :
+       {sqm::MulBackend::kGrr, sqm::MulBackend::kBeaver}) {
+    const sqm::Result<sqm::SqmReport> threaded =
+        RunDriver(DriverOptions(backend, sqm::TransportMode::kThreaded));
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    EXPECT_EQ(threaded.ValueOrDie().raw, reference.ValueOrDie().raw)
+        << "backend " << sqm::MulBackendToString(backend);
+  }
+}
+
+TEST(GrrVsBeaver, QuorumPathReleasesAreBitIdentical) {
+  // Degrade policy with no crashes: the quorum machinery runs (census for
+  // GRR, censusless opens for Beaver) but every party survives, so the
+  // release must equal the kAbort run bit for bit under both backends.
+  sqm::SqmOptions grr_options =
+      DriverOptions(sqm::MulBackend::kGrr, sqm::TransportMode::kLockstep);
+  grr_options.dropout_policy = sqm::DropoutPolicy::kDegrade;
+  sqm::SqmOptions beaver_options = grr_options;
+  beaver_options.mul_backend = sqm::MulBackend::kBeaver;
+  const sqm::Result<sqm::SqmReport> grr = RunDriver(grr_options);
+  ASSERT_TRUE(grr.ok()) << grr.status().ToString();
+  const sqm::Result<sqm::SqmReport> beaver = RunDriver(beaver_options);
+  ASSERT_TRUE(beaver.ok()) << beaver.status().ToString();
+  EXPECT_EQ(beaver.ValueOrDie().raw, grr.ValueOrDie().raw);
+
+  const sqm::Result<sqm::SqmReport> abort_run = RunDriver(
+      DriverOptions(sqm::MulBackend::kGrr, sqm::TransportMode::kLockstep));
+  ASSERT_TRUE(abort_run.ok()) << abort_run.status().ToString();
+  EXPECT_EQ(grr.ValueOrDie().raw, abort_run.ValueOrDie().raw);
+}
+
+// ---------------------------------------------------------------------------
+// GRR vs Beaver over real loopback TCP: every party its own thread with
+// real sockets, exactly as the sqm-party daemon runs. Same helpers as
+// party_protocol_test.cc.
+
+sqm::DeploymentConfig TcpConfig(const std::string& mul_backend,
+                                uint64_t run_id) {
+  sqm::DeploymentConfig config;
+  config.run_id = run_id;
+  config.session_key = 0xbea7e5;
+  config.parties.assign(3, {"127.0.0.1", 0});
+  config.rows = 8;
+  config.cols = 3;
+  config.data_seed = 7;
+  config.polynomial = "x0*x1 + x2; x2*x2";
+  config.gamma = 64;
+  config.mu = 4.0;
+  config.seed = 42;
+  config.mul_backend = mul_backend;
+  config.receive_timeout_seconds = 1.0;
+  config.connect_timeout_seconds = 10.0;
+  return config;
+}
+
+std::vector<sqm::SqmReport> RunNetworked(sqm::DeploymentConfig config) {
+  const size_t n = config.parties.size();
+  std::vector<Socket> listeners;
+  for (size_t i = 0; i < n; ++i) {
+    sqm::Result<Socket> listener = ListenOn("127.0.0.1", 0);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    sqm::Result<uint16_t> port = LocalPort(listener.ValueOrDie());
+    EXPECT_TRUE(port.ok()) << port.status().ToString();
+    config.parties[i].port = port.ValueOrDie();
+    listeners.push_back(std::move(listener.ValueOrDie()));
+  }
+  std::vector<sqm::SqmReport> reports(n);
+  std::vector<std::string> errors(n);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < n; ++i) {
+    const int fd = listeners[i].Release();
+    threads.emplace_back([&, i, fd] {
+      sqm::Result<std::unique_ptr<sqm::TcpTransport>> transport =
+          sqm::TcpTransport::Create(
+              sqm::TcpOptionsFromDeployment(config, i, fd));
+      if (!transport.ok()) {
+        errors[i] = "transport: " + transport.status().ToString();
+        return;
+      }
+      sqm::Result<sqm::SqmReport> report =
+          sqm::RunPartySqm(config, i, transport.ValueOrDie().get());
+      transport.ValueOrDie()->Shutdown();
+      if (!report.ok()) {
+        errors[i] = report.status().ToString();
+        return;
+      }
+      reports[i] = report.ValueOrDie();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(errors[i].empty()) << "party " << i << ": " << errors[i];
+  }
+  return reports;
+}
+
+TEST(GrrVsBeaver, TcpReleasesMatchDriverBitForBitBothBackends) {
+  if (!TcpSupported()) GTEST_SKIP() << "no POSIX sockets on this platform";
+  const sqm::Result<sqm::SqmReport> reference = RunDriver(
+      DriverOptions(sqm::MulBackend::kGrr, sqm::TransportMode::kLockstep));
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  const std::vector<sqm::SqmReport> grr = RunNetworked(TcpConfig("grr", 31));
+  ASSERT_EQ(grr.size(), 3u);
+  const std::vector<sqm::SqmReport> beaver =
+      RunNetworked(TcpConfig("beaver", 32));
+  ASSERT_EQ(beaver.size(), 3u);
+
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(grr[i].raw, reference.ValueOrDie().raw)
+        << "grr party " << i << " differs from driver";
+    EXPECT_EQ(beaver[i].raw, reference.ValueOrDie().raw)
+        << "beaver party " << i << " differs from driver";
+  }
+}
+
+TEST(GrrVsBeaver, BeaverHalvesQuorumMulRoundsOnTcp) {
+  if (!TcpSupported()) GTEST_SKIP() << "no POSIX sockets on this platform";
+  // Under the quorum path a GRR Mul costs two rounds (sub-shares +
+  // census) while a Beaver Mul costs one (the opened values are public,
+  // so no dealer-set agreement is needed). With the input and output
+  // rounds identical, the Beaver run must finish in strictly fewer
+  // rounds and release the same values.
+  sqm::DeploymentConfig grr_config = TcpConfig("grr", 33);
+  grr_config.dropout_policy = "degrade";
+  sqm::DeploymentConfig beaver_config = TcpConfig("beaver", 34);
+  beaver_config.dropout_policy = "degrade";
+  const std::vector<sqm::SqmReport> grr = RunNetworked(grr_config);
+  ASSERT_EQ(grr.size(), 3u);
+  const std::vector<sqm::SqmReport> beaver = RunNetworked(beaver_config);
+  ASSERT_EQ(beaver.size(), 3u);
+  EXPECT_EQ(beaver[0].raw, grr[0].raw);
+  EXPECT_LT(beaver[0].network.rounds, grr[0].network.rounds);
+  // The census phase disappears entirely under Beaver.
+  for (const auto& phase : beaver[0].transport.phases) {
+    EXPECT_NE(phase.phase, "census") << "Beaver run still ran a census";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pool-backed protocol details observable at this level.
+
+TEST(GrrVsBeaver, ProtocolCountsTriplesAndPinsPoolToDealerStream) {
+  const size_t n = 5;
+  const ShamirScheme scheme(n, 2);
+  sqm::SimulatedNetwork network(n, 0.0);
+  sqm::BgwProtocol protocol(scheme, &network, 77);
+  BeaverTriplePool pool(scheme, 1234, 8);
+  protocol.set_beaver_pool(&pool);
+
+  const sqm::SharedVector a =
+      protocol.ShareFromParty(0, {Field::Encode(6), Field::Encode(-3)});
+  const sqm::SharedVector b =
+      protocol.ShareFromParty(1, {Field::Encode(7), Field::Encode(11)});
+  sqm::Result<sqm::SharedVector> product = protocol.Mul(a, b);
+  ASSERT_TRUE(product.ok()) << product.status().ToString();
+  EXPECT_EQ(protocol.beaver_triples_used(), 2u);
+  EXPECT_EQ(pool.taken(), 2u);
+  const std::vector<int64_t> opened =
+      protocol.OpenSigned(product.ValueOrDie());
+  EXPECT_EQ(opened, (std::vector<int64_t>{42, -33}));
+}
+
+}  // namespace

@@ -92,6 +92,107 @@ TEST_F(BeaverTest, ShapeMismatchRejected) {
   EXPECT_FALSE(multiplier_.Mul(x, y).ok());
 }
 
+TEST_F(BeaverTest, PoolStreamMatchesDealerStream) {
+  // A pool and a dealer with equal seeds must produce byte-identical
+  // triple streams: the pool is the same dealing loop run offline.
+  const ShamirScheme scheme(kParties, kThreshold);
+  BeaverTriplePool pool(scheme, 97, 6);
+  BeaverTripleDealer dealer(scheme, 97);
+  const BeaverTriplePool::TripleBatch batch = pool.Take(6).ValueOrDie();
+  for (size_t i = 0; i < 6; ++i) {
+    const BeaverTripleDealer::TripleShares triple = dealer.Deal();
+    for (size_t j = 0; j < kParties; ++j) {
+      EXPECT_EQ(batch.a.shares(j)[i], triple.a_shares[j])
+          << "a triple " << i << " party " << j;
+      EXPECT_EQ(batch.b.shares(j)[i], triple.b_shares[j])
+          << "b triple " << i << " party " << j;
+      EXPECT_EQ(batch.c.shares(j)[i], triple.c_shares[j])
+          << "c triple " << i << " party " << j;
+    }
+  }
+}
+
+TEST_F(BeaverTest, PoolBackedMultiplierMatchesDealerBacked) {
+  const SharedVector x =
+      protocol_.ShareFromParty(0, Field::EncodeVector({3, -4, 0, 123456}));
+  const SharedVector y =
+      protocol_.ShareFromParty(1, Field::EncodeVector({7, 9, 5, -1000}));
+  BeaverTriplePool pool(ShamirScheme(kParties, kThreshold), 23, 4);
+  BeaverMultiplier pooled(&protocol_, &pool);
+  const SharedVector product = pooled.Mul(x, y).ValueOrDie();
+  EXPECT_EQ(protocol_.OpenSigned(product),
+            (std::vector<int64_t>{21, -36, 0, -123456000}));
+  EXPECT_EQ(pooled.triples_used(), 4u);
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST_F(BeaverTest, PoolExhaustionRefusesWithoutStateChange) {
+  BeaverTriplePool pool(ShamirScheme(kParties, kThreshold), 5, 3);
+  EXPECT_EQ(pool.capacity(), 3u);
+  ASSERT_TRUE(pool.Take(2).ok());
+  EXPECT_EQ(pool.available(), 1u);
+
+  // Over-ask: kFailedPrecondition, and nothing is consumed or re-dealt —
+  // the pool NEVER silently deals online.
+  const Result<BeaverTriplePool::TripleBatch> over = pool.Take(2);
+  EXPECT_EQ(over.status().code(), StatusCode::kFailedPrecondition)
+      << over.status().ToString();
+  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_EQ(pool.taken(), 2u);
+  EXPECT_EQ(pool.capacity(), 3u);
+
+  // The remaining triple is still the third of the seed's stream.
+  BeaverTripleDealer dealer(ShamirScheme(kParties, kThreshold), 5);
+  dealer.Deal();
+  dealer.Deal();
+  const BeaverTripleDealer::TripleShares expected = dealer.Deal();
+  const BeaverTriplePool::TripleBatch last = pool.Take(1).ValueOrDie();
+  for (size_t j = 0; j < kParties; ++j) {
+    EXPECT_EQ(last.c.shares(j)[0], expected.c_shares[j]);
+  }
+  EXPECT_EQ(pool.Take(1).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BeaverTest, RefillExtendsTheSameStream) {
+  const ShamirScheme scheme(kParties, kThreshold);
+  BeaverTriplePool refilled(scheme, 11, 2);
+  ASSERT_TRUE(refilled.Take(2).ok());
+  ASSERT_TRUE(refilled.Refill(2).ok());
+  EXPECT_EQ(refilled.capacity(), 4u);
+  const BeaverTriplePool::TripleBatch tail = refilled.Take(2).ValueOrDie();
+  // Triples 3 and 4 of a straight 4-capacity pool, bit for bit.
+  BeaverTriplePool straight(scheme, 11, 4);
+  ASSERT_TRUE(straight.Take(2).ok());
+  const BeaverTriplePool::TripleBatch expected = straight.Take(2).ValueOrDie();
+  for (size_t j = 0; j < kParties; ++j) {
+    EXPECT_EQ(tail.a.shares(j), expected.a.shares(j));
+    EXPECT_EQ(tail.b.shares(j), expected.b.shares(j));
+    EXPECT_EQ(tail.c.shares(j), expected.c.shares(j));
+  }
+}
+
+TEST_F(BeaverTest, RefillUnderDropoutEnforcesDealerQuorum) {
+  // Dealing degree-t triples that recombine under MulQuorum needs the
+  // 2t+1 dealer rule, exactly like a GRR level: with t = 2 that is 5
+  // distinct surviving dealers.
+  BeaverTriplePool pool(ShamirScheme(kParties, kThreshold), 13, 1);
+
+  const Status short_quorum = pool.Refill(4, {0, 1, 2, 3});
+  EXPECT_EQ(short_quorum.code(), StatusCode::kFailedPrecondition)
+      << short_quorum.ToString();
+  EXPECT_EQ(pool.capacity(), 1u);  // Refused refill left the pool alone.
+
+  // Duplicates and out-of-range indices do not inflate the count.
+  const Status padded = pool.Refill(4, {0, 1, 1, 2, 3, 3, 99});
+  EXPECT_EQ(padded.code(), StatusCode::kFailedPrecondition)
+      << padded.ToString();
+
+  const Status full_quorum = pool.Refill(4, {0, 1, 2, 3, 4});
+  EXPECT_TRUE(full_quorum.ok()) << full_quorum.ToString();
+  EXPECT_EQ(pool.capacity(), 5u);
+  EXPECT_EQ(pool.available(), 5u);
+}
+
 TEST(BeaverThreePartyTest, WorksAtMinimalConfiguration) {
   SimulatedNetwork network(3, 0.0);
   BgwProtocol protocol(ShamirScheme(3, 1), &network, 31);

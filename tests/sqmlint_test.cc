@@ -229,6 +229,21 @@ TEST(FieldCapacity, FieldImplementationIsAllowlisted) {
   EXPECT_EQ(Active(findings, "field-capacity"), 0);
 }
 
+TEST(FieldCapacity, PointerDeclaratorIsNotMultiplication) {
+  // Span-kernel signatures declare `const Element* a` where `a` is also a
+  // tracked scalar name elsewhere in the file; the '*' after the type
+  // name is a declarator, not field arithmetic.
+  const auto findings = Lint("src/vfl/x.h", R"cpp(
+struct Field {
+  using Element = uint64_t;
+  static Element Add(Element a, Element b);
+  static void AddVec(const Element* a, const Element* b, Element* out,
+                     size_t n);
+};
+)cpp");
+  EXPECT_EQ(Active(findings, "field-capacity"), 0);
+}
+
 TEST(FieldCapacity, VectorElementIndexing) {
   const auto findings = Lint("src/vfl/x.cc", R"cpp(
 void f(std::vector<Field::Element>& shares_vec) {
@@ -466,6 +481,65 @@ void Stall() {
 )cpp");
   EXPECT_EQ(Active(findings, "retry-discipline"), 0);
   EXPECT_EQ(Count(findings, "retry-discipline", true), 1);
+}
+
+// ------------------------------------------------------------- batch-discipline
+
+constexpr char kScalarLoopInHotPath[] = R"cpp(
+void Recombine(std::vector<Field::Element>& out, Field::Element delta,
+               size_t n) {
+  for (size_t k = 0; k < n; ++k) {
+    out[k] = Field::Add(out[k], delta);
+  }
+}
+)cpp";
+
+TEST(BatchDiscipline, FiresOnInductionIndexedScalarOp) {
+  const auto findings = Lint("src/mpc/bgw.cc", kScalarLoopInHotPath);
+  EXPECT_EQ(Active(findings, "batch-discipline"), 1);
+}
+
+TEST(BatchDiscipline, OutsideHotPathIsIgnored) {
+  // Same code outside the scoped hot-path files: the kernels are an
+  // optimization contract for the multiply/open/driver loops, not a
+  // repo-wide style rule.
+  const auto findings = Lint("src/mpc/ops.cc", kScalarLoopInHotPath);
+  EXPECT_EQ(Active(findings, "batch-discipline"), 0);
+}
+
+TEST(BatchDiscipline, VectorKernelAndGateIndexingAreClean) {
+  const auto findings = Lint("src/mpc/party_protocol.cc", R"cpp(
+void Walk(std::vector<Field::Element>& shares, const Circuit& circuit,
+          const Field::Element* term, size_t n) {
+  Field::AddVec(shares.data(), term, shares.data(), n);
+  for (size_t w = 0; w < circuit.size(); ++w) {
+    const Gate& gate = circuit[w];
+    shares[w] = Field::Add(shares[gate.lhs], shares[gate.rhs]);
+  }
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "batch-discipline"), 0);
+}
+
+TEST(BatchDiscipline, RangeForIsNotACountedLoop) {
+  const auto findings = Lint("src/mpc/protocol.cc", R"cpp(
+void Sum(const std::vector<Field::Element>& xs, Field::Element& acc) {
+  for (Field::Element s : xs) acc = Field::Add(acc, s);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "batch-discipline"), 0);
+}
+
+TEST(BatchDiscipline, SuppressionSilences) {
+  const auto findings = Lint("src/core/sqm.cc", R"cpp(
+void Fold(std::vector<Field::Element>& out, Field::Element delta, size_t n) {
+  for (size_t k = 0; k < n; ++k) {
+    out[k] = Field::Add(out[k], delta);  // sqmlint:allow(batch-discipline)
+  }
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "batch-discipline"), 0);
+  EXPECT_EQ(Count(findings, "batch-discipline", true), 1);
 }
 
 // ------------------------------------------------------------------ JSON output

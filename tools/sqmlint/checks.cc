@@ -350,6 +350,12 @@ void CheckFieldCapacity(const Project& /*project*/, const SourceFile& file,
         (i == 0 || (toks[i - 1].kind == TokenKind::kPunct &&
                     !IsPunct(toks[i - 1], "]") && !IsPunct(toks[i - 1], ")")));
     if (deref) continue;
+    // `Element* a` / `const Element* a` is a pointer declarator: the token
+    // to the left is the type name itself, which is never a field value.
+    if (toks[i].text == "*" && i > 0 && IsIdent(toks[i - 1]) &&
+        toks[i - 1].text == "Element") {
+      continue;
+    }
     std::string operand;
     if (i > 0) {
       if (IsIdent(toks[i - 1]) && scalars.count(toks[i - 1].text) > 0) {
@@ -596,6 +602,114 @@ void CheckRetryDiscipline(const Project& /*project*/, const SourceFile& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// batch-discipline: the MPC hot paths (circuit evaluation, protocol
+// multiply/open, the Beaver pool, the SQM driver) must not loop scalar
+// Field::Add/Sub/Mul/Neg over an induction-indexed element — that is the
+// pattern the span kernels (Field::AddVec/SubVec/MulVec/ScaleVec/
+// MulAddVec/SumVec) and the Shamir *Batch entry points replaced. A scalar
+// call in a counted loop whose arguments index by the loop variable is a
+// de-vectorization regression; genuinely scalar sites carry
+// // sqmlint:allow(batch-discipline).
+// ---------------------------------------------------------------------------
+void CheckBatchDiscipline(const Project& /*project*/, const SourceFile& file,
+                          std::vector<Finding>* findings) {
+  static const char* const kHotPaths[] = {
+      "src/mpc/bgw.cc", "src/mpc/protocol.cc", "src/mpc/party_protocol.cc",
+      "src/mpc/beaver.cc", "src/core/sqm.cc"};
+  bool scoped = false;
+  for (const char* path : kHotPaths) {
+    scoped = scoped || PathInModule(file.path, path);
+  }
+  if (!scoped) return;
+
+  static const std::set<std::string> kScalarOps = {"Add", "Sub", "Mul",
+                                                   "Neg"};
+  const Tokens& toks = file.tokens;
+  std::set<size_t> reported;  // Token index of the op, to dedupe nesting.
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i]) || toks[i].text != "for") continue;
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) continue;
+    const size_t header_end = SkipParens(toks, i + 1);  // Past ')'.
+
+    // Classic counted for only: the header holds two top-level ';'.
+    // Range-fors iterate values, not indices — nothing to flag there.
+    size_t first_semi = 0;
+    int semis = 0;
+    {
+      int depth = 0;
+      for (size_t j = i + 1; j + 1 < header_end; ++j) {
+        if (IsPunct(toks[j], "(")) ++depth;
+        if (IsPunct(toks[j], ")")) --depth;
+        if (depth == 1 && IsPunct(toks[j], ";")) {
+          if (++semis == 1) first_semi = j;
+        }
+      }
+    }
+    if (semis != 2) continue;
+
+    // Induction variable: the last identifier before '=' in the init
+    // clause (`for (size_t k = 0; ...` -> k).
+    std::string loop_var;
+    for (size_t j = i + 2; j < first_semi; ++j) {
+      if (IsIdent(toks[j]) && j + 1 < first_semi && IsPunct(toks[j + 1], "=")) {
+        loop_var = toks[j].text;
+      }
+    }
+    if (loop_var.empty()) continue;
+
+    // Loop body: braced block (or single statement up to ';').
+    size_t body_begin = header_end;
+    size_t body_end = body_begin;
+    if (body_begin < toks.size() && IsPunct(toks[body_begin], "{")) {
+      int depth = 0;
+      for (size_t j = body_begin; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], "{")) ++depth;
+        if (IsPunct(toks[j], "}")) {
+          if (--depth == 0) {
+            body_end = j;
+            break;
+          }
+        }
+      }
+    } else {
+      while (body_end < toks.size() && !IsPunct(toks[body_end], ";")) {
+        ++body_end;
+      }
+    }
+
+    // Field::Op(...) whose argument region indexes by the loop variable.
+    for (size_t j = body_begin; j + 3 < body_end; ++j) {
+      if (!(IsIdent(toks[j]) && toks[j].text == "Field" &&
+            IsPunct(toks[j + 1], "::") && IsIdent(toks[j + 2]) &&
+            kScalarOps.count(toks[j + 2].text) > 0 &&
+            IsPunct(toks[j + 3], "("))) {
+        continue;
+      }
+      const size_t args_end = SkipParens(toks, j + 3);
+      bool indexed = false;
+      int brackets = 0;
+      for (size_t k = j + 4; k + 1 < args_end; ++k) {
+        if (IsPunct(toks[k], "[")) ++brackets;
+        if (IsPunct(toks[k], "]")) --brackets;
+        if (brackets > 0 && IsIdent(toks[k]) && toks[k].text == loop_var) {
+          indexed = true;
+          break;
+        }
+      }
+      if (!indexed || reported.count(j + 2) > 0) continue;
+      reported.insert(j + 2);
+      Report(findings, "batch-discipline", file, toks[j + 2].line,
+             "scalar Field::" + toks[j + 2].text + " indexed by loop "
+             "variable '" + loop_var + "' in an MPC hot path; use the "
+             "span kernels (Field::AddVec/SubVec/MulVec/ScaleVec/"
+             "MulAddVec/SumVec) or the Shamir ShareBatch/ReconstructBatch "
+             "entry points — element-wise loops forfeit the batched "
+             "lazy-reduction fast path");
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<Check>& AllChecks() {
@@ -623,6 +737,10 @@ const std::vector<Check>& AllChecks() {
       {"retry-discipline",
        "sleep inside a src/net/ loop without a backoff/deadline helper",
        CheckRetryDiscipline},
+      {"batch-discipline",
+       "element-wise scalar Field ops in MPC hot paths that the batched "
+       "span kernels replace",
+       CheckBatchDiscipline},
   };
   return kChecks;
 }
