@@ -6,17 +6,28 @@
 // checked is the PR's acceptance bar: <= 5% wall-clock overhead with
 // collection on, ~0% with the kill switch.
 //
-// Output is the usual table plus a JSON line per row for scripted
-// regression tracking.
+// Two sections: the in-process evaluator (pure collection cost), then a
+// tcp-localhost mode — every party a thread over a real loopback mesh, the
+// sqm-party wire path — where the traced run also pays the trace-context
+// frame-header bytes and the per-frame net.send/net.recv spans. Output is
+// the usual table plus a JSON line per row; --json=FILE archives all rows
+// as one machine-readable record (scripts/check.sh keeps it as
+// BENCH_obs_overhead.json).
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/party_sqm.h"
 #include "core/sqm.h"
 #include "math/stats.h"
+#include "net/tcp/party_config.h"
+#include "net/tcp/socket.h"
+#include "net/tcp/tcp_transport.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -38,6 +49,95 @@ double MedianRunSeconds(const sqm::PolynomialVector& f, const sqm::Matrix& x,
     const auto stop = std::chrono::steady_clock::now();
     if (report.raw.empty()) std::abort();  // Keep the work observable.
     seconds.push_back(std::chrono::duration<double>(stop - start).count());
+  }
+  return sqm::Quantile(seconds, 0.5);
+}
+
+struct TcpRun {
+  bool ok = false;
+  double wall_seconds = 0.0;
+  std::vector<int64_t> raw;
+  std::string error;
+};
+
+/// One full networked release: every party of `config` as a thread over a
+/// pre-bound loopback mesh (the coordinator's race-free setup). The caller
+/// sets the obs state beforehand; a traced run therefore carries trace
+/// context in every frame header, a killed run sends bare v3 frames.
+TcpRun RunTcpLocalhost(sqm::DeploymentConfig config) {
+  TcpRun result;
+  const size_t n = config.parties.size();
+  std::vector<sqm::net::Socket> listeners;
+  for (size_t i = 0; i < n; ++i) {
+    sqm::Result<sqm::net::Socket> listener =
+        sqm::net::ListenOn("127.0.0.1", 0);
+    if (!listener.ok()) {
+      result.error = listener.status().ToString();
+      return result;
+    }
+    sqm::Result<uint16_t> port = sqm::net::LocalPort(listener.ValueOrDie());
+    if (!port.ok()) {
+      result.error = port.status().ToString();
+      return result;
+    }
+    config.parties[i].port = port.ValueOrDie();
+    listeners.push_back(std::move(listener.ValueOrDie()));
+  }
+
+  std::vector<sqm::SqmReport> reports(n);
+  std::vector<std::string> errors(n);
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    const int fd = listeners[i].Release();
+    threads.emplace_back([&, i, fd] {
+      sqm::Result<std::unique_ptr<sqm::TcpTransport>> transport =
+          sqm::TcpTransport::Create(
+              sqm::TcpOptionsFromDeployment(config, i, fd));
+      if (!transport.ok()) {
+        errors[i] = transport.status().ToString();
+        return;
+      }
+      sqm::Result<sqm::SqmReport> report =
+          sqm::RunPartySqm(config, i, transport.ValueOrDie().get());
+      transport.ValueOrDie()->Shutdown();
+      if (!report.ok()) {
+        errors[i] = report.status().ToString();
+        return;
+      }
+      reports[i] = report.ValueOrDie();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!errors[i].empty()) {
+      result.error = "party " + std::to_string(i) + ": " + errors[i];
+      return result;
+    }
+    if (reports[i].raw != reports[0].raw) {
+      result.error =
+          "party " + std::to_string(i) + " released different values";
+      return result;
+    }
+  }
+  result.ok = true;
+  result.raw = reports[0].raw;
+  return result;
+}
+
+double MedianTcpSeconds(const sqm::DeploymentConfig& config, int reps,
+                        TcpRun* last) {
+  std::vector<double> seconds;
+  seconds.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    sqm::obs::Tracer::Global().Clear();
+    *last = RunTcpLocalhost(config);
+    if (!last->ok) return 0.0;
+    seconds.push_back(last->wall_seconds);
   }
   return sqm::Quantile(seconds, 0.5);
 }
@@ -64,6 +164,12 @@ int main(int argc, char** argv) {
   std::printf("\nBuilt with -DSQM_OBS=OFF: Enabled() is a compile-time "
               "false; 'traced' below exercises the stubbed-out path.\n");
 #endif
+
+  std::vector<std::string> json_rows;
+  auto record = [&json_rows](const std::string& row) {
+    std::printf("JSON %s\n", row.c_str());
+    json_rows.push_back(row);
+  };
 
   std::printf("\n%-6s %-14s %-14s %-10s %-10s %-10s\n", "n", "killed (s)",
               "traced (s)", "overhead", "events", "match");
@@ -102,12 +208,91 @@ int main(int argc, char** argv) {
                 traced, overhead * 100.0,
                 static_cast<unsigned long long>(events),
                 match ? "yes" : "NO");
-    std::printf("JSON {\"bench\":\"obs_overhead\",\"n\":%zu,\"m\":%zu,"
-                "\"killed_seconds\":%.9f,\"traced_seconds\":%.9f,"
-                "\"overhead\":%.6f,\"trace_events\":%llu,\"match\":%s}\n",
-                n, m, killed, traced, overhead,
-                static_cast<unsigned long long>(events),
-                match ? "true" : "false");
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "{\"bench\":\"obs_overhead\",\"mode\":\"inprocess\","
+                  "\"n\":%zu,\"m\":%zu,"
+                  "\"killed_seconds\":%.9f,\"traced_seconds\":%.9f,"
+                  "\"overhead\":%.6f,\"trace_events\":%llu,\"match\":%s}",
+                  n, m, killed, traced, overhead,
+                  static_cast<unsigned long long>(events),
+                  match ? "true" : "false");
+    record(row);
+  }
+
+  // tcp-localhost: the sqm-party wire path. The traced leg pays spans AND
+  // the 16 trace-context bytes per frame; the killed leg ships bare v3
+  // frames — and both must release the same integers (the
+  // telemetry-never-changes-results invariant, here at bench scale).
+  if (net::TcpSupported()) {
+    bench::PrintHeader(
+        "tcp-localhost: " + std::to_string(reps) +
+            " reps, 3 parties as threads over loopback sockets",
+        "traced leg also carries trace context in every frame header");
+    std::printf("\n%-6s %-14s %-14s %-10s %-10s\n", "n", "killed (s)",
+                "traced (s)", "overhead", "match");
+    bench::PrintRule();
+
+    DeploymentConfig deployment;
+    deployment.run_id = 77;
+    deployment.session_key = 0x0b5beac0ffee;
+    deployment.parties = {{"127.0.0.1", 0}, {"127.0.0.1", 0},
+                          {"127.0.0.1", 0}};
+    deployment.rows = config.paper_scale ? 200 : 48;
+    deployment.data_seed = 5;
+    deployment.polynomial = "x0*x1; x1*x2; x0*x2";
+    deployment.gamma = 64.0;
+    deployment.mu = 16.0;
+    deployment.seed = 42;
+    deployment.quantize_coefficients = false;
+
+    obs::SetEnabled(false);
+    TcpRun killed_run;
+    const double tcp_killed = MedianTcpSeconds(deployment, reps, &killed_run);
+
+    obs::SetEnabled(true);
+    obs::Registry::Global().ResetAll();
+    // A nonzero trace id is what puts trace context on the wire.
+    obs::Tracer::SetTraceId(0x0b5ebe4c51ULL | 1);
+    TcpRun traced_run;
+    const double tcp_traced = MedianTcpSeconds(deployment, reps, &traced_run);
+    obs::Tracer::SetTraceId(0);
+    obs::SetEnabled(false);
+
+    if (!killed_run.ok || !traced_run.ok) {
+      std::printf("tcp-localhost run failed: %s\n",
+                  (!killed_run.ok ? killed_run : traced_run).error.c_str());
+    } else {
+      const bool tcp_match = killed_run.raw == traced_run.raw;
+      const double tcp_overhead =
+          tcp_killed > 0.0 ? (tcp_traced - tcp_killed) / tcp_killed : 0.0;
+      std::printf("%-6zu %-14.6f %-14.6f %-9.2f%% %-10s\n",
+                  deployment.parties.size(), tcp_killed, tcp_traced,
+                  tcp_overhead * 100.0, tcp_match ? "yes" : "NO");
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "{\"bench\":\"obs_overhead\",\"mode\":\"tcp-localhost\","
+                    "\"n\":%zu,\"m\":%zu,"
+                    "\"killed_seconds\":%.9f,\"traced_seconds\":%.9f,"
+                    "\"overhead\":%.6f,\"match\":%s}",
+                    deployment.parties.size(), deployment.rows, tcp_killed,
+                    tcp_traced, tcp_overhead, tcp_match ? "true" : "false");
+      record(row);
+    }
+  }
+
+  if (!config.json_path.empty()) {
+    std::FILE* out = std::fopen(config.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\"bench\":\"obs_overhead\",\"rows\":[");
+    for (size_t i = 0; i < json_rows.size(); ++i) {
+      std::fprintf(out, "%s%s", i == 0 ? "" : ",", json_rows[i].c_str());
+    }
+    std::fprintf(out, "]}\n");
+    std::fclose(out);
   }
 
   obs::Tracer::Global().Clear();

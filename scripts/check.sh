@@ -31,6 +31,13 @@ cmake --build "$build_dir" -j"$(nproc)"
 "$build_dir"/bench/ablation_beaver_vs_grr --scale=small \
     --json="$build_dir/BENCH_beaver_vs_grr.json"
 
+# Archive the observability-overhead record (in-process collection cost
+# plus the tcp-localhost wire path, where the traced leg also carries
+# trace context in every frame header): the telemetry-never-changes-
+# results invariant and the <= 5% overhead bar, machine-readable.
+"$build_dir"/bench/table_obs_overhead --scale=small \
+    --json="$build_dir/BENCH_obs_overhead.json"
+
 # Recovery gate under ThreadSanitizer: the deploy + chaos suites exercise
 # SIGKILL, reconnect and resume-barrier paths where a data race would be
 # silent corruption in the release build, and the batch differential

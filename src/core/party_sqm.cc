@@ -23,6 +23,7 @@
 #include "mpc/protocol.h"
 #include "mpc/shamir.h"
 #include "net/liveness.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "poly/parser.h"
 #include "sampling/skellam_sampler.h"
@@ -355,6 +356,9 @@ Result<SqmReport> RunPartySqm(const DeploymentConfig& config, size_t me,
       snap.wire_shares = ckpt.wire_shares;
       engine.protocol().SaveRngState(snap.rng_state);
       const Status saved = store.Save(snap);
+      SQM_FLIGHT_EVENT2("ckpt", saved.ok() ? "saved" : "save_failed",
+                        static_cast<int64_t>(ckpt.next_level),
+                        static_cast<int64_t>(ckpt.mul_rounds_done));
       if (!saved.ok()) {
         // A failed save degrades a future restart to a full redo; this
         // run continues unharmed.
@@ -427,6 +431,9 @@ Result<SqmReport> RunPartySqm(const DeploymentConfig& config, size_t me,
       // min includes our own announcement, so min - 1 <= next_level.
       checkpoint.next_level = static_cast<size_t>(min_encoded - 1);
     }
+    SQM_FLIGHT_EVENT2("resume_barrier", "",
+                      static_cast<int64_t>(my_encoded),
+                      static_cast<int64_t>(min_encoded));
     return Status::OK();
   };
 
@@ -539,6 +546,11 @@ Result<SqmReport> RunPartySqm(const DeploymentConfig& config, size_t me,
   const double compute_seconds = SecondsSince(compute_start);
   const size_t num_dropped_final =
       policy != DropoutPolicy::kAbort ? tracker.num_dead() : 0;
+  if (num_dropped_final > 0) {
+    SQM_FLIGHT_EVENT2("degrade", config.dropout_policy.c_str(),
+                      static_cast<int64_t>(num_dropped_final),
+                      static_cast<int64_t>(attempts));
+  }
 
   // Noise-injection timing probe, same shape as the driver's but with
   // zero vectors for the other parties (their noise is private to them);

@@ -338,6 +338,67 @@ Result<SqmReport> SqmReportFromJson(const std::string& json) {
   report.dropout.resumed_from_level =
       static_cast<size_t>(resumed_from_level);
 
+  // Transport accounting. Older archived reports predate the block; the
+  // totals also back the coordinator's telemetry reconciliation check, so
+  // when the block exists it must parse.
+  if (const JsonValue* transport = root.Find("transport")) {
+    SQM_RETURN_NOT_OK(
+        RequireKind(*transport, JsonValue::Kind::kObject, "transport"));
+    SQM_ASSIGN_OR_RETURN(const uint64_t transport_parties,
+                         UintField(*transport, "num_parties"));
+    report.transport.num_parties = static_cast<size_t>(transport_parties);
+    SQM_ASSIGN_OR_RETURN(const JsonValue* totals,
+                         RequireMember(*transport, "totals"));
+    SQM_RETURN_NOT_OK(
+        RequireKind(*totals, JsonValue::Kind::kObject, "transport.totals"));
+    SQM_ASSIGN_OR_RETURN(report.transport.totals.messages,
+                         UintField(*totals, "messages"));
+    SQM_ASSIGN_OR_RETURN(report.transport.totals.field_elements,
+                         UintField(*totals, "field_elements"));
+    SQM_ASSIGN_OR_RETURN(report.transport.totals.wire_bytes,
+                         UintField(*totals, "bytes"));
+    SQM_ASSIGN_OR_RETURN(report.transport.totals.rounds,
+                         UintField(*totals, "rounds"));
+    if (const JsonValue* channels = transport->Find("channels")) {
+      SQM_RETURN_NOT_OK(RequireKind(*channels, JsonValue::Kind::kArray,
+                                    "transport.channels"));
+      for (const JsonValue& item : channels->items) {
+        SQM_RETURN_NOT_OK(RequireKind(item, JsonValue::Kind::kObject,
+                                      "transport.channels[i]"));
+        ChannelStats channel;
+        SQM_ASSIGN_OR_RETURN(const uint64_t from, UintField(item, "from"));
+        SQM_ASSIGN_OR_RETURN(const uint64_t to, UintField(item, "to"));
+        channel.from = static_cast<size_t>(from);
+        channel.to = static_cast<size_t>(to);
+        SQM_ASSIGN_OR_RETURN(channel.messages,
+                             UintField(item, "messages"));
+        SQM_ASSIGN_OR_RETURN(channel.field_elements,
+                             UintField(item, "field_elements"));
+        SQM_ASSIGN_OR_RETURN(channel.wire_bytes, UintField(item, "bytes"));
+        report.transport.channels.push_back(channel);
+      }
+    }
+    if (const JsonValue* phases = transport->Find("phases")) {
+      SQM_RETURN_NOT_OK(RequireKind(*phases, JsonValue::Kind::kArray,
+                                    "transport.phases"));
+      for (const JsonValue& item : phases->items) {
+        SQM_RETURN_NOT_OK(RequireKind(item, JsonValue::Kind::kObject,
+                                      "transport.phases[i]"));
+        PhaseStats phase;
+        SQM_ASSIGN_OR_RETURN(phase.phase, StringField(item, "phase"));
+        SQM_ASSIGN_OR_RETURN(phase.traffic.messages,
+                             UintField(item, "messages"));
+        SQM_ASSIGN_OR_RETURN(phase.traffic.field_elements,
+                             UintField(item, "field_elements"));
+        SQM_ASSIGN_OR_RETURN(phase.traffic.wire_bytes,
+                             UintField(item, "bytes"));
+        SQM_ASSIGN_OR_RETURN(phase.traffic.rounds,
+                             UintField(item, "rounds"));
+        report.transport.phases.push_back(std::move(phase));
+      }
+    }
+  }
+
   // Pre-observability reports have no ledger block; load those as empty
   // rather than failing, so archived artifacts stay readable.
   if (const JsonValue* ledger = root.Find("privacy_ledger")) {

@@ -2,6 +2,7 @@
 
 #include "core/logging.h"
 #include "mpc/field.h"
+#include "obs/metrics.h"
 
 namespace sqm {
 
@@ -61,6 +62,7 @@ void BeaverTriplePool::DealInto(size_t count) {
     }
   }
   dealt_ += count;
+  SQM_OBS_GAUGE_SET("mpc.beaver.pool_remaining", available());
 }
 
 Result<BeaverTriplePool::TripleBatch> BeaverTriplePool::Take(size_t count) {
@@ -87,6 +89,9 @@ Result<BeaverTriplePool::TripleBatch> BeaverTriplePool::Take(size_t count) {
                              c_rows_[j].begin() + end);
   }
   cursor_ += count;
+  // Live pool depth for the fleet telemetry view (sqm-top's "pool" column
+  // and fleet_metrics.json's beaver_pool_depth).
+  SQM_OBS_GAUGE_SET("mpc.beaver.pool_remaining", available());
   return batch;
 }
 

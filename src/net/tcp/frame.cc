@@ -135,9 +135,10 @@ void DeriveMacKey(uint64_t session_key, uint64_t* k0, uint64_t* k1) {
 }
 
 size_t MaxEncodedFrameBytes(size_t elements) {
-  // length prefix + fixed header (incl. incarnation) + phase cap + payload
-  // + MAC.
-  return 4 + 2 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 2 + 256 + 4 + 8 * elements + 8;
+  // length prefix + fixed header (incl. incarnation) + optional trace
+  // context + phase cap + payload + MAC.
+  return 4 + 2 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 16 + 2 + 256 + 4 +
+         8 * elements + 8;
 }
 
 std::vector<uint8_t> EncodeFrame(const Frame& frame, uint64_t session_key) {
@@ -148,12 +149,16 @@ std::vector<uint8_t> EncodeFrame(const Frame& frame, uint64_t session_key) {
 
   PutU16(out, kTcpWireVersion);
   out.push_back(static_cast<uint8_t>(frame.type));
-  out.push_back(0);  // flags
+  out.push_back(frame.has_trace ? kFrameFlagTraceContext : 0);
   PutU32(out, frame.from);
   PutU32(out, frame.to);
   PutU32(out, frame.incarnation);
   PutU64(out, frame.seq);
   PutU64(out, frame.run_id);
+  if (frame.has_trace) {
+    PutU64(out, frame.trace_id);
+    PutU64(out, frame.span_id);
+  }
   const size_t phase_len = frame.phase.size() > 255 ? 255 : frame.phase.size();
   PutU16(out, static_cast<uint16_t>(phase_len));
   for (size_t i = 0; i < phase_len; ++i) {
@@ -207,7 +212,7 @@ Result<Frame> DecodeFrame(const uint8_t* body, size_t len,
   if (!r.U16(&version) || !r.U8(&type) || !r.U8(&flags) ||
       !r.U32(&frame.from) || !r.U32(&frame.to) ||
       !r.U32(&frame.incarnation) || !r.U64(&frame.seq) ||
-      !r.U64(&frame.run_id) || !r.U16(&phase_len)) {
+      !r.U64(&frame.run_id)) {
     return Status::IntegrityViolation("tcp frame header truncated");
   }
   if (version != kTcpWireVersion) {
@@ -215,8 +220,21 @@ Result<Frame> DecodeFrame(const uint8_t* body, size_t len,
         "tcp frame protocol version " + std::to_string(version) +
         " != expected " + std::to_string(kTcpWireVersion));
   }
+  if ((flags & ~kFrameFlagTraceContext) != 0) {
+    return Status::IntegrityViolation(
+        "tcp frame carries unknown flag bits " + std::to_string(flags));
+  }
+  if ((flags & kFrameFlagTraceContext) != 0) {
+    frame.has_trace = true;
+    if (!r.U64(&frame.trace_id) || !r.U64(&frame.span_id)) {
+      return Status::IntegrityViolation("tcp frame trace context truncated");
+    }
+  }
+  if (!r.U16(&phase_len)) {
+    return Status::IntegrityViolation("tcp frame header truncated");
+  }
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
-      type > static_cast<uint8_t>(FrameType::kBye)) {
+      type > static_cast<uint8_t>(FrameType::kTelemetrySnapshot)) {
     return Status::IntegrityViolation("unknown tcp frame type " +
                                       std::to_string(type));
   }

@@ -13,7 +13,15 @@ namespace sqm::net {
 /// frames with a different version outright (kIntegrityViolation): a mixed
 /// deployment must be upgraded atomically, not limped through.
 /// Version 2 added the u32 incarnation field (party restart generation).
-inline constexpr uint16_t kTcpWireVersion = 2;
+/// Version 3 added the optional trace-context block (flags bit 0) and the
+/// telemetry frame kinds (5-7) used on the coordinator control stream.
+inline constexpr uint16_t kTcpWireVersion = 3;
+
+/// Flags bit 0: the 16-byte trace-context block (u64 trace_id, u64
+/// span_id) is present between run_id and phase_len. Observability-only:
+/// with the obs kill switch off the bit is never set and the wire carries
+/// no context. All other flag bits must be zero (kIntegrityViolation).
+inline constexpr uint8_t kFrameFlagTraceContext = 0x01;
 
 /// Frame kinds exchanged on a TcpTransport link.
 enum class FrameType : uint8_t {
@@ -27,6 +35,20 @@ enum class FrameType : uint8_t {
   /// Graceful goodbye: the peer finished its run and is closing. Receivers
   /// mark the link cleanly departed instead of starting reconnect attempts.
   kBye = 4,
+  /// Telemetry stream opener, party -> coordinator: `from` is the party,
+  /// `incarnation` its restart generation. Telemetry frames never appear
+  /// on party-to-party links (the data ReadLoop rejects them).
+  kTelemetryHello = 5,
+  /// Clock-offset probe. Coordinator -> party: payload [t_c0] (coordinator
+  /// send time, micros). Party -> coordinator echo: payload [t_c0, t_p]
+  /// (the party's receive time on its own clock). The coordinator stamps
+  /// t_c1 at echo receipt and estimates offset = (t_c0 + t_c1)/2 - t_p.
+  kTelemetryClock = 6,
+  /// Periodic party -> coordinator state snapshot. The payload packs a
+  /// JSON document as [byte_len, ceil(len/8) * u64 words]; see
+  /// docs/OBSERVABILITY.md for the schema (phase, metrics registry,
+  /// transport totals, flight-recorder ring).
+  kTelemetrySnapshot = 7,
 };
 
 /// One decoded frame. The length prefix (u32, little-endian, counting the
@@ -34,8 +56,9 @@ enum class FrameType : uint8_t {
 /// it is this struct. Layout, little-endian:
 ///
 ///   u16 version | u8 type | u8 flags | u32 from | u32 to |
-///   u32 incarnation | u64 seq | u64 run_id | u16 phase_len | phase bytes |
-///   u32 count | count * u64 payload | u64 mac
+///   u32 incarnation | u64 seq | u64 run_id |
+///   [u64 trace_id | u64 span_id]   (present iff flags & kFrameFlagTraceContext)
+///   u16 phase_len | phase bytes | u32 count | count * u64 payload | u64 mac
 ///
 /// The MAC is SipHash-2-4 keyed from the shared session key over every
 /// byte before it (version through payload), giving TLS-less channel
@@ -59,6 +82,13 @@ struct Frame {
   /// Run identifier from the deployment config; frames from another run
   /// (a stale daemon, a crossed port) fail verification.
   uint64_t run_id = 0;
+  /// Optional trace context (flags bit kFrameFlagTraceContext): the
+  /// sender's trace id and the span id of the `net.send` span that emitted
+  /// this frame, letting the receiver link its `net.recv` span causally
+  /// across processes. Under the MAC like every other header field.
+  bool has_trace = false;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
   /// Transport phase label at send time ("input", "mul", "census", ...).
   std::string phase;
   std::vector<uint64_t> payload;

@@ -67,6 +67,16 @@ struct DeploymentConfig {
   size_t max_reconnect_attempts = 5;
   double reconnect_backoff_seconds = 0.05;
 
+  /// Runtime observability kill switch for the whole fleet: false makes
+  /// every process call obs::SetEnabled(false) before any protocol work,
+  /// so no spans, metrics, flight events or telemetry streams exist and
+  /// the wire carries no trace context. Released values are bit-identical
+  /// either way (obs_distributed_test proves it).
+  bool obs_enabled = true;
+  /// Cadence of the party -> coordinator telemetry snapshots (and of the
+  /// durable trace rewrites that keep pre-crash spans on disk).
+  double telemetry_snapshot_interval_seconds = 0.25;
+
   /// Supervised recovery (docs/DEPLOYMENT.md "Recovery & supervision").
   /// max_restarts > 0 makes the coordinator respawn a dead party up to
   /// that many times, pointing it at its durable checkpoint; it REQUIRES

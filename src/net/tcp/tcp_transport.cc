@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "core/logging.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 
 namespace sqm {
 namespace net {
@@ -11,6 +13,11 @@ namespace net {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Track ids for the per-link reader threads: track kRecvTrackBase + peer.
+/// Exactly one reader owns a link at a time, so recv spans on one track
+/// never overlap (party tracks are 0..n-1, anonymous threads >= 1000).
+constexpr int32_t kRecvTrackBase = 100;
 
 Clock::duration Seconds(double s) {
   return std::chrono::duration_cast<Clock::duration>(
@@ -149,6 +156,7 @@ void TcpTransport::InstallConn(size_t peer, std::shared_ptr<Conn> conn) {
   links_[peer].state = LinkState::kUp;
   link_cv_.NotifyAll();
   if (was_down) RecordRetry();  // A successful reconnect is a recovery.
+  SQM_FLIGHT_EVENT("link_up", "", static_cast<int64_t>(peer));
 }
 
 void TcpTransport::MarkDown(size_t peer) {
@@ -161,6 +169,7 @@ void TcpTransport::MarkDown(size_t peer) {
   links_[peer].down_since = Clock::now();
   links_[peer].conn.reset();
   link_cv_.NotifyAll();
+  SQM_FLIGHT_EVENT("link_down", "", static_cast<int64_t>(peer));
 }
 
 void TcpTransport::MarkDead(size_t peer, const char* reason) {
@@ -170,6 +179,7 @@ void TcpTransport::MarkDead(size_t peer, const char* reason) {
   links_[peer].conn.reset();
   link_cv_.NotifyAll();
   recv_cv_.NotifyAll();  // Blocked receives must fail kUnavailable now.
+  SQM_FLIGHT_EVENT("link_dead", reason, static_cast<int64_t>(peer));
   SQM_LOG(kInfo) << "TcpTransport party " << me_ << ": peer " << peer
                  << " declared dead (" << reason << ")";
 }
@@ -460,6 +470,12 @@ void TcpTransport::AcceptSideMain(size_t peer) {
 
 Status TcpTransport::ReadLoop(size_t peer,
                               const std::shared_ptr<Conn>& conn) {
+  if (obs::Enabled()) {
+    obs::Tracer::Global().SetTrackName(
+        kRecvTrackBase + static_cast<int32_t>(peer),
+        "recv from party " + std::to_string(peer));
+  }
+  obs::TrackScope recv_track(kRecvTrackBase + static_cast<int32_t>(peer));
   std::vector<uint8_t> body;
   for (;;) {
     uint8_t len_bytes[4];
@@ -534,6 +550,23 @@ Status TcpTransport::ReadLoop(size_t peer,
           " (replayed or re-ordered frame)");
     }
     links_[peer].last_recv_seq = frame.seq;
+    if (obs::Enabled()) {
+      // The recv span plus the finishing half of the sender's flow arrow:
+      // same id as the peer's net.send span (propagated in the frame
+      // header), so the merged trace draws send -> receive causally across
+      // processes. "bp":"e" binds the arrowhead to this recv span.
+      obs::Span recv_span("net.recv", "net");
+      recv_span.AddArg("peer", static_cast<int64_t>(peer));
+      recv_span.AddArg("seq", static_cast<int64_t>(frame.seq));
+      recv_span.AddArg("elements",
+                       static_cast<int64_t>(frame.payload.size()));
+      if (frame.has_trace) {
+        obs::Tracer::Global().FlowFinish("net.link", "net", frame.span_id);
+      }
+      SQM_FLIGHT_EVENT2("recv", frame.phase.c_str(),
+                        static_cast<int64_t>(peer),
+                        static_cast<int64_t>(frame.seq));
+    }
     inboxes_[peer].push_back(std::move(frame.payload));
     recv_cv_.NotifyAll();
   }
@@ -588,6 +621,10 @@ void TcpTransport::Send(size_t from, size_t to, Payload payload) {
       MarkDown(to);
       continue;
     }
+    obs::Span send_span("net.send", "net");
+    send_span.AddArg("peer", static_cast<int64_t>(to));
+    send_span.AddArg("seq", static_cast<int64_t>(seq));
+    send_span.AddArg("elements", static_cast<int64_t>(out.size()));
     Frame frame;
     frame.type = FrameType::kData;
     frame.from = static_cast<uint32_t>(from);
@@ -597,6 +634,21 @@ void TcpTransport::Send(size_t from, size_t to, Payload payload) {
     frame.run_id = options_.run_id;
     frame.phase = phase_label;
     frame.payload = std::move(out);
+    if (obs::Enabled() && obs::Tracer::TraceId() != 0) {
+      // Trace-context propagation: the receiver's net.recv links back to
+      // this span through the frame header (under the MAC). Gated on a
+      // nonzero trace id so plain library users and the kill-switched
+      // builds keep a context-free wire.
+      frame.has_trace = true;
+      frame.trace_id = obs::Tracer::TraceId();
+      frame.span_id = send_span.id();
+      obs::Tracer::Global().FlowStart("net.link", "net", send_span.id());
+    }
+    if (obs::Enabled()) {
+      SQM_FLIGHT_EVENT2("send", phase_label.c_str(),
+                        static_cast<int64_t>(to),
+                        static_cast<int64_t>(seq));
+    }
     const std::vector<uint8_t> wire =
         EncodeFrame(frame, options_.session_key);
     if (chaos == ChaosAction::kStall) {

@@ -1,6 +1,7 @@
 #include "net/transport.h"
 
 #include "core/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace sqm {
@@ -70,15 +71,22 @@ TransportStats Transport::Snapshot() const {
 }
 
 void Transport::SetPhase(const std::string& phase) {
-  MutexLock lock(mu_);
-  for (size_t i = 0; i < phases_.size(); ++i) {
-    if (phases_[i].phase == phase) {
-      current_phase_ = i;
-      return;
+  {
+    MutexLock lock(mu_);
+    size_t index = phases_.size();
+    for (size_t i = 0; i < phases_.size(); ++i) {
+      if (phases_[i].phase == phase) {
+        index = i;
+        break;
+      }
     }
+    if (index == phases_.size()) {
+      phases_.push_back(PhaseStats{phase, NetworkStats{}});
+    }
+    if (index == current_phase_) return;  // No transition, nothing to log.
+    current_phase_ = index;
   }
-  phases_.push_back(PhaseStats{phase, NetworkStats{}});
-  current_phase_ = phases_.size() - 1;
+  SQM_FLIGHT_EVENT("phase", phase.c_str(), 0);
 }
 
 std::string Transport::phase() const {

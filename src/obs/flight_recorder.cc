@@ -1,0 +1,129 @@
+#include "obs/flight_recorder.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/json.h"
+#include "core/logging.h"
+
+namespace sqm::obs {
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // Never
+  return *recorder;  // destroyed: crash paths may record very late.
+}
+
+FlightRecorder::FlightRecorder() {
+  // Fatal exits dump the ring next to the tracer's crash trace, so a
+  // SQM_CHECK failure leaves both a timeline and an event log behind.
+  Logger::AddFatalHook([] { FlightRecorder::Global().DumpForCrash(); });
+}
+
+void FlightRecorder::Record(const char* kind, const char* detail, int64_t a,
+                            int64_t b) {
+  if (!Enabled()) return;
+  FlightEvent event;
+  event.ts_micros = NowMicros();
+  event.kind = kind;
+  if (detail != nullptr && detail[0] != '\0') {
+    std::strncpy(event.detail, detail, FlightEvent::kDetailBytes - 1);
+  }
+  event.a = a;
+  event.b = b;
+  MutexLock lock(mu_);
+  ring_[next_] = event;
+  next_ = (next_ + 1) % kCapacity;
+  ++total_;
+}
+
+void FlightRecorder::SetIdentity(uint64_t run_id, uint32_t party,
+                                 uint32_t incarnation) {
+  MutexLock lock(mu_);
+  run_id_ = run_id;
+  party_ = party;
+  incarnation_ = incarnation;
+}
+
+void FlightRecorder::SetDumpPath(std::string path) {
+  MutexLock lock(mu_);
+  dump_path_ = std::move(path);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<FlightEvent> events;
+  const size_t count =
+      total_ < kCapacity ? static_cast<size_t>(total_) : kCapacity;
+  events.reserve(count);
+  // Oldest first: once wrapped, the ring's oldest entry is at next_.
+  const size_t start = total_ < kCapacity ? 0 : next_;
+  for (size_t i = 0; i < count; ++i) {
+    events.push_back(ring_[(start + i) % kCapacity]);
+  }
+  return events;
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  MutexLock lock(mu_);
+  return total_;
+}
+
+void FlightRecorder::Clear() {
+  MutexLock lock(mu_);
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string FlightRecorder::ToJson() const {
+  uint64_t run_id = 0;
+  uint32_t party = 0;
+  uint32_t incarnation = 0;
+  uint64_t total = 0;
+  {
+    MutexLock lock(mu_);
+    run_id = run_id_;
+    party = party_;
+    incarnation = incarnation_;
+    total = total_;
+  }
+  const std::vector<FlightEvent> events = Snapshot();
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Field("run_id", run_id);
+  writer.Field("party", static_cast<uint64_t>(party));
+  writer.Field("incarnation", static_cast<uint64_t>(incarnation));
+  writer.Field("total_recorded", total);
+  writer.Field("capacity", static_cast<uint64_t>(kCapacity));
+  writer.BeginArray("events");
+  for (const FlightEvent& event : events) {
+    writer.BeginObject()
+        .Field("t", event.ts_micros)
+        .Field("kind", event.kind)
+        .Field("detail", event.detail)
+        .Field("a", event.a)
+        .Field("b", event.b)
+        .EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.str();
+}
+
+bool FlightRecorder::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) return false;
+  out << ToJson();
+  return static_cast<bool>(out);
+}
+
+void FlightRecorder::DumpForCrash() const {
+  if (total_recorded() == 0) return;
+  std::string path;
+  {
+    MutexLock lock(mu_);
+    path = dump_path_;
+  }
+  WriteFile(path);
+}
+
+}  // namespace sqm::obs

@@ -1,0 +1,110 @@
+#ifndef SQM_OBS_FLIGHT_RECORDER_H_
+#define SQM_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sync.h"
+#include "obs/obs.h"
+
+namespace sqm::obs {
+
+/// One entry of the crash flight recorder: a fixed-size, allocation-free
+/// record of a recent protocol event (phase transition, frame send/recv,
+/// checkpoint write, link suspicion). `kind` must point at a string
+/// literal; `detail` is a short copied tag (a phase label, a reason) so
+/// the record survives the death of whatever produced it.
+struct FlightEvent {
+  static constexpr size_t kDetailBytes = 24;
+
+  uint64_t ts_micros = 0;  ///< obs::NowMicros() at record time.
+  const char* kind = "";
+  char detail[kDetailBytes] = {0};  ///< NUL-terminated, truncated copy.
+  int64_t a = 0;                    ///< Kind-specific (peer, level, ...).
+  int64_t b = 0;                    ///< Kind-specific (seq, bytes, ...).
+};
+
+/// Bounded ring of the most recent FlightEvents, dumped as
+/// `flight_<party>.json` on fatal exits, SIGTERM, or degrade so a
+/// post-mortem of a killed/partitioned party is self-contained: the last
+/// ~512 things the process did, in order, with timestamps on the process
+/// trace epoch. Recording is cheap (one mutex, two stores) and, like all
+/// of src/obs/, inert behind the kill switch — it observes the protocol
+/// and never feeds back into it.
+class FlightRecorder {
+ public:
+  static constexpr size_t kCapacity = 512;
+
+  static FlightRecorder& Global();
+
+  /// Appends one event (oldest entry overwritten once the ring is full).
+  /// No-op when the kill switch is off. `kind` must be a string literal;
+  /// `detail` is copied (truncated to kDetailBytes - 1).
+  void Record(const char* kind, const char* detail, int64_t a = 0,
+              int64_t b = 0);
+
+  /// Who this process is, stamped into the dump header. The supervisor
+  /// matches dumps to roster entries by these.
+  void SetIdentity(uint64_t run_id, uint32_t party, uint32_t incarnation);
+
+  /// Where DumpForCrash writes (default "sqm_flight.json").
+  void SetDumpPath(std::string path);
+
+  /// The ring's events, oldest first.
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// Events recorded over the recorder's lifetime (>= ring size).
+  uint64_t total_recorded() const;
+
+  /// Drops all buffered events (identity and dump path are kept).
+  void Clear();
+
+  /// JSON document: {"run_id":..,"party":..,"incarnation":..,
+  /// "total_recorded":..,"capacity":..,"events":[{"t":..,"kind":"..",
+  /// "detail":"..","a":..,"b":..},...]} — the flight_<party>.json schema
+  /// (docs/OBSERVABILITY.md).
+  std::string ToJson() const;
+
+  /// Writes ToJson() to a file; false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  /// Flushes the ring to the dump path if any events are buffered.
+  /// Installed as a Logger fatal hook; sqm-party also runs it on SIGTERM
+  /// and on degrade.
+  void DumpForCrash() const;
+
+ private:
+  FlightRecorder();
+
+  mutable Mutex mu_;
+  FlightEvent ring_[kCapacity] SQM_GUARDED_BY(mu_);
+  size_t next_ SQM_GUARDED_BY(mu_) = 0;
+  uint64_t total_ SQM_GUARDED_BY(mu_) = 0;
+  uint64_t run_id_ SQM_GUARDED_BY(mu_) = 0;
+  uint32_t party_ SQM_GUARDED_BY(mu_) = 0;
+  uint32_t incarnation_ SQM_GUARDED_BY(mu_) = 0;
+  std::string dump_path_ SQM_GUARDED_BY(mu_) = "sqm_flight.json";
+};
+
+}  // namespace sqm::obs
+
+/// Instrumentation macros, kill-switch aware like SQM_OBS_COUNTER_*. The
+/// kind must be a string literal (enforced by sqmlint's obs-discipline).
+#define SQM_FLIGHT_EVENT(kind, detail, a)                            \
+  do {                                                               \
+    if (::sqm::obs::Enabled()) {                                     \
+      ::sqm::obs::FlightRecorder::Global().Record((kind), (detail), \
+                                                  (a));              \
+    }                                                                \
+  } while (0)
+
+#define SQM_FLIGHT_EVENT2(kind, detail, a, b)                        \
+  do {                                                               \
+    if (::sqm::obs::Enabled()) {                                     \
+      ::sqm::obs::FlightRecorder::Global().Record((kind), (detail), \
+                                                  (a), (b));         \
+    }                                                                \
+  } while (0)
+
+#endif  // SQM_OBS_FLIGHT_RECORDER_H_

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <set>
 
 #include "core/json.h"
 #include "core/logging.h"
@@ -12,6 +13,19 @@ namespace {
 thread_local int32_t tl_track = -1;  // -1: not yet assigned.
 std::atomic<int32_t> g_next_anonymous_track{Tracer::kFirstAnonymousTrack};
 
+// Span ids start at 1 so 0 stays the "no span" sentinel on the wire;
+// SetSpanIdNamespace rebases the counter per process incarnation.
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_trace_id{0};
+
+// The calling thread's stack of live Span ids (innermost last). Spans are
+// strictly nested RAII scopes, so a bounded array suffices; overflow just
+// stops tracking depth (ids keep flowing, CurrentSpanId degrades to the
+// deepest tracked ancestor).
+constexpr size_t kMaxSpanDepth = 64;
+thread_local uint64_t tl_span_stack[kMaxSpanDepth];
+thread_local size_t tl_span_depth = 0;
+
 const char* PhaseLetter(TraceEvent::Type type) {
   switch (type) {
     case TraceEvent::Type::kComplete:
@@ -20,6 +34,10 @@ const char* PhaseLetter(TraceEvent::Type type) {
       return "i";
     case TraceEvent::Type::kCounter:
       return "C";
+    case TraceEvent::Type::kFlowStart:
+      return "s";
+    case TraceEvent::Type::kFlowFinish:
+      return "f";
   }
   return "X";
 }
@@ -87,6 +105,66 @@ void Tracer::CounterValue(const char* name, int64_t value) {
   event.ts_micros = NowMicros();
   event.AddArg("value", value);
   Emit(event);
+}
+
+void Tracer::FlowStart(const char* name, const char* category,
+                       uint64_t flow_id) {
+  if (!Enabled() || flow_id == 0) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.type = TraceEvent::Type::kFlowStart;
+  event.flow_id = flow_id;
+  event.track = CurrentTrack();
+  event.ts_micros = NowMicros();
+  Emit(event);
+}
+
+void Tracer::FlowFinish(const char* name, const char* category,
+                        uint64_t flow_id) {
+  if (!Enabled() || flow_id == 0) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.type = TraceEvent::Type::kFlowFinish;
+  event.flow_id = flow_id;
+  event.track = CurrentTrack();
+  event.ts_micros = NowMicros();
+  Emit(event);
+}
+
+uint64_t Tracer::NextSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::SetSpanIdNamespace(uint64_t base) {
+  // Keep 0 reserved as the "no span" sentinel even for a zero base.
+  g_next_span_id.store(base == 0 ? 1 : base, std::memory_order_relaxed);
+}
+
+void Tracer::SetTraceId(uint64_t trace_id) {
+  g_trace_id.store(trace_id, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::TraceId() {
+  return g_trace_id.load(std::memory_order_relaxed);
+}
+
+uint64_t Tracer::CurrentSpanId() {
+  return tl_span_depth == 0
+             ? 0
+             : tl_span_stack[tl_span_depth <= kMaxSpanDepth
+                                 ? tl_span_depth - 1
+                                 : kMaxSpanDepth - 1];
+}
+
+void Tracer::PushSpan(uint64_t span_id) {
+  if (tl_span_depth < kMaxSpanDepth) tl_span_stack[tl_span_depth] = span_id;
+  ++tl_span_depth;
+}
+
+void Tracer::PopSpan() {
+  if (tl_span_depth > 0) --tl_span_depth;
 }
 
 void Tracer::SetTrackName(int32_t track, const std::string& name) {
@@ -196,6 +274,15 @@ std::string Tracer::ToChromeTraceJson() const {
     if (event.type == TraceEvent::Type::kInstant) {
       writer.Field("s", "t");  // Thread-scoped instant.
     }
+    if (event.type == TraceEvent::Type::kFlowStart ||
+        event.type == TraceEvent::Type::kFlowFinish) {
+      writer.Field("id", event.flow_id);
+      if (event.type == TraceEvent::Type::kFlowFinish) {
+        // Bind the arrowhead to the enclosing slice ("bp":"e"), the form
+        // Perfetto renders as an arrow into the receiving span.
+        writer.Field("bp", "e");
+      }
+    }
     if (event.num_args > 0) {
       writer.Key("args").BeginObject();
       for (int i = 0; i < event.num_args; ++i) {
@@ -279,39 +366,81 @@ void EmitJsonValue(JsonWriter& writer, const JsonValue& value) {
 
 }  // namespace
 
-Result<std::string> MergeChromeTraces(
-    const std::vector<std::pair<std::string, std::string>>& traces) {
-  JsonWriter writer;
-  writer.BeginObject();
-  writer.BeginArray("traceEvents");
-  for (size_t i = 0; i < traces.size(); ++i) {
-    const uint64_t pid = static_cast<uint64_t>(i) + 1;
-    // Label the process group so Perfetto shows "party 0", "coordinator"
-    // instead of bare pids.
-    writer.BeginObject()
-        .Field("name", "process_name")
-        .Field("ph", "M")
-        .Field("pid", pid)
-        .Field("tid", uint64_t{0});
-    writer.Key("args").BeginObject().Field("name", traces[i].first);
-    writer.EndObject().EndObject();
-
-    SQM_ASSIGN_OR_RETURN(const JsonValue doc, ParseJson(traces[i].second));
+Result<std::string> MergeChromeTraces(const std::vector<TraceDoc>& traces) {
+  // Parse every document first and collect the flow-start ids: a crashed
+  // process can lose its in-memory `ph:"s"` events while the receivers'
+  // durably-written `ph:"f"` halves survive, and a finish without a start
+  // is unrenderable — such orphans are pruned from the merged timeline.
+  std::vector<JsonValue> docs;
+  docs.reserve(traces.size());
+  std::set<uint64_t> flow_start_ids;
+  for (const TraceDoc& trace : traces) {
+    SQM_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(trace.json));
     const JsonValue* events = doc.Find("traceEvents");
     if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
       return Status::InvalidArgument(
-          "trace \"" + traces[i].first +
+          "trace \"" + trace.name +
           "\" has no traceEvents array (not a Chrome trace document)");
     }
     for (const JsonValue& event : events->items) {
       if (event.kind != JsonValue::Kind::kObject) {
-        return Status::InvalidArgument("trace \"" + traces[i].first +
+        return Status::InvalidArgument("trace \"" + trace.name +
                                        "\" has a non-object trace event");
+      }
+      const JsonValue* ph = event.Find("ph");
+      const JsonValue* id = event.Find("id");
+      if (ph != nullptr && ph->string_value == "s" && id != nullptr) {
+        flow_start_ids.insert(id->uint_value);
+      }
+    }
+    docs.push_back(std::move(doc));
+  }
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.BeginArray("traceEvents");
+  std::set<uint64_t> labeled_pids;
+  for (size_t i = 0; i < traces.size(); ++i) {
+    const uint64_t pid =
+        traces[i].pid != 0 ? traces[i].pid : static_cast<uint64_t>(i) + 1;
+    // Label the process group so Perfetto shows "party 0", "coordinator"
+    // instead of bare pids. A pid shared by several documents (one party's
+    // successive incarnations) is labeled once, by its first document.
+    if (labeled_pids.insert(pid).second) {
+      writer.BeginObject()
+          .Field("name", "process_name")
+          .Field("ph", "M")
+          .Field("pid", pid)
+          .Field("tid", uint64_t{0});
+      writer.Key("args").BeginObject().Field("name", traces[i].name);
+      writer.EndObject().EndObject();
+    }
+
+    const JsonValue* events = docs[i].Find("traceEvents");
+    const int64_t offset = traces[i].clock_offset_micros;
+    for (const JsonValue& event : events->items) {
+      const JsonValue* ph = event.Find("ph");
+      if (ph != nullptr && ph->string_value == "f") {
+        const JsonValue* id = event.Find("id");
+        if (id == nullptr || flow_start_ids.count(id->uint_value) == 0) {
+          continue;  // Orphaned finish: its start died with the sender.
+        }
       }
       writer.BeginObject();
       for (const auto& [key, member] : event.members) {
         if (key == "pid") {
           writer.Field("pid", pid);
+          continue;
+        }
+        // Clock alignment: shift every timestamp by the document's offset
+        // so all processes land on the merger's timeline. Metadata records
+        // carry no ts; durations are clock-rate-local and stay put.
+        if (key == "ts" && offset != 0 &&
+            member.kind == JsonValue::Kind::kNumber && member.is_integer) {
+          const int64_t ts = member.is_negative
+                                 ? member.int_value
+                                 : static_cast<int64_t>(member.uint_value);
+          writer.Field("ts", ts + offset);
           continue;
         }
         writer.Key(key);
@@ -324,6 +453,16 @@ Result<std::string> MergeChromeTraces(
   writer.Field("displayTimeUnit", "ms");
   writer.EndObject();
   return writer.str();
+}
+
+Result<std::string> MergeChromeTraces(
+    const std::vector<std::pair<std::string, std::string>>& traces) {
+  std::vector<TraceDoc> docs(traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    docs[i].name = traces[i].first;
+    docs[i].json = traces[i].second;
+  }
+  return MergeChromeTraces(docs);
 }
 
 }  // namespace sqm::obs

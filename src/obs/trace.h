@@ -20,9 +20,11 @@ namespace sqm::obs {
 /// allocation-free.
 struct TraceEvent {
   enum class Type : uint8_t {
-    kComplete,  ///< A span: [ts, ts+dur).
-    kInstant,   ///< A point event (fault injected, checkpoint resume, ...).
-    kCounter,   ///< A sampled counter value (args[0].value).
+    kComplete,    ///< A span: [ts, ts+dur).
+    kInstant,     ///< A point event (fault injected, checkpoint resume, ...).
+    kCounter,     ///< A sampled counter value (args[0].value).
+    kFlowStart,   ///< Start of a cross-track/cross-process arrow (ph "s").
+    kFlowFinish,  ///< End of the arrow with the same flow_id (ph "f").
   };
 
   struct Arg {
@@ -35,6 +37,11 @@ struct TraceEvent {
   const char* category = "sqm";
   uint64_t ts_micros = 0;
   uint64_t dur_micros = 0;
+  /// Flow-binding id for kFlowStart/kFlowFinish pairs; Perfetto draws an
+  /// arrow between the two events carrying the same id. TcpTransport uses
+  /// the sender's net.send span id, propagated in the frame header, so the
+  /// arrow crosses process boundaries.
+  uint64_t flow_id = 0;
   int32_t track = 0;
   Type type = Type::kComplete;
   uint8_t num_args = 0;
@@ -68,6 +75,33 @@ class Tracer {
 
   /// Convenience: a counter sample on the current track, stamped now.
   void CounterValue(const char* name, int64_t value);
+
+  /// Convenience: flow-arrow endpoints on the current track, stamped now.
+  /// A kFlowStart and a kFlowFinish with the same `flow_id` render as one
+  /// causal arrow, including across merged per-process documents.
+  void FlowStart(const char* name, const char* category, uint64_t flow_id);
+  void FlowFinish(const char* name, const char* category, uint64_t flow_id);
+
+  /// Span-id allocation. Ids are drawn from a process-wide namespace that
+  /// SetSpanIdNamespace rebases: sqm-party seeds it from
+  /// (run_id, party, incarnation), so ids stay globally unique across the
+  /// fleet AND across supervised restarts of the same party (a respawned
+  /// incarnation must never reuse a pre-crash id — merged traces key flow
+  /// arrows by id).
+  static uint64_t NextSpanId();
+  static void SetSpanIdNamespace(uint64_t base);
+
+  /// Trace id for this process's run, carried in outgoing frame headers.
+  /// 0 (default) means "no trace": frames go out without context.
+  static void SetTraceId(uint64_t trace_id);
+  static uint64_t TraceId();
+
+  /// The innermost live Span on the calling thread (0 when none). This is
+  /// what a `net.send` frame stamps as its span id.
+  static uint64_t CurrentSpanId();
+  /// Span maintains the thread-local span stack through these.
+  static void PushSpan(uint64_t span_id);
+  static void PopSpan();
 
   /// Names a track ("party 0", "driver") in the exported trace.
   void SetTrackName(int32_t track, const std::string& name);
@@ -119,15 +153,31 @@ class Tracer {
   std::string crash_dump_path_ SQM_GUARDED_BY(mu_) = "sqm_crash_trace.json";
 };
 
+/// One per-process trace document for MergeChromeTraces: the Chrome JSON
+/// text, the label for its process group, the clock offset (added to every
+/// event timestamp, mapping the source process's steady clock onto the
+/// merger's timeline — the coordinator estimates it per party at the
+/// telemetry handshake), and the pid to merge under. Two documents may
+/// share a pid: a party's pre- and post-crash incarnations merge onto ONE
+/// party track, so a restart reads as a gap, not a new process.
+struct TraceDoc {
+  std::string name;
+  std::string json;
+  int64_t clock_offset_micros = 0;
+  uint64_t pid = 0;  ///< 0: assigned from the document's index + 1.
+};
+
 /// Merges Chrome trace-event documents from several processes (each as
 /// produced by ToChromeTraceJson / WriteChromeTraceFile) into one
-/// timeline: document i's events are rewritten to pid = i + 1, a
-/// process_name metadata record labels that pid with traces[i].first, and
-/// the event lists are concatenated. The multi-process coordinator uses
-/// this to fold the n sqm-party trace files plus its own into one file a
-/// single Perfetto tab can read, with one labeled process group per
-/// party. Timestamps are NOT re-aligned — every process stamps on its own
-/// steady clock, so cross-process offsets reflect process start skew.
+/// timeline: document i's events are rewritten to its TraceDoc pid, every
+/// "ts" is shifted by the document's clock offset, a process_name metadata
+/// record labels the pid, and the event lists are concatenated. The
+/// multi-process coordinator uses this to fold the n sqm-party trace files
+/// plus its own into one clock-aligned file a single Perfetto tab can
+/// read, with one labeled process group per party.
+Result<std::string> MergeChromeTraces(const std::vector<TraceDoc>& traces);
+
+/// Back-compat shape: (name, json) pairs, no clock alignment, pid = i + 1.
 Result<std::string> MergeChromeTraces(
     const std::vector<std::pair<std::string, std::string>>& traces);
 
@@ -145,6 +195,8 @@ class Span {
       event_.category = category;
       event_.track = Tracer::CurrentTrack();
       event_.ts_micros = NowMicros();
+      id_ = Tracer::NextSpanId();
+      Tracer::PushSpan(id_);
     }
   }
 
@@ -157,6 +209,8 @@ class Span {
       event_.category = category;
       event_.track = track;
       event_.ts_micros = NowMicros();
+      id_ = Tracer::NextSpanId();
+      Tracer::PushSpan(id_);
     }
   }
 
@@ -167,8 +221,14 @@ class Span {
     if (active_) event_.AddArg(key, value);
   }
 
+  /// This span's process-unique id (0 when the kill switch is off). The
+  /// transport stamps it into outgoing frame headers so the receiver can
+  /// link its net.recv span back here.
+  uint64_t id() const { return id_; }
+
   ~Span() {
     if (active_) {
+      Tracer::PopSpan();
       event_.dur_micros = NowMicros() - event_.ts_micros;
       Tracer::Global().Emit(event_);
     }
@@ -176,6 +236,7 @@ class Span {
 
  private:
   TraceEvent event_;
+  uint64_t id_ = 0;
   bool active_;
 };
 

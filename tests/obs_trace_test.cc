@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -178,6 +179,141 @@ TEST_F(TraceTest, ClearDropsBufferedEvents) {
   ASSERT_EQ(EventsNamed("test.cleared").size(), 1u);
   Tracer::Global().Clear();
   EXPECT_EQ(Tracer::Global().num_events(), 0u);
+}
+
+TEST_F(TraceTest, FlowEventsExportAsChromeArrows) {
+  Tracer::Global().FlowStart("net.link", "net", 4242);
+  Tracer::Global().FlowFinish("net.link", "net", 4242);
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  const JsonValue root = ParseJson(json).ValueOrDie();
+  bool found_start = false;
+  bool found_finish = false;
+  for (const JsonValue& event : root.Find("traceEvents")->items) {
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr) continue;
+    if (ph->string_value == "s") {
+      found_start = true;
+      EXPECT_EQ(event.Find("id")->uint_value, 4242u);
+      EXPECT_EQ(event.Find("name")->string_value, "net.link");
+    }
+    if (ph->string_value == "f") {
+      found_finish = true;
+      EXPECT_EQ(event.Find("id")->uint_value, 4242u);
+      // Binding point "enclosing slice": the arrow attaches to the span
+      // that was live when the finish was recorded.
+      ASSERT_NE(event.Find("bp"), nullptr);
+      EXPECT_EQ(event.Find("bp")->string_value, "e");
+    }
+  }
+  EXPECT_TRUE(found_start);
+  EXPECT_TRUE(found_finish);
+}
+
+TEST_F(TraceTest, SpanIdNamespaceKeepsIncarnationsCollisionFree) {
+  // The sqm-party slab layout: ((party+1) << 48) | (incarnation << 40) | 1.
+  // Ids drawn after a rebase live in the new slab, so a respawned
+  // incarnation can never mint an id its pre-crash self already used.
+  Tracer::SetSpanIdNamespace((uint64_t{3} << 48) | (uint64_t{0} << 40) | 1);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 100; ++i) first.push_back(Tracer::NextSpanId());
+  Tracer::SetSpanIdNamespace((uint64_t{3} << 48) | (uint64_t{1} << 40) | 1);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t id = Tracer::NextSpanId();
+    EXPECT_EQ(id >> 40, (uint64_t{3} << 8) | 1);
+    for (const uint64_t old : first) EXPECT_NE(id, old);
+  }
+  // Restore the default namespace for the other suites.
+  Tracer::SetSpanIdNamespace(1);
+}
+
+TEST_F(TraceTest, MergeAppliesClockOffsetAndSharesPidAcrossIncarnations) {
+  // Two incarnations of "party 2", each a tiny single-span document.
+  {
+    Span span("test.pre_crash", "test");
+  }
+  const std::string pre = Tracer::Global().ToChromeTraceJson();
+  Tracer::Global().Clear();
+  {
+    Span span("test.post_crash", "test");
+  }
+  const std::string post = Tracer::Global().ToChromeTraceJson();
+
+  std::vector<TraceDoc> docs(2);
+  docs[0].name = "party 2";
+  docs[0].json = pre;
+  docs[0].clock_offset_micros = 1000000;
+  docs[0].pid = 3;
+  docs[1].name = "party 2";
+  docs[1].json = post;
+  docs[1].clock_offset_micros = -250;
+  docs[1].pid = 3;
+  const Result<std::string> merged = MergeChromeTraces(docs);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const JsonValue root = ParseJson(merged.ValueOrDie()).ValueOrDie();
+
+  int process_names_for_pid3 = 0;
+  bool found_pre = false;
+  bool found_post = false;
+  for (const JsonValue& event : root.Find("traceEvents")->items) {
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr) continue;
+    if (name->string_value == "process_name" &&
+        event.Find("pid")->uint_value == 3u) {
+      ++process_names_for_pid3;
+    }
+    if (name->string_value == "test.pre_crash") {
+      found_pre = true;
+      EXPECT_EQ(event.Find("pid")->uint_value, 3u);
+      EXPECT_GE(event.Find("ts")->uint_value, 1000000u);
+    }
+    if (name->string_value == "test.post_crash") {
+      found_post = true;
+      EXPECT_EQ(event.Find("pid")->uint_value, 3u);
+    }
+  }
+  // One process label per pid, even with two documents merged onto it.
+  EXPECT_EQ(process_names_for_pid3, 1);
+  EXPECT_TRUE(found_pre);
+  EXPECT_TRUE(found_post);
+}
+
+TEST_F(TraceTest, MergePrunesFlowFinishesWhoseStartDiedWithTheSender) {
+  // Sender document: one linked send (flow 71) — the send for flow 72 was
+  // lost with a crash, so no "s" exists for it anywhere.
+  {
+    Span span("test.send", "test");
+    Tracer::Global().FlowStart("net.link", "net", 71);
+  }
+  const std::string sender = Tracer::Global().ToChromeTraceJson();
+  Tracer::Global().Clear();
+  // Receiver document: finishes for both flows.
+  {
+    Span span("test.recv", "test");
+    Tracer::Global().FlowFinish("net.link", "net", 71);
+    Tracer::Global().FlowFinish("net.link", "net", 72);
+  }
+  const std::string receiver = Tracer::Global().ToChromeTraceJson();
+
+  const std::vector<std::pair<std::string, std::string>> inputs = {
+      {"party 0", sender}, {"party 1", receiver}};
+  const Result<std::string> merged = MergeChromeTraces(inputs);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const JsonValue root = ParseJson(merged.ValueOrDie()).ValueOrDie();
+
+  std::set<uint64_t> starts;
+  std::set<uint64_t> finishes;
+  for (const JsonValue& event : root.Find("traceEvents")->items) {
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr) continue;
+    if (ph->string_value == "s") starts.insert(event.Find("id")->uint_value);
+    if (ph->string_value == "f") {
+      finishes.insert(event.Find("id")->uint_value);
+    }
+  }
+  // The matched arrow survives whole; the orphaned finish is pruned so the
+  // merged artifact never carries an unrenderable half-link.
+  EXPECT_EQ(starts, (std::set<uint64_t>{71}));
+  EXPECT_EQ(finishes, (std::set<uint64_t>{71}));
 }
 
 TEST_F(TraceTest, WriteChromeTraceFileRoundTrips) {

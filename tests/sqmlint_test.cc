@@ -542,6 +542,79 @@ void Fold(std::vector<Field::Element>& out, Field::Element delta, size_t n) {
   EXPECT_EQ(Count(findings, "batch-discipline", true), 1);
 }
 
+// ---------------------------------------------------------------- obs-discipline
+
+TEST(ObsDiscipline, FiresOnDynamicMetricName) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(const std::string& label, double v) {
+  SQM_OBS_GAUGE_SET(label.c_str(), v);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "obs-discipline"), 1);
+}
+
+TEST(ObsDiscipline, FiresOnDynamicSpanName) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(const char* phase) {
+  Span span(phase, "mpc");
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "obs-discipline"), 1);
+}
+
+TEST(ObsDiscipline, FiresOnSecretFlightArgument) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(uint64_t mask_value) {
+  SQM_FLIGHT_EVENT2("mul.level", 3, mask_value);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "obs-discipline"), 1);
+}
+
+TEST(ObsDiscipline, FiresOnSecretSpanAnnotation) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(Span& span, uint64_t share_count) {
+  span.AddArg("n", share_count);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "obs-discipline"), 1);
+}
+
+TEST(ObsDiscipline, LiteralNamesAndCleanArgsPass) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(size_t level) {
+  Span span("bgw.mul", "mpc");
+  span.AddArg("level", static_cast<int64_t>(level));
+  SQM_OBS_COUNTER_INC("mpc.mul.levels");
+  SQM_FLIGHT_EVENT("mul.level", static_cast<int64_t>(level));
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "obs-discipline"), 0);
+}
+
+TEST(ObsDiscipline, ConstructorSignatureIsNotAName) {
+  // The Span declaration in obs/trace.h ("Span(const char* name...)") and
+  // the deleted copy constructor must not read as dynamic-name call sites.
+  const auto findings = Lint("src/obs/trace.h", R"cpp(
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "sqm");
+  Span(const Span&) = delete;
+};
+)cpp");
+  EXPECT_EQ(Active(findings, "obs-discipline"), 0);
+}
+
+TEST(ObsDiscipline, SuppressionSilences) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(const std::string& label, double v) {
+  SQM_OBS_GAUGE_SET(label.c_str(), v);  // sqmlint:allow(obs-discipline)
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "obs-discipline"), 0);
+  EXPECT_EQ(Count(findings, "obs-discipline", true), 1);
+}
+
 // ------------------------------------------------------------------ JSON output
 
 TEST(Json, FindingsAndSummaryShapes) {

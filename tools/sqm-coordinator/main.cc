@@ -3,7 +3,8 @@
 //
 //   sqm-coordinator --config=deploy.json --out-dir=/tmp/run
 //       [--compare-lockstep] [--crash-party=N --crash-at-mul-level=L]
-//       [--party-bin=PATH] [--timeout-seconds=S]
+//       [--party-bin=PATH] [--timeout-seconds=S] [--stats-interval=S]
+//   sqm-coordinator --trace-validate=merged_trace.json
 //
 // The coordinator pre-binds every roster port (resolving port 0 to an
 // ephemeral port), writes the resolved config, forks one sqm-party process
@@ -11,8 +12,14 @@
 // --listen-fd so no party can lose a bind race), waits for them with a
 // watchdog, then:
 //   - checks that every surviving party released bit-identical raw values,
-//   - merges the per-party trace files into one Perfetto-loadable
-//     timeline (<out-dir>/merged_trace.json),
+//   - merges the per-party, per-incarnation trace files into one
+//     clock-aligned Perfetto timeline (<out-dir>/merged_trace.json) using
+//     the offsets estimated on the telemetry channel,
+//   - aggregates the parties' live telemetry into a fleet view
+//     (<out-dir>/fleet_metrics.json; --stats-interval=S prints an
+//     sqm-top-style table every S seconds while the run is live),
+//   - writes flight_<j>.json for any party that died by signal and never
+//     dumped its own flight recorder (from its last telemetry snapshot),
 //   - optionally (--compare-lockstep) replays the same config in-process
 //     on the deterministic lockstep transport and requires the networked
 //     release to match it bit for bit,
@@ -27,15 +34,23 @@
 // & supervision"). Only when restarts are exhausted does the run fall
 // through to the parties' own dropout handling.
 //
+// --trace-validate=FILE is a standalone mode: it loads a merged trace and
+// asserts every per-(pid, tid) track holds properly nested span intervals
+// and every flow-arrow finish has a matching start, exiting 0 iff the
+// document is a causally consistent timeline.
+//
 // Exit 0 iff every party that was expected to survive exited cleanly and
 // all bit-exactness checks passed. See docs/DEPLOYMENT.md.
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -59,6 +74,7 @@
 #include "core/status.h"
 #include "net/tcp/party_config.h"
 #include "net/tcp/socket.h"
+#include "net/tcp/telemetry.h"
 #include "obs/trace.h"
 #include "poly/parser.h"
 
@@ -72,6 +88,7 @@ struct Args {
   std::string config_path;
   std::string out_dir = ".";
   std::string party_bin = SQM_PARTY_BIN;
+  std::string trace_validate;
   bool compare_lockstep = false;
   long crash_party = -1;
   long crash_at_mul_level = -1;
@@ -81,6 +98,8 @@ struct Args {
   /// casualty even under supervision.
   bool crash_every_incarnation = false;
   double timeout_seconds = 120.0;
+  /// > 0: print the live fleet table every this many seconds.
+  double stats_interval = 0.0;
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -104,7 +123,10 @@ int Usage(const char* argv0) {
             << " --config=FILE [--out-dir=DIR] [--compare-lockstep]"
                " [--crash-party=N --crash-at-mul-level=L]"
                " [--crash-every-incarnation]"
-               " [--party-bin=PATH] [--timeout-seconds=S]\n";
+               " [--party-bin=PATH] [--timeout-seconds=S]"
+               " [--stats-interval=S]\n"
+               "       "
+            << argv0 << " --trace-validate=FILE\n";
   return 2;
 }
 
@@ -121,6 +143,109 @@ bool WriteFile(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::trunc);
   out << content;
   return static_cast<bool>(out);
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return static_cast<bool>(in);
+}
+
+/// --trace-validate: structural checks over a (merged) Chrome trace.
+/// Asserts that, per (pid, tid) track, complete spans form properly
+/// nested intervals — a child span starts after its parent and ends no
+/// later — and that every flow finish ("f") has a flow start ("s") with
+/// the same id somewhere in the document. Prints what it checked.
+int ValidateTrace(const std::string& path) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::cerr << "trace-validate: cannot read " << path << "\n";
+    return 1;
+  }
+  sqm::Result<sqm::JsonValue> parsed = sqm::ParseJson(text);
+  if (!parsed.ok()) {
+    std::cerr << "trace-validate: " << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  const sqm::JsonValue* events = parsed.ValueOrDie().Find("traceEvents");
+  if (events == nullptr ||
+      events->kind != sqm::JsonValue::Kind::kArray) {
+    std::cerr << "trace-validate: no traceEvents array\n";
+    return 1;
+  }
+  struct Interval {
+    int64_t ts = 0;
+    int64_t end = 0;
+  };
+  std::map<std::pair<int64_t, int64_t>, std::vector<Interval>> tracks;
+  std::map<uint64_t, size_t> flow_starts;
+  std::map<uint64_t, size_t> flow_finishes;
+  size_t spans = 0;
+  auto int_member = [](const sqm::JsonValue& obj, const char* key,
+                       int64_t fallback) -> int64_t {
+    const sqm::JsonValue* v = obj.Find(key);
+    if (v == nullptr || v->kind != sqm::JsonValue::Kind::kNumber ||
+        !v->is_integer) {
+      return fallback;
+    }
+    return v->is_negative ? v->int_value
+                          : static_cast<int64_t>(v->uint_value);
+  };
+  for (const sqm::JsonValue& event : events->items) {
+    if (event.kind != sqm::JsonValue::Kind::kObject) continue;
+    const sqm::JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || ph->kind != sqm::JsonValue::Kind::kString) {
+      continue;
+    }
+    const int64_t pid = int_member(event, "pid", 0);
+    const int64_t tid = int_member(event, "tid", 0);
+    const int64_t ts = int_member(event, "ts", 0);
+    if (ph->string_value == "X") {
+      ++spans;
+      tracks[{pid, tid}].push_back(
+          Interval{ts, ts + int_member(event, "dur", 0)});
+    } else if (ph->string_value == "s") {
+      ++flow_starts[static_cast<uint64_t>(int_member(event, "id", 0))];
+    } else if (ph->string_value == "f") {
+      ++flow_finishes[static_cast<uint64_t>(int_member(event, "id", 0))];
+    }
+  }
+  size_t violations = 0;
+  for (auto& [track, intervals] : tracks) {
+    // Parent-before-child at equal start: sort by (ts, longest first).
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                if (a.ts != b.ts) return a.ts < b.ts;
+                return a.end > b.end;
+              });
+    std::vector<Interval> stack;
+    for (const Interval& span : intervals) {
+      while (!stack.empty() && stack.back().end <= span.ts) {
+        stack.pop_back();
+      }
+      if (!stack.empty() && span.end > stack.back().end) {
+        ++violations;
+        std::cerr << "trace-validate: overlapping spans on pid "
+                  << track.first << " tid " << track.second << ": ["
+                  << span.ts << ", " << span.end << ") is not nested in ["
+                  << stack.back().ts << ", " << stack.back().end << ")\n";
+      }
+      stack.push_back(span);
+    }
+  }
+  size_t dangling = 0;
+  for (const auto& [id, count] : flow_finishes) {
+    if (flow_starts.find(id) == flow_starts.end()) {
+      ++dangling;
+      std::cerr << "trace-validate: flow finish id " << id
+                << " has no matching start\n";
+    }
+  }
+  std::cout << "trace-validate: " << spans << " spans on "
+            << tracks.size() << " tracks, " << flow_starts.size()
+            << " flow starts, " << flow_finishes.size()
+            << " flow finishes; " << violations << " nesting violations, "
+            << dangling << " dangling flows\n";
+  return (violations == 0 && dangling == 0) ? 0 : 1;
 }
 
 }  // namespace
@@ -148,15 +273,20 @@ struct PartyOutcome {
 /// (outcomes[j].pid now names the new incarnation) and supervision
 /// continues; false lets the death stand. Never consulted after the
 /// watchdog fires — those deaths are the watchdog's own SIGKILLs.
+///
+/// `on_poll` runs once per supervision loop iteration (~20 ms): the live
+/// fleet-table printer hooks in here.
 void AwaitChildren(std::vector<PartyOutcome>& outcomes,
                    std::chrono::steady_clock::time_point deadline,
-                   const std::function<bool(size_t)>& try_restart) {
+                   const std::function<bool(size_t)>& try_restart,
+                   const std::function<void()>& on_poll) {
   size_t remaining = 0;
   for (const PartyOutcome& outcome : outcomes) {
     if (outcome.pid > 0) ++remaining;
   }
   bool killed = false;
   while (remaining > 0) {
+    if (on_poll) on_poll();
     bool reaped_one = false;
     for (size_t j = 0; j < outcomes.size(); ++j) {
       PartyOutcome& outcome = outcomes[j];
@@ -200,10 +330,11 @@ int main(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    std::string timeout_text;
+    std::string value_text;
     if (ParseFlag(arg, "config", &args.config_path) ||
         ParseFlag(arg, "out-dir", &args.out_dir) ||
         ParseFlag(arg, "party-bin", &args.party_bin) ||
+        ParseFlag(arg, "trace-validate", &args.trace_validate) ||
         ParseLongFlag(arg, "crash-party", &args.crash_party) ||
         ParseLongFlag(arg, "crash-at-mul-level",
                       &args.crash_at_mul_level)) {
@@ -217,13 +348,18 @@ int main(int argc, char** argv) {
       args.crash_every_incarnation = true;
       continue;
     }
-    if (ParseFlag(arg, "timeout-seconds", &timeout_text)) {
-      args.timeout_seconds = std::stod(timeout_text);
+    if (ParseFlag(arg, "timeout-seconds", &value_text)) {
+      args.timeout_seconds = std::stod(value_text);
+      continue;
+    }
+    if (ParseFlag(arg, "stats-interval", &value_text)) {
+      args.stats_interval = std::stod(value_text);
       continue;
     }
     std::cerr << "unknown flag: " << arg << "\n";
     return Usage(argv[0]);
   }
+  if (!args.trace_validate.empty()) return ValidateTrace(args.trace_validate);
   if (args.config_path.empty()) return Usage(argv[0]);
 
   std::string config_text;
@@ -271,6 +407,37 @@ int main(int argc, char** argv) {
     listeners.push_back(std::move(listener).ValueOrDie());
   }
 
+  // The telemetry control channel: one extra coordinator-side listener the
+  // parties dial back on. Purely observational, so a failed bind degrades
+  // to "no fleet view" instead of failing the run. Skipped entirely when
+  // the config turns the obs kill switch off.
+  std::unique_ptr<sqm::net::TelemetryServer> telemetry;
+  uint16_t telemetry_port = 0;
+  if (config.obs_enabled) {
+    sqm::Result<sqm::net::Socket> listener =
+        sqm::net::ListenOn("127.0.0.1", 0);
+    if (listener.ok() &&
+        sqm::net::SetCloseOnExec(listener.ValueOrDie(), true).ok()) {
+      sqm::Result<uint16_t> port =
+          sqm::net::LocalPort(listener.ValueOrDie());
+      if (port.ok()) {
+        telemetry_port = port.ValueOrDie();
+        telemetry = std::make_unique<sqm::net::TelemetryServer>(
+            config.session_key, config.run_id, n);
+        const sqm::Status started =
+            telemetry->Start(std::move(listener).ValueOrDie());
+        if (!started.ok()) {
+          std::cerr << "telemetry disabled: " << started.ToString() << "\n";
+          telemetry.reset();
+          telemetry_port = 0;
+        }
+      }
+    }
+    if (telemetry == nullptr) {
+      std::cerr << "telemetry disabled: cannot bind control listener\n";
+    }
+  }
+
   const std::string resolved_path = args.out_dir + "/deploy_resolved.json";
   if (!WriteFile(resolved_path, sqm::DeploymentConfigToJson(config))) {
     std::cerr << "cannot write " << resolved_path
@@ -296,12 +463,19 @@ int main(int argc, char** argv) {
 
   std::vector<PartyOutcome> outcomes(n);
   std::vector<std::string> report_paths(n);
-  std::vector<std::string> trace_paths(n);
+  std::vector<std::string> flight_paths(n);
+  // One trace file per (party, incarnation): a respawn must never
+  // overwrite its pre-crash incarnation's spans — the merge puts both
+  // documents on the SAME party track, so a restart reads as a gap.
+  auto trace_path = [&](size_t j, size_t incarnation) {
+    return args.out_dir + "/party_" + std::to_string(j) + ".inc" +
+           std::to_string(incarnation) + ".trace.json";
+  };
   for (size_t j = 0; j < n; ++j) {
     report_paths[j] =
         args.out_dir + "/party_" + std::to_string(j) + ".json";
-    trace_paths[j] =
-        args.out_dir + "/party_" + std::to_string(j) + ".trace.json";
+    flight_paths[j] =
+        args.out_dir + "/flight_" + std::to_string(j) + ".json";
   }
 
   // Forks sqm-party j handing it `listener`; incarnation > 0 marks a
@@ -315,8 +489,13 @@ int main(int argc, char** argv) {
         "--party=" + std::to_string(j),
         "--listen-fd=" + std::to_string(listener.fd()),
         "--report=" + report_paths[j],
-        "--trace=" + trace_paths[j],
+        "--trace=" + trace_path(j, incarnation),
+        "--flight=" + flight_paths[j],
     };
+    if (telemetry_port != 0) {
+      child_args.push_back("--telemetry-port=" +
+                           std::to_string(telemetry_port));
+    }
     if (supervised) {
       child_args.push_back("--checkpoint-dir=" + checkpoint_dirs[j]);
       child_args.push_back("--incarnation=" + std::to_string(incarnation));
@@ -363,6 +542,17 @@ int main(int argc, char** argv) {
               << " signal=" << outcomes[j].term_signal << "), restart "
               << (outcomes[j].restarts + 1) << "/" << config.max_restarts
               << "\n";
+    // A signal-killed child had no chance to dump its flight ring; write
+    // the black box from its last telemetry snapshot NOW, before the
+    // respawned incarnation makes the run look healthy again.
+    if (outcomes[j].term_signal != 0 && telemetry &&
+        !FileExists(flight_paths[j])) {
+      sqm::Result<std::string> flight = telemetry->LatestFlightJson(j);
+      if (flight.ok() && WriteFile(flight_paths[j], flight.ValueOrDie())) {
+        std::cerr << "supervisor: wrote " << flight_paths[j]
+                  << " from party " << j << "'s last telemetry snapshot\n";
+      }
+    }
     std::this_thread::sleep_for(
         std::chrono::duration<double>(config.restart_backoff_seconds));
     sqm::Result<sqm::net::Socket> listener = sqm::net::ListenOn(
@@ -403,13 +593,38 @@ int main(int argc, char** argv) {
   // Parent: release every listener — the children own them now.
   listeners.clear();
 
+  // The live fleet table (--stats-interval), fed by the telemetry server.
+  auto last_stats = std::chrono::steady_clock::now();
+  std::function<void()> on_poll;
+  if (telemetry != nullptr && args.stats_interval > 0.0) {
+    on_poll = [&] {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_stats).count() <
+          args.stats_interval) {
+        return;
+      }
+      last_stats = now;
+      std::cout << telemetry->RenderFleetTable() << std::flush;
+    };
+  }
+
   AwaitChildren(outcomes,
                 std::chrono::steady_clock::now() +
                     std::chrono::duration_cast<
                         std::chrono::steady_clock::duration>(
                         std::chrono::duration<double>(
                             args.timeout_seconds)),
-                try_restart);
+                try_restart, on_poll);
+
+  // Every stream has gone quiet (the parties exited); freeze the fleet
+  // view before reading offsets out of it.
+  if (telemetry != nullptr) {
+    telemetry->Stop();
+    if (!WriteFile(args.out_dir + "/fleet_metrics.json",
+                   telemetry->FleetMetricsJson())) {
+      std::cerr << "cannot write fleet_metrics.json\n";
+    }
+  }
 
   // Collect reports from the parties that produced one.
   bool ok = true;
@@ -464,13 +679,68 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Merge whatever traces the parties wrote into one timeline.
-  std::vector<std::pair<std::string, std::string>> traces;
+  // The telemetry plane must agree with the parties' own accounting: a
+  // party that shipped its final snapshot reported its FROZEN transport
+  // totals there, so the fleet view reconciles byte-for-byte with the
+  // party's report. A divergence means the control stream lost or
+  // misattributed data — fail loudly.
+  bool telemetry_reconciles = true;
+  if (telemetry != nullptr) {
+    for (size_t j = 0; j < n; ++j) {
+      if (!outcomes[j].report_loaded) continue;
+      const sqm::net::PartyTelemetry state = telemetry->Party(j);
+      if (!state.final_seen) continue;
+      const sqm::NetworkStats& totals = outcomes[j].report.transport.totals;
+      if (state.net_wire_bytes != totals.wire_bytes ||
+          state.net_messages != totals.messages ||
+          state.net_field_elements != totals.field_elements ||
+          state.net_rounds != totals.rounds) {
+        std::cerr << "party " << j << " telemetry does not reconcile: "
+                  << "fleet view has " << state.net_wire_bytes
+                  << " wire bytes, report has " << totals.wire_bytes
+                  << "\n";
+        telemetry_reconciles = false;
+        ok = false;
+      }
+    }
+    // A party that died by signal and never dumped its own flight ring
+    // still gets a post-mortem: its last telemetry snapshot carried the
+    // ring, so the supervisor writes flight_<j>.json on its behalf.
+    for (size_t j = 0; j < n; ++j) {
+      if (outcomes[j].term_signal == 0 || FileExists(flight_paths[j])) {
+        continue;
+      }
+      sqm::Result<std::string> flight = telemetry->LatestFlightJson(j);
+      if (flight.ok()) {
+        WriteFile(flight_paths[j], flight.ValueOrDie());
+        std::cerr << "supervisor: wrote " << flight_paths[j]
+                  << " from party " << j << "'s last telemetry snapshot\n";
+      }
+    }
+  }
+
+  // Merge every (party, incarnation) trace into one clock-aligned
+  // timeline: all of a party's incarnations share one pid (one Perfetto
+  // process group), and each document's timestamps are shifted by the
+  // clock offset estimated for that incarnation on the telemetry channel.
+  std::vector<sqm::obs::TraceDoc> traces;
   for (size_t j = 0; j < n; ++j) {
-    std::string trace_text;
-    if (ReadFile(trace_paths[j], &trace_text)) {
-      traces.emplace_back("party " + std::to_string(j),
-                          std::move(trace_text));
+    for (size_t incarnation = 0; incarnation <= outcomes[j].restarts;
+         ++incarnation) {
+      std::string trace_text;
+      if (!ReadFile(trace_path(j, incarnation), &trace_text)) continue;
+      sqm::obs::TraceDoc doc;
+      doc.name = "party " + std::to_string(j);
+      doc.json = std::move(trace_text);
+      doc.pid = j + 1;
+      if (telemetry != nullptr) {
+        sqm::Result<int64_t> offset = telemetry->ClockOffsetMicros(
+            j, static_cast<uint32_t>(incarnation));
+        if (offset.ok()) {
+          doc.clock_offset_micros = offset.ValueOrDie();
+        }
+      }
+      traces.push_back(std::move(doc));
     }
   }
   if (!traces.empty()) {
@@ -532,6 +802,8 @@ int main(int argc, char** argv) {
   summary.Field("parties_agree", parties_agree);
   summary.Field("lockstep_compared", args.compare_lockstep);
   summary.Field("lockstep_match", lockstep_match);
+  summary.Field("telemetry_enabled", telemetry != nullptr);
+  summary.Field("telemetry_reconciles", telemetry_reconciles);
   summary.BeginArray("party_outcomes");
   for (size_t j = 0; j < n; ++j) {
     summary.BeginObject();
@@ -573,8 +845,12 @@ int main(int argc, char** argv) {
 #else  // !SQM_COORDINATOR_SUPPORTED
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (ParseFlag(arg, "trace-validate", &args.trace_validate)) continue;
+  }
+  if (!args.trace_validate.empty()) return ValidateTrace(args.trace_validate);
   std::cerr << "sqm-coordinator requires POSIX fork/exec\n";
   return 2;
 }

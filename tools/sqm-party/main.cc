@@ -9,6 +9,7 @@
 //   sqm-party --config=deploy.json --party=2
 //       [--listen-fd=7] [--report=party2.json] [--trace=party2.trace.json]
 //       [--crash-at-mul-level=L] [--checkpoint-dir=DIR] [--incarnation=K]
+//       [--telemetry-port=P] [--telemetry-host=H] [--flight=FILE]
 //
 // --listen-fd adopts a pre-bound listening socket (the coordinator binds
 // every roster port before forking so no party can lose a bind race).
@@ -18,6 +19,11 @@
 // --checkpoint-dir enables durable checkpoints (and, with the config's
 // recovery fields, supervised rejoin); --incarnation=K marks this process
 // as the K-th supervised respawn, making it resume from its checkpoint.
+// --telemetry-port connects the live telemetry channel back to the
+// coordinator: clock-offset probes, periodic state snapshots, and (via the
+// periodic durable trace rewrite) pre-crash spans that survive SIGKILL.
+// --flight names the crash flight-recorder dump file, written on fatal
+// exits, SIGTERM, and degrade (docs/OBSERVABILITY.md).
 // See docs/DEPLOYMENT.md.
 
 #include <csignal>
@@ -27,11 +33,16 @@
 #include <sstream>
 #include <string>
 
+#include "core/json.h"
 #include "core/party_sqm.h"
 #include "core/report_io.h"
 #include "core/status.h"
 #include "net/tcp/party_config.h"
 #include "net/tcp/tcp_transport.h"
+#include "net/tcp/telemetry.h"
+#include "obs/flight_recorder.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 
@@ -43,6 +54,9 @@ struct Args {
   int listen_fd = -1;
   std::string report_path;
   std::string trace_path;
+  std::string flight_path;
+  std::string telemetry_host = "127.0.0.1";
+  long telemetry_port = 0;
   long crash_at_mul_level = -1;
   std::string checkpoint_dir;
   long incarnation = 0;
@@ -68,8 +82,77 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --config=FILE --party=N [--listen-fd=FD] [--report=FILE]"
                " [--trace=FILE] [--crash-at-mul-level=L]"
-               " [--checkpoint-dir=DIR] [--incarnation=K]\n";
+               " [--checkpoint-dir=DIR] [--incarnation=K]"
+               " [--telemetry-port=P] [--telemetry-host=H]"
+               " [--flight=FILE]\n";
   return 2;
+}
+
+/// splitmix64 finalizer: spreads (run_id, party, incarnation) into the
+/// trace/span-id namespaces.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Trace path for the SIGTERM flush; set once before the handler installs.
+std::string* g_term_trace_path = nullptr;
+
+/// Supervisor-initiated shutdown: flush the same artifacts the fatal path
+/// would (trace + flight ring), then exit with the conventional 128+15.
+/// Not strictly async-signal-safe (the writers allocate), but SIGTERM here
+/// only ever means "the supervisor is done with you" — the alternative is
+/// losing the timeline of a cleanly-terminated party.
+extern "C" void HandleSigTerm(int) {
+  if (sqm::obs::Enabled()) {
+    if (g_term_trace_path != nullptr && !g_term_trace_path->empty()) {
+      sqm::obs::Tracer::Global().WriteChromeTraceFile(*g_term_trace_path);
+    }
+    sqm::obs::FlightRecorder::Global().DumpForCrash();
+  }
+  _exit(143);
+}
+
+/// The telemetry snapshot document (docs/OBSERVABILITY.md "Snapshot
+/// schema"). Live snapshots read the transport's running totals; the final
+/// snapshot reads the report's frozen totals so the fleet view reconciles
+/// exactly with party_<j>.json.
+std::string BuildSnapshot(uint64_t run_id, size_t party,
+                          uint32_t incarnation, const std::string& phase,
+                          const sqm::NetworkStats& net, bool final_doc) {
+  sqm::JsonWriter w;
+  w.BeginObject();
+  w.Field("run_id", run_id);
+  w.Field("party", static_cast<uint64_t>(party));
+  w.Field("incarnation", static_cast<uint64_t>(incarnation));
+  w.Field("final", final_doc);
+  w.Field("phase", phase);
+  w.Key("net");
+  w.BeginObject();
+  w.Field("messages", net.messages);
+  w.Field("field_elements", net.field_elements);
+  w.Field("wire_bytes", net.wire_bytes);
+  w.Field("rounds", net.rounds);
+  w.EndObject();
+  const std::vector<sqm::obs::LedgerEntry> spends =
+      sqm::obs::PrivacyLedger::Global().Entries();
+  w.Field("ledger_epsilon",
+          spends.empty() ? 0.0 : spends.back().cumulative_epsilon);
+  const sqm::obs::Gauge* pool =
+      sqm::obs::Registry::Global().FindGauge("mpc.beaver.pool_remaining");
+  w.Field("beaver_pool_depth", pool == nullptr ? -1.0 : pool->Get());
+  // The metrics registry and the flight ring ride along whole; "flight"
+  // stays the LAST member (TelemetryServer::LatestFlightJson relies on the
+  // document, not the position, but keeping it last keeps diffs stable).
+  w.Key("metrics");
+  std::string doc = w.str();
+  doc += sqm::obs::Registry::Global().SnapshotJson();
+  doc += ",\"flight\":";
+  doc += sqm::obs::FlightRecorder::Global().ToJson();
+  doc += "}";
+  return doc;
 }
 
 }  // namespace
@@ -83,6 +166,9 @@ int main(int argc, char** argv) {
         ParseLongFlag(arg, "party", &args.party) ||
         ParseFlag(arg, "report", &args.report_path) ||
         ParseFlag(arg, "trace", &args.trace_path) ||
+        ParseFlag(arg, "flight", &args.flight_path) ||
+        ParseFlag(arg, "telemetry-host", &args.telemetry_host) ||
+        ParseLongFlag(arg, "telemetry-port", &args.telemetry_port) ||
         ParseLongFlag(arg, "crash-at-mul-level",
                       &args.crash_at_mul_level) ||
         ParseFlag(arg, "checkpoint-dir", &args.checkpoint_dir) ||
@@ -108,28 +194,101 @@ int main(int argc, char** argv) {
   std::stringstream buffer;
   buffer << config_file.rdbuf();
 
-  sqm::Result<sqm::DeploymentConfig> config =
+  sqm::Result<sqm::DeploymentConfig> parsed =
       sqm::ParseDeploymentConfig(buffer.str());
-  if (!config.ok()) {
-    std::cerr << config.status().ToString() << "\n";
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n";
     return 1;
   }
+  const sqm::DeploymentConfig& config = parsed.ValueOrDie();
   const size_t me = static_cast<size_t>(args.party);
+  const auto incarnation = static_cast<uint32_t>(args.incarnation);
+
+  // The fleet-wide runtime kill switch: with obs_enabled=false this
+  // process runs with zero observability (no spans, no metrics, no flight
+  // ring, no telemetry stream, context-free frames) and must release
+  // bit-identical values.
+  if (!config.obs_enabled) sqm::obs::SetEnabled(false);
+
+  if (sqm::obs::Enabled()) {
+    // Span ids must stay unique across the fleet AND across supervised
+    // restarts: merged traces key their flow arrows by id. Each
+    // (party, incarnation) gets its own 2^40-id slab.
+    sqm::obs::Tracer::SetSpanIdNamespace(
+        ((static_cast<uint64_t>(me) + 1) << 48) |
+        (static_cast<uint64_t>(incarnation & 0xFF) << 40) | 1);
+    sqm::obs::Tracer::SetTraceId(Mix64(config.run_id) | 1);
+    sqm::obs::FlightRecorder::Global().SetIdentity(config.run_id,
+                                                   static_cast<uint32_t>(me),
+                                                   incarnation);
+    if (!args.flight_path.empty()) {
+      sqm::obs::FlightRecorder::Global().SetDumpPath(args.flight_path);
+    }
+    if (!args.trace_path.empty()) {
+      // Fatal exits and SIGTERM flush to the SAME file the coordinator
+      // merges, so a crashed incarnation still contributes its spans.
+      sqm::obs::Tracer::Global().SetCrashDumpPath(args.trace_path);
+    }
+  }
+  g_term_trace_path = new std::string(args.trace_path);
+  std::signal(SIGTERM, HandleSigTerm);
 
   sqm::Result<std::unique_ptr<sqm::net::TcpTransport>> transport =
       sqm::net::TcpTransport::Create(sqm::TcpOptionsFromDeployment(
-          config.ValueOrDie(), me, args.listen_fd,
-          static_cast<uint32_t>(args.incarnation)));
+          config, me, args.listen_fd, incarnation));
   if (!transport.ok()) {
     std::cerr << "party " << me
               << ": transport setup failed: " << transport.status().ToString()
               << "\n";
     return 1;
   }
+  sqm::net::TcpTransport* wire = transport.ValueOrDie().get();
+
+  // Live telemetry channel back to the coordinator (observational only: a
+  // refused connection or a dead coordinator never stops the protocol).
+  sqm::net::TelemetryClient* telemetry = nullptr;
+  if (sqm::obs::Enabled() && args.telemetry_port > 0) {
+    sqm::net::TelemetryClientOptions opts;
+    opts.host = args.telemetry_host;
+    opts.port = static_cast<uint16_t>(args.telemetry_port);
+    opts.session_key = config.session_key;
+    opts.run_id = config.run_id;
+    opts.party = static_cast<uint32_t>(me);
+    opts.incarnation = incarnation;
+    opts.snapshot_interval_seconds =
+        config.telemetry_snapshot_interval_seconds;
+    const uint64_t run_id = config.run_id;
+    opts.build_snapshot = [wire, run_id, me, incarnation] {
+      return BuildSnapshot(run_id, me, incarnation, wire->phase(),
+                           wire->stats(), /*final_doc=*/false);
+    };
+    if (!args.trace_path.empty()) {
+      const std::string trace_path = args.trace_path;
+      opts.on_tick = [trace_path] {
+        // Durable trace: rewrite every interval so a SIGKILL mid-protocol
+        // still leaves this incarnation's pre-crash spans on disk for the
+        // coordinator's merge.
+        sqm::obs::Tracer::Global().WriteChromeTraceFile(trace_path);
+      };
+    }
+    telemetry = new sqm::net::TelemetryClient(std::move(opts));
+    const sqm::Status started = telemetry->Start();
+    if (!started.ok()) {
+      std::cerr << "party " << me << ": telemetry disabled: "
+                << started.ToString() << "\n";
+    }
+  }
+
+  // Baseline durable trace before any protocol work: even a party killed
+  // in its very first phase leaves this incarnation's file for the
+  // coordinator's merge (the telemetry tick keeps rewriting it after).
+  if (sqm::obs::Enabled() && !args.trace_path.empty()) {
+    sqm::obs::Tracer::Global().WriteChromeTraceFile(args.trace_path);
+  }
 
   sqm::PartySqmHooks hooks;
   hooks.checkpoint_dir = args.checkpoint_dir;
-  hooks.incarnation = static_cast<uint32_t>(args.incarnation);
+  hooks.incarnation = incarnation;
   if (args.crash_at_mul_level >= 0) {
     const size_t crash_level = static_cast<size_t>(args.crash_at_mul_level);
     hooks.mul_level_hook = [crash_level](size_t level) {
@@ -141,15 +300,31 @@ int main(int argc, char** argv) {
     };
   }
 
-  sqm::Result<sqm::SqmReport> report = sqm::RunPartySqm(
-      config.ValueOrDie(), me, transport.ValueOrDie().get(), hooks);
-  transport.ValueOrDie()->Shutdown();
+  sqm::Result<sqm::SqmReport> report =
+      sqm::RunPartySqm(config, me, wire, hooks);
+  wire->Shutdown();
 
   if (!args.trace_path.empty() && sqm::obs::Enabled()) {
     if (!sqm::obs::Tracer::Global().WriteChromeTraceFile(args.trace_path)) {
       std::cerr << "party " << me << ": cannot write trace "
                 << args.trace_path << "\n";
     }
+  }
+  if (telemetry != nullptr) {
+    // Final snapshot from the report's FROZEN totals (the transport is
+    // shut down), so fleet_metrics.json reconciles byte-for-byte with
+    // this party's own report.
+    telemetry->Stop(BuildSnapshot(
+        config.run_id, me, incarnation, "done",
+        report.ok() ? report.ValueOrDie().transport.totals : wire->stats(),
+        /*final_doc=*/true));
+    delete telemetry;
+  }
+  if (sqm::obs::Enabled() && report.ok() &&
+      report.ValueOrDie().dropout.num_dropped > 0) {
+    // A degraded run is a post-mortem-worthy event even though the
+    // process survives: dump the ring alongside the report.
+    sqm::obs::FlightRecorder::Global().DumpForCrash();
   }
   if (!report.ok()) {
     std::cerr << "party " << me << ": " << report.status().ToString()

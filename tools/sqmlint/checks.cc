@@ -710,6 +710,86 @@ void CheckBatchDiscipline(const Project& /*project*/, const SourceFile& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// obs-discipline: observability names are static identity, not data. The
+// tracer and flight recorder buffer `const char*` names raw (no copy), and
+// dynamic metric names explode registry cardinality — so the name argument
+// of every SQM_OBS_* metric macro, SQM_FLIGHT_EVENT*, and Span declaration
+// must be a string literal. Span/flight argument regions are exported into
+// traces and telemetry snapshots that leave the process, so secret-lexicon
+// identifiers must not appear there (the same rule secret-taint enforces
+// on the metric macros and AddArg).
+// ---------------------------------------------------------------------------
+void CheckObsDiscipline(const Project& /*project*/, const SourceFile& file,
+                        std::vector<Finding>* findings) {
+  if (PathInModule(file.path, "src/testing/")) return;
+  static const std::set<std::string> kNameFirstMacros = {
+      "SQM_OBS_COUNTER_ADD", "SQM_OBS_COUNTER_INC", "SQM_OBS_GAUGE_SET",
+      "SQM_OBS_HISTOGRAM_RECORD", "SQM_FLIGHT_EVENT", "SQM_FLIGHT_EVENT2"};
+
+  // src/obs/ is where the macros and Span are DEFINED: their parameter
+  // lists and forwarding bodies are not call sites, so the literal-name
+  // rule only applies outside the module (the secret scan stays global).
+  const bool in_obs_module = PathInModule(file.path, "src/obs/");
+
+  const Tokens& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i])) continue;
+    const std::string& name = toks[i].text;
+    // The `#define NAME(...)` line itself is never a call site.
+    if (i > 0 && IsIdent(toks[i - 1]) && toks[i - 1].text == "define") {
+      continue;
+    }
+
+    const bool is_macro = kNameFirstMacros.count(name) > 0;
+    // Span is only checked in declaration form `Span ident(...)` (with or
+    // without a namespace qualifier before it): matching `Span(` directly
+    // would trip on the constructor signatures in obs/trace.h.
+    const bool is_span_decl = name == "Span" && i + 2 < toks.size() &&
+                              IsIdent(toks[i + 1]) &&
+                              IsPunct(toks[i + 2], "(");
+    // AddArg member calls: secret scan only (the key is argument 1, and
+    // annotation values routinely are variables).
+    const bool is_add_arg =
+        name == "AddArg" && i > 0 &&
+        (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
+
+    size_t open;
+    if (is_macro && i + 1 < toks.size() && IsPunct(toks[i + 1], "(")) {
+      open = i + 1;
+    } else if (is_span_decl) {
+      open = i + 2;
+    } else if (is_add_arg && i + 1 < toks.size() &&
+               IsPunct(toks[i + 1], "(")) {
+      open = i + 1;
+    } else {
+      continue;
+    }
+    const size_t end = SkipParens(toks, open);  // Just past ')'.
+    if (end <= open + 1) continue;
+
+    if (!is_add_arg && !in_obs_module && open + 1 < end &&
+        toks[open + 1].kind != TokenKind::kString) {
+      Report(findings, "obs-discipline", file, toks[i].line,
+             "name passed to '" + name +
+                 "' is not a string literal; observability names are "
+                 "static identity (the tracer/flight buffers keep the "
+                 "pointer raw, and dynamic metric names explode "
+                 "cardinality)");
+    }
+
+    for (size_t j = open + 1; j + 1 < end; ++j) {
+      if (!IsIdent(toks[j]) || !IsSecretIdentifier(toks[j].text)) continue;
+      Report(findings, "obs-discipline", file, toks[j].line,
+             "secret-lexicon identifier '" + toks[j].text +
+                 "' reaches the exported argument region of '" + name +
+                 "'; span annotations, flight events and metrics leave "
+                 "the process via traces and telemetry snapshots");
+      break;  // One secret finding per argument region.
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<Check>& AllChecks() {
@@ -741,6 +821,10 @@ const std::vector<Check>& AllChecks() {
        "element-wise scalar Field ops in MPC hot paths that the batched "
        "span kernels replace",
        CheckBatchDiscipline},
+      {"obs-discipline",
+       "non-literal observability names, or secret-lexicon identifiers in "
+       "exported span/flight/metric argument regions",
+       CheckObsDiscipline},
   };
   return kChecks;
 }
