@@ -3,35 +3,49 @@
 #include "core/logging.h"
 
 namespace sqm {
+namespace {
+
+// Branchless canonicalization of r in [0, 2p): subtract p iff r >= p. The
+// scalar ops route through this too — field elements are shares and masks,
+// and a data-dependent branch on them is a timing side channel. (It also
+// keeps the batched loops below straight-line and auto-vectorizable.)
+inline uint64_t CanonicalizeBranchless(uint64_t r) {
+  return r - (Field::kModulus &
+              -static_cast<uint64_t>(r >= Field::kModulus));
+}
+
+inline uint64_t MulOneBranchless(uint64_t a, uint64_t b) {
+  const __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  const uint64_t lo = static_cast<uint64_t>(prod) & Field::kModulus;
+  const uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t r = lo + (hi & Field::kModulus) + (hi >> 61);
+  r = (r & Field::kModulus) + (r >> 61);
+  return CanonicalizeBranchless(r);
+}
+
+}  // namespace
 
 Field::Element Field::Reduce(uint64_t x) {
   // Mersenne reduction: x = hi*2^61 + lo === hi + lo (mod 2^61 - 1).
-  uint64_t r = (x & kModulus) + (x >> 61);
-  if (r >= kModulus) r -= kModulus;
-  return r;
+  return CanonicalizeBranchless((x & kModulus) + (x >> 61));
 }
 
 Field::Element Field::Add(Element a, Element b) {
-  uint64_t r = a + b;  // < 2^62, no overflow.
-  if (r >= kModulus) r -= kModulus;
-  return r;
+  return CanonicalizeBranchless(a + b);  // a+b < 2^62, no overflow.
 }
 
 Field::Element Field::Sub(Element a, Element b) {
-  return a >= b ? a - b : a + kModulus - b;
+  // a - b, plus p iff a < b — mask add instead of a secret-dependent branch.
+  return a - b + (kModulus & -static_cast<uint64_t>(a < b));
 }
 
-Field::Element Field::Neg(Element a) { return a == 0 ? 0 : kModulus - a; }
+Field::Element Field::Neg(Element a) {
+  // (p - a) for a != 0, 0 for a == 0, without branching on the element.
+  return (kModulus - a) & -static_cast<uint64_t>(a != 0);
+}
 
 Field::Element Field::Mul(Element a, Element b) {
-  const __uint128_t prod = static_cast<__uint128_t>(a) * b;
-  // prod < 2^122: fold twice.
-  uint64_t lo = static_cast<uint64_t>(prod) & kModulus;
-  uint64_t hi = static_cast<uint64_t>(prod >> 61);
-  uint64_t r = lo + (hi & kModulus) + (hi >> 61);
-  r = (r & kModulus) + (r >> 61);
-  if (r >= kModulus) r -= kModulus;
-  return r;
+  return MulOneBranchless(a, b);
 }
 
 Field::Element Field::Pow(Element a, uint64_t e) {
@@ -53,14 +67,21 @@ Field::Element Field::Inv(Element a) {
 
 Field::Element Field::Encode(int64_t v) {
   SQM_CHECK(v >= -kMaxCentered && v <= kMaxCentered);
-  if (v >= 0) return static_cast<Element>(v);
-  return kModulus - static_cast<Element>(-v);
+  // v for v >= 0, p - |v| == p + v for v < 0: add p under the sign mask.
+  // Two's-complement wraparound makes the uint64 sum land in [0, p).
+  return static_cast<Element>(
+      static_cast<uint64_t>(v) +
+      (kModulus & -static_cast<uint64_t>(v < 0)));
 }
 
 int64_t Field::Decode(Element e) {
   SQM_CHECK(e < kModulus);
-  if (e <= static_cast<Element>(kMaxCentered)) return static_cast<int64_t>(e);
-  return static_cast<int64_t>(e) - static_cast<int64_t>(kModulus);
+  // e for small representatives, e - p for the negative half — the
+  // subtrahend is selected by mask, not by a branch on the element.
+  return static_cast<int64_t>(e) -
+         static_cast<int64_t>(
+             kModulus &
+             -static_cast<uint64_t>(e > static_cast<Element>(kMaxCentered)));
 }
 
 std::vector<Field::Element> Field::EncodeVector(
@@ -75,27 +96,6 @@ std::vector<int64_t> Field::DecodeVector(const std::vector<Element>& v) {
   for (size_t i = 0; i < v.size(); ++i) out[i] = Decode(v[i]);
   return out;
 }
-
-namespace {
-
-// Branchless canonicalization of r in [0, 2p): subtract p iff r >= p. Same
-// result as the scalar `if (r >= kModulus) r -= kModulus`, but as a mask so
-// the batched loops below stay straight-line and auto-vectorizable.
-inline uint64_t CanonicalizeBranchless(uint64_t r) {
-  return r - (Field::kModulus &
-              -static_cast<uint64_t>(r >= Field::kModulus));
-}
-
-inline uint64_t MulOneBranchless(uint64_t a, uint64_t b) {
-  const __uint128_t prod = static_cast<__uint128_t>(a) * b;
-  const uint64_t lo = static_cast<uint64_t>(prod) & Field::kModulus;
-  const uint64_t hi = static_cast<uint64_t>(prod >> 61);
-  uint64_t r = lo + (hi & Field::kModulus) + (hi >> 61);
-  r = (r & Field::kModulus) + (r >> 61);
-  return CanonicalizeBranchless(r);
-}
-
-}  // namespace
 
 void Field::ReduceVec(const uint64_t* in, Element* out, size_t n) {
   for (size_t i = 0; i < n; ++i) {

@@ -6,9 +6,13 @@
 #include "sqmlint/checker.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "core/json.h"
+#include "sqmlint/baseline.h"
 
 namespace {
 
@@ -16,6 +20,12 @@ using sqmlint::Finding;
 
 std::vector<Finding> Lint(const std::string& path, const std::string& code) {
   return sqmlint::RunChecks(sqmlint::BuildProject({{path, code}}));
+}
+
+/// Multi-file variant for the interprocedural flow fixtures.
+std::vector<Finding> LintFiles(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  return sqmlint::RunChecks(sqmlint::BuildProject(files));
 }
 
 /// Findings for `check` with the given suppression state.
@@ -656,6 +666,570 @@ TEST(Lexer, CheckSubsetSelection) {
   const auto project = sqmlint::BuildProject({{"src/net/x.cc", kStdEngine}});
   const auto findings = sqmlint::RunChecks(project, {"secret-taint"});
   EXPECT_EQ(sqmlint::CountActive(findings), 0u);
+}
+
+// ------------------------------------------------------------- lexer edge cases
+
+TEST(Lexer, RawStringContainingCommentMarkerIsInert) {
+  // A raw string holding "//" must not swallow the rest of the file: the
+  // statement after it still lexes and the taint still fires.
+  const auto findings = Lint("src/mpc/x.cc", R"fix(
+const char* kDoc = R"(see https://example.com // not a comment)";
+void f(const std::vector<uint64_t>& noise_shares) {
+  SQM_LOG(kInfo) << noise_shares[0];
+}
+)fix");
+  EXPECT_EQ(Active(findings, "secret-taint"), 1);
+}
+
+TEST(Lexer, LineContinuationSplicesStatement) {
+  // A backslash-newline inside a statement (the multi-line macro idiom)
+  // splices: the sink and the secret land in one token stream.
+  const auto findings = Lint("src/mpc/x.cc",
+                             "void f(const std::vector<uint64_t>& "
+                             "noise_shares) {\n"
+                             "  SQM_LOG(kInfo) << \\\n"
+                             "      noise_shares[0];\n"
+                             "}\n");
+  EXPECT_EQ(Active(findings, "secret-taint"), 1);
+}
+
+TEST(Lexer, LineContinuationInsideMacroDefinition) {
+  const auto findings = Lint("src/mpc/x.cc",
+                             "#define LOG_FIRST(v) \\\n"
+                             "  SQM_LOG(kInfo) << (v)[0]\n"
+                             "void f(const std::vector<uint64_t>& "
+                             "noise_shares) {\n"
+                             "  LOG_FIRST(noise_shares);\n"
+                             "}\n");
+  EXPECT_EQ(Active(findings, "secret-taint"), 1);
+}
+
+TEST(Lexer, NestedTemplateCloseDoesNotConfuseIr) {
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+std::vector<std::vector<uint64_t>> MakeMatrix(size_t n);
+void f(size_t n) {
+  std::map<int, std::vector<std::pair<int, int>>> index;
+  auto m = MakeMatrix(n);
+  (void)index;
+  (void)m;
+}
+)cpp");
+  EXPECT_EQ(sqmlint::CountActive(findings), 0u);
+}
+
+TEST(Lexer, AllowDirectiveInsideMultiLineStatement) {
+  // The directive trails the first physical line of a statement whose
+  // finding is reported on that same line; the next-line span also covers
+  // continuations placed above the offending token.
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(const std::vector<uint64_t>& noise_shares) {
+  SQM_LOG(kInfo)  // sqmlint:allow(secret-taint)
+      << noise_shares[0];
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "secret-taint"), 0);
+  EXPECT_EQ(Count(findings, "secret-taint", true), 1);
+}
+
+// -------------------------------------------------------------------- taint-flow
+
+TEST(TaintFlow, FiresOnSourceReachingLogIntraprocedural) {
+  // `blob` carries no secret-looking name, so the lexicon is blind; the
+  // flow engine tracks the Share() return into the log statement.
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+void f(ShamirScheme& scheme) {
+  auto blob = scheme.Share(42);
+  SQM_LOG(kInfo) << "payload " << blob[0];
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "taint-flow"), 1);
+  EXPECT_EQ(Active(findings, "secret-taint"), 0);
+}
+
+TEST(TaintFlow, InterproceduralSourceInCalleeSinkInCaller) {
+  // The source lives in one function, the sink in its caller: the return
+  // summary of MakeBlob carries the secret bit across the call.
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+std::vector<uint64_t> MakeBlob(ShamirScheme& scheme) {
+  auto v = scheme.Share(7);
+  return v;
+}
+void Publish(ShamirScheme& scheme) {
+  auto blob = MakeBlob(scheme);
+  SQM_LOG(kInfo) << blob[0];
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "taint-flow"), 1);
+}
+
+TEST(TaintFlow, CrossFileFlowTheLexiconProvablyMisses) {
+  // Producer and consumer live in different translation units and no
+  // identifier smells secret — the legacy lexicon check stays silent
+  // (asserted) while the symbol-graph propagation connects the files.
+  const auto findings = LintFiles(
+      {{"src/dp/dealer.cc", R"cpp(
+std::vector<uint64_t> DealerOutput(ShamirScheme& scheme, uint64_t v) {
+  auto blob = scheme.Share(v);
+  return blob;
+}
+)cpp"},
+       {"src/core/emit.cc", R"cpp(
+void Publish(ShamirScheme& scheme) {
+  auto payload = DealerOutput(scheme, 7);
+  SQM_LOG(kInfo) << "payload " << payload[0];
+}
+)cpp"}});
+  EXPECT_EQ(Active(findings, "secret-taint"), 0);
+  EXPECT_EQ(Active(findings, "taint-flow"), 1);
+}
+
+TEST(TaintFlow, ArgumentTaintReachesCalleeParameter) {
+  const auto findings = LintFiles(
+      {{"src/core/writer.cc", R"cpp(
+void WriteOut(const std::vector<uint64_t>& data) {
+  SQM_LOG(kInfo) << data[0];
+}
+)cpp"},
+       {"src/dp/flow.cc", R"cpp(
+void Run(ShamirScheme& scheme) {
+  auto blob = scheme.Share(3);
+  WriteOut(blob);
+}
+)cpp"}});
+  EXPECT_EQ(Active(findings, "taint-flow"), 1);
+}
+
+TEST(TaintFlow, DeclassifyOnSinkReportsButDoesNotGate) {
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+void f(ShamirScheme& scheme) {
+  auto blob = scheme.Share(42);
+  SQM_LOG(kInfo) << blob[0];  // sqmlint:declassify(unit-scale demo value, not a real share)
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "taint-flow"), 0);
+  EXPECT_EQ(Count(findings, "taint-flow", true), 1);
+}
+
+TEST(TaintFlow, DeclassifyOnCallBoundaryStopsPropagation) {
+  // Declassifying where the value crosses into the callee is a flow
+  // barrier: nothing downstream fires, in either file.
+  const auto findings = LintFiles(
+      {{"src/core/writer.cc", R"cpp(
+void WriteOut(const std::vector<uint64_t>& data) {
+  SQM_LOG(kInfo) << data[0];
+}
+)cpp"},
+       {"src/dp/flow.cc", R"cpp(
+void Run(ShamirScheme& scheme) {
+  auto blob = scheme.Share(3);
+  WriteOut(blob);  // sqmlint:declassify(post-aggregation public estimate)
+}
+)cpp"}});
+  EXPECT_EQ(Active(findings, "taint-flow"), 0);
+}
+
+TEST(TaintFlow, MalformedDeclassifyIsItselfReported) {
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+void f(ShamirScheme& scheme) {
+  auto blob = scheme.Share(42);
+  SQM_LOG(kInfo) << blob[0];  // sqmlint:declassify
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "declassify-syntax"), 1);
+  // The flow finding still gates: a reasonless declassify covers nothing.
+  EXPECT_EQ(Active(findings, "taint-flow"), 1);
+}
+
+TEST(TaintFlow, SizeAccessorLaundersTaint) {
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+void f(ShamirScheme& scheme) {
+  auto blob = scheme.Share(42);
+  SQM_LOG(kInfo) << "count " << blob.size();
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "taint-flow"), 0);
+}
+
+TEST(TaintFlow, WireSinkOutsideSeamFires) {
+  const auto findings = Lint("src/obs/exporter.cc", R"cpp(
+void f(Transport& transport, ShamirScheme& scheme) {
+  auto blob = scheme.Share(42);
+  transport.Send(1, blob);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "taint-flow"), 1);
+}
+
+TEST(TaintFlow, WireSinkInsideSeamIsTheProtocol) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(Transport& transport, ShamirScheme& scheme) {
+  auto blob = scheme.Share(42);
+  transport.Send(1, blob);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "taint-flow"), 0);
+}
+
+TEST(TaintFlow, ObsSpanArgumentSinkFires) {
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+void f(Span& span, ShamirScheme& scheme) {
+  auto blob = scheme.Share(42);
+  span.AddArg("v", blob[0]);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "taint-flow"), 1);
+}
+
+TEST(TaintFlow, HarnessFilesNeitherSeedNorSink) {
+  // Test code builds and prints secret material on purpose: a tests/ file
+  // produces no flow findings and does not taint src/ callees.
+  const auto findings = LintFiles(
+      {{"src/core/writer.cc", R"cpp(
+void WriteOut(const std::vector<uint64_t>& data) {
+  SQM_LOG(kInfo) << data[0];
+}
+)cpp"},
+       {"tests/flow_test.cc", R"cpp(
+void Exercise(ShamirScheme& scheme) {
+  auto blob = scheme.Share(3);
+  SQM_LOG(kInfo) << blob[0];
+  WriteOut(blob);
+}
+)cpp"}});
+  EXPECT_EQ(Active(findings, "taint-flow"), 0);
+}
+
+TEST(TaintFlow, NoFlowFallbackSkipsEngine) {
+  const auto project = sqmlint::BuildProject({{"src/dp/x.cc", R"cpp(
+void f(ShamirScheme& scheme) {
+  auto blob = scheme.Share(42);
+  SQM_LOG(kInfo) << blob[0];
+}
+)cpp"}},
+                                             /*with_flow=*/false);
+  const auto findings = sqmlint::RunChecks(project);
+  EXPECT_EQ(Active(findings, "taint-flow"), 0);
+}
+
+// ------------------------------------------------------------- dp-spend-coverage
+
+TEST(DpSpendCoverage, FiresOnUncoveredDrawBelowDriver) {
+  // The draw hides one call below the SQM driver and no accountant spend
+  // dominates it anywhere on the path.
+  const auto findings = Lint("src/core/sqm.cc", R"cpp(
+int64_t AddNoise(Rng& rng, double mu) {
+  return Sample(rng, mu);
+}
+Result<SqmReport> SqmEvaluator::Evaluate(const Query& q) {
+  int64_t noisy = AddNoise(rng_, 1.0);
+  return Ok(noisy);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "dp-spend-coverage"), 1);
+}
+
+TEST(DpSpendCoverage, SpendOnThePathCoversTheDraw) {
+  const auto findings = Lint("src/core/sqm.cc", R"cpp(
+int64_t AddNoise(Rng& rng, double mu) {
+  return Sample(rng, mu);
+}
+Result<SqmReport> SqmEvaluator::Evaluate(const Query& q) {
+  accountant_.AddSkellam(1.0, 16.0);
+  int64_t noisy = AddNoise(rng_, 1.0);
+  return Ok(noisy);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "dp-spend-coverage"), 0);
+}
+
+TEST(DpSpendCoverage, DrawNotReachableFromDriverIsOutOfScope) {
+  const auto findings = Lint("src/vfl/x.cc", R"cpp(
+int64_t Jitter(Rng& rng) {
+  return Sample(rng, 0.5);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "dp-spend-coverage"), 0);
+}
+
+TEST(DpSpendCoverage, DeclassifySilencesWithJustification) {
+  const auto findings = Lint("src/core/sqm.cc", R"cpp(
+Result<SqmReport> SqmEvaluator::Evaluate(const Query& q) {
+  int64_t seed = Sample(rng_, 1.0);  // sqmlint:declassify(seed derivation, not a DP noise draw)
+  return Ok(seed);
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "dp-spend-coverage"), 0);
+  EXPECT_EQ(Count(findings, "dp-spend-coverage", true), 1);
+}
+
+// ----------------------------------------------------------------- secret-branch
+
+TEST(SecretBranch, FiresOnSecretSteeredIfInMpc) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(ShamirScheme& scheme) {
+  auto v = scheme.Share(7);
+  if (v[0] > 10) {
+    Handle();
+  }
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "secret-branch"), 1);
+}
+
+TEST(SecretBranch, FiresOnSecretLoopBound) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(ShamirScheme& scheme) {
+  auto v = scheme.Share(7);
+  for (uint64_t i = 0; i < v[0]; ++i) {
+    Step();
+  }
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "secret-branch"), 1);
+}
+
+TEST(SecretBranch, FiresOnSecretArrayIndex) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(ShamirScheme& scheme, const std::vector<int>& table) {
+  auto v = scheme.Share(7);
+  int picked = table[v[0]];
+  (void)picked;
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "secret-branch"), 1);
+}
+
+TEST(SecretBranch, ConstantTimeHelperIsTheApprovedRoute) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(ShamirScheme& scheme) {
+  auto v = scheme.Share(7);
+  uint64_t picked = CtSelect(CtLess(v[0], 10), v[0], 0);
+  (void)picked;
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "secret-branch"), 0);
+}
+
+TEST(SecretBranch, PublicSizeOfSecretContainerMaySteer) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(ShamirScheme& scheme) {
+  auto v = scheme.Share(7);
+  for (size_t i = 0; i < v.size(); ++i) {
+    Step(i);
+  }
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "secret-branch"), 0);
+}
+
+TEST(SecretBranch, OutsideMpcIsOutOfScope) {
+  const auto findings = Lint("src/dp/x.cc", R"cpp(
+void f(ShamirScheme& scheme) {
+  auto v = scheme.Share(7);
+  if (v[0] > 10) {
+    Handle();
+  }
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "secret-branch"), 0);
+}
+
+TEST(SecretBranch, ConditionalReductionPatternRegression) {
+  // Regression fixture for the src/mpc/field.cc fix: the scalar reduction
+  // used to branch on the (secret) element — `if (r >= p) r -= p` — which
+  // this check now flags; the committed mask-based form stays silent.
+  const auto branchy = Lint("src/mpc/x.cc", R"cpp(
+uint64_t Reduce(ShamirScheme& scheme) {
+  auto r = scheme.Share(1);
+  if (r >= kModulus) r -= kModulus;
+  return r;
+}
+)cpp");
+  EXPECT_EQ(Active(branchy, "secret-branch"), 1);
+
+  const auto branchless = Lint("src/mpc/x.cc", R"cpp(
+uint64_t Reduce(ShamirScheme& scheme) {
+  auto r = scheme.Share(1);
+  r = r - (kModulus & -static_cast<uint64_t>(r >= kModulus));
+  return r;
+}
+)cpp");
+  EXPECT_EQ(Active(branchless, "secret-branch"), 0);
+}
+
+TEST(SecretBranch, DeclassifySilencesWithJustification) {
+  const auto findings = Lint("src/mpc/x.cc", R"cpp(
+void f(ShamirScheme& scheme) {
+  auto v = scheme.Share(7);
+  if (v[0] > 10) {  // sqmlint:declassify(v is a reconstructed public output here)
+    Handle();
+  }
+}
+)cpp");
+  EXPECT_EQ(Active(findings, "secret-branch"), 0);
+  EXPECT_EQ(Count(findings, "secret-branch", true), 1);
+}
+
+// -------------------------------------------------------------- baseline ratchet
+
+constexpr char kOneFinding[] = R"cpp(
+Status Flush(int fd);
+void f(int fd) {
+  Flush(fd);
+}
+)cpp";
+
+TEST(Baseline, RoundTripMatchesItself) {
+  const auto project = sqmlint::BuildProject({{"src/dp/x.cc", kOneFinding}});
+  const auto findings = sqmlint::RunChecks(project);
+  ASSERT_GT(sqmlint::CountActive(findings), 0u);
+  const sqmlint::Baseline baseline =
+      sqmlint::BaselineFromFindings(project, findings);
+  const std::string text = sqmlint::RenderBaseline(baseline);
+  sqmlint::Baseline parsed;
+  std::string error;
+  ASSERT_TRUE(sqmlint::ParseBaseline(text, &parsed, &error)) << error;
+  const sqmlint::BaselineDelta delta =
+      sqmlint::CompareBaseline(project, findings, parsed);
+  EXPECT_TRUE(delta.Clean());
+  EXPECT_EQ(delta.matched, sqmlint::CountActive(findings));
+}
+
+TEST(Baseline, InjectedRegressionComesBackFresh) {
+  // The ratchet scenario check.sh relies on: a new finding not present in
+  // the committed baseline must fail the comparison.
+  const auto clean = sqmlint::BuildProject({{"src/dp/x.cc", "void f();\n"}});
+  const sqmlint::Baseline baseline =
+      sqmlint::BaselineFromFindings(clean, sqmlint::RunChecks(clean));
+  EXPECT_TRUE(baseline.entries.empty());
+
+  const auto regressed =
+      sqmlint::BuildProject({{"src/dp/x.cc", kOneFinding}});
+  const auto findings = sqmlint::RunChecks(regressed);
+  const sqmlint::BaselineDelta delta =
+      sqmlint::CompareBaseline(regressed, findings, baseline);
+  EXPECT_FALSE(delta.Clean());
+  EXPECT_EQ(delta.fresh.size(), sqmlint::CountActive(findings));
+}
+
+TEST(Baseline, StaleEntriesRefuseToLinger) {
+  // A baselined finding that stops firing must be deleted from the
+  // committed file: the baseline only shrinks.
+  const auto project =
+      sqmlint::BuildProject({{"src/dp/x.cc", "void f();\n"}});
+  sqmlint::Baseline baseline;
+  baseline.entries.push_back(
+      {"unchecked-status", "src/dp/x.cc", "Flush(fd);"});
+  const sqmlint::BaselineDelta delta = sqmlint::CompareBaseline(
+      project, sqmlint::RunChecks(project), baseline);
+  EXPECT_FALSE(delta.Clean());
+  ASSERT_EQ(delta.stale.size(), 1u);
+  EXPECT_EQ(delta.stale[0].check, "unchecked-status");
+}
+
+TEST(Baseline, FingerprintSurvivesLineChurn) {
+  // Unrelated edits above the finding shift its line number; the
+  // line-text fingerprint keeps matching so the baseline does not churn.
+  const auto before = sqmlint::BuildProject({{"src/dp/x.cc", kOneFinding}});
+  const sqmlint::Baseline baseline =
+      sqmlint::BaselineFromFindings(before, sqmlint::RunChecks(before));
+  const auto after = sqmlint::BuildProject(
+      {{"src/dp/x.cc", std::string("// one new comment line\n\n") +
+                           kOneFinding}});
+  const sqmlint::BaselineDelta delta = sqmlint::CompareBaseline(
+      after, sqmlint::RunChecks(after), baseline);
+  EXPECT_TRUE(delta.Clean());
+}
+
+TEST(Baseline, ModuleRelativePathCutsAbsolutePrefix) {
+  EXPECT_EQ(sqmlint::ModuleRelativePath("/home/u/repo/src/mpc/field.cc"),
+            "src/mpc/field.cc");
+  EXPECT_EQ(sqmlint::ModuleRelativePath("tests/sqm_test.cc"),
+            "tests/sqm_test.cc");
+  EXPECT_EQ(sqmlint::ModuleRelativePath("tools/sqmlint/main.cc"),
+            "tools/sqmlint/main.cc");
+}
+
+TEST(Baseline, SuppressedFindingsAreNotBaselined) {
+  const auto project = sqmlint::BuildProject({{"src/dp/x.cc", R"cpp(
+Status Flush(int fd);
+void f(int fd) {
+  Flush(fd);  // sqmlint:allow(unchecked-status)
+}
+)cpp"}});
+  const sqmlint::Baseline baseline =
+      sqmlint::BaselineFromFindings(project, sqmlint::RunChecks(project));
+  EXPECT_TRUE(baseline.entries.empty());
+}
+
+// ------------------------------------------------------- JSON / SARIF round-trip
+
+TEST(Renderers, JsonRoundTripsThroughRepoParser) {
+  const auto project = sqmlint::BuildProject({{"src/dp/x.cc", kOneFinding}});
+  const auto findings = sqmlint::RunChecks(project);
+  const auto parsed = sqm::ParseJson(sqmlint::RenderJson(project, findings));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const sqm::JsonValue& doc = parsed.value();
+  const sqm::JsonValue* list = doc.Find("findings");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->items.size(), findings.size());
+  const sqm::JsonValue* check = list->items[0].Find("check");
+  ASSERT_NE(check, nullptr);
+  EXPECT_EQ(check->string_value, "unchecked-status");
+  const sqm::JsonValue* summary = doc.Find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->Find("active")->uint_value, 1u);
+}
+
+TEST(Renderers, SarifRoundTripsThroughRepoParser) {
+  const auto project = sqmlint::BuildProject({{"src/dp/x.cc", kOneFinding}});
+  const auto findings = sqmlint::RunChecks(project);
+  const auto parsed = sqm::ParseJson(sqmlint::RenderSarif(project, findings));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const sqm::JsonValue& doc = parsed.value();
+  EXPECT_EQ(doc.Find("version")->string_value, "2.1.0");
+  const sqm::JsonValue* runs = doc.Find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->items.size(), 1u);
+  const sqm::JsonValue& run = runs->items[0];
+  const sqm::JsonValue* driver = run.Find("tool")->Find("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_EQ(driver->Find("name")->string_value, "sqmlint");
+  // One rule per registered check.
+  EXPECT_EQ(driver->Find("rules")->items.size(),
+            sqmlint::AllChecks().size());
+  const sqm::JsonValue* results = run.Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->items.size(), findings.size());
+  const sqm::JsonValue& result = results->items[0];
+  EXPECT_EQ(result.Find("ruleId")->string_value, "unchecked-status");
+  const sqm::JsonValue* region = result.Find("locations")
+                                     ->items[0]
+                                     .Find("physicalLocation")
+                                     ->Find("region");
+  ASSERT_NE(region, nullptr);
+  EXPECT_TRUE(region->Find("startLine")->is_integer);
+}
+
+TEST(Renderers, SarifMarksSuppressedFindings) {
+  const auto project = sqmlint::BuildProject({{"src/dp/x.cc", R"cpp(
+Status Flush(int fd);
+void f(int fd) {
+  Flush(fd);  // sqmlint:allow(unchecked-status)
+}
+)cpp"}});
+  const auto findings = sqmlint::RunChecks(project);
+  const auto parsed = sqm::ParseJson(sqmlint::RenderSarif(project, findings));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const sqm::JsonValue* results =
+      parsed.value().Find("runs")->items[0].Find("results");
+  ASSERT_EQ(results->items.size(), 1u);
+  const sqm::JsonValue* suppressions =
+      results->items[0].Find("suppressions");
+  ASSERT_NE(suppressions, nullptr);
+  ASSERT_EQ(suppressions->items.size(), 1u);
+  EXPECT_EQ(suppressions->items[0].Find("kind")->string_value, "inSource");
 }
 
 }  // namespace

@@ -1,0 +1,246 @@
+#include "sqmlint/baseline.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace sqmlint {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Parses the JSON string starting at the opening quote `at`; advances
+/// `at` past the closing quote. Handles the escapes JsonEscape emits.
+bool ParseJsonString(const std::string& text, size_t* at, std::string* out) {
+  if (*at >= text.size() || text[*at] != '"') return false;
+  size_t i = *at + 1;
+  out->clear();
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '"') {
+      *at = i + 1;
+      return true;
+    }
+    if (c == '\\' && i + 1 < text.size()) {
+      const char e = text[i + 1];
+      if (e == 'n') {
+        out->push_back('\n');
+      } else if (e == 't') {
+        out->push_back('\t');
+      } else if (e == 'u' && i + 5 < text.size()) {
+        const std::string hex = text.substr(i + 2, 4);
+        const long code = std::strtol(hex.c_str(), nullptr, 16);
+        out->push_back(code > 0 && code < 0x80 ? static_cast<char>(code)
+                                               : '?');
+        i += 6;
+        continue;
+      } else {
+        out->push_back(e);
+      }
+      i += 2;
+      continue;
+    }
+    out->push_back(c);
+    ++i;
+  }
+  return false;
+}
+
+std::string EntryKey(const BaselineEntry& entry) {
+  return entry.check + "\x1f" + entry.path + "\x1f" + entry.fingerprint;
+}
+
+}  // namespace
+
+std::string ModuleRelativePath(const std::string& path) {
+  std::string normalized = path;
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  static const char* const kRoots[] = {"src/", "tests/", "tools/", "bench/",
+                                       "examples/"};
+  size_t best = std::string::npos;
+  for (const char* root : kRoots) {
+    size_t at = normalized.rfind(std::string("/") + root);
+    if (at != std::string::npos) {
+      at += 1;  // Past the '/'.
+      if (best == std::string::npos || at < best) best = at;
+    }
+    if (normalized.rfind(root, 0) == 0 && 0 < best) best = 0;
+  }
+  return best == std::string::npos ? normalized : normalized.substr(best);
+}
+
+BaselineEntry FingerprintFinding(const Project& project,
+                                 const Finding& finding) {
+  BaselineEntry entry;
+  entry.check = finding.check;
+  entry.path = ModuleRelativePath(finding.path);
+  for (const SourceFile& file : project.files) {
+    if (file.path != finding.path) continue;
+    if (finding.line >= 1 &&
+        static_cast<size_t>(finding.line) <= file.lines.size()) {
+      entry.fingerprint = Trim(file.lines[finding.line - 1]);
+    }
+    break;
+  }
+  return entry;
+}
+
+std::string RenderBaseline(const Baseline& baseline) {
+  std::vector<BaselineEntry> entries = baseline.entries;
+  std::sort(entries.begin(), entries.end(),
+            [](const BaselineEntry& a, const BaselineEntry& b) {
+              return EntryKey(a) < EntryKey(b);
+            });
+  std::ostringstream out;
+  out << "{\"version\":1,\"entries\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n  {\"check\":\"" << JsonEscape(entries[i].check)
+        << "\",\"path\":\"" << JsonEscape(entries[i].path)
+        << "\",\"fingerprint\":\"" << JsonEscape(entries[i].fingerprint)
+        << "\"}";
+  }
+  out << (entries.empty() ? "" : "\n") << "]}\n";
+  return out.str();
+}
+
+Baseline BaselineFromFindings(const Project& project,
+                              const std::vector<Finding>& findings) {
+  Baseline baseline;
+  for (const Finding& finding : findings) {
+    if (finding.suppressed) continue;
+    baseline.entries.push_back(FingerprintFinding(project, finding));
+  }
+  return baseline;
+}
+
+bool ParseBaseline(const std::string& text, Baseline* baseline,
+                   std::string* error) {
+  baseline->entries.clear();
+  const size_t entries_at = text.find("\"entries\"");
+  if (entries_at == std::string::npos) {
+    *error = "baseline: missing \"entries\" array";
+    return false;
+  }
+  size_t i = text.find('[', entries_at);
+  if (i == std::string::npos) {
+    *error = "baseline: malformed \"entries\" array";
+    return false;
+  }
+  ++i;
+  while (i < text.size()) {
+    const size_t open = text.find('{', i);
+    const size_t close_array = text.find(']', i);
+    if (open == std::string::npos || close_array < open) break;
+    BaselineEntry entry;
+    size_t j = open + 1;
+    bool object_ok = true;
+    while (j < text.size() && text[j] != '}') {
+      const size_t key_at = text.find('"', j);
+      if (key_at == std::string::npos) {
+        object_ok = false;
+        break;
+      }
+      size_t at = key_at;
+      std::string key, value;
+      if (!ParseJsonString(text, &at, &key)) {
+        object_ok = false;
+        break;
+      }
+      const size_t colon = text.find(':', at);
+      if (colon == std::string::npos) {
+        object_ok = false;
+        break;
+      }
+      at = text.find('"', colon);
+      if (at == std::string::npos || !ParseJsonString(text, &at, &value)) {
+        object_ok = false;
+        break;
+      }
+      if (key == "check") entry.check = value;
+      if (key == "path") entry.path = value;
+      if (key == "fingerprint") entry.fingerprint = value;
+      j = at;
+      while (j < text.size() && (text[j] == ',' || text[j] == ' ' ||
+                                 text[j] == '\n' || text[j] == '\r')) {
+        ++j;
+      }
+    }
+    if (!object_ok || entry.check.empty() || entry.path.empty()) {
+      *error = "baseline: malformed entry object";
+      return false;
+    }
+    baseline->entries.push_back(std::move(entry));
+    i = text.find('}', open);
+    if (i == std::string::npos) break;
+    ++i;
+  }
+  return true;
+}
+
+BaselineDelta CompareBaseline(const Project& project,
+                              const std::vector<Finding>& findings,
+                              const Baseline& baseline) {
+  BaselineDelta delta;
+  std::map<std::string, int> budget;
+  for (const BaselineEntry& entry : baseline.entries) {
+    budget[EntryKey(entry)] += 1;
+  }
+  for (const Finding& finding : findings) {
+    if (finding.suppressed) continue;
+    const BaselineEntry entry = FingerprintFinding(project, finding);
+    auto it = budget.find(EntryKey(entry));
+    if (it != budget.end() && it->second > 0) {
+      it->second -= 1;
+      ++delta.matched;
+    } else {
+      delta.fresh.push_back(finding);
+    }
+  }
+  for (const BaselineEntry& entry : baseline.entries) {
+    auto it = budget.find(EntryKey(entry));
+    if (it != budget.end() && it->second > 0) {
+      it->second -= 1;
+      delta.stale.push_back(entry);
+    }
+  }
+  return delta;
+}
+
+}  // namespace sqmlint

@@ -1,0 +1,66 @@
+#ifndef SQM_TOOLS_SQMLINT_BASELINE_H_
+#define SQM_TOOLS_SQMLINT_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "sqmlint/checker.h"
+
+namespace sqmlint {
+
+/// One accepted pre-existing finding. The fingerprint is line-number-free
+/// (check + module-relative path + the offending source line, trimmed) so
+/// unrelated edits above a baselined finding do not churn the file.
+struct BaselineEntry {
+  std::string check;
+  std::string path;         ///< Module-relative ("src/mpc/field.cc").
+  std::string fingerprint;  ///< Trimmed source-line text.
+};
+
+/// The committed ratchet file (tools/sqmlint/baseline.json).
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Delta between the current scan and the baseline. The ratchet gates on
+/// both directions: `fresh` findings fail the scan (the baseline never
+/// grows), and `stale` entries fail it too (a fixed finding must be
+/// removed from the committed file, so the baseline only shrinks).
+struct BaselineDelta {
+  std::vector<Finding> fresh;        ///< Active findings not in baseline.
+  std::vector<BaselineEntry> stale;  ///< Entries matching no finding.
+  size_t matched = 0;
+  bool Clean() const { return fresh.empty() && stale.empty(); }
+};
+
+/// Strips everything before the repo's top-level module directories so
+/// absolute scan paths and repo-relative baseline paths compare equal.
+std::string ModuleRelativePath(const std::string& path);
+
+/// Fingerprint of one finding against the file it lives in.
+BaselineEntry FingerprintFinding(const Project& project,
+                                 const Finding& finding);
+
+/// Serializes a baseline (sorted, deduplicated) as the committed JSON.
+std::string RenderBaseline(const Baseline& baseline);
+
+/// Builds the baseline that would accept exactly the current active
+/// findings (suppressed/declassified findings are not baselined — they
+/// are already annotated in-source).
+Baseline BaselineFromFindings(const Project& project,
+                              const std::vector<Finding>& findings);
+
+/// Parses the committed JSON. Returns false on malformed input (the
+/// parser accepts exactly what RenderBaseline emits).
+bool ParseBaseline(const std::string& text, Baseline* baseline,
+                   std::string* error);
+
+/// Matches active findings against the baseline. Multiset semantics: two
+/// identical findings need two entries.
+BaselineDelta CompareBaseline(const Project& project,
+                              const std::vector<Finding>& findings,
+                              const Baseline& baseline);
+
+}  // namespace sqmlint
+
+#endif  // SQM_TOOLS_SQMLINT_BASELINE_H_

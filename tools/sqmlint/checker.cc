@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "sqmlint/taint.h"
+
 namespace sqmlint {
 namespace {
 
@@ -61,6 +63,33 @@ bool ParseAllowDirective(const std::string& comment,
   return true;
 }
 
+/// Parses "sqmlint:declassify(reason)" out of one comment. Returns false
+/// (malformed) when the marker is present but the reason is missing,
+/// unparenthesized or empty — a declassification without a justification
+/// is exactly the blanket allowlisting the directive replaces.
+bool ParseDeclassifyDirective(const std::string& comment,
+                              std::string* reason) {
+  const std::string marker = "sqmlint:declassify";
+  const size_t at = comment.find(marker);
+  if (at == std::string::npos) return true;  // No directive at all.
+  size_t i = at + marker.size();
+  while (i < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[i]))) {
+    ++i;
+  }
+  if (i >= comment.size() || comment[i] != '(') return false;
+  const size_t close = comment.rfind(')');
+  if (close == std::string::npos || close <= i) return false;
+  std::string text = comment.substr(i + 1, close - i - 1);
+  // Trim.
+  size_t b = 0, e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  if (b >= e) return false;
+  *reason = text.substr(b, e - b);
+  return true;
+}
+
 SourceFile MakeSourceFile(const std::string& path,
                           const std::string& content) {
   SourceFile file;
@@ -70,6 +99,26 @@ SourceFile MakeSourceFile(const std::string& path,
   LexResult lexed = Lex(content);
   file.tokens = std::move(lexed.tokens);
   for (const Comment& comment : lexed.comments) {
+    if (comment.text.find("sqmlint:declassify") != std::string::npos) {
+      std::string reason;
+      if (!ParseDeclassifyDirective(comment.text, &reason)) {
+        Finding finding;
+        finding.check = "declassify-syntax";
+        finding.path = path;
+        finding.line = comment.begin_line;
+        finding.message =
+            "malformed declassification: every sqmlint:declassify must "
+            "carry a parenthesized, non-empty justification, e.g. "
+            "sqmlint:declassify(digest is collision-resistant, reveals "
+            "no share bits)";
+        file.suppression_errors.push_back(std::move(finding));
+      } else {
+        for (int l = comment.begin_line; l <= comment.end_line + 1; ++l) {
+          file.declassify.emplace(l, reason);
+        }
+      }
+      continue;
+    }
     if (comment.text.find("sqmlint:allow") == std::string::npos) continue;
     std::set<std::string> checks;
     if (!ParseAllowDirective(comment.text, &checks)) {
@@ -200,7 +249,8 @@ std::vector<std::string> IdentifierWords(const std::string& identifier) {
 }
 
 Project BuildProject(
-    const std::vector<std::pair<std::string, std::string>>& files) {
+    const std::vector<std::pair<std::string, std::string>>& files,
+    bool with_flow) {
   Project project;
   project.files.reserve(files.size());
   for (const auto& [path, content] : files) {
@@ -212,6 +262,10 @@ Project BuildProject(
   }
   for (const std::string& name : other_names) {
     project.status_functions.erase(name);
+  }
+  if (with_flow) {
+    project.flow =
+        std::make_shared<const FlowAnalysis>(RunFlowAnalysis(project));
   }
   return project;
 }
@@ -263,9 +317,13 @@ std::vector<Finding> RunChecks(const Project& project,
       findings.push_back(error);  // Never suppressible.
     }
   }
-  // Resolve suppressions.
+  // Resolve suppressions. Directive-syntax findings are never
+  // suppressible — a malformed suppression cannot silence itself.
   for (Finding& finding : findings) {
-    if (finding.check == "suppression-syntax") continue;
+    if (finding.check == "suppression-syntax" ||
+        finding.check == "declassify-syntax") {
+      continue;
+    }
     for (const SourceFile& file : project.files) {
       if (file.path != finding.path) continue;
       auto it = file.allows.find(finding.line);
@@ -364,6 +422,42 @@ std::string RenderJson(const Project& project,
   out << "],\"summary\":{\"files\":" << project.files.size()
       << ",\"active\":" << active
       << ",\"suppressed\":" << findings.size() - active << "}}";
+  return out.str();
+}
+
+std::string RenderSarif(const Project& project,
+                        const std::vector<Finding>& findings) {
+  (void)project;
+  std::ostringstream out;
+  out << "{\"$schema\":"
+         "\"https://json.schemastore.org/sarif-2.1.0.json\","
+         "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+         "\"name\":\"sqmlint\",\"version\":\"2.0.0\","
+         "\"informationUri\":\"docs/STATIC_ANALYSIS.md\",\"rules\":[";
+  bool first = true;
+  for (const Check& check : AllChecks()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":\"" << JsonEscape(check.name)
+        << "\",\"shortDescription\":{\"text\":\""
+        << JsonEscape(check.description) << "\"}}";
+  }
+  out << "]}},\"results\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out << ",";
+    out << "{\"ruleId\":\"" << JsonEscape(f.check) << "\",\"level\":\""
+        << (f.suppressed ? "note" : "error") << "\",\"message\":{\"text\":\""
+        << JsonEscape(f.message) << "\"},\"locations\":[{"
+        << "\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
+        << JsonEscape(f.path) << "\"},\"region\":{\"startLine\":"
+        << (f.line > 0 ? f.line : 1) << "}}}]";
+    if (f.suppressed) {
+      out << ",\"suppressions\":[{\"kind\":\"inSource\"}]";
+    }
+    out << "}";
+  }
+  out << "]}]}";
   return out.str();
 }
 

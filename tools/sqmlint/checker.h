@@ -2,6 +2,7 @@
 #define SQM_TOOLS_SQMLINT_CHECKER_H_
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -9,6 +10,8 @@
 #include "sqmlint/lexer.h"
 
 namespace sqmlint {
+
+struct FlowAnalysis;
 
 /// One diagnostic produced by a check.
 struct Finding {
@@ -33,6 +36,11 @@ struct SourceFile {
   std::vector<std::string> lines;  ///< For snippet rendering.
   std::vector<Token> tokens;
   std::map<int, std::set<std::string>> allows;  ///< line -> check names.
+  /// line -> justification, from `// sqmlint:declassify(reason)`. Unlike a
+  /// blanket allow, a declassify names *why* the flow is safe; flow-engine
+  /// findings it covers are reported but do not gate. A declassify with an
+  /// empty reason is malformed and reported under "declassify-syntax".
+  std::map<int, std::string> declassify;
   std::vector<Finding> suppression_errors;
 };
 
@@ -42,6 +50,10 @@ struct Project {
   /// Names of functions declared (anywhere in the project) with return type
   /// Status or Result<...> — the lexicon behind unchecked-status.
   std::set<std::string> status_functions;
+  /// Interprocedural taint / coverage results (taint.h); null when the
+  /// flow engine was skipped (--no-flow fast fallback). shared_ptr so
+  /// Project copies stay cheap and valid.
+  std::shared_ptr<const FlowAnalysis> flow;
 };
 
 /// A registered check: a pure function from (project, file) to findings.
@@ -56,10 +68,13 @@ struct Check {
 const std::vector<Check>& AllChecks();
 
 /// Builds a Project from in-memory (path, content) pairs: lexes each file,
-/// resolves suppressions, and runs the cross-file pre-pass. The test suite
-/// uses this directly with fixture snippets.
+/// resolves suppressions, runs the cross-file pre-pass, and (unless
+/// `with_flow` is false — the fast lexicon-only fallback) the
+/// interprocedural flow analysis. The test suite uses this directly with
+/// fixture snippets.
 Project BuildProject(
-    const std::vector<std::pair<std::string, std::string>>& files);
+    const std::vector<std::pair<std::string, std::string>>& files,
+    bool with_flow = true);
 
 /// Recursively collects C++ sources (.h .hpp .cc .cpp .cxx) under each
 /// path (files are taken as-is), reads them, and returns (path, content)
@@ -89,6 +104,12 @@ std::string RenderHuman(const Project& project,
 ///  "summary":{files,active,suppressed}}.
 std::string RenderJson(const Project& project,
                        const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 rendering: one run, one rule per registered check, one
+/// result per finding (suppressed findings carry a `suppressions` block,
+/// so SARIF viewers show them as reviewed). Paths are emitted as given.
+std::string RenderSarif(const Project& project,
+                        const std::vector<Finding>& findings);
 
 // --- helpers shared by checks (defined in checker.cc) ---
 

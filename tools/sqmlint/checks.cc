@@ -792,8 +792,29 @@ void CheckObsDiscipline(const Project& /*project*/, const SourceFile& file,
 
 }  // namespace
 
+// Flow-engine checks, defined in flow_checks.cc over the interprocedural
+// analysis that BuildProject precomputes.
+void CheckTaintFlow(const Project& project, const SourceFile& file,
+                    std::vector<Finding>* findings);
+void CheckDpSpendCoverage(const Project& project, const SourceFile& file,
+                          std::vector<Finding>* findings);
+void CheckSecretBranch(const Project& project, const SourceFile& file,
+                       std::vector<Finding>* findings);
+
 const std::vector<Check>& AllChecks() {
   static const std::vector<Check> kChecks = {
+      {"taint-flow",
+       "interprocedural secret value (share/mask/triple/raw draw) reaching "
+       "a log, obs-export or un-MACed wire sink",
+       CheckTaintFlow},
+      {"dp-spend-coverage",
+       "sampler draw reachable from the SQM drivers with no accountant "
+       "spend dominating it",
+       CheckDpSpendCoverage},
+      {"secret-branch",
+       "secret-tainted value steering a branch, loop bound or array index "
+       "in src/mpc/ outside constant-time helpers",
+       CheckSecretBranch},
       {"unchecked-status",
        "discarded call result of a Status/Result-returning function",
        CheckUncheckedStatus},

@@ -1,0 +1,85 @@
+#ifndef SQM_TOOLS_SQMLINT_IR_H_
+#define SQM_TOOLS_SQMLINT_IR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sqmlint/lexer.h"
+
+namespace sqmlint {
+
+struct SourceFile;
+
+/// A half-open token-index range [begin, end) into a file's token vector.
+struct TokenRange {
+  size_t begin = 0;
+  size_t end = 0;
+  bool empty() const { return begin >= end; }
+};
+
+/// One argument of a call site: its token extent inside the file.
+struct CallArg {
+  TokenRange range;
+};
+
+/// A call expression `callee(args...)` or `obj.callee(args...)`.
+struct CallSite {
+  std::string callee;     ///< Last identifier before the '('.
+  std::string qualifier;  ///< Identifier before '::' / '.' / '->', if any.
+  bool member = false;    ///< Reached through '.' or '->'.
+  bool scoped = false;    ///< Reached through '::'.
+  int line = 0;
+  size_t name_token = 0;  ///< Token index of the callee identifier.
+  std::vector<CallArg> args;
+};
+
+/// One def event inside a function body: `lhs = <range>;`, a declaration
+/// with initializer, a range-for binding, or a `return <range>;` (lhs is
+/// then the pseudo-variable "@ret").
+struct Assign {
+  std::string lhs;
+  TokenRange rhs;
+  int line = 0;
+};
+
+/// A function (or method) definition recovered from the token stream:
+/// name, owner class for out-of-line `Owner::Name` definitions, parameter
+/// names in order, the body's token extent, and the def-use events the
+/// taint propagator consumes. This is a heuristic recovery — lambdas fold
+/// into their enclosing function, and macro-heavy signatures may be
+/// skipped — which is the right failure mode for a linter: unknown code
+/// is simply not analyzed, never misreported.
+struct FunctionIR {
+  std::string name;
+  std::string owner;         ///< "ShamirScheme" for ShamirScheme::Share.
+  const SourceFile* file = nullptr;
+  int line = 0;
+  std::vector<std::string> params;  ///< Parameter names, "" when unnamed.
+  TokenRange body;                  ///< Inside the braces, exclusive.
+  std::vector<Assign> assigns;
+  std::vector<CallSite> calls;
+
+  std::string Qualified() const {
+    return owner.empty() ? name : owner + "::" + name;
+  }
+};
+
+/// Recovers every function definition in `file`. Deterministic and pure.
+std::vector<FunctionIR> BuildFileIR(const SourceFile& file);
+
+/// Splits the token range of a parenthesized region (excluding the outer
+/// parens) into top-level comma-separated argument ranges, tracking
+/// nested (), [], {} and template <> depth (so `pair<int,int>` stays one
+/// argument).
+std::vector<TokenRange> SplitTopLevelArgs(const std::vector<Token>& toks,
+                                          TokenRange inside);
+
+/// Index just past the ')' matching the '(' at `open`; toks.size() when
+/// unbalanced. Shared by the lexicon checks and the IR builder.
+size_t SkipParenGroup(const std::vector<Token>& toks, size_t open);
+
+}  // namespace sqmlint
+
+#endif  // SQM_TOOLS_SQMLINT_IR_H_

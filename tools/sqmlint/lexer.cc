@@ -49,6 +49,16 @@ LexResult Lex(const std::string& src) {
       continue;
     }
 
+    // Backslash-newline is a line continuation (the multi-line macro
+    // idiom): splice it away so a statement spanning continuations lexes
+    // as one token stream and the IR pass sees it whole.
+    if (c == '\\' && i + 1 < n &&
+        (src[i + 1] == '\n' ||
+         (src[i + 1] == '\r' && i + 2 < n && src[i + 2] == '\n'))) {
+      bump(src[i + 1] == '\r' ? 3 : 2);
+      continue;
+    }
+
     // Line comment.
     if (c == '/' && i + 1 < n && src[i + 1] == '/') {
       const int begin_line = line;

@@ -1,0 +1,112 @@
+#include "sqmlint/symbols.h"
+
+#include <algorithm>
+
+#include "sqmlint/checker.h"
+
+namespace sqmlint {
+
+std::vector<std::string> ExtractQuotedIncludes(const std::string& content) {
+  std::vector<std::string> includes;
+  size_t pos = 0;
+  while ((pos = content.find("#include", pos)) != std::string::npos) {
+    size_t q1 = content.find_first_of("\"<\n", pos + 8);
+    if (q1 == std::string::npos) break;
+    if (content[q1] == '"') {
+      const size_t q2 = content.find('"', q1 + 1);
+      if (q2 != std::string::npos) {
+        includes.push_back(content.substr(q1 + 1, q2 - q1 - 1));
+        pos = q2 + 1;
+        continue;
+      }
+    }
+    pos = q1 + 1;
+  }
+  return includes;
+}
+
+bool PathEndsWith(const std::string& path, const std::string& suffix) {
+  if (suffix.empty() || suffix.size() > path.size()) return false;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  if (path.size() == suffix.size()) return true;
+  const char before = path[path.size() - suffix.size() - 1];
+  return before == '/' || before == '\\';
+}
+
+SymbolTable SymbolTable::Build(const Project& project) {
+  SymbolTable table;
+  for (const SourceFile& file : project.files) {
+    std::vector<FunctionIR> fns = BuildFileIR(file);
+    for (FunctionIR& fn : fns) {
+      table.by_name_[fn.name].push_back(table.functions_.size());
+      table.functions_.push_back(std::move(fn));
+    }
+    for (const std::string& inc : ExtractQuotedIncludes(file.content)) {
+      table.included_by_[inc].insert(file.path);
+    }
+  }
+  // Call graph edges by callee name.
+  table.callees_.resize(table.functions_.size());
+  table.callers_.resize(table.functions_.size());
+  for (size_t i = 0; i < table.functions_.size(); ++i) {
+    std::set<size_t> out;
+    for (const CallSite& call : table.functions_[i].calls) {
+      auto it = table.by_name_.find(call.callee);
+      if (it == table.by_name_.end()) continue;
+      for (size_t j : it->second) {
+        if (j != i) out.insert(j);
+      }
+    }
+    table.callees_[i].assign(out.begin(), out.end());
+    for (size_t j : table.callees_[i]) table.callers_[j].push_back(i);
+  }
+  return table;
+}
+
+std::vector<const FunctionIR*> SymbolTable::Resolve(
+    const std::string& name) const {
+  std::vector<const FunctionIR*> out;
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return out;
+  for (size_t i : it->second) out.push_back(&functions_[i]);
+  return out;
+}
+
+size_t SymbolTable::IndexOf(const FunctionIR* fn) const {
+  return static_cast<size_t>(fn - functions_.data());
+}
+
+std::vector<const FunctionIR*> SymbolTable::Callers(
+    const FunctionIR* fn) const {
+  std::vector<const FunctionIR*> out;
+  for (size_t i : callers_[IndexOf(fn)]) out.push_back(&functions_[i]);
+  return out;
+}
+
+std::vector<const FunctionIR*> SymbolTable::Callees(
+    const FunctionIR* fn) const {
+  std::vector<const FunctionIR*> out;
+  for (size_t i : callees_[IndexOf(fn)]) out.push_back(&functions_[i]);
+  return out;
+}
+
+std::set<std::string> SymbolTable::IncluderClosure(
+    const std::set<std::string>& roots) const {
+  std::set<std::string> closure = roots;
+  std::vector<std::string> worklist(roots.begin(), roots.end());
+  while (!worklist.empty()) {
+    const std::string current = worklist.back();
+    worklist.pop_back();
+    for (const auto& [inc, includers] : included_by_) {
+      if (!PathEndsWith(current, inc)) continue;
+      for (const std::string& includer : includers) {
+        if (closure.insert(includer).second) worklist.push_back(includer);
+      }
+    }
+  }
+  return closure;
+}
+
+}  // namespace sqmlint
